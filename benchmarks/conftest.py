@@ -1,0 +1,39 @@
+"""Shared fixtures for the figure/table regeneration benchmarks.
+
+The full (engine x benchmark x config) sweep is simulated once per
+session; every figure aggregates from it.  Rendered figures are written
+to ``benchmarks/results/`` so the regenerated rows can be diffed against
+the paper.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.bench.runner import run_matrix, verify_outputs_match
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def matrix():
+    records = run_matrix()
+    mismatches = verify_outputs_match(records)
+    assert not mismatches, \
+        "configs disagree on program output: %s" % mismatches
+    return records
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_result(results_dir):
+    def save(name, text):
+        (results_dir / ("%s.txt" % name)).write_text(text + "\n")
+        print()
+        print(text)
+    return save

@@ -1,0 +1,43 @@
+"""Figure 2: dynamic bytecode breakdown and instructions per bytecode.
+
+Paper: fewer than 10 of Lua's 47 bytecodes dominate dynamic counts, and
+the five polymorphic bytecodes (ADD/SUB/MUL/GETTABLE/SETTABLE) each cost
+tens of native instructions, much of it type guards.
+"""
+
+from repro.bench.experiments import (
+    figure2a,
+    figure2b,
+    render_figure2a,
+    render_figure2b,
+)
+
+
+def test_figure2a_bytecode_breakdown(matrix, save_result, benchmark):
+    breakdown = benchmark.pedantic(figure2a, args=(matrix,), rounds=1,
+                                   iterations=1)
+    save_result("figure2a_bytecodes", render_figure2a(breakdown))
+
+    for name, fractions in breakdown.items():
+        # A handful of bytecodes dominates (paper: <10 of 47).
+        ranked = sorted(fractions.values(), reverse=True)
+        assert sum(ranked[:10]) > 0.80, name
+        assert len([f for f in ranked if f > 0.01]) <= 20, name
+    # The hot five are prominent on the table-heavy kernels.
+    assert breakdown["n-sieve"].get("SETTABLE", 0) > 0.05
+    assert breakdown["fannkuch-redux"].get("GETTABLE", 0) > 0.10
+    assert breakdown["fibo"].get("ADD", 0) > 0.03
+
+
+def test_figure2b_instructions_per_bytecode(matrix, save_result,
+                                            benchmark):
+    data = benchmark.pedantic(figure2b, args=(matrix,), rounds=1,
+                              iterations=1)
+    save_result("figure2b_instrs_per_bytecode", render_figure2b(data))
+
+    for op in ("ADD", "SUB", "MUL", "GETTABLE", "SETTABLE"):
+        entry = data[op]
+        assert entry["executions"] > 0
+        # Tens of native instructions per bytecode (paper's Figure 2b).
+        assert 10 < entry["per_bytecode"] < 80
+        assert entry["paths"], "no per-path attribution for %s" % op

@@ -1,0 +1,35 @@
+"""Figure 5: overall speedups of Typed Architecture and Checked Load.
+
+Paper: geomean speedups 9.9% (Lua) / 11.2% (JS) for Typed Architecture
+vs. 7.3% / 5.4% for Checked Load; Checked Load loses on FP-heavy scripts
+(mandelbrot, n-body).  The reproduced claim is the *shape*: typed >
+chklb > baseline in geomean, with chklb at or below baseline on the
+FP-heavy pair.
+"""
+
+from repro.bench.experiments import figure5, render_figure5
+from repro.bench.runner import run_benchmark
+from repro.engines import BASELINE, CHECKED_LOAD, TYPED
+
+
+def test_figure5_speedups(matrix, save_result, benchmark):
+    speedups = benchmark.pedantic(figure5, args=(matrix,), rounds=1,
+                                  iterations=1)
+    save_result("figure5_speedup", render_figure5(speedups))
+
+    for engine in ("lua", "js"):
+        geo = speedups[engine]["geomean"]
+        assert geo[TYPED] > geo[CHECKED_LOAD] > geo[BASELINE] == 1.0
+        assert 1.02 < geo[TYPED] < 1.35  # modest, paper-like gains
+        # Checked Load's integer specialisation loses on FP-heavy code.
+        for fp_heavy in ("mandelbrot", "n-body"):
+            assert speedups[engine][fp_heavy][CHECKED_LOAD] < \
+                speedups[engine][fp_heavy][TYPED]
+        assert min(speedups[engine][b][TYPED]
+                   for b in speedups[engine]) >= 0.99
+
+
+def test_representative_run_cost(benchmark):
+    """Wall-clock cost of one simulated benchmark (harness throughput)."""
+    record = benchmark(run_benchmark, "lua", "fibo", TYPED, 8, False)
+    assert record.output == "21\n"

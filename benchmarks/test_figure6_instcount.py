@@ -1,0 +1,28 @@
+"""Figure 6: reduction of dynamic instruction count.
+
+Paper: 11.2% (Lua) and 4.4% (JS) average reduction for Typed
+Architecture.  Claim under test: typed reduces instructions on every
+benchmark, more than Checked Load, and table/arithmetic-bound scripts
+(fannkuch-redux, n-sieve, pidigits) sit at the high end.
+"""
+
+from repro.bench.experiments import figure6, render_figure6
+from repro.engines import BASELINE, CHECKED_LOAD, TYPED
+
+
+def test_figure6_instruction_reduction(matrix, save_result, benchmark):
+    reductions = benchmark.pedantic(figure6, args=(matrix,), rounds=1,
+                                    iterations=1)
+    save_result("figure6_instcount", render_figure6(reductions))
+
+    for engine in ("lua", "js"):
+        per_engine = reductions[engine]
+        mean = per_engine["mean"]
+        assert 0.01 < mean[TYPED] < 0.25
+        assert mean[TYPED] > mean[CHECKED_LOAD]
+        assert mean[BASELINE] == 0.0
+        for name in per_engine:
+            assert per_engine[name][TYPED] > 0.0
+        # The table-heavy kernels beat the engine's own mean.
+        hot = ["fannkuch-redux", "n-sieve", "pidigits"]
+        assert sum(per_engine[b][TYPED] for b in hot) / 3 > mean[TYPED]

@@ -1,0 +1,50 @@
+"""Figure 9: type hit/miss rates normalised to dynamic bytecode count.
+
+Paper: most benchmarks have near-perfect type hit rates; k-nucleotide
+and n-body miss frequently (string table keys), and SpiderMonkey's
+co-located tags force overflow mispredictions.  Checked Load shows heavy
+misses on FP-oriented scripts because its fast-path type is fixed.
+"""
+
+from repro.bench.experiments import figure9, render_figure9
+
+
+def test_figure9_type_hit_rates(matrix, save_result, benchmark):
+    data = benchmark.pedantic(figure9, args=(matrix,), rounds=1,
+                              iterations=1)
+    save_result("figure9_typehits", render_figure9(data))
+
+    for engine in ("lua", "js"):
+        per_engine = data[engine]
+        # Monomorphic integer kernels: essentially no type misses.
+        for name in ("fibo", "n-sieve", "fannkuch-redux"):
+            values = per_engine[name]
+            hits = values["typed_hit"]
+            misses = values["typed_miss"]
+            assert hits > 0.1
+            assert misses < 0.01 * max(hits, 1.0)
+        # String-keyed tables miss the Table-Int tchk rule.
+        assert per_engine["k-nucleotide"]["typed_miss"] > 0.01
+        # Checked Load misses hard on the FP-heavy kernels.
+        for name in ("mandelbrot", "n-body"):
+            values = per_engine[name]
+            assert values["chklb_miss"] > values["typed_miss"]
+
+
+def test_js_overflow_mispredictions_exist(benchmark):
+    """SpiderMonkey-style co-located tags force an overflow
+    misprediction (Section 3.2).  The CLBG kernels only overflow int32
+    at paper-scale inputs, so this drives the path with an explicit
+    kernel: repeated doubling walks straight past INT32_MAX."""
+    from repro.engines.js import run_js
+
+    source = """
+    var x = 3;
+    for (var i = 0; i < 40; i++) x = x * 2;
+    print(x);
+    """
+    result = benchmark.pedantic(run_js, args=(source,),
+                                kwargs={"config": "typed"},
+                                rounds=1, iterations=1)
+    assert result.counters.overflow_traps > 0
+    assert result.output == "3298534883328\n"  # promoted to double

@@ -1,0 +1,54 @@
+"""Timing-model cross-validation over real benchmark kernels.
+
+The evaluation figures come from the fast per-instruction model; this
+bench re-times a benchmark subset with the stage-timestamped scoreboard
+model and checks that both agree on the quantity the paper's claims rest
+on — the relative ordering and rough magnitude of the three machine
+configurations.
+"""
+
+from repro.bench.report import format_table
+from repro.bench.workloads import workload
+from repro.engines import CONFIGS
+from repro.engines.lua import vm as lua_vm
+from repro.uarch.pipeline import Machine
+from repro.uarch.scoreboard import ScoreboardMachine
+
+SUBSET = {"fibo": 10, "n-sieve": 300, "spectral-norm": 4}
+
+
+def _time(source, config, machine_cls):
+    cpu, _runtime, _ = lua_vm.prepare(source, config=config)
+    return machine_cls(cpu).run(max_instructions=50_000_000).cycles
+
+
+def test_scoreboard_agrees_with_fast_model(save_result, benchmark):
+    rows = []
+    for name, scale in sorted(SUBSET.items()):
+        source = workload(name).lua_source(scale)
+        fast = {c: _time(source, c, Machine) for c in CONFIGS}
+        stage = {c: _time(source, c, ScoreboardMachine) for c in CONFIGS}
+        fast_speedup = fast["baseline"] / fast["typed"]
+        stage_speedup = stage["baseline"] / stage["typed"]
+        rows.append((name, fast["baseline"], stage["baseline"],
+                     "%.3fx" % fast_speedup, "%.3fx" % stage_speedup))
+        # Typed wins under both models; chklb sits at or near baseline
+        # (spectral-norm is FP-heavy, where Checked Load gains nothing).
+        for cycles in (fast, stage):
+            assert cycles["typed"] < cycles["chklb"]
+            assert cycles["typed"] < cycles["baseline"]
+            assert 0.97 < cycles["chklb"] / cycles["baseline"] < 1.02
+        # ...and speedups within a modest band of each other.
+        assert abs(fast_speedup - stage_speedup) / stage_speedup < 0.10
+        # Absolute cycle counts within ~35% (the scoreboard overlaps
+        # penalties the per-instruction model serialises).
+        for config in CONFIGS:
+            ratio = fast[config] / stage[config]
+            assert 0.70 < ratio < 1.35, (name, config, ratio)
+    save_result("validation_timing_models", format_table(
+        ["benchmark", "fast baseline cyc", "scoreboard baseline cyc",
+         "fast speedup", "scoreboard speedup"], rows,
+        title="Timing-model cross-validation (Lua, typed vs baseline)"))
+    benchmark.pedantic(
+        _time, args=(workload("fibo").lua_source(8), "typed",
+                     ScoreboardMachine), rounds=1, iterations=1)

@@ -1,0 +1,14 @@
+"""Table 1: IoT device platform survey (motivation data)."""
+
+from repro.bench.experiments import table1
+
+
+def test_table1_renders(save_result, benchmark):
+    text = benchmark(table1)
+    save_result("table1_platforms", text)
+    for platform in ("SAMA5D3", "Galileo", "Arduino Yun", "LaunchPad",
+                     "ARM mbed"):
+        assert platform in text
+    for row in ("Processor", "ISA", "Clock", "Main Memory", "Power",
+                "Price"):
+        assert row in text

@@ -1,0 +1,21 @@
+"""Table 7: benchmark catalogue (paper inputs vs. simulated scales)."""
+
+from repro.bench.experiments import table6, table7
+from repro.bench.workloads import BENCHMARK_ORDER
+
+
+def test_table7_renders(save_result, benchmark):
+    text = benchmark(table7)
+    save_result("table7_workloads", text)
+    for name in BENCHMARK_ORDER:
+        assert name in text
+    assert "250,000" in text  # paper's k-nucleotide input recorded
+
+
+def test_table6_parameters(save_result, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    text = table6()
+    save_result("table6_parameters", text)
+    assert "gshare" in text
+    assert "16KB" in text
+    assert "DDR3-1066" in text

@@ -1,0 +1,32 @@
+"""Table 8: hardware overhead breakdown and EDP.
+
+Paper: +1.6% area and +3.7% power at 40nm, concentrated in the core
+module; EDP improves 16.5% (Lua) / 19.3% (JS) when combined with the
+measured speedups.
+"""
+
+from repro.bench.experiments import table8
+from repro.hw.synthesis import synthesize
+
+
+def test_table8_overheads(matrix, save_result, benchmark):
+    summary, text = benchmark.pedantic(table8, args=(matrix,), rounds=1,
+                                       iterations=1)
+    save_result("table8_area_power", text)
+
+    assert 0.005 < summary["area_overhead"] < 0.03
+    assert 0.01 < summary["power_overhead"] < 0.08
+    for engine, value in summary["edp_improvement"].items():
+        assert value > 0.0, engine
+    # JS speedup exceeds Lua's, so its EDP gain does too (as in paper).
+    assert summary["edp_improvement"]["js"] > \
+        summary["edp_improvement"]["lua"]
+
+
+def test_overhead_concentrated_in_core(benchmark):
+    baseline = synthesize(typed=False)
+    typed = benchmark(synthesize, True)
+    delta_core = typed.find("Core").area_mm2 \
+        - baseline.find("Core").area_mm2
+    delta_total = typed.total_area - baseline.total_area
+    assert delta_core / delta_total > 0.85

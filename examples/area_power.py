@@ -1,0 +1,36 @@
+"""Hardware cost of the extension: the Table 8 model, interactively.
+
+Prints the module-level area/power breakdown for both configurations,
+the overhead summary, and EDP improvements for a range of speedups.
+
+Run:  python examples/area_power.py
+"""
+
+from repro.bench.experiments import table8
+from repro.hw.synthesis import (
+    area_overhead,
+    edp_improvement,
+    power_overhead,
+    synthesize,
+)
+
+
+def main():
+    _summary, text = table8()
+    print(text)
+    print()
+    report = synthesize(typed=True)
+    core = report.find("Core")
+    print("Typed core detail: %.3f mm^2, %.2f mW" % (core.area_mm2,
+                                                     core.power_mw))
+    print("Total overhead: area %+.2f%%, power %+.2f%%"
+          % (100 * area_overhead(), 100 * power_overhead()))
+    print()
+    print("EDP improvement as a function of speedup (model power ratio):")
+    for speedup in (1.00, 1.05, 1.099, 1.112, 1.20, 1.30):
+        print("  speedup %.3fx  ->  EDP %+.1f%%"
+              % (speedup, 100 * edp_improvement(speedup)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Section 5, OS interactions: context-switching the extension state.
+
+The Typed Architecture adds per-process state — register type tags and
+F/I bits, the special registers (R_offset/R_shift/R_mask/R_hdl) and the
+Type Rule Table — that an OS must save and restore across context
+switches.  This example interrupts a typed-machine Lua run mid-flight,
+simulates another process trampling that state, and resumes it twice:
+
+* with a *correct* OS (save_context/restore_context): execution continues
+  on the fast path as if nothing happened;
+* with a *naive* OS that restores only the classic register file: the
+  program still produces the right answer (type mispredictions fall back
+  to the software slow path — the architecture is safe by construction),
+  but every type check now misses and the run gets slower.
+
+Run:  python examples/os_context_switch.py
+"""
+
+from repro.engines.lua import vm as lua_vm
+
+SCRIPT = """
+local t = {}
+for i = 1, 300 do t[i] = i end
+local s = 0
+for i = 1, 300 do s = s + t[i] * 2 end
+print(s)
+"""
+
+SWITCH_AT = 15_000  # instructions before the "timer interrupt"
+
+
+def trample_extension_state(cpu):
+    """What another process (or a careless kernel) leaves behind."""
+    cpu.trt.flush()            # its own rules were flushed on exit
+    cpu.codec.set_offset(0)    # different engine, different layout
+    cpu.codec.set_shift(13)
+    cpu.codec.set_mask(0x3)
+    for index in range(1, 32):  # stale tags in the register file
+        cpu.regs.set_tag(index, 0xAA, 0)
+
+
+def run(restore_properly):
+    cpu, runtime, _program = lua_vm.prepare(SCRIPT, config="typed")
+    while not cpu.halted and cpu.instret < SWITCH_AT:
+        cpu.step()
+    saved = cpu.save_context()
+    trample_extension_state(cpu)
+    if restore_properly:
+        cpu.restore_context(saved)
+    else:
+        # The naive OS restores only the classic integer registers.
+        cpu.regs.restore(saved["regs"])
+    while not cpu.halted:
+        cpu.step()
+    return "".join(runtime.output), cpu
+
+
+def main():
+    good_output, good_cpu = run(restore_properly=True)
+    naive_output, naive_cpu = run(restore_properly=False)
+
+    print("script output (proper OS):", good_output.strip())
+    print("script output (naive OS): ", naive_output.strip())
+    assert good_output == naive_output, "correctness must never depend " \
+        "on the extension state"
+    print()
+    print("%-28s %12s %12s" % ("", "proper OS", "naive OS"))
+    print("%-28s %12d %12d" % ("type-rule-table hits",
+                               good_cpu.trt.hits, naive_cpu.trt.hits))
+    print("%-28s %12d %12d" % ("type mispredictions",
+                               good_cpu.trt.misses, naive_cpu.trt.misses))
+    print("%-28s %12d %12d" % ("instructions executed",
+                               good_cpu.instret, naive_cpu.instret))
+    print()
+    print("Saving the tags, special registers and TRT keeps the fast")
+    print("path alive across the switch; dropping them is *safe* but")
+    print("turns every later type check into a slow-path trip.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Compatibility shim: lets ``python setup.py develop`` (and older pip
+editable flows) work on machines without the ``wheel`` package; the real
+metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

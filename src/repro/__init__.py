@@ -1,0 +1,20 @@
+"""Typed Architectures (ASPLOS 2017) reproduction.
+
+A pure-Python reproduction of *Typed Architectures: Architectural Support
+for Lightweight Scripting* (Kim et al., ASPLOS 2017): an RV64 functional +
+timing-approximate simulator with the paper's ISA extension (tagged
+register file, Type Rule Table, polymorphic ALU ops, reconfigurable tag
+extract/insert), two scripting-engine substrates whose interpreters run
+*on* the simulator (MiniLua, a Lua-5.3-style register VM; MiniJS, a
+SpiderMonkey-17-style NaN-boxing stack VM), the Checked Load comparator,
+a 40nm area/power model, and a harness regenerating every table and
+figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.engines.lua import run_lua
+    result = run_lua("print(1 + 2)", config="typed")
+    print(result.output, result.counters.cycles)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,6 @@
+"""Benchmark workloads, the experiment runner, and figure/table
+regeneration for the paper's evaluation section."""
+
+from repro.bench.workloads import WORKLOADS, Workload, workload
+
+__all__ = ["WORKLOADS", "Workload", "workload"]

@@ -1,0 +1,65 @@
+"""Plain-text rendering of tables and figure series."""
+
+
+def format_table(headers, rows, title=None):
+    """Fixed-width text table."""
+    columns = [headers] + [[_cell(value) for value in row] for row in rows]
+    widths = [max(len(row[i]) for row in columns)
+              for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in columns[1:]:
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value):
+    if isinstance(value, float):
+        return "%.3f" % value
+    return str(value)
+
+
+def format_percent(value, signed=False):
+    text = "%.1f%%" % (100.0 * value)
+    if signed and value >= 0:
+        text = "+" + text
+    return text
+
+
+def format_bars(title, values, width=44, unit="", baseline=None):
+    """Horizontal ASCII bar chart for {label: value}.
+
+    ``baseline`` draws a reference tick (e.g. 1.0 for speedups).
+    """
+    if not values:
+        return title
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(str(label)) for label in values)
+    lines = [title]
+    for label, value in values.items():
+        bar_length = int(round(width * value / peak))
+        bar = "#" * bar_length
+        if baseline is not None and 0 < baseline <= peak:
+            tick = int(round(width * baseline / peak))
+            if tick >= len(bar):
+                bar = bar.ljust(tick) + "|"
+            else:
+                bar = bar[:tick] + "|" + bar[tick + 1:]
+        lines.append("%s  %s %.3f%s" % (str(label).ljust(label_width),
+                                        bar, value, unit))
+    return "\n".join(lines)
+
+
+def format_series(title, series):
+    """Render a figure as labelled rows: {label: {series_name: value}}."""
+    names = sorted({name for values in series.values() for name in values})
+    headers = ["benchmark"] + list(names)
+    rows = [[label] + [values.get(name, "") for name in names]
+            for label, values in series.items()]
+    return format_table(headers, rows, title=title)

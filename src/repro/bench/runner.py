@@ -1,0 +1,92 @@
+"""Run benchmarks over the (engine, workload, config) matrix.
+
+Results are memoised per process: the figures of Section 7 all derive
+from the same sweep.
+"""
+
+from dataclasses import dataclass
+
+from repro.bench.workloads import BENCHMARK_ORDER, workload
+from repro.engines import CONFIGS
+from repro.engines.js import run_js
+from repro.engines.lua import run_lua
+
+ENGINES = ("lua", "js")
+
+_RUNNERS = {"lua": (run_lua, "lua_source"), "js": (run_js, "js_source")}
+
+_CACHE = {}
+
+
+@dataclass
+class RunRecord:
+    """One simulated benchmark run."""
+
+    engine: str
+    benchmark: str
+    config: str
+    scale: int
+    output: str
+    counters: object
+
+    @property
+    def total_bytecodes(self):
+        return sum(self.counters.bytecode_counts.values())
+
+
+def run_benchmark(engine, benchmark, config, scale=None, use_cache=True):
+    """Run one benchmark on one engine/config; returns a RunRecord."""
+    spec = workload(benchmark)
+    scale = scale or spec.default_scale
+    key = (engine, benchmark, config, scale)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    run, source_attr = _RUNNERS[engine]
+    source = getattr(spec, source_attr)(scale)
+    result = run(source, config=config)
+    record = RunRecord(engine=engine, benchmark=benchmark, config=config,
+                       scale=scale, output=result.output,
+                       counters=result.counters)
+    if use_cache:
+        _CACHE[key] = record
+    return record
+
+
+def run_matrix(engines=ENGINES, benchmarks=BENCHMARK_ORDER,
+               configs=CONFIGS, scales=None, progress=None):
+    """Run the full sweep; returns {(engine, benchmark, config): record}.
+
+    ``scales`` optionally overrides the per-benchmark input scale;
+    ``progress`` is an optional callback invoked with each key.
+    """
+    records = {}
+    for engine in engines:
+        for benchmark in benchmarks:
+            scale = (scales or {}).get(benchmark)
+            for config in configs:
+                if progress is not None:
+                    progress((engine, benchmark, config))
+                records[(engine, benchmark, config)] = run_benchmark(
+                    engine, benchmark, config, scale=scale)
+    return records
+
+
+def verify_outputs_match(records):
+    """Check every benchmark produced identical output on all configs.
+
+    Returns the list of mismatching (engine, benchmark) pairs (empty when
+    everything agrees) — the architectural-equivalence sanity gate for
+    every experiment.
+    """
+    mismatches = []
+    seen = {}
+    for (engine, benchmark, _config), record in records.items():
+        key = (engine, benchmark)
+        if key in seen and seen[key] != record.output:
+            mismatches.append(key)
+        seen.setdefault(key, record.output)
+    return sorted(set(mismatches))
+
+
+def clear_cache():
+    _CACHE.clear()

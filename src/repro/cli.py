@@ -1,0 +1,234 @@
+"""Command-line interface: ``typedarch`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``run`` — run one benchmark on one engine/config and print counters,
+* ``sweep`` — run the full matrix and print Figures 5-9,
+* ``tables`` — print the static tables (1, 6, 7) and the Table 8 model.
+"""
+
+import argparse
+import sys
+
+from repro.bench import experiments
+from repro.bench.runner import run_benchmark, run_matrix, \
+    verify_outputs_match
+from repro.bench.workloads import BENCHMARK_ORDER
+from repro.engines import CONFIGS
+
+
+def _cmd_run(args):
+    if args.model == "scoreboard":
+        from repro.bench.workloads import workload
+        from repro.uarch.scoreboard import ScoreboardMachine
+        if args.engine == "lua":
+            from repro.engines.lua import vm as engine_vm
+        else:
+            from repro.engines.js import vm as engine_vm
+        spec = workload(args.benchmark)
+        source = spec.lua_source(args.scale) if args.engine == "lua" \
+            else spec.js_source(args.scale)
+        cpu, runtime, _program = engine_vm.prepare(source, args.config)
+        counters = ScoreboardMachine(cpu).run()
+        output = "".join(runtime.output)
+        counter_view = counters.as_dict()
+    else:
+        record = run_benchmark(args.engine, args.benchmark, args.config,
+                               scale=args.scale)
+        output = record.output
+        counter_view = record.counters.as_dict()
+    sys.stdout.write(output)
+    print("--- counters (%s model) ---" % args.model)
+    for key, value in counter_view.items():
+        print("%-20s %s" % (key, value))
+    return 0
+
+
+def _cmd_sweep(args):
+    scales = None
+    if args.quick:
+        scales = {name: max(2, spec.default_scale // 2)
+                  for name, spec in
+                  __import__("repro.bench.workloads",
+                             fromlist=["WORKLOADS"]).WORKLOADS.items()}
+
+    def progress(key):
+        print("running %s/%s [%s]..." % key, file=sys.stderr)
+
+    records = run_matrix(scales=scales,
+                         progress=progress if args.verbose else None)
+    mismatches = verify_outputs_match(records)
+    if mismatches:
+        print("OUTPUT MISMATCH across configs: %s" % mismatches)
+        return 1
+    print(experiments.render_figure2a(experiments.figure2a(records)))
+    print()
+    print(experiments.render_figure2b(experiments.figure2b(records)))
+    print()
+    print(experiments.render_figure5(experiments.figure5(records)))
+    print()
+    print(experiments.render_figure6(experiments.figure6(records)))
+    print()
+    print(experiments.render_figure7(experiments.figure7(records)))
+    print()
+    print(experiments.render_figure8(experiments.figure8(records)))
+    print()
+    print(experiments.render_figure9(experiments.figure9(records)))
+    print()
+    print(experiments.render_figure9_detail(
+        experiments.figure9_detail(records)))
+    print()
+    _summary, text = experiments.table8(records)
+    print(text)
+    if args.json:
+        import json
+        with open(args.json, "w") as handle:
+            json.dump(experiments.to_json(records), handle, indent=1,
+                      sort_keys=True)
+        print("\nwrote %s" % args.json)
+    return 0
+
+
+def _cmd_trace(args):
+    if args.engine == "lua":
+        from repro.engines.lua import vm as engine_vm
+    else:
+        from repro.engines.js import vm as engine_vm
+    from repro.bench.workloads import workload
+    from repro.sim.trace import BytecodeTracer, InstructionTracer
+
+    spec = workload(args.benchmark)
+    source = spec.lua_source(args.scale) if args.engine == "lua" \
+        else spec.js_source(args.scale)
+    cpu, runtime, program = engine_vm.prepare(source, args.config)
+    if args.bytecodes:
+        _prog, attribution = engine_vm.interpreter_program(args.config)
+        entry_points = {
+            program.base + 4 * index: attribution.entry_names[entry_id]
+            for index, entry_id in enumerate(attribution.entry_of)
+            if entry_id >= 0}
+        tracer = BytecodeTracer(cpu, entry_points, limit=args.limit)
+        tracer.run(max_instructions=args.max_instructions)
+        print(tracer.format())
+        print()
+        for name, count in sorted(tracer.counts.items(),
+                                  key=lambda kv: -kv[1]):
+            print("%-12s %d" % (name, count))
+    else:
+        tracer = InstructionTracer(cpu, limit=args.limit)
+        tracer.run(max_instructions=args.max_instructions)
+        print(tracer.format())
+    sys.stdout.write(("".join(runtime.output)) and
+                     "--- output ---\n" + "".join(runtime.output) or "")
+    return 0
+
+
+def _cmd_profile(args):
+    """Per-handler instruction profile of one benchmark run."""
+    record = run_benchmark(args.engine, args.benchmark, args.config,
+                           scale=args.scale, use_cache=False)
+    counters = record.counters
+    total = counters.core_instructions
+    buckets = sorted(counters.bucket_instructions.items(),
+                     key=lambda kv: -kv[1])
+    print("profile: %s/%s [%s], %d core instructions"
+          % (args.engine, args.benchmark, args.config, total))
+    print("%-28s %12s %7s" % ("bucket", "instructions", "share"))
+    print("-" * 49)
+    shown = 0
+    for name, instructions in buckets[:args.top]:
+        if not instructions:
+            break
+        shown += instructions
+        print("%-28s %12d %6.1f%%" % (name, instructions,
+                                      100.0 * instructions / total))
+    print("%-28s %12d %6.1f%%" % ("(other)", total - shown,
+                                  100.0 * (total - shown) / total))
+    print()
+    print("dynamic bytecodes:")
+    for name, count in sorted(counters.bytecode_counts.items(),
+                              key=lambda kv: -kv[1])[:args.top]:
+        if count:
+            print("  %-12s %d" % (name, count))
+    return 0
+
+
+def _cmd_tables(args):
+    print(experiments.table1())
+    print()
+    print(experiments.table6())
+    print()
+    print(experiments.table7())
+    print()
+    _summary, text = experiments.table8()
+    print(text)
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="typedarch",
+        description="Typed Architectures (ASPLOS'17) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one benchmark")
+    run_parser.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    run_parser.add_argument("--engine", choices=("lua", "js"),
+                            default="lua")
+    run_parser.add_argument("--config", choices=CONFIGS, default="baseline")
+    run_parser.add_argument("--scale", type=int, default=None)
+    run_parser.add_argument("--model", choices=("fast", "scoreboard"),
+                            default="fast",
+                            help="timing model (see docs/SIMULATOR.md)")
+    run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = sub.add_parser("sweep",
+                                  help="full matrix + figures 2, 5-9")
+    sweep_parser.add_argument("--quick", action="store_true",
+                              help="halve the input scales")
+    sweep_parser.add_argument("--verbose", action="store_true")
+    sweep_parser.add_argument("--json", metavar="PATH", default=None,
+                              help="also dump all figure data as JSON")
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    tables_parser = sub.add_parser("tables",
+                                   help="static tables and the hw model")
+    tables_parser.set_defaults(func=_cmd_tables)
+
+    trace_parser = sub.add_parser(
+        "trace", help="instruction or bytecode execution trace")
+    trace_parser.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    trace_parser.add_argument("--engine", choices=("lua", "js"),
+                              default="lua")
+    trace_parser.add_argument("--config", choices=CONFIGS,
+                              default="baseline")
+    trace_parser.add_argument("--scale", type=int, default=2)
+    trace_parser.add_argument("--bytecodes", action="store_true",
+                              help="trace bytecodes instead of "
+                                   "instructions")
+    trace_parser.add_argument("--limit", type=int, default=48,
+                              help="trace entries kept (tail)")
+    trace_parser.add_argument("--max-instructions", type=int,
+                              default=200_000)
+    trace_parser.set_defaults(func=_cmd_trace)
+
+    profile_parser = sub.add_parser(
+        "profile", help="per-handler instruction profile")
+    profile_parser.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    profile_parser.add_argument("--engine", choices=("lua", "js"),
+                                default="lua")
+    profile_parser.add_argument("--config", choices=CONFIGS,
+                                default="baseline")
+    profile_parser.add_argument("--scale", type=int, default=None)
+    profile_parser.add_argument("--top", type=int, default=15)
+    profile_parser.set_defaults(func=_cmd_profile)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Scripting-engine substrates: MiniLua (register VM) and MiniJS (stack VM).
+
+Each engine compiles a language subset to bytecode and interprets it with
+hand-written RV64 assembly handlers executed on the simulator, in three
+machine configurations: ``baseline`` (software type guards, as in the
+paper's Figure 1(c)), ``typed`` (the Typed Architecture extension,
+Figure 3) and ``chklb`` (the Checked Load comparator).
+"""
+
+BASELINE = "baseline"
+TYPED = "typed"
+CHECKED_LOAD = "chklb"
+
+CONFIGS = (BASELINE, CHECKED_LOAD, TYPED)

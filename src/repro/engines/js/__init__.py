@@ -1,0 +1,8 @@
+"""MiniJS: a SpiderMonkey-17-style stack VM with NaN boxing.
+
+The public entry point is :func:`repro.engines.js.vm.run_js`.
+"""
+
+from repro.engines.js.vm import JsResult, run_js
+
+__all__ = ["JsResult", "run_js"]

@@ -1,0 +1,378 @@
+"""MiniJS bytecode compiler: AST to stack-machine code.
+
+``var`` declarations are hoisted to function scope (slots allocated up
+front); function declarations are hoisted into global slots by the image
+builder.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.engines.js import jast as ast
+from repro.engines.js.opcodes import JsOp, encode
+
+
+class JsCompileError(Exception):
+    """Unsupported construct or resource overflow."""
+
+
+@dataclass
+class JsProto:
+    name: str
+    num_params: int
+    num_locals: int = 0
+    code: list = field(default_factory=list)
+    constants: list = field(default_factory=list)
+
+
+@dataclass
+class JsChunk:
+    protos: list          # index 0 = top-level code
+    globals: list         # slot -> name
+    func_globals: dict    # global name -> proto index (hoisted functions)
+
+    @property
+    def main(self):
+        return self.protos[0]
+
+
+def _hoisted_vars(block):
+    """Names declared with var/let anywhere in ``block`` (JS hoisting)."""
+    names = []
+
+    def visit(node):
+        if isinstance(node, ast.VarDecl):
+            if node.name not in names:
+                names.append(node.name)
+        elif isinstance(node, ast.Block):
+            for statement in node.statements:
+                visit(statement)
+        elif isinstance(node, ast.If):
+            visit(node.then)
+            if node.orelse is not None:
+                visit(node.orelse)
+        elif isinstance(node, (ast.While, ast.DoWhile)):
+            visit(node.body)
+        elif isinstance(node, ast.For):
+            if node.init is not None:
+                visit(node.init)
+            visit(node.body)
+        # FunctionDecl bodies have their own scope: do not descend.
+
+    visit(block)
+    return names
+
+
+class _FunctionState:
+    def __init__(self, name, params, body, top_level=False):
+        # Top-level `var` declarations are *globals* in JavaScript, so the
+        # main program binds no locals; functions hoist their own vars.
+        self.locals = {param: slot for slot, param in enumerate(params)}
+        if not top_level:
+            for var_name in _hoisted_vars(body):
+                if var_name not in self.locals:
+                    self.locals[var_name] = len(self.locals)
+        self.proto = JsProto(name=name, num_params=len(params),
+                             num_locals=max(len(self.locals), 1))
+        self.const_index = {}
+        self.break_jumps = []
+        self.continue_jumps = []
+
+    def constant(self, value):
+        key = (type(value).__name__, value)
+        index = self.const_index.get(key)
+        if index is None:
+            index = len(self.proto.constants)
+            if index > 0x7FFF:
+                raise JsCompileError("too many constants")
+            self.proto.constants.append(value)
+            self.const_index[key] = index
+        return index
+
+    def emit(self, op, imm=0):
+        self.proto.code.append(encode(op, imm))
+        return len(self.proto.code) - 1
+
+    def patch_jump(self, position, target=None):
+        if target is None:
+            target = len(self.proto.code)
+        op = JsOp(self.proto.code[position] & 0xFF)
+        self.proto.code[position] = encode(op, target - (position + 1))
+
+    def jump_to(self, op, target):
+        self.emit(op, target - (len(self.proto.code) + 1))
+
+    @property
+    def here(self):
+        return len(self.proto.code)
+
+
+class JsCompiler:
+    """Compiles a parsed program; see :func:`compile_source`."""
+
+    BUILTIN_GLOBALS = ("print", "Math", "String")
+
+    def __init__(self):
+        self.protos = []
+        self.global_slots = {}
+        self.global_names = []
+        self.func_globals = {}
+
+    def global_slot(self, name):
+        slot = self.global_slots.get(name)
+        if slot is None:
+            slot = len(self.global_names)
+            if slot > 0x7FFF:
+                raise JsCompileError("too many globals")
+            self.global_slots[name] = slot
+            self.global_names.append(name)
+        return slot
+
+    def compile(self, program):
+        for name in self.BUILTIN_GLOBALS:
+            self.global_slot(name)
+        # Hoist function declarations first so forward calls resolve.
+        top_statements = []
+        for statement in program.statements:
+            if isinstance(statement, ast.FunctionDecl):
+                self.global_slot(statement.name)
+                proto_index = len(self.protos) + 1  # main is inserted at 0
+                self.func_globals[statement.name] = proto_index
+                self.protos.append((statement.name, statement.params,
+                                    statement.body))
+            else:
+                top_statements.append(statement)
+        pending = self.protos
+        self.protos = [None] * (len(pending) + 1)
+        for offset, (name, params, body) in enumerate(pending):
+            self.protos[offset + 1] = self._compile_function(name, params,
+                                                             body)
+        self.protos[0] = self._compile_function(
+            "main", [], ast.Block(top_statements), top_level=True)
+        return JsChunk(self.protos, list(self.global_names),
+                       dict(self.func_globals))
+
+    def _compile_function(self, name, params, body, top_level=False):
+        state = _FunctionState(name, params, body, top_level=top_level)
+        self._block(state, body)
+        state.emit(JsOp.RETURN_UNDEF)
+        return state.proto
+
+    # -- statements ---------------------------------------------------------------
+    def _block(self, state, block):
+        for statement in block.statements:
+            self._statement(state, statement)
+
+    def _statement(self, state, node):
+        if isinstance(node, ast.VarDecl):
+            if node.value is not None:
+                self._expr(state, node.value)
+                slot = state.locals.get(node.name)
+                if slot is not None:
+                    state.emit(JsOp.SETLOCAL, slot)
+                else:
+                    state.emit(JsOp.SETGLOBAL,
+                               self.global_slot(node.name))
+        elif isinstance(node, ast.Assign):
+            self._assign(state, node)
+        elif isinstance(node, ast.ExprStat):
+            self._expr(state, node.expr)
+            state.emit(JsOp.POP)
+        elif isinstance(node, ast.If):
+            self._expr(state, node.condition)
+            skip = state.emit(JsOp.IFEQ)
+            self._block(state, node.then)
+            if node.orelse is not None:
+                to_end = state.emit(JsOp.JUMP)
+                state.patch_jump(skip)
+                if isinstance(node.orelse, ast.If):
+                    self._statement(state, node.orelse)
+                else:
+                    self._block(state, node.orelse)
+                state.patch_jump(to_end)
+            else:
+                state.patch_jump(skip)
+        elif isinstance(node, ast.While):
+            top = state.here
+            self._expr(state, node.condition)
+            exit_jump = state.emit(JsOp.IFEQ)
+            state.break_jumps.append([])
+            state.continue_jumps.append([])
+            self._block(state, node.body)
+            for jump in state.continue_jumps.pop():
+                state.patch_jump(jump, target=top)
+            state.jump_to(JsOp.JUMP, top)
+            state.patch_jump(exit_jump)
+            for jump in state.break_jumps.pop():
+                state.patch_jump(jump)
+        elif isinstance(node, ast.DoWhile):
+            top = state.here
+            state.break_jumps.append([])
+            state.continue_jumps.append([])
+            self._block(state, node.body)
+            # `continue` lands on the condition test.
+            for jump in state.continue_jumps.pop():
+                state.patch_jump(jump)
+            self._expr(state, node.condition)
+            state.jump_to(JsOp.IFNE, top)
+            for jump in state.break_jumps.pop():
+                state.patch_jump(jump)
+        elif isinstance(node, ast.For):
+            if node.init is not None:
+                self._statement(state, node.init)
+            top = state.here
+            exit_jump = None
+            if node.condition is not None:
+                self._expr(state, node.condition)
+                exit_jump = state.emit(JsOp.IFEQ)
+            state.break_jumps.append([])
+            state.continue_jumps.append([])
+            self._block(state, node.body)
+            # `continue` lands on the step, not the condition.
+            for jump in state.continue_jumps.pop():
+                state.patch_jump(jump)
+            if node.step is not None:
+                self._statement(state, node.step)
+            state.jump_to(JsOp.JUMP, top)
+            if exit_jump is not None:
+                state.patch_jump(exit_jump)
+            for jump in state.break_jumps.pop():
+                state.patch_jump(jump)
+        elif isinstance(node, ast.Return):
+            if node.value is None:
+                state.emit(JsOp.RETURN_UNDEF)
+            else:
+                self._expr(state, node.value)
+                state.emit(JsOp.RETURN)
+        elif isinstance(node, ast.Break):
+            if not state.break_jumps:
+                raise JsCompileError("break outside a loop")
+            state.break_jumps[-1].append(state.emit(JsOp.JUMP))
+        elif isinstance(node, ast.Continue):
+            if not state.continue_jumps:
+                raise JsCompileError("continue outside a loop")
+            state.continue_jumps[-1].append(state.emit(JsOp.JUMP))
+        elif isinstance(node, ast.FunctionDecl):
+            raise JsCompileError("nested function declarations are not "
+                                 "supported")
+        elif isinstance(node, ast.Block):
+            self._block(state, node)
+        else:
+            raise JsCompileError("unsupported statement %r" % node)
+
+    def _assign(self, state, node):
+        target = node.target
+        if isinstance(target, ast.Name):
+            slot = state.locals.get(target.name)
+            if node.op is not None:
+                self._load_name(state, target.name)
+                self._expr(state, node.value)
+                state.emit(_ARITH_OPS[node.op])
+            else:
+                self._expr(state, node.value)
+            if slot is not None:
+                state.emit(JsOp.SETLOCAL, slot)
+            else:
+                state.emit(JsOp.SETGLOBAL, self.global_slot(target.name))
+        else:  # Index
+            self._expr(state, target.obj)
+            self._expr(state, target.key)
+            if node.op is not None:
+                # Compound element assignment re-evaluates obj/key; fine
+                # for the side-effect-free subscripts the benchmarks use.
+                self._expr(state, target.obj)
+                self._expr(state, target.key)
+                state.emit(JsOp.GETELEM)
+                self._expr(state, node.value)
+                state.emit(_ARITH_OPS[node.op])
+            else:
+                self._expr(state, node.value)
+            state.emit(JsOp.SETELEM)
+
+    def _load_name(self, state, name):
+        slot = state.locals.get(name)
+        if slot is not None:
+            state.emit(JsOp.GETLOCAL, slot)
+        else:
+            state.emit(JsOp.GETGLOBAL, self.global_slot(name))
+
+    # -- expressions ----------------------------------------------------------------
+    def _expr(self, state, node):
+        if isinstance(node, ast.NumberLit):
+            state.emit(JsOp.PUSHK, state.constant(node.value))
+        elif isinstance(node, ast.StringLit):
+            state.emit(JsOp.PUSHK, state.constant(node.value))
+        elif isinstance(node, ast.BoolLit):
+            state.emit(JsOp.PUSHBOOL, 1 if node.value else 0)
+        elif isinstance(node, ast.NullLit):
+            state.emit(JsOp.NULL)
+        elif isinstance(node, ast.UndefinedLit):
+            state.emit(JsOp.UNDEF)
+        elif isinstance(node, ast.Name):
+            self._load_name(state, node.name)
+        elif isinstance(node, ast.Index):
+            self._expr(state, node.obj)
+            self._expr(state, node.key)
+            state.emit(JsOp.GETELEM)
+        elif isinstance(node, ast.BinOp):
+            self._binop(state, node)
+        elif isinstance(node, ast.Conditional):
+            self._expr(state, node.condition)
+            to_else = state.emit(JsOp.IFEQ)
+            self._expr(state, node.then)
+            to_end = state.emit(JsOp.JUMP)
+            state.patch_jump(to_else)
+            self._expr(state, node.otherwise)
+            state.patch_jump(to_end)
+        elif isinstance(node, ast.UnOp):
+            self._expr(state, node.operand)
+            state.emit({"-": JsOp.NEG, "!": JsOp.NOT,
+                        "typeof": JsOp.TYPEOF}[node.op])
+        elif isinstance(node, ast.Call):
+            self._expr(state, node.func)
+            for argument in node.args:
+                self._expr(state, argument)
+            state.emit(JsOp.CALL, len(node.args))
+        elif isinstance(node, ast.ArrayLit):
+            state.emit(JsOp.NEWARRAY, min(len(node.items), 0x7FFF))
+            for position, item in enumerate(node.items):
+                state.emit(JsOp.DUP)
+                state.emit(JsOp.PUSHK, state.constant(position))
+                self._expr(state, item)
+                state.emit(JsOp.SETELEM)
+        elif isinstance(node, ast.ObjectLit):
+            state.emit(JsOp.NEWOBJ)
+            for name, value in node.fields:
+                state.emit(JsOp.DUP)
+                state.emit(JsOp.PUSHK, state.constant(name))
+                self._expr(state, value)
+                state.emit(JsOp.SETELEM)
+        else:
+            raise JsCompileError("unsupported expression %r" % node)
+
+    def _binop(self, state, node):
+        if node.op in ("&&", "||"):
+            self._expr(state, node.left)
+            state.emit(JsOp.DUP)
+            skip = state.emit(JsOp.IFEQ if node.op == "&&" else JsOp.IFNE)
+            state.emit(JsOp.POP)
+            self._expr(state, node.right)
+            state.patch_jump(skip)
+            return
+        op = _ARITH_OPS.get(node.op) or _COMPARE_OPS.get(node.op)
+        if op is None:
+            raise JsCompileError("unsupported operator %r" % node.op)
+        self._expr(state, node.left)
+        self._expr(state, node.right)
+        state.emit(op)
+
+
+_ARITH_OPS = {"+": JsOp.ADD, "-": JsOp.SUB, "*": JsOp.MUL, "/": JsOp.DIV,
+              "%": JsOp.MOD}
+_COMPARE_OPS = {"==": JsOp.EQ, "!=": JsOp.NE, "<": JsOp.LT, "<=": JsOp.LE,
+                ">": JsOp.GT, ">=": JsOp.GE}
+
+
+def compile_source(source):
+    """Parse and compile MiniJS ``source`` into a :class:`JsChunk`."""
+    from repro.engines.js.jparser import parse
+    return JsCompiler().compile(parse(source))

@@ -1,0 +1,5 @@
+"""RV64 assembly bytecode handlers for the MiniJS interpreter."""
+
+from repro.engines.js.handlers.build import build_interpreter
+
+__all__ = ["build_interpreter"]

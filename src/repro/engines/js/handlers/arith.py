@@ -1,0 +1,245 @@
+"""Arithmetic handlers for the MiniJS stack machine.
+
+JavaScript numbers are doubles with an int32 fast representation, so the
+guard chain covers four cases: int-int (with an overflow check, since an
+overflowing int32 result must become a double), double-double, the two
+int/double mixes (converted inline, as SpiderMonkey's interpreter does),
+and the slow host path for strings and other coercions.
+
+The typed machine's misprediction handler is exactly that original guard
+chain (Section 3.2: "the type misprediction handler is nothing but the
+original code with software-based type checking"), which also gives the
+hardware overflow misprediction its correct double-producing semantics.
+"""
+
+from repro.engines import BASELINE, CHECKED_LOAD, TYPED
+from repro.engines.js.handlers import common
+
+_POLY = {"ADD": ("add", "fadd.d", "xadd"),
+         "SUB": ("sub", "fsub.d", "xsub"),
+         "MUL": ("mul", "fmul.d", "xmul")}
+
+
+def _push_result_and_dispatch():
+    """Result in t3; replace SOS, pop one slot."""
+    return """    addi s7, s7, -8
+    sd   t3, 0(s7)
+    j    dispatch
+"""
+
+
+def _guard_chain(name, int_op, float_op):
+    """Software guards: entry label {name}_guard; operands at SOS/TOS."""
+    return """{name}_guard:
+    ld   t1, -8(s7)
+    ld   t2, 0(s7)
+    li   a4, SIG_INT
+    srli t3, t1, 47
+    bne  t3, a4, {name}_left_notint
+    srli t3, t2, 47
+    bne  t3, a4, {name}_int_other
+h_{name}__ii:
+    addiw t1, t1, 0
+    addiw t2, t2, 0
+    {int_op}  t3, t1, t2
+    addiw a5, t3, 0
+    bne  t3, a5, {name}_ii_ovf
+    slli t3, t3, 32
+    srli t3, t3, 32
+    slli a5, a4, 47
+    or   t3, t3, a5
+""" + _push_result_and_dispatch() + """{name}_int_other:
+    srli t3, t2, 51
+    li   a5, NANPFX
+    beq  t3, a5, {name}_slowstub
+    addiw t1, t1, 0
+    fcvt.d.w f1, t1
+    fmv.d.x f2, t2
+    j    {name}_dd
+{name}_left_notint:
+    srli t3, t1, 51
+    li   a5, NANPFX
+    beq  t3, a5, {name}_slowstub
+    srli t3, t2, 47
+    beq  t3, a4, {name}_dbl_int
+    srli t3, t2, 51
+    beq  t3, a5, {name}_slowstub
+    fmv.d.x f1, t1
+    fmv.d.x f2, t2
+h_{name}__dd:
+{name}_dd:
+    {float_op} f1, f1, f2
+    fmv.x.d t3, f1
+""" + _push_result_and_dispatch() + """{name}_dbl_int:
+    fmv.d.x f1, t1
+    addiw t2, t2, 0
+    fcvt.d.w f2, t2
+    j    {name}_dd
+{name}_ii_ovf:
+    fcvt.d.w f1, t1
+    fcvt.d.w f2, t2
+    j    {name}_dd
+{name}_slowstub:
+    li   a3, {op_id}
+    j    arith_slow_common
+"""
+
+
+def polymorphic_handler(name, config):
+    int_op, float_op, tagged_op = _POLY[name]
+    guard = _guard_chain(name, int_op, float_op).format(
+        name=name, int_op=int_op, float_op=float_op,
+        op_id=common.ARITH_OPS[name])
+    if config == BASELINE:
+        # The handler entry falls straight into the guard chain.
+        return "h_%s:\n%s" % (name, guard)
+    if config == TYPED:
+        body = """h_{name}:
+    tld  t1, -8(s7)
+    tld  t2, 0(s7)
+    thdl {name}_guard
+    {tagged_op} t1, t1, t2
+    addi s7, s7, -8
+    tsd  t1, 0(s7)
+    j    dispatch
+""".format(name=name, tagged_op=tagged_op)
+        return body + guard
+    if config == CHECKED_LOAD:
+        # Integer-specialised: chklw fuses the (load, compare-upper-word,
+        # branch) of each operand; R_ctype holds the int32 signature.
+        body = """h_{name}:
+    thdl {name}_guard
+    chklw t1, -4(s7)
+    chklw t2, 4(s7)
+    ld   t1, -8(s7)
+    ld   t2, 0(s7)
+h_{name}__chk_ii:
+    addiw t1, t1, 0
+    addiw t2, t2, 0
+    {int_op}  t3, t1, t2
+    addiw a5, t3, 0
+    bne  t3, a5, {name}_ii_ovf
+    slli t3, t3, 32
+    srli t3, t3, 32
+    li   a5, SIG_INT
+    slli a5, a5, 47
+    or   t3, t3, a5
+""".format(name=name, int_op=int_op) + _push_result_and_dispatch()
+        return body + guard
+    raise ValueError("unknown config %r" % config)
+
+
+def div_handler():
+    """DIV: JS '/' always produces a double; both operands are converted
+    (no int fast path).  Identical in every configuration."""
+    return """h_DIV:
+DIV_guard:
+    ld   t1, -8(s7)
+    ld   t2, 0(s7)
+    li   a4, SIG_INT
+    li   a5, NANPFX
+    srli t3, t1, 47
+    beq  t3, a4, DIV_left_int
+    srli t3, t1, 51
+    beq  t3, a5, DIV_slowstub
+    fmv.d.x f1, t1
+    j    DIV_right
+DIV_left_int:
+    addiw t1, t1, 0
+    fcvt.d.w f1, t1
+DIV_right:
+    srli t3, t2, 47
+    beq  t3, a4, DIV_right_int
+    srli t3, t2, 51
+    beq  t3, a5, DIV_slowstub
+    fmv.d.x f2, t2
+    j    DIV_op
+DIV_right_int:
+    addiw t2, t2, 0
+    fcvt.d.w f2, t2
+h_DIV__dd:
+DIV_op:
+    fdiv.d f1, f1, f2
+    fmv.x.d t3, f1
+""" + _push_result_and_dispatch() + """DIV_slowstub:
+    li   a3, %d
+    j    arith_slow_common
+""" % common.ARITH_OPS["DIV"]
+
+
+def mod_handler():
+    """MOD: int-int fast path (JS '%%' truncates like rem); a zero divisor
+    or non-int operands go slow."""
+    return """h_MOD:
+MOD_guard:
+    ld   t1, -8(s7)
+    ld   t2, 0(s7)
+    li   a4, SIG_INT
+    srli t3, t1, 47
+    bne  t3, a4, MOD_slowstub
+    srli t3, t2, 47
+    bne  t3, a4, MOD_slowstub
+h_MOD__ii:
+    addiw t1, t1, 0
+    addiw t2, t2, 0
+    beqz t2, MOD_slowstub
+    rem  t3, t1, t2
+    bltz t1, MOD_negzero
+MOD_box:
+    slli t3, t3, 32
+    srli t3, t3, 32
+    slli a5, a4, 47
+    or   t3, t3, a5
+""" + _push_result_and_dispatch() + """MOD_negzero:
+    beqz t3, MOD_slowstub
+    j    MOD_box
+MOD_slowstub:
+    li   a3, %d
+    j    arith_slow_common
+""" % common.ARITH_OPS["MOD"]
+
+
+def neg_handler():
+    """NEG: int fast path (0 and INT32_MIN become doubles, so they go
+    slow); doubles flip the sign bit."""
+    return """h_NEG:
+NEG_guard:
+    ld   t1, 0(s7)
+    li   a4, SIG_INT
+    srli t3, t1, 47
+    bne  t3, a4, NEG_notint
+    addiw t2, t1, 0
+    beqz t2, NEG_slowstub
+    neg  t2, t2
+    addiw t3, t2, 0
+    bne  t2, t3, NEG_slowstub
+    slli t3, t2, 32
+    srli t3, t3, 32
+    slli a5, a4, 47
+    or   t3, t3, a5
+    sd   t3, 0(s7)
+    j    dispatch
+NEG_notint:
+    srli t3, t1, 51
+    li   a5, NANPFX
+    beq  t3, a5, NEG_slowstub
+    fmv.d.x f1, t1
+    fneg.d f1, f1
+    fmv.x.d t3, f1
+    sd   t3, 0(s7)
+    j    dispatch
+NEG_slowstub:
+    li   a3, %d
+arith_slow_unary:
+    mv   a0, s7
+    li   a7, %d
+    ecall
+    j    dispatch
+""" % (common.ARITH_OPS["NEG"], common.SVC_ARITH)
+
+
+def build(config):
+    parts = [polymorphic_handler(name, config)
+             for name in ("ADD", "SUB", "MUL")]
+    parts += [div_handler(), mod_handler(), neg_handler()]
+    return "\n".join(parts)

@@ -1,0 +1,64 @@
+"""Assemble the full MiniJS interpreter for one configuration."""
+
+from repro.engines import BASELINE, CHECKED_LOAD, TYPED
+from repro.engines.js import layout
+from repro.engines.js.handlers import arith, common, control, elem
+from repro.sim.trt import pack_rule
+
+
+def _startup(config):
+    lines = ["startup:"]
+    lines.append("    li a0, %d" % layout.BOOT_BLOCK)
+    lines.append("    ld s0, %d(a0)" % layout.BOOT_MAIN_CODE)
+    lines.append("    ld s2, %d(a0)" % layout.BOOT_MAIN_CONSTS)
+    lines.append("    ld s4, %d(a0)" % layout.BOOT_GLOBALS)
+    lines.append("    ld a5, %d(a0)" % layout.BOOT_MAIN_NLOCALS)
+    lines.append("    li s1, %d" % layout.STACK_BASE)
+    lines.append("    li s3, %d" % layout.JUMP_TABLE_ADDR)
+    lines.append("    li s5, %d" % layout.CALL_STACK_BASE)
+    lines.append("    li s6, %d" % layout.CALL_STACK_BASE)
+    # Operand stack starts empty below the frame; main's locals are
+    # pushed as undefined.
+    lines.append("    addi s7, s1, -8")
+    lines.append("    li a4, %d" % common.SIG_UNDEF)
+    lines.append("    slli a4, a4, 47")
+    lines.append("startup_initloop:")
+    lines.append("    beqz a5, startup_initdone")
+    lines.append("    addi s7, s7, 8")
+    lines.append("    sd a4, 0(s7)")
+    lines.append("    addi a5, a5, -1")
+    lines.append("    j startup_initloop")
+    lines.append("startup_initdone:")
+    if config == TYPED:
+        spr = layout.SPR_SETTINGS
+        lines.append("    li a0, %d" % spr.offset)
+        lines.append("    setoffset a0")
+        lines.append("    li a0, %d" % spr.shift)
+        lines.append("    setshift a0")
+        lines.append("    li a0, %d" % spr.mask)
+        lines.append("    setmask a0")
+        for rule in layout.TYPE_RULES:
+            lines.append("    li a0, %d" % pack_rule(rule))
+            lines.append("    set_trt a0")
+    elif config == CHECKED_LOAD:
+        lines.append("    li a0, %d" % common.CTYPE_INT_UPPER)
+        lines.append("    settype a0")
+    lines.append("    j dispatch")
+    return "\n".join(lines) + "\n"
+
+
+def build_interpreter(config):
+    """Full interpreter text for ``config`` (program-independent)."""
+    if config not in (BASELINE, TYPED, CHECKED_LOAD):
+        raise ValueError("unknown config %r" % config)
+    parts = [
+        common.equ_block(),
+        _startup(config),
+        common.dispatch_loop(),
+        arith.build(config),
+        elem.build(config),
+        control.build(),
+        common.slow_stubs(),
+        common.error_stub(),
+    ]
+    return "\n".join(parts)

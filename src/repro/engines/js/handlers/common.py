@@ -1,0 +1,210 @@
+"""Shared assembly fragments for the MiniJS stack machine.
+
+Register conventions:
+
+========  =====================================================
+``s0``    bytecode program counter
+``s1``    frame base (address of local slot 0)
+``s2``    constants base (boxed dwords)
+``s3``    handler jump table base
+``s4``    globals array base (boxed dwords)
+``s5``    call-stack top
+``s6``    call-stack base (sentinel)
+``s7``    operand-stack top-of-stack address (grows upward)
+========  =====================================================
+
+``t0`` holds the fetched bytecode word; ``t1``-``t3``, ``t4``, ``a4``,
+``a5`` are scratch.  Stack slots and constants are NaN-boxed 64-bit
+values.
+"""
+
+from repro.engines.js import layout
+
+# Host service ids (shared with repro.engines.js.runtime).
+SVC_ARITH = 2
+SVC_COMPARE = 3
+SVC_ELEM_GET = 4
+SVC_ELEM_SET = 5
+SVC_NEWARRAY = 6
+SVC_NEWOBJ = 7
+SVC_BUILTIN = 8
+SVC_ERROR = 9
+SVC_TYPEOF = 10
+
+ARITH_OPS = {"ADD": 0, "SUB": 1, "MUL": 2, "DIV": 3, "MOD": 4, "NEG": 5}
+COMPARE_OPS = {"EQ": 0, "NE": 1, "LT": 2, "LE": 3, "GT": 4, "GE": 5}
+
+# (value >> 47) signatures: 13-bit NaN prefix concatenated with the tag.
+SIG_INT = (0x1FFF << 4) | layout.TAG_INT32
+SIG_UNDEF = (0x1FFF << 4) | layout.TAG_UNDEFINED
+SIG_BOOL = (0x1FFF << 4) | layout.TAG_BOOLEAN
+SIG_STR = (0x1FFF << 4) | layout.TAG_STRING
+SIG_NULL = (0x1FFF << 4) | layout.TAG_NULL
+SIG_OBJ = (0x1FFF << 4) | layout.TAG_OBJECT
+
+# Upper-32-bit patterns for chklw (payload bits [46:32] are zero for
+# int32 payloads and for sub-4GB object pointers).
+CTYPE_INT_UPPER = ((0x1FFF << 19) | (layout.TAG_INT32 << 15)) & 0xFFFFFFFF
+CTYPE_OBJ_UPPER = ((0x1FFF << 19) | (layout.TAG_OBJECT << 15)) & 0xFFFFFFFF
+
+
+def equ_block():
+    return """
+    .equ SIG_INT, %d
+    .equ SIG_UNDEF, %d
+    .equ SIG_BOOL, %d
+    .equ SIG_STR, %d
+    .equ SIG_NULL, %d
+    .equ SIG_OBJ, %d
+    .equ NANPFX, 0x1FFF
+""" % (SIG_INT, SIG_UNDEF, SIG_BOOL, SIG_STR, SIG_NULL, SIG_OBJ)
+
+
+def dispatch_loop():
+    return """
+dispatch:
+    lw   t0, 0(s0)
+    addi s0, s0, 4
+    andi t1, t0, 0xFF
+    slli t1, t1, 3
+    add  t1, t1, s3
+    ld   t1, 0(t1)
+    jr   t1
+"""
+
+
+def imm_unsigned(dest):
+    """Instruction operand (bits 31:16) as an unsigned value."""
+    return "    srli {d}, t0, 16\n".format(d=dest)
+
+
+def jump_by_offset():
+    """Add the signed 16-bit displacement (still in t0) to the PC."""
+    return """
+    slli a5, t0, 32
+    srai a5, a5, 48
+    slli a5, a5, 2
+    add  s0, s0, a5
+"""
+
+
+def push(reg):
+    return """    addi s7, s7, 8
+    sd   {r}, 0(s7)
+""".format(r=reg)
+
+
+def pop(reg):
+    return """    ld   {r}, 0(s7)
+    addi s7, s7, -8
+""".format(r=reg)
+
+
+def box_undefined(reg):
+    return """    li   {r}, SIG_UNDEF
+    slli {r}, {r}, 47
+""".format(r=reg)
+
+
+def box_bool(value_reg, scratch):
+    """Box the 0/1 in ``value_reg`` in place."""
+    return """    li   {s}, SIG_BOOL
+    slli {s}, {s}, 47
+    or   {v}, {v}, {s}
+""".format(v=value_reg, s=scratch)
+
+
+def unbox_pointer(reg):
+    """Strip the NaN prefix and tag, leaving the 47-bit payload."""
+    return """    slli {r}, {r}, 17
+    srli {r}, {r}, 17
+""".format(r=reg)
+
+
+def truthiness(value_reg, result_reg, prefix):
+    """Set ``result_reg`` to 1 when the boxed value in ``value_reg`` is
+    *falsy* (false, 0, -0, NaN, "", null, undefined).
+
+    Clobbers t2, a4, a5 and f1/f2.
+    """
+    return """
+    srli t2, {v}, 51
+    li   a4, NANPFX
+    beq  t2, a4, {p}_boxed
+    fmv.d.x f1, {v}
+    fmv.d.x f2, zero
+    feq.d {r}, f1, f2
+    feq.d a4, f1, f1
+    xori a4, a4, 1
+    or   {r}, {r}, a4
+    j    {p}_done
+{p}_boxed:
+    srli t2, {v}, 47
+    andi t2, t2, 0xF
+    li   a4, {undef}
+    beq  t2, a4, {p}_falsy
+    li   a4, {null}
+    beq  t2, a4, {p}_falsy
+    li   a4, {str}
+    beq  t2, a4, {p}_str
+    slli {r}, {v}, 32
+    seqz {r}, {r}
+    j    {p}_done
+{p}_str:
+    slli a5, {v}, 17
+    srli a5, a5, 17
+    ld   a5, 0(a5)
+    seqz {r}, a5
+    j    {p}_done
+{p}_falsy:
+    li   {r}, 1
+{p}_done:
+""".format(v=value_reg, r=result_reg, p=prefix,
+           undef=layout.TAG_UNDEFINED, null=layout.TAG_NULL,
+           str=layout.TAG_STRING)
+
+
+def slow_stubs():
+    """Host-call tails.  Each service receives the operand-stack TOS
+    address in ``a0`` (plus an operation id in ``a3`` where relevant) and
+    manipulates the stack contents in simulated memory; the stub adjusts
+    the stack pointer afterwards."""
+    return """
+arith_slow_common:
+    mv   a0, s7
+    li   a7, %d
+    ecall
+    addi s7, s7, -8
+    j    dispatch
+compare_slow_common:
+    mv   a0, s7
+    li   a7, %d
+    ecall
+    addi s7, s7, -8
+    j    dispatch
+elem_get_slow_common:
+    mv   a0, s7
+    li   a7, %d
+    ecall
+    addi s7, s7, -8
+    j    dispatch
+elem_set_slow_common:
+    mv   a0, s7
+    li   a7, %d
+    ecall
+    addi s7, s7, -24
+    j    dispatch
+""" % (SVC_ARITH, SVC_COMPARE, SVC_ELEM_GET, SVC_ELEM_SET)
+
+
+def error_stub():
+    return """
+h_ILLEGAL:
+vm_error:
+    mv   a0, t0
+    li   a7, %d
+    ecall
+    ebreak
+vm_exit:
+    ebreak
+""" % SVC_ERROR

@@ -1,0 +1,293 @@
+"""Stack manipulation, comparison and control-flow handlers (identical
+in all machine configurations)."""
+
+from repro.engines.js import layout
+from repro.engines.js.handlers import common
+
+
+def push_constants_handlers():
+    return """h_UNDEF:
+""" + common.box_undefined("t1") + common.push("t1") + """    j dispatch
+h_NULL:
+    li   t1, SIG_NULL
+    slli t1, t1, 47
+""" + common.push("t1") + """    j dispatch
+h_PUSHBOOL:
+    srli t1, t0, 16
+    andi t1, t1, 1
+""" + common.box_bool("t1", "t2") + common.push("t1") + """    j dispatch
+h_PUSHK:
+    srli t1, t0, 16
+    slli t1, t1, 3
+    add  t1, t1, s2
+    ld   t1, 0(t1)
+""" + common.push("t1") + """    j dispatch
+"""
+
+
+def locals_globals_handlers():
+    def access(name, base, is_store):
+        body = """h_{name}:
+    srli t1, t0, 16
+    slli t1, t1, 3
+    add  t1, t1, {base}
+""".format(name=name, base=base)
+        if is_store:
+            body += common.pop("t2") + "    sd   t2, 0(t1)\n"
+        else:
+            body += "    ld   t2, 0(t1)\n" + common.push("t2")
+        return body + "    j dispatch\n"
+
+    return (access("GETLOCAL", "s1", False) + access("SETLOCAL", "s1", True)
+            + access("GETGLOBAL", "s4", False)
+            + access("SETGLOBAL", "s4", True))
+
+
+def stack_handlers():
+    return """h_DUP:
+    ld   t1, 0(s7)
+""" + common.push("t1") + """    j dispatch
+h_POP:
+    addi s7, s7, -8
+    j    dispatch
+"""
+
+
+def not_handler():
+    return ("h_NOT:\n" + common.pop("t1")
+            + common.truthiness("t1", "t3", "NOT")
+            + common.box_bool("t3", "t2") + common.push("t3")
+            + "    j dispatch\n")
+
+
+def typeof_handler():
+    """typeof: type-name strings live in the host's intern table, so
+    this is a (cheap) library call that rewrites the TOS in place."""
+    return """h_TYPEOF:
+    mv   a0, s7
+    li   a7, %d
+    ecall
+    j    dispatch
+""" % common.SVC_TYPEOF
+
+
+def _jump_conditional(name, branch_if_skip):
+    return ("h_%s:\n" % name) + common.pop("t1") \
+        + common.truthiness("t1", "t3", name) + """
+    {branch} t3, {name}_nojump
+""".format(branch=branch_if_skip, name=name) + common.jump_by_offset() + """
+{name}_nojump:
+    j    dispatch
+""".format(name=name)
+
+
+def jump_handlers():
+    return ("h_JUMP:\n" + common.jump_by_offset() + "    j dispatch\n"
+            + _jump_conditional("IFEQ", "beqz")   # skip when truthy? no:
+            + _jump_conditional("IFNE", "bnez"))
+
+
+def _compare(name, int_cmp, float_cmp, swap=False):
+    """LT/LE/GT/GE: numeric fast paths, strings and others to the host.
+
+    ``swap`` reverses operands (GT/GE reuse the LT/LE comparisons).
+    """
+    left, right = ("t2", "t1") if swap else ("t1", "t2")
+    fleft, fright = ("f2", "f1") if swap else ("f1", "f2")
+    return """h_{name}:
+    ld   t1, -8(s7)
+    ld   t2, 0(s7)
+    li   a4, SIG_INT
+    srli t3, t1, 47
+    bne  t3, a4, {name}_notii
+    srli t3, t2, 47
+    bne  t3, a4, {name}_mixed_id
+    addiw t1, t1, 0
+    addiw t2, t2, 0
+    {int_cmp}
+{name}_store:
+""".format(name=name, int_cmp=int_cmp.format(l=left, r=right)) \
+        + common.box_bool("t3", "a5") + """    addi s7, s7, -8
+    sd   t3, 0(s7)
+    j    dispatch
+{name}_notii:
+    srli t3, t1, 51
+    li   a5, NANPFX
+    beq  t3, a5, {name}_slowstub
+    fmv.d.x f1, t1
+    srli t3, t2, 47
+    beq  t3, a4, {name}_cvt_right
+    srli t3, t2, 51
+    beq  t3, a5, {name}_slowstub
+    fmv.d.x f2, t2
+    j    {name}_fcmp
+{name}_cvt_right:
+    addiw t2, t2, 0
+    fcvt.d.w f2, t2
+    j    {name}_fcmp
+{name}_mixed_id:
+    srli t3, t2, 51
+    li   a5, NANPFX
+    beq  t3, a5, {name}_slowstub
+    addiw t1, t1, 0
+    fcvt.d.w f1, t1
+    fmv.d.x f2, t2
+{name}_fcmp:
+    {float_cmp} t3, {fl}, {fr}
+    j    {name}_store
+{name}_slowstub:
+    li   a3, {op_id}
+    j    compare_slow_common
+""".format(name=name, float_cmp=float_cmp, fl=fleft, fr=fright,
+           op_id=common.COMPARE_OPS[name])
+
+
+def compare_handlers():
+    parts = [
+        _compare("LT", "slt  t3, {l}, {r}", "flt.d"),
+        _compare("LE", "slt  t3, {r}, {l}\n    xori t3, t3, 1", "fle.d"),
+        _compare("GT", "slt  t3, {l}, {r}", "flt.d", swap=True),
+        _compare("GE", "slt  t3, {r}, {l}\n    xori t3, t3, 1", "fle.d",
+                 swap=True),
+        _equality("EQ", negate=False),
+        _equality("NE", negate=True),
+    ]
+    return "\n".join(parts)
+
+
+def _equality(name, negate):
+    """Strict-style equality: identical boxes are equal (interned strings
+    compare by pointer), doubles compare by value (NaN != NaN), int/double
+    mixes convert; everything else is unequal."""
+    negate_text = "    xori t3, t3, 1\n" if negate else ""
+    return """h_{name}:
+    ld   t1, -8(s7)
+    ld   t2, 0(s7)
+    srli t3, t1, 51
+    li   a5, NANPFX
+    beq  t3, a5, {name}_left_boxed
+    srli t3, t2, 51
+    beq  t3, a5, {name}_right_boxed
+h_{name}__dd:
+    fmv.d.x f1, t1
+    fmv.d.x f2, t2
+    feq.d t3, f1, f2
+    j    {name}_store
+{name}_right_boxed:
+    srli t3, t2, 47
+    li   a4, SIG_INT
+    bne  t3, a4, {name}_false
+    fmv.d.x f1, t1
+    addiw t2, t2, 0
+    fcvt.d.w f2, t2
+    feq.d t3, f1, f2
+    j    {name}_store
+{name}_left_boxed:
+    srli t3, t2, 51
+    bne  t3, a5, {name}_left_boxed_right_dbl
+    xor  t3, t1, t2
+    seqz t3, t3
+    j    {name}_store
+{name}_left_boxed_right_dbl:
+    srli t3, t1, 47
+    li   a4, SIG_INT
+    bne  t3, a4, {name}_false
+    addiw t1, t1, 0
+    fcvt.d.w f1, t1
+    fmv.d.x f2, t2
+    feq.d t3, f1, f2
+    j    {name}_store
+{name}_false:
+    li   t3, 0
+{name}_store:
+{negate}""".format(name=name, negate=negate_text) \
+        + common.box_bool("t3", "a5") + """    addi s7, s7, -8
+    sd   t3, 0(s7)
+    j    dispatch
+"""
+
+
+def call_handler():
+    return """h_CALL:
+    srli t3, t0, 16
+    slli a5, t3, 3
+    sub  t4, s7, a5
+    ld   t1, 0(t4)
+    srli t2, t1, 47
+    li   a4, SIG_OBJ
+    bne  t2, a4, CALL_err
+""" + common.unbox_pointer("t1") + """
+    ld   t2, {kind}(t1)
+    addi t2, t2, -2
+    bnez t2, CALL_err
+    ld   t2, {native}(t1)
+    bgez t2, CALL_native
+    sd   s0, {f_pc}(s5)
+    sd   s1, {f_base}(s5)
+    sd   s2, {f_consts}(s5)
+    sd   t4, {f_dest}(s5)
+    addi s5, s5, {f_size}
+    ld   s0, {code}(t1)
+    ld   s2, {consts}(t1)
+    addi s1, t4, 8
+    ld   a5, {nlocals}(t1)
+    slli a5, a5, 3
+    add  a5, s1, a5
+    addi a5, a5, -8
+    li   a4, SIG_UNDEF
+    slli a4, a4, 47
+CALL_initloop:
+    bge  s7, a5, CALL_initdone
+    addi s7, s7, 8
+    sd   a4, 0(s7)
+    j    CALL_initloop
+CALL_initdone:
+    j    dispatch
+CALL_native:
+    mv   a0, t4
+    addi a1, t4, 8
+    srli a2, t0, 16
+    mv   a3, t2
+    li   a7, {svc}
+    ecall
+    mv   s7, t4
+    j    dispatch
+CALL_err:
+    j    vm_error
+""".format(kind=layout.OBJ_KIND, native=layout.FUNC_NATIVE_ID,
+           f_pc=layout.FRAME_SAVED_PC, f_base=layout.FRAME_SAVED_BASE,
+           f_consts=layout.FRAME_SAVED_CONSTS, f_dest=layout.FRAME_DEST_PTR,
+           f_size=layout.FRAME_SIZE, code=layout.FUNC_CODE,
+           consts=layout.FUNC_CONSTS, nlocals=layout.FUNC_NLOCALS,
+           svc=common.SVC_BUILTIN)
+
+
+def return_handlers():
+    return """h_RETURN:
+    ld   t1, 0(s7)
+    j    JRET_common
+h_RETURN_UNDEF:
+""" + common.box_undefined("t1") + """JRET_common:
+    beq  s5, s6, vm_exit_jump
+    addi s5, s5, -{f_size}
+    ld   s0, {f_pc}(s5)
+    ld   s1, {f_base}(s5)
+    ld   s2, {f_consts}(s5)
+    ld   s7, {f_dest}(s5)
+    sd   t1, 0(s7)
+    j    dispatch
+vm_exit_jump:
+    j    vm_exit
+""".format(f_size=layout.FRAME_SIZE, f_pc=layout.FRAME_SAVED_PC,
+           f_base=layout.FRAME_SAVED_BASE,
+           f_consts=layout.FRAME_SAVED_CONSTS,
+           f_dest=layout.FRAME_DEST_PTR)
+
+
+def build():
+    return "\n".join([
+        push_constants_handlers(), locals_globals_handlers(),
+        stack_handlers(), not_handler(), typeof_handler(),
+        jump_handlers(),
+        compare_handlers(), call_handler(), return_handlers(),
+    ])

@@ -1,0 +1,89 @@
+"""Build the simulated-memory image of a compiled MiniJS chunk."""
+
+from dataclasses import dataclass, field
+
+from repro.engines.js import layout
+from repro.engines.js.opcodes import NUM_OPCODES, JsOp
+from repro.engines.js.runtime import install_builtin_globals
+
+
+@dataclass
+class JsImage:
+    jump_table_addr: int
+    globals_addr: int
+    main_code_addr: int
+    main_consts_addr: int
+    main_nlocals: int
+    func_addrs: list = field(default_factory=list)
+    end: int = 0
+
+
+class _Cursor:
+    def __init__(self, base):
+        self.position = base
+
+    def take(self, nbytes, align=16):
+        self.position = (self.position + align - 1) & ~(align - 1)
+        addr = self.position
+        self.position += nbytes
+        return addr
+
+
+def build_image(chunk, runtime):
+    """Write ``chunk`` into simulated memory; returns a JsImage."""
+    mem = runtime.mem
+    cursor = _Cursor(layout.IMAGE_BASE)
+    jump_table = cursor.take(NUM_OPCODES * 8)
+
+    code_addrs = []
+    const_addrs = []
+    for proto in chunk.protos:
+        code_addr = cursor.take(len(proto.code) * 4, align=4)
+        for offset, word in enumerate(proto.code):
+            mem.store(code_addr + offset * 4, 4, word)
+        code_addrs.append(code_addr)
+        consts_addr = cursor.take(len(proto.constants) * 8)
+        for index, constant in enumerate(proto.constants):
+            runtime.write_slot(consts_addr + index * 8, constant)
+        const_addrs.append(consts_addr)
+
+    func_addrs = [None] * len(chunk.protos)
+    for index, proto in enumerate(chunk.protos):
+        func_addrs[index] = runtime.make_function(
+            code_addrs[index], const_addrs[index], proto.num_params,
+            proto.num_locals)
+
+    globals_addr = cursor.take(len(chunk.globals) * 8)
+    install_builtin_globals(runtime, globals_addr, chunk.globals,
+                            chunk.func_globals, func_addrs)
+
+    if cursor.position > layout.STACK_BASE:
+        raise ValueError("program image overflows its region")
+    assert jump_table == layout.JUMP_TABLE_ADDR
+    mem.store_u64(layout.BOOT_BLOCK + layout.BOOT_MAIN_CODE, code_addrs[0])
+    mem.store_u64(layout.BOOT_BLOCK + layout.BOOT_MAIN_CONSTS,
+                  const_addrs[0])
+    mem.store_u64(layout.BOOT_BLOCK + layout.BOOT_GLOBALS, globals_addr)
+    mem.store_u64(layout.BOOT_BLOCK + layout.BOOT_MAIN_NLOCALS,
+                  chunk.main.num_locals)
+    return JsImage(
+        jump_table_addr=jump_table,
+        globals_addr=globals_addr,
+        main_code_addr=code_addrs[0],
+        main_consts_addr=const_addrs[0],
+        main_nlocals=chunk.main.num_locals,
+        func_addrs=func_addrs,
+        end=cursor.position,
+    )
+
+
+def fill_jump_table(image, program, memory):
+    """Point every opcode slot at its handler (error stub otherwise)."""
+    fallback = program.labels["h_ILLEGAL"]
+    for opcode in range(NUM_OPCODES):
+        try:
+            label = "h_%s" % JsOp(opcode).name
+        except ValueError:
+            label = None
+        target = program.labels.get(label, fallback) if label else fallback
+        memory.store_u64(image.jump_table_addr + opcode * 8, target)

@@ -1,0 +1,156 @@
+"""AST node types for the MiniJS subset."""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Node:
+    """Base class for all MiniJS AST nodes."""
+
+
+@dataclass
+class NumberLit(Node):
+    value: object  # int (int32 range) or float
+
+
+@dataclass
+class StringLit(Node):
+    value: str
+
+
+@dataclass
+class BoolLit(Node):
+    value: bool
+
+
+@dataclass
+class NullLit(Node):
+    pass
+
+
+@dataclass
+class UndefinedLit(Node):
+    pass
+
+
+@dataclass
+class Name(Node):
+    name: str
+
+
+@dataclass
+class Index(Node):
+    """``obj[key]`` and ``obj.field`` sugar."""
+
+    obj: Node
+    key: Node
+
+
+@dataclass
+class BinOp(Node):
+    op: str
+    left: Node
+    right: Node
+
+
+@dataclass
+class UnOp(Node):
+    op: str  # '-', '!'
+    operand: Node
+
+
+@dataclass
+class Call(Node):
+    func: Node
+    args: list
+
+
+@dataclass
+class ArrayLit(Node):
+    items: list
+
+
+@dataclass
+class ObjectLit(Node):
+    fields: list  # (name, expr)
+
+
+@dataclass
+class Block(Node):
+    statements: list = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Node):
+    name: str
+    value: Optional[Node]
+
+
+@dataclass
+class Assign(Node):
+    target: Node  # Name or Index
+    value: Node
+    op: Optional[str] = None  # '+' for '+=' etc.
+
+
+@dataclass
+class ExprStat(Node):
+    expr: Node
+
+
+@dataclass
+class If(Node):
+    condition: Node
+    then: Block
+    orelse: Optional[Node]  # Block or If
+
+
+@dataclass
+class While(Node):
+    condition: Node
+    body: Block
+
+
+@dataclass
+class DoWhile(Node):
+    body: Block
+    condition: Node
+
+
+@dataclass
+class For(Node):
+    init: Optional[Node]
+    condition: Optional[Node]
+    step: Optional[Node]
+    body: Block
+
+
+@dataclass
+class Return(Node):
+    value: Optional[Node]
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+@dataclass
+class Conditional(Node):
+    """Ternary ``cond ? then : otherwise``."""
+
+    condition: Node
+    then: Node
+    otherwise: Node
+
+
+@dataclass
+class FunctionDecl(Node):
+    name: str
+    params: list
+    body: Block

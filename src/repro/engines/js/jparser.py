@@ -1,0 +1,329 @@
+"""Recursive-descent parser for the MiniJS subset.
+
+Supported: ``var``/``let`` declarations, function declarations,
+assignments (plain and compound), ``if``/``else``, ``while``,
+C-style ``for``, ``return``, ``break``, arrays, object literals, member
+and index access, calls, and the usual expression operators with
+JavaScript precedences.  ``x++``/``x--`` statements desugar to compound
+assignments.
+"""
+
+from repro.engines.js import jast as ast
+from repro.engines.js.lexer import JsSyntaxError, tokenize
+
+_BINARY_PRECEDENCE = {
+    "||": 1, "&&": 2,
+    "==": 3, "!=": 3, "===": 3, "!==": 3,
+    "<": 4, ">": 4, "<=": 4, ">=": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6, "%": 6,
+}
+_UNARY_PRECEDENCE = 7
+
+
+class Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    @property
+    def current(self):
+        return self.tokens[self.pos]
+
+    def error(self, message):
+        raise JsSyntaxError("line %d: %s (got %r)"
+                            % (self.current.line, message,
+                               self.current.value))
+
+    def advance(self):
+        token = self.current
+        self.pos += 1
+        return token
+
+    def check(self, kind, value=None):
+        token = self.current
+        return token.kind == kind and (value is None or token.value == value)
+
+    def accept(self, kind, value=None):
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind, value=None):
+        token = self.accept(kind, value)
+        if token is None:
+            self.error("expected %s %r" % (kind, value))
+        return token
+
+    # -- program ------------------------------------------------------------
+    def parse_program(self):
+        statements = []
+        while self.current.kind != "eof":
+            statements.append(self.parse_statement())
+        return ast.Block(statements)
+
+    def parse_block(self):
+        self.expect("op", "{")
+        statements = []
+        while not self.check("op", "}"):
+            statements.append(self.parse_statement())
+        self.expect("op", "}")
+        return ast.Block(statements)
+
+    def _block_or_statement(self):
+        if self.check("op", "{"):
+            return self.parse_block()
+        return ast.Block([self.parse_statement()])
+
+    # -- statements -----------------------------------------------------------
+    def parse_statement(self):
+        token = self.current
+        if token.kind == "keyword":
+            if token.value in ("var", "let"):
+                statement = self._parse_var()
+                self.accept("op", ";")
+                return statement
+            if token.value == "function":
+                return self._parse_function()
+            if token.value == "if":
+                return self._parse_if()
+            if token.value == "while":
+                return self._parse_while()
+            if token.value == "do":
+                return self._parse_do_while()
+            if token.value == "for":
+                return self._parse_for()
+            if token.value == "return":
+                self.advance()
+                value = None
+                if not (self.check("op", ";") or self.check("op", "}")
+                        or self.current.kind == "eof"):
+                    value = self.parse_expression()
+                self.accept("op", ";")
+                return ast.Return(value)
+            if token.value == "break":
+                self.advance()
+                self.accept("op", ";")
+                return ast.Break()
+            if token.value == "continue":
+                self.advance()
+                self.accept("op", ";")
+                return ast.Continue()
+        if self.check("op", "{"):
+            return self.parse_block()
+        statement = self._parse_expr_statement()
+        self.accept("op", ";")
+        return statement
+
+    def _parse_var(self):
+        self.advance()  # var / let
+        name = self.expect("name").value
+        value = None
+        if self.accept("op", "="):
+            value = self.parse_expression()
+        return ast.VarDecl(name, value)
+
+    def _parse_function(self):
+        self.expect("keyword", "function")
+        name = self.expect("name").value
+        self.expect("op", "(")
+        params = []
+        if not self.check("op", ")"):
+            while True:
+                params.append(self.expect("name").value)
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        body = self.parse_block()
+        return ast.FunctionDecl(name, params, body)
+
+    def _parse_if(self):
+        self.expect("keyword", "if")
+        self.expect("op", "(")
+        condition = self.parse_expression()
+        self.expect("op", ")")
+        then = self._block_or_statement()
+        orelse = None
+        if self.accept("keyword", "else"):
+            if self.check("keyword", "if"):
+                orelse = self._parse_if()
+            else:
+                orelse = self._block_or_statement()
+        return ast.If(condition, then, orelse)
+
+    def _parse_while(self):
+        self.expect("keyword", "while")
+        self.expect("op", "(")
+        condition = self.parse_expression()
+        self.expect("op", ")")
+        return ast.While(condition, self._block_or_statement())
+
+    def _parse_do_while(self):
+        self.expect("keyword", "do")
+        body = self._block_or_statement()
+        self.expect("keyword", "while")
+        self.expect("op", "(")
+        condition = self.parse_expression()
+        self.expect("op", ")")
+        self.accept("op", ";")
+        return ast.DoWhile(body, condition)
+
+    def _parse_for(self):
+        self.expect("keyword", "for")
+        self.expect("op", "(")
+        init = None
+        if not self.check("op", ";"):
+            if self.check("keyword", "var") or self.check("keyword", "let"):
+                init = self._parse_var()
+            else:
+                init = self._parse_expr_statement()
+        self.expect("op", ";")
+        condition = None
+        if not self.check("op", ";"):
+            condition = self.parse_expression()
+        self.expect("op", ";")
+        step = None
+        if not self.check("op", ")"):
+            step = self._parse_expr_statement()
+        self.expect("op", ")")
+        return ast.For(init, condition, step, self._block_or_statement())
+
+    _COMPOUND = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%"}
+
+    def _parse_expr_statement(self):
+        expr = self.parse_expression()
+        token = self.current
+        if token.kind == "op" and token.value == "=":
+            self.advance()
+            if not isinstance(expr, (ast.Name, ast.Index)):
+                self.error("invalid assignment target")
+            return ast.Assign(expr, self.parse_expression())
+        if token.kind == "op" and token.value in self._COMPOUND:
+            self.advance()
+            if not isinstance(expr, (ast.Name, ast.Index)):
+                self.error("invalid assignment target")
+            return ast.Assign(expr, self.parse_expression(),
+                              op=self._COMPOUND[token.value])
+        if token.kind == "op" and token.value in ("++", "--"):
+            self.advance()
+            if not isinstance(expr, (ast.Name, ast.Index)):
+                self.error("invalid increment target")
+            return ast.Assign(expr, ast.NumberLit(1),
+                              op="+" if token.value == "++" else "-")
+        return ast.ExprStat(expr)
+
+    # -- expressions ------------------------------------------------------------
+    def parse_expression(self, limit=0):
+        expr = self._parse_binary(limit)
+        if limit == 0 and self.accept("op", "?"):
+            then = self.parse_expression()
+            self.expect("op", ":")
+            otherwise = self.parse_expression()
+            return ast.Conditional(expr, then, otherwise)
+        return expr
+
+    def _parse_binary(self, limit=0):
+        token = self.current
+        if token.kind == "op" and token.value in ("-", "!"):
+            self.advance()
+            operand = self.parse_expression(_UNARY_PRECEDENCE)
+            if token.value == "-" and isinstance(operand, ast.NumberLit):
+                left = ast.NumberLit(-operand.value)
+            else:
+                left = ast.UnOp(token.value, operand)
+        elif token.kind == "keyword" and token.value == "typeof":
+            self.advance()
+            left = ast.UnOp("typeof",
+                            self.parse_expression(_UNARY_PRECEDENCE))
+        else:
+            left = self._parse_postfix()
+        while True:
+            token = self.current
+            op = token.value if token.kind == "op" else None
+            precedence = _BINARY_PRECEDENCE.get(op)
+            if precedence is None or precedence <= limit:
+                return left
+            self.advance()
+            right = self.parse_expression(precedence)
+            # Strict operators behave like loose ones in this subset.
+            canonical = {"===": "==", "!==": "!="}.get(op, op)
+            left = ast.BinOp(canonical, left, right)
+
+    def _parse_postfix(self):
+        expr = self._parse_primary()
+        while True:
+            if self.accept("op", "."):
+                field = self.expect("name").value
+                expr = ast.Index(expr, ast.StringLit(field))
+            elif self.accept("op", "["):
+                key = self.parse_expression()
+                self.expect("op", "]")
+                expr = ast.Index(expr, key)
+            elif self.check("op", "("):
+                self.advance()
+                args = []
+                if not self.check("op", ")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                expr = ast.Call(expr, args)
+            else:
+                return expr
+
+    def _parse_primary(self):
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            return ast.NumberLit(token.value)
+        if token.kind == "string":
+            self.advance()
+            return ast.StringLit(token.value)
+        if token.kind == "name":
+            self.advance()
+            return ast.Name(token.value)
+        if token.kind == "keyword":
+            if token.value in ("true", "false"):
+                self.advance()
+                return ast.BoolLit(token.value == "true")
+            if token.value == "null":
+                self.advance()
+                return ast.NullLit()
+            if token.value == "undefined":
+                self.advance()
+                return ast.UndefinedLit()
+        if self.accept("op", "("):
+            expr = self.parse_expression()
+            self.expect("op", ")")
+            return expr
+        if self.check("op", "["):
+            self.advance()
+            items = []
+            if not self.check("op", "]"):
+                while True:
+                    items.append(self.parse_expression())
+                    if not self.accept("op", ","):
+                        break
+            self.expect("op", "]")
+            return ast.ArrayLit(items)
+        if self.check("op", "{"):
+            self.advance()
+            fields = []
+            if not self.check("op", "}"):
+                while True:
+                    key = self.advance()
+                    if key.kind not in ("name", "string"):
+                        self.error("expected property name")
+                    self.expect("op", ":")
+                    fields.append((key.value, self.parse_expression()))
+                    if not self.accept("op", ","):
+                        break
+            self.expect("op", "}")
+            return ast.ObjectLit(fields)
+        self.error("unexpected token in expression")
+
+
+def parse(source):
+    """Parse MiniJS ``source`` into a Block AST."""
+    return Parser(tokenize(source)).parse_program()

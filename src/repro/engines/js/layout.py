@@ -1,0 +1,81 @@
+"""Memory map, NaN-boxed value tags and object layouts of the MiniJS VM.
+
+Values are single 64-bit double-words: canonical doubles stored as their
+own bit pattern, everything else boxed in the NaN space with a 4-bit type
+tag at bits [50:47] and a 47-bit payload — the SpiderMonkey layout of
+Section 4.2 that Table 4 configures the tag extractor for (``R_offset`` =
+0b100: NaN detection, same double-word; shift 47; mask 0x0F).
+"""
+
+from repro.isa.extension import (
+    SPIDERMONKEY_SPR,
+    TypeRule,
+    arithmetic_rules,
+)
+
+# -- memory map (same regions as the Lua VM) -----------------------------------
+CODE_BASE = 0x0001_0000
+IMAGE_BASE = 0x0010_0000
+STACK_BASE = 0x0020_0000       # operand/locals stack (8-byte slots)
+CALL_STACK_BASE = 0x0028_0000
+HEAP_BASE = 0x0030_0000
+MEMORY_SIZE = 0x0200_0000
+
+VALUE_SIZE = 8
+
+# Boot block: program-specific launch parameters read by the cached,
+# program-independent interpreter text.  The jump table sits at
+# IMAGE_BASE itself.
+BOOT_BLOCK = IMAGE_BASE - 64
+BOOT_MAIN_CODE = 0
+BOOT_MAIN_CONSTS = 8
+BOOT_GLOBALS = 16
+BOOT_MAIN_NLOCALS = 24
+JUMP_TABLE_ADDR = IMAGE_BASE
+
+# -- 4-bit JSVAL type tags (SpiderMonkey 17 encoding) ----------------------------
+TAG_DOUBLE = 0    # pseudo-tag reported by the NaN-detect extractor
+TAG_INT32 = 1
+TAG_UNDEFINED = 2
+TAG_BOOLEAN = 3
+TAG_STRING = 5
+TAG_NULL = 6
+TAG_OBJECT = 7    # objects, arrays and functions
+
+NAN_PREFIX_17 = 0x1FFF1  # (value >> 47) for an int32 box, used by guards
+
+# -- object layouts ---------------------------------------------------------------
+# Array/object header.  Arrays keep dense elements in simulated memory;
+# plain-object properties and sparse keys live in the host's hash part.
+OBJ_ELEMS_PTR = 0
+OBJ_CAPACITY = 8
+OBJ_LENGTH = 16
+OBJ_KIND = 24           # 0 = array, 1 = plain object, 2 = function
+OBJ_SIZE = 32
+
+# Function descriptor (kind == 2).
+FUNC_CODE = 32
+FUNC_CONSTS = 40
+FUNC_NARGS = 48
+FUNC_NLOCALS = 56
+FUNC_NATIVE_ID = 64     # >= 0: native builtin; -1: bytecode function
+FUNC_SIZE = 72
+
+# String object.
+STRING_LENGTH = 0
+STRING_BYTES = 8
+
+# Call-stack activation record.
+FRAME_SAVED_PC = 0
+FRAME_SAVED_BASE = 8
+FRAME_SAVED_CONSTS = 16
+FRAME_DEST_PTR = 24     # callee slot in the caller's operand stack
+FRAME_SIZE = 32
+
+SPR_SETTINGS = SPIDERMONKEY_SPR
+
+# Table 5: arithmetic rules over Int/Double, plus the Object-Int rule for
+# GETELEM/SETELEM's tchk.
+TYPE_RULES = (arithmetic_rules(int_tag=TAG_INT32, float_tag=TAG_DOUBLE)
+              + [TypeRule("tchk", TAG_OBJECT, TAG_INT32, TAG_OBJECT),
+                 TypeRule("tchk", TAG_INT32, TAG_OBJECT, TAG_OBJECT)])

@@ -1,0 +1,135 @@
+"""Tokenizer for the MiniJS subset."""
+
+from dataclasses import dataclass
+
+KEYWORDS = frozenset(
+    ["var", "let", "function", "if", "else", "while", "do", "for",
+     "return", "break", "continue", "true", "false", "null", "undefined",
+     "new", "typeof"])
+
+OPERATORS = ("===", "!==", "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+             "+=", "-=", "*=", "/=", "%=",
+             "+", "-", "*", "/", "%", "!", "<", ">", "=", "(", ")",
+             "{", "}", "[", "]", ";", ",", ".", ":", "?")
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", '"': '"',
+            "'": "'", "0": "\0", "b": "\b", "f": "\f", "v": "\v"}
+
+
+class JsSyntaxError(SyntaxError):
+    """Lexical or syntactic error in MiniJS source."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'name', 'number', 'string', 'keyword', 'op', 'eof'
+    value: object
+    line: int
+
+
+INT32_MIN, INT32_MAX = -(1 << 31), (1 << 31) - 1
+
+
+def tokenize(source):
+    """Tokenize ``source``; integer literals in int32 range stay ints
+    (the engine's int32 fast-path representation), everything else is a
+    double."""
+    tokens = []
+    pos = 0
+    line = 1
+    length = len(source)
+
+    def error(message):
+        raise JsSyntaxError("line %d: %s" % (line, message))
+
+    while pos < length:
+        char = source[pos]
+        if char == "\n":
+            line += 1
+            pos += 1
+            continue
+        if char in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = length if end < 0 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                error("unterminated block comment")
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if char.isdigit() or (char == "." and pos + 1 < length
+                              and source[pos + 1].isdigit()):
+            start = pos
+            is_float = False
+            if source.startswith(("0x", "0X"), pos):
+                pos += 2
+                while pos < length and source[pos] in \
+                        "0123456789abcdefABCDEF":
+                    pos += 1
+                value = int(source[start:pos], 16)
+            else:
+                while pos < length and source[pos].isdigit():
+                    pos += 1
+                if pos < length and source[pos] == ".":
+                    is_float = True
+                    pos += 1
+                    while pos < length and source[pos].isdigit():
+                        pos += 1
+                if pos < length and source[pos] in "eE":
+                    is_float = True
+                    pos += 1
+                    if pos < length and source[pos] in "+-":
+                        pos += 1
+                    while pos < length and source[pos].isdigit():
+                        pos += 1
+                text = source[start:pos]
+                value = float(text) if is_float else int(text)
+            if isinstance(value, int) and not INT32_MIN <= value <= INT32_MAX:
+                value = float(value)
+            tokens.append(Token("number", value, line))
+            continue
+        if char.isalpha() or char in "_$":
+            start = pos
+            while pos < length and (source[pos].isalnum()
+                                    or source[pos] in "_$"):
+                pos += 1
+            word = source[start:pos]
+            tokens.append(Token("keyword" if word in KEYWORDS else "name",
+                                word, line))
+            continue
+        if char in "\"'":
+            quote = char
+            pos += 1
+            parts = []
+            while pos < length and source[pos] != quote:
+                piece = source[pos]
+                if piece == "\\":
+                    pos += 1
+                    if pos >= length:
+                        error("unterminated escape")
+                    piece = _ESCAPES.get(source[pos])
+                    if piece is None:
+                        error("unknown escape \\%s" % source[pos])
+                elif piece == "\n":
+                    error("unterminated string")
+                parts.append(piece)
+                pos += 1
+            if pos >= length:
+                error("unterminated string")
+            pos += 1
+            tokens.append(Token("string", "".join(parts), line))
+            continue
+        for operator in OPERATORS:
+            if source.startswith(operator, pos):
+                tokens.append(Token("op", operator, line))
+                pos += len(operator)
+                break
+        else:
+            error("unexpected character %r" % char)
+    tokens.append(Token("eof", None, line))
+    return tokens

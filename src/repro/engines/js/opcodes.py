@@ -1,0 +1,75 @@
+"""MiniJS bytecode: a SpiderMonkey-style stack machine.
+
+Each instruction is a 32-bit word: opcode in bits [7:0] and one optional
+16-bit signed operand in bits [31:16] (constant index, local slot, global
+slot, argument count, or jump displacement in instruction units relative
+to the incremented PC).
+
+SpiderMonkey 17 defines 229 bytecodes with variable-length encodings;
+this VM implements the ~30 its benchmarks need, fixed-width.  The five
+hot bytecodes the paper retargets map to ADD/SUB/MUL/GETELEM/SETELEM
+(Table 3).
+"""
+
+from enum import IntEnum
+
+
+class JsOp(IntEnum):
+    UNDEF = 0        # push undefined
+    NULL = 1
+    PUSHBOOL = 2     # imm: 0/1
+    PUSHK = 3        # imm: constant index
+    GETLOCAL = 4     # imm: slot
+    SETLOCAL = 5     # imm: slot (pops)
+    GETGLOBAL = 6    # imm: global slot
+    SETGLOBAL = 7    # imm: global slot (pops)
+    DUP = 8
+    POP = 9
+    ADD = 10
+    SUB = 11
+    MUL = 12
+    DIV = 13
+    MOD = 14
+    NEG = 15
+    NOT = 16
+    EQ = 17
+    NE = 18
+    LT = 19
+    LE = 20
+    GT = 21
+    GE = 22
+    GETELEM = 23     # St[-2] = St[-2][St[-1]], pop 1
+    SETELEM = 24     # St[-3][St[-2]] = St[-1], pop 3
+    NEWARRAY = 25    # imm: capacity hint
+    NEWOBJ = 26
+    JUMP = 27        # imm: displacement
+    IFEQ = 28        # pop; jump if falsy
+    IFNE = 29        # pop; jump if truthy
+    CALL = 30        # imm: nargs; callee below the args
+    RETURN = 31      # pop result, return it
+    RETURN_UNDEF = 32
+    TYPEOF = 33      # replace TOS with its type-name string
+
+    @property
+    def is_jump(self):
+        return self in (JsOp.JUMP, JsOp.IFEQ, JsOp.IFNE)
+
+
+NUM_OPCODES = 64  # jump-table capacity (unused slots trap)
+
+HOT_BYTECODES = (JsOp.ADD, JsOp.SUB, JsOp.MUL, JsOp.GETELEM, JsOp.SETELEM)
+
+
+def encode(op, imm=0):
+    """Encode one instruction."""
+    if not -(1 << 15) <= imm < (1 << 15):
+        raise ValueError("operand %d out of 16-bit range" % imm)
+    return int(op) | ((imm & 0xFFFF) << 16)
+
+
+def decode(word):
+    """Decode to ``(op, imm)`` with a sign-extended operand."""
+    imm = (word >> 16) & 0xFFFF
+    if imm >= 1 << 15:
+        imm -= 1 << 16
+    return JsOp(word & 0xFF), imm

@@ -1,0 +1,608 @@
+"""MiniJS runtime services (the native-library stand-in).
+
+Same philosophy as :mod:`repro.engines.lua.runtime`: the assembly fast
+paths cover int32/double arithmetic and dense-array element access;
+string building, property maps, coercions, allocation and builtins run
+host-side with calibrated native-instruction costs.
+"""
+
+import math
+import struct
+
+from repro.engines.js import layout
+from repro.engines.js.handlers import common
+from repro.sim import nanbox
+from repro.sim.hostcall import HostInterface
+
+MASK64 = (1 << 64) - 1
+CANONICAL_NAN = 0x7FF8000000000000
+
+
+class JsError(Exception):
+    """A MiniJS runtime error (uncaught; aborts the VM)."""
+
+
+class JsNull:
+    """Singleton marker for JavaScript ``null`` (None is undefined)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "null"
+
+
+NULL = JsNull()
+
+
+class JsObjectRef:
+    """Reference to an object/array/function in simulated memory."""
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr):
+        self.addr = addr
+
+    def __eq__(self, other):
+        return isinstance(other, JsObjectRef) and other.addr == self.addr
+
+    def __hash__(self):
+        return hash(("jsobj", self.addr))
+
+
+def js_number_string(value):
+    """Format a number the way JavaScript's ToString does (simplified)."""
+    if isinstance(value, int):
+        return "%d" % value
+    if value != value:
+        return "NaN"
+    if value == math.inf:
+        return "Infinity"
+    if value == -math.inf:
+        return "-Infinity"
+    if value.is_integer() and abs(value) < (1 << 53):
+        return "%d" % int(value)
+    return repr(value)
+
+
+HOST_COSTS = {
+    "arith_slow": 55,
+    "compare_slow": 70,
+    "elem_get": 110,
+    "elem_set": 130,
+    "newarray": 160,
+    "newobj": 170,
+    "print": 450,
+    "write": 280,
+    "math_sqrt": 30,
+    "math_floor": 25,
+    "math_abs": 20,
+    "math_max": 22,
+    "math_min": 22,
+    "math_pow": 60,
+    "substring": 95,
+    "charCodeAt": 40,
+    "fromCharCode": 60,
+}
+
+_BUILTIN_NAMES = ("print", "write", "math_sqrt", "math_floor", "math_abs",
+                  "math_max", "math_min", "math_pow", "substring",
+                  "charCodeAt", "fromCharCode")
+BUILTIN_IDS = {name: index for index, name in enumerate(_BUILTIN_NAMES)}
+
+
+class JsRuntime:
+    """Host-side state: heap, strings, property maps, output buffer."""
+
+    def __init__(self, memory):
+        self.mem = memory
+        self.heap = layout.HEAP_BASE
+        self.strings = {}
+        self.string_at = {}
+        self.hash_parts = {}  # object addr -> {key: boxed dword}
+        self.output = []
+
+    # -- allocation ---------------------------------------------------------
+    def alloc(self, nbytes, align=16):
+        self.heap = (self.heap + align - 1) & ~(align - 1)
+        addr = self.heap
+        self.heap += nbytes
+        if self.heap > self.mem.size:
+            raise JsError("simulated heap exhausted")
+        return addr
+
+    def intern(self, text):
+        addr = self.strings.get(text)
+        if addr is None:
+            data = text.encode("latin-1", errors="replace")
+            addr = self.alloc(layout.STRING_BYTES + len(data))
+            self.mem.store_u64(addr + layout.STRING_LENGTH, len(data))
+            self.mem.write_bytes(addr + layout.STRING_BYTES, data)
+            self.strings[text] = addr
+            self.string_at[addr] = text
+        return addr
+
+    def make_array(self, capacity=4, kind=0):
+        capacity = max(capacity, 4)
+        addr = self.alloc(layout.OBJ_SIZE)
+        elems = self.alloc(capacity * layout.VALUE_SIZE)
+        undefined = nanbox.box(layout.TAG_UNDEFINED, 0)
+        for slot in range(capacity):
+            self.mem.store_u64(elems + slot * 8, undefined)
+        self.mem.store_u64(addr + layout.OBJ_ELEMS_PTR, elems)
+        self.mem.store_u64(addr + layout.OBJ_CAPACITY, capacity)
+        self.mem.store_u64(addr + layout.OBJ_LENGTH, 0)
+        self.mem.store_u64(addr + layout.OBJ_KIND, kind)
+        self.hash_parts[addr] = {}
+        return addr
+
+    def make_object(self):
+        return self.make_array(capacity=4, kind=1)
+
+    def make_function(self, code_addr, consts_addr, nargs, nlocals,
+                      native_id=-1):
+        addr = self.alloc(layout.FUNC_SIZE)
+        self.mem.store_u64(addr + layout.OBJ_KIND, 2)
+        self.mem.store_u64(addr + layout.FUNC_CODE, code_addr)
+        self.mem.store_u64(addr + layout.FUNC_CONSTS, consts_addr)
+        self.mem.store_u64(addr + layout.FUNC_NARGS, nargs)
+        self.mem.store_u64(addr + layout.FUNC_NLOCALS, max(nlocals, 1))
+        self.mem.store_u64(addr + layout.FUNC_NATIVE_ID,
+                           native_id & MASK64)
+        self.hash_parts[addr] = {}
+        return addr
+
+    def make_native(self, builtin_name):
+        return self.make_function(0, 0, 0, 1,
+                                  native_id=BUILTIN_IDS[builtin_name])
+
+    # -- boxing ---------------------------------------------------------------
+    def box(self, value):
+        if value is None:
+            return nanbox.box(layout.TAG_UNDEFINED, 0)
+        if value is NULL:
+            return nanbox.box(layout.TAG_NULL, 0)
+        if value is True or value is False:
+            return nanbox.box(layout.TAG_BOOLEAN, int(value))
+        if isinstance(value, int):
+            if nanbox.fits_int32(value):
+                return nanbox.box_int32(layout.TAG_INT32, value)
+            return self.box(float(value))
+        if isinstance(value, float):
+            bits = nanbox.double_to_bits(value)
+            return CANONICAL_NAN if nanbox.is_boxed(bits) else bits
+        if isinstance(value, str):
+            return nanbox.box(layout.TAG_STRING, self.intern(value))
+        if isinstance(value, JsObjectRef):
+            return nanbox.box(layout.TAG_OBJECT, value.addr)
+        raise JsError("cannot box %r" % value)
+
+    def unbox(self, dword):
+        if not nanbox.is_boxed(dword):
+            return nanbox.bits_to_double(dword)
+        tag = nanbox.boxed_tag(dword)
+        payload = nanbox.boxed_payload(dword)
+        if tag == layout.TAG_INT32:
+            return nanbox.unbox_int32(dword)
+        if tag == layout.TAG_UNDEFINED:
+            return None
+        if tag == layout.TAG_NULL:
+            return NULL
+        if tag == layout.TAG_BOOLEAN:
+            return bool(payload)
+        if tag == layout.TAG_STRING:
+            return self.string_at[payload]
+        if tag == layout.TAG_OBJECT:
+            return JsObjectRef(payload)
+        raise JsError("unknown tag %d in %#x" % (tag, dword))
+
+    def read_slot(self, addr):
+        return self.unbox(self.mem.load_u64(addr))
+
+    def write_slot(self, addr, value):
+        self.mem.store_u64(addr, self.box(value))
+
+    # -- coercion ----------------------------------------------------------------
+    @staticmethod
+    def to_number(value):
+        """JavaScript ToNumber."""
+        if value is None:
+            return float("nan")
+        if value is NULL:
+            return 0
+        if value is True:
+            return 1
+        if value is False:
+            return 0
+        if isinstance(value, (int, float)):
+            return value
+        if isinstance(value, str):
+            text = value.strip()
+            if not text:
+                return 0
+            try:
+                return int(text, 0) if not any(c in text for c in ".eE") \
+                    or text.startswith("0x") else float(text)
+            except ValueError:
+                try:
+                    return float(text)
+                except ValueError:
+                    return float("nan")
+        return float("nan")
+
+    def to_string(self, value):
+        if value is None:
+            return "undefined"
+        if value is NULL:
+            return "null"
+        if value is True:
+            return "true"
+        if value is False:
+            return "false"
+        if isinstance(value, (int, float)):
+            return js_number_string(value)
+        if isinstance(value, str):
+            return value
+        if isinstance(value, JsObjectRef):
+            kind = self.mem.load_u64(value.addr + layout.OBJ_KIND)
+            if kind == 2:
+                return "function"
+            if kind == 0:
+                length = self.mem.load_u64(value.addr + layout.OBJ_LENGTH)
+                return ",".join(
+                    self.to_string(self.element_get(value, index))
+                    for index in range(length))
+            return "[object Object]"
+        raise JsError("cannot stringify %r" % value)
+
+    # -- element access -----------------------------------------------------------
+    def element_get(self, obj, key):
+        if isinstance(obj, str):
+            if key == "length":
+                return len(obj)
+            if isinstance(key, (int, float)) and not isinstance(key, bool):
+                index = int(key)
+                if 0 <= index < len(obj):
+                    return obj[index]
+            return None
+        if not isinstance(obj, JsObjectRef):
+            raise JsError("cannot read property of %r" % (obj,))
+        kind = self.mem.load_u64(obj.addr + layout.OBJ_KIND)
+        if isinstance(key, float) and key.is_integer():
+            key = int(key)
+        if kind == 0 and isinstance(key, int) and not isinstance(key, bool):
+            length = self.mem.load_u64(obj.addr + layout.OBJ_LENGTH)
+            if 0 <= key < length:
+                elems = self.mem.load_u64(obj.addr + layout.OBJ_ELEMS_PTR)
+                return self.unbox(self.mem.load_u64(elems + key * 8))
+            boxed = self.hash_parts[obj.addr].get(key)
+            return None if boxed is None else self.unbox(boxed)
+        if key == "length" and kind == 0:
+            dense = self.mem.load_u64(obj.addr + layout.OBJ_LENGTH)
+            sparse = [k for k in self.hash_parts[obj.addr]
+                      if isinstance(k, int)]
+            return max([dense] + [k + 1 for k in sparse])
+        boxed = self.hash_parts[obj.addr].get(key)
+        return None if boxed is None else self.unbox(boxed)
+
+    def element_set(self, obj, key, boxed_value):
+        if not isinstance(obj, JsObjectRef):
+            raise JsError("cannot set property of %r" % (obj,))
+        kind = self.mem.load_u64(obj.addr + layout.OBJ_KIND)
+        if isinstance(key, float) and key.is_integer():
+            key = int(key)
+        if kind == 0 and isinstance(key, int) and not isinstance(key, bool) \
+                and key >= 0:
+            length = self.mem.load_u64(obj.addr + layout.OBJ_LENGTH)
+            capacity = self.mem.load_u64(obj.addr + layout.OBJ_CAPACITY)
+            elems = self.mem.load_u64(obj.addr + layout.OBJ_ELEMS_PTR)
+            if key < length:
+                self.mem.store_u64(elems + key * 8, boxed_value)
+                return
+            if key == length:
+                if key >= capacity:
+                    elems = self._grow(obj.addr, capacity, length)
+                self.mem.store_u64(elems + key * 8, boxed_value)
+                self.mem.store_u64(obj.addr + layout.OBJ_LENGTH, length + 1)
+                self._migrate(obj.addr)
+                return
+        self.hash_parts[obj.addr][key] = boxed_value
+
+    def _grow(self, addr, capacity, length):
+        new_capacity = max(4, capacity * 2)
+        new_elems = self.alloc(new_capacity * layout.VALUE_SIZE)
+        old = self.mem.load_u64(addr + layout.OBJ_ELEMS_PTR)
+        if length:
+            self.mem.write_bytes(new_elems,
+                                 self.mem.read_bytes(old, length * 8))
+        undefined = nanbox.box(layout.TAG_UNDEFINED, 0)
+        for slot in range(length, new_capacity):
+            self.mem.store_u64(new_elems + slot * 8, undefined)
+        self.mem.store_u64(addr + layout.OBJ_ELEMS_PTR, new_elems)
+        self.mem.store_u64(addr + layout.OBJ_CAPACITY, new_capacity)
+        return new_elems
+
+    def _migrate(self, addr):
+        hashes = self.hash_parts[addr]
+        length = self.mem.load_u64(addr + layout.OBJ_LENGTH)
+        while length in hashes:
+            boxed = hashes.pop(length)
+            capacity = self.mem.load_u64(addr + layout.OBJ_CAPACITY)
+            elems = self.mem.load_u64(addr + layout.OBJ_ELEMS_PTR)
+            if length >= capacity:
+                elems = self._grow(addr, capacity, length)
+            self.mem.store_u64(elems + length * 8, boxed)
+            length += 1
+            self.mem.store_u64(addr + layout.OBJ_LENGTH, length)
+
+
+_ARITH_NAMES = {value: key for key, value in common.ARITH_OPS.items()}
+_COMPARE_NAMES = {value: key for key, value in common.COMPARE_OPS.items()}
+
+
+class JsHost:
+    """Binds a :class:`JsRuntime` to the host-call interface."""
+
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self.interface = HostInterface()
+        reg = self.interface.register
+        reg(common.SVC_ARITH, "arith_slow", self._svc_arith,
+            HOST_COSTS["arith_slow"])
+        reg(common.SVC_COMPARE, "compare_slow", self._svc_compare,
+            HOST_COSTS["compare_slow"])
+        reg(common.SVC_ELEM_GET, "elem_get", self._svc_elem_get,
+            HOST_COSTS["elem_get"])
+        reg(common.SVC_ELEM_SET, "elem_set", self._svc_elem_set,
+            HOST_COSTS["elem_set"])
+        reg(common.SVC_NEWARRAY, "newarray", self._svc_newarray,
+            HOST_COSTS["newarray"])
+        reg(common.SVC_NEWOBJ, "newobj", self._svc_newobj,
+            HOST_COSTS["newobj"])
+        reg(common.SVC_BUILTIN, "builtin", self._svc_builtin,
+            self._builtin_cost)
+        reg(common.SVC_ERROR, "error", self._svc_error, 1)
+        reg(common.SVC_TYPEOF, "typeof", self._svc_typeof, 30)
+
+    # -- services -------------------------------------------------------------
+    def _svc_arith(self, cpu, sp, *rest):
+        runtime = self.runtime
+        op_id = cpu.regs.value[13]  # a3
+        op_name = _ARITH_NAMES[op_id]
+        if op_name == "NEG":
+            operand = runtime.to_number(runtime.read_slot(sp))
+            result = -operand if isinstance(operand, float) \
+                else self._neg_int(operand)
+            runtime.write_slot(sp, result)
+            return
+        left = runtime.read_slot(sp - 8)
+        right = runtime.read_slot(sp)
+        if op_name == "ADD" and (isinstance(left, str)
+                                 or isinstance(right, str)):
+            result = runtime.to_string(left) + runtime.to_string(right)
+        else:
+            result = self._numeric(op_name, runtime.to_number(left),
+                                   runtime.to_number(right))
+        runtime.write_slot(sp - 8, result)
+
+    @staticmethod
+    def _neg_int(value):
+        result = -value
+        return result if nanbox.fits_int32(result) and value != 0 \
+            else float(result)
+
+    @staticmethod
+    def _numeric(op_name, x, y):
+        both_int = isinstance(x, int) and isinstance(y, int)
+        if op_name == "ADD":
+            result = x + y
+        elif op_name == "SUB":
+            result = x - y
+        elif op_name == "MUL":
+            result = x * y
+        elif op_name == "DIV":
+            fx, fy = float(x), float(y)
+            if fy == 0.0:
+                if fx == 0.0 or fx != fx:
+                    return float("nan")
+                return math.inf * math.copysign(1.0, fx) \
+                    * math.copysign(1.0, fy)
+            return fx / fy
+        elif op_name == "MOD":
+            fx, fy = float(x), float(y)
+            if fy == 0.0 or fx != fx or fy != fy or abs(fx) == math.inf:
+                return float("nan")
+            return math.fmod(fx, fy)  # JS % truncates like fmod
+        else:
+            raise JsError("unknown arithmetic op %r" % op_name)
+        if both_int and nanbox.fits_int32(result):
+            return result
+        return float(result)
+
+    def _svc_compare(self, cpu, sp, *rest):
+        runtime = self.runtime
+        op_name = _COMPARE_NAMES[cpu.regs.value[13]]  # a3
+        left = runtime.read_slot(sp - 8)
+        right = runtime.read_slot(sp)
+        if op_name in ("EQ", "NE"):
+            result = self._strict_equal(left, right)
+            if op_name == "NE":
+                result = not result
+        elif isinstance(left, str) and isinstance(right, str):
+            result = {"LT": left < right, "LE": left <= right,
+                      "GT": left > right, "GE": left >= right}[op_name]
+        else:
+            x = runtime.to_number(left)
+            y = runtime.to_number(right)
+            if x != x or y != y:
+                result = False
+            else:
+                result = {"LT": x < y, "LE": x <= y,
+                          "GT": x > y, "GE": x >= y}[op_name]
+        runtime.write_slot(sp - 8, result)
+
+    @staticmethod
+    def _strict_equal(left, right):
+        if isinstance(left, bool) or isinstance(right, bool):
+            return left is right
+        if isinstance(left, (int, float)) and isinstance(right, (int,
+                                                                 float)):
+            return float(left) == float(right)
+        if type(left) is not type(right):
+            return False
+        return left == right
+
+    def _svc_elem_get(self, cpu, sp, *rest):
+        runtime = self.runtime
+        obj = runtime.read_slot(sp - 8)
+        key = runtime.read_slot(sp)
+        runtime.write_slot(sp - 8, runtime.element_get(obj, key))
+
+    def _svc_elem_set(self, cpu, sp, *rest):
+        runtime = self.runtime
+        obj = runtime.read_slot(sp - 16)
+        key = runtime.read_slot(sp - 8)
+        runtime.element_set(obj, key, runtime.mem.load_u64(sp))
+
+    def _svc_newarray(self, cpu, hint, sp, *rest):
+        addr = self.runtime.make_array(capacity=max(hint, 4))
+        self.runtime.write_slot(sp + 8, JsObjectRef(addr))
+
+    def _svc_newobj(self, cpu, _a0, sp, *rest):
+        addr = self.runtime.make_object()
+        self.runtime.write_slot(sp + 8, JsObjectRef(addr))
+
+    def _svc_typeof(self, cpu, sp, *rest):
+        runtime = self.runtime
+        value = runtime.read_slot(sp)
+        if value is None:
+            name = "undefined"
+        elif isinstance(value, bool):
+            name = "boolean"
+        elif isinstance(value, (int, float)):
+            name = "number"
+        elif isinstance(value, str):
+            name = "string"
+        elif value is NULL:
+            name = "object"  # the JavaScript classic
+        elif isinstance(value, JsObjectRef):
+            kind = runtime.mem.load_u64(value.addr + layout.OBJ_KIND)
+            name = "function" if kind == 2 else "object"
+        else:
+            name = "object"
+        runtime.write_slot(sp, name)
+
+    def _svc_error(self, cpu, code, *rest):
+        raise JsError("VM fault: illegal opcode or type error "
+                      "(bytecode word 0x%08x at pc 0x%x)" % (code, cpu.pc))
+
+    # -- builtins ---------------------------------------------------------------
+    def _builtin_cost(self, args):
+        return HOST_COSTS[_BUILTIN_NAMES[args[3]]]
+
+    def _svc_builtin(self, cpu, dest, args_base, nargs, native_id, *rest):
+        runtime = self.runtime
+        values = [runtime.read_slot(args_base + index * 8)
+                  for index in range(nargs)]
+        name = _BUILTIN_NAMES[native_id]
+        result = getattr(self, "_builtin_" + name)(values)
+        runtime.write_slot(dest, result)
+
+    def _builtin_print(self, values):
+        self.runtime.output.append(
+            " ".join(self.runtime.to_string(v) for v in values) + "\n")
+
+    def _builtin_write(self, values):
+        self.runtime.output.append(
+            "".join(self.runtime.to_string(v) for v in values))
+
+    def _num(self, values, index, name):
+        if index >= len(values):
+            raise JsError("missing argument #%d to %s" % (index + 1, name))
+        return self.runtime.to_number(values[index])
+
+    def _builtin_math_sqrt(self, values):
+        value = self._num(values, 0, "sqrt")
+        return math.sqrt(value) if value >= 0 else float("nan")
+
+    def _builtin_math_floor(self, values):
+        value = self._num(values, 0, "floor")
+        result = math.floor(value)
+        return result if nanbox.fits_int32(result) else float(result)
+
+    def _builtin_math_abs(self, values):
+        return abs(self._num(values, 0, "abs"))
+
+    def _builtin_math_max(self, values):
+        return max(self._num(values, i, "max") for i in range(len(values)))
+
+    def _builtin_math_min(self, values):
+        return min(self._num(values, i, "min") for i in range(len(values)))
+
+    def _builtin_math_pow(self, values):
+        return float(self._num(values, 0, "pow")) \
+            ** float(self._num(values, 1, "pow"))
+
+    def _builtin_substring(self, values):
+        text = values[0]
+        if not isinstance(text, str):
+            raise JsError("substring expects a string")
+        start = int(self._num(values, 1, "substring"))
+        stop = int(self._num(values, 2, "substring")) \
+            if len(values) > 2 else len(text)
+        start = max(0, min(start, len(text)))
+        stop = max(0, min(stop, len(text)))
+        if start > stop:
+            start, stop = stop, start
+        return text[start:stop]
+
+    def _builtin_charCodeAt(self, values):
+        text = values[0]
+        index = int(self._num(values, 1, "charCodeAt")) \
+            if len(values) > 1 else 0
+        if not isinstance(text, str) or not 0 <= index < len(text):
+            return float("nan")
+        return ord(text[index])
+
+    def _builtin_fromCharCode(self, values):
+        return "".join(chr(int(self.runtime.to_number(v))) for v in values)
+
+
+def install_builtin_globals(runtime, globals_addr, global_names,
+                            func_globals, func_addrs):
+    """Populate globals: hoisted user functions plus the builtins."""
+    def native(name):
+        return JsObjectRef(runtime.make_native(name))
+
+    def object_of(entries):
+        addr = runtime.make_object()
+        for key, value in entries.items():
+            runtime.hash_parts[addr][key] = runtime.box(value)
+        return JsObjectRef(addr)
+
+    builtins = {
+        "print": native("print"),
+        "write": native("write"),
+        "substring": native("substring"),
+        "charCodeAt": native("charCodeAt"),
+        "Math": object_of({
+            "sqrt": native("math_sqrt"), "floor": native("math_floor"),
+            "abs": native("math_abs"), "max": native("math_max"),
+            "min": native("math_min"), "pow": native("math_pow"),
+            "PI": math.pi, "E": math.e,
+        }),
+        "String": object_of({"fromCharCode": native("fromCharCode")}),
+    }
+    for slot, name in enumerate(global_names):
+        slot_addr = globals_addr + slot * 8
+        if name in func_globals:
+            runtime.write_slot(slot_addr,
+                               JsObjectRef(func_addrs[func_globals[name]]))
+        elif name in builtins:
+            runtime.write_slot(slot_addr, builtins[name])
+        else:
+            runtime.write_slot(slot_addr, None)

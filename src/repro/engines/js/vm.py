@@ -1,0 +1,101 @@
+"""Top-level MiniJS runner: compile, image, assemble, simulate."""
+
+from dataclasses import dataclass
+
+from repro.engines import BASELINE, CHECKED_LOAD, TYPED
+from repro.engines.js import layout
+from repro.engines.js.compiler import compile_source
+from repro.engines.js.handlers import build_interpreter
+from repro.engines.js.image import build_image, fill_jump_table
+from repro.engines.js.opcodes import JsOp
+from repro.engines.js.runtime import JsHost, JsRuntime
+from repro.isa.assembler import assemble
+from repro.sim.cpu import Cpu
+from repro.sim.memory import Memory
+from repro.sim.tagio import TagCodec
+from repro.uarch.pipeline import Attribution, Machine
+
+_EXTRA_BUCKETS = ("startup", "dispatch", "arith_slow_common",
+                  "arith_slow_unary", "compare_slow_common",
+                  "elem_get_slow_common", "elem_set_slow_common",
+                  "vm_error", "vm_exit")
+
+
+@dataclass
+class JsResult:
+    """Outcome of one MiniJS run."""
+
+    output: str
+    counters: object
+    config: str
+    exit_code: int = 0
+
+    @property
+    def lines(self):
+        return self.output.splitlines()
+
+
+def build_attribution(program):
+    marks = []
+    for label, addr in program.labels.items():
+        if label.startswith("h_") or label in _EXTRA_BUCKETS:
+            marks.append((addr, label))
+    marks.sort()
+    ranges = []
+    for index, (addr, label) in enumerate(marks):
+        end = marks[index + 1][0] if index + 1 < len(marks) else program.end
+        ranges.append((label, addr, end))
+    entry_points = {}
+    for opcode in JsOp:
+        label = "h_%s" % opcode.name
+        if label in program.labels:
+            entry_points[program.labels[label]] = opcode.name
+    return Attribution(program, ranges, entry_points)
+
+
+# Cached, program-independent interpreter text per configuration.
+_PROGRAM_CACHE = {}
+
+
+def interpreter_program(config):
+    """The assembled interpreter for ``config`` (cached)."""
+    cached = _PROGRAM_CACHE.get(config)
+    if cached is None:
+        program = assemble(build_interpreter(config),
+                           base=layout.CODE_BASE)
+        if program.end > layout.BOOT_BLOCK:
+            raise ValueError("interpreter text overflows the code region")
+        cached = (program, build_attribution(program))
+        _PROGRAM_CACHE[config] = cached
+    return cached
+
+
+def prepare(source, config=BASELINE):
+    if config not in (BASELINE, TYPED, CHECKED_LOAD):
+        raise ValueError("unknown config %r" % config)
+    chunk = compile_source(source)
+    memory = Memory(size=layout.MEMORY_SIZE)
+    runtime = JsRuntime(memory)
+    image = build_image(chunk, runtime)
+    program, _attribution = interpreter_program(config)
+    fill_jump_table(image, program, memory)
+    host = JsHost(runtime)
+    # NaN boxing: the extractor needs the double pseudo-tag and the int
+    # tag for payload sign extension (Section 4.2).
+    codec = TagCodec(double_tag=layout.TAG_DOUBLE, int_tag=layout.TAG_INT32)
+    # SpiderMonkey co-locates tag and value in one double-word, so integer
+    # overflow must trigger a type misprediction (Section 3.2).
+    cpu = Cpu(program, memory, host=host.interface, tag_codec=codec,
+              overflow_bits=32)
+    return cpu, runtime, program
+
+
+def run_js(source, config=BASELINE, machine_config=None,
+           max_instructions=200_000_000, attribute=True):
+    """Compile and execute MiniJS ``source`` on the simulated machine."""
+    cpu, runtime, program = prepare(source, config)
+    attribution = interpreter_program(config)[1] if attribute else None
+    machine = Machine(cpu, config=machine_config, attribution=attribution)
+    counters = machine.run(max_instructions=max_instructions)
+    return JsResult(output="".join(runtime.output), counters=counters,
+                    config=config, exit_code=cpu.exit_code)

@@ -1,0 +1,11 @@
+"""MiniLua: a Lua-5.3-style register VM running on the simulator.
+
+The public entry point is :func:`repro.engines.lua.vm.run_lua`, which
+compiles a MiniLua source string, builds the simulated-memory image,
+assembles the interpreter for the requested machine configuration and runs
+it under the timing model.
+"""
+
+from repro.engines.lua.vm import LuaResult, run_lua
+
+__all__ = ["LuaResult", "run_lua"]

@@ -1,0 +1,569 @@
+"""MiniLua bytecode compiler: AST to register-machine code.
+
+Produces a :class:`CompiledChunk`: one :class:`Proto` per function (index
+0 is the top-level chunk) plus the global-slot table.  Registers are
+allocated Lua-style: named locals occupy the low registers of a frame and
+expression temporaries a stack above them.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.engines.lua import last as ast
+from repro.engines.lua.opcodes import (
+    Op,
+    RK_FLAG,
+    encode_abc,
+    encode_jump,
+)
+
+MAX_REGISTERS = 128
+
+
+class CompileError(Exception):
+    """Raised for resource overflows or unsupported constructs."""
+
+
+@dataclass(frozen=True)
+class FunctionConst:
+    """A constant referring to another proto (static function value)."""
+
+    proto_index: int
+
+
+@dataclass
+class Proto:
+    """One compiled function."""
+
+    name: str
+    num_params: int
+    code: list = field(default_factory=list)
+    constants: list = field(default_factory=list)
+    nregs: int = 0
+
+
+@dataclass
+class CompiledChunk:
+    """Compiler output: all protos plus the global name table."""
+
+    protos: list
+    globals: list  # slot index -> name
+
+    @property
+    def main(self):
+        return self.protos[0]
+
+
+class _FunctionState:
+    """Per-function compilation state."""
+
+    def __init__(self, name, params, chunk_compiler):
+        self.proto = Proto(name=name, num_params=len(params))
+        self.chunk = chunk_compiler
+        self.locals = []  # list of (name, reg), innermost last
+        self.scope_stack = []
+        self.freereg = 0
+        self.const_index = {}
+        self.break_jumps = []  # stack of lists
+        for param in params:
+            self._declare_local(param)
+
+    # -- registers ----------------------------------------------------------
+    def reserve(self, count=1):
+        reg = self.freereg
+        self.freereg += count
+        if self.freereg > MAX_REGISTERS:
+            raise CompileError("function %r needs too many registers"
+                               % self.proto.name)
+        self.proto.nregs = max(self.proto.nregs, self.freereg)
+        return reg
+
+    def _declare_local(self, name):
+        reg = self.reserve()
+        self.locals.append((name, reg))
+        return reg
+
+    def lookup_local(self, name):
+        for local_name, reg in reversed(self.locals):
+            if local_name == name:
+                return reg
+        return None
+
+    def enter_scope(self):
+        self.scope_stack.append((len(self.locals), self.freereg))
+
+    def exit_scope(self):
+        local_count, freereg = self.scope_stack.pop()
+        del self.locals[local_count:]
+        self.freereg = freereg
+
+    # -- constants ------------------------------------------------------------
+    def constant(self, value):
+        key = (type(value).__name__, value)
+        index = self.const_index.get(key)
+        if index is None:
+            index = len(self.proto.constants)
+            self.proto.constants.append(value)
+            self.const_index[key] = index
+        return index
+
+    # -- emission ----------------------------------------------------------------
+    def emit(self, op, a, b=0, c=0):
+        self.proto.code.append(encode_abc(op, a, b, c))
+        return len(self.proto.code) - 1
+
+    def emit_jump(self, op, a=0):
+        """Emit a jump with a placeholder offset; returns its position."""
+        self.proto.code.append(encode_jump(op, a, 0))
+        return len(self.proto.code) - 1
+
+    def patch_jump(self, position, target=None):
+        """Point the jump at ``position`` to ``target`` (default: here)."""
+        if target is None:
+            target = len(self.proto.code)
+        op = Op(self.proto.code[position] & 0xFF)
+        a = (self.proto.code[position] >> 8) & 0xFF
+        self.proto.code[position] = encode_jump(op, a,
+                                                target - (position + 1))
+
+    def emit_jump_to(self, op, target, a=0):
+        offset = target - (len(self.proto.code) + 1)
+        self.proto.code.append(encode_jump(op, a, offset))
+
+    @property
+    def here(self):
+        return len(self.proto.code)
+
+
+class Compiler:
+    """Compiles a parsed chunk; see :func:`compile_chunk`."""
+
+    BUILTIN_GLOBALS = ("print", "io", "math", "string", "tostring", "type")
+
+    def __init__(self):
+        self.protos = []
+        self.global_slots = {}
+        self.global_names = []
+        # `local function f` has no upvalue support here; since function
+        # values are static constants, references to an enclosing local
+        # function resolve to its constant instead (recursion works).
+        self.function_consts = {}
+
+    def global_slot(self, name):
+        slot = self.global_slots.get(name)
+        if slot is None:
+            slot = len(self.global_names)
+            if slot > 0xFF:
+                raise CompileError("too many globals")
+            self.global_slots[name] = slot
+            self.global_names.append(name)
+        return slot
+
+    def compile(self, block):
+        for name in self.BUILTIN_GLOBALS:
+            self.global_slot(name)
+        self.protos.append(None)  # reserve index 0 for main
+        main = self._compile_function("main", [], block, proto_index=0)
+        self.protos[0] = main
+        return CompiledChunk(self.protos, list(self.global_names))
+
+    def _compile_function(self, name, params, block, proto_index=None):
+        state = _FunctionState(name, params, self)
+        self._block(state, block)
+        state.emit(Op.RETURN0, 0)
+        state.proto.nregs = max(state.proto.nregs, 1)
+        return state.proto
+
+    def _add_proto(self, proto):
+        self.protos.append(proto)
+        return len(self.protos) - 1
+
+    # -- statements -----------------------------------------------------------
+    def _block(self, state, block):
+        state.enter_scope()
+        for statement in block.statements:
+            self._statement(state, statement)
+        state.exit_scope()
+
+    def _statement(self, state, node):
+        if isinstance(node, ast.LocalAssign):
+            if node.value is None:
+                reg = state._declare_local(node.name)
+                state.emit(Op.LOADNIL, reg)
+            else:
+                # Evaluate before declaring so `local x = x` sees the outer x.
+                temp = state.freereg
+                self._expr_to_reg(state, node.value, temp)
+                reg = state._declare_local(node.name)
+                if reg != temp:
+                    state.emit(Op.MOVE, reg, temp)
+        elif isinstance(node, ast.Assign):
+            self._assign(state, node)
+        elif isinstance(node, ast.MultiLocal):
+            self._multi_local(state, node)
+        elif isinstance(node, ast.MultiAssign):
+            self._multi_assign(state, node)
+        elif isinstance(node, ast.CallStat):
+            mark = state.freereg
+            self._expr_to_reg(state, node.call, state.freereg)
+            state.freereg = mark
+        elif isinstance(node, ast.If):
+            self._if(state, node)
+        elif isinstance(node, ast.While):
+            self._while(state, node)
+        elif isinstance(node, ast.Repeat):
+            self._repeat(state, node)
+        elif isinstance(node, ast.NumericFor):
+            self._numeric_for(state, node)
+        elif isinstance(node, ast.GenericFor):
+            self._generic_for(state, node)
+        elif isinstance(node, ast.Return):
+            if node.value is None:
+                state.emit(Op.RETURN0, 0)
+            else:
+                mark = state.freereg
+                reg = self._expr_any_reg(state, node.value)
+                state.emit(Op.RETURN, reg)
+                state.freereg = mark
+        elif isinstance(node, ast.Break):
+            if not state.break_jumps:
+                raise CompileError("break outside a loop")
+            state.break_jumps[-1].append(state.emit_jump(Op.JMP))
+        elif isinstance(node, ast.FunctionDecl):
+            self._function_decl(state, node)
+        elif isinstance(node, ast.Block):
+            self._block(state, node)
+        else:
+            raise CompileError("unsupported statement %r" % node)
+
+    def _assign(self, state, node):
+        mark = state.freereg
+        target = node.target
+        if isinstance(target, ast.Name):
+            reg = state.lookup_local(target.name)
+            if reg is not None:
+                self._expr_to_reg(state, node.value, reg)
+            else:
+                value = self._expr_any_reg(state, node.value)
+                state.emit(Op.SETGLOBAL, value,
+                           self.global_slot(target.name))
+        else:  # Index
+            table = self._expr_any_reg(state, target.obj)
+            key = self._expr_rk(state, target.key)
+            value = self._expr_rk(state, node.value)
+            state.emit(Op.SETTABLE, table, key, value)
+        state.freereg = mark
+
+    def _multi_local(self, state, node):
+        """All values evaluate into fresh consecutive registers, which
+        then *become* the declared locals (Lua's values-first rule)."""
+        base = state.freereg
+        for value in node.values:
+            reg = state.reserve()
+            self._expr_to_reg(state, value, reg)
+        for _ in range(len(node.values), len(node.names)):
+            reg = state.reserve()
+            state.emit(Op.LOADNIL, reg)
+        # Extra values were evaluated (for side effects) and are dropped.
+        state.freereg = base + len(node.names)
+        for offset, name in enumerate(node.names):
+            state.locals.append((name, base + offset))
+
+    def _multi_assign(self, state, node):
+        """``a, b = b, a``: values land in temporaries before any store."""
+        mark = state.freereg
+        temps = []
+        for value in node.values:
+            reg = state.reserve()
+            self._expr_to_reg(state, value, reg)
+            temps.append(reg)
+        for _ in range(len(node.values), len(node.targets)):
+            reg = state.reserve()
+            state.emit(Op.LOADNIL, reg)
+            temps.append(reg)
+        for target, temp in zip(node.targets, temps):
+            if isinstance(target, ast.Name):
+                local = state.lookup_local(target.name)
+                if local is not None:
+                    state.emit(Op.MOVE, local, temp)
+                else:
+                    state.emit(Op.SETGLOBAL, temp,
+                               self.global_slot(target.name))
+            else:
+                table = self._expr_any_reg(state, target.obj)
+                key = self._expr_rk(state, target.key)
+                state.emit(Op.SETTABLE, table, key, temp)
+        state.freereg = mark
+
+    def _function_decl(self, state, node):
+        proto_index = self._add_proto(None)
+        if node.is_local:
+            self.function_consts[node.name] = proto_index
+        proto = self._compile_function(node.name, node.func.params,
+                                       node.func.body)
+        self.protos[proto_index] = proto
+        const = state.constant(FunctionConst(proto_index))
+        if node.is_local:
+            reg = state._declare_local(node.name)
+            state.emit(Op.LOADK, reg, const)
+        else:
+            mark = state.freereg
+            reg = state.reserve()
+            state.emit(Op.LOADK, reg, const)
+            state.emit(Op.SETGLOBAL, reg, self.global_slot(node.name))
+            state.freereg = mark
+
+    def _if(self, state, node):
+        end_jumps = []
+        for index, (condition, body) in enumerate(node.clauses):
+            mark = state.freereg
+            cond_reg = self._expr_any_reg(state, condition)
+            state.freereg = mark
+            skip = state.emit_jump(Op.JMPF, cond_reg)
+            self._block(state, body)
+            is_last = index == len(node.clauses) - 1 and node.orelse is None
+            if not is_last:
+                end_jumps.append(state.emit_jump(Op.JMP))
+            state.patch_jump(skip)
+        if node.orelse is not None:
+            self._block(state, node.orelse)
+        for jump in end_jumps:
+            state.patch_jump(jump)
+
+    def _while(self, state, node):
+        top = state.here
+        mark = state.freereg
+        cond_reg = self._expr_any_reg(state, node.condition)
+        state.freereg = mark
+        exit_jump = state.emit_jump(Op.JMPF, cond_reg)
+        state.break_jumps.append([])
+        self._block(state, node.body)
+        state.emit_jump_to(Op.JMP, top)
+        state.patch_jump(exit_jump)
+        for jump in state.break_jumps.pop():
+            state.patch_jump(jump)
+
+    def _repeat(self, state, node):
+        top = state.here
+        state.break_jumps.append([])
+        self._block(state, node.body)
+        mark = state.freereg
+        cond_reg = self._expr_any_reg(state, node.condition)
+        state.freereg = mark
+        state.emit_jump_to(Op.JMPF, top, a=cond_reg)
+        for jump in state.break_jumps.pop():
+            state.patch_jump(jump)
+
+    def _numeric_for(self, state, node):
+        state.enter_scope()
+        base = state.reserve(4)  # idx, limit, step, user variable
+        self._expr_to_reg(state, node.start, base)
+        self._expr_to_reg(state, node.stop, base + 1)
+        if node.step is None:
+            state.emit(Op.LOADK, base + 2, state.constant(1))
+        else:
+            self._expr_to_reg(state, node.step, base + 2)
+        state.locals.append((node.var, base + 3))
+        prep = state.emit_jump(Op.FORPREP, base)
+        body_top = state.here
+        state.break_jumps.append([])
+        self._block(state, node.body)
+        state.patch_jump(prep)  # FORPREP jumps here, to the FORLOOP
+        state.emit_jump_to(Op.FORLOOP, body_top, a=base)
+        for jump in state.break_jumps.pop():
+            state.patch_jump(jump)
+        state.exit_scope()
+
+    def _generic_for(self, state, node):
+        """Desugar ``for i, v in ipairs(t)`` into an index-and-test loop
+        (the only generic-for iterator supported; true ``pairs`` needs an
+        iterator protocol this VM does not model)."""
+        iterator = node.iterator
+        if not (isinstance(iterator, ast.Call)
+                and isinstance(iterator.func, ast.Name)
+                and iterator.func.name == "ipairs"
+                and len(iterator.args) == 1):
+            raise CompileError("generic for supports only 'ipairs(t)'")
+        if not 1 <= len(node.names) <= 2:
+            raise CompileError("ipairs loop takes one or two variables")
+        index_name = node.names[0]
+        value_name = node.names[1] if len(node.names) > 1 else None
+
+        state.enter_scope()
+        table_reg = state.reserve()
+        self._expr_to_reg(state, iterator.args[0], table_reg)
+        index_reg = state._declare_local(index_name)
+        state.emit(Op.LOADK, index_reg, state.constant(1))
+        value_reg = state._declare_local(value_name) if value_name \
+            else state.reserve()
+
+        top = state.here
+        state.emit(Op.GETTABLE, value_reg, table_reg, index_reg)
+        # Stop at the first nil value (Lua's ipairs contract).
+        nil_reg = state.reserve()
+        state.emit(Op.LOADNIL, nil_reg)
+        state.emit(Op.EQ, nil_reg, value_reg, nil_reg)
+        exit_jump = state.emit_jump(Op.JMPT, nil_reg)
+        state.freereg = nil_reg  # free the temporary
+        state.break_jumps.append([])
+        self._block(state, node.body)
+        state.emit(Op.ADD, index_reg, index_reg,
+                   0x80 | state.constant(1))
+        state.emit_jump_to(Op.JMP, top)
+        state.patch_jump(exit_jump)
+        for jump in state.break_jumps.pop():
+            state.patch_jump(jump)
+        state.exit_scope()
+
+    # -- expressions ----------------------------------------------------------
+    _BINOPS = {"+": Op.ADD, "-": Op.SUB, "*": Op.MUL, "/": Op.DIV,
+               "%": Op.MOD, "//": Op.IDIV, "^": Op.POW, "..": Op.CONCAT,
+               "&": Op.BAND, "|": Op.BOR, "~": Op.BXOR,
+               "<<": Op.SHL, ">>": Op.SHR}
+    _COMPARISONS = {"==": (Op.EQ, False), "~=": (Op.EQ, True),
+                    "<": (Op.LT, False), "<=": (Op.LE, False),
+                    ">": (Op.LT, False), ">=": (Op.LE, False)}
+
+    def _expr_any_reg(self, state, node):
+        """Compile into any register (an existing local if possible)."""
+        if isinstance(node, ast.Name):
+            reg = state.lookup_local(node.name)
+            if reg is not None:
+                return reg
+        reg = state.reserve()
+        self._expr_to_reg(state, node, reg)
+        return reg
+
+    def _expr_rk(self, state, node):
+        """Compile to an RK operand: constant when it fits, else register."""
+        const = self._constant_value(node)
+        if const is not _NOT_CONST:
+            index = state.constant(const)
+            if index < RK_FLAG:
+                return RK_FLAG | index
+        return self._expr_any_reg(state, node)
+
+    @staticmethod
+    def _constant_value(node):
+        if isinstance(node, ast.NumberLit):
+            return node.value
+        if isinstance(node, ast.StringLit):
+            return node.value
+        return _NOT_CONST
+
+    def _expr_to_reg(self, state, node, dest):
+        mark = max(state.freereg, dest + 1)
+        if isinstance(node, ast.NilLit):
+            state.emit(Op.LOADNIL, dest)
+        elif isinstance(node, ast.BoolLit):
+            state.emit(Op.LOADBOOL, dest, 1 if node.value else 0)
+        elif isinstance(node, (ast.NumberLit, ast.StringLit)):
+            state.emit(Op.LOADK, dest, self._load_constant(state, node.value))
+        elif isinstance(node, ast.Name):
+            reg = state.lookup_local(node.name)
+            if reg is not None:
+                if reg != dest:
+                    state.emit(Op.MOVE, dest, reg)
+            elif node.name in self.function_consts:
+                state.emit(Op.LOADK, dest, self._load_constant(
+                    state,
+                    FunctionConst(self.function_consts[node.name])))
+            else:
+                state.emit(Op.GETGLOBAL, dest, self.global_slot(node.name))
+        elif isinstance(node, ast.Index):
+            table = self._expr_any_reg(state, node.obj)
+            key = self._expr_rk(state, node.key)
+            state.emit(Op.GETTABLE, dest, table, key)
+        elif isinstance(node, ast.BinOp):
+            self._binop(state, node, dest)
+        elif isinstance(node, ast.UnOp):
+            operand = self._expr_any_reg(state, node.operand)
+            op = {"-": Op.UNM, "not": Op.NOT, "#": Op.LEN,
+                  "~": Op.BNOT}[node.op]
+            state.emit(op, dest, operand)
+        elif isinstance(node, ast.Call):
+            self._call(state, node, dest)
+        elif isinstance(node, ast.TableCtor):
+            self._table_ctor(state, node, dest)
+        elif isinstance(node, ast.FunctionExpr):
+            proto_index = self._add_proto(None)
+            proto = self._compile_function(node.name or "anonymous",
+                                           node.params, node.body)
+            self.protos[proto_index] = proto
+            state.emit(Op.LOADK, dest,
+                       state.constant(FunctionConst(proto_index)))
+        else:
+            raise CompileError("unsupported expression %r" % node)
+        state.freereg = mark
+
+    def _load_constant(self, state, value):
+        index = state.constant(value)
+        if index > 0xFF:
+            raise CompileError("too many constants in %r"
+                               % state.proto.name)
+        return index
+
+    def _binop(self, state, node, dest):
+        if node.op in ("and", "or"):
+            self._expr_to_reg(state, node.left, dest)
+            jump_op = Op.JMPF if node.op == "and" else Op.JMPT
+            skip = state.emit_jump(jump_op, dest)
+            self._expr_to_reg(state, node.right, dest)
+            state.patch_jump(skip)
+            return
+        comparison = self._COMPARISONS.get(node.op)
+        if comparison is not None:
+            op, negate = comparison
+            left, right = node.left, node.right
+            if node.op in (">", ">="):
+                left, right = right, left
+            b = self._expr_rk(state, left)
+            c = self._expr_rk(state, right)
+            state.emit(op, dest, b, c)
+            if negate:
+                state.emit(Op.NOT, dest, dest)
+            return
+        op = self._BINOPS.get(node.op)
+        if op is None:
+            raise CompileError("unsupported operator %r" % node.op)
+        b = self._expr_rk(state, node.left)
+        c = self._expr_rk(state, node.right)
+        state.emit(op, dest, b, c)
+
+    def _call(self, state, node, dest):
+        base = state.reserve(1)
+        self._expr_to_reg(state, node.func, base)
+        for argument in node.args:
+            reg = state.reserve()
+            self._expr_to_reg(state, argument, reg)
+        state.emit(Op.CALL, base, len(node.args))
+        if base != dest:
+            state.emit(Op.MOVE, dest, base)
+
+    def _table_ctor(self, state, node, dest):
+        state.emit(Op.NEWTABLE, dest, min(len(node.items), 0xFF))
+        for position, item in enumerate(node.items, start=1):
+            mark = state.freereg
+            key = self._expr_rk(state, ast.NumberLit(position))
+            value = self._expr_rk(state, item)
+            state.emit(Op.SETTABLE, dest, key, value)
+            state.freereg = mark
+        for name, value_node in node.fields:
+            mark = state.freereg
+            key = self._expr_rk(state, ast.StringLit(name))
+            value = self._expr_rk(state, value_node)
+            state.emit(Op.SETTABLE, dest, key, value)
+            state.freereg = mark
+
+
+_NOT_CONST = object()
+
+
+def compile_chunk(block):
+    """Compile a parsed block into a :class:`CompiledChunk`."""
+    return Compiler().compile(block)
+
+
+def compile_source(source):
+    """Parse and compile MiniLua ``source``."""
+    from repro.engines.lua.lparser import parse
+    return compile_chunk(parse(source))

@@ -1,0 +1,11 @@
+"""RV64 assembly bytecode handlers for the MiniLua interpreter.
+
+:func:`build_interpreter` returns the complete interpreter text for one
+machine configuration (baseline / typed / chklb).  Only the five hot
+bytecodes of the paper's Table 3 differ between configurations (ADD, SUB,
+MUL, GETTABLE, SETTABLE); everything else is shared.
+"""
+
+from repro.engines.lua.handlers.build import build_interpreter
+
+__all__ = ["build_interpreter"]

@@ -1,0 +1,309 @@
+"""Arithmetic bytecode handlers (ADD/SUB/MUL retargeted per Table 3).
+
+The three machine configurations differ exactly as in the paper:
+
+* ``baseline`` — software type guards (Figure 1(c)): check int/int, then
+  float/float, else fall into the conversion slow path.
+* ``typed`` — the Figure 3 sequence: ``tld``/``thdl``/``xadd``/``tsd``.
+* ``chklb`` — Checked Load: the fast path is specialised for the
+  *integer* type pair at build time (as the paper's Checked Load Lua VM
+  is); a tag mismatch falls back to the original software guards.
+"""
+
+from repro.engines import BASELINE, CHECKED_LOAD, TYPED
+from repro.engines.lua.handlers import common
+
+
+_POLY = {"ADD": ("add", "fadd.d", "xadd"),
+         "SUB": ("sub", "fsub.d", "xsub"),
+         "MUL": ("mul", "fmul.d", "xmul")}
+
+
+def _decode_abc():
+    return (common.decode_a("t4") + common.decode_rk("b", "t5")
+            + common.decode_rk("c", "t6"))
+
+
+def _software_guards(name, int_op, float_op):
+    """The Figure 1(c) guard chain used by the baseline configuration."""
+    return """
+    lbu  t1, 8(t5)
+    li   t2, TNUMINT
+    bne  t1, t2, {name}_isflt_b
+    lbu  t3, 8(t6)
+    bne  t3, t2, {name}_slowstub
+h_{name}__ii:
+    ld   t1, 0(t5)
+    ld   t3, 0(t6)
+    {int_op} t1, t1, t3
+    sb   t2, 8(t4)
+    sd   t1, 0(t4)
+    j    dispatch
+{name}_isflt_b:
+    li   t2, TNUMFLT
+    bne  t1, t2, {name}_slowstub
+    lbu  t3, 8(t6)
+    bne  t3, t2, {name}_slowstub
+h_{name}__ff:
+    fld  f1, 0(t5)
+    fld  f2, 0(t6)
+    {float_op} f1, f1, f2
+    sb   t2, 8(t4)
+    fsd  f1, 0(t4)
+    j    dispatch
+""".format(name=name, int_op=int_op, float_op=float_op)
+
+
+def polymorphic_handler(name, config):
+    """ADD/SUB/MUL handler for one configuration."""
+    int_op, float_op, tagged_op = _POLY[name]
+    slow = """{name}_slowstub:
+    li   a3, {op_id}
+    j    arith_slow_common
+""".format(name=name, op_id=common.ARITH_OPS[name])
+
+    if config == BASELINE:
+        body = _software_guards(name, int_op, float_op)
+    elif config == TYPED:
+        body = """
+    tld  t1, 0(t5)
+    tld  t2, 0(t6)
+    thdl {name}_slowstub
+    {tagged_op} t1, t1, t2
+    tsd  t1, 0(t4)
+    j    dispatch
+""".format(name=name, tagged_op=tagged_op)
+    elif config == CHECKED_LOAD:
+        # Integer-specialised fast path; a chklb miss re-runs the original
+        # software guards starting at the float check.  R_ctype holds the
+        # integer tag as a VM-wide invariant (set at startup and restored
+        # by the table handlers), so no settype is needed here.
+        body = """
+    thdl {name}_guard_float
+    chklb t1, 8(t5)
+    chklb t2, 8(t6)
+    ld   t1, 0(t5)
+    ld   t3, 0(t6)
+    {int_op} t1, t1, t3
+    li   t2, TNUMINT
+    sb   t2, 8(t4)
+    sd   t1, 0(t4)
+    j    dispatch
+{guards}
+""".format(name=name, int_op=int_op,
+           guards=_fallback_guards(name, float_op))
+    else:
+        raise ValueError("unknown config %r" % config)
+    return "h_%s:\n%s%s%s" % (name, _decode_abc(), body, slow)
+
+
+def _fallback_guards(name, float_op):
+    """Float-pair check used as the chklb slow path."""
+    return """{name}_guard_float:
+    lbu  t1, 8(t5)
+    li   t2, TNUMFLT
+    bne  t1, t2, {name}_slowstub
+    lbu  t3, 8(t6)
+    bne  t3, t2, {name}_slowstub
+h_{name}__ff:
+    fld  f1, 0(t5)
+    fld  f2, 0(t6)
+    {float_op} f1, f1, f2
+    sb   t2, 8(t4)
+    fsd  f1, 0(t4)
+    j    dispatch
+""".format(name=name, float_op=float_op)
+
+
+def div_handler():
+    """DIV: Lua '/' is float division; float/float inline, else slow.
+
+    Identical in every configuration (not one of the paper's retargeted
+    bytecodes).
+    """
+    return "h_DIV:\n" + _decode_abc() + """
+    lbu  t1, 8(t5)
+    li   t2, TNUMFLT
+    bne  t1, t2, DIV_slowstub
+    lbu  t3, 8(t6)
+    bne  t3, t2, DIV_slowstub
+h_DIV__ff:
+    fld  f1, 0(t5)
+    fld  f2, 0(t6)
+    fdiv.d f1, f1, f2
+    sb   t2, 8(t4)
+    fsd  f1, 0(t4)
+    j    dispatch
+DIV_slowstub:
+    li   a3, %d
+    j    arith_slow_common
+""" % common.ARITH_OPS["DIV"]
+
+
+def mod_handler():
+    """MOD: integer floor-modulo inline (rem plus sign fixup), else slow."""
+    return "h_MOD:\n" + _decode_abc() + """
+    lbu  t1, 8(t5)
+    li   t2, TNUMINT
+    bne  t1, t2, MOD_slowstub
+    lbu  t3, 8(t6)
+    bne  t3, t2, MOD_slowstub
+h_MOD__ii:
+    ld   t1, 0(t5)
+    ld   t3, 0(t6)
+    beqz t3, MOD_slowstub
+    rem  t1, t1, t3
+    beqz t1, MOD_store
+    xor  a4, t1, t3
+    bgez a4, MOD_store
+    add  t1, t1, t3
+MOD_store:
+    sb   t2, 8(t4)
+    sd   t1, 0(t4)
+    j    dispatch
+MOD_slowstub:
+    li   a3, %d
+    j    arith_slow_common
+""" % common.ARITH_OPS["MOD"]
+
+
+def idiv_handler():
+    """IDIV: integer floor-division inline, else slow."""
+    return "h_IDIV:\n" + _decode_abc() + """
+    lbu  t1, 8(t5)
+    li   t2, TNUMINT
+    bne  t1, t2, IDIV_slowstub
+    lbu  t3, 8(t6)
+    bne  t3, t2, IDIV_slowstub
+h_IDIV__ii:
+    ld   t1, 0(t5)
+    ld   t3, 0(t6)
+    beqz t3, IDIV_slowstub
+    div  a4, t1, t3
+    mul  a5, a4, t3
+    beq  a5, t1, IDIV_store
+    xor  a5, t1, t3
+    bgez a5, IDIV_store
+    addi a4, a4, -1
+IDIV_store:
+    sb   t2, 8(t4)
+    sd   a4, 0(t4)
+    j    dispatch
+IDIV_slowstub:
+    li   a3, %d
+    j    arith_slow_common
+""" % common.ARITH_OPS["IDIV"]
+
+
+def pow_handler():
+    """POW: always the slow path (Lua's '^' is float exponentiation)."""
+    return "h_POW:\n" + _decode_abc() + """
+    li   a3, %d
+    j    arith_slow_common
+""" % common.ARITH_OPS["POW"]
+
+
+def unm_handler():
+    """UNM: unary minus; int and float inline, else slow (B operand)."""
+    return ("h_UNM:\n" + common.decode_a("t4")
+            + common.decode_plain("b", "t5") + """
+    mv   t6, t5
+    lbu  t1, 8(t5)
+    li   t2, TNUMINT
+    bne  t1, t2, UNM_isflt
+    ld   t1, 0(t5)
+    neg  t1, t1
+    sb   t2, 8(t4)
+    sd   t1, 0(t4)
+    j    dispatch
+UNM_isflt:
+    li   t2, TNUMFLT
+    bne  t1, t2, UNM_slowstub
+    fld  f1, 0(t5)
+    fneg.d f1, f1
+    sb   t2, 8(t4)
+    fsd  f1, 0(t4)
+    j    dispatch
+UNM_slowstub:
+    li   a3, %d
+    j    arith_slow_common
+""" % common.ARITH_OPS["UNM"])
+
+
+def _bitwise_handler(name, op):
+    """BAND/BOR/BXOR: integer-only, with float-coercion via the host."""
+    return ("h_%s:\n" % name) + _decode_abc() + """
+    lbu  t1, 8(t5)
+    li   t2, TNUMINT
+    bne  t1, t2, {name}_slowstub
+    lbu  t3, 8(t6)
+    bne  t3, t2, {name}_slowstub
+h_{name}__ii:
+    ld   t1, 0(t5)
+    ld   t3, 0(t6)
+    {op}  t1, t1, t3
+    sb   t2, 8(t4)
+    sd   t1, 0(t4)
+    j    dispatch
+{name}_slowstub:
+    li   a3, {op_id}
+    j    arith_slow_common
+""".format(name=name, op=op, op_id=common.ARITH_OPS[name])
+
+
+def _shift_handler(name, op):
+    """SHL/SHR: logical shifts; shift amounts outside [0, 64) (including
+    Lua's negative-means-opposite-direction rule) go to the host."""
+    return ("h_%s:\n" % name) + _decode_abc() + """
+    lbu  t1, 8(t5)
+    li   t2, TNUMINT
+    bne  t1, t2, {name}_slowstub
+    lbu  t3, 8(t6)
+    bne  t3, t2, {name}_slowstub
+    ld   t1, 0(t5)
+    ld   t3, 0(t6)
+    li   a4, 64
+    bgeu t3, a4, {name}_slowstub
+h_{name}__ii:
+    {op}  t1, t1, t3
+    sb   t2, 8(t4)
+    sd   t1, 0(t4)
+    j    dispatch
+{name}_slowstub:
+    li   a3, {op_id}
+    j    arith_slow_common
+""".format(name=name, op=op, op_id=common.ARITH_OPS[name])
+
+
+def bnot_handler():
+    """BNOT: unary bitwise-not on integers; floats coerce via the host."""
+    return ("h_BNOT:\n" + common.decode_a("t4")
+            + common.decode_plain("b", "t5") + """
+    mv   t6, t5
+    lbu  t1, 8(t5)
+    li   t2, TNUMINT
+    bne  t1, t2, BNOT_slowstub
+    ld   t1, 0(t5)
+    not  t1, t1
+    sb   t2, 8(t4)
+    sd   t1, 0(t4)
+    j    dispatch
+BNOT_slowstub:
+    li   a3, %d
+    j    arith_slow_common
+""" % common.ARITH_OPS["BNOT"])
+
+
+def build(config):
+    """All arithmetic handlers for ``config``."""
+    parts = [polymorphic_handler(name, config)
+             for name in ("ADD", "SUB", "MUL")]
+    parts += [div_handler(), mod_handler(), idiv_handler(), pow_handler(),
+              unm_handler(),
+              _bitwise_handler("BAND", "and"),
+              _bitwise_handler("BOR", "or"),
+              _bitwise_handler("BXOR", "xor"),
+              _shift_handler("SHL", "sll"),
+              _shift_handler("SHR", "srl"),
+              bnot_handler()]
+    return "\n".join(parts)

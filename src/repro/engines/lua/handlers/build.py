@@ -1,0 +1,60 @@
+"""Assemble the full MiniLua interpreter text for one configuration."""
+
+from repro.engines import BASELINE, CHECKED_LOAD, TYPED
+from repro.engines.lua import layout
+from repro.engines.lua.handlers import arith, common, control, table
+from repro.sim.trt import pack_rule
+
+
+def _startup(config):
+    """Interpreter prologue: load the VM registers (program-specific
+    addresses come from the boot block) and, for the typed machine,
+    program the tag extractor and Type Rule Table exactly once at launch
+    (Section 3.1)."""
+    lines = ["startup:"]
+    lines.append("    li a0, %d" % layout.BOOT_BLOCK)
+    lines.append("    ld s0, %d(a0)" % layout.BOOT_MAIN_CODE)
+    lines.append("    ld s2, %d(a0)" % layout.BOOT_MAIN_CONSTS)
+    lines.append("    ld s4, %d(a0)" % layout.BOOT_GLOBALS)
+    lines.append("    li s1, %d" % layout.REG_STACK_BASE)
+    lines.append("    li s3, %d" % layout.JUMP_TABLE_ADDR)
+    lines.append("    li s5, %d" % layout.CALL_STACK_BASE)
+    lines.append("    li s6, %d" % layout.CALL_STACK_BASE)
+    if config == TYPED:
+        spr = layout.SPR_SETTINGS
+        lines.append("    li a0, %d" % spr.offset)
+        lines.append("    setoffset a0")
+        lines.append("    li a0, %d" % spr.shift)
+        lines.append("    setshift a0")
+        lines.append("    li a0, %d" % spr.mask)
+        lines.append("    setmask a0")
+        for rule in layout.TYPE_RULES:
+            lines.append("    li a0, %d" % pack_rule(rule))
+            lines.append("    set_trt a0")
+    elif config == CHECKED_LOAD:
+        lines.append("    li a0, %d" % layout.TNUMINT)
+        lines.append("    settype a0")
+    lines.append("    j dispatch")
+    return "\n".join(lines) + "\n"
+
+
+def build_interpreter(config):
+    """Full interpreter assembly text for ``config``.
+
+    The text is program-independent: launch addresses are read from the
+    boot block the image builder fills, so callers may cache the
+    assembled program per configuration.
+    """
+    if config not in (BASELINE, TYPED, CHECKED_LOAD):
+        raise ValueError("unknown config %r" % config)
+    parts = [
+        common.equ_block(),
+        _startup(config),
+        common.dispatch_loop(),
+        arith.build(config),
+        table.build(config),
+        control.build(),
+        common.slow_stubs(),
+        common.error_stub(),
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,212 @@
+"""Shared assembly fragments: dispatch, operand decode, slow-path stubs.
+
+Register conventions of the MiniLua interpreter (persistent across
+handlers):
+
+========  =====================================================
+``s0``    bytecode program counter
+``s1``    current frame base (address of R(0))
+``s2``    current constants base (TValue array)
+``s3``    handler jump table base
+``s4``    globals TValue array base
+``s5``    call-stack top
+``s6``    call-stack base (empty-stack sentinel for RETURN)
+========  =====================================================
+
+Scratch registers: ``t0`` holds the fetched bytecode word (must be
+preserved until jump-offset extraction in jump handlers), ``t1``-``t3``
+are free, ``t4``/``t5``/``t6`` hold the decoded ``&R(A)``/``&RK(B)``/
+``&RK(C)`` pointers, and ``a0``-``a7`` are host-call arguments.
+"""
+
+from repro.engines.lua import layout
+
+# Host service ids (shared with repro.engines.lua.runtime).
+SVC_ARITH = 2
+SVC_TABLE_GET = 3
+SVC_TABLE_SET = 4
+SVC_NEWTABLE = 5
+SVC_CONCAT = 6
+SVC_COMPARE = 7
+SVC_BUILTIN = 8
+SVC_ERROR = 9
+SVC_FORPREP = 10
+
+# arith_slow / compare_slow operation ids.
+ARITH_OPS = {"ADD": 0, "SUB": 1, "MUL": 2, "DIV": 3, "MOD": 4, "IDIV": 5,
+             "POW": 6, "UNM": 7, "BAND": 8, "BOR": 9, "BXOR": 10,
+             "SHL": 11, "SHR": 12, "BNOT": 13}
+COMPARE_OPS = {"EQ": 0, "LT": 1, "LE": 2}
+
+
+def equ_block():
+    """.equ constants shared by every handler."""
+    return """
+    .equ TNIL, %d
+    .equ TBOOL, %d
+    .equ TNUMFLT, %d
+    .equ TSTR, %d
+    .equ TTAB, %d
+    .equ TFUN, %d
+    .equ TNUMINT, %d
+""" % (layout.TNIL, layout.TBOOL, layout.TNUMFLT, layout.TSTR,
+       layout.TTAB, layout.TFUN, layout.TNUMINT)
+
+
+def dispatch_loop():
+    """Fetch the next 32-bit bytecode and jump through the handler table."""
+    return """
+dispatch:
+    lw   t0, 0(s0)
+    addi s0, s0, 4
+    andi t1, t0, 0xFF
+    slli t1, t1, 3
+    add  t1, t1, s3
+    ld   t1, 0(t1)
+    jr   t1
+"""
+
+
+def decode_a(dest="t4"):
+    """&R(A) into ``dest``."""
+    return """
+    srli {d}, t0, 8
+    andi {d}, {d}, 0xFF
+    slli {d}, {d}, 4
+    add  {d}, {d}, s1
+""".format(d=dest)
+
+
+def decode_plain(operand, dest):
+    """&R(B) or &R(C) (register operand, no RK flag) into ``dest``."""
+    shift = {"b": 16, "c": 24}[operand]
+    text = "    srli {d}, t0, {shift}\n".format(d=dest, shift=shift)
+    if shift == 16:
+        text += "    andi {d}, {d}, 0xFF\n".format(d=dest)
+    text += """    slli {d}, {d}, 4
+    add  {d}, {d}, s1
+""".format(d=dest)
+    return text
+
+
+def decode_field(operand, dest):
+    """Raw 8-bit field value (e.g. an immediate count) into ``dest``."""
+    shift = {"b": 16, "c": 24}[operand]
+    text = "    srli {d}, t0, {shift}\n".format(d=dest, shift=shift)
+    if shift == 16:
+        text += "    andi {d}, {d}, 0xFF\n".format(d=dest)
+    return text
+
+
+_RK_SEQUENCE = 0
+
+
+def decode_rk(operand, dest, scratch="a5"):
+    """&RK(B) / &RK(C) into ``dest``.
+
+    Mirrors what gcc -O3 emits for Lua's RK macros: test the constant
+    flag and branch, with the register path laid out as the fall-through
+    (the common case).
+    """
+    global _RK_SEQUENCE
+    _RK_SEQUENCE += 1
+    prefix = "RK%d" % _RK_SEQUENCE
+    shift = {"b": 16, "c": 24}[operand]
+    text = "    srli {d}, t0, {shift}\n".format(d=dest, shift=shift)
+    if shift == 16:
+        text += "    andi {d}, {d}, 0xFF\n".format(d=dest)
+    return text + """    andi {s}, {d}, 0x80
+    bnez {s}, {p}_konst
+    slli {d}, {d}, 4
+    add  {d}, {d}, s1
+    j    {p}_done
+{p}_konst:
+    andi {d}, {d}, 0x7F
+    slli {d}, {d}, 4
+    add  {d}, {d}, s2
+{p}_done:
+""".format(d=dest, s=scratch, p=prefix)
+
+
+def jump_by_offset():
+    """Add the instruction's signed 16-bit offset (in t0) to the PC."""
+    return """
+    slli a5, t0, 32
+    srai a5, a5, 48
+    slli a5, a5, 2
+    add  s0, s0, a5
+"""
+
+
+def truthiness(tag_reg, value_reg, result_reg, scratch):
+    """Set ``result_reg`` to 1 when the value is *false* (nil or false)."""
+    return """
+    seqz {r}, {tag}
+    addi {s}, {tag}, -1
+    seqz {s}, {s}
+    seqz {v}, {v}
+    and  {s}, {s}, {v}
+    or   {r}, {r}, {s}
+""".format(r=result_reg, tag=tag_reg, v=value_reg, s=scratch)
+
+
+def copy_tvalue(src_ptr, dst_ptr, scratch1="t1", scratch2="t2"):
+    """Copy a 16-byte TValue (value dword + tag dword)."""
+    return """
+    ld   {s1}, 0({src})
+    ld   {s2}, 8({src})
+    sd   {s1}, 0({dst})
+    sd   {s2}, 8({dst})
+""".format(s1=scratch1, s2=scratch2, src=src_ptr, dst=dst_ptr)
+
+
+def slow_stubs():
+    """Common tails that marshal host-call arguments.
+
+    Individual handlers load an operation id into ``a3`` (arith/compare)
+    and jump here; the decoded pointers are still in t4/t5/t6.
+    """
+    return """
+arith_slow_common:
+    mv   a0, t4
+    mv   a1, t5
+    mv   a2, t6
+    li   a7, %d
+    ecall
+    j    dispatch
+compare_slow_common:
+    mv   a0, t4
+    mv   a1, t5
+    mv   a2, t6
+    li   a7, %d
+    ecall
+    j    dispatch
+table_get_slow_common:
+    mv   a0, t5
+    mv   a1, t6
+    mv   a2, t4
+    li   a7, %d
+    ecall
+    j    dispatch
+table_set_slow_common:
+    mv   a0, t4
+    mv   a1, t5
+    mv   a2, t6
+    li   a7, %d
+    ecall
+    j    dispatch
+""" % (SVC_ARITH, SVC_COMPARE, SVC_TABLE_GET, SVC_TABLE_SET)
+
+
+def error_stub():
+    """Unimplemented opcode / runtime type error: abort via the host."""
+    return """
+h_ILLEGAL:
+vm_error:
+    mv   a0, t0
+    li   a7, %d
+    ecall
+    ebreak
+vm_exit:
+    ebreak
+""" % SVC_ERROR

@@ -1,0 +1,352 @@
+"""Data-movement and control-flow handlers (identical in all configs).
+
+These bytecodes are not retargeted by the paper (Table 3 lists only
+ADD/SUB/MUL/GETTABLE/SETTABLE), so baseline, typed and chklb machines all
+run the same code here.
+"""
+
+from repro.engines.lua import layout
+from repro.engines.lua.handlers import common
+
+
+def move_handler():
+    return ("h_MOVE:\n" + common.decode_a("t4")
+            + common.decode_plain("b", "t5")
+            + common.copy_tvalue("t5", "t4")
+            + "    j dispatch\n")
+
+
+def loadk_handler():
+    """LOADK A, B: copy constant B (plain 8-bit index) into R(A)."""
+    return ("h_LOADK:\n" + common.decode_a("t4") + """
+    srli t5, t0, 16
+    andi t5, t5, 0xFF
+    slli t5, t5, 4
+    add  t5, t5, s2
+""" + common.copy_tvalue("t5", "t4") + "    j dispatch\n")
+
+
+def loadnil_handler():
+    return "h_LOADNIL:\n" + common.decode_a("t4") + """
+    sd   zero, 0(t4)
+    sd   zero, 8(t4)
+    j    dispatch
+"""
+
+
+def loadbool_handler():
+    return "h_LOADBOOL:\n" + common.decode_a("t4") + """
+    srli t1, t0, 16
+    andi t1, t1, 1
+    sd   t1, 0(t4)
+    li   t2, TBOOL
+    sb   t2, 8(t4)
+    j    dispatch
+"""
+
+
+def getglobal_handler():
+    return ("h_GETGLOBAL:\n" + common.decode_a("t4") + """
+    srli t5, t0, 16
+    andi t5, t5, 0xFF
+    slli t5, t5, 4
+    add  t5, t5, s4
+""" + common.copy_tvalue("t5", "t4") + "    j dispatch\n")
+
+
+def setglobal_handler():
+    """SETGLOBAL A, B: store R(A) into global slot B."""
+    return ("h_SETGLOBAL:\n" + common.decode_a("t4") + """
+    srli t5, t0, 16
+    andi t5, t5, 0xFF
+    slli t5, t5, 4
+    add  t5, t5, s4
+""" + common.copy_tvalue("t4", "t5") + "    j dispatch\n")
+
+
+def jmp_handler():
+    return "h_JMP:\n" + common.jump_by_offset() + "    j dispatch\n"
+
+
+def _conditional_jump(name, take_when_false):
+    """JMPF/JMPT A, offset."""
+    # The branch skips the jump: JMPF skips when truthy (is_false == 0),
+    # JMPT skips when false (is_false == 1).
+    branch = "beqz" if take_when_false else "bnez"
+    return ("h_%s:\n" % name) + common.decode_a("t4") + """
+    lbu  t1, 8(t4)
+    ld   t2, 0(t4)
+""" + common.truthiness("t1", "t2", "t3", "a4") + """
+    {branch} t3, {name}_nojump
+""".format(branch=branch, name=name) + common.jump_by_offset() + """
+{name}_nojump:
+    j    dispatch
+""".format(name=name)
+
+
+def not_handler():
+    return ("h_NOT:\n" + common.decode_a("t4")
+            + common.decode_plain("b", "t5") + """
+    lbu  t1, 8(t5)
+    ld   t2, 0(t5)
+""" + common.truthiness("t1", "t2", "t3", "a4") + """
+    sd   t3, 0(t4)
+    li   t2, TBOOL
+    sb   t2, 8(t4)
+    j    dispatch
+""")
+
+
+def eq_handler():
+    """EQ A, B, C: R(A) = RK(B) == RK(C), as a boolean.
+
+    Same-tag values compare by payload (interned strings and reference
+    types compare by pointer); int/float mixes convert; anything else is
+    unequal.
+    """
+    return ("h_EQ:\n" + common.decode_a("t4") + common.decode_rk("b", "t5")
+            + common.decode_rk("c", "t6") + """
+    lbu  t1, 8(t5)
+    lbu  t2, 8(t6)
+    bne  t1, t2, EQ_mixed
+    li   t3, TNUMFLT
+    beq  t1, t3, EQ_float
+    ld   t1, 0(t5)
+    ld   t2, 0(t6)
+    xor  t1, t1, t2
+    seqz t1, t1
+EQ_store:
+    sd   t1, 0(t4)
+    li   t2, TBOOL
+    sb   t2, 8(t4)
+    j    dispatch
+EQ_float:
+    fld  f1, 0(t5)
+    fld  f2, 0(t6)
+    feq.d t1, f1, f2
+    j    EQ_store
+EQ_mixed:
+    li   t3, TNUMINT
+    li   a4, TNUMFLT
+    bne  t1, t3, EQ_mixed2
+    bne  t2, a4, EQ_false
+    ld   t1, 0(t5)
+    fcvt.d.l f1, t1
+    fld  f2, 0(t6)
+    feq.d t1, f1, f2
+    j    EQ_store
+EQ_mixed2:
+    bne  t1, a4, EQ_false
+    bne  t2, t3, EQ_false
+    fld  f1, 0(t5)
+    ld   t1, 0(t6)
+    fcvt.d.l f2, t1
+    feq.d t1, f1, f2
+    j    EQ_store
+EQ_false:
+    li   t1, 0
+    j    EQ_store
+""")
+
+
+def _order_handler(name, int_cmp, float_cmp):
+    """LT/LE A, B, C with numeric fast paths; strings go to the host."""
+    return ("h_%s:\n" % name) + common.decode_a("t4") \
+        + common.decode_rk("b", "t5") + common.decode_rk("c", "t6") + """
+    lbu  t1, 8(t5)
+    lbu  t2, 8(t6)
+    li   t3, TNUMINT
+    bne  t1, t3, {name}_notii
+    bne  t2, t3, {name}_mixed
+    ld   t1, 0(t5)
+    ld   t2, 0(t6)
+    {int_cmp}
+{name}_store:
+    sd   t1, 0(t4)
+    li   t2, TBOOL
+    sb   t2, 8(t4)
+    j    dispatch
+{name}_notii:
+    li   a4, TNUMFLT
+    bne  t1, a4, {name}_slowstub
+    bne  t2, a4, {name}_mixed2
+    fld  f1, 0(t5)
+    fld  f2, 0(t6)
+    {float_cmp} t1, f1, f2
+    j    {name}_store
+{name}_mixed:
+    li   a4, TNUMFLT
+    bne  t2, a4, {name}_slowstub
+    ld   t1, 0(t5)
+    fcvt.d.l f1, t1
+    fld  f2, 0(t6)
+    {float_cmp} t1, f1, f2
+    j    {name}_store
+{name}_mixed2:
+    bne  t2, t3, {name}_slowstub
+    fld  f1, 0(t5)
+    ld   t1, 0(t6)
+    fcvt.d.l f2, t1
+    {float_cmp} t1, f1, f2
+    j    {name}_store
+{name}_slowstub:
+    li   a3, {op_id}
+    j    compare_slow_common
+""".format(name=name, int_cmp=int_cmp, float_cmp=float_cmp,
+           op_id=common.COMPARE_OPS[name])
+
+
+def call_handler():
+    """CALL A, nargs: bytecode functions push an activation record;
+    native builtins are a host (library) call."""
+    return "h_CALL:\n" + common.decode_a("t4") + """
+    lbu  t1, 8(t4)
+    li   t2, TFUN
+    bne  t1, t2, CALL_err
+    ld   t2, 0(t4)
+    ld   t1, %d(t2)
+    bnez t1, CALL_native
+    sd   s0, %d(s5)
+    sd   s1, %d(s5)
+    sd   s2, %d(s5)
+    sd   t4, %d(s5)
+    addi s5, s5, %d
+    ld   s0, %d(t2)
+    ld   s2, %d(t2)
+    addi s1, t4, 16
+    j    dispatch
+CALL_native:
+    addi a0, t4, 16
+    srli a1, t0, 16
+    andi a1, a1, 0xFF
+    mv   a2, t4
+    ld   a3, %d(t2)
+    li   a7, %d
+    ecall
+    j    dispatch
+CALL_err:
+    j    vm_error
+""" % (layout.PROTO_KIND, layout.FRAME_SAVED_PC, layout.FRAME_SAVED_BASE,
+       layout.FRAME_SAVED_CONSTS, layout.FRAME_DEST_PTR, layout.FRAME_SIZE,
+       layout.PROTO_CODE, layout.PROTO_CONSTS, layout.PROTO_BUILTIN_ID,
+       common.SVC_BUILTIN)
+
+
+def return_handlers():
+    """RETURN A (one value) and RETURN0 (nil)."""
+    return "h_RETURN:\n" + common.decode_a("t4") + """
+    ld   t1, 0(t4)
+    ld   t2, 8(t4)
+    j    RET_common
+h_RETURN0:
+    li   t1, 0
+    li   t2, 0
+RET_common:
+    beq  s5, s6, vm_exit_jump
+    addi s5, s5, -%d
+    ld   s0, %d(s5)
+    ld   s1, %d(s5)
+    ld   s2, %d(s5)
+    ld   t3, %d(s5)
+    sd   t1, 0(t3)
+    sd   t2, 8(t3)
+    j    dispatch
+vm_exit_jump:
+    j    vm_exit
+""" % (layout.FRAME_SIZE, layout.FRAME_SAVED_PC, layout.FRAME_SAVED_BASE,
+       layout.FRAME_SAVED_CONSTS, layout.FRAME_DEST_PTR)
+
+
+def forprep_handler():
+    """FORPREP A, offset: prime the loop (idx -= step) and jump to the
+    matching FORLOOP.  All-integer state runs inline; anything else is
+    coerced to floats by the host."""
+    return "h_FORPREP:\n" + common.decode_a("t4") + """
+    lbu  t1, 8(t4)
+    lbu  t2, 24(t4)
+    lbu  t3, 40(t4)
+    li   a4, TNUMINT
+    xor  t1, t1, a4
+    xor  t2, t2, a4
+    xor  t3, t3, a4
+    or   t1, t1, t2
+    or   t1, t1, t3
+    bnez t1, FORPREP_slow
+    ld   t1, 0(t4)
+    ld   t2, 32(t4)
+    sub  t1, t1, t2
+    sd   t1, 0(t4)
+FORPREP_jump:
+""" + common.jump_by_offset() + """
+    j    dispatch
+FORPREP_slow:
+    mv   a0, t4
+    li   a7, %d
+    ecall
+    j    FORPREP_jump
+""" % common.SVC_FORPREP
+
+
+def forloop_handler():
+    """FORLOOP A, offset: advance, test against the limit, copy the user
+    variable and loop.  Integer and float paths are both inline."""
+    return "h_FORLOOP:\n" + common.decode_a("t4") + """
+    lbu  t1, 8(t4)
+    li   t2, TNUMINT
+    bne  t1, t2, FORLOOP_float
+    ld   t1, 0(t4)
+    ld   t3, 32(t4)
+    add  t1, t1, t3
+    ld   a4, 16(t4)
+    sd   t1, 0(t4)
+    bltz t3, FORLOOP_negstep
+    blt  a4, t1, FORLOOP_exit
+FORLOOP_cont:
+    sd   t1, 48(t4)
+    sb   t2, 56(t4)
+""" + common.jump_by_offset() + """
+    j    dispatch
+FORLOOP_negstep:
+    blt  t1, a4, FORLOOP_exit
+    j    FORLOOP_cont
+FORLOOP_exit:
+    j    dispatch
+FORLOOP_float:
+    fld  f1, 0(t4)
+    fld  f3, 32(t4)
+    fadd.d f1, f1, f3
+    fld  f2, 16(t4)
+    fsd  f1, 0(t4)
+    fmv.d.x f4, zero
+    flt.d t3, f3, f4
+    bnez t3, FORLOOP_fneg
+    fle.d t3, f1, f2
+    beqz t3, FORLOOP_exit
+FORLOOP_fcont:
+    fsd  f1, 48(t4)
+    li   t2, TNUMFLT
+    sb   t2, 56(t4)
+""" + common.jump_by_offset() + """
+    j    dispatch
+FORLOOP_fneg:
+    fle.d t3, f2, f1
+    beqz t3, FORLOOP_exit
+    j    FORLOOP_fcont
+"""
+
+
+def build():
+    """All shared handlers."""
+    return "\n".join([
+        move_handler(), loadk_handler(), loadnil_handler(),
+        loadbool_handler(), getglobal_handler(), setglobal_handler(),
+        jmp_handler(),
+        _conditional_jump("JMPF", take_when_false=True),
+        _conditional_jump("JMPT", take_when_false=False),
+        not_handler(), eq_handler(),
+        _order_handler("LT", "slt  t1, t1, t2", "flt.d"),
+        _order_handler("LE", "slt  t1, t2, t1\n    xori t1, t1, 1",
+                       "fle.d"),
+        call_handler(), return_handlers(), forprep_handler(),
+        forloop_handler(),
+    ])

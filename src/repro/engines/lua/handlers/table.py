@@ -1,0 +1,205 @@
+"""Table-access bytecode handlers (GETTABLE/SETTABLE retargeted per
+Table 3) plus NEWTABLE, LEN and CONCAT.
+
+The fast path covers the common Table-Int case: the key indexes the
+table's array part (keys 1..length, plus append for SETTABLE).  String
+keys, out-of-range integers and growth go through the slow path, which is
+the host-backed hash-table code — exactly the split the paper describes
+in Section 4.1.
+"""
+
+from repro.engines import BASELINE, CHECKED_LOAD, TYPED
+from repro.engines.lua.handlers import common
+
+
+def _gettable_fast_body(copy_typed):
+    """Bounds check + array-element copy.  ``t1`` holds the table pointer
+    and ``t2`` the integer key on entry."""
+    copy = """
+    tld  t2, 0(t1)
+    tsd  t2, 0(t4)
+""" if copy_typed else """
+    ld   t2, 0(t1)
+    ld   t3, 8(t1)
+    sd   t2, 0(t4)
+    sd   t3, 8(t4)
+"""
+    return """
+h_GETTABLE__fast:
+    ld   t3, 16(t1)
+    addi t2, t2, -1
+    bgeu t2, t3, GETTABLE_slowstub
+    ld   t1, 0(t1)
+    slli t2, t2, 4
+    add  t1, t1, t2
+%s    j    dispatch
+""" % copy
+
+
+def gettable_handler(config):
+    decode = (common.decode_a("t4") + common.decode_rk("b", "t5")
+              + common.decode_rk("c", "t6"))
+    if config == BASELINE:
+        body = """
+    lbu  t1, 8(t5)
+    li   t2, TTAB
+    bne  t1, t2, GETTABLE_slowstub
+    lbu  t1, 8(t6)
+    li   t2, TNUMINT
+    bne  t1, t2, GETTABLE_slowstub
+    ld   t1, 0(t5)
+    ld   t2, 0(t6)
+""" + _gettable_fast_body(copy_typed=False)
+    elif config == TYPED:
+        body = """
+    tld  t1, 0(t5)
+    tld  t2, 0(t6)
+    thdl GETTABLE_slowstub
+    tchk t1, t2
+""" + _gettable_fast_body(copy_typed=True)
+    elif config == CHECKED_LOAD:
+        # The single expected-type register holds the integer tag as a
+        # VM-wide invariant, so only the key check can be fused; the
+        # table tag keeps its software guard (Checked Load's narrow
+        # coverage, Section 8).
+        body = """
+    lbu  t1, 8(t5)
+    li   t2, TTAB
+    bne  t1, t2, GETTABLE_slowstub
+    thdl GETTABLE_slowstub
+    chklb t1, 8(t6)
+    ld   t1, 0(t5)
+    ld   t2, 0(t6)
+""" + _gettable_fast_body(copy_typed=False)
+    else:
+        raise ValueError("unknown config %r" % config)
+    return "h_GETTABLE:\n%s%sGETTABLE_slowstub:\n    j table_get_slow_common\n" \
+        % (decode, body)
+
+
+def _settable_fast_body(copy_typed):
+    """Array store with append support.  ``t1`` = table pointer, ``t2`` =
+    key; the value operand pointer is in ``t6``."""
+    copy = """
+    tld  t2, 0(t6)
+    tsd  t2, 0(t1)
+""" if copy_typed else """
+    ld   t2, 0(t6)
+    ld   t3, 8(t6)
+    sd   t2, 0(t1)
+    sd   t3, 8(t1)
+"""
+    return """
+h_SETTABLE__fast:
+    ld   t3, 16(t1)
+    addi t2, t2, -1
+    bltu t2, t3, SETTABLE_store
+    bne  t2, t3, SETTABLE_slowstub
+    ld   a4, 8(t1)
+    bgeu t2, a4, SETTABLE_slowstub
+    addi t3, t3, 1
+    sd   t3, 16(t1)
+SETTABLE_store:
+    ld   t1, 0(t1)
+    slli t2, t2, 4
+    add  t1, t1, t2
+%s    j    dispatch
+""" % copy
+
+
+def settable_handler(config):
+    decode = (common.decode_a("t4") + common.decode_rk("b", "t5")
+              + common.decode_rk("c", "t6"))
+    if config == BASELINE:
+        body = """
+    lbu  t1, 8(t4)
+    li   t2, TTAB
+    bne  t1, t2, SETTABLE_slowstub
+    lbu  t1, 8(t5)
+    li   t2, TNUMINT
+    bne  t1, t2, SETTABLE_slowstub
+    ld   t1, 0(t4)
+    ld   t2, 0(t5)
+""" + _settable_fast_body(copy_typed=False)
+    elif config == TYPED:
+        body = """
+    tld  t1, 0(t4)
+    tld  t2, 0(t5)
+    thdl SETTABLE_slowstub
+    tchk t1, t2
+""" + _settable_fast_body(copy_typed=True)
+    elif config == CHECKED_LOAD:
+        body = """
+    lbu  t1, 8(t4)
+    li   t2, TTAB
+    bne  t1, t2, SETTABLE_slowstub
+    thdl SETTABLE_slowstub
+    chklb t1, 8(t5)
+    ld   t1, 0(t4)
+    ld   t2, 0(t5)
+""" + _settable_fast_body(copy_typed=False)
+    else:
+        raise ValueError("unknown config %r" % config)
+    return "h_SETTABLE:\n%s%sSETTABLE_slowstub:\n    j table_set_slow_common\n" \
+        % (decode, body)
+
+
+def newtable_handler():
+    """NEWTABLE A, hint: allocation is a host (library) call."""
+    return "h_NEWTABLE:\n" + common.decode_a("t4") + """
+    srli a0, t0, 16
+    andi a0, a0, 0xFF
+    mv   a1, t4
+    li   a7, %d
+    ecall
+    j    dispatch
+""" % common.SVC_NEWTABLE
+
+
+def len_handler():
+    """LEN A, B: string length or table array length, inline."""
+    return ("h_LEN:\n" + common.decode_a("t4")
+            + common.decode_plain("b", "t5") + """
+    lbu  t1, 8(t5)
+    li   t2, TSTR
+    bne  t1, t2, LEN_table
+    ld   t3, 0(t5)
+    ld   t3, 0(t3)
+    j    LEN_store
+LEN_table:
+    li   t2, TTAB
+    bne  t1, t2, LEN_err
+    ld   t3, 0(t5)
+    ld   t3, 16(t3)
+LEN_store:
+    sd   t3, 0(t4)
+    li   t2, TNUMINT
+    sb   t2, 8(t4)
+    j    dispatch
+LEN_err:
+    j    vm_error
+""")
+
+
+def concat_handler():
+    """CONCAT A, B, C: string building is a host (library) call."""
+    return ("h_CONCAT:\n" + common.decode_a("t4")
+            + common.decode_rk("b", "t5") + common.decode_rk("c", "t6") + """
+    mv   a0, t4
+    mv   a1, t5
+    mv   a2, t6
+    li   a7, %d
+    ecall
+    j    dispatch
+""" % common.SVC_CONCAT)
+
+
+def build(config):
+    """All table-access handlers for ``config``."""
+    return "\n".join([
+        gettable_handler(config),
+        settable_handler(config),
+        newtable_handler(),
+        len_handler(),
+        concat_handler(),
+    ])

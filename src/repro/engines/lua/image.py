@@ -1,0 +1,103 @@
+"""Build the simulated-memory image of a compiled MiniLua chunk.
+
+Lays out the handler jump table, one descriptor + bytecode array +
+constants array per prototype, and the globals TValue array, then installs
+the builtin globals.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.engines.lua import layout
+from repro.engines.lua.compiler import FunctionConst
+from repro.engines.lua.opcodes import NUM_OPCODES
+from repro.engines.lua.runtime import install_builtin_globals
+
+
+@dataclass
+class LuaImage:
+    """Addresses the interpreter prologue and runner need."""
+
+    jump_table_addr: int
+    globals_addr: int
+    main_code_addr: int
+    main_consts_addr: int
+    proto_addrs: list = field(default_factory=list)
+    end: int = 0
+
+
+class _Cursor:
+    def __init__(self, base):
+        self.position = base
+
+    def take(self, nbytes, align=16):
+        self.position = (self.position + align - 1) & ~(align - 1)
+        addr = self.position
+        self.position += nbytes
+        return addr
+
+
+def build_image(chunk, runtime):
+    """Write ``chunk`` into ``runtime``'s memory; returns a LuaImage."""
+    mem = runtime.mem
+    cursor = _Cursor(layout.IMAGE_BASE)
+
+    jump_table = cursor.take(NUM_OPCODES * 8)
+    proto_addrs = [cursor.take(layout.PROTO_SIZE) for _ in chunk.protos]
+
+    code_addrs = []
+    const_addrs = []
+    for proto in chunk.protos:
+        code_addr = cursor.take(len(proto.code) * 4, align=4)
+        for offset, word in enumerate(proto.code):
+            mem.store(code_addr + offset * 4, 4, word)
+        code_addrs.append(code_addr)
+
+        consts_addr = cursor.take(len(proto.constants) * layout.TVALUE_SIZE)
+        for index, constant in enumerate(proto.constants):
+            slot = consts_addr + index * layout.TVALUE_SIZE
+            if isinstance(constant, FunctionConst):
+                mem.store_u64(slot, proto_addrs[constant.proto_index])
+                mem.store_u64(slot + layout.TAG_OFFSET, layout.TFUN)
+            else:
+                runtime.write_value(slot, constant)
+        const_addrs.append(consts_addr)
+
+    for index, proto in enumerate(chunk.protos):
+        descriptor = proto_addrs[index]
+        mem.store_u64(descriptor + layout.PROTO_CODE, code_addrs[index])
+        mem.store_u64(descriptor + layout.PROTO_CONSTS, const_addrs[index])
+        mem.store_u64(descriptor + layout.PROTO_NREGS, proto.nregs)
+        mem.store_u64(descriptor + layout.PROTO_KIND, 0)
+        mem.store_u64(descriptor + layout.PROTO_NPARAMS, proto.num_params)
+
+    globals_addr = cursor.take(len(chunk.globals) * layout.TVALUE_SIZE)
+    install_builtin_globals(runtime, globals_addr, chunk.globals)
+
+    if cursor.position > layout.REG_STACK_BASE:
+        raise ValueError("program image overflows its region "
+                         "(%d bytes)" % (cursor.position - layout.IMAGE_BASE))
+    assert jump_table == layout.JUMP_TABLE_ADDR
+    # Boot block: launch parameters for the cached interpreter text.
+    mem.store_u64(layout.BOOT_BLOCK + layout.BOOT_MAIN_CODE, code_addrs[0])
+    mem.store_u64(layout.BOOT_BLOCK + layout.BOOT_MAIN_CONSTS,
+                  const_addrs[0])
+    mem.store_u64(layout.BOOT_BLOCK + layout.BOOT_GLOBALS, globals_addr)
+    return LuaImage(
+        jump_table_addr=jump_table,
+        globals_addr=globals_addr,
+        main_code_addr=code_addrs[0],
+        main_consts_addr=const_addrs[0],
+        proto_addrs=proto_addrs,
+        end=cursor.position,
+    )
+
+
+def fill_jump_table(image, program, memory):
+    """Point every opcode's jump-table slot at its handler (or the error
+    stub for unimplemented opcodes)."""
+    from repro.engines.lua.opcodes import Op
+    fallback = program.labels["h_ILLEGAL"]
+    for opcode in range(NUM_OPCODES):
+        label = "h_%s" % Op(opcode).name
+        target = program.labels.get(label, fallback)
+        memory.store_u64(image.jump_table_addr + opcode * 8, target)

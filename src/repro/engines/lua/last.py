@@ -1,0 +1,181 @@
+"""AST node types for the MiniLua subset.
+
+Plain dataclasses; the compiler pattern-matches on the node class.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+
+# -- expressions -------------------------------------------------------------
+
+@dataclass
+class NilLit(Node):
+    pass
+
+
+@dataclass
+class BoolLit(Node):
+    value: bool
+
+
+@dataclass
+class NumberLit(Node):
+    value: object  # int or float
+
+
+@dataclass
+class StringLit(Node):
+    value: str
+
+
+@dataclass
+class Name(Node):
+    name: str
+
+
+@dataclass
+class Index(Node):
+    """``obj[key]`` (and ``obj.field`` sugar)."""
+
+    obj: Node
+    key: Node
+
+
+@dataclass
+class BinOp(Node):
+    op: str
+    left: Node
+    right: Node
+
+
+@dataclass
+class UnOp(Node):
+    op: str  # '-', 'not', '#'
+    operand: Node
+
+
+@dataclass
+class Call(Node):
+    func: Node
+    args: list
+
+
+@dataclass
+class TableCtor(Node):
+    """``{a, b, key = v}``: positional items plus named fields."""
+
+    items: list
+    fields: list  # (name, expr) pairs
+
+
+@dataclass
+class FunctionExpr(Node):
+    params: list
+    body: "Block"
+    name: Optional[str] = None
+
+
+# -- statements ---------------------------------------------------------------
+
+@dataclass
+class Block(Node):
+    statements: list = field(default_factory=list)
+
+
+@dataclass
+class LocalAssign(Node):
+    name: str
+    value: Optional[Node]
+
+
+@dataclass
+class Assign(Node):
+    target: Node  # Name or Index
+    value: Node
+
+
+@dataclass
+class MultiLocal(Node):
+    """``local a, b, c = x, y`` (values first, then bind; missing values
+    are nil, extra values are evaluated and dropped)."""
+
+    names: list
+    values: list
+
+
+@dataclass
+class MultiAssign(Node):
+    """``a, b = b, a``: all values evaluate before any store."""
+
+    targets: list  # Name or Index nodes
+    values: list
+
+
+@dataclass
+class CallStat(Node):
+    call: Call
+
+
+@dataclass
+class If(Node):
+    """``clauses`` is a list of (condition, Block); ``orelse`` the final
+    else Block or None."""
+
+    clauses: list
+    orelse: Optional[Block]
+
+
+@dataclass
+class While(Node):
+    condition: Node
+    body: Block
+
+
+@dataclass
+class NumericFor(Node):
+    var: str
+    start: Node
+    stop: Node
+    step: Optional[Node]
+    body: Block
+
+
+@dataclass
+class GenericFor(Node):
+    """``for k, v in ipairs(t) do ... end`` (ipairs only; desugared by
+    the compiler into an index-and-test loop)."""
+
+    names: list
+    iterator: Node  # a Call expression
+    body: Block
+
+
+@dataclass
+class Repeat(Node):
+    body: Block
+    condition: Node
+
+
+@dataclass
+class Return(Node):
+    value: Optional[Node]
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class FunctionDecl(Node):
+    """``function name(...) ... end`` (global) or
+    ``local function name(...) ... end``."""
+
+    name: str
+    func: FunctionExpr
+    is_local: bool

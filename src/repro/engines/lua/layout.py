@@ -1,0 +1,73 @@
+"""Memory map and object layouts of the MiniLua VM.
+
+Values are 16-byte Lua-5.3-style TValues: the 8-byte payload at offset 0
+followed by a one-byte type tag at offset 8 (the remaining 7 bytes pad to
+alignment), exactly the layout the paper's Table 4 configures the tag
+extractor for (``R_offset`` = next double-word, shift 0, mask 0xFF).
+"""
+
+from repro.isa.extension import LUA_SPR, arithmetic_rules, table_access_rules
+
+# -- memory map ---------------------------------------------------------------
+CODE_BASE = 0x0001_0000        # interpreter text
+IMAGE_BASE = 0x0010_0000       # bytecode, constants, protos, strings, globals
+REG_STACK_BASE = 0x0020_0000   # TValue register frames
+CALL_STACK_BASE = 0x0028_0000  # activation records
+HEAP_BASE = 0x0030_0000        # tables and runtime strings (bump allocated)
+MEMORY_SIZE = 0x0200_0000      # 32 MiB
+
+# Boot block: program-specific launch parameters the (program-independent,
+# cacheable) interpreter text reads at startup.  The handler jump table
+# always sits at IMAGE_BASE itself.
+BOOT_BLOCK = IMAGE_BASE - 64
+BOOT_MAIN_CODE = 0     # address of main's bytecode
+BOOT_MAIN_CONSTS = 8   # address of main's constants
+BOOT_GLOBALS = 16      # address of the globals TValue array
+JUMP_TABLE_ADDR = IMAGE_BASE
+
+TVALUE_SIZE = 16
+VALUE_OFFSET = 0
+TAG_OFFSET = 8
+
+# -- type tags (Lua 5.3 encoding: subtype in bit 4) ----------------------------
+TNIL = 0
+TBOOL = 1
+TNUMFLT = 3          # float subtype of NUMBER
+TSTR = 4
+TTAB = 5
+TFUN = 6
+TNUMINT = 19         # 3 | (1 << 4): integer subtype of NUMBER
+
+FP_TAGS = frozenset({TNUMFLT})
+
+# -- aggregate object layouts ---------------------------------------------------
+# Table object: array part is a TValue vector holding keys 1..length.
+TABLE_ARRAY_PTR = 0
+TABLE_CAPACITY = 8
+TABLE_LENGTH = 16
+TABLE_SIZE = 32
+
+# String object: interned; equality is pointer equality.
+STRING_LENGTH = 0
+STRING_BYTES = 8
+
+# Function prototype descriptor.
+PROTO_CODE = 0
+PROTO_CONSTS = 8
+PROTO_NREGS = 16
+PROTO_KIND = 24        # 0 = bytecode function, 1 = native builtin
+PROTO_BUILTIN_ID = 32
+PROTO_NPARAMS = 40
+PROTO_SIZE = 48
+
+# Call-stack activation record.
+FRAME_SAVED_PC = 0
+FRAME_SAVED_BASE = 8
+FRAME_SAVED_CONSTS = 16
+FRAME_DEST_PTR = 24
+FRAME_SIZE = 32
+
+SPR_SETTINGS = LUA_SPR
+
+TYPE_RULES = (arithmetic_rules(int_tag=TNUMINT, float_tag=TNUMFLT)
+              + table_access_rules(table_tag=TTAB, int_tag=TNUMINT))

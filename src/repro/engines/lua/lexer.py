@@ -1,0 +1,132 @@
+"""Tokenizer for the MiniLua subset."""
+
+from dataclasses import dataclass
+
+KEYWORDS = frozenset(
+    ["and", "break", "do", "else", "elseif", "end", "false", "for",
+     "function", "if", "in", "local", "nil", "not", "or", "repeat",
+     "return", "then", "true", "until", "while"])
+
+# Multi-character operators, longest first.
+OPERATORS = ("...", "..", "==", "~=", "<=", ">=", "//", "::", "<<", ">>",
+             "+", "-", "*", "/", "%", "^", "#", "&", "~", "|", "<", ">",
+             "=", "(", ")", "{", "}", "[", "]", ";", ":", ",", ".")
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "a": "\a", "b": "\b",
+            "f": "\f", "v": "\v", "\\": "\\", '"': '"', "'": "'", "0": "\0"}
+
+
+class LuaSyntaxError(SyntaxError):
+    """Lexical or syntactic error in MiniLua source."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One token: ``kind`` is 'name', 'number', 'string', 'keyword',
+    'op', or 'eof'; ``value`` carries the payload."""
+
+    kind: str
+    value: object
+    line: int
+
+
+def tokenize(source):
+    """Tokenize ``source`` into a list ending with an EOF token."""
+    tokens = []
+    pos = 0
+    line = 1
+    length = len(source)
+
+    def error(message):
+        raise LuaSyntaxError("line %d: %s" % (line, message))
+
+    while pos < length:
+        char = source[pos]
+        if char == "\n":
+            line += 1
+            pos += 1
+            continue
+        if char in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("--", pos):
+            if source.startswith("--[[", pos):
+                end = source.find("]]", pos + 4)
+                if end < 0:
+                    error("unterminated long comment")
+                line += source.count("\n", pos, end)
+                pos = end + 2
+            else:
+                end = source.find("\n", pos)
+                pos = length if end < 0 else end
+            continue
+        if char.isdigit() or (char == "." and pos + 1 < length
+                              and source[pos + 1].isdigit()):
+            start = pos
+            is_float = False
+            if source.startswith("0x", pos) or source.startswith("0X", pos):
+                pos += 2
+                while pos < length and source[pos] in "0123456789abcdefABCDEF":
+                    pos += 1
+                tokens.append(Token("number", int(source[start:pos], 16),
+                                    line))
+                continue
+            while pos < length and source[pos].isdigit():
+                pos += 1
+            if pos < length and source[pos] == ".":
+                is_float = True
+                pos += 1
+                while pos < length and source[pos].isdigit():
+                    pos += 1
+            if pos < length and source[pos] in "eE":
+                is_float = True
+                pos += 1
+                if pos < length and source[pos] in "+-":
+                    pos += 1
+                while pos < length and source[pos].isdigit():
+                    pos += 1
+            text = source[start:pos]
+            tokens.append(Token("number",
+                                float(text) if is_float else int(text), line))
+            continue
+        if char.isalpha() or char == "_":
+            start = pos
+            while pos < length and (source[pos].isalnum()
+                                    or source[pos] == "_"):
+                pos += 1
+            word = source[start:pos]
+            kind = "keyword" if word in KEYWORDS else "name"
+            tokens.append(Token(kind, word, line))
+            continue
+        if char in "\"'":
+            quote = char
+            pos += 1
+            parts = []
+            while pos < length and source[pos] != quote:
+                piece = source[pos]
+                if piece == "\\":
+                    pos += 1
+                    if pos >= length:
+                        error("unterminated string escape")
+                    escape = source[pos]
+                    piece = _ESCAPES.get(escape)
+                    if piece is None:
+                        error("unknown escape \\%s" % escape)
+                elif piece == "\n":
+                    error("unterminated string")
+                parts.append(piece)
+                pos += 1
+            if pos >= length:
+                error("unterminated string")
+            pos += 1
+            tokens.append(Token("string", "".join(parts), line))
+            continue
+        for operator in OPERATORS:
+            if source.startswith(operator, pos):
+                tokens.append(Token("op", operator, line))
+                pos += len(operator)
+                break
+        else:
+            error("unexpected character %r" % char)
+    tokens.append(Token("eof", None, line))
+    return tokens

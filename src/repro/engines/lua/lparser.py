@@ -1,0 +1,338 @@
+"""Recursive-descent parser for the MiniLua subset.
+
+Supported statements: ``local`` declarations, assignment, function
+declarations (global and local), calls, ``if``/``elseif``/``else``,
+``while``, ``repeat``/``until``, numeric ``for``, ``return`` and
+``break``.  Expressions follow Lua's operator precedences.
+"""
+
+from repro.engines.lua import last as ast
+from repro.engines.lua.lexer import LuaSyntaxError, tokenize
+
+# Lua binary-operator precedences: (left, right).  Right-associative
+# operators have right < left.
+_BINARY_PRECEDENCE = {
+    "or": (1, 1), "and": (2, 2),
+    "<": (3, 3), ">": (3, 3), "<=": (3, 3), ">=": (3, 3),
+    "~=": (3, 3), "==": (3, 3),
+    "|": (4, 4), "~": (5, 5), "&": (6, 6),
+    "<<": (7, 7), ">>": (7, 7),
+    "..": (9, 8),  # right associative
+    "+": (10, 10), "-": (10, 10),
+    "*": (11, 11), "/": (11, 11), "//": (11, 11), "%": (11, 11),
+    "^": (14, 13),  # right associative
+}
+_UNARY_PRECEDENCE = 12
+
+
+class Parser:
+    """Parses a token list into an :class:`~repro.engines.lua.last.Block`."""
+
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+    @property
+    def current(self):
+        return self.tokens[self.pos]
+
+    def error(self, message):
+        raise LuaSyntaxError("line %d: %s (got %r)"
+                             % (self.current.line, message,
+                                self.current.value))
+
+    def advance(self):
+        token = self.current
+        self.pos += 1
+        return token
+
+    def check(self, kind, value=None):
+        token = self.current
+        return token.kind == kind and (value is None or token.value == value)
+
+    def accept(self, kind, value=None):
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind, value=None):
+        token = self.accept(kind, value)
+        if token is None:
+            self.error("expected %s %r" % (kind, value))
+        return token
+
+    # -- blocks and statements ------------------------------------------------
+    _BLOCK_ENDERS = frozenset(["end", "else", "elseif", "until"])
+
+    def parse_chunk(self):
+        block = self.parse_block()
+        if self.current.kind != "eof":
+            self.error("unexpected trailing input")
+        return block
+
+    def parse_block(self):
+        statements = []
+        while True:
+            if self.accept("op", ";"):
+                continue
+            token = self.current
+            if token.kind == "eof" or (token.kind == "keyword"
+                                       and token.value in self._BLOCK_ENDERS):
+                return ast.Block(statements)
+            statements.append(self.parse_statement())
+
+    def parse_statement(self):
+        token = self.current
+        if token.kind == "keyword":
+            handler = {
+                "local": self._parse_local,
+                "if": self._parse_if,
+                "while": self._parse_while,
+                "repeat": self._parse_repeat,
+                "for": self._parse_for,
+                "function": self._parse_function_decl,
+                "return": self._parse_return,
+                "break": self._parse_break,
+                "do": self._parse_do,
+            }.get(token.value)
+            if handler is None:
+                self.error("unexpected keyword")
+            return handler()
+        return self._parse_expr_statement()
+
+    def _parse_local(self):
+        self.expect("keyword", "local")
+        if self.check("keyword", "function"):
+            self.advance()
+            name = self.expect("name").value
+            func = self._parse_function_body(name)
+            return ast.FunctionDecl(name, func, is_local=True)
+        names = [self.expect("name").value]
+        while self.accept("op", ","):
+            names.append(self.expect("name").value)
+        values = []
+        if self.accept("op", "="):
+            values.append(self.parse_expression())
+            while self.accept("op", ","):
+                values.append(self.parse_expression())
+        if len(names) == 1 and len(values) <= 1:
+            return ast.LocalAssign(names[0],
+                                   values[0] if values else None)
+        return ast.MultiLocal(names, values)
+
+    def _parse_if(self):
+        self.expect("keyword", "if")
+        clauses = []
+        condition = self.parse_expression()
+        self.expect("keyword", "then")
+        clauses.append((condition, self.parse_block()))
+        orelse = None
+        while True:
+            if self.accept("keyword", "elseif"):
+                condition = self.parse_expression()
+                self.expect("keyword", "then")
+                clauses.append((condition, self.parse_block()))
+                continue
+            if self.accept("keyword", "else"):
+                orelse = self.parse_block()
+            self.expect("keyword", "end")
+            return ast.If(clauses, orelse)
+
+    def _parse_while(self):
+        self.expect("keyword", "while")
+        condition = self.parse_expression()
+        self.expect("keyword", "do")
+        body = self.parse_block()
+        self.expect("keyword", "end")
+        return ast.While(condition, body)
+
+    def _parse_repeat(self):
+        self.expect("keyword", "repeat")
+        body = self.parse_block()
+        self.expect("keyword", "until")
+        condition = self.parse_expression()
+        return ast.Repeat(body, condition)
+
+    def _parse_for(self):
+        self.expect("keyword", "for")
+        var = self.expect("name").value
+        if self.check("op", ",") or self.check("keyword", "in"):
+            names = [var]
+            while self.accept("op", ","):
+                names.append(self.expect("name").value)
+            self.expect("keyword", "in")
+            iterator = self.parse_expression()
+            self.expect("keyword", "do")
+            body = self.parse_block()
+            self.expect("keyword", "end")
+            return ast.GenericFor(names, iterator, body)
+        self.expect("op", "=")
+        start = self.parse_expression()
+        self.expect("op", ",")
+        stop = self.parse_expression()
+        step = None
+        if self.accept("op", ","):
+            step = self.parse_expression()
+        self.expect("keyword", "do")
+        body = self.parse_block()
+        self.expect("keyword", "end")
+        return ast.NumericFor(var, start, stop, step, body)
+
+    def _parse_function_decl(self):
+        self.expect("keyword", "function")
+        name = self.expect("name").value
+        func = self._parse_function_body(name)
+        return ast.FunctionDecl(name, func, is_local=False)
+
+    def _parse_function_body(self, name=None):
+        self.expect("op", "(")
+        params = []
+        if not self.check("op", ")"):
+            while True:
+                params.append(self.expect("name").value)
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        body = self.parse_block()
+        self.expect("keyword", "end")
+        return ast.FunctionExpr(params, body, name=name)
+
+    def _parse_return(self):
+        self.expect("keyword", "return")
+        token = self.current
+        if token.kind == "eof" or (token.kind == "keyword"
+                                   and token.value in self._BLOCK_ENDERS):
+            return ast.Return(None)
+        return ast.Return(self.parse_expression())
+
+    def _parse_break(self):
+        self.expect("keyword", "break")
+        return ast.Break()
+
+    def _parse_do(self):
+        self.expect("keyword", "do")
+        block = self.parse_block()
+        self.expect("keyword", "end")
+        return block
+
+    def _parse_expr_statement(self):
+        expr = self._parse_prefix_expr()
+        targets = [expr]
+        while self.accept("op", ","):
+            targets.append(self._parse_prefix_expr())
+        if self.accept("op", "="):
+            for target in targets:
+                if not isinstance(target, (ast.Name, ast.Index)):
+                    self.error("cannot assign to this expression")
+            values = [self.parse_expression()]
+            while self.accept("op", ","):
+                values.append(self.parse_expression())
+            if len(targets) == 1 and len(values) == 1:
+                return ast.Assign(targets[0], values[0])
+            return ast.MultiAssign(targets, values)
+        if len(targets) != 1 or not isinstance(expr, ast.Call):
+            self.error("expression statement must be a call or assignment")
+        return ast.CallStat(expr)
+
+    # -- expressions -----------------------------------------------------------
+    def parse_expression(self, limit=0):
+        token = self.current
+        if token.kind == "op" and token.value in ("-", "#", "~"):
+            self.advance()
+            operand = self.parse_expression(_UNARY_PRECEDENCE)
+            left = ast.UnOp(token.value, operand)
+        elif token.kind == "keyword" and token.value == "not":
+            self.advance()
+            operand = self.parse_expression(_UNARY_PRECEDENCE)
+            left = ast.UnOp("not", operand)
+        else:
+            left = self._parse_simple_expr()
+        while True:
+            token = self.current
+            op = token.value if token.kind in ("op", "keyword") else None
+            precedence = _BINARY_PRECEDENCE.get(op)
+            if precedence is None or precedence[0] <= limit:
+                return left
+            self.advance()
+            right = self.parse_expression(precedence[1])
+            left = ast.BinOp(op, left, right)
+
+    def _parse_simple_expr(self):
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            return ast.NumberLit(token.value)
+        if token.kind == "string":
+            self.advance()
+            return ast.StringLit(token.value)
+        if token.kind == "keyword":
+            if token.value == "nil":
+                self.advance()
+                return ast.NilLit()
+            if token.value in ("true", "false"):
+                self.advance()
+                return ast.BoolLit(token.value == "true")
+            if token.value == "function":
+                self.advance()
+                return self._parse_function_body()
+        if self.check("op", "{"):
+            return self._parse_table_ctor()
+        return self._parse_prefix_expr()
+
+    def _parse_prefix_expr(self):
+        token = self.current
+        if token.kind == "name":
+            self.advance()
+            expr = ast.Name(token.value)
+        elif self.accept("op", "("):
+            expr = self.parse_expression()
+            self.expect("op", ")")
+        else:
+            self.error("unexpected token in expression")
+        while True:
+            if self.accept("op", "."):
+                field = self.expect("name").value
+                expr = ast.Index(expr, ast.StringLit(field))
+            elif self.accept("op", "["):
+                key = self.parse_expression()
+                self.expect("op", "]")
+                expr = ast.Index(expr, key)
+            elif self.check("op", "("):
+                self.advance()
+                args = []
+                if not self.check("op", ")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                expr = ast.Call(expr, args)
+            elif self.current.kind == "string":
+                # f"literal" call sugar
+                expr = ast.Call(expr, [ast.StringLit(self.advance().value)])
+            else:
+                return expr
+
+    def _parse_table_ctor(self):
+        self.expect("op", "{")
+        items = []
+        fields = []
+        while not self.check("op", "}"):
+            if self.current.kind == "name" \
+                    and self.tokens[self.pos + 1].kind == "op" \
+                    and self.tokens[self.pos + 1].value == "=":
+                name = self.advance().value
+                self.advance()  # '='
+                fields.append((name, self.parse_expression()))
+            else:
+                items.append(self.parse_expression())
+            if not (self.accept("op", ",") or self.accept("op", ";")):
+                break
+        self.expect("op", "}")
+        return ast.TableCtor(items, fields)
+
+
+def parse(source):
+    """Parse MiniLua ``source`` into a Block AST."""
+    return Parser(tokenize(source)).parse_chunk()

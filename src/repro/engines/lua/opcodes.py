@@ -1,0 +1,129 @@
+"""MiniLua bytecode: opcodes and the 32-bit instruction encoding.
+
+The VM is register-based like Lua 5.3.  Each instruction is one 32-bit
+word::
+
+    [7:0]   opcode
+    [15:8]  A       (always a register index)
+    [23:16] B       (register, or constant when bit 7 is set)
+    [31:24] C       (register, or constant when bit 7 is set)
+
+Jump-style instructions (JMP/JMPF/JMPT/FORPREP/FORLOOP) reuse bits
+[31:16] as a signed 16-bit displacement in instruction units, relative to
+the already-incremented PC.
+
+Lua 5.3 defines 47 distinct bytecodes; the catalogue below keeps that
+count (the unimplemented ones map to the VM's error stub) so the dynamic
+bytecode-breakdown experiment (Figure 2a) is computed over the same
+opcode space.
+"""
+
+from enum import IntEnum
+
+RK_FLAG = 0x80  # operand bit 7: constant index instead of register
+RK_MASK = 0x7F
+
+
+class Op(IntEnum):
+    """MiniLua opcodes.  The first block is implemented by the assembly
+    interpreter; the trailing block exists for catalogue parity with
+    Lua 5.3 and traps to the error stub if ever executed."""
+
+    MOVE = 0
+    LOADK = 1
+    LOADBOOL = 2
+    LOADNIL = 3
+    GETGLOBAL = 4
+    SETGLOBAL = 5
+    GETTABLE = 6
+    SETTABLE = 7
+    NEWTABLE = 8
+    ADD = 9
+    SUB = 10
+    MUL = 11
+    DIV = 12
+    MOD = 13
+    IDIV = 14
+    POW = 15
+    UNM = 16
+    NOT = 17
+    LEN = 18
+    CONCAT = 19
+    JMP = 20
+    JMPF = 21
+    JMPT = 22
+    EQ = 23
+    LT = 24
+    LE = 25
+    CALL = 26
+    RETURN = 27
+    RETURN0 = 28
+    FORPREP = 29
+    FORLOOP = 30
+    # -- Lua 5.3 bitwise operators (implemented) ---------------------------
+    BAND = 35
+    BOR = 36
+    BXOR = 37
+    SHL = 38
+    SHR = 39
+    BNOT = 40
+    # -- catalogue parity with Lua 5.3 (unimplemented; trap) ----------------
+    LOADKX = 31
+    GETUPVAL = 32
+    SETUPVAL = 33
+    SELF = 34
+    TEST = 41
+    TESTSET = 42
+    TAILCALL = 43
+    TFORCALL = 44
+    TFORLOOP = 45
+    SETLIST = 46
+
+    @property
+    def is_jump(self):
+        return self in _JUMP_OPS
+
+
+_JUMP_OPS = frozenset(
+    [Op.JMP, Op.JMPF, Op.JMPT, Op.FORPREP, Op.FORLOOP])
+
+NUM_OPCODES = 47
+
+# The five hot bytecodes the paper retargets (Table 3).
+HOT_BYTECODES = (Op.ADD, Op.SUB, Op.MUL, Op.GETTABLE, Op.SETTABLE)
+
+
+def encode_abc(op, a, b=0, c=0):
+    """Encode an ABC-format instruction."""
+    for name, operand in (("A", a), ("B", b), ("C", c)):
+        if not 0 <= operand <= 0xFF:
+            raise ValueError("operand %s=%d out of byte range" % (name,
+                                                                  operand))
+    return int(op) | (a << 8) | (b << 16) | (c << 24)
+
+
+def encode_jump(op, a, offset):
+    """Encode a jump-format instruction with a signed 16-bit offset."""
+    if not -(1 << 15) <= offset < (1 << 15):
+        raise ValueError("jump offset %d out of 16-bit range" % offset)
+    return int(op) | ((a & 0xFF) << 8) | ((offset & 0xFFFF) << 16)
+
+
+def decode(word):
+    """Decode to ``(op, a, b, c)``; for jumps C holds the signed offset."""
+    op = Op(word & 0xFF)
+    a = (word >> 8) & 0xFF
+    if op.is_jump:
+        offset = (word >> 16) & 0xFFFF
+        if offset >= 1 << 15:
+            offset -= 1 << 16
+        return op, a, 0, offset
+    return op, a, (word >> 16) & 0xFF, (word >> 24) & 0xFF
+
+
+def rk_is_constant(operand):
+    return bool(operand & RK_FLAG)
+
+
+def rk_index(operand):
+    return operand & RK_MASK

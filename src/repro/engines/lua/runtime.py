@@ -1,0 +1,749 @@
+"""MiniLua runtime services: the stand-in for native C library code.
+
+The assembly fast paths cover the hot cases; everything the real Lua VM
+delegates to C — string interning and building, table hash parts and
+growth, number/string conversion, builtins like ``print`` and
+``math.sqrt``, and the mixed-type arithmetic slow path — is implemented
+here and invoked through ``ecall``.  Every service charges a calibrated
+native-instruction cost (see :data:`HOST_COSTS`), identical across
+machine configurations, so library-bound benchmarks dilute the speedup
+exactly as the paper's Amdahl's-law discussion predicts.
+"""
+
+import math
+import struct
+
+from repro.engines.lua import layout
+from repro.engines.lua.handlers import common
+from repro.sim.hostcall import HostInterface
+
+MASK64 = (1 << 64) - 1
+
+
+class LuaError(Exception):
+    """A MiniLua runtime error (uncaught; aborts the VM)."""
+
+
+def _wrap_int(value):
+    """Lua 5.3 integer arithmetic wraps at 64 bits."""
+    value &= MASK64
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def _float_bits(value):
+    try:
+        return struct.unpack("<Q", struct.pack("<d", value))[0]
+    except (OverflowError, ValueError):
+        return 0xFFF0000000000000 if value < 0 else 0x7FF0000000000000
+
+
+def _bits_float(bits):
+    return struct.unpack("<d", struct.pack("<Q", bits))[0]
+
+
+class TableRef:
+    """Opaque reference to a table object in simulated memory."""
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr):
+        self.addr = addr
+
+    def __eq__(self, other):
+        return isinstance(other, TableRef) and other.addr == self.addr
+
+    def __hash__(self):
+        return hash(("table", self.addr))
+
+
+class FuncRef:
+    """Opaque reference to a function prototype in simulated memory."""
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr):
+        self.addr = addr
+
+
+def lua_number_string(value):
+    """Format a number the way Lua 5.3 does."""
+    if isinstance(value, int):
+        return "%d" % value
+    if value != value:
+        return "nan"
+    if value == math.inf:
+        return "inf"
+    if value == -math.inf:
+        return "-inf"
+    text = "%.14g" % value
+    if not any(mark in text for mark in ".eni"):
+        text += ".0"
+    return text
+
+
+def lua_tostring(value):
+    """``tostring`` semantics for every MiniLua value."""
+    if value is None:
+        return "nil"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, (int, float)):
+        return lua_number_string(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, TableRef):
+        return "table: 0x%08x" % value.addr
+    if isinstance(value, FuncRef):
+        return "function: 0x%08x" % value.addr
+    raise LuaError("cannot convert %r" % value)
+
+
+# Calibrated native-instruction costs per host service / builtin.  These
+# approximate what the corresponding C routines cost on the paper's
+# in-order core; the absolute values only shift the Amdahl dilution, not
+# who wins.
+HOST_COSTS = {
+    "arith_slow": 45,
+    "table_get": 90,
+    "table_set": 110,
+    "newtable": 150,
+    "concat": 260,
+    "compare_slow": 70,
+    "forprep": 35,
+    "print": 420,
+    "io_write": 260,
+    "math_floor": 25,
+    "math_sqrt": 30,
+    "math_abs": 20,
+    "math_max": 22,
+    "math_min": 22,
+    "string_sub": 90,
+    "string_char": 60,
+    "string_byte": 35,
+    "string_rep": 120,
+    "tostring": 80,
+    "type": 25,
+    "string_format": 180,
+    "math_ceil": 25,
+    "string_upper": 60,
+    "string_lower": 60,
+    "string_len": 25,
+}
+
+_BUILTIN_NAMES = (
+    "print", "io_write", "math_floor", "math_sqrt", "math_abs",
+    "math_max", "math_min", "string_sub", "string_char", "string_byte",
+    "string_rep", "tostring", "type", "string_format", "math_ceil",
+    "string_upper", "string_lower", "string_len",
+)
+BUILTIN_IDS = {name: index for index, name in enumerate(_BUILTIN_NAMES)}
+
+
+class LuaRuntime:
+    """Host-side state: heap, interned strings, table hash parts, output."""
+
+    def __init__(self, memory):
+        self.mem = memory
+        self.heap = layout.HEAP_BASE
+        self.strings = {}
+        self.string_at = {}
+        self.hash_parts = {}
+        self.output = []
+        self.native_protos = {}
+
+    # -- allocation -----------------------------------------------------------
+    def alloc(self, nbytes, align=16):
+        self.heap = (self.heap + align - 1) & ~(align - 1)
+        addr = self.heap
+        self.heap += nbytes
+        if self.heap > self.mem.size:
+            raise LuaError("simulated heap exhausted")
+        return addr
+
+    def intern(self, text):
+        """Intern ``text``; returns the string object's address."""
+        addr = self.strings.get(text)
+        if addr is None:
+            data = text.encode("latin-1", errors="replace")
+            addr = self.alloc(layout.STRING_BYTES + len(data))
+            self.mem.store_u64(addr + layout.STRING_LENGTH, len(data))
+            self.mem.write_bytes(addr + layout.STRING_BYTES, data)
+            self.strings[text] = addr
+            self.string_at[addr] = text
+        return addr
+
+    def make_table(self, capacity=4):
+        """Allocate a table object with an array part of ``capacity``."""
+        capacity = max(capacity, 4)
+        addr = self.alloc(layout.TABLE_SIZE)
+        array = self.alloc(capacity * layout.TVALUE_SIZE)
+        self.mem.store_u64(addr + layout.TABLE_ARRAY_PTR, array)
+        self.mem.store_u64(addr + layout.TABLE_CAPACITY, capacity)
+        self.mem.store_u64(addr + layout.TABLE_LENGTH, 0)
+        self.hash_parts[addr] = {}
+        return addr
+
+    def make_native_proto(self, builtin_name):
+        """Prototype descriptor for a native builtin (kind = 1)."""
+        addr = self.native_protos.get(builtin_name)
+        if addr is None:
+            addr = self.alloc(layout.PROTO_SIZE)
+            self.mem.store_u64(addr + layout.PROTO_KIND, 1)
+            self.mem.store_u64(addr + layout.PROTO_BUILTIN_ID,
+                               BUILTIN_IDS[builtin_name])
+            self.native_protos[builtin_name] = addr
+        return addr
+
+    # -- TValue conversion -------------------------------------------------------
+    def read_tvalue(self, addr):
+        return self.mem.load_u8(addr + layout.TAG_OFFSET), \
+            self.mem.load_u64(addr + layout.VALUE_OFFSET)
+
+    def write_tvalue(self, addr, tag, bits):
+        self.mem.store_u64(addr + layout.VALUE_OFFSET, bits & MASK64)
+        self.mem.store_u64(addr + layout.TAG_OFFSET, tag & 0xFF)
+
+    def to_python(self, tag, bits):
+        if tag == layout.TNIL:
+            return None
+        if tag == layout.TBOOL:
+            return bool(bits)
+        if tag == layout.TNUMINT:
+            return bits - (1 << 64) if bits >= (1 << 63) else bits
+        if tag == layout.TNUMFLT:
+            return _bits_float(bits)
+        if tag == layout.TSTR:
+            return self.string_at[bits]
+        if tag == layout.TTAB:
+            return TableRef(bits)
+        if tag == layout.TFUN:
+            return FuncRef(bits)
+        raise LuaError("unknown tag %d" % tag)
+
+    def from_python(self, value):
+        if value is None:
+            return layout.TNIL, 0
+        if value is True or value is False:
+            return layout.TBOOL, int(value)
+        if isinstance(value, int):
+            return layout.TNUMINT, value & MASK64
+        if isinstance(value, float):
+            return layout.TNUMFLT, _float_bits(value)
+        if isinstance(value, str):
+            return layout.TSTR, self.intern(value)
+        if isinstance(value, TableRef):
+            return layout.TTAB, value.addr
+        if isinstance(value, FuncRef):
+            return layout.TFUN, value.addr
+        raise LuaError("cannot box %r" % value)
+
+    def read_value(self, addr):
+        return self.to_python(*self.read_tvalue(addr))
+
+    def write_value(self, addr, value):
+        self.write_tvalue(addr, *self.from_python(value))
+
+    # -- coercions ---------------------------------------------------------------
+    @staticmethod
+    def as_number(value):
+        """Lua's implicit string-to-number coercion; None if impossible."""
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return value
+        if isinstance(value, str):
+            text = value.strip()
+            try:
+                return int(text, 0)
+            except ValueError:
+                try:
+                    return float(text)
+                except ValueError:
+                    return None
+        return None
+
+    @staticmethod
+    def normalize_key(key):
+        """Float keys with integral values index like integers (Lua 5.3)."""
+        if isinstance(key, float) and key.is_integer():
+            return int(key)
+        return key
+
+    # -- table operations (slow paths) -----------------------------------------------
+    def _array_slot(self, table_addr, index):
+        array = self.mem.load_u64(table_addr + layout.TABLE_ARRAY_PTR)
+        return array + (index - 1) * layout.TVALUE_SIZE
+
+    def table_get(self, table, key):
+        if not isinstance(table, TableRef):
+            raise LuaError("attempt to index a %s value"
+                           % lua_type_name(table))
+        key = self.normalize_key(key)
+        if key is None:
+            raise LuaError("table index is nil")
+        length = self.mem.load_u64(table.addr + layout.TABLE_LENGTH)
+        if isinstance(key, int) and not isinstance(key, bool) \
+                and 1 <= key <= length:
+            return self.read_value(self._array_slot(table.addr, key))
+        entry = self.hash_parts[table.addr].get(key)
+        if entry is None:
+            return None
+        return self.to_python(*entry)
+
+    def table_set(self, table, key, tag_bits):
+        if not isinstance(table, TableRef):
+            raise LuaError("attempt to index a %s value"
+                           % lua_type_name(table))
+        key = self.normalize_key(key)
+        if key is None:
+            raise LuaError("table index is nil")
+        addr = table.addr
+        length = self.mem.load_u64(addr + layout.TABLE_LENGTH)
+        if isinstance(key, int) and not isinstance(key, bool):
+            if 1 <= key <= length:
+                slot = self._array_slot(addr, key)
+                self.write_tvalue(slot, *tag_bits)
+                return
+            if key == length + 1:
+                self._append(addr, length, tag_bits)
+                return
+        self.hash_parts[addr][key] = tag_bits
+
+    def _append(self, addr, length, tag_bits):
+        capacity = self.mem.load_u64(addr + layout.TABLE_CAPACITY)
+        if length + 1 > capacity:
+            self._grow_array(addr, capacity, length)
+        slot = self._array_slot(addr, length + 1)
+        self.write_tvalue(slot, *tag_bits)
+        self.mem.store_u64(addr + layout.TABLE_LENGTH, length + 1)
+        # Migrate any now-contiguous hash entries into the array part.
+        hashes = self.hash_parts[addr]
+        next_key = length + 2
+        while next_key in hashes:
+            entry = hashes.pop(next_key)
+            current = self.mem.load_u64(addr + layout.TABLE_LENGTH)
+            capacity = self.mem.load_u64(addr + layout.TABLE_CAPACITY)
+            if current + 1 > capacity:
+                self._grow_array(addr, capacity, current)
+            self.write_tvalue(self._array_slot(addr, next_key), *entry)
+            self.mem.store_u64(addr + layout.TABLE_LENGTH, next_key)
+            next_key += 1
+
+    def _grow_array(self, addr, capacity, length):
+        new_capacity = max(4, capacity * 2)
+        new_array = self.alloc(new_capacity * layout.TVALUE_SIZE)
+        old_array = self.mem.load_u64(addr + layout.TABLE_ARRAY_PTR)
+        if length:
+            payload = self.mem.read_bytes(old_array,
+                                          length * layout.TVALUE_SIZE)
+            self.mem.write_bytes(new_array, payload)
+        self.mem.store_u64(addr + layout.TABLE_ARRAY_PTR, new_array)
+        self.mem.store_u64(addr + layout.TABLE_CAPACITY, new_capacity)
+
+
+def lua_type_name(value):
+    """Lua ``type()`` name for a Python-side value."""
+    if value is None:
+        return "nil"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, (int, float)):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, TableRef):
+        return "table"
+    if isinstance(value, FuncRef):
+        return "function"
+    return "unknown"
+
+
+# -- host service handlers ------------------------------------------------------
+
+_ARITH_NAMES = {value: key for key, value in common.ARITH_OPS.items()}
+
+
+def _arith(op_name, x, y):
+    both_int = isinstance(x, int) and isinstance(y, int)
+    if op_name == "ADD":
+        return _wrap_int(x + y) if both_int else float(x) + float(y)
+    if op_name == "SUB":
+        return _wrap_int(x - y) if both_int else float(x) - float(y)
+    if op_name == "MUL":
+        return _wrap_int(x * y) if both_int else float(x) * float(y)
+    if op_name == "DIV":
+        fx, fy = float(x), float(y)
+        if fy == 0.0:
+            if fx == 0.0 or fx != fx:
+                return float("nan")
+            return math.inf * math.copysign(1.0, fx) \
+                * math.copysign(1.0, fy)
+        return fx / fy
+    if op_name == "MOD":
+        if both_int:
+            if y == 0:
+                raise LuaError("attempt to perform 'n%%0'")
+            return _wrap_int(x % y)
+        fx, fy = float(x), float(y)
+        if fy == 0.0:
+            return float("nan")
+        return fx % fy  # Python float % is Lua's floor-modulo
+    if op_name == "IDIV":
+        if both_int:
+            if y == 0:
+                raise LuaError("attempt to perform 'n//0'")
+            return _wrap_int(x // y)
+        fx, fy = float(x), float(y)
+        if fy == 0.0:
+            if fx == 0.0 or fx != fx:
+                return float("nan")
+            return math.inf * math.copysign(1.0, fx) \
+                * math.copysign(1.0, fy)
+        return float(math.floor(fx / fy))
+    if op_name == "POW":
+        return float(x) ** float(y)
+    if op_name == "UNM":
+        return _wrap_int(-x) if isinstance(x, int) else -x
+    if op_name in ("BAND", "BOR", "BXOR", "SHL", "SHR", "BNOT"):
+        xi = _to_integer(x)
+        if op_name == "BNOT":
+            return _wrap_int(~xi)
+        yi = _to_integer(y)
+        if op_name == "BAND":
+            return _wrap_int(xi & yi)
+        if op_name == "BOR":
+            return _wrap_int(xi | yi)
+        if op_name == "BXOR":
+            return _wrap_int(xi ^ yi)
+        # Lua shifts are logical; negative amounts shift the other way
+        # and anything >= 64 bits produces zero.
+        if op_name == "SHR":
+            yi = -yi
+        if yi <= -64 or yi >= 64:
+            return 0
+        if yi >= 0:
+            return _wrap_int((xi & MASK64) << yi)
+        return _wrap_int((xi & MASK64) >> -yi)
+    raise LuaError("unknown arithmetic op %r" % op_name)
+
+
+def _to_integer(value):
+    """Lua's ToInteger for bitwise operands."""
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    raise LuaError("number has no integer representation")
+
+
+class LuaHost:
+    """Binds a :class:`LuaRuntime` to the simulator's host-call interface."""
+
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self.interface = HostInterface()
+        reg = self.interface.register
+        reg(common.SVC_ARITH, "arith_slow", self._svc_arith,
+            HOST_COSTS["arith_slow"])
+        reg(common.SVC_TABLE_GET, "table_get", self._svc_table_get,
+            HOST_COSTS["table_get"])
+        reg(common.SVC_TABLE_SET, "table_set", self._svc_table_set,
+            HOST_COSTS["table_set"])
+        reg(common.SVC_NEWTABLE, "newtable", self._svc_newtable,
+            HOST_COSTS["newtable"])
+        reg(common.SVC_CONCAT, "concat", self._svc_concat,
+            HOST_COSTS["concat"])
+        reg(common.SVC_COMPARE, "compare_slow", self._svc_compare,
+            HOST_COSTS["compare_slow"])
+        reg(common.SVC_BUILTIN, "builtin", self._svc_builtin,
+            self._builtin_cost)
+        reg(common.SVC_ERROR, "error", self._svc_error, 1)
+        reg(common.SVC_FORPREP, "forprep", self._svc_forprep,
+            HOST_COSTS["forprep"])
+
+    # -- services ----------------------------------------------------------------
+    def _svc_arith(self, cpu, ra, rb, rc, op_id, *_):
+        runtime = self.runtime
+        op_name = _ARITH_NAMES[op_id]
+        x = runtime.as_number(runtime.read_value(rb))
+        y = x if op_name in ("UNM", "BNOT") \
+            else runtime.as_number(runtime.read_value(rc))
+        if x is None or y is None:
+            raise LuaError("attempt to perform arithmetic (%s) on "
+                           "non-numbers" % op_name)
+        runtime.write_value(ra, _arith(op_name, x, y))
+
+    def _svc_table_get(self, cpu, table_tv, key_tv, dest, *_):
+        runtime = self.runtime
+        table = runtime.read_value(table_tv)
+        key = runtime.read_value(key_tv)
+        runtime.write_value(dest, runtime.table_get(table, key))
+
+    def _svc_table_set(self, cpu, table_tv, key_tv, value_tv, *_):
+        runtime = self.runtime
+        table = runtime.read_value(table_tv)
+        key = runtime.read_value(key_tv)
+        runtime.table_set(table, key, runtime.read_tvalue(value_tv))
+
+    def _svc_newtable(self, cpu, hint, dest, *_):
+        addr = self.runtime.make_table(capacity=max(hint, 4))
+        self.runtime.write_tvalue(dest, layout.TTAB, addr)
+
+    def _svc_concat(self, cpu, ra, rb, rc, *_):
+        runtime = self.runtime
+        left = runtime.read_value(rb)
+        right = runtime.read_value(rc)
+        for operand in (left, right):
+            if not isinstance(operand, (str, int, float)) \
+                    or isinstance(operand, bool):
+                raise LuaError("attempt to concatenate a %s value"
+                               % lua_type_name(operand))
+        runtime.write_value(ra, lua_tostring(left) + lua_tostring(right))
+
+    def _svc_compare(self, cpu, ra, rb, rc, op_id, *_):
+        runtime = self.runtime
+        left = runtime.read_value(rb)
+        right = runtime.read_value(rc)
+        if op_id == common.COMPARE_OPS["EQ"]:
+            if isinstance(left, bool) or isinstance(right, bool):
+                result = left is right
+            else:
+                result = left == right
+        else:
+            comparable = (isinstance(left, str) and isinstance(right, str)) \
+                or (isinstance(left, (int, float))
+                    and isinstance(right, (int, float))
+                    and not isinstance(left, bool)
+                    and not isinstance(right, bool))
+            if not comparable:
+                raise LuaError("attempt to compare %s with %s"
+                               % (lua_type_name(left), lua_type_name(right)))
+            result = left < right if op_id == common.COMPARE_OPS["LT"] \
+                else left <= right
+        runtime.write_value(ra, bool(result))
+
+    def _svc_forprep(self, cpu, base, *_):
+        runtime = self.runtime
+        values = []
+        for slot in range(3):
+            value = runtime.as_number(
+                runtime.read_value(base + slot * layout.TVALUE_SIZE))
+            if value is None:
+                raise LuaError("'for' initial value must be a number")
+            values.append(float(value))
+        values[0] -= values[2]
+        for slot, value in enumerate(values):
+            runtime.write_value(base + slot * layout.TVALUE_SIZE, value)
+
+    def _svc_error(self, cpu, code, *_):
+        raise LuaError("VM fault: illegal opcode or type error "
+                       "(bytecode word 0x%08x at pc 0x%x)" % (code, cpu.pc))
+
+    # -- builtins ------------------------------------------------------------------
+    def _builtin_cost(self, args):
+        builtin_id = args[3]
+        return HOST_COSTS[_BUILTIN_NAMES[builtin_id]]
+
+    def _svc_builtin(self, cpu, args_ptr, nargs, dest, builtin_id, *_):
+        runtime = self.runtime
+        values = [runtime.read_value(args_ptr + index * layout.TVALUE_SIZE)
+                  for index in range(nargs)]
+        name = _BUILTIN_NAMES[builtin_id]
+        result = getattr(self, "_builtin_" + name)(values)
+        runtime.write_value(dest, result)
+
+    def _builtin_print(self, values):
+        self.runtime.output.append(
+            "\t".join(lua_tostring(value) for value in values) + "\n")
+
+    def _builtin_io_write(self, values):
+        self.runtime.output.append(
+            "".join(lua_tostring(value) for value in values))
+
+    @staticmethod
+    def _number_arg(values, index, name):
+        value = LuaRuntime.as_number(values[index]) \
+            if index < len(values) else None
+        if value is None:
+            raise LuaError("bad argument #%d to '%s'" % (index + 1, name))
+        return value
+
+    def _builtin_math_floor(self, values):
+        return int(math.floor(self._number_arg(values, 0, "floor")))
+
+    def _builtin_math_sqrt(self, values):
+        return math.sqrt(self._number_arg(values, 0, "sqrt"))
+
+    def _builtin_math_abs(self, values):
+        value = self._number_arg(values, 0, "abs")
+        return abs(value)
+
+    def _builtin_math_max(self, values):
+        return max(self._number_arg(values, i, "max")
+                   for i in range(len(values)))
+
+    def _builtin_math_min(self, values):
+        return min(self._number_arg(values, i, "min")
+                   for i in range(len(values)))
+
+    def _builtin_string_sub(self, values):
+        text = values[0]
+        if not isinstance(text, str):
+            raise LuaError("bad argument #1 to 'sub'")
+        start = int(self._number_arg(values, 1, "sub"))
+        stop = int(self._number_arg(values, 2, "sub")) \
+            if len(values) > 2 else -1
+        length = len(text)
+        if start < 0:
+            start = max(length + start + 1, 1)
+        elif start == 0:
+            start = 1
+        if stop < 0:
+            stop = length + stop + 1
+        stop = min(stop, length)
+        if start > stop:
+            return ""
+        return text[start - 1:stop]
+
+    def _builtin_string_char(self, values):
+        return "".join(chr(int(v)) for v in values)
+
+    def _builtin_string_byte(self, values):
+        text = values[0]
+        index = int(values[1]) if len(values) > 1 else 1
+        if not isinstance(text, str) or not 1 <= index <= len(text):
+            raise LuaError("bad argument to 'byte'")
+        return ord(text[index - 1])
+
+    def _builtin_string_rep(self, values):
+        return values[0] * int(values[1])
+
+    def _builtin_string_format(self, values):
+        """``string.format`` for the common conversions (d/i/u/s/q/f/g/
+        e/x/X/o/c and %%), with flags, width and precision."""
+        if not values or not isinstance(values[0], str):
+            raise LuaError("bad argument #1 to 'format'")
+        spec = values[0]
+        args = values[1:]
+        out = []
+        arg_index = 0
+        position = 0
+        length = len(spec)
+        while position < length:
+            char = spec[position]
+            if char != "%":
+                out.append(char)
+                position += 1
+                continue
+            position += 1
+            if position < length and spec[position] == "%":
+                out.append("%")
+                position += 1
+                continue
+            start = position
+            while position < length and spec[position] in "-+ #0":
+                position += 1
+            while position < length and spec[position].isdigit():
+                position += 1
+            if position < length and spec[position] == ".":
+                position += 1
+                while position < length and spec[position].isdigit():
+                    position += 1
+            if position >= length:
+                raise LuaError("invalid format string to 'format'")
+            conversion = spec[position]
+            position += 1
+            directive = "%" + spec[start:position - 1]
+            if arg_index >= len(args):
+                raise LuaError("bad argument #%d to 'format' (no value)"
+                               % (arg_index + 2))
+            value = args[arg_index]
+            arg_index += 1
+            if conversion in "diu":
+                number = LuaRuntime.as_number(value)
+                if number is None:
+                    raise LuaError("bad argument to 'format'")
+                out.append((directive + "d") % int(number))
+            elif conversion in "fFgGeE":
+                number = LuaRuntime.as_number(value)
+                if number is None:
+                    raise LuaError("bad argument to 'format'")
+                out.append((directive + conversion) % float(number))
+            elif conversion in "xXo":
+                out.append((directive + conversion) % int(value))
+            elif conversion == "c":
+                out.append(chr(int(value)))
+            elif conversion == "s":
+                out.append((directive + "s") % lua_tostring(value))
+            elif conversion == "q":
+                out.append('"%s"' % lua_tostring(value)
+                           .replace("\\", "\\\\").replace('"', '\\"')
+                           .replace("\n", "\\n"))
+            else:
+                raise LuaError("invalid conversion '%%%s' to 'format'"
+                               % conversion)
+        return "".join(out)
+
+    def _builtin_math_ceil(self, values):
+        import math as _math
+        return int(_math.ceil(self._number_arg(values, 0, "ceil")))
+
+    def _builtin_string_upper(self, values):
+        if not values or not isinstance(values[0], str):
+            raise LuaError("bad argument #1 to 'upper'")
+        return values[0].upper()
+
+    def _builtin_string_lower(self, values):
+        if not values or not isinstance(values[0], str):
+            raise LuaError("bad argument #1 to 'lower'")
+        return values[0].lower()
+
+    def _builtin_string_len(self, values):
+        if not values or not isinstance(values[0], str):
+            raise LuaError("bad argument #1 to 'len'")
+        return len(values[0])
+
+    def _builtin_tostring(self, values):
+        return lua_tostring(values[0] if values else None)
+
+    def _builtin_type(self, values):
+        return lua_type_name(values[0] if values else None)
+
+
+def install_builtin_globals(runtime, globals_addr, global_names):
+    """Populate the builtin globals (print, io, math, string, ...)."""
+    def native(name):
+        return FuncRef(runtime.make_native_proto(name))
+
+    def table_of(entries):
+        addr = runtime.make_table(capacity=4)
+        ref = TableRef(addr)
+        for key, value in entries.items():
+            runtime.table_set(ref, key, runtime.from_python(value))
+        return ref
+
+    builtins = {
+        "print": native("print"),
+        "tostring": native("tostring"),
+        "type": native("type"),
+        "io": table_of({"write": native("io_write")}),
+        "math": table_of({
+            "floor": native("math_floor"), "ceil": native("math_ceil"),
+            "sqrt": native("math_sqrt"),
+            "abs": native("math_abs"), "max": native("math_max"),
+            "min": native("math_min"), "huge": math.inf, "pi": math.pi,
+            "maxinteger": (1 << 63) - 1, "mininteger": -(1 << 63),
+        }),
+        "string": table_of({
+            "sub": native("string_sub"), "char": native("string_char"),
+            "byte": native("string_byte"), "rep": native("string_rep"),
+            "format": native("string_format"),
+            "upper": native("string_upper"),
+            "lower": native("string_lower"), "len": native("string_len"),
+        }),
+    }
+    for slot, name in enumerate(global_names):
+        value = builtins.get(name)
+        if value is not None:
+            runtime.write_value(globals_addr + slot * layout.TVALUE_SIZE,
+                                value)

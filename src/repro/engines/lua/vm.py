@@ -1,0 +1,110 @@
+"""Top-level MiniLua runner: compile, image, assemble, simulate.
+
+:func:`run_lua` is the engine's public API.  It returns a
+:class:`LuaResult` with the program's textual output and the timing
+model's performance counters.
+"""
+
+from dataclasses import dataclass
+
+from repro.engines import BASELINE, CHECKED_LOAD, TYPED
+from repro.engines.lua import layout
+from repro.engines.lua.compiler import compile_source
+from repro.engines.lua.handlers import build_interpreter
+from repro.engines.lua.image import build_image, fill_jump_table
+from repro.engines.lua.opcodes import Op
+from repro.engines.lua.runtime import LuaHost, LuaRuntime
+from repro.isa.assembler import assemble
+from repro.sim.cpu import Cpu
+from repro.sim.memory import Memory
+from repro.sim.tagio import TagCodec
+from repro.uarch.pipeline import Attribution, Machine
+
+# Labels that delimit attribution buckets besides the h_* handlers.
+_EXTRA_BUCKETS = ("startup", "dispatch", "arith_slow_common",
+                  "compare_slow_common", "table_get_slow_common",
+                  "table_set_slow_common", "vm_error", "vm_exit")
+
+
+@dataclass
+class LuaResult:
+    """Outcome of one MiniLua run."""
+
+    output: str
+    counters: object
+    config: str
+    exit_code: int = 0
+
+    @property
+    def lines(self):
+        return self.output.splitlines()
+
+
+def build_attribution(program):
+    """Bucket ranges (per handler label) and bytecode entry points."""
+    marks = []
+    for label, addr in program.labels.items():
+        if label.startswith("h_") or label in _EXTRA_BUCKETS:
+            marks.append((addr, label))
+    marks.sort()
+    ranges = []
+    for index, (addr, label) in enumerate(marks):
+        end = marks[index + 1][0] if index + 1 < len(marks) else program.end
+        ranges.append((label, addr, end))
+    entry_points = {}
+    for opcode in Op:
+        label = "h_%s" % opcode.name
+        if label in program.labels:
+            entry_points[program.labels[label]] = opcode.name
+    return Attribution(program, ranges, entry_points)
+
+
+# The interpreter text is program-independent, so the assembled program
+# and its attribution map are cached per configuration.
+_PROGRAM_CACHE = {}
+
+
+def interpreter_program(config):
+    """The assembled interpreter for ``config`` (cached)."""
+    cached = _PROGRAM_CACHE.get(config)
+    if cached is None:
+        program = assemble(build_interpreter(config),
+                           base=layout.CODE_BASE)
+        if program.end > layout.BOOT_BLOCK:
+            raise ValueError("interpreter text overflows the code region")
+        cached = (program, build_attribution(program))
+        _PROGRAM_CACHE[config] = cached
+    return cached
+
+
+def prepare(source, config=BASELINE):
+    """Compile + image + assemble; returns (cpu, runtime, program)."""
+    if config not in (BASELINE, TYPED, CHECKED_LOAD):
+        raise ValueError("unknown config %r" % config)
+    chunk = compile_source(source)
+    memory = Memory(size=layout.MEMORY_SIZE)
+    runtime = LuaRuntime(memory)
+    image = build_image(chunk, runtime)
+    program, _attribution = interpreter_program(config)
+    fill_jump_table(image, program, memory)
+    host = LuaHost(runtime)
+    codec = TagCodec(fp_tags=layout.FP_TAGS)
+    cpu = Cpu(program, memory, host=host.interface, tag_codec=codec,
+              overflow_bits=None)
+    return cpu, runtime, program
+
+
+def run_lua(source, config=BASELINE, machine_config=None,
+            max_instructions=200_000_000, attribute=True):
+    """Compile and execute MiniLua ``source`` on the simulated machine.
+
+    ``config`` selects the interpreter build: ``"baseline"`` (software
+    type guards), ``"typed"`` (Typed Architecture) or ``"chklb"``
+    (Checked Load).
+    """
+    cpu, runtime, program = prepare(source, config)
+    attribution = interpreter_program(config)[1] if attribute else None
+    machine = Machine(cpu, config=machine_config, attribution=attribution)
+    counters = machine.run(max_instructions=max_instructions)
+    return LuaResult(output="".join(runtime.output), counters=counters,
+                     config=config, exit_code=cpu.exit_code)

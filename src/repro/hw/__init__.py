@@ -1,0 +1,9 @@
+"""Structural 40nm area/power model (the synthesis-flow substitute)."""
+
+from repro.hw.synthesis import (
+    SynthesisReport,
+    edp_improvement,
+    synthesize,
+)
+
+__all__ = ["SynthesisReport", "edp_improvement", "synthesize"]

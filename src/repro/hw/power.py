@@ -1,0 +1,69 @@
+"""Power model at 50MHz / 40nm, companion to :mod:`repro.hw.area`.
+
+Dynamic power is estimated per module as switched capacitance x activity
+at 50MHz (folded into per-gate and per-bit constants) plus an
+area-proportional leakage term.  Activity factors are calibrated to
+reproduce the paper's Table 8 baseline column; the typed deltas follow
+from the added structures, with the type-handling path assumed active on
+the tagged instructions only (Section 5 argues legacy code keeps it
+quiet).
+"""
+
+from repro.hw import area as area_model
+
+# mW per unit at 50MHz, typical corner.
+GATE_MW_PER_KGATE = 0.062       # random logic at moderate activity
+REGFILE_MW_PER_KBIT = 0.155
+CAM_MW_PER_KBIT = 0.42          # parallel match lines
+SRAM_MW_PER_KB = 0.155          # access-dominated compiler SRAM
+LEAKAGE_MW_PER_MM2 = 1.05
+
+# Per-module activity scale factors (relative switching rates).
+ACTIVITY = {
+    "Core": 1.25,
+    "CSR": 1.60,
+    "Div": 0.60,
+    "FPU": 0.78,
+    "ICache": 1.80,
+    "DCache": 1.92,
+    "Uncore": 2.30,
+    "Wrapping": 2.83,
+}
+
+
+def module_power(module, structure):
+    """Dynamic + leakage power (mW) for a :class:`ModuleArea`.
+
+    ``structure`` maps the module's area parts to the element class used
+    to pick the right power constant ('logic', 'sram', 'regfile', 'cam').
+    """
+    activity = ACTIVITY[module.name]
+    dynamic = 0.0
+    for part, part_area in module.parts.items():
+        kind = structure.get(part, "logic")
+        if kind == "sram":
+            kilobytes = part_area / area_model.TECH.sram_mm2_per_kb
+            dynamic += kilobytes * SRAM_MW_PER_KB * 0.5
+        elif kind == "regfile":
+            kilobits = part_area / area_model.TECH.regfile_mm2_per_bit \
+                / 1000.0
+            dynamic += kilobits * REGFILE_MW_PER_KBIT
+        elif kind == "cam":
+            kilobits = part_area / area_model.TECH.cam_mm2_per_bit / 1000.0
+            dynamic += kilobits * CAM_MW_PER_KBIT
+        else:
+            kilogates = part_area / area_model.TECH.gate_mm2 / 1000.0
+            dynamic += kilogates * GATE_MW_PER_KGATE
+    return dynamic * activity + module.total * LEAKAGE_MW_PER_MM2
+
+
+# Element-class map for the area parts defined in repro.hw.area.
+PART_KINDS = {
+    "regfile": "regfile",
+    "tag_regfile": "regfile",
+    "fpu_regfile": "regfile",
+    "trt": "cam",
+    "trt_data": "regfile",
+    "data_sram": "sram",
+    "tag_sram": "sram",
+}

@@ -1,0 +1,116 @@
+"""Assemble the Table 8 hierarchy and the EDP computation."""
+
+from dataclasses import dataclass, field
+
+from repro.hw import area as area_model
+from repro.hw import power as power_model
+
+
+@dataclass
+class ModuleReport:
+    name: str
+    area_mm2: float
+    power_mw: float
+    children: list = field(default_factory=list)
+
+
+@dataclass
+class SynthesisReport:
+    """Area/power estimate for one machine configuration."""
+
+    typed: bool
+    top: ModuleReport
+
+    def find(self, name):
+        def walk(node):
+            if node.name == name:
+                return node
+            for child in node.children:
+                found = walk(child)
+                if found is not None:
+                    return found
+            return None
+        found = walk(self.top)
+        if found is None:
+            raise KeyError("no module %r" % name)
+        return found
+
+    @property
+    def total_area(self):
+        return self.top.area_mm2
+
+    @property
+    def total_power(self):
+        return self.top.power_mw
+
+    def rows(self):
+        """(indented name, area, area%, power, power%) rows, Table 8
+        style."""
+        out = []
+
+        def walk(node, depth):
+            out.append((("  " * depth) + node.name, node.area_mm2,
+                        node.area_mm2 / self.total_area,
+                        node.power_mw, node.power_mw / self.total_power))
+            for child in node.children:
+                walk(child, depth + 1)
+        walk(self.top, 0)
+        return out
+
+
+def _module(area_obj):
+    power = power_model.module_power(area_obj, power_model.PART_KINDS)
+    return ModuleReport(area_obj.name, area_obj.total, power)
+
+
+def synthesize(typed=False):
+    """Estimate the full chip hierarchy (Table 8) for one configuration."""
+    core = _module(area_model.core_area(typed))
+    csr = _module(area_model.csr_area(typed))
+    div = _module(area_model.div_area())
+    fpu = _module(area_model.fpu_area())
+    icache = _module(area_model.cache_area("icache", typed))
+    dcache = _module(area_model.cache_area("dcache", typed))
+    core.children = [csr, div]
+
+    tile_children = [core, fpu, icache, dcache]
+    tile = ModuleReport(
+        "Tile",
+        sum(m.area_mm2 for m in [core, csr, div, fpu, icache, dcache]),
+        sum(m.power_mw for m in [core, csr, div, fpu, icache, dcache]),
+        tile_children)
+
+    uncore = _module(area_model.uncore_area())
+    wrapping = _module(area_model.wrapping_area())
+    top = ModuleReport(
+        "Top",
+        tile.area_mm2 + uncore.area_mm2 + wrapping.area_mm2,
+        tile.power_mw + uncore.power_mw + wrapping.power_mw,
+        [tile, uncore, wrapping])
+    return SynthesisReport(typed=typed, top=top)
+
+
+def area_overhead():
+    """Fractional total-area increase of the Typed Architecture."""
+    baseline = synthesize(typed=False).total_area
+    typed = synthesize(typed=True).total_area
+    return typed / baseline - 1.0
+
+
+def power_overhead():
+    """Fractional total-power increase of the Typed Architecture."""
+    baseline = synthesize(typed=False).total_power
+    typed = synthesize(typed=True).total_power
+    return typed / baseline - 1.0
+
+
+def edp_improvement(speedup, power_ratio=None):
+    """Energy-delay-product improvement for a given ``speedup``.
+
+    EDP = P * t^2 with t scaled by 1/speedup and P by ``power_ratio``
+    (defaults to the model's typed/baseline power ratio).  Returns the
+    fractional improvement (positive is better).
+    """
+    if power_ratio is None:
+        power_ratio = 1.0 + power_overhead()
+    return 1.0 - power_ratio / (speedup * speedup)

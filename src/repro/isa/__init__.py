@@ -1,0 +1,32 @@
+"""ISA layer: RV64 base subset plus the Typed Architecture extension.
+
+This package defines the instruction set executed by the simulator in
+:mod:`repro.sim`:
+
+* the base 64-bit RISC-V subset (RV64IMFD-ish) used by the interpreter
+  handlers,
+* the Typed Architecture extension of the paper (``tld``, ``tsd``,
+  ``xadd``/``xsub``/``xmul``, ``tchk``, ``thdl``, ``tget``/``tset`` and the
+  configuration instructions), and
+* the Checked Load comparator instructions (``chklb``, ``settype``).
+
+The main entry points are :func:`repro.isa.assembler.assemble` which turns
+assembly text into a :class:`repro.isa.assembler.Program`, and
+:func:`repro.isa.encoding.encode` / :func:`repro.isa.encoding.decode` for
+binary round-trips.
+"""
+
+from repro.isa.assembler import Program, assemble
+from repro.isa.disassembler import disassemble
+from repro.isa.encoding import decode, encode
+from repro.isa.instructions import INSTRUCTION_SPECS, Instruction
+
+__all__ = [
+    "INSTRUCTION_SPECS",
+    "Instruction",
+    "Program",
+    "assemble",
+    "decode",
+    "disassemble",
+    "encode",
+]

@@ -1,0 +1,352 @@
+"""Two-pass assembler for the extended RV64 ISA.
+
+The interpreter handlers in :mod:`repro.engines` are written as assembly
+text (mirroring the paper's Figure 1(c) and Figure 3 listings) and
+assembled into a :class:`Program` of pre-decoded instructions.  The
+assembler supports:
+
+* labels (``name:``), ``#`` comments, and ``.equ NAME value`` constants,
+* the standard pseudo-instructions (``li``, ``la``, ``mv``, ``j``, ``ret``,
+  ``beqz``/``bnez``, ``call``, ...), expanded during pass one so label
+  addresses stay exact,
+* label operands for branches, jumps and ``thdl``.
+"""
+
+import re
+
+from repro.isa.instructions import INSTRUCTION_SPECS, Instruction
+from repro.isa.registers import fp_register, int_register
+
+
+class AssemblerError(ValueError):
+    """Raised for any syntax or range error, with the offending line."""
+
+
+_LABEL_RE = re.compile(r"^\s*([A-Za-z_.$][\w.$]*)\s*:\s*(.*)$")
+_MEM_RE = re.compile(r"^(.*)\(\s*([\w.$]+)\s*\)$")
+
+
+class Program:
+    """An assembled program: decoded instructions plus symbol metadata.
+
+    Instructions occupy four bytes each starting at ``base``; ``labels``
+    maps symbol names to byte addresses.  ``instr_index(pc)`` converts a
+    byte PC into an index into ``instructions``.
+    """
+
+    def __init__(self, instructions, labels, base=0):
+        self.instructions = instructions
+        self.labels = dict(labels)
+        self.base = base
+        for offset, instr in enumerate(instructions):
+            instr.addr = base + 4 * offset
+
+    @property
+    def size(self):
+        """Code size in bytes."""
+        return 4 * len(self.instructions)
+
+    @property
+    def end(self):
+        """First byte address past the program."""
+        return self.base + self.size
+
+    def instr_index(self, pc):
+        """Index of the instruction at byte address ``pc``."""
+        offset = pc - self.base
+        if offset % 4 or not 0 <= offset < self.size:
+            raise ValueError("PC 0x%x outside program [0x%x, 0x%x)"
+                             % (pc, self.base, self.end))
+        return offset // 4
+
+    def address_of(self, label):
+        """Byte address of ``label``."""
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise KeyError("undefined label %r" % label) from None
+
+
+def _parse_int(text, equs):
+    text = text.strip()
+    if text in equs:
+        return equs[text]
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError("bad immediate %r" % text) from None
+
+
+def _expand_li(rd, value):
+    """Expand ``li rd, value`` into real instructions (RV64 recipe)."""
+    if -(1 << 63) > value or value >= (1 << 64):
+        raise AssemblerError("li immediate %d out of 64-bit range" % value)
+    if value >= (1 << 63):  # accept unsigned 64-bit literals
+        value -= 1 << 64
+    if -2048 <= value < 2048:
+        return [Instruction("addi", rd=rd, rs1=0, imm=value)]
+    if -(1 << 31) <= value < (1 << 31):
+        hi20 = ((value + 0x800) >> 12) & 0xFFFFF
+        lo12 = value & 0xFFF
+        if lo12 >= 0x800:
+            lo12 -= 0x1000
+        out = [Instruction("lui", rd=rd, imm=hi20)]
+        if lo12:
+            out.append(Instruction("addiw", rd=rd, rs1=rd, imm=lo12))
+        return out
+    lo12 = value & 0xFFF
+    if lo12 >= 0x800:
+        lo12 -= 0x1000
+    out = _expand_li(rd, (value - lo12) >> 12)
+    out.append(Instruction("slli", rd=rd, rs1=rd, imm=12))
+    if lo12:
+        out.append(Instruction("addi", rd=rd, rs1=rd, imm=lo12))
+    return out
+
+
+def _hi_lo(address):
+    hi20 = ((address + 0x800) >> 12) & 0xFFFFF
+    lo12 = address & 0xFFF
+    if lo12 >= 0x800:
+        lo12 -= 0x1000
+    return hi20, lo12
+
+
+# Pseudo-instructions that expand to a fixed shape.  Each handler returns a
+# list of Instructions; label operands are carried symbolically and fixed up
+# in pass two.
+def _pseudo_expansions():
+    def one(mn, **kw):
+        return [Instruction(mn, **kw)]
+
+    def branch_zero(mn, swap=False):
+        def expand(ops, equs):
+            rs = int_register(ops[0])
+            rs1, rs2 = (0, rs) if swap else (rs, 0)
+            return one(mn, rs1=rs1, rs2=rs2, label=ops[1])
+        return expand
+
+    def branch_swap(mn):
+        def expand(ops, equs):
+            return one(mn, rs1=int_register(ops[1]), rs2=int_register(ops[0]),
+                       label=ops[2])
+        return expand
+
+    def fp_alias(mn):
+        def expand(ops, equs):
+            rd, rs = fp_register(ops[0]), fp_register(ops[1])
+            return one(mn, rd=rd, rs1=rs, rs2=rs)
+        return expand
+
+    return {
+        "nop": lambda ops, equs: one("addi", rd=0, rs1=0, imm=0),
+        "mv": lambda ops, equs: one("addi", rd=int_register(ops[0]),
+                                    rs1=int_register(ops[1]), imm=0),
+        "li": lambda ops, equs: _expand_li(int_register(ops[0]),
+                                           _parse_int(ops[1], equs)),
+        "not": lambda ops, equs: one("xori", rd=int_register(ops[0]),
+                                     rs1=int_register(ops[1]), imm=-1),
+        "neg": lambda ops, equs: one("sub", rd=int_register(ops[0]),
+                                     rs1=0, rs2=int_register(ops[1])),
+        "seqz": lambda ops, equs: one("sltiu", rd=int_register(ops[0]),
+                                      rs1=int_register(ops[1]), imm=1),
+        "snez": lambda ops, equs: one("sltu", rd=int_register(ops[0]),
+                                      rs1=0, rs2=int_register(ops[1])),
+        "sltz": lambda ops, equs: one("slt", rd=int_register(ops[0]),
+                                      rs1=int_register(ops[1]), rs2=0),
+        "sgtz": lambda ops, equs: one("slt", rd=int_register(ops[0]),
+                                      rs1=0, rs2=int_register(ops[1])),
+        "sext.w": lambda ops, equs: one("addiw", rd=int_register(ops[0]),
+                                        rs1=int_register(ops[1]), imm=0),
+        "beqz": branch_zero("beq"),
+        "bnez": branch_zero("bne"),
+        "bltz": branch_zero("blt"),
+        "bgez": branch_zero("bge"),
+        "blez": branch_zero("bge", swap=True),
+        "bgtz": branch_zero("blt", swap=True),
+        "bgt": branch_swap("blt"),
+        "ble": branch_swap("bge"),
+        "bgtu": branch_swap("bltu"),
+        "bleu": branch_swap("bgeu"),
+        "j": lambda ops, equs: one("jal", rd=0, label=ops[0]),
+        "jr": lambda ops, equs: one("jalr", rd=0, rs1=int_register(ops[0]),
+                                    imm=0),
+        "ret": lambda ops, equs: one("jalr", rd=0, rs1=1, imm=0),
+        "call": lambda ops, equs: one("jal", rd=1, label=ops[0]),
+        "fmv.d": fp_alias("fsgnj.d"),
+        "fneg.d": fp_alias("fsgnjn.d"),
+        "fabs.d": fp_alias("fsgnjx.d"),
+    }
+
+
+_PSEUDOS = _pseudo_expansions()
+
+
+def _split_operands(text):
+    return [part.strip() for part in text.split(",")] if text.strip() else []
+
+
+def _parse_mem_operand(text, equs):
+    match = _MEM_RE.match(text.strip())
+    if not match:
+        raise AssemblerError("expected imm(reg), got %r" % text)
+    offset_text = match.group(1).strip() or "0"
+    return _parse_int(offset_text, equs), match.group(2)
+
+
+def _parse_native(mnemonic, operands, equs):
+    """Parse one non-pseudo instruction into an Instruction."""
+    spec = INSTRUCTION_SPECS[mnemonic]
+    syntax = spec.syntax
+    regfile = {"x": int_register, "f": fp_register}
+
+    def reg(slot, text):
+        return regfile[spec.regclass(slot)](text)
+
+    def expect(count):
+        if len(operands) != count:
+            raise AssemblerError("%s expects %d operands, got %d"
+                                 % (mnemonic, count, len(operands)))
+
+    instr = Instruction(mnemonic)
+    if syntax == "r3":
+        expect(3)
+        instr.rd = reg("rd", operands[0])
+        instr.rs1 = reg("rs1", operands[1])
+        instr.rs2 = reg("rs2", operands[2])
+    elif syntax == "r2":
+        expect(2)
+        instr.rd = reg("rd", operands[0])
+        instr.rs1 = reg("rs1", operands[1])
+    elif syntax == "rs_pair":
+        expect(2)
+        instr.rs1 = reg("rs1", operands[0])
+        instr.rs2 = reg("rs2", operands[1])
+    elif syntax in ("imm", "shamt"):
+        expect(3)
+        instr.rd = reg("rd", operands[0])
+        instr.rs1 = reg("rs1", operands[1])
+        instr.imm = _parse_int(operands[2], equs)
+    elif syntax == "load":
+        expect(2)
+        instr.rd = reg("rd", operands[0])
+        instr.imm, base = _parse_mem_operand(operands[1], equs)
+        instr.rs1 = int_register(base)
+    elif syntax == "store":
+        expect(2)
+        instr.rs2 = reg("rs2", operands[0])
+        instr.imm, base = _parse_mem_operand(operands[1], equs)
+        instr.rs1 = int_register(base)
+    elif syntax == "branch":
+        expect(3)
+        instr.rs1 = reg("rs1", operands[0])
+        instr.rs2 = reg("rs2", operands[1])
+        instr.label = operands[2]
+    elif syntax == "u":
+        expect(2)
+        instr.rd = reg("rd", operands[0])
+        instr.imm = _parse_int(operands[1], equs)
+    elif syntax == "jal":
+        expect(2)
+        instr.rd = reg("rd", operands[0])
+        instr.label = operands[1]
+    elif syntax == "jalr":
+        expect(2)
+        instr.rd = reg("rd", operands[0])
+        instr.imm, base = _parse_mem_operand(operands[1], equs)
+        instr.rs1 = int_register(base)
+    elif syntax == "one_reg":
+        expect(1)
+        instr.rs1 = reg("rs1", operands[0])
+    elif syntax == "none":
+        expect(0)
+    elif syntax == "label":
+        expect(1)
+        instr.label = operands[0]
+    else:
+        raise AssemblerError("unhandled syntax %r for %s" % (syntax, mnemonic))
+    return instr
+
+
+def assemble(text, base=0, extra_labels=None):
+    """Assemble ``text`` into a :class:`Program` at byte address ``base``.
+
+    ``extra_labels`` maps externally defined symbols (e.g. data addresses)
+    usable as branch/``la`` targets.
+    """
+    labels = dict(extra_labels or {})
+    equs = {}
+    instructions = []
+    pending_la = []  # (index, rd, label) fixed up after labels are known
+
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        while line:
+            match = _LABEL_RE.match(line)
+            if match and match.group(1) not in INSTRUCTION_SPECS:
+                name = match.group(1)
+                if name in labels:
+                    raise AssemblerError("line %d: duplicate label %r"
+                                         % (lineno, name))
+                labels[name] = base + 4 * len(instructions)
+                line = match.group(2).strip()
+                continue
+            break
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1] if len(parts) > 1 else "")
+        try:
+            if mnemonic == ".equ":
+                equs[operands[0]] = _parse_int(operands[1], equs)
+            elif mnemonic == "la":
+                # Expands to lui+addiw once the target address is known.
+                index = len(instructions)
+                instructions.append(Instruction("lui",
+                                                rd=int_register(operands[0])))
+                instructions.append(Instruction("addiw",
+                                                rd=int_register(operands[0]),
+                                                rs1=int_register(operands[0])))
+                pending_la.append((index, operands[1]))
+            elif mnemonic in _PSEUDOS:
+                instructions.extend(_PSEUDOS[mnemonic](operands, equs))
+            elif mnemonic in INSTRUCTION_SPECS:
+                instructions.append(_parse_native(mnemonic, operands, equs))
+            else:
+                raise AssemblerError("unknown mnemonic %r" % mnemonic)
+        except AssemblerError as err:
+            raise AssemblerError("line %d: %s" % (lineno, err)) from None
+        except (ValueError, IndexError) as err:
+            raise AssemblerError("line %d: %s (%r)" % (lineno, err, line)) \
+                from None
+
+    # Pass two: resolve label references.
+    for index, instr in enumerate(instructions):
+        if instr.label is None:
+            continue
+        if instr.label not in labels:
+            raise AssemblerError("undefined label %r" % instr.label)
+        target = labels[instr.label]
+        pc = base + 4 * index
+        spec = INSTRUCTION_SPECS[instr.mnemonic]
+        if spec.fmt == "B":
+            instr.imm = target - pc
+            if not -4096 <= instr.imm < 4096:
+                raise AssemblerError("branch to %r out of range (%d bytes)"
+                                     % (instr.label, instr.imm))
+        elif spec.fmt == "J":  # jal and thdl share J-format displacement
+            instr.imm = target - pc
+            if not -(1 << 20) <= instr.imm < (1 << 20):
+                raise AssemblerError("jump to %r out of range" % instr.label)
+        else:
+            raise AssemblerError("label operand not allowed for %s"
+                                 % instr.mnemonic)
+    for index, label in pending_la:
+        if label not in labels:
+            raise AssemblerError("undefined label %r" % label)
+        hi20, lo12 = _hi_lo(labels[label])
+        instructions[index].imm = hi20
+        instructions[index + 1].imm = lo12
+
+    return Program(instructions, labels, base=base)

@@ -1,0 +1,52 @@
+"""Render decoded instructions back to assembly text."""
+
+from repro.isa.instructions import INSTRUCTION_SPECS
+from repro.isa.registers import fp_register_name, int_register_name
+
+
+def _reg(spec, slot, index):
+    if spec.regclass(slot) == "f":
+        return fp_register_name(index)
+    return int_register_name(index)
+
+
+def disassemble(instr):
+    """Return the canonical assembly text for ``instr``.
+
+    Branch/jump targets are rendered as relative byte displacements
+    (``. + n``) unless the instruction retained a symbolic label.
+    """
+    spec = INSTRUCTION_SPECS[instr.mnemonic]
+    syntax = spec.syntax
+    rd = _reg(spec, "rd", instr.rd)
+    rs1 = _reg(spec, "rs1", instr.rs1)
+    rs2 = _reg(spec, "rs2", instr.rs2)
+    target = instr.label if instr.label is not None else ". + %d" % instr.imm
+
+    if syntax == "r3":
+        return "%s %s, %s, %s" % (instr.mnemonic, rd, rs1, rs2)
+    if syntax == "r2":
+        return "%s %s, %s" % (instr.mnemonic, rd, rs1)
+    if syntax == "rs_pair":
+        return "%s %s, %s" % (instr.mnemonic, rs1, rs2)
+    if syntax in ("imm", "shamt"):
+        return "%s %s, %s, %d" % (instr.mnemonic, rd, rs1, instr.imm)
+    if syntax == "load":
+        return "%s %s, %d(%s)" % (instr.mnemonic, rd, instr.imm, rs1)
+    if syntax == "store":
+        return "%s %s, %d(%s)" % (instr.mnemonic, rs2, instr.imm, rs1)
+    if syntax == "branch":
+        return "%s %s, %s, %s" % (instr.mnemonic, rs1, rs2, target)
+    if syntax == "u":
+        return "%s %s, 0x%x" % (instr.mnemonic, rd, instr.imm)
+    if syntax == "jal":
+        return "%s %s, %s" % (instr.mnemonic, rd, target)
+    if syntax == "jalr":
+        return "%s %s, %d(%s)" % (instr.mnemonic, rd, instr.imm, rs1)
+    if syntax == "one_reg":
+        return "%s %s" % (instr.mnemonic, rs1)
+    if syntax == "none":
+        return instr.mnemonic
+    if syntax == "label":
+        return "%s %s" % (instr.mnemonic, target)
+    raise ValueError("unhandled syntax %r" % syntax)

@@ -1,0 +1,158 @@
+"""Binary encode/decode for the 32-bit instruction formats.
+
+The simulator executes pre-decoded :class:`~repro.isa.instructions.Instruction`
+objects, so these functions exist for fidelity (every instruction in the
+extended ISA has a real fixed-width encoding, a design constraint the paper
+leans on when criticising Checked Load's variable-length x86 encoding) and
+for round-trip testing.
+"""
+
+from repro.isa.instructions import (
+    INSTRUCTION_SPECS,
+    Instruction,
+    OP_FP,
+    OP_IMM,
+    OP_IMM32,
+)
+
+
+def _sext(value, bits):
+    """Sign-extend ``value`` from ``bits`` wide to a Python int."""
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def _check_range(value, bits, what):
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise ValueError("%s %d out of %d-bit signed range" % (what, value, bits))
+
+
+def encode(instr):
+    """Encode a decoded :class:`Instruction` into a 32-bit word."""
+    spec = INSTRUCTION_SPECS[instr.mnemonic]
+    opcode, funct3, funct7 = spec.opcode, spec.funct3, spec.funct7
+    rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+
+    if spec.fmt == "R":
+        if spec.fixed_rs2 is not None:
+            rs2 = spec.fixed_rs2
+        return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) \
+            | (rd << 7) | opcode
+    if spec.fmt == "I":
+        if spec.syntax == "shamt":
+            if not 0 <= imm < 64:
+                raise ValueError("shift amount %d out of range" % imm)
+            imm12 = ((funct7 >> 1) << 6) | imm  # funct6 in imm[11:6]
+        else:
+            _check_range(imm, 12, "immediate")
+            imm12 = imm & 0xFFF
+        return (imm12 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+    if spec.fmt == "S":
+        _check_range(imm, 12, "store offset")
+        imm12 = imm & 0xFFF
+        return ((imm12 >> 5) << 25) | (rs2 << 20) | (rs1 << 15) \
+            | (funct3 << 12) | ((imm12 & 0x1F) << 7) | opcode
+    if spec.fmt == "B":
+        _check_range(imm, 13, "branch displacement")
+        if imm & 1:
+            raise ValueError("branch displacement must be even")
+        b = imm & 0x1FFF
+        return (((b >> 12) & 1) << 31) | (((b >> 5) & 0x3F) << 25) \
+            | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) \
+            | (((b >> 1) & 0xF) << 8) | (((b >> 11) & 1) << 7) | opcode
+    if spec.fmt == "U":
+        if not 0 <= imm < (1 << 20):
+            raise ValueError("U-immediate %d out of 20-bit range" % imm)
+        return (imm << 12) | (rd << 7) | opcode
+    if spec.fmt == "J":
+        _check_range(imm, 21, "jump displacement")
+        if imm & 1:
+            raise ValueError("jump displacement must be even")
+        j = imm & 0x1FFFFF
+        return (((j >> 20) & 1) << 31) | (((j >> 1) & 0x3FF) << 21) \
+            | (((j >> 11) & 1) << 20) | (((j >> 12) & 0xFF) << 12) \
+            | (rd << 7) | opcode
+    if spec.fmt == "SYS":
+        return (funct7 << 20) | opcode
+    raise ValueError("unknown format %r" % spec.fmt)
+
+
+def _build_decode_index():
+    """Group specs by (opcode, funct3) so decode can resolve collisions."""
+    index = {}
+    for spec in INSTRUCTION_SPECS.values():
+        key = (spec.opcode, spec.funct3 if spec.fmt not in ("U", "J") else None)
+        index.setdefault(key, []).append(spec)
+    return index
+
+
+_DECODE_INDEX = _build_decode_index()
+
+
+def _resolve(candidates, funct7, rs2, imm12):
+    if len(candidates) == 1:
+        return candidates[0]
+    for spec in candidates:
+        if spec.fmt == "R":
+            if spec.funct7 != funct7:
+                continue
+            if spec.fixed_rs2 is not None and spec.fixed_rs2 != rs2:
+                continue
+            return spec
+        if spec.fmt == "I" and spec.syntax == "shamt":
+            if (imm12 >> 6) == (spec.funct7 >> 1):
+                return spec
+        elif spec.fmt == "I":
+            if (imm12 >> 6) == 0 or spec.opcode not in (OP_IMM, OP_IMM32):
+                return spec
+        elif spec.fmt == "SYS":
+            if spec.funct7 == imm12:
+                return spec
+    # Fall back to an exact funct7 match among R-format entries.
+    for spec in candidates:
+        if spec.fmt == "R" and spec.funct7 == funct7:
+            return spec
+    raise ValueError("cannot resolve decode among %r"
+                     % [spec.mnemonic for spec in candidates])
+
+
+def decode(word):
+    """Decode a 32-bit instruction ``word`` into an :class:`Instruction`."""
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+    imm12 = (word >> 20) & 0xFFF
+
+    candidates = _DECODE_INDEX.get((opcode, funct3))
+    if candidates is None:
+        candidates = _DECODE_INDEX.get((opcode, None))
+    if candidates is None:
+        raise ValueError("unknown opcode 0x%02x (word 0x%08x)" % (opcode, word))
+    spec = _resolve(candidates, funct7, rs2, imm12)
+
+    imm = 0
+    if spec.fmt == "I":
+        imm = imm12 & 0x3F if spec.syntax == "shamt" else _sext(imm12, 12)
+    elif spec.fmt == "S":
+        imm = _sext((funct7 << 5) | rd, 12)
+        rd = 0
+    elif spec.fmt == "B":
+        imm = _sext((((word >> 31) & 1) << 12) | (((word >> 7) & 1) << 11)
+                    | (((word >> 25) & 0x3F) << 5) | (((word >> 8) & 0xF) << 1), 13)
+        rd = 0
+    elif spec.fmt == "U":
+        imm = (word >> 12) & 0xFFFFF
+    elif spec.fmt == "J":
+        imm = _sext((((word >> 31) & 1) << 20) | (((word >> 12) & 0xFF) << 12)
+                    | (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3FF) << 1), 21)
+    if spec.fmt in ("U", "J", "SYS"):
+        rs1 = rs2 = 0
+    if spec.fixed_rs2 is not None:
+        rs2 = 0
+    if spec.fmt == "SYS":
+        rd = 0
+    return Instruction(spec.mnemonic, rd=rd, rs1=rs1, rs2=rs2, imm=imm)

@@ -1,0 +1,73 @@
+"""Register names for the RV64 integer and floating-point register files.
+
+The Typed Architecture unifies the two files at the microarchitecture level
+(every integer register additionally carries an 8-bit type tag and an F/I
+bit), but the assembly syntax keeps the conventional ``x``/ABI names for
+integer registers and ``f`` names for the baseline FP registers.
+"""
+
+# ABI names indexed by register number, per the RISC-V psABI.
+INT_REGISTER_NAMES = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+)
+
+FP_REGISTER_NAMES = tuple("f%d" % i for i in range(32))
+
+NUM_REGISTERS = 32
+
+
+def _build_int_map():
+    mapping = {}
+    for index, name in enumerate(INT_REGISTER_NAMES):
+        mapping[name] = index
+        mapping["x%d" % index] = index
+    mapping["fp"] = 8  # alias for s0
+    return mapping
+
+
+def _build_fp_map():
+    mapping = {}
+    for index in range(NUM_REGISTERS):
+        mapping["f%d" % index] = index
+    # Common ABI aliases for FP registers.
+    for index, name in enumerate(
+        ["ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+         "fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+         "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+         "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11"]
+    ):
+        mapping[name] = index
+    return mapping
+
+
+INT_REGISTERS = _build_int_map()
+FP_REGISTERS = _build_fp_map()
+
+
+def int_register(name):
+    """Return the integer register index for ``name`` (ABI or ``xN``)."""
+    try:
+        return INT_REGISTERS[name]
+    except KeyError:
+        raise ValueError("unknown integer register %r" % name) from None
+
+
+def fp_register(name):
+    """Return the FP register index for ``name`` (ABI or ``fN``)."""
+    try:
+        return FP_REGISTERS[name]
+    except KeyError:
+        raise ValueError("unknown FP register %r" % name) from None
+
+
+def int_register_name(index):
+    """Return the canonical ABI name for integer register ``index``."""
+    return INT_REGISTER_NAMES[index]
+
+
+def fp_register_name(index):
+    """Return the canonical name for FP register ``index``."""
+    return FP_REGISTER_NAMES[index]

@@ -1,0 +1,36 @@
+"""Functional simulator: architectural state and instruction semantics.
+
+:class:`~repro.sim.cpu.Cpu` executes assembled programs over a
+:class:`~repro.sim.memory.Memory`; the Typed Architecture state (unified
+tagged register file, Type Rule Table, tag extract/insert codec, special
+registers) lives here.  Timing is layered on by :mod:`repro.uarch`.
+"""
+
+from repro.sim.cpu import Cpu
+from repro.sim.errors import (
+    ExecutionLimitExceeded,
+    HostCallError,
+    IllegalInstruction,
+    SimulationError,
+)
+from repro.sim.hostcall import HostInterface
+from repro.sim.memory import Memory
+from repro.sim.regfile import FpRegisterFile, UnifiedRegisterFile
+from repro.sim.tagio import TagCodec
+from repro.sim.trt import TypeRuleTable, pack_rule, unpack_rule
+
+__all__ = [
+    "Cpu",
+    "ExecutionLimitExceeded",
+    "FpRegisterFile",
+    "HostCallError",
+    "HostInterface",
+    "IllegalInstruction",
+    "Memory",
+    "SimulationError",
+    "TagCodec",
+    "TypeRuleTable",
+    "UnifiedRegisterFile",
+    "pack_rule",
+    "unpack_rule",
+]

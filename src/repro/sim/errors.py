@@ -1,0 +1,21 @@
+"""Simulator exception hierarchy."""
+
+
+class SimulationError(Exception):
+    """Base class for all simulator faults."""
+
+
+class MemoryError_(SimulationError):
+    """Out-of-range or misaligned memory access."""
+
+
+class IllegalInstruction(SimulationError):
+    """Executed an instruction the core cannot handle."""
+
+
+class HostCallError(SimulationError):
+    """A host (runtime service) call failed or was unknown."""
+
+
+class ExecutionLimitExceeded(SimulationError):
+    """The instruction budget for a run was exhausted."""

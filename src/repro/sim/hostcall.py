@@ -1,0 +1,80 @@
+"""Host-call interface: the simulator's stand-in for native library code.
+
+The real interpreters spend a large fraction of time in native C library
+routines (string hashing, allocation, printf, file I/O).  Writing a libc in
+assembly is out of scope, so the engines invoke *host services* through
+``ecall``: the service id goes in ``a7``, arguments in ``a0``-``a6`` and
+the result comes back in ``a0``.
+
+Each service declares a ``cost`` in equivalent native instructions.  The
+cost is charged identically on every machine configuration, which is what
+preserves the paper's Amdahl's-law effect: benchmarks dominated by CALL
+bytecodes (library time) show smaller speedups (Section 7.1).
+"""
+
+from repro.sim.errors import HostCallError
+
+# Calling convention registers.
+ARG_REGISTERS = (10, 11, 12, 13, 14, 15, 16)  # a0..a6
+SERVICE_REGISTER = 17  # a7
+RETURN_REGISTER = 10  # a0
+
+# Reserved service ids common to every engine.
+SERVICE_EXIT = 0
+SERVICE_PUTCHAR = 1
+
+
+class HostService:
+    """One callable service: ``handler(machine, *args) -> int`` result.
+
+    ``cost`` is either a fixed instruction count or a callable
+    ``cost(args) -> int`` for services whose native cost depends on the
+    arguments (e.g. a builtin-dispatch service).
+    """
+
+    def __init__(self, service_id, name, handler, cost):
+        self.service_id = service_id
+        self.name = name
+        self.handler = handler
+        self.cost = cost
+
+    def cost_for(self, args):
+        return self.cost(args) if callable(self.cost) else self.cost
+
+
+class HostInterface:
+    """Registry of host services shared by an engine's runtime."""
+
+    def __init__(self):
+        self._services = {}
+        self.calls = 0
+        self.charged_instructions = 0
+        self.calls_by_service = {}
+
+    def register(self, service_id, name, handler, cost):
+        """Register ``handler`` under ``service_id`` with a fixed cost."""
+        if service_id in self._services:
+            raise ValueError("service id %d already registered" % service_id)
+        self._services[service_id] = HostService(service_id, name, handler,
+                                                 cost)
+
+    def service(self, service_id):
+        try:
+            return self._services[service_id]
+        except KeyError:
+            raise HostCallError("unknown host service %d" % service_id) \
+                from None
+
+    def dispatch(self, cpu):
+        """Execute the service selected by ``a7``; returns its cost."""
+        service = self.service(cpu.regs.value[SERVICE_REGISTER])
+        args = [cpu.regs.value[reg] for reg in ARG_REGISTERS]
+        result = service.handler(cpu, *args)
+        if result is not None:
+            cpu.regs.write(RETURN_REGISTER, result)
+        cost = service.cost_for(args)
+        self.calls += 1
+        self.charged_instructions += cost
+        self.calls_by_service[service.name] = \
+            self.calls_by_service.get(service.name, 0) + 1
+        return cost

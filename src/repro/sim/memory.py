@@ -1,0 +1,61 @@
+"""Flat little-endian byte-addressable memory.
+
+A single ``bytearray`` keeps accesses fast in pure Python; the sizes used
+by the benchmarks (a few megabytes) make sparse paging unnecessary.
+"""
+
+from repro.sim.errors import MemoryError_
+
+MASK64 = (1 << 64) - 1
+
+
+class Memory:
+    """``size`` bytes of zero-initialised RAM starting at address 0."""
+
+    def __init__(self, size=16 * 1024 * 1024):
+        self.size = size
+        self.data = bytearray(size)
+
+    def _check(self, addr, width):
+        if addr < 0 or addr + width > self.size:
+            raise MemoryError_("access of %d bytes at 0x%x outside memory "
+                               "of %d bytes" % (width, addr, self.size))
+
+    def load(self, addr, width, signed=False):
+        """Load ``width`` bytes at ``addr`` as an integer."""
+        self._check(addr, width)
+        return int.from_bytes(self.data[addr:addr + width], "little",
+                              signed=signed)
+
+    def store(self, addr, width, value):
+        """Store the low ``width`` bytes of ``value`` at ``addr``."""
+        self._check(addr, width)
+        self.data[addr:addr + width] = (value & ((1 << (8 * width)) - 1)) \
+            .to_bytes(width, "little")
+
+    # Convenience accessors used heavily by the engines.
+    def load_u8(self, addr):
+        self._check(addr, 1)
+        return self.data[addr]
+
+    def load_u64(self, addr):
+        self._check(addr, 8)
+        return int.from_bytes(self.data[addr:addr + 8], "little")
+
+    def store_u8(self, addr, value):
+        self._check(addr, 1)
+        self.data[addr] = value & 0xFF
+
+    def store_u64(self, addr, value):
+        self._check(addr, 8)
+        self.data[addr:addr + 8] = (value & MASK64).to_bytes(8, "little")
+
+    def write_bytes(self, addr, payload):
+        """Bulk write ``payload`` (bytes-like) at ``addr``."""
+        self._check(addr, len(payload))
+        self.data[addr:addr + len(payload)] = payload
+
+    def read_bytes(self, addr, length):
+        """Bulk read ``length`` bytes at ``addr``."""
+        self._check(addr, length)
+        return bytes(self.data[addr:addr + length])

@@ -1,0 +1,63 @@
+"""IEEE-754 NaN boxing helpers (the SpiderMonkey layout of Section 4.2).
+
+A 64-bit double whose 13 most-significant bits are all ones cannot be a
+canonical number, so the engine reuses that space: bits [50:47] hold a
+4-bit type tag and bits [46:0] the payload.  Plain doubles are stored as
+their own bit pattern.
+"""
+
+import struct
+
+MASK64 = (1 << 64) - 1
+NAN_PREFIX_SHIFT = 51
+NAN_PREFIX = 0x1FFF          # 13 ones
+TAG_SHIFT = 47
+TAG_MASK = 0x0F
+PAYLOAD_MASK = (1 << 47) - 1
+
+
+def is_boxed(bits):
+    """True if ``bits`` is a boxed (non-double) value."""
+    return (bits >> NAN_PREFIX_SHIFT) == NAN_PREFIX
+
+
+def box(tag, payload):
+    """Box a 4-bit ``tag`` and 47-bit ``payload`` into a NaN pattern."""
+    return (NAN_PREFIX << NAN_PREFIX_SHIFT) | ((tag & TAG_MASK) << TAG_SHIFT) \
+        | (payload & PAYLOAD_MASK)
+
+
+def boxed_tag(bits):
+    """Extract the 4-bit type tag from a boxed value."""
+    return (bits >> TAG_SHIFT) & TAG_MASK
+
+
+def boxed_payload(bits):
+    """Extract the 47-bit payload from a boxed value."""
+    return bits & PAYLOAD_MASK
+
+
+def box_int32(tag_int, value):
+    """Box a signed 32-bit integer under tag ``tag_int``."""
+    return box(tag_int, value & 0xFFFFFFFF)
+
+
+def unbox_int32(bits):
+    """Recover the signed 32-bit integer payload."""
+    raw = bits & 0xFFFFFFFF
+    return raw - (1 << 32) if raw & (1 << 31) else raw
+
+
+def double_to_bits(value):
+    """Bit pattern of a Python float."""
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits_to_double(bits):
+    """Python float for a 64-bit pattern."""
+    return struct.unpack("<d", struct.pack("<Q", bits & MASK64))[0]
+
+
+def fits_int32(value):
+    """True if ``value`` is representable as a signed 32-bit integer."""
+    return -(1 << 31) <= value < (1 << 31)

@@ -1,0 +1,69 @@
+"""Register files: the unified tagged integer file and the baseline FP file.
+
+The Typed Architecture extends every integer register with an 8-bit type
+field and a one-bit F/I flag (Section 3.1).  Values written by untyped
+instructions are tagged :data:`~repro.isa.extension.TYPE_UNTYPED` so they
+bypass type checking.  The file is *unified*: polymorphic instructions can
+perform FP arithmetic directly on it, while the baseline handlers keep
+using the separate ``f`` registers.
+"""
+
+from repro.isa.extension import TYPE_UNTYPED
+
+MASK64 = (1 << 64) - 1
+
+
+class UnifiedRegisterFile:
+    """32 integer registers, each with value, type tag and F/I bit."""
+
+    def __init__(self):
+        self.value = [0] * 32
+        self.type = [TYPE_UNTYPED] * 32
+        self.fbit = [0] * 32
+
+    def write(self, index, value):
+        """Untyped write: sets the value and clears tag state."""
+        if index == 0:
+            return
+        self.value[index] = value & MASK64
+        self.type[index] = TYPE_UNTYPED
+        self.fbit[index] = 0
+
+    def write_typed(self, index, value, tag, fbit):
+        """Typed write from ``tld`` or a tagged ALU instruction."""
+        if index == 0:
+            return
+        self.value[index] = value & MASK64
+        self.type[index] = tag & 0xFF
+        self.fbit[index] = 1 if fbit else 0
+
+    def set_tag(self, index, tag, fbit):
+        """Tag-only update (``tset``)."""
+        if index == 0:
+            return
+        self.type[index] = tag & 0xFF
+        self.fbit[index] = 1 if fbit else 0
+
+    def snapshot(self):
+        """Copy of (value, type, fbit) arrays, e.g. for context switching."""
+        return (list(self.value), list(self.type), list(self.fbit))
+
+    def restore(self, state):
+        value, type_, fbit = state
+        self.value[:] = value
+        self.type[:] = type_
+        self.fbit[:] = fbit
+        self.value[0] = 0
+
+
+class FpRegisterFile:
+    """32 baseline FP registers holding raw IEEE-754 bit patterns."""
+
+    def __init__(self):
+        self.bits = [0] * 32
+
+    def write(self, index, bits):
+        self.bits[index] = bits & MASK64
+
+    def read(self, index):
+        return self.bits[index]

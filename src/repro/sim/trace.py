@@ -1,0 +1,111 @@
+"""Execution tracing: instruction-level and bytecode-level views.
+
+Debugging an interpreter running *on* a simulator needs two lenses: the
+native instruction stream (with register/tag effects) and the bytecode
+stream the interpreter is dispatching.  ``InstructionTracer`` captures
+the former from any :class:`~repro.sim.cpu.Cpu`; ``BytecodeTracer``
+derives the latter from a program's attribution entry points.
+"""
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.isa.disassembler import disassemble
+from repro.isa.extension import TYPE_UNTYPED
+from repro.isa.registers import int_register_name
+
+
+@dataclass
+class TraceEntry:
+    """One retired instruction and its visible effect."""
+
+    index: int
+    pc: int
+    text: str
+    rd: int
+    rd_value: int
+    rd_tag: int
+    redirect: bool
+
+    def format(self):
+        effect = ""
+        if self.rd:
+            effect = "  %s=0x%x" % (int_register_name(self.rd),
+                                    self.rd_value)
+            if self.rd_tag != TYPE_UNTYPED:
+                effect += " [tag=%d]" % self.rd_tag
+        if self.redirect:
+            effect += "  !type-mispredict"
+        return "%6d  %08x  %-32s%s" % (self.index, self.pc, self.text,
+                                       effect)
+
+
+class InstructionTracer:
+    """Steps a CPU while keeping the last ``limit`` retired instructions.
+
+    ``limit=None`` keeps everything (use only for short runs).
+    """
+
+    def __init__(self, cpu, limit=64):
+        self.cpu = cpu
+        self.entries = deque(maxlen=limit)
+        self._texts = {}
+
+    def _text(self, instr):
+        text = self._texts.get(id(instr))
+        if text is None:
+            text = disassemble(instr)
+            self._texts[id(instr)] = text
+        return text
+
+    def step(self):
+        cpu = self.cpu
+        pc = cpu.pc
+        instr = cpu.step()
+        self.entries.append(TraceEntry(
+            index=cpu.instret, pc=pc, text=self._text(instr),
+            rd=instr.rd, rd_value=cpu.regs.value[instr.rd],
+            rd_tag=cpu.regs.type[instr.rd], redirect=cpu.redirect))
+        return instr
+
+    def run(self, max_instructions=1_000_000):
+        while not self.cpu.halted and \
+                self.cpu.instret < max_instructions:
+            self.step()
+        return self.entries
+
+    def format(self):
+        return "\n".join(entry.format() for entry in self.entries)
+
+
+class BytecodeTracer:
+    """Records the bytecode stream an interpreter dispatches.
+
+    ``entry_points`` maps instruction *byte addresses* to bytecode names
+    (the same mapping the attribution machinery uses).
+    """
+
+    def __init__(self, cpu, entry_points, limit=None):
+        self.cpu = cpu
+        self.entry_points = dict(entry_points)
+        self.trace = deque(maxlen=limit)
+        self.counts = {}
+
+    def run(self, max_instructions=10_000_000):
+        cpu = self.cpu
+        entries = self.entry_points
+        while not cpu.halted and cpu.instret < max_instructions:
+            pc = cpu.pc
+            cpu.step()
+            name = entries.get(pc)
+            if name is not None:
+                self.trace.append(name)
+                self.counts[name] = self.counts.get(name, 0) + 1
+        return self.trace
+
+    def format(self, per_line=8):
+        items = list(self.trace)
+        lines = []
+        for start in range(0, len(items), per_line):
+            lines.append("  ".join(items[start:start + per_line]))
+        return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""The Type Rule Table: a small CAM keyed by (opcode, type1, type2).
+
+The table is software-managed: ``set_trt`` pushes packed entries and
+``flush_trt`` clears the table (Section 5, OS interactions).  Lookups are
+performed implicitly by the tagged ALU instructions and ``tchk``; a miss is
+a *type misprediction* that redirects the PC to ``R_hdl``.
+"""
+
+from repro.isa.extension import TRT_ENTRIES, TypeRule
+
+# Opcode identifiers used in the packed set_trt encoding.
+TRT_OPCODES = {"xadd": 0, "xsub": 1, "xmul": 2, "tchk": 3}
+
+
+def pack_rule(rule):
+    """Pack a :class:`TypeRule` into the 32-bit ``set_trt`` payload.
+
+    Layout: ``[31:24] opcode id, [23:16] type_in1, [15:8] type_in2,
+    [7:0] type_out``.
+    """
+    opcode_id = TRT_OPCODES[rule.opcode]
+    return (opcode_id << 24) | ((rule.type_in1 & 0xFF) << 16) \
+        | ((rule.type_in2 & 0xFF) << 8) | (rule.type_out & 0xFF)
+
+
+def unpack_rule(word):
+    """Inverse of :func:`pack_rule`."""
+    names = {v: k for k, v in TRT_OPCODES.items()}
+    return TypeRule(names[(word >> 24) & 0xFF], (word >> 16) & 0xFF,
+                    (word >> 8) & 0xFF, word & 0xFF)
+
+
+class TypeRuleTable:
+    """A ``capacity``-entry CAM mapping (opcode, t1, t2) to the output tag."""
+
+    def __init__(self, capacity=TRT_ENTRIES):
+        self.capacity = capacity
+        self._rules = {}
+        self._order = []
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        return len(self._order)
+
+    def push(self, word):
+        """``set_trt``: insert a packed rule, evicting FIFO when full."""
+        rule = unpack_rule(word)
+        key = (TRT_OPCODES[rule.opcode], rule.type_in1, rule.type_in2)
+        if key not in self._rules and len(self._order) >= self.capacity:
+            evicted = self._order.pop(0)
+            del self._rules[evicted]
+        if key not in self._rules:
+            self._order.append(key)
+        self._rules[key] = rule.type_out
+
+    def flush(self):
+        """``flush_trt``: clear every entry."""
+        self._rules.clear()
+        self._order.clear()
+
+    def load_rules(self, rules):
+        """Pre-load rules at program launch (the paper's assumption)."""
+        for rule in rules:
+            self.push(pack_rule(rule))
+
+    def lookup(self, opcode_id, type1, type2):
+        """Return the output tag, or ``None`` on a type misprediction."""
+        out = self._rules.get((opcode_id, type1, type2))
+        if out is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return out
+
+    def snapshot(self):
+        """Context-switch save of table contents."""
+        return (dict(self._rules), list(self._order))
+
+    def restore(self, state):
+        rules, order = state
+        self._rules = dict(rules)
+        self._order = list(order)

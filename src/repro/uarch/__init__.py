@@ -1,0 +1,24 @@
+"""Timing-approximate microarchitecture model (Table 6 machine)."""
+
+from repro.uarch.branch import Btb, FrontEnd, Gshare, ReturnAddressStack
+from repro.uarch.cache import Cache
+from repro.uarch.config import DEFAULT_CONFIG, MachineConfig
+from repro.uarch.counters import Counters
+from repro.uarch.dram import Dram
+from repro.uarch.pipeline import Attribution, Machine
+from repro.uarch.scoreboard import ScoreboardMachine
+
+__all__ = [
+    "Attribution",
+    "Btb",
+    "Cache",
+    "Counters",
+    "DEFAULT_CONFIG",
+    "Dram",
+    "FrontEnd",
+    "Gshare",
+    "Machine",
+    "MachineConfig",
+    "ReturnAddressStack",
+    "ScoreboardMachine",
+]

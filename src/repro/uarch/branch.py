@@ -1,0 +1,147 @@
+"""Front-end predictors: gshare, a fully-associative BTB, and a small RAS.
+
+These mirror the Rocket front end of Table 6: a 32-byte gshare predictor
+(128 two-bit counters indexed by PC xor global history), a 62-entry
+fully-associative branch target buffer with LRU replacement, and a
+two-entry return-address stack.  A wrong direction or wrong target costs
+the configured redirect penalty.
+"""
+
+
+class Gshare:
+    """128-entry table of 2-bit saturating counters with global history."""
+
+    def __init__(self, entries=128):
+        self.entries = entries
+        self.mask = entries - 1
+        if entries & self.mask:
+            raise ValueError("gshare entries must be a power of two")
+        self.history_bits = entries.bit_length() - 1
+        self.history_mask = (1 << self.history_bits) - 1
+        self.counters = [1] * entries  # weakly not-taken
+        self.history = 0
+
+    def _index(self, pc):
+        return ((pc >> 2) ^ self.history) & self.mask
+
+    def predict(self, pc):
+        """Predicted direction for the branch at ``pc``."""
+        return self.counters[self._index(pc)] >= 2
+
+    def update(self, pc, taken):
+        """Train the counter and shift the global history."""
+        index = self._index(pc)
+        counter = self.counters[index]
+        if taken:
+            if counter < 3:
+                self.counters[index] = counter + 1
+        elif counter > 0:
+            self.counters[index] = counter - 1
+        self.history = ((self.history << 1) | (1 if taken else 0)) \
+            & self.history_mask
+
+
+class Btb:
+    """Fully-associative branch target buffer with LRU replacement."""
+
+    def __init__(self, entries=62):
+        self.entries = entries
+        self._table = {}
+        self._order = []
+
+    def lookup(self, pc):
+        """Predicted target for ``pc``, or ``None`` on a BTB miss."""
+        target = self._table.get(pc)
+        if target is not None:
+            self._order.remove(pc)
+            self._order.append(pc)
+        return target
+
+    def update(self, pc, target):
+        if pc in self._table:
+            self._order.remove(pc)
+        elif len(self._order) >= self.entries:
+            victim = self._order.pop(0)
+            del self._table[victim]
+        self._table[pc] = target
+        self._order.append(pc)
+
+
+class ReturnAddressStack:
+    """A tiny circular return-address stack (2 entries on Rocket)."""
+
+    def __init__(self, entries=2):
+        self.entries = entries
+        self._stack = []
+
+    def push(self, address):
+        self._stack.append(address)
+        if len(self._stack) > self.entries:
+            self._stack.pop(0)
+
+    def pop(self):
+        """Predicted return address, or ``None`` when empty."""
+        return self._stack.pop() if self._stack else None
+
+
+class FrontEnd:
+    """Combined predictor: returns the redirect penalty per control event.
+
+    The caller reports each control-flow instruction with its actual
+    outcome; the model trains itself and returns how many cycles the fetch
+    redirect costs (0 when prediction was correct).
+    """
+
+    def __init__(self, config):
+        self.config = config
+        self.gshare = Gshare(config.gshare_entries)
+        self.btb = Btb(config.btb_entries)
+        self.ras = ReturnAddressStack(config.ras_entries)
+        self.branches = 0
+        self.mispredicts = 0
+        self.btb_misses = 0
+
+    def conditional_branch(self, pc, taken, target):
+        """A resolved conditional branch; returns the penalty in cycles."""
+        self.branches += 1
+        predicted_taken = self.gshare.predict(pc)
+        predicted_target = self.btb.lookup(pc) if predicted_taken else None
+        self.gshare.update(pc, taken)
+        if taken:
+            self.btb.update(pc, target)
+        correct = (predicted_taken == taken) and \
+            (not taken or predicted_target == target)
+        if correct:
+            return 0
+        self.mispredicts += 1
+        return self.config.miss_penalty
+
+    def direct_jump(self, pc, target, is_call, return_address):
+        """``jal``: target is known at decode; a BTB miss costs one cycle."""
+        if is_call:
+            self.ras.push(return_address)
+        predicted = self.btb.lookup(pc)
+        self.btb.update(pc, target)
+        if predicted == target:
+            return 0
+        self.btb_misses += 1
+        return 1
+
+    def indirect_jump(self, pc, target, is_return, is_call, return_address):
+        """``jalr``: predicted by the RAS for returns, else by the BTB."""
+        self.branches += 1
+        if is_return:
+            predicted = self.ras.pop()
+        else:
+            predicted = self.btb.lookup(pc)
+            self.btb.update(pc, target)
+        if is_call:
+            self.ras.push(return_address)
+        if predicted == target:
+            return 0
+        self.mispredicts += 1
+        return self.config.miss_penalty
+
+    def pipeline_redirect(self):
+        """A non-branch PC redirect (type misprediction slow-path jump)."""
+        return self.config.miss_penalty

@@ -1,0 +1,52 @@
+"""Set-associative cache model with true-LRU replacement.
+
+Only hit/miss behaviour is modelled (the data lives in the functional
+memory); the timing layer charges the DRAM latency on a miss.
+"""
+
+
+class Cache:
+    """A ``sets`` x ``ways`` tag store with per-set LRU ordering."""
+
+    def __init__(self, config):
+        self.config = config
+        self.line_shift = config.line_bytes.bit_length() - 1
+        self.set_mask = config.sets - 1
+        if config.sets & self.set_mask:
+            raise ValueError("cache set count must be a power of two")
+        self.ways = config.ways
+        # Each set is a list of tags ordered LRU -> MRU.
+        self._sets = [[] for _ in range(config.sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, addr):
+        """Access the line containing ``addr``; returns True on a hit."""
+        self.accesses += 1
+        line = addr >> self.line_shift
+        entry = self._sets[line & self.set_mask]
+        tag = line >> 0  # full line id doubles as the tag
+        try:
+            entry.remove(tag)
+        except ValueError:
+            self.misses += 1
+            if len(entry) >= self.ways:
+                entry.pop(0)
+            entry.append(tag)
+            return False
+        entry.append(tag)
+        return True
+
+    def contains(self, addr):
+        """Non-intrusive lookup (no statistics, no LRU update)."""
+        line = addr >> self.line_shift
+        return line in self._sets[line & self.set_mask]
+
+    def flush(self):
+        """Invalidate every line (statistics are preserved)."""
+        for entry in self._sets:
+            entry.clear()
+
+    @property
+    def miss_rate(self):
+        return self.misses / self.accesses if self.accesses else 0.0

@@ -1,0 +1,97 @@
+"""Machine configuration: the paper's Table 6 evaluation parameters.
+
+The defaults mirror the synthesized Rocket core the paper measures on
+FPGA: single-issue in-order 5-stage pipeline at 50MHz, a 128-entry gshare
+predictor (32B of 2-bit counters), a 62-entry fully-associative BTB, a
+2-entry return-address stack with a 2-cycle branch-miss penalty, and
+16KB 4-way 1-cycle L1 caches with 64B lines and LRU replacement over
+DDR3-1066 main memory.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One L1 cache."""
+
+    size_bytes: int = 16 * 1024
+    ways: int = 4
+    line_bytes: int = 64
+
+    @property
+    def sets(self):
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class BranchConfig:
+    """Front-end predictors."""
+
+    gshare_entries: int = 128   # 32B of 2-bit counters
+    btb_entries: int = 62
+    ras_entries: int = 2
+    miss_penalty: int = 2       # cycles
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """DDR3-1066 single-rank timing, folded to 50MHz core cycles."""
+
+    banks: int = 8
+    row_bits: int = 13          # row id = addr >> row_bits
+    open_row_latency: int = 12  # core cycles for a row-buffer hit
+    closed_row_latency: int = 25  # tRP+tRCD+tCL at 7/7/7, bus + core ratio
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Execution-unit latencies charged by the timing model (core cycles
+    beyond the single-issue baseline of one cycle per instruction)."""
+
+    mul: int = 4
+    div: int = 30
+    fp_alu: int = 2
+    fp_div: int = 25
+    fp_sqrt: int = 30
+    load_use_stall: int = 1
+    type_miss_penalty: int = 2  # pipeline redirect, same as a branch miss
+    host_cpi: float = 1.2       # average CPI charged to native library code
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Complete Table 6 parameter set."""
+
+    clock_mhz: int = 50
+    pipeline_stages: int = 5
+    icache: CacheConfig = field(default_factory=CacheConfig)
+    dcache: CacheConfig = field(default_factory=CacheConfig)
+    branch: BranchConfig = field(default_factory=BranchConfig)
+    dram: DramConfig = field(default_factory=DramConfig)
+    latency: LatencyConfig = field(default_factory=LatencyConfig)
+
+
+DEFAULT_CONFIG = MachineConfig()
+
+
+def table6_rows():
+    """The evaluation-parameter rows of Table 6, for the report printer."""
+    cfg = DEFAULT_CONFIG
+    return [
+        ("ISA", "64-bit RISC-V v2 (simulated) + Typed Architecture ext."),
+        ("Architecture", "Single-Issue In-Order, %dMHz" % cfg.clock_mhz),
+        ("Pipeline", "Fetch/Decode/Execute/Memory/Writeback (%d stages)"
+         % cfg.pipeline_stages),
+        ("Branch Predictor",
+         "32B predictor (%d-entry gshare), %d-entry fully-associative BTB, "
+         "%d-entry RAS, %d-cycle branch miss penalty"
+         % (cfg.branch.gshare_entries, cfg.branch.btb_entries,
+            cfg.branch.ras_entries, cfg.branch.miss_penalty)),
+        ("Caches",
+         "16KB, 4-way, 1-cycle L1 I-cache; 16KB, 4-way, 1-cycle L1 D-cache; "
+         "64B block size with LRU replacement policy"),
+        ("Memory", "DDR3-1066, 1 rank, tCL/tRCD/tRP = 7/7/7"),
+        ("Workloads", "MiniLua (Lua-5.3-style VM), MiniJS "
+         "(SpiderMonkey-17-style VM)"),
+    ]

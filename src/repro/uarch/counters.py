@@ -1,0 +1,89 @@
+"""Performance counters collected by a timed run.
+
+The Rocket prototype in the paper integrates custom performance counters
+(Section 6); this class is their software analogue.  All MPKI figures use
+total dynamic instructions (core plus charged native-library instructions)
+as the denominator, matching how the paper reports per-benchmark rates.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counters:
+    """Everything the evaluation figures need from one run."""
+
+    core_instructions: int = 0
+    host_instructions: int = 0
+    cycles: int = 0
+    branches: int = 0
+    branch_mispredicts: int = 0
+    btb_misses: int = 0
+    icache_accesses: int = 0
+    icache_misses: int = 0
+    dcache_accesses: int = 0
+    dcache_misses: int = 0
+    load_use_stalls: int = 0
+    type_hits: int = 0
+    type_misses: int = 0
+    overflow_traps: int = 0
+    chk_hits: int = 0
+    chk_misses: int = 0
+    host_calls: int = 0
+    bytecode_counts: dict = field(default_factory=dict)
+    bucket_instructions: dict = field(default_factory=dict)
+    bytecode_type_hits: dict = field(default_factory=dict)
+    bytecode_type_misses: dict = field(default_factory=dict)
+
+    @property
+    def instructions(self):
+        """Total dynamic instructions, core plus native-library charge."""
+        return self.core_instructions + self.host_instructions
+
+    @property
+    def ipc(self):
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self):
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    def _mpki(self, events):
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * events / self.instructions
+
+    @property
+    def branch_mpki(self):
+        return self._mpki(self.branch_mispredicts)
+
+    @property
+    def icache_mpki(self):
+        return self._mpki(self.icache_misses)
+
+    @property
+    def dcache_mpki(self):
+        return self._mpki(self.dcache_misses)
+
+    @property
+    def type_hit_rate(self):
+        checks = self.type_hits + self.type_misses
+        return self.type_hits / checks if checks else 0.0
+
+    def as_dict(self):
+        """Flat scalar view for reports."""
+        return {
+            "instructions": self.instructions,
+            "core_instructions": self.core_instructions,
+            "host_instructions": self.host_instructions,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "branch_mpki": self.branch_mpki,
+            "icache_mpki": self.icache_mpki,
+            "dcache_mpki": self.dcache_mpki,
+            "type_hits": self.type_hits,
+            "type_misses": self.type_misses,
+            "chk_hits": self.chk_hits,
+            "chk_misses": self.chk_misses,
+            "host_calls": self.host_calls,
+        }

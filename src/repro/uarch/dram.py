@@ -1,0 +1,31 @@
+"""Main-memory latency model: per-bank open-row DDR3 timing.
+
+A cache miss pays the open-row latency when it hits the bank's open row
+buffer and the closed-row latency otherwise (precharge + activate + CAS),
+both already folded into 50MHz core cycles.
+"""
+
+
+class Dram:
+    """Open-row tracking over ``banks`` interleaved by low line bits."""
+
+    def __init__(self, config):
+        self.config = config
+        self._open_rows = [None] * config.banks
+        self.accesses = 0
+        self.row_hits = 0
+
+    def access(self, addr):
+        """Service a line fill for ``addr``; returns latency in cycles."""
+        self.accesses += 1
+        row = addr >> self.config.row_bits
+        bank = (addr >> 6) % self.config.banks
+        if self._open_rows[bank] == row:
+            self.row_hits += 1
+            return self.config.open_row_latency
+        self._open_rows[bank] = row
+        return self.config.closed_row_latency
+
+    @property
+    def row_hit_rate(self):
+        return self.row_hits / self.accesses if self.accesses else 0.0

@@ -1,0 +1,277 @@
+"""Timing-approximate model of the 5-stage in-order Rocket pipeline.
+
+:class:`Machine` wraps the functional :class:`~repro.sim.cpu.Cpu` and
+charges cycles per retired instruction:
+
+* one base cycle (single-issue in-order),
+* I-cache and D-cache misses at DRAM latency (1-cycle hits),
+* branch-direction/target mispredictions and type-misprediction redirects
+  at the 2-cycle front-end penalty,
+* load-use interlock stalls,
+* multi-cycle execution units (mul/div/FP).
+
+For a single-issue in-order core this per-instruction accounting captures
+the same first-order effects as stage-by-stage simulation (there is no
+overlap to mis-model beyond the load-use interlock) while staying fast
+enough to run the full benchmark suite in pure Python.
+"""
+
+from repro.isa.instructions import (
+    BRANCH_MNEMONICS,
+    DIV_MNEMONICS,
+    LOAD_MNEMONICS,
+    STORE_MNEMONICS,
+)
+from repro.sim.errors import ExecutionLimitExceeded
+from repro.uarch.branch import FrontEnd
+from repro.uarch.cache import Cache
+from repro.uarch.config import DEFAULT_CONFIG
+from repro.uarch.counters import Counters
+from repro.uarch.dram import Dram
+
+# Instruction kind codes precomputed per program index for a lean run loop.
+K_NORMAL = 0
+K_BRANCH = 1
+K_JAL = 2
+K_JALR = 3
+K_LOAD = 4
+K_STORE = 5
+K_TAGGED_ALU = 6
+K_CHECK = 7      # tchk / chklb: redirect only
+K_ECALL = 8
+K_MUL = 9
+K_DIV = 10
+K_FP_ALU = 11
+K_FP_DIV = 12
+K_FP_SQRT = 13
+
+_FP_ALU_MNEMONICS = frozenset(
+    ["fadd.d", "fsub.d", "fmul.d", "fsgnj.d", "fsgnjn.d", "fsgnjx.d",
+     "fmin.d", "fmax.d", "feq.d", "flt.d", "fle.d", "fcvt.l.d", "fcvt.w.d",
+     "fcvt.d.l", "fcvt.d.w", "fmv.x.d", "fmv.d.x"])
+
+
+def _kind_of(mnemonic):
+    if mnemonic in BRANCH_MNEMONICS:
+        return K_BRANCH
+    if mnemonic == "jal":
+        return K_JAL
+    if mnemonic == "jalr":
+        return K_JALR
+    if mnemonic in LOAD_MNEMONICS and mnemonic != "chklb":
+        return K_LOAD
+    if mnemonic in STORE_MNEMONICS:
+        return K_STORE
+    if mnemonic in ("xadd", "xsub", "xmul"):
+        return K_TAGGED_ALU
+    if mnemonic in ("tchk", "chklb", "chklw"):
+        return K_CHECK
+    if mnemonic == "ecall":
+        return K_ECALL
+    if mnemonic in ("mul", "mulh", "mulhsu", "mulhu", "mulw"):
+        return K_MUL
+    if mnemonic in DIV_MNEMONICS:
+        return K_DIV
+    if mnemonic == "fdiv.d":
+        return K_FP_DIV
+    if mnemonic == "fsqrt.d":
+        return K_FP_SQRT
+    if mnemonic in _FP_ALU_MNEMONICS:
+        return K_FP_ALU
+    return K_NORMAL
+
+
+class Attribution:
+    """Maps program addresses to statistic buckets.
+
+    ``bucket_ranges`` is a list of ``(name, start_addr, end_addr)`` used to
+    attribute per-instruction counts (e.g. one bucket per bytecode
+    handler); ``entry_points`` maps an address to a bytecode name whose
+    execution count increments whenever that instruction retires.
+    """
+
+    def __init__(self, program, bucket_ranges=(), entry_points=None):
+        count = len(program.instructions)
+        self.bucket_names = []
+        self.bucket_of = [-1] * count
+        name_ids = {}
+        for name, start, end in bucket_ranges:
+            if name not in name_ids:
+                name_ids[name] = len(self.bucket_names)
+                self.bucket_names.append(name)
+            bucket_id = name_ids[name]
+            for addr in range(start, end, 4):
+                self.bucket_of[program.instr_index(addr)] = bucket_id
+        self.entry_names = []
+        self.entry_of = [-1] * count
+        entry_ids = {}
+        for addr, name in (entry_points or {}).items():
+            if name not in entry_ids:
+                entry_ids[name] = len(self.entry_names)
+                self.entry_names.append(name)
+            self.entry_of[program.instr_index(addr)] = entry_ids[name]
+
+
+class Machine:
+    """A configured core: functional CPU plus timing state."""
+
+    def __init__(self, cpu, config=None, attribution=None):
+        self.cpu = cpu
+        self.config = config or DEFAULT_CONFIG
+        self.icache = Cache(self.config.icache)
+        self.dcache = Cache(self.config.dcache)
+        self.dram = Dram(self.config.dram)
+        self.frontend = FrontEnd(self.config.branch)
+        self.counters = Counters()
+        self.attribution = attribution
+        self._kinds = [_kind_of(i.mnemonic)
+                       for i in cpu.program.instructions]
+
+    def run(self, max_instructions=200_000_000):
+        """Run to completion, accumulating cycles and counters."""
+        cpu = self.cpu
+        config = self.config
+        latency = config.latency
+        icache = self.icache
+        dcache = self.dcache
+        dram = self.dram
+        frontend = self.frontend
+        counters = self.counters
+        kinds = self._kinds
+        base = cpu.program.base
+        attribution = self.attribution
+        bucket_counts = None
+        if attribution is not None:
+            bucket_counts = [0] * len(attribution.bucket_names)
+            entry_counts = [0] * len(attribution.entry_names)
+            entry_type_hits = [0] * len(attribution.entry_names)
+            entry_type_misses = [0] * len(attribution.entry_names)
+            bucket_of = attribution.bucket_of
+            entry_of = attribution.entry_of
+            current_entry = -1
+
+        cycles = 0
+        prev_load_rd = -1
+
+        while not cpu.halted:
+            pc = cpu.pc
+            index = (pc - base) >> 2
+            instr = cpu.step()
+            kind = kinds[index]
+            cycles += 1
+
+            if prev_load_rd >= 0:
+                if instr.rs1 == prev_load_rd or instr.rs2 == prev_load_rd:
+                    cycles += latency.load_use_stall
+                    counters.load_use_stalls += 1
+                prev_load_rd = -1
+
+            if not icache.access(pc):
+                cycles += dram.access(pc)
+
+            if attribution is not None:
+                bucket = bucket_of[index]
+                if bucket >= 0:
+                    bucket_counts[bucket] += 1
+                entry = entry_of[index]
+                if entry >= 0:
+                    entry_counts[entry] += 1
+                    current_entry = entry
+
+            if kind:
+                if kind == K_BRANCH:
+                    cycles += frontend.conditional_branch(
+                        pc, cpu.branch_taken, cpu.pc)
+                elif kind == K_JAL:
+                    cycles += frontend.direct_jump(
+                        pc, cpu.pc, instr.rd == 1, pc + 4)
+                elif kind == K_JALR:
+                    is_return = instr.rd == 0 and instr.rs1 == 1
+                    cycles += frontend.indirect_jump(
+                        pc, cpu.pc, is_return, instr.rd == 1, pc + 4)
+                elif kind == K_LOAD:
+                    if not dcache.access(cpu.mem_addr):
+                        cycles += dram.access(cpu.mem_addr)
+                    if cpu.mem_addr2 is not None and \
+                            not dcache.access(cpu.mem_addr2):
+                        cycles += dram.access(cpu.mem_addr2)
+                    if instr.rd:
+                        prev_load_rd = instr.rd
+                elif kind == K_STORE:
+                    if not dcache.access(cpu.mem_addr):
+                        cycles += dram.access(cpu.mem_addr)
+                    if cpu.mem_addr2 is not None and \
+                            not dcache.access(cpu.mem_addr2):
+                        cycles += dram.access(cpu.mem_addr2)
+                elif kind == K_TAGGED_ALU:
+                    if cpu.redirect:
+                        cycles += frontend.pipeline_redirect()
+                        if attribution is not None and current_entry >= 0:
+                            entry_type_misses[current_entry] += 1
+                    else:
+                        if attribution is not None and current_entry >= 0:
+                            entry_type_hits[current_entry] += 1
+                        if cpu.regs.fbit[instr.rd]:
+                            cycles += latency.fp_alu if \
+                                instr.mnemonic != "xmul" else latency.mul
+                        elif instr.mnemonic == "xmul":
+                            cycles += latency.mul
+                elif kind == K_CHECK:
+                    is_load = instr.mnemonic != "tchk"
+                    if is_load and not dcache.access(cpu.mem_addr):
+                        cycles += dram.access(cpu.mem_addr)
+                    if cpu.redirect:
+                        cycles += frontend.pipeline_redirect()
+                        if attribution is not None and current_entry >= 0:
+                            entry_type_misses[current_entry] += 1
+                    else:
+                        if attribution is not None and current_entry >= 0:
+                            entry_type_hits[current_entry] += 1
+                        if is_load and instr.rd:
+                            prev_load_rd = instr.rd
+                elif kind == K_ECALL:
+                    cost = cpu.pending_host_cost
+                    cpu.pending_host_cost = 0
+                    counters.host_instructions += cost
+                    counters.host_calls += 1
+                    cycles += int(cost * latency.host_cpi)
+                elif kind == K_MUL:
+                    cycles += latency.mul
+                elif kind == K_DIV:
+                    cycles += latency.div
+                elif kind == K_FP_ALU:
+                    cycles += latency.fp_alu
+                elif kind == K_FP_DIV:
+                    cycles += latency.fp_div
+                elif kind == K_FP_SQRT:
+                    cycles += latency.fp_sqrt
+
+            if cpu.instret >= max_instructions:
+                raise ExecutionLimitExceeded(
+                    "exceeded %d instructions at PC 0x%x"
+                    % (max_instructions, cpu.pc))
+
+        counters.cycles = cycles
+        counters.core_instructions = cpu.instret
+        counters.branches = frontend.branches
+        counters.branch_mispredicts = frontend.mispredicts
+        counters.btb_misses = frontend.btb_misses
+        counters.icache_accesses = icache.accesses
+        counters.icache_misses = icache.misses
+        counters.dcache_accesses = dcache.accesses
+        counters.dcache_misses = dcache.misses
+        counters.type_hits = cpu.trt.hits
+        counters.type_misses = cpu.trt.misses
+        counters.overflow_traps = cpu.overflow_traps
+        counters.chk_hits = cpu.chk_hits
+        counters.chk_misses = cpu.chk_misses
+        if attribution is not None:
+            counters.bucket_instructions = dict(
+                zip(attribution.bucket_names, bucket_counts))
+            counters.bytecode_counts = dict(
+                zip(attribution.entry_names, entry_counts))
+            counters.bytecode_type_hits = dict(
+                zip(attribution.entry_names, entry_type_hits))
+            counters.bytecode_type_misses = dict(
+                zip(attribution.entry_names, entry_type_misses))
+        return counters

@@ -1,0 +1,120 @@
+"""Section 5 "Deoptimizing the fast path": the thdl path selector."""
+
+import pytest
+
+from repro.engines.lua import vm as lua_vm
+from repro.isa.assembler import assemble
+from repro.isa.extension import arithmetic_rules
+from repro.sim.cpu import Cpu
+from repro.sim.memory import Memory
+from repro.sim.tagio import TagCodec
+from repro.uarch.pipeline import Machine
+
+# One ADD site fed mixed (int, float) operands: every execution
+# mispredicts, the worst case the path selector exists for.
+POLYMORPHIC_LUA = """
+local t = {}
+for i = 1, 100 do
+  if i % 2 == 0 then t[i] = i else t[i] = i + 0.5 end
+end
+local s = 0
+for i = 1, 99 do
+  s = s + (t[i] + t[i + 1])
+end
+print(s)
+"""
+
+
+def run_typed(deopt_threshold=None):
+    cpu, runtime, _program = lua_vm.prepare(POLYMORPHIC_LUA,
+                                            config="typed")
+    cpu.deopt_threshold = deopt_threshold
+    machine = Machine(cpu)
+    counters = machine.run(max_instructions=20_000_000)
+    return "".join(runtime.output), counters, cpu
+
+
+def test_deopt_disabled_by_default():
+    output, counters, cpu = run_typed(None)
+    assert cpu.deopt_redirects == 0
+    assert counters.type_misses > 50  # the site mispredicts constantly
+
+
+def test_deopt_engages_on_hot_mispredicting_site():
+    baseline_output, baseline_counters, _ = run_typed(None)
+    output, counters, cpu = run_typed(deopt_threshold=0.5)
+    assert output == baseline_output  # semantics unchanged
+    assert cpu.deopt_redirects > 0
+    # Redirecting at thdl skips the doomed fast-path attempt.
+    assert counters.type_misses < baseline_counters.type_misses
+
+
+def test_deopt_leaves_monomorphic_sites_alone():
+    source = """
+    local s = 0
+    for i = 1, 200 do s = s + i end
+    print(s)
+    """
+    cpu, runtime, _ = lua_vm.prepare(source, config="typed")
+    cpu.deopt_threshold = 0.5
+    Machine(cpu).run()
+    assert cpu.deopt_redirects == 0
+    assert "".join(runtime.output) == "20100\n"
+
+
+def test_deopt_counters_decay_allows_reoptimisation():
+    """A site that stops mispredicting must be able to return to the
+    fast path (the decay halves both counters every window)."""
+    text = """
+        li a0, 0x1000
+        li a1, 0x1010
+        li a2, 0x1020
+        li t3, 400
+    loop:
+        tld t0, 0(a0)
+        tld t1, 0(a1)
+        thdl slow
+        xadd t2, t0, t1
+    back:
+        addi t3, t3, -1
+        bnez t3, loop
+        ebreak
+    slow:
+        j back
+    """
+    program = assemble(text)
+    codec = TagCodec(fp_tags={3})
+    codec.set_offset(0b001)
+    memory = Memory(size=1 << 16)
+    memory.store_u64(0x1000, 1)
+    memory.store_u64(0x1008, 19)
+    memory.store_u64(0x1010, 2)
+    # Phase 1: float tag on the second operand -> (int,float) misses.
+    memory.store_u64(0x1018, 3)
+    cpu = Cpu(program, memory, tag_codec=codec, deopt_threshold=0.5,
+              deopt_window=16)
+    cpu.trt.load_rules(arithmetic_rules(19, 3))
+
+    for _ in range(6000):
+        cpu.step()
+        if cpu.halted:
+            break
+        if cpu.instret == 2000:
+            # Phase 2: operands become (int, int) -> the site is good
+            # again, and decayed counters let it re-optimise.
+            memory.store_u64(0x1018, 19)
+    assert cpu.deopt_redirects > 0
+    assert cpu.trt.hits > 0  # fast path resumed after the phase change
+
+
+def test_deopt_threshold_zero_is_aggressive():
+    _, _, lenient = run_typed(deopt_threshold=0.9)
+    _, _, aggressive = run_typed(deopt_threshold=0.0)
+    assert aggressive.deopt_redirects >= lenient.deopt_redirects
+
+
+@pytest.mark.parametrize("threshold", [0.25, 0.5, 0.75])
+def test_deopt_output_invariant(threshold):
+    baseline_output, _, _ = run_typed(None)
+    output, _, _ = run_typed(threshold)
+    assert output == baseline_output

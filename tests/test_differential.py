@@ -1,0 +1,254 @@
+"""Differential property tests: random programs vs. reference semantics.
+
+Hypothesis generates random expression trees; each is rendered to MiniLua
+and MiniJS source, executed on the simulated machine in all three
+configurations, and compared against a Python reference evaluator that
+implements the respective language's numeric semantics (Lua 5.3 64-bit
+wrapping integers and floor division; JavaScript int32-with-overflow-to-
+double).  Any divergence between configurations — or from the reference —
+is an architectural bug.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engines import CONFIGS
+from repro.engines.js import run_js
+from repro.engines.lua import run_lua
+from repro.engines.lua.runtime import lua_number_string
+
+# -- expression trees ------------------------------------------------------------
+# Nodes: ("lit", value) | (op, left, right) | ("neg", operand)
+
+INT_OPS = ("+", "-", "*")
+SAFE_DIV_OPS = ("//", "%")  # right operand forced to a positive literal
+
+
+def _int_exprs(depth):
+    literal = st.integers(min_value=0, max_value=99).map(
+        lambda v: ("lit", v))
+    if depth == 0:
+        return literal
+    sub = _int_exprs(depth - 1)
+    return st.one_of(
+        literal,
+        st.tuples(st.sampled_from(INT_OPS), sub, sub),
+        st.tuples(st.sampled_from(SAFE_DIV_OPS), sub,
+                  st.integers(min_value=1, max_value=9).map(
+                      lambda v: ("lit", v))),
+        st.tuples(st.just("neg"), sub),
+    )
+
+
+def _float_exprs(depth):
+    literal = st.integers(min_value=-40, max_value=40).map(
+        lambda v: ("lit", v * 0.25))
+    if depth == 0:
+        return literal
+    sub = _float_exprs(depth - 1)
+    return st.one_of(
+        literal,
+        st.tuples(st.sampled_from(("+", "-", "*")), sub, sub),
+        st.tuples(st.just("neg"), sub),
+    )
+
+
+def _literal(value):
+    """Render a literal; negatives are parenthesised so that a unary
+    minus in front can never lex as a Lua comment or JS decrement."""
+    if isinstance(value, float):
+        text = repr(value)
+        if "." not in text and "e" not in text:
+            text += ".0"
+    else:
+        text = str(value)
+    return "(%s)" % text if value < 0 else text
+
+
+def render(node, float_style=False):
+    """Render an expression tree to (Lua-and-JS-compatible) source."""
+    kind = node[0]
+    if kind == "lit":
+        return _literal(node[1])
+    if kind == "neg":
+        return "(-%s)" % render(node[1], float_style)
+    op, left, right = node
+    return "(%s %s %s)" % (render(left, float_style), op,
+                           render(right, float_style))
+
+
+def eval_lua(node):
+    """Reference evaluation with Lua 5.3 integer semantics."""
+    kind = node[0]
+    if kind == "lit":
+        return node[1]
+    if kind == "neg":
+        return _wrap(-eval_lua(node[1]))
+    op, left, right = node
+    x, y = eval_lua(left), eval_lua(right)
+    if op == "+":
+        return _wrap(x + y)
+    if op == "-":
+        return _wrap(x - y)
+    if op == "*":
+        return _wrap(x * y)
+    if op == "//":
+        return _wrap(x // y)
+    if op == "%":
+        return _wrap(x % y)
+    raise AssertionError(op)
+
+
+def _wrap(value):
+    if isinstance(value, int):
+        value &= (1 << 64) - 1
+        if value >= 1 << 63:
+            value -= 1 << 64
+    return value
+
+
+def eval_js(node):
+    """Reference evaluation with int32-overflow-to-double semantics."""
+    kind = node[0]
+    if kind == "lit":
+        return node[1]
+    if kind == "neg":
+        value = eval_js(node[1])
+        if isinstance(value, int):
+            result = -value
+            return result if _fits32(result) and value != 0 \
+                else float(result)
+        return -value
+    op, left, right = node
+    x, y = eval_js(left), eval_js(right)
+    if op == "+":
+        result = x + y
+    elif op == "-":
+        result = x - y
+    elif op == "*":
+        result = x * y
+    elif op == "//":
+        return math.floor(x / y) if not (isinstance(x, int)
+                                         and isinstance(y, int)) \
+            else _jsify(math.floor(x / y))
+    elif op == "%":
+        return x % y if isinstance(x, int) and isinstance(y, int) and \
+            x >= 0 else math.fmod(x, y)
+    else:
+        raise AssertionError(op)
+    if isinstance(x, int) and isinstance(y, int):
+        return _jsify(result)
+    return float(result)
+
+
+def _fits32(value):
+    return -(1 << 31) <= value < (1 << 31)
+
+
+def _jsify(value):
+    return value if _fits32(value) else float(value)
+
+
+def _render_js(node):
+    """JS rendering: '//' becomes Math.floor(x / y)."""
+    kind = node[0]
+    if kind == "lit":
+        return _literal(node[1])
+    if kind == "neg":
+        return "(- %s)" % _render_js(node[1])
+    op, left, right = node
+    if op == "//":
+        return "Math.floor(%s / %s)" % (_render_js(left),
+                                        _render_js(right))
+    return "(%s %s %s)" % (_render_js(left), op, _render_js(right))
+
+
+# -- Lua differential --------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(expr=_int_exprs(3))
+def test_lua_integer_expressions_match_reference(expr):
+    source = "print(%s)" % render(expr)
+    expected = lua_number_string(eval_lua(expr)) + "\n"
+    outputs = {config: run_lua(source, config=config,
+                               attribute=False).output
+               for config in CONFIGS}
+    assert outputs["baseline"] == expected, source
+    assert outputs["typed"] == expected, source
+    assert outputs["chklb"] == expected, source
+
+
+@settings(max_examples=40, deadline=None)
+@given(expr=_float_exprs(3))
+def test_lua_float_expressions_match_reference(expr):
+    source = "print(%s)" % render(expr, float_style=True)
+    expected = eval_lua(expr)
+    for config in CONFIGS:
+        output = run_lua(source, config=config, attribute=False).output
+        assert float(output) == pytest.approx(expected, abs=1e-9), source
+
+
+@settings(max_examples=25, deadline=None)
+@given(x=st.integers(-(1 << 40), 1 << 40),
+       y=st.integers(-(1 << 40), 1 << 40))
+def test_lua_comparisons_match_python(x, y):
+    source = "print(%d < %d, %d <= %d, %d == %d)" % (x, y, x, y, x, y)
+    expected = "%s\t%s\t%s\n" % (str(x < y).lower(),
+                                 str(x <= y).lower(),
+                                 str(x == y).lower())
+    for config in CONFIGS:
+        assert run_lua(source, config=config,
+                       attribute=False).output == expected
+
+
+# -- JS differential ---------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(expr=_int_exprs(3))
+def test_js_integer_expressions_match_reference(expr):
+    source = "print(%s);" % _render_js(expr)
+    expected = eval_js(expr)
+    for config in CONFIGS:
+        output = run_js(source, config=config, attribute=False).output
+        measured = float(output)
+        assert measured == pytest.approx(float(expected),
+                                         rel=1e-12), source
+
+
+@settings(max_examples=40, deadline=None)
+@given(expr=_float_exprs(3))
+def test_js_float_expressions_match_reference(expr):
+    source = "print(%s);" % _render_js(expr)
+    expected = float(eval_js(expr))
+    for config in CONFIGS:
+        output = run_js(source, config=config, attribute=False).output
+        assert float(output) == pytest.approx(expected, abs=1e-9), source
+
+
+@settings(max_examples=20, deadline=None)
+@given(values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=8))
+def test_lua_table_roundtrip_random_values(values):
+    sets = "\n".join("t[%d] = %d" % (i + 1, v)
+                     for i, v in enumerate(values))
+    gets = " .. ' ' .. ".join("t[%d]" % (i + 1)
+                              for i in range(len(values)))
+    source = "local t = {}\n%s\nprint(%s)" % (sets, gets)
+    expected = " ".join(str(v) for v in values) + "\n"
+    for config in CONFIGS:
+        assert run_lua(source, config=config,
+                       attribute=False).output == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=8))
+def test_js_array_roundtrip_random_values(values):
+    sets = "\n".join("a[%d] = %d;" % (i, v) for i, v in enumerate(values))
+    gets = " + ' ' + ".join("a[%d]" % i for i in range(len(values)))
+    source = "var a = [];\n%s\nprint(%s);" % (sets, gets)
+    expected = " ".join(str(v) for v in values) + "\n"
+    for config in CONFIGS:
+        assert run_js(source, config=config,
+                      attribute=False).output == expected

@@ -1,0 +1,218 @@
+"""Edge-case battery for both engines (things benchmarks never hit)."""
+
+import pytest
+
+from repro.engines.js import run_js
+from repro.engines.lua import run_lua
+from repro.engines.lua.runtime import LuaError
+
+
+def lua(source):
+    return run_lua(source, max_instructions=20_000_000).output
+
+
+def js(source):
+    return run_js(source, max_instructions=20_000_000).output
+
+
+# -- Lua ----------------------------------------------------------------------
+
+def test_lua_unknown_global_is_nil():
+    assert lua("print(undefined_thing)") == "nil\n"
+
+
+def test_lua_assign_global_then_read_in_function():
+    assert lua("""
+    counter = 0
+    function bump() counter = counter + 1 return counter end
+    bump() bump()
+    print(bump())
+    """) == "3\n"
+
+
+def test_lua_nested_loops_with_breaks():
+    assert lua("""
+    local hits = 0
+    for i = 1, 5 do
+      local j = 0
+      while true do
+        j = j + 1
+        if j >= i then break end
+      end
+      hits = hits + j
+      if hits > 9 then break end
+    end
+    print(hits)
+    """) == "10\n"
+
+
+def test_lua_concat_chain_right_assoc():
+    assert lua("print(1 .. 2 .. 3)") == "123\n"
+
+
+def test_lua_comparison_chains_parenthesised():
+    assert lua("print((1 < 2) == true)") == "true\n"
+
+
+def test_lua_table_value_overwrite_in_place():
+    assert lua("""
+    local t = {1, 2, 3}
+    t[2] = t[2] * 100
+    print(t[1], t[2], t[3], #t)
+    """) == "1\t200\t3\t3\n"
+
+
+def test_lua_boolean_stored_in_table():
+    assert lua("""
+    local t = {}
+    t[1] = true
+    t[2] = false
+    print(t[1], t[2], t[1] == true)
+    """) == "true\tfalse\ttrue\n"
+
+
+def test_lua_float_key_indexes_like_int():
+    assert lua("local t = {} t[2.0] = 7 print(t[2])") == "7\n"
+
+
+def test_lua_long_string_building():
+    assert lua("""
+    local s = ""
+    for i = 1, 30 do s = s .. "ab" end
+    print(#s)
+    """) == "60\n"
+
+
+def test_lua_negative_numeric_for():
+    assert lua("""
+    local out = ""
+    for i = 3, 1, -1 do out = out .. i end
+    print(out)
+    """) == "321\n"
+
+
+def test_lua_function_argument_shadowing():
+    assert lua("""
+    x = 10
+    function f(x) return x * 2 end
+    print(f(3), x)
+    """) == "6\t10\n"
+
+
+def test_lua_deep_expression_nesting():
+    expr = "1"
+    for _ in range(30):
+        expr = "(%s + 1)" % expr
+    assert lua("print(%s)" % expr) == "31\n"
+
+
+def test_lua_error_message_mentions_arith():
+    with pytest.raises(LuaError, match="arithmetic"):
+        lua("local t = {} print(t + 1)")
+
+
+def test_lua_string_number_comparison_errors():
+    with pytest.raises(LuaError, match="compare"):
+        lua("print('a' < 1)")
+
+
+# -- JS -----------------------------------------------------------------------
+
+def test_js_chained_calls():
+    assert js("""
+    function g(x) { return x + 1; }
+    function f(x) { return x * 2; }
+    print(f(g(f(3))));
+    """) == "14\n"
+
+
+def test_js_assignment_inside_condition_shapes():
+    assert js("""
+    var i = 0;
+    var s = 0;
+    while (i < 3 && s < 100) { s += 10; i++; }
+    print(s, i);
+    """) == "30 3\n"
+
+
+def test_js_array_of_objects():
+    assert js("""
+    var people = [{name: 'a', age: 2}, {name: 'b', age: 3}];
+    var total = 0;
+    for (var i = 0; i < people.length; i++) total += people[i].age;
+    print(total, people[1].name);
+    """) == "5 b\n"
+
+
+def test_js_string_plus_everything():
+    assert js("print('' + 1 + true + null + undefined);") \
+        == "1truenullundefined\n"
+
+
+def test_js_numeric_string_comparisons_are_string_compares():
+    assert js("print('10' < '9', 10 < 9);") == "true false\n"
+
+
+def test_js_nested_ternary_in_call():
+    assert js("print(Math.max(1 > 2 ? 10 : 20, 5));") == "20\n"
+
+
+def test_js_empty_function_body_loop():
+    assert js("""
+    function noop() {}
+    for (var i = 0; i < 10; i++) noop();
+    print('done');
+    """) == "done\n"
+
+
+def test_js_global_mutation_across_functions():
+    assert js("""
+    var total = 0;
+    function add(n) { total += n; }
+    add(1); add(2); add(3);
+    print(total);
+    """) == "6\n"
+
+
+def test_js_negative_and_fractional_results():
+    assert js("print(-7 / 2, 7 / -2, -0.5 * 4);") == "-3.5 -3.5 -2\n"
+
+
+def test_js_deep_expression_nesting():
+    expr = "1"
+    for _ in range(30):
+        expr = "(%s + 1)" % expr
+    assert js("print(%s);" % expr) == "31\n"
+
+
+def test_js_sparse_then_dense_migration():
+    assert js("""
+    var a = [];
+    a[3] = 30;          // sparse (hash part)
+    a[0] = 0; a[1] = 10; a[2] = 20;   // dense fills in; 3 migrates
+    print(a[3], a.length);
+    """) == "30 4\n"
+
+
+def test_js_boolean_arithmetic_coerces():
+    assert js("var t = true; print(t + t);") == "2\n"
+
+
+# -- cross-engine sanity ---------------------------------------------------------
+
+def test_both_engines_agree_on_shared_kernel():
+    kernel_lua = """
+    local s = 0
+    for i = 1, 50 do
+      if i % 3 == 0 then s = s + i end
+    end
+    print(s)
+    """
+    kernel_js = """
+    var s = 0;
+    for (var i = 1; i <= 50; i++) {
+      if (i % 3 == 0) s = s + i;
+    }
+    print(s);
+    """
+    assert lua(kernel_lua).strip() == js(kernel_js).strip() == "408"

@@ -1,0 +1,46 @@
+"""Smoke tests: every shipped example must run cleanly."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True, text=True, timeout=300)
+
+
+def test_examples_present():
+    assert len(EXAMPLES) >= 3
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    args = ("fibo", "8") if name == "lua_speedup.py" else ()
+    result = run_example(name, *args)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_quickstart_computes_42():
+    result = run_example("quickstart.py")
+    assert "result value : 42" in result.stdout
+    assert "fast path    : yes" in result.stdout
+
+
+def test_lua_speedup_reports_all_configs():
+    result = run_example("lua_speedup.py", "fibo", "8")
+    for config in ("baseline", "chklb", "typed"):
+        assert config in result.stdout
+
+
+def test_context_switch_example_shows_misses():
+    result = run_example("os_context_switch.py")
+    assert "naive OS" in result.stdout

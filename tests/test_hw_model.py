@@ -1,0 +1,100 @@
+"""Area/power model tests against the paper's Table 8 anchors."""
+
+import pytest
+
+from repro.hw.synthesis import (
+    area_overhead,
+    edp_improvement,
+    power_overhead,
+    synthesize,
+)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return synthesize(typed=False)
+
+
+@pytest.fixture(scope="module")
+def typed():
+    return synthesize(typed=True)
+
+
+def test_baseline_totals_near_paper(baseline):
+    # Paper: 0.684 mm^2, 18.72 mW.  A structural model lands within 10%.
+    assert abs(baseline.total_area - 0.684) / 0.684 < 0.10
+    assert abs(baseline.total_power - 18.72) / 18.72 < 0.10
+
+
+def test_baseline_module_breakdown_near_paper(baseline):
+    anchors = {  # Table 8 baseline column
+        "Core": (0.038, 2.22),
+        "CSR": (0.008, 0.57),
+        "Div": (0.006, 0.17),
+        "FPU": (0.089, 3.18),
+        "ICache": (0.251, 3.49),
+        "DCache": (0.249, 3.71),
+        "Uncore": (0.046, 4.75),
+        "Wrapping": (0.011, 1.38),
+    }
+    for name, (area, power) in anchors.items():
+        module = baseline.find(name)
+        assert abs(module.area_mm2 - area) / area < 0.15, name
+        assert abs(module.power_mw - power) / power < 0.15, name
+
+
+def test_typed_overhead_is_small_and_core_concentrated(baseline, typed):
+    # Paper: +1.6% area, +3.7% power, concentrated in the core module.
+    assert 0.010 < area_overhead() < 0.025
+    assert 0.02 < power_overhead() < 0.06
+    core_delta = typed.find("Core").area_mm2 - baseline.find("Core").area_mm2
+    total_delta = typed.total_area - baseline.total_area
+    assert core_delta / total_delta > 0.85
+
+
+def test_typed_core_near_paper(typed):
+    # Paper typed column: Core 0.047 mm^2 / 2.74 mW.
+    core = typed.find("Core")
+    assert abs(core.area_mm2 - 0.047) / 0.047 < 0.15
+    assert abs(core.power_mw - 2.74) / 2.74 < 0.15
+
+
+def test_caches_unchanged_by_extension(baseline, typed):
+    for name in ("ICache", "FPU", "Uncore", "Wrapping"):
+        assert typed.find(name).area_mm2 == \
+            pytest.approx(baseline.find(name).area_mm2)
+
+
+def test_rows_cover_hierarchy(baseline):
+    names = [row[0].strip() for row in baseline.rows()]
+    assert names[0] == "Top"
+    for name in ("Tile", "Core", "FPU", "ICache", "DCache", "Uncore"):
+        assert name in names
+
+
+def test_row_percentages_sum_consistently(baseline):
+    rows = {name.strip(): (area_pct, power_pct)
+            for name, _, area_pct, _, power_pct in baseline.rows()}
+    assert rows["Top"] == (1.0, 1.0)
+    tile_like = rows["Tile"][0] + rows["Uncore"][0] + rows["Wrapping"][0]
+    assert tile_like == pytest.approx(1.0)
+
+
+def test_edp_improvement_formula():
+    # No speedup, no extra power: no improvement.
+    assert edp_improvement(1.0, power_ratio=1.0) == pytest.approx(0.0)
+    # 10% speedup at equal power improves EDP by 1 - 1/1.21.
+    assert edp_improvement(1.1, power_ratio=1.0) == \
+        pytest.approx(1 - 1 / 1.21)
+    # Extra power eats into the gain.
+    assert edp_improvement(1.1, power_ratio=1.05) < \
+        edp_improvement(1.1, power_ratio=1.0)
+
+
+def test_edp_with_paper_speedups_lands_near_paper():
+    # Paper: 16.5% (Lua, 9.9% speedup) and 19.3% (JS, 11.2% speedup).
+    lua = edp_improvement(1.099)
+    js = edp_improvement(1.112)
+    assert 0.10 < lua < 0.20
+    assert 0.12 < js < 0.22
+    assert js > lua

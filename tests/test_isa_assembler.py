@@ -1,0 +1,198 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, Program, assemble
+
+
+def test_basic_r_type():
+    program = assemble("add a0, a1, a2")
+    (instr,) = program.instructions
+    assert instr.mnemonic == "add"
+    assert (instr.rd, instr.rs1, instr.rs2) == (10, 11, 12)
+
+
+def test_load_store_operands():
+    program = assemble("""
+        ld a2, 8(s10)
+        sd a2, -16(sp)
+    """)
+    load, store = program.instructions
+    assert (load.rd, load.rs1, load.imm) == (12, 26, 8)
+    assert (store.rs2, store.rs1, store.imm) == (12, 2, -16)
+
+
+def test_labels_and_branches():
+    program = assemble("""
+    loop:
+        addi a0, a0, -1
+        bnez a0, loop
+        ret
+    """)
+    assert program.labels["loop"] == 0
+    branch = program.instructions[1]
+    assert branch.mnemonic == "bne"
+    assert branch.imm == -4  # back to address 0 from address 4
+
+
+def test_label_on_same_line_as_instruction():
+    program = assemble("top: addi a0, a0, 1\n j top")
+    assert program.labels["top"] == 0
+    assert program.instructions[1].mnemonic == "jal"
+    assert program.instructions[1].imm == -4
+
+
+def test_li_small_is_single_addi():
+    program = assemble("li a0, 42")
+    (instr,) = program.instructions
+    assert instr.mnemonic == "addi"
+    assert instr.imm == 42
+
+
+def test_li_32bit_uses_lui():
+    program = assemble("li a0, 0x12345")
+    assert program.instructions[0].mnemonic == "lui"
+
+
+def test_li_large_expands_multiple():
+    program = assemble("li a0, 0x123456789ABC")
+    assert len(program.instructions) > 2
+    assert any(i.mnemonic == "slli" for i in program.instructions)
+
+
+def test_equ_constants():
+    program = assemble("""
+        .equ TNUMINT, 19
+        li a4, TNUMINT
+    """)
+    assert program.instructions[0].imm == 19
+
+
+def test_pseudo_expansions():
+    program = assemble("""
+        mv a0, a1
+        nop
+        not t0, t1
+        neg t2, t3
+        seqz a2, a3
+        j end
+        ret
+    end:
+    """)
+    mnemonics = [i.mnemonic for i in program.instructions]
+    assert mnemonics == ["addi", "addi", "xori", "sub", "sltiu", "jal", "jalr"]
+
+
+def test_typed_extension_instructions():
+    program = assemble("""
+        tld t0, 0(a0)
+        thdl slow
+        xadd t0, t0, t1
+        tsd t0, 0(a1)
+        tchk t2, t3
+        tget a4, t0
+        tset a4, t0
+        setoffset a0
+        flush_trt
+    slow:
+        ret
+    """)
+    mnemonics = [i.mnemonic for i in program.instructions]
+    assert "xadd" in mnemonics and "tchk" in mnemonics
+    thdl = program.instructions[1]
+    assert thdl.imm == program.labels["slow"] - 4
+
+
+def test_checked_load_instructions():
+    program = assemble("""
+        settype a0
+        chklb t0, 8(a1)
+    """)
+    chk = program.instructions[1]
+    assert chk.mnemonic == "chklb"
+    assert (chk.rd, chk.rs1, chk.imm) == (5, 11, 8)
+
+
+def test_la_resolves_external_labels():
+    program = assemble("la a0, table", extra_labels={"table": 0x4000})
+    lui, addiw = program.instructions
+    assert lui.imm == 0x4
+    assert addiw.imm == 0
+
+
+def test_base_address_offsets_labels():
+    program = assemble("entry: nop", base=0x1000)
+    assert program.labels["entry"] == 0x1000
+    assert program.instructions[0].addr == 0x1000
+    assert program.instr_index(0x1000) == 0
+
+
+def test_undefined_label_raises():
+    with pytest.raises(AssemblerError, match="undefined label"):
+        assemble("j nowhere")
+
+
+def test_duplicate_label_raises():
+    with pytest.raises(AssemblerError, match="duplicate label"):
+        assemble("a:\na:\nnop")
+
+
+def test_unknown_mnemonic_raises():
+    with pytest.raises(AssemblerError, match="unknown mnemonic"):
+        assemble("frobnicate a0, a1")
+
+
+def test_bad_operand_count_raises():
+    with pytest.raises(AssemblerError):
+        assemble("add a0, a1")
+
+
+def test_comments_ignored():
+    program = assemble("""
+        # full-line comment
+        addi a0, a0, 1  # trailing comment
+    """)
+    assert len(program.instructions) == 1
+
+
+def test_fp_register_operands():
+    program = assemble("fadd.d f5, f5, f2")
+    (instr,) = program.instructions
+    assert (instr.rd, instr.rs1, instr.rs2) == (5, 5, 2)
+
+
+def test_program_instr_index_rejects_outside_pc():
+    program = assemble("nop")
+    with pytest.raises(ValueError):
+        program.instr_index(0x100)
+    with pytest.raises(ValueError):
+        program.instr_index(2)
+
+
+def test_branch_out_of_range_raises():
+    body = "target:\n" + "nop\n" * 2000 + "beqz a0, target"
+    with pytest.raises(AssemblerError, match="out of range"):
+        assemble(body)
+
+
+def test_li_64bit_materialisation_property():
+    """Property: li loads any 64-bit constant exactly (checked by
+    executing the expansion on the simulator)."""
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    from repro.sim.cpu import Cpu
+    from repro.sim.memory import Memory
+
+    @settings(max_examples=80, deadline=None)
+    @given(value=st.one_of(
+        st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1),
+        st.sampled_from([0, 1, -1, 2047, 2048, -2048, -2049,
+                         (1 << 31) - 1, 1 << 31, -(1 << 31),
+                         (1 << 63) - 1, -(1 << 63), 0x5555555555555555])))
+    def check(value):
+        program = assemble("li a0, %d\nebreak" % value)
+        cpu = Cpu(program, Memory(size=4096))
+        cpu.run()
+        assert cpu.regs.value[10] == value & ((1 << 64) - 1)
+
+    check()

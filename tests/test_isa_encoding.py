@@ -1,0 +1,126 @@
+"""Encode/decode round-trip tests, including property-based coverage."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble
+from repro.isa.encoding import decode, encode
+from repro.isa.instructions import INSTRUCTION_SPECS, Instruction
+
+
+def _roundtrip(instr):
+    word = encode(instr)
+    assert 0 <= word < (1 << 32)
+    back = decode(word)
+    assert back.mnemonic == instr.mnemonic
+    spec = INSTRUCTION_SPECS[instr.mnemonic]
+    if spec.fmt not in ("U", "J", "SYS"):
+        assert back.rs1 == instr.rs1
+    if spec.fmt == "R" and spec.fixed_rs2 is None:
+        assert back.rs2 == instr.rs2
+    if spec.fmt in ("R", "I", "U", "J"):
+        assert back.rd == instr.rd
+    if spec.fmt in ("I", "S", "B", "U", "J"):
+        assert back.imm == instr.imm
+    return back
+
+
+REGS = st.integers(min_value=0, max_value=31)
+IMM12 = st.integers(min_value=-2048, max_value=2047)
+
+
+@given(rd=REGS, rs1=REGS, rs2=REGS)
+def test_r_format_roundtrip(rd, rs1, rs2):
+    for mnemonic in ("add", "sub", "mul", "xadd", "xsub", "xmul", "fadd.d"):
+        _roundtrip(Instruction(mnemonic, rd=rd, rs1=rs1, rs2=rs2))
+
+
+@given(rd=REGS, rs1=REGS, imm=IMM12)
+def test_i_format_roundtrip(rd, rs1, imm):
+    for mnemonic in ("addi", "ld", "lw", "tld", "chklb", "jalr"):
+        _roundtrip(Instruction(mnemonic, rd=rd, rs1=rs1, imm=imm))
+
+
+@given(rs1=REGS, rs2=REGS, imm=IMM12)
+def test_s_format_roundtrip(rs1, rs2, imm):
+    for mnemonic in ("sd", "sw", "tsd", "fsd"):
+        _roundtrip(Instruction(mnemonic, rs1=rs1, rs2=rs2, imm=imm))
+
+
+@given(rs1=REGS, rs2=REGS,
+       imm=st.integers(min_value=-2048, max_value=2047).map(lambda v: v * 2))
+def test_b_format_roundtrip(rs1, rs2, imm):
+    for mnemonic in ("beq", "bne", "blt", "bgeu"):
+        _roundtrip(Instruction(mnemonic, rs1=rs1, rs2=rs2, imm=imm))
+
+
+@given(rd=REGS, imm=st.integers(min_value=0, max_value=(1 << 20) - 1))
+def test_u_format_roundtrip(rd, imm):
+    for mnemonic in ("lui", "auipc"):
+        _roundtrip(Instruction(mnemonic, rd=rd, imm=imm))
+
+
+@given(rd=REGS,
+       imm=st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1)
+       .map(lambda v: v * 2))
+def test_j_format_roundtrip(rd, imm):
+    _roundtrip(Instruction("jal", rd=rd, imm=imm))
+    _roundtrip(Instruction("thdl", imm=imm))
+
+
+@given(rd=REGS, rs1=REGS, shamt=st.integers(min_value=0, max_value=63))
+def test_shift_roundtrip(rd, rs1, shamt):
+    for mnemonic in ("slli", "srli", "srai"):
+        _roundtrip(Instruction(mnemonic, rd=rd, rs1=rs1, imm=shamt))
+
+
+def test_all_mnemonics_roundtrip_with_zero_operands():
+    for mnemonic, spec in INSTRUCTION_SPECS.items():
+        imm = 0
+        _roundtrip(Instruction(mnemonic, rd=1, rs1=2, rs2=3, imm=imm))
+
+
+def test_system_instructions_distinct():
+    assert encode(Instruction("ecall")) != encode(Instruction("ebreak"))
+    assert decode(encode(Instruction("ebreak"))).mnemonic == "ebreak"
+
+
+def test_fcvt_variants_distinguished_by_rs2_field():
+    l_d = encode(Instruction("fcvt.l.d", rd=1, rs1=2))
+    w_d = encode(Instruction("fcvt.w.d", rd=1, rs1=2))
+    assert l_d != w_d
+    assert decode(l_d).mnemonic == "fcvt.l.d"
+    assert decode(w_d).mnemonic == "fcvt.w.d"
+
+
+def test_encode_rejects_out_of_range_immediate():
+    with pytest.raises(ValueError):
+        encode(Instruction("addi", rd=1, rs1=1, imm=5000))
+    with pytest.raises(ValueError):
+        encode(Instruction("beq", rs1=1, rs2=2, imm=3))  # odd displacement
+
+
+@settings(max_examples=50)
+@given(rd=REGS, rs1=REGS, rs2=REGS, imm=IMM12)
+def test_disassemble_reassemble_fixed_point(rd, rs1, rs2, imm):
+    """disassemble . assemble is the identity on label-free instructions."""
+    samples = [
+        Instruction("add", rd=rd, rs1=rs1, rs2=rs2),
+        Instruction("addi", rd=rd, rs1=rs1, imm=imm),
+        Instruction("ld", rd=rd, rs1=rs1, imm=imm),
+        Instruction("sd", rs1=rs1, rs2=rs2, imm=imm),
+        Instruction("xadd", rd=rd, rs1=rs1, rs2=rs2),
+        Instruction("tld", rd=rd, rs1=rs1, imm=imm),
+        Instruction("tsd", rs1=rs1, rs2=rs2, imm=imm),
+        Instruction("tget", rd=rd, rs1=rs1),
+        Instruction("setmask", rs1=rs1),
+    ]
+    for instr in samples:
+        text = disassemble(instr)
+        program = assemble(text)
+        (back,) = program.instructions
+        assert back.mnemonic == instr.mnemonic
+        assert (back.rd, back.rs1, back.rs2, back.imm) == \
+            (instr.rd, instr.rs1, instr.rs2, instr.imm)

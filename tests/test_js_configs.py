@@ -1,0 +1,94 @@
+"""Differential and behavioural tests across machine configs (MiniJS)."""
+
+import pytest
+
+from repro.engines import CONFIGS
+from repro.engines.js import run_js
+
+PROGRAMS = {
+    "int_arith": """
+        var s = 0;
+        for (var i = 1; i <= 300; i++) s = s + i * 2 - 1;
+        print(s);
+    """,
+    "float_arith": """
+        var s = 0.5;
+        for (var i = 0; i < 300; i++) s = s * 1.01 + 0.25;
+        print(s);
+    """,
+    "arrays": """
+        var a = [];
+        for (var i = 0; i < 200; i++) a[i] = i;
+        var s = 0;
+        for (i = 0; i < 200; i++) s += a[i];
+        print(s);
+    """,
+    "overflow": """
+        var x = 2000000000;
+        var s = 0;
+        for (var i = 0; i < 20; i++) s = s + x;
+        print(s);
+    """,
+    "properties": """
+        var o = {a: 1, b: 2};
+        var s = 0;
+        for (var i = 0; i < 40; i++) s += o.a + o.b;
+        print(s);
+    """,
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {name: {config: run_js(source, config=config)
+                   for config in CONFIGS}
+            for name, source in PROGRAMS.items()}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_outputs_identical_across_configs(results, name):
+    outputs = {cfg: r.output for cfg, r in results[name].items()}
+    assert len(set(outputs.values())) == 1, outputs
+
+
+@pytest.mark.parametrize("name", ["int_arith", "arrays"])
+def test_typed_fastest(results, name):
+    cycles = {cfg: r.counters.cycles for cfg, r in results[name].items()}
+    assert cycles["typed"] < cycles["chklb"] < cycles["baseline"]
+
+
+def test_typed_handles_doubles_without_misses(results):
+    counters = results["float_arith"]["typed"].counters
+    assert counters.type_hits > 0
+    assert counters.type_misses == 0
+
+
+def test_chklb_falls_off_fast_path_on_doubles(results):
+    counters = results["float_arith"]["chklb"].counters
+    assert counters.chk_misses > 0
+
+
+def test_overflow_triggers_hardware_misprediction(results):
+    counters = results["overflow"]["typed"].counters
+    assert counters.overflow_traps > 0
+    # And the result is still numerically correct (double conversion).
+    assert results["overflow"]["typed"].output == "40000000000\n"
+
+
+def test_property_access_misses_tchk(results):
+    counters = results["properties"]["typed"].counters
+    assert counters.type_misses > 0  # string keys leave the fast path
+
+
+def test_bytecode_counts_identical(results):
+    counts = [r.counters.bytecode_counts
+              for r in results["arrays"].values()]
+    assert counts[0] == counts[1] == counts[2]
+    assert counts[0]["GETELEM"] >= 200
+    assert counts[0]["SETELEM"] >= 200
+
+
+def test_host_costs_identical(results):
+    hosts = {cfg: r.counters.host_instructions
+             for cfg, r in results["properties"].items()}
+    assert len(set(hosts.values())) == 1

@@ -1,0 +1,158 @@
+"""Lexer, parser and compiler tests for the MiniJS front end."""
+
+import pytest
+
+from repro.engines.js import jast as ast
+from repro.engines.js.compiler import JsCompileError, compile_source
+from repro.engines.js.jparser import parse
+from repro.engines.js.lexer import JsSyntaxError, tokenize
+from repro.engines.js.opcodes import JsOp, decode, encode
+
+
+# -- lexer ---------------------------------------------------------------------
+
+def test_number_literals_int32_vs_double():
+    tokens = tokenize("1 2.5 3000000000 0x10")
+    assert tokens[0].value == 1 and isinstance(tokens[0].value, int)
+    assert tokens[1].value == 2.5
+    assert isinstance(tokens[2].value, float)  # exceeds int32
+    assert tokens[3].value == 16
+
+
+def test_comments():
+    tokens = tokenize("a // line\nb /* block\nstill */ c")
+    names = [t.value for t in tokens if t.kind == "name"]
+    assert names == ["a", "b", "c"]
+
+
+def test_operator_longest_match():
+    values = [t.value for t in tokenize("a === b !== c <= d && e ++")[:-1]]
+    assert "===" in values and "!==" in values and "&&" in values
+    assert "++" in values
+
+
+def test_string_escapes():
+    assert tokenize(r'"a\tb"')[0].value == "a\tb"
+
+
+def test_lexer_error():
+    with pytest.raises(JsSyntaxError):
+        tokenize("@")
+
+
+# -- parser --------------------------------------------------------------------
+
+def test_precedence():
+    expr = parse("x = 1 + 2 * 3;").statements[0].value
+    assert expr.op == "+" and expr.right.op == "*"
+
+
+def test_for_loop_parts():
+    stat = parse("for (var i = 0; i < 10; i++) { x = i; }").statements[0]
+    assert isinstance(stat, ast.For)
+    assert isinstance(stat.init, ast.VarDecl)
+    assert isinstance(stat.step, ast.Assign)
+    assert stat.step.op == "+"
+
+
+def test_compound_assignment_desugars():
+    stat = parse("x += 2;").statements[0]
+    assert isinstance(stat, ast.Assign)
+    assert stat.op == "+"
+
+
+def test_member_and_index():
+    expr = parse("x = a.b[c];").statements[0].value
+    assert isinstance(expr, ast.Index)
+    assert isinstance(expr.obj, ast.Index)
+    assert expr.obj.key.value == "b"
+
+
+def test_else_if_chain():
+    stat = parse("if (a) x=1; else if (b) x=2; else x=3;").statements[0]
+    assert isinstance(stat.orelse, ast.If)
+
+
+def test_array_and_object_literals():
+    expr = parse("x = [1, 2, 3];").statements[0].value
+    assert isinstance(expr, ast.ArrayLit) and len(expr.items) == 3
+    expr = parse("x = {a: 1, 'b': 2};").statements[0].value
+    assert isinstance(expr, ast.ObjectLit) and len(expr.fields) == 2
+
+
+def test_parse_error_on_bad_target():
+    with pytest.raises(JsSyntaxError):
+        parse("1 = 2;")
+
+
+# -- compiler ------------------------------------------------------------------
+
+def _ops(proto):
+    return [decode(word)[0] for word in proto.code]
+
+
+def test_encode_decode_roundtrip():
+    word = encode(JsOp.JUMP, -5)
+    assert decode(word) == (JsOp.JUMP, -5)
+
+
+def test_var_hoisting_allocates_slots():
+    # Inside a function, var declarations hoist to function-scope locals.
+    chunk = compile_source(
+        "function f(a) { if (a) { var x = 1; } x = 2; return x; } f(1);")
+    func = chunk.protos[1]
+    assert func.num_locals >= 2  # parameter a plus hoisted x
+    assert JsOp.SETLOCAL in _ops(func)
+
+
+def test_top_level_var_is_global():
+    # At the top level, `var` creates a global (visible inside functions).
+    chunk = compile_source("var g = 7; function f() { return g; } f();")
+    assert "g" in chunk.globals
+    assert JsOp.SETGLOBAL in _ops(chunk.main)
+    assert JsOp.GETGLOBAL in _ops(chunk.protos[1])
+
+
+def test_functions_hoisted_to_globals():
+    chunk = compile_source("var r = f(1); function f(a) { return a; }")
+    assert "f" in chunk.func_globals
+    assert len(chunk.protos) == 2
+
+
+def test_call_emits_call_with_nargs():
+    chunk = compile_source("function f(a, b) { return a; } f(1, 2);")
+    call = next(word for word in chunk.main.code
+                if decode(word)[0] == JsOp.CALL)
+    assert decode(call)[1] == 2
+
+
+def test_logical_and_uses_dup_ifeq():
+    ops = _ops(compile_source("x = a && b;").main)
+    assert JsOp.DUP in ops and JsOp.IFEQ in ops
+
+
+def test_while_loop_shape():
+    ops = _ops(compile_source("while (a) { b = 1; }").main)
+    assert JsOp.IFEQ in ops and JsOp.JUMP in ops
+
+
+def test_strict_equality_canonicalized():
+    ops = _ops(compile_source("x = a === b;").main)
+    assert JsOp.EQ in ops
+
+
+def test_element_assignment():
+    ops = _ops(compile_source("a[0] = 1;").main)
+    assert JsOp.SETELEM in ops
+
+
+def test_break_outside_loop_fails():
+    with pytest.raises(JsCompileError):
+        compile_source("break;")
+
+
+def test_every_proto_ends_with_return():
+    chunk = compile_source("function f() { var x = 1; } var y = 2;")
+    for proto in chunk.protos:
+        assert decode(proto.code[-1])[0] in (JsOp.RETURN,
+                                             JsOp.RETURN_UNDEF)

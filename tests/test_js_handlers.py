@@ -1,0 +1,205 @@
+"""Handler-level tests for the MiniJS stack machine (raw bytecode)."""
+
+import pytest
+
+from repro.engines import CONFIGS
+from repro.engines.js.compiler import JsChunk, JsProto
+from repro.engines.js.image import build_image, fill_jump_table
+from repro.engines.js.layout import MEMORY_SIZE, STACK_BASE, TAG_INT32
+from repro.engines.js.opcodes import JsOp, encode
+from repro.engines.js.runtime import JsHost, JsRuntime
+from repro.engines.js.vm import interpreter_program
+from repro.sim.cpu import Cpu
+from repro.sim.memory import Memory
+from repro.sim.tagio import TagCodec
+
+
+def run_chunk(code, constants=(), num_locals=4, config="baseline"):
+    proto = JsProto(name="main", num_params=0, num_locals=num_locals,
+                    code=list(code), constants=list(constants))
+    chunk = JsChunk([proto], ["print", "Math", "String"], {})
+    memory = Memory(size=MEMORY_SIZE)
+    runtime = JsRuntime(memory)
+    image = build_image(chunk, runtime)
+    program, _ = interpreter_program(config)
+    fill_jump_table(image, program, memory)
+    host = JsHost(runtime)
+    codec = TagCodec(double_tag=0, int_tag=TAG_INT32)
+    cpu = Cpu(program, memory, host=host.interface, tag_codec=codec,
+              overflow_bits=32)
+    cpu.run(max_instructions=2_000_000)
+    return runtime, cpu
+
+
+def read_local(runtime, slot):
+    return runtime.read_slot(STACK_BASE + slot * 8)
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_add_int_fast_path(config):
+    runtime, _ = run_chunk([
+        encode(JsOp.PUSHK, 0),
+        encode(JsOp.PUSHK, 1),
+        encode(JsOp.ADD),
+        encode(JsOp.SETLOCAL, 0),
+        encode(JsOp.RETURN_UNDEF),
+    ], constants=[30, 12], config=config)
+    assert read_local(runtime, 0) == 42
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_add_double_pair(config):
+    runtime, _ = run_chunk([
+        encode(JsOp.PUSHK, 0),
+        encode(JsOp.PUSHK, 1),
+        encode(JsOp.ADD),
+        encode(JsOp.SETLOCAL, 0),
+        encode(JsOp.RETURN_UNDEF),
+    ], constants=[1.25, 0.5], config=config)
+    assert read_local(runtime, 0) == 1.75
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_add_mixed_int_double_inline(config):
+    runtime, _ = run_chunk([
+        encode(JsOp.PUSHK, 0),
+        encode(JsOp.PUSHK, 1),
+        encode(JsOp.ADD),
+        encode(JsOp.SETLOCAL, 0),
+        encode(JsOp.RETURN_UNDEF),
+    ], constants=[1, 0.5], config=config)
+    assert read_local(runtime, 0) == 1.5
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_mul_overflow_promotes(config):
+    runtime, cpu = run_chunk([
+        encode(JsOp.PUSHK, 0),
+        encode(JsOp.PUSHK, 0),
+        encode(JsOp.MUL),
+        encode(JsOp.SETLOCAL, 0),
+        encode(JsOp.RETURN_UNDEF),
+    ], constants=[100000], config=config)
+    assert read_local(runtime, 0) == 10000000000.0
+    if config == "typed":
+        assert cpu.overflow_traps == 1
+
+
+def test_stack_discipline_dup_pop():
+    runtime, _ = run_chunk([
+        encode(JsOp.PUSHK, 0),
+        encode(JsOp.DUP),
+        encode(JsOp.ADD),
+        encode(JsOp.PUSHK, 1),
+        encode(JsOp.POP),
+        encode(JsOp.SETLOCAL, 0),
+        encode(JsOp.RETURN_UNDEF),
+    ], constants=[21, 999])
+    assert read_local(runtime, 0) == 42
+
+
+def test_push_constants():
+    runtime, _ = run_chunk([
+        encode(JsOp.UNDEF), encode(JsOp.SETLOCAL, 0),
+        encode(JsOp.NULL), encode(JsOp.SETLOCAL, 1),
+        encode(JsOp.PUSHBOOL, 1), encode(JsOp.SETLOCAL, 2),
+        encode(JsOp.PUSHBOOL, 0), encode(JsOp.SETLOCAL, 3),
+        encode(JsOp.RETURN_UNDEF),
+    ])
+    from repro.engines.js.runtime import NULL
+    assert read_local(runtime, 0) is None
+    assert read_local(runtime, 1) is NULL
+    assert read_local(runtime, 2) is True
+    assert read_local(runtime, 3) is False
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_array_set_get_fast_path(config):
+    runtime, _ = run_chunk([
+        encode(JsOp.NEWARRAY, 4), encode(JsOp.SETLOCAL, 0),
+        encode(JsOp.GETLOCAL, 0), encode(JsOp.PUSHK, 0),
+        encode(JsOp.PUSHK, 1), encode(JsOp.SETELEM),
+        encode(JsOp.GETLOCAL, 0), encode(JsOp.PUSHK, 0),
+        encode(JsOp.GETELEM), encode(JsOp.SETLOCAL, 1),
+        encode(JsOp.RETURN_UNDEF),
+    ], constants=[0, 77], config=config)
+    assert read_local(runtime, 1) == 77
+
+
+def test_negative_index_goes_slow_and_yields_undefined():
+    runtime, _ = run_chunk([
+        encode(JsOp.NEWARRAY, 4), encode(JsOp.SETLOCAL, 0),
+        encode(JsOp.GETLOCAL, 0), encode(JsOp.PUSHK, 0),
+        encode(JsOp.GETELEM), encode(JsOp.SETLOCAL, 1),
+        encode(JsOp.RETURN_UNDEF),
+    ], constants=[-3])
+    assert read_local(runtime, 1) is None
+
+
+def test_comparisons_all_paths():
+    runtime, _ = run_chunk([
+        encode(JsOp.PUSHK, 0), encode(JsOp.PUSHK, 1),
+        encode(JsOp.LT), encode(JsOp.SETLOCAL, 0),     # 1 < 2.5 (mixed)
+        encode(JsOp.PUSHK, 1), encode(JsOp.PUSHK, 0),
+        encode(JsOp.GT), encode(JsOp.SETLOCAL, 1),     # 2.5 > 1
+        encode(JsOp.PUSHK, 0), encode(JsOp.PUSHK, 0),
+        encode(JsOp.EQ), encode(JsOp.SETLOCAL, 2),
+        encode(JsOp.PUSHK, 0), encode(JsOp.PUSHK, 1),
+        encode(JsOp.NE), encode(JsOp.SETLOCAL, 3),
+        encode(JsOp.RETURN_UNDEF),
+    ], constants=[1, 2.5])
+    assert read_local(runtime, 0) is True
+    assert read_local(runtime, 1) is True
+    assert read_local(runtime, 2) is True
+    assert read_local(runtime, 3) is True
+
+
+def test_nan_not_equal_to_itself():
+    runtime, _ = run_chunk([
+        encode(JsOp.PUSHK, 0), encode(JsOp.PUSHK, 1),
+        encode(JsOp.DIV),                    # 0.0 / 0.0 = NaN
+        encode(JsOp.DUP),
+        encode(JsOp.EQ), encode(JsOp.SETLOCAL, 0),
+        encode(JsOp.RETURN_UNDEF),
+    ], constants=[0.0, 0.0])
+    assert read_local(runtime, 0) is False
+
+
+def test_jump_and_ifeq():
+    runtime, _ = run_chunk([
+        encode(JsOp.PUSHK, 0),               # 7
+        encode(JsOp.SETLOCAL, 0),
+        encode(JsOp.PUSHBOOL, 0),
+        encode(JsOp.IFEQ, 2),                # falsy: skip the next two
+        encode(JsOp.PUSHK, 1),
+        encode(JsOp.SETLOCAL, 0),
+        encode(JsOp.RETURN_UNDEF),
+    ], constants=[7, 99])
+    assert read_local(runtime, 0) == 7
+
+
+def test_mod_negative_dividend_slow_path():
+    runtime, _ = run_chunk([
+        encode(JsOp.PUSHK, 0), encode(JsOp.PUSHK, 1),
+        encode(JsOp.MOD), encode(JsOp.SETLOCAL, 0),
+        encode(JsOp.RETURN_UNDEF),
+    ], constants=[-7, 7])
+    # JS -7 % 7 is -0 (a double), not integer 0.
+    value = read_local(runtime, 0)
+    assert value == 0.0
+    assert isinstance(value, float)
+
+
+def test_neg_int_min_promotes_to_double():
+    runtime, _ = run_chunk([
+        encode(JsOp.PUSHK, 0), encode(JsOp.NEG),
+        encode(JsOp.SETLOCAL, 0),
+        encode(JsOp.RETURN_UNDEF),
+    ], constants=[-2147483648])
+    assert read_local(runtime, 0) == 2147483648.0
+
+
+def test_illegal_opcode_traps():
+    from repro.engines.js.runtime import JsError
+    with pytest.raises(JsError, match="illegal opcode"):
+        run_chunk([encode(63), encode(JsOp.RETURN_UNDEF)])  # unused slot

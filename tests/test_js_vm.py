@@ -1,0 +1,254 @@
+"""End-to-end MiniJS VM tests on the baseline machine."""
+
+import pytest
+
+from repro.engines.js import run_js
+from repro.engines.js.runtime import JsError
+
+
+def js(source, config="baseline"):
+    return run_js(source, config=config, max_instructions=20_000_000).output
+
+
+def test_print_numbers():
+    assert js("print(42);") == "42\n"
+    assert js("print(1.5);") == "1.5\n"
+    assert js("print(3.0);") == "3\n"  # integral doubles print as ints
+
+
+def test_integer_arithmetic():
+    assert js("print(7 + 3, 7 - 3, 7 * 3);") == "10 4 21\n"
+    assert js("print(7 % 3, -7 % 3);") == "1 -1\n"  # JS truncated modulo
+
+
+def test_division_always_double():
+    assert js("print(7 / 2, 4 / 2, 1 / 0);") == "3.5 2 Infinity\n"
+
+
+def test_int32_overflow_becomes_double():
+    assert js("print(2147483647 + 1);") == "2147483648\n"
+    assert js("var x = 100000; print(x * x);") == "10000000000\n"
+
+
+def test_float_arithmetic_and_mixed():
+    assert js("print(1.5 + 2.25, 1 + 0.5, 0.5 + 1);") == "3.75 1.5 1.5\n"
+
+
+def test_unary_minus_and_negative_zero():
+    assert js("print(-5, -2.5);") == "-5 -2.5\n"
+    assert js("var z = 0; print(1 / -z);") == "Infinity\n"  # int 0 negation
+
+
+def test_string_concatenation():
+    assert js("print('a' + 'b', 'n=' + 42, 1 + '2');") == "ab n=42 12\n"
+
+
+def test_comparisons():
+    assert js("print(1 < 2, 2 <= 2, 3 > 4, 4 >= 4);") \
+        == "true true false true\n"
+    assert js("print(1 == 1.0, 1 == 2, 'a' == 'a', 'a' != 'b');") \
+        == "true false true true\n"
+
+
+def test_string_ordering_via_slow_path():
+    assert js("print('abc' < 'abd', 'b' < 'a');") == "true false\n"
+
+
+def test_truthiness_and_not():
+    assert js("print(!0, !1, !'', !'x', !null, !undefined);") \
+        == "true false true false true true\n"
+
+
+def test_logical_operators_return_operands():
+    assert js("print(0 || 5, 3 && 7, null || 'd');") == "5 7 d\n"
+
+
+def test_while_and_for_loops():
+    assert js("""
+    var s = 0;
+    for (var i = 1; i <= 10; i++) s += i;
+    print(s);
+    """) == "55\n"
+    assert js("""
+    var i = 0; var n = 0;
+    while (i < 5) { n += 2; i++; }
+    print(n);
+    """) == "10\n"
+
+
+def test_break():
+    assert js("""
+    var s = 0;
+    for (var i = 0; i < 100; i++) { if (i == 5) break; s += i; }
+    print(s);
+    """) == "10\n"
+
+
+def test_functions_and_recursion():
+    assert js("""
+    function fib(n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+    print(fib(10));
+    """) == "55\n"
+
+
+def test_function_without_return():
+    assert js("function f() {} print(f());") == "undefined\n"
+
+
+def test_forward_function_reference():
+    assert js("print(f(4)); function f(x) { return x * x; }") == "16\n"
+
+
+def test_arrays():
+    assert js("""
+    var a = [10, 20, 30];
+    print(a[0], a[2], a.length);
+    """) == "10 30 3\n"
+
+
+def test_array_growth_and_append():
+    assert js("""
+    var a = [];
+    for (var i = 0; i < 50; i++) a[i] = i;
+    print(a[49], a.length);
+    """) == "49 50\n"
+
+
+def test_array_out_of_range_is_undefined():
+    assert js("var a = [1]; print(a[5]);") == "undefined\n"
+
+
+def test_sparse_array():
+    assert js("var a = []; a[100] = 7; print(a[100], a.length);") \
+        == "7 101\n"
+
+
+def test_objects_and_properties():
+    assert js("""
+    var o = {x: 3, y: 4};
+    o.z = o.x * o.y;
+    print(o.z, o['x']);
+    """) == "12 3\n"
+
+
+def test_missing_property_is_undefined():
+    assert js("var o = {}; print(o.missing);") == "undefined\n"
+
+
+def test_string_indexing_and_length():
+    assert js("var s = 'hello'; print(s[1], s.length);") == "e 5\n"
+
+
+def test_math_builtins():
+    assert js("print(Math.sqrt(16), Math.floor(3.7), Math.abs(-4));") \
+        == "4 3 4\n"
+    assert js("print(Math.max(1, 7, 3), Math.min(2, -1), Math.pow(2, 10));")\
+        == "7 -1 1024\n"
+
+
+def test_string_builtins():
+    assert js("print(substring('hello', 1, 3), charCodeAt('A', 0));") \
+        == "el 65\n"
+    assert js("print(String.fromCharCode(66, 67));") == "BC\n"
+
+
+def test_write_builtin():
+    assert js("write('a'); write('b', 'c');") == "abc"
+
+
+def test_nested_arrays():
+    assert js("""
+    var g = [];
+    for (var i = 0; i < 3; i++) {
+      g[i] = [];
+      for (var j = 0; j < 3; j++) g[i][j] = i * 10 + j;
+    }
+    print(g[2][1]);
+    """) == "21\n"
+
+
+def test_undefined_arithmetic_is_nan():
+    assert js("var x; print(x + 1);") == "NaN\n"
+
+
+def test_runtime_error_on_calling_non_function():
+    with pytest.raises(JsError):
+        js("var x = 5; x();")
+
+
+def test_runtime_error_on_property_of_undefined():
+    with pytest.raises(JsError):
+        js("var x; print(x.foo);")
+
+
+def test_deep_recursion():
+    assert js("""
+    function down(n) { if (n == 0) return 0; return down(n - 1) + 1; }
+    print(down(400));
+    """) == "400\n"
+
+
+def test_continue_in_for_loop():
+    assert js("""
+    var s = 0;
+    for (var i = 1; i <= 10; i++) {
+      if (i % 2 == 0) continue;
+      s += i;
+    }
+    print(s);
+    """) == "25\n"
+
+
+def test_continue_in_while_loop():
+    assert js("""
+    var i = 0; var s = 0;
+    while (i < 10) {
+      i++;
+      if (i > 5) continue;
+      s += i;
+    }
+    print(s, i);
+    """) == "15 10\n"
+
+
+def test_ternary_operator():
+    assert js("print(1 < 2 ? 'yes' : 'no');") == "yes\n"
+    assert js("var x = 5; print(x > 3 ? x * 2 : x - 1);") == "10\n"
+    assert js("print(false ? 1 : true ? 2 : 3);") == "2\n"  # right-assoc
+
+
+def test_do_while_runs_body_at_least_once():
+    assert js("""
+    var n = 0;
+    do { n++; } while (false);
+    print(n);
+    """) == "1\n"
+    assert js("""
+    var i = 0; var s = 0;
+    do { s += i; i++; } while (i < 5);
+    print(s, i);
+    """) == "10 5\n"
+
+
+def test_do_while_with_continue_and_break():
+    assert js("""
+    var i = 0; var s = 0;
+    do {
+      i++;
+      if (i % 2 == 0) continue;
+      if (i > 7) break;
+      s += i;
+    } while (i < 100);
+    print(s, i);
+    """) == "16 9\n"
+
+
+def test_typeof_operator():
+    assert js("print(typeof 1, typeof 1.5, typeof 'x');") \
+        == "number number string\n"
+    assert js("print(typeof undefined, typeof null, typeof true);") \
+        == "undefined object boolean\n"
+    assert js("var a = []; var o = {}; print(typeof a, typeof o);") \
+        == "object object\n"
+    assert js("function f() {} print(typeof f, typeof print);") \
+        == "function function\n"

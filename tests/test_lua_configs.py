@@ -1,0 +1,134 @@
+"""Differential and behavioural tests across the three machine configs.
+
+The architectural claim of the paper is that the typed and Checked Load
+machines are *performance* variants only: program output must be
+identical, while typed beats chklb beats baseline on type-check-heavy
+code.
+"""
+
+import pytest
+
+from repro.engines import CONFIGS
+from repro.engines.lua import run_lua
+
+PROGRAMS = {
+    "int_arith": """
+        local s = 0
+        for i = 1, 300 do s = s + i * 2 - 1 end
+        print(s)
+    """,
+    "float_arith": """
+        local s = 0.0
+        local x = 1.5
+        for i = 1, 300 do s = s + x * 1.01 - 0.5 x = x + 0.25 end
+        print(s)
+    """,
+    "mixed_arith": """
+        local s = 0
+        for i = 1, 100 do
+            if i % 2 == 0 then s = s + 1.5 else s = s + 2 end
+        end
+        print(s)
+    """,
+    "tables": """
+        local t = {}
+        for i = 1, 200 do t[i] = i end
+        local s = 0
+        for i = 1, 200 do s = s + t[i] end
+        print(s)
+    """,
+    "string_keys": """
+        local t = {}
+        t.alpha = 1 t.beta = 2
+        local s = 0
+        for i = 1, 50 do s = s + t.alpha + t.beta end
+        print(s)
+    """,
+    "recursion": """
+        local function ack(m, n)
+            if m == 0 then return n + 1 end
+            if n == 0 then return ack(m - 1, 1) end
+            return ack(m - 1, ack(m, n - 1))
+        end
+        print(ack(2, 3))
+    """,
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    collected = {}
+    for name, source in PROGRAMS.items():
+        collected[name] = {config: run_lua(source, config=config)
+                           for config in CONFIGS}
+    return collected
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_outputs_identical_across_configs(results, name):
+    outputs = {cfg: r.output for cfg, r in results[name].items()}
+    assert len(set(outputs.values())) == 1, outputs
+
+
+@pytest.mark.parametrize("name", ["int_arith", "tables"])
+def test_typed_executes_fewer_instructions(results, name):
+    baseline = results[name]["baseline"].counters
+    typed = results[name]["typed"].counters
+    assert typed.instructions < baseline.instructions
+
+
+@pytest.mark.parametrize("name", ["int_arith", "tables"])
+def test_typed_is_fastest_on_hot_type_checks(results, name):
+    cycles = {cfg: r.counters.cycles for cfg, r in results[name].items()}
+    assert cycles["typed"] < cycles["chklb"] < cycles["baseline"]
+
+
+def test_typed_type_hit_rate_high_on_monomorphic_code(results):
+    counters = results["int_arith"]["typed"].counters
+    assert counters.type_hits > 0
+    assert counters.type_hit_rate > 0.99
+
+
+def test_typed_handles_float_workloads_without_misses(results):
+    """Polymorphic instructions adapt to FP operands (unlike chklb)."""
+    counters = results["float_arith"]["typed"].counters
+    assert counters.type_misses == 0
+    assert counters.type_hits > 0
+
+
+def test_chklb_misses_on_float_workloads(results):
+    """Checked Load is integer-specialised, so FP code leaves the fast
+    path (the paper's explanation for its mandelbrot/n-body losses)."""
+    counters = results["float_arith"]["chklb"].counters
+    assert counters.chk_misses > 0
+
+
+def test_mixed_types_cause_type_mispredictions(results):
+    counters = results["mixed_arith"]["typed"].counters
+    assert counters.type_misses > 0
+
+
+def test_string_keys_go_to_slow_path(results):
+    """Table-Int is the only tchk rule; string keys must miss."""
+    counters = results["string_keys"]["typed"].counters
+    assert counters.type_misses > 0
+
+
+def test_host_cost_charged_identically(results):
+    instructions = {cfg: r.counters.host_instructions
+                    for cfg, r in results["recursion"].items()}
+    assert len(set(instructions.values())) == 1
+
+
+def test_bytecode_counts_identical_across_configs(results):
+    counts = [r.counters.bytecode_counts
+              for r in results["tables"].values()]
+    assert counts[0] == counts[1] == counts[2]
+    assert counts[0]["SETTABLE"] >= 200
+    assert counts[0]["GETTABLE"] >= 200
+
+
+def test_attribution_covers_hot_bytecodes(results):
+    buckets = results["int_arith"]["baseline"].counters.bucket_instructions
+    assert buckets.get("dispatch", 0) > 0
+    assert any(key.startswith("h_ADD") for key in buckets)

@@ -1,0 +1,202 @@
+"""Lexer, parser and compiler tests for the MiniLua front end."""
+
+import pytest
+
+from repro.engines.lua import last as ast
+from repro.engines.lua.compiler import CompileError, compile_source
+from repro.engines.lua.lexer import LuaSyntaxError, tokenize
+from repro.engines.lua.lparser import parse
+from repro.engines.lua.opcodes import Op, decode
+
+
+# -- lexer --------------------------------------------------------------------
+
+def test_tokenize_numbers():
+    kinds = [(t.kind, t.value) for t in tokenize("1 2.5 0x10 1e3")[:-1]]
+    assert kinds == [("number", 1), ("number", 2.5), ("number", 16),
+                     ("number", 1000.0)]
+    assert isinstance(tokenize("3")[0].value, int)
+    assert isinstance(tokenize("3.0")[0].value, float)
+
+
+def test_tokenize_strings_and_escapes():
+    tokens = tokenize(r'"a\nb" ' + r"'c\td'")
+    assert tokens[0].value == "a\nb"
+    assert tokens[1].value == "c\td"
+
+
+def test_tokenize_comments():
+    tokens = tokenize("a -- comment\nb --[[ long\ncomment ]] c")
+    names = [t.value for t in tokens if t.kind == "name"]
+    assert names == ["a", "b", "c"]
+
+
+def test_tokenize_operators_longest_match():
+    values = [t.value for t in tokenize("a==b ~= c <= d .. e // f")[:-1]]
+    assert "==" in values and "~=" in values and "<=" in values
+    assert ".." in values and "//" in values
+
+
+def test_tokenize_keywords_vs_names():
+    tokens = tokenize("if iffy then end")
+    assert tokens[0].kind == "keyword"
+    assert tokens[1].kind == "name"
+
+
+def test_tokenize_error():
+    with pytest.raises(LuaSyntaxError):
+        tokenize('"unterminated')
+
+
+# -- parser --------------------------------------------------------------------
+
+def test_parse_precedence():
+    block = parse("x = 1 + 2 * 3")
+    value = block.statements[0].value
+    assert value.op == "+"
+    assert value.right.op == "*"
+
+
+def test_parse_right_assoc_pow():
+    value = parse("x = 2 ^ 3 ^ 2").statements[0].value
+    assert value.op == "^"
+    assert value.right.op == "^"  # 2 ^ (3 ^ 2)
+
+
+def test_parse_comparison_and_logic():
+    value = parse("x = a < b and c or d").statements[0].value
+    assert value.op == "or"
+    assert value.left.op == "and"
+
+
+def test_parse_field_sugar():
+    value = parse("x = t.field").statements[0].value
+    assert isinstance(value, ast.Index)
+    assert isinstance(value.key, ast.StringLit)
+    assert value.key.value == "field"
+
+
+def test_parse_calls_and_chains():
+    stat = parse("io.write('x')").statements[0]
+    assert isinstance(stat, ast.CallStat)
+    assert isinstance(stat.call.func, ast.Index)
+
+
+def test_parse_numeric_for():
+    stat = parse("for i = 1, 10, 2 do x = i end").statements[0]
+    assert isinstance(stat, ast.NumericFor)
+    assert stat.step is not None
+
+
+def test_parse_if_elseif_else():
+    stat = parse("""
+    if a then x = 1
+    elseif b then x = 2
+    else x = 3 end
+    """).statements[0]
+    assert len(stat.clauses) == 2
+    assert stat.orelse is not None
+
+
+def test_parse_function_decls():
+    block = parse("""
+    function f(a, b) return a end
+    local function g() end
+    """)
+    assert not block.statements[0].is_local
+    assert block.statements[1].is_local
+
+
+def test_parse_table_ctor():
+    value = parse("t = {1, 2, x = 3}").statements[0].value
+    assert len(value.items) == 2
+    assert value.fields == [("x", ast.NumberLit(3))]
+
+
+def test_parse_error_on_bad_assignment():
+    with pytest.raises(LuaSyntaxError):
+        parse("1 = 2")
+
+
+def test_parse_error_on_unclosed_block():
+    with pytest.raises(LuaSyntaxError):
+        parse("while true do x = 1")
+
+
+# -- compiler --------------------------------------------------------------------
+
+def _ops(proto):
+    return [decode(word)[0] for word in proto.code]
+
+
+def test_compile_arithmetic_uses_add():
+    chunk = compile_source("x = a + b")
+    assert Op.ADD in _ops(chunk.main)
+
+
+def test_compile_constants_deduplicated():
+    chunk = compile_source("x = 1 + 1 + 1")
+    numbers = [c for c in chunk.main.constants if c == 1]
+    assert len(numbers) == 1
+
+
+def test_compile_int_float_constants_distinct():
+    chunk = compile_source("x = 1 + 1.0")
+    values = [(type(c).__name__, c) for c in chunk.main.constants]
+    assert ("int", 1) in values
+    assert ("float", 1.0) in values
+
+
+def test_compile_rk_operands():
+    chunk = compile_source("x = a + 1")
+    add = next(word for word in chunk.main.code
+               if decode(word)[0] == Op.ADD)
+    _, _, b, c = decode(add)
+    assert c & 0x80  # constant operand flagged
+
+
+def test_compile_numeric_for_shape():
+    chunk = compile_source("for i = 1, 10 do x = i end")
+    ops = _ops(chunk.main)
+    assert Op.FORPREP in ops
+    assert Op.FORLOOP in ops
+    assert ops.index(Op.FORPREP) < ops.index(Op.FORLOOP)
+
+
+def test_compile_call_return():
+    chunk = compile_source("""
+    function f(a) return a end
+    x = f(1)
+    """)
+    assert len(chunk.protos) == 2
+    assert Op.CALL in _ops(chunk.main)
+    assert Op.RETURN in _ops(chunk.protos[1])
+
+
+def test_compile_globals_assigned_slots():
+    chunk = compile_source("foo = 1 bar = foo")
+    assert "foo" in chunk.globals
+    assert "bar" in chunk.globals
+
+
+def test_compile_break_outside_loop_fails():
+    with pytest.raises(CompileError):
+        compile_source("break")
+
+
+def test_compile_every_proto_ends_with_return():
+    chunk = compile_source("function f() x = 1 end y = 2")
+    for proto in chunk.protos:
+        assert decode(proto.code[-1])[0] in (Op.RETURN, Op.RETURN0)
+
+
+def test_compile_comparison_swaps_for_gt():
+    chunk = compile_source("x = a > b")
+    ops = _ops(chunk.main)
+    assert Op.LT in ops  # a > b compiles to b < a
+
+
+def test_compile_not_equal_negates():
+    ops = _ops(compile_source("x = a ~= b").main)
+    assert Op.EQ in ops
+    assert Op.NOT in ops

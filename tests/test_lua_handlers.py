@@ -1,0 +1,239 @@
+"""Handler-level tests: hand-assembled bytecode, no compiler involved.
+
+Each test builds a raw :class:`CompiledChunk` and checks one handler's
+semantics on the simulated machine — including the paths the compiler
+rarely emits (RK constant combinations, float FORLOOP, appends at the
+capacity boundary, both EQ mixed paths).
+"""
+
+import pytest
+
+from repro.engines import CONFIGS
+from repro.engines.lua.compiler import CompiledChunk, Proto
+from repro.engines.lua.image import build_image, fill_jump_table
+from repro.engines.lua.layout import MEMORY_SIZE
+from repro.engines.lua.opcodes import Op, RK_FLAG, encode_abc, encode_jump
+from repro.engines.lua.runtime import LuaHost, LuaRuntime
+from repro.engines.lua.vm import interpreter_program
+from repro.sim.cpu import Cpu
+from repro.sim.memory import Memory
+from repro.sim.tagio import TagCodec
+
+
+def run_chunk(code, constants=(), nregs=8, config="baseline"):
+    """Assemble raw main-proto bytecode and run it to completion."""
+    from repro.engines.lua import layout
+    proto = Proto(name="main", num_params=0, code=list(code),
+                  constants=list(constants), nregs=nregs)
+    chunk = CompiledChunk([proto], ["print", "io", "math", "string",
+                                    "tostring", "type"])
+    memory = Memory(size=MEMORY_SIZE)
+    runtime = LuaRuntime(memory)
+    image = build_image(chunk, runtime)
+    program, _ = interpreter_program(config)
+    fill_jump_table(image, program, memory)
+    host = LuaHost(runtime)
+    codec = TagCodec(fp_tags={layout.TNUMFLT})
+    cpu = Cpu(program, memory, host=host.interface, tag_codec=codec)
+    cpu.run(max_instructions=2_000_000)
+    return runtime, cpu
+
+
+def read_register(runtime, index):
+    from repro.engines.lua import layout
+    return runtime.read_value(layout.REG_STACK_BASE
+                              + index * layout.TVALUE_SIZE)
+
+
+def K(index):
+    return RK_FLAG | index
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_add_register_register(config):
+    runtime, _ = run_chunk([
+        encode_abc(Op.LOADK, 0, 0),
+        encode_abc(Op.LOADK, 1, 1),
+        encode_abc(Op.ADD, 2, 0, 1),
+        encode_abc(Op.RETURN0, 0),
+    ], constants=[30, 12], config=config)
+    assert read_register(runtime, 2) == 42
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_add_both_rk_constants(config):
+    runtime, _ = run_chunk([
+        encode_abc(Op.ADD, 0, K(0), K(1)),
+        encode_abc(Op.RETURN0, 0),
+    ], constants=[7, 5], config=config)
+    assert read_register(runtime, 0) == 12
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_add_float_pair(config):
+    runtime, _ = run_chunk([
+        encode_abc(Op.ADD, 0, K(0), K(1)),
+        encode_abc(Op.RETURN0, 0),
+    ], constants=[1.25, 0.5], config=config)
+    assert read_register(runtime, 0) == 1.75
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_add_mixed_goes_slow_but_correct(config):
+    runtime, cpu = run_chunk([
+        encode_abc(Op.ADD, 0, K(0), K(1)),
+        encode_abc(Op.RETURN0, 0),
+    ], constants=[1, 0.5], config=config)
+    assert read_register(runtime, 0) == 1.5
+
+
+def test_sub_mul_semantics():
+    runtime, _ = run_chunk([
+        encode_abc(Op.SUB, 0, K(0), K(1)),
+        encode_abc(Op.MUL, 1, K(0), K(1)),
+        encode_abc(Op.RETURN0, 0),
+    ], constants=[6, 7])
+    assert read_register(runtime, 0) == -1
+    assert read_register(runtime, 1) == 42
+
+
+def test_move_copies_value_and_tag():
+    runtime, _ = run_chunk([
+        encode_abc(Op.LOADK, 0, 0),
+        encode_abc(Op.MOVE, 3, 0),
+        encode_abc(Op.RETURN0, 0),
+    ], constants=[2.5])
+    assert read_register(runtime, 3) == 2.5
+
+
+def test_loadbool_and_loadnil():
+    runtime, _ = run_chunk([
+        encode_abc(Op.LOADBOOL, 0, 1),
+        encode_abc(Op.LOADBOOL, 1, 0),
+        encode_abc(Op.LOADK, 2, 0),
+        encode_abc(Op.LOADNIL, 2),
+        encode_abc(Op.RETURN0, 0),
+    ], constants=[9])
+    assert read_register(runtime, 0) is True
+    assert read_register(runtime, 1) is False
+    assert read_register(runtime, 2) is None
+
+
+def test_eq_mixed_int_float_paths():
+    runtime, _ = run_chunk([
+        encode_abc(Op.EQ, 0, K(0), K(1)),   # 2 == 2.0 (int, float)
+        encode_abc(Op.EQ, 1, K(1), K(0)),   # 2.0 == 2 (float, int)
+        encode_abc(Op.EQ, 2, K(0), K(2)),   # 2 == 3
+        encode_abc(Op.EQ, 3, K(3), K(3)),   # 'x' == 'x' (interned)
+        encode_abc(Op.RETURN0, 0),
+    ], constants=[2, 2.0, 3, "x"])
+    assert read_register(runtime, 0) is True
+    assert read_register(runtime, 1) is True
+    assert read_register(runtime, 2) is False
+    assert read_register(runtime, 3) is True
+
+
+def test_lt_le_all_numeric_paths():
+    runtime, _ = run_chunk([
+        encode_abc(Op.LT, 0, K(0), K(1)),   # int < int
+        encode_abc(Op.LT, 1, K(2), K(3)),   # float < float
+        encode_abc(Op.LT, 2, K(0), K(3)),   # int < float
+        encode_abc(Op.LE, 3, K(2), K(1)),   # float <= int
+        encode_abc(Op.RETURN0, 0),
+    ], constants=[1, 5, 1.5, 2.5])
+    assert read_register(runtime, 0) is True
+    assert read_register(runtime, 1) is True
+    assert read_register(runtime, 2) is True
+    assert read_register(runtime, 3) is True
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_settable_append_at_capacity_boundary(config):
+    # NEWTABLE gives capacity 4: the fifth append must grow via the host.
+    code = [encode_abc(Op.NEWTABLE, 0, 0)]
+    for index in range(1, 7):
+        code.append(encode_abc(Op.SETTABLE, 0, K(index - 1), K(index - 1)))
+    code.append(encode_abc(Op.LEN, 1, 0))
+    code.append(encode_abc(Op.GETTABLE, 2, 0, K(5)))
+    code.append(encode_abc(Op.RETURN0, 0))
+    runtime, _ = run_chunk(code, constants=[1, 2, 3, 4, 5, 6],
+                           config=config)
+    assert read_register(runtime, 1) == 6
+    assert read_register(runtime, 2) == 6
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_gettable_out_of_range_yields_nil(config):
+    runtime, _ = run_chunk([
+        encode_abc(Op.NEWTABLE, 0, 0),
+        encode_abc(Op.GETTABLE, 1, 0, K(0)),
+        encode_abc(Op.RETURN0, 0),
+    ], constants=[9], config=config)
+    assert read_register(runtime, 1) is None
+
+
+def test_forloop_float_negative_step():
+    # for r1 = 2.0, 0.5, -0.5: iterate 4 times accumulating into r0.
+    runtime, _ = run_chunk([
+        encode_abc(Op.LOADK, 0, 3),        # acc = 0
+        encode_abc(Op.LOADK, 1, 0),        # idx = 2.0
+        encode_abc(Op.LOADK, 2, 1),        # limit = 0.5
+        encode_abc(Op.LOADK, 3, 2),        # step = -0.5
+        encode_jump(Op.FORPREP, 1, 1),     # to FORLOOP
+        encode_abc(Op.ADD, 0, 0, 4),       # acc += loop var (r4)
+        encode_jump(Op.FORLOOP, 1, -2),    # back to the ADD
+        encode_abc(Op.RETURN0, 0),
+    ], constants=[2.0, 0.5, -0.5, 0.0])
+    assert read_register(runtime, 0) == pytest.approx(2.0 + 1.5 + 1.0
+                                                      + 0.5)
+
+
+def test_jmp_and_jmpf_skip():
+    runtime, _ = run_chunk([
+        encode_abc(Op.LOADK, 0, 0),        # r0 = 1
+        encode_abc(Op.LOADBOOL, 1, 0),     # r1 = false
+        encode_jump(Op.JMPF, 1, 1),        # taken: skip next
+        encode_abc(Op.LOADK, 0, 1),        # (skipped)
+        encode_jump(Op.JMPT, 1, 1),        # not taken
+        encode_abc(Op.LOADK, 2, 1),        # executed
+        encode_abc(Op.RETURN0, 0),
+    ], constants=[1, 99])
+    assert read_register(runtime, 0) == 1
+    assert read_register(runtime, 2) == 99
+
+
+def test_unm_not_len_concat():
+    runtime, _ = run_chunk([
+        encode_abc(Op.LOADK, 0, 0),
+        encode_abc(Op.UNM, 1, 0),
+        encode_abc(Op.NOT, 2, 0),
+        encode_abc(Op.LOADK, 3, 1),
+        encode_abc(Op.LEN, 4, 3),
+        encode_abc(Op.CONCAT, 5, K(1), K(0)),
+        encode_abc(Op.RETURN0, 0),
+    ], constants=[8, "hey"])
+    assert read_register(runtime, 1) == -8
+    assert read_register(runtime, 2) is False
+    assert read_register(runtime, 4) == 3
+    assert read_register(runtime, 5) == "hey8"
+
+
+def test_div_mod_idiv_pow():
+    runtime, _ = run_chunk([
+        encode_abc(Op.DIV, 0, K(0), K(1)),
+        encode_abc(Op.MOD, 1, K(0), K(1)),
+        encode_abc(Op.IDIV, 2, K(0), K(1)),
+        encode_abc(Op.POW, 3, K(1), K(1)),
+        encode_abc(Op.RETURN0, 0),
+    ], constants=[7, 2])
+    assert read_register(runtime, 0) == 3.5
+    assert read_register(runtime, 1) == 1
+    assert read_register(runtime, 2) == 3
+    assert read_register(runtime, 3) == 4.0
+
+
+def test_unimplemented_opcode_traps():
+    from repro.engines.lua.runtime import LuaError
+    with pytest.raises(LuaError, match="illegal opcode"):
+        run_chunk([encode_abc(Op.TAILCALL, 0, 0),
+                   encode_abc(Op.RETURN0, 0)])

@@ -1,0 +1,362 @@
+"""End-to-end MiniLua VM tests on the baseline machine.
+
+Each test runs a small script on the simulated core and checks its
+printed output (the host-side runtime only formats and stores what the
+assembly interpreter computed in simulated memory).
+"""
+
+import pytest
+
+from repro.engines.lua import run_lua
+from repro.engines.lua.runtime import LuaError
+
+
+def lua(source, config="baseline"):
+    return run_lua(source, config=config,
+                   max_instructions=20_000_000).output
+
+
+def test_print_integers_and_floats():
+    assert lua("print(42)") == "42\n"
+    assert lua("print(1.5)") == "1.5\n"
+    assert lua("print(3.0)") == "3.0\n"  # Lua 5.3 keeps the float mark
+
+
+def test_integer_arithmetic():
+    assert lua("print(7 + 3, 7 - 3, 7 * 3)") == "10\t4\t21\n"
+    assert lua("print(7 // 2, -7 // 2)") == "3\t-4\n"
+    assert lua("print(7 % 3, -7 % 3, 7 % -3)") == "1\t2\t-2\n"
+
+
+def test_float_arithmetic():
+    assert lua("print(1.5 + 2.25)") == "3.75\n"
+    assert lua("print(7 / 2)") == "3.5\n"  # '/' is float division
+    assert lua("print(2 ^ 10)") == "1024.0\n"  # '^' is float pow
+
+
+def test_mixed_arithmetic_promotes_to_float():
+    """The paper's Figure 1(a) examples."""
+    assert lua("print(1 + 2)") == "3\n"
+    assert lua("print(1 + 2.2)") == "3.2\n"
+    assert lua("print(1.1 + 2)") == "3.1\n"
+    assert lua("print('1' + '2')") == "3\n"  # string coercion
+
+
+def test_integer_wraparound():
+    assert lua("print(9223372036854775807 + 1)") == "-9223372036854775808\n"
+
+
+def test_unary_minus():
+    assert lua("print(-5, -2.5, -(3 - 7))") == "-5\t-2.5\t4\n"
+
+
+def test_comparisons():
+    assert lua("print(1 < 2, 2 <= 2, 3 > 4, 4 >= 4)") \
+        == "true\ttrue\tfalse\ttrue\n"
+    assert lua("print(1 == 1.0, 1 == 2, 'a' == 'a', 'a' ~= 'b')") \
+        == "true\tfalse\ttrue\ttrue\n"
+    assert lua("print(1.5 < 2, 2 < 1.5)") == "true\tfalse\n"
+
+
+def test_string_comparison_via_slow_path():
+    assert lua("print('abc' < 'abd', 'b' < 'a')") == "true\tfalse\n"
+
+
+def test_truthiness():
+    assert lua("print(not nil, not false, not 0, not '')") \
+        == "true\ttrue\tfalse\tfalse\n"
+
+
+def test_and_or_short_circuit():
+    assert lua("print(nil and 1, nil or 2, 1 and 2, false or nil)") \
+        == "nil\t2\t2\tnil\n"
+
+
+def test_while_loop():
+    assert lua("""
+    local i = 1
+    local n = 0
+    while i <= 10 do n = n + i i = i + 1 end
+    print(n)
+    """) == "55\n"
+
+
+def test_repeat_until():
+    assert lua("""
+    local i = 0
+    repeat i = i + 1 until i >= 3
+    print(i)
+    """) == "3\n"
+
+
+def test_numeric_for_variants():
+    assert lua("local s=0 for i=1,5 do s=s+i end print(s)") == "15\n"
+    assert lua("local s=0 for i=10,1,-2 do s=s+i end print(s)") == "30\n"
+    assert lua("local s=0 for i=1,0 do s=s+1 end print(s)") == "0\n"
+    assert lua("local s=0.0 for i=1.0,2.0,0.5 do s=s+i end print(s)") \
+        == "4.5\n"
+
+
+def test_break():
+    assert lua("""
+    local s = 0
+    for i = 1, 100 do
+      if i > 5 then break end
+      s = s + i
+    end
+    print(s)
+    """) == "15\n"
+
+
+def test_functions_and_recursion():
+    assert lua("""
+    local function fib(n)
+      if n < 2 then return n end
+      return fib(n-1) + fib(n-2)
+    end
+    print(fib(10))
+    """) == "55\n"
+
+
+def test_global_function_and_args():
+    assert lua("""
+    function add3(a, b, c) return a + b + c end
+    print(add3(1, 2, 3))
+    """) == "6\n"
+
+
+def test_function_without_return_gives_nil():
+    assert lua("function f() end print(f())") == "nil\n"
+
+
+def test_tables_int_keys():
+    assert lua("""
+    local t = {}
+    t[1] = 10 t[2] = 20 t[3] = 30
+    print(t[1] + t[2] + t[3], #t)
+    """) == "60\t3\n"
+
+
+def test_table_constructor():
+    assert lua("local t = {5, 6, 7} print(t[1], t[3], #t)") == "5\t7\t3\n"
+
+
+def test_table_growth():
+    assert lua("""
+    local t = {}
+    for i = 1, 100 do t[i] = i end
+    print(t[100], #t)
+    """) == "100\t100\n"
+
+
+def test_table_string_keys():
+    assert lua("""
+    local t = {}
+    t['x'] = 1
+    t.y = 2
+    print(t.x + t['y'])
+    """) == "3\n"
+
+
+def test_table_missing_key_is_nil():
+    assert lua("local t = {} print(t[5], t.missing)") == "nil\tnil\n"
+
+
+def test_table_sparse_int_keys():
+    assert lua("local t = {} t[100] = 7 print(t[100], #t)") == "7\t0\n"
+
+
+def test_nested_tables():
+    assert lua("""
+    local grid = {}
+    for i = 1, 3 do
+      grid[i] = {}
+      for j = 1, 3 do grid[i][j] = i * 10 + j end
+    end
+    print(grid[2][3])
+    """) == "23\n"
+
+
+def test_string_concat_and_len():
+    assert lua("print('foo' .. 'bar', #'hello', 'n=' .. 42)") \
+        == "foobar\t5\tn=42\n"
+
+
+def test_builtins():
+    assert lua("print(math.floor(3.7), math.sqrt(16), math.abs(-4))") \
+        == "3\t4.0\t4\n"
+    assert lua("print(string.sub('hello', 2, 4))") == "ell\n"
+    assert lua("print(string.byte('A'), string.char(66, 67))") == "65\tBC\n"
+    assert lua("print(type(1), type('s'), type({}), type(print), type(nil))")\
+        == "number\tstring\ttable\tfunction\tnil\n"
+    assert lua("print(tostring(1.5) .. '!')") == "1.5!\n"
+
+
+def test_io_write_no_newline():
+    assert lua("io.write('a') io.write('b', 'c')") == "abc"
+
+
+def test_booleans_roundtrip():
+    assert lua("local b = true print(b, not b, b == true)") \
+        == "true\tfalse\ttrue\n"
+
+
+def test_runtime_error_on_nil_arithmetic():
+    with pytest.raises(LuaError):
+        lua("local x print(x + 1)")
+
+
+def test_runtime_error_on_calling_non_function():
+    with pytest.raises(LuaError):
+        lua("local x = 5 x()")
+
+
+def test_runtime_error_on_indexing_number():
+    with pytest.raises(LuaError):
+        lua("local x = 5 print(x[1])")
+
+
+def test_deep_recursion():
+    assert lua("""
+    local function down(n)
+      if n == 0 then return 0 end
+      return down(n - 1) + 1
+    end
+    print(down(500))
+    """) == "500\n"
+
+
+def test_float_for_loop_with_int_start_coerces():
+    assert lua("local s=0.0 for i=1,2,0.5 do s=s+i end print(s)") == "4.5\n"
+
+
+def test_multiple_local_assignment():
+    assert lua("local a, b, c = 1, 2 print(a, b, c)") == "1\t2\tnil\n"
+    assert lua("local a, b = 1, 2, 3 print(a, b)") == "1\t2\n"
+
+
+def test_multiple_assignment_swap():
+    assert lua("""
+    local a = 1
+    local b = 2
+    a, b = b, a
+    print(a, b)
+    """) == "2\t1\n"
+
+
+def test_multiple_assignment_to_table_and_global():
+    assert lua("""
+    local t = {}
+    g, t[1] = 10, 20
+    print(g, t[1])
+    """) == "10\t20\n"
+
+
+def test_multiple_assignment_values_evaluated_first():
+    assert lua("""
+    local t = {}
+    t[1] = 1
+    t[1], t[2] = t[1] + 10, t[1] + 20
+    print(t[1], t[2])
+    """) == "11\t21\n"
+
+
+def test_string_format():
+    assert lua("print(string.format('%d + %d = %d', 1, 2, 3))") \
+        == "1 + 2 = 3\n"
+    assert lua("print(string.format('%5d|%-5d|%05d', 42, 42, 42))") \
+        == "   42|42   |00042\n"
+    assert lua("print(string.format('%.2f %g', 3.14159, 0.5))") \
+        == "3.14 0.5\n"
+    assert lua("print(string.format('%s-%s', 'a', 1.5))") == "a-1.5\n"
+    assert lua("print(string.format('%x %X %o', 255, 255, 8))") \
+        == "ff FF 10\n"
+    assert lua("print(string.format('100%%'))") == "100%\n"
+    assert lua("print(string.format('%c%c', 72, 105))") == "Hi\n"
+
+
+def test_string_format_errors():
+    with pytest.raises(LuaError):
+        lua("print(string.format('%d'))")  # missing argument
+
+
+def test_ipairs_loop():
+    assert lua("""
+    local t = {10, 20, 30}
+    local s = 0
+    for i, v in ipairs(t) do s = s + i * v end
+    print(s)
+    """) == "140\n"
+
+
+def test_ipairs_single_variable():
+    assert lua("""
+    local t = {5, 6}
+    local s = 0
+    for i in ipairs(t) do s = s + i end
+    print(s)
+    """) == "3\n"
+
+
+def test_ipairs_stops_at_nil():
+    assert lua("""
+    local t = {}
+    t[1] = 1 t[2] = 2 t[4] = 4
+    local n = 0
+    for i, v in ipairs(t) do n = n + 1 end
+    print(n)
+    """) == "2\n"
+
+
+def test_ipairs_with_break():
+    assert lua("""
+    local t = {1, 2, 3, 4, 5}
+    local s = 0
+    for i, v in ipairs(t) do
+      if v > 3 then break end
+      s = s + v
+    end
+    print(s)
+    """) == "6\n"
+
+
+def test_ipairs_empty_table():
+    assert lua("""
+    local n = 0
+    for i, v in ipairs({}) do n = n + 1 end
+    print(n)
+    """) == "0\n"
+
+
+def test_bitwise_operators():
+    assert lua("print(0xF0 & 0x3C, 0xF0 | 0x0F, 5 ~ 3)") == "48\t255\t6\n"
+    assert lua("print(1 << 4, 256 >> 4, ~0)") == "16\t16\t-1\n"
+    assert lua("print(~5, ~(-1))") == "-6\t0\n"
+
+
+def test_bitwise_float_coercion_via_slow_path():
+    assert lua("print(6.0 & 3, 1 << 3.0)") == "2\t8\n"
+
+
+def test_shift_edge_cases():
+    assert lua("print(1 << 64, 1 << 100, -1 >> 63)") == "0\t0\t1\n"
+    assert lua("print(8 >> -1, 1 << -2)") == "16\t0\n"
+    assert lua("print(-1 >> 1)") == "9223372036854775807\n"  # logical
+
+
+def test_bitwise_error_on_fractional():
+    with pytest.raises(LuaError):
+        lua("print(1.5 & 2)")
+
+
+def test_bitwise_precedence():
+    # Lua: shifts bind tighter than &, & tighter than ~(xor), | loosest.
+    assert lua("print(1 | 2 ~ 3 & 5)") == "3\n"   # 1 | (2 ~ (3 & 5))
+    assert lua("print(1 << 2 & 12)") == "4\n"     # (1 << 2) & 12
+
+
+def test_more_stdlib_builtins():
+    assert lua("print(math.ceil(3.2), math.ceil(-3.2))") == "4\t-3\n"
+    assert lua("print(string.upper('aBc'), string.lower('aBc'))") \
+        == "ABC\tabc\n"
+    assert lua("print(string.len('hello'))") == "5\n"

@@ -1,0 +1,146 @@
+"""Conformance against a real JavaScript engine (Node.js).
+
+MiniJS is a JavaScript subset, so every program it runs must behave
+identically under Node.  These tests execute the benchmark programs and
+randomly generated expressions on both engines and compare outputs
+token-by-token (numerically, to absorb float-formatting differences).
+
+Skipped automatically when ``node`` is unavailable.
+"""
+
+import shutil
+import subprocess
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.workloads import BENCHMARK_ORDER, WORKLOADS
+from repro.engines.js import run_js
+from tests.test_differential import _float_exprs, _int_exprs, _render_js
+
+NODE = shutil.which("node")
+
+pytestmark = pytest.mark.skipif(NODE is None, reason="node not installed")
+
+# Shims for the MiniJS globals, with Node's own formatting.
+PRELUDE = """
+'use strict';
+function print() {
+  console.log(Array.prototype.map.call(arguments, String).join(' '));
+}
+function write() {
+  process.stdout.write(Array.prototype.map.call(arguments, String)
+                       .join(''));
+}
+function substring(s, i, j) { return s.substring(i, j); }
+function charCodeAt(s, i) { return s.charCodeAt(i); }
+"""
+
+
+def run_node(source):
+    result = subprocess.run([NODE, "-e", PRELUDE + source],
+                            capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, result.stderr[:500]
+    return result.stdout
+
+
+def assert_outputs_agree(ours, nodes, context=""):
+    our_tokens = ours.split()
+    node_tokens = nodes.split()
+    assert len(our_tokens) == len(node_tokens), \
+        "%s\nours: %r\nnode: %r" % (context, ours, nodes)
+    for our_token, node_token in zip(our_tokens, node_tokens):
+        try:
+            our_value = float(our_token)
+            node_value = float(node_token)
+        except ValueError:
+            assert our_token == node_token, context
+            continue
+        if our_value != our_value:  # NaN
+            assert node_value != node_value, context
+        else:
+            assert our_value == pytest.approx(node_value, rel=1e-12,
+                                              abs=1e-12), context
+
+
+# Scales small enough that node and the simulator both finish instantly.
+CONFORMANCE_SCALES = {
+    "ackermann": 2, "binary-trees": 4, "fannkuch-redux": 5, "fibo": 12,
+    "k-nucleotide": 50, "mandelbrot": 6, "n-body": 5, "n-sieve": 200,
+    "pidigits": 8, "random": 100, "spectral-norm": 4,
+}
+
+
+@pytest.mark.parametrize("name", BENCHMARK_ORDER)
+def test_benchmark_matches_node(name):
+    source = WORKLOADS[name].js_source(CONFORMANCE_SCALES[name])
+    ours = run_js(source, config="baseline", attribute=False).output
+    nodes = run_node(source)
+    assert_outputs_agree(ours, nodes, context=name)
+
+
+@settings(max_examples=5, deadline=None)
+@given(exprs=st.lists(_int_exprs(3), min_size=4, max_size=10))
+def test_random_int_expressions_match_node(exprs):
+    source = "\n".join("print(%s);" % _render_js(e) for e in exprs)
+    ours = run_js(source, config="typed", attribute=False).output
+    assert_outputs_agree(ours, run_node(source), context=source)
+
+
+@settings(max_examples=5, deadline=None)
+@given(exprs=st.lists(_float_exprs(3), min_size=4, max_size=10))
+def test_random_float_expressions_match_node(exprs):
+    source = "\n".join("print(%s);" % _render_js(e) for e in exprs)
+    ours = run_js(source, config="typed", attribute=False).output
+    assert_outputs_agree(ours, run_node(source), context=source)
+
+
+LANGUAGE_PROGRAMS = [
+    # closures excluded; everything else in the subset gets a workout.
+    """
+    var a = [3, 1, 2];
+    for (var i = 0; i < a.length; i++) a[i] = a[i] * 10;
+    print(a[0], a[1], a[2], a.length);
+    """,
+    """
+    function gcd(a, b) { while (b != 0) { var t = b; b = a %% b; a = t; }
+      return a; }
+    print(gcd(1071, 462), gcd(17, 5));
+    """.replace("%%", "%"),
+    """
+    var o = {count: 0};
+    function bump(obj, n) { obj.count = obj.count + n; return obj.count; }
+    print(bump(o, 3), bump(o, 4), o.count);
+    """,
+    """
+    var s = '';
+    for (var i = 0; i < 5; i++) { if (i == 2) continue; s = s + i; }
+    print(s, typeof s, typeof 0, !!s);
+    """,
+    """
+    var n = 0;
+    do { n = n * 2 + 1; } while (n < 20);
+    print(n, n > 10 ? 'big' : 'small');
+    """,
+    """
+    print(0.1 + 0.2, 1 / 3, Math.floor(-2.5), Math.pow(2, 31));
+    print(2147483647 + 1, -2147483648 - 1);
+    """,
+    """
+    var grid = [];
+    for (var i = 0; i < 3; i++) { grid[i] = [i, i * i]; }
+    print(grid[2][1], grid.length, grid[0].length);
+    """,
+]
+
+
+@pytest.mark.parametrize("index", range(len(LANGUAGE_PROGRAMS)))
+def test_language_feature_matches_node(index):
+    source = LANGUAGE_PROGRAMS[index]
+    ours = run_js(source, config="baseline", attribute=False).output
+    assert_outputs_agree(ours, run_node(source),
+                         context="program %d" % index)
+    # And the typed machine agrees with itself.
+    typed = run_js(source, config="typed", attribute=False).output
+    assert typed == ours

@@ -1,0 +1,81 @@
+"""Tests for report rendering and the disassembler's textual output."""
+
+from repro.bench.report import format_bars, format_series, format_table
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble
+from repro.isa.instructions import Instruction
+
+
+# -- disassembler ----------------------------------------------------------------
+
+def _disasm(text):
+    (instr,) = assemble(text).instructions
+    return disassemble(instr)
+
+
+def test_disassemble_canonical_forms():
+    assert _disasm("add a0, a1, a2") == "add a0, a1, a2"
+    assert _disasm("ld t0, 8(sp)") == "ld t0, 8(sp)"
+    assert _disasm("sd t0, -16(s0)") == "sd t0, -16(s0)"
+    assert _disasm("fadd.d f1, f2, f3") == "fadd.d f1, f2, f3"
+    assert _disasm("tld t0, 0(a0)") == "tld t0, 0(a0)"
+    assert _disasm("tsd t0, 0(a0)") == "tsd t0, 0(a0)"
+    assert _disasm("xadd t0, t1, t2") == "xadd t0, t1, t2"
+    assert _disasm("tchk t1, t2") == "tchk t1, t2"
+    assert _disasm("setoffset a0") == "setoffset a0"
+    assert _disasm("flush_trt") == "flush_trt"
+    assert _disasm("ecall") == "ecall"
+    assert _disasm("chklb t0, 8(a1)") == "chklb t0, 8(a1)"
+
+
+def test_disassemble_branch_keeps_label():
+    program = assemble("loop:\nbeq a0, a1, loop")
+    assert disassemble(program.instructions[0]) == "beq a0, a1, loop"
+
+
+def test_disassemble_branch_without_label_shows_displacement():
+    assert disassemble(Instruction("beq", rs1=10, rs2=11, imm=-8)) \
+        == "beq a0, a1, . + -8"
+
+
+def test_disassemble_jal_and_thdl():
+    assert disassemble(Instruction("jal", rd=1, imm=16)) \
+        == "jal ra, . + 16"
+    assert disassemble(Instruction("thdl", imm=32)) == "thdl . + 32"
+
+
+def test_disassemble_csr_style_u_format():
+    assert disassemble(Instruction("lui", rd=10, imm=0x12345)) \
+        == "lui a0, 0x12345"
+
+
+# -- report ----------------------------------------------------------------------
+
+def test_format_table_with_title_and_floats():
+    text = format_table(["k", "v"], [("x", 0.5)], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "0.500" in text
+
+
+def test_format_bars_scaling_and_baseline():
+    text = format_bars("chart", {"a": 1.0, "b": 2.0}, width=10,
+                       baseline=1.0)
+    lines = text.splitlines()
+    assert lines[0] == "chart"
+    bar_a = lines[1]
+    bar_b = lines[2]
+    assert bar_b.count("#") > bar_a.count("#")
+    assert "|" in bar_a or "|" in bar_b  # baseline tick drawn
+    assert "2.000" in bar_b
+
+
+def test_format_bars_handles_empty_and_zero():
+    assert format_bars("empty", {}) == "empty"
+    text = format_bars("zeros", {"a": 0.0})
+    assert "0.000" in text
+
+
+def test_format_series():
+    text = format_series("S", {"row": {"c1": 1, "c2": 2}})
+    assert "c1" in text and "c2" in text and "row" in text

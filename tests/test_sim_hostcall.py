@@ -1,0 +1,89 @@
+"""Tests for the host-call interface (native-library stand-in)."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.sim.cpu import Cpu
+from repro.sim.errors import HostCallError
+from repro.sim.hostcall import HostInterface
+from repro.sim.memory import Memory
+
+
+def make_cpu(host, a_values=()):
+    program = assemble("ecall\nebreak")
+    cpu = Cpu(program, Memory(size=4096), host=host)
+    for index, value in enumerate(a_values):
+        cpu.regs.write(10 + index, value)  # a0...
+    return cpu
+
+
+def test_dispatch_passes_args_and_returns_result():
+    host = HostInterface()
+    seen = {}
+
+    def handler(cpu, *args):
+        seen["args"] = args
+        return 99
+
+    host.register(7, "svc", handler, cost=10)
+    cpu = make_cpu(host, a_values=(1, 2, 3, 4, 5, 6, 7))
+    cpu.regs.write(17, 7)  # a7 = service id
+    cpu.run()
+    assert seen["args"] == (1, 2, 3, 4, 5, 6, 7)
+    assert cpu.regs.value[10] == 99  # a0 carries the result
+    assert cpu.pending_host_cost == 10
+
+
+def test_none_result_preserves_a0():
+    host = HostInterface()
+    host.register(1, "noop", lambda cpu, *args: None, cost=5)
+    cpu = make_cpu(host, a_values=(42,))
+    cpu.regs.write(17, 1)
+    cpu.run()
+    assert cpu.regs.value[10] == 42
+
+
+def test_unknown_service_raises():
+    host = HostInterface()
+    cpu = make_cpu(host)
+    cpu.regs.write(17, 123)
+    with pytest.raises(HostCallError):
+        cpu.run()
+
+
+def test_duplicate_registration_rejected():
+    host = HostInterface()
+    host.register(1, "a", lambda cpu: None, cost=1)
+    with pytest.raises(ValueError):
+        host.register(1, "b", lambda cpu: None, cost=1)
+
+
+def test_callable_cost_sees_args():
+    host = HostInterface()
+    host.register(2, "scaled", lambda cpu, *args: None,
+                  cost=lambda args: args[0] * 3)
+    cpu = make_cpu(host, a_values=(7,))
+    cpu.regs.write(17, 2)
+    cpu.run()
+    assert cpu.pending_host_cost == 21
+    assert host.charged_instructions == 21
+
+
+def test_call_statistics():
+    host = HostInterface()
+    host.register(1, "first", lambda cpu, *args: None, cost=3)
+    host.register(2, "second", lambda cpu, *args: None, cost=4)
+    program = assemble("""
+        li a7, 1
+        ecall
+        li a7, 2
+        ecall
+        li a7, 1
+        ecall
+        ebreak
+    """)
+    cpu = Cpu(program, Memory(size=4096), host=host)
+    cpu.run()
+    assert host.calls == 3
+    assert host.calls_by_service == {"first": 2, "second": 1}
+    assert host.charged_instructions == 10

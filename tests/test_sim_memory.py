@@ -1,0 +1,80 @@
+"""Unit and property tests for the flat memory model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.errors import MemoryError_
+from repro.sim.memory import Memory
+
+
+def test_zero_initialised():
+    mem = Memory(size=4096)
+    assert mem.load(0, 8) == 0
+    assert mem.load_u8(4095) == 0
+
+
+def test_store_load_widths():
+    mem = Memory(size=4096)
+    mem.store(0, 1, 0xAB)
+    mem.store(8, 2, 0xBEEF)
+    mem.store(16, 4, 0xDEADBEEF)
+    mem.store(24, 8, 0x0123456789ABCDEF)
+    assert mem.load(0, 1) == 0xAB
+    assert mem.load(8, 2) == 0xBEEF
+    assert mem.load(16, 4) == 0xDEADBEEF
+    assert mem.load(24, 8) == 0x0123456789ABCDEF
+
+
+def test_little_endian_layout():
+    mem = Memory(size=64)
+    mem.store(0, 8, 0x0102030405060708)
+    assert mem.load_u8(0) == 0x08
+    assert mem.load_u8(7) == 0x01
+
+
+def test_signed_loads():
+    mem = Memory(size=64)
+    mem.store(0, 1, 0xFF)
+    assert mem.load(0, 1, signed=True) == -1
+    assert mem.load(0, 1, signed=False) == 0xFF
+    mem.store(8, 4, 0x80000000)
+    assert mem.load(8, 4, signed=True) == -(1 << 31)
+
+
+def test_store_truncates_to_width():
+    mem = Memory(size=64)
+    mem.store(0, 1, 0x1FF)
+    assert mem.load(0, 1) == 0xFF
+    assert mem.load(1, 1) == 0
+
+
+def test_out_of_range_raises():
+    mem = Memory(size=64)
+    with pytest.raises(MemoryError_):
+        mem.load(64, 1)
+    with pytest.raises(MemoryError_):
+        mem.load(60, 8)
+    with pytest.raises(MemoryError_):
+        mem.store(-1, 1, 0)
+
+
+def test_bulk_read_write():
+    mem = Memory(size=64)
+    mem.write_bytes(8, b"hello")
+    assert mem.read_bytes(8, 5) == b"hello"
+
+
+@given(addr=st.integers(min_value=0, max_value=1016),
+       value=st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_u64_roundtrip(addr, value):
+    mem = Memory(size=1024)
+    mem.store_u64(addr, value)
+    assert mem.load_u64(addr) == value
+
+
+@given(value=st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+def test_signed_u64_roundtrip(value):
+    mem = Memory(size=64)
+    mem.store(0, 8, value)
+    assert mem.load(0, 8, signed=True) == value

@@ -1,0 +1,107 @@
+"""Tests for the instruction- and bytecode-level tracers."""
+
+from repro.engines.lua import vm as lua_vm
+from repro.isa.assembler import assemble
+from repro.sim.cpu import Cpu
+from repro.sim.memory import Memory
+from repro.sim.trace import BytecodeTracer, InstructionTracer
+
+
+def test_instruction_tracer_records_effects():
+    program = assemble("""
+        li a0, 5
+        li a1, 7
+        add a2, a0, a1
+        ebreak
+    """)
+    cpu = Cpu(program, Memory(size=4096))
+    tracer = InstructionTracer(cpu, limit=None)
+    tracer.run()
+    text = tracer.format()
+    assert "add a2, a0, a1" in text
+    assert "a2=0xc" in text
+    assert len(tracer.entries) == 4
+
+
+def test_instruction_tracer_ring_buffer():
+    program = assemble("""
+        li a0, 100
+    loop:
+        addi a0, a0, -1
+        bnez a0, loop
+        ebreak
+    """)
+    cpu = Cpu(program, Memory(size=4096))
+    tracer = InstructionTracer(cpu, limit=10)
+    tracer.run()
+    assert len(tracer.entries) == 10  # only the tail is kept
+    assert tracer.entries[-1].text == "ebreak"
+
+
+def test_instruction_tracer_marks_typed_effects():
+    from repro.isa.extension import arithmetic_rules
+    from repro.sim.tagio import TagCodec
+    memory = Memory(size=1 << 16)
+    memory.store_u64(0x100, 4)
+    memory.store_u64(0x108, 19)
+    program = assemble("""
+        li a0, 0b001
+        setoffset a0
+        li a0, 0x100
+        tld t0, 0(a0)
+        thdl slow
+        xadd t1, t0, t0
+        ebreak
+    slow:
+        ebreak
+    """)
+    codec = TagCodec(fp_tags={3})
+    cpu = Cpu(program, memory, tag_codec=codec)
+    cpu.trt.load_rules(arithmetic_rules(19, 3))
+    tracer = InstructionTracer(cpu, limit=None)
+    tracer.run()
+    text = tracer.format()
+    assert "[tag=19]" in text  # tagged load/ALU effects are visible
+
+
+def test_instruction_tracer_marks_mispredict():
+    memory = Memory(size=1 << 16)
+    memory.store_u64(0x100, 4)
+    memory.store_u64(0x108, 19)
+    program = assemble("""
+        li a0, 0b001
+        setoffset a0
+        li a0, 0x100
+        tld t0, 0(a0)
+        thdl slow
+        xadd t1, t0, t0
+        ebreak
+    slow:
+        ebreak
+    """)
+    from repro.sim.tagio import TagCodec
+    cpu = Cpu(program, memory, tag_codec=TagCodec(fp_tags={3}))
+    # Empty TRT: the xadd must mispredict.
+    tracer = InstructionTracer(cpu, limit=None)
+    tracer.run()
+    assert "!type-mispredict" in tracer.format()
+
+
+def test_bytecode_tracer_on_minilua():
+    cpu, _runtime, program = lua_vm.prepare(
+        "local s = 0 for i = 1, 3 do s = s + i end print(s)",
+        config="baseline")
+    _program, attribution = lua_vm.interpreter_program("baseline")
+    entry_points = {}
+    for index, entry_id in enumerate(attribution.entry_of):
+        if entry_id >= 0:
+            entry_points[program.base + 4 * index] = \
+                attribution.entry_names[entry_id]
+    tracer = BytecodeTracer(cpu, entry_points)
+    tracer.run()
+    assert tracer.counts["FORLOOP"] == 4  # 3 iterations + exit check
+    assert tracer.counts["ADD"] == 3
+    assert tracer.counts["CALL"] == 1  # print
+    stream = list(tracer.trace)
+    assert stream[-1] in ("RETURN0", "RETURN")
+    assert "ADD" in tracer.format()

@@ -1,0 +1,100 @@
+"""Cache model tests: mapping, associativity, LRU."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.uarch.cache import Cache
+from repro.uarch.config import CacheConfig
+
+
+def small_cache(ways=2, sets=4, line=64):
+    return Cache(CacheConfig(size_bytes=ways * sets * line, ways=ways,
+                             line_bytes=line))
+
+
+def test_cold_miss_then_hit():
+    cache = small_cache()
+    assert cache.access(0x1000) is False
+    assert cache.access(0x1000) is True
+    assert cache.access(0x1008) is True  # same 64B line
+    assert cache.misses == 1
+    assert cache.accesses == 3
+
+
+def test_set_mapping_no_conflict_across_sets():
+    cache = small_cache(ways=1, sets=4)
+    assert cache.access(0 * 64) is False
+    assert cache.access(1 * 64) is False
+    assert cache.access(2 * 64) is False
+    assert cache.access(0 * 64) is True  # different sets, no eviction
+
+
+def test_conflict_eviction_direct_mapped():
+    cache = small_cache(ways=1, sets=4)
+    stride = 4 * 64  # same set
+    assert cache.access(0) is False
+    assert cache.access(stride) is False  # evicts line 0
+    assert cache.access(0) is False        # miss again
+
+
+def test_lru_replacement_order():
+    cache = small_cache(ways=2, sets=1)
+    cache.access(0 * 64)   # A
+    cache.access(1 * 64)   # B
+    cache.access(0 * 64)   # touch A -> B is LRU
+    cache.access(2 * 64)   # C evicts B
+    assert cache.access(0 * 64) is True   # A survived
+    assert cache.access(1 * 64) is False  # B evicted
+
+
+def test_flush_invalidates():
+    cache = small_cache()
+    cache.access(0x40)
+    cache.flush()
+    assert cache.access(0x40) is False
+
+
+def test_contains_is_non_intrusive():
+    cache = small_cache()
+    cache.access(0x40)
+    accesses = cache.accesses
+    assert cache.contains(0x40)
+    assert not cache.contains(0x4000)
+    assert cache.accesses == accesses
+
+
+def test_default_16kb_geometry():
+    config = CacheConfig()
+    assert config.sets == 64
+    cache = Cache(config)
+    # 64 sets x 4 ways x 64B: 256 distinct lines fit without eviction.
+    for i in range(256):
+        cache.access(i * 64)
+    assert cache.misses == 256
+    for i in range(256):
+        assert cache.access(i * 64) is True
+
+
+@given(addresses=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=200))
+def test_working_set_within_capacity_always_hits_second_pass(addresses):
+    """Property: any set of <= ways distinct lines per set re-hits."""
+    cache = small_cache(ways=4, sets=8)
+    lines = {addr >> 6 for addr in addresses}
+    per_set = {}
+    for line in lines:
+        per_set.setdefault(line % 8, []).append(line)
+    if any(len(v) > 4 for v in per_set.values()):
+        return  # exceeds associativity; no guarantee
+    for addr in addresses:
+        cache.access(addr)
+    for addr in addresses:
+        assert cache.access(addr) is True
+
+
+def test_miss_rate_property():
+    cache = small_cache()
+    assert cache.miss_rate == 0.0
+    cache.access(0)
+    assert cache.miss_rate == 1.0
+    cache.access(0)
+    assert cache.miss_rate == 0.5

@@ -1,0 +1,233 @@
+"""Timing model tests: cycle accounting invariants and attribution."""
+
+from repro.isa.assembler import assemble
+from repro.sim.cpu import Cpu
+from repro.sim.hostcall import HostInterface
+from repro.sim.memory import Memory
+from repro.uarch.config import DEFAULT_CONFIG
+from repro.uarch.dram import Dram
+from repro.uarch.pipeline import Attribution, Machine
+
+
+def timed_run(text, setup=None, attribution_spec=None):
+    program = assemble(text)
+    cpu = Cpu(program, Memory(size=1 << 16))
+    if setup:
+        setup(cpu)
+    attribution = None
+    if attribution_spec:
+        ranges, entries = attribution_spec(program)
+        attribution = Attribution(program, ranges, entries)
+    machine = Machine(cpu, attribution=attribution)
+    counters = machine.run(max_instructions=1_000_000)
+    return machine, counters
+
+
+def test_cycles_at_least_instructions():
+    _, counters = timed_run("""
+        li a0, 100
+    loop:
+        addi a0, a0, -1
+        bnez a0, loop
+        ebreak
+    """)
+    assert counters.cycles >= counters.instructions
+    assert counters.core_instructions == 1 + 100 * 2 + 1
+
+
+def test_loop_branch_becomes_predicted():
+    _, counters = timed_run("""
+        li a0, 1000
+    loop:
+        addi a0, a0, -1
+        bnez a0, loop
+        ebreak
+    """)
+    # A monotone loop branch should mispredict only a handful of times.
+    assert counters.branches == 1000
+    assert counters.branch_mispredicts < 20
+
+
+def test_icache_miss_charged_once_per_line():
+    _, counters = timed_run("li a0, 1\nebreak")
+    assert counters.icache_misses == 1  # everything fits one 64B line
+    _, counters = timed_run("\n".join(["addi a0, a0, 1"] * 64) + "\nebreak")
+    # 65 instructions = 260 bytes = 5 lines.
+    assert counters.icache_misses == 5
+
+
+def test_dcache_locality():
+    machine, counters = timed_run("""
+        li a0, 0x1000
+        li a1, 64
+    loop:
+        ld a2, 0(a0)
+        ld a3, 8(a0)
+        addi a0, a0, 16
+        addi a1, a1, -1
+        bnez a1, loop
+        ebreak
+    """)
+    assert counters.dcache_accesses == 128
+    # 64 iterations x 16B = 1KB = 16 lines -> 16 cold misses.
+    assert counters.dcache_misses == 16
+
+
+def test_load_use_stall_charged():
+    _, fast = timed_run("""
+        li a0, 0x1000
+        ld a1, 0(a0)
+        nop
+        add a2, a1, a1
+        ebreak
+    """)
+    _, slow = timed_run("""
+        li a0, 0x1000
+        ld a1, 0(a0)
+        add a2, a1, a1
+        ebreak
+    """)
+    assert slow.load_use_stalls == 1
+    assert fast.load_use_stalls == 0
+
+
+def test_div_slower_than_add():
+    base = "li a0, 100\nli a1, 7\n%s\nebreak"
+    _, add_counters = timed_run(base % "add a2, a0, a1")
+    _, div_counters = timed_run(base % "div a2, a0, a1")
+    assert div_counters.cycles > add_counters.cycles + 20
+
+
+def test_host_call_charges_instructions_and_cycles():
+    program_text = """
+        li a7, 7
+        ecall
+        ebreak
+    """
+    program = assemble(program_text)
+    cpu = Cpu(program, Memory(size=1 << 16))
+    host = HostInterface()
+    host.register(7, "stub", lambda cpu_, *args: 0, cost=500)
+    cpu.host = host
+    machine = Machine(cpu)
+    counters = machine.run()
+    assert counters.host_instructions == 500
+    assert counters.host_calls == 1
+    assert counters.cycles >= 500  # host cycles charged
+    assert counters.instructions == counters.core_instructions + 500
+
+
+def test_type_redirect_penalty():
+    """A type misprediction pays the same redirect penalty as a branch."""
+    from repro.isa.extension import arithmetic_rules
+    from repro.sim.tagio import TagCodec
+
+    def build(rules):
+        program = assemble("""
+            li a0, 0x1000
+            tld t0, 0(a0)
+            tld t1, 16(a0)
+            thdl slow
+            xadd t2, t0, t1
+            ebreak
+        slow:
+            ebreak
+        """)
+        codec = TagCodec(fp_tags={3})
+        codec.set_offset(0b001)
+        cpu = Cpu(program, Memory(size=1 << 16), tag_codec=codec)
+        cpu.mem.store_u64(0x1000, 1)
+        cpu.mem.store_u64(0x1008, 19)
+        cpu.mem.store_u64(0x1010, 2)
+        cpu.mem.store_u64(0x1018, 19)
+        cpu.trt.load_rules(rules)
+        return Machine(cpu)
+
+    hit = build(arithmetic_rules(19, 3)).run()
+    miss = build([]).run()
+    assert miss.type_misses == 1
+    assert hit.type_hits == 1
+    # The miss run executes fewer instructions (skips nothing here but
+    # redirects) yet pays the redirect penalty.
+    assert miss.cycles >= hit.cycles - 2
+
+
+def test_attribution_buckets_and_entries():
+    def spec(program):
+        ranges = [("handler", program.labels["handler"],
+                   program.labels["end"])]
+        entries = {program.labels["handler"]: "ADD"}
+        return ranges, entries
+
+    _, counters = timed_run("""
+        li a0, 3
+    loop:
+        call handler
+        addi a0, a0, -1
+        bnez a0, loop
+        ebreak
+    handler:
+        addi a1, a1, 1
+        addi a1, a1, 1
+        ret
+    end:
+    """, attribution_spec=spec)
+    assert counters.bytecode_counts == {"ADD": 3}
+    assert counters.bucket_instructions == {"handler": 9}  # 3 instrs x 3
+
+
+def test_dram_open_row_faster():
+    dram = Dram(DEFAULT_CONFIG.dram)
+    first = dram.access(0x10000)
+    second = dram.access(0x10000 + 64 * DEFAULT_CONFIG.dram.banks)
+    # Same row, same bank on the second access -> open-row latency.
+    assert first == DEFAULT_CONFIG.dram.closed_row_latency
+    assert second == DEFAULT_CONFIG.dram.open_row_latency
+
+
+def test_counters_mpki_math():
+    _, counters = timed_run("""
+        li a0, 10
+    loop:
+        addi a0, a0, -1
+        bnez a0, loop
+        ebreak
+    """)
+    expected = 1000.0 * counters.branch_mispredicts / counters.instructions
+    assert abs(counters.branch_mpki - expected) < 1e-9
+    assert 0.0 < counters.ipc <= 1.0
+
+
+def test_legacy_code_runs_identically_on_typed_machine():
+    """Section 5, legacy code execution: a program using no typed
+    instructions behaves and times identically whether or not the
+    extension is present (the extension is pay-for-use)."""
+    from repro.isa.extension import arithmetic_rules
+    from repro.sim.tagio import TagCodec
+
+    text = """
+        li a0, 200
+        li a1, 0
+    loop:
+        add a1, a1, a0
+        ld t0, 0x100(zero)
+        sd t0, 0x108(zero)
+        addi a0, a0, -1
+        bnez a0, loop
+        ebreak
+    """
+    def run(with_extension):
+        program = assemble(text)
+        cpu = Cpu(program, Memory(size=1 << 16))
+        if with_extension:
+            cpu.codec = TagCodec(fp_tags={3})
+            cpu.trt.load_rules(arithmetic_rules(19, 3))
+        machine = Machine(cpu)
+        return machine.run(), cpu
+
+    base_counters, base_cpu = run(False)
+    typed_counters, typed_cpu = run(True)
+    assert base_counters.cycles == typed_counters.cycles
+    assert base_counters.as_dict() == typed_counters.as_dict()
+    assert typed_cpu.regs.value == base_cpu.regs.value
+    assert typed_counters.type_hits == typed_counters.type_misses == 0

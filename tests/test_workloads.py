@@ -1,0 +1,137 @@
+"""Workload correctness: known answers and Lua/JS agreement.
+
+The benchmark kernels run at reduced scales here; numeric answers are
+checked against independently computed references.
+"""
+
+import pytest
+
+from repro.bench.workloads import BENCHMARK_ORDER, WORKLOADS, workload
+from repro.engines.js import run_js
+from repro.engines.lua import run_lua
+
+# Small scales so the full matrix stays fast in CI.
+TEST_SCALES = {
+    "ackermann": 2,        # ack(3, 2) = 29
+    "binary-trees": 4,
+    "fannkuch-redux": 4,   # checksum 4, maxflips 4
+    "fibo": 10,            # 55
+    "k-nucleotide": 40,
+    "mandelbrot": 4,
+    "n-body": 3,
+    "n-sieve": 100,        # 25 primes
+    "pidigits": 6,         # 314159
+    "random": 60,
+    "spectral-norm": 3,
+}
+
+
+@pytest.fixture(scope="module")
+def outputs():
+    collected = {}
+    for name in BENCHMARK_ORDER:
+        spec = WORKLOADS[name]
+        scale = TEST_SCALES[name]
+        collected[name] = {
+            "lua": run_lua(spec.lua_source(scale), "baseline").output,
+            "js": run_js(spec.js_source(scale), "baseline").output,
+        }
+    return collected
+
+
+def test_workload_catalogue_matches_table7():
+    assert len(WORKLOADS) == 11
+    assert set(BENCHMARK_ORDER) == {
+        "ackermann", "binary-trees", "fannkuch-redux", "fibo",
+        "k-nucleotide", "mandelbrot", "n-body", "n-sieve", "pidigits",
+        "random", "spectral-norm"}
+
+
+def test_workload_lookup():
+    assert workload("fibo").name == "fibo"
+    with pytest.raises(KeyError):
+        workload("nope")
+
+
+def test_ackermann_value(outputs):
+    assert outputs["ackermann"]["lua"] == "29\n"
+    assert outputs["ackermann"]["js"] == "29\n"
+
+
+def test_fibo_value(outputs):
+    assert outputs["fibo"]["lua"] == "55\n"
+    assert outputs["fibo"]["js"] == "55\n"
+
+
+def test_nsieve_value(outputs):
+    assert outputs["n-sieve"]["lua"] == "25\n"
+    assert outputs["n-sieve"]["js"] == "25\n"
+
+
+def test_fannkuch_value(outputs):
+    # fannkuch(4): checksum 4, max flips 4 (known reference values).
+    assert outputs["fannkuch-redux"]["lua"] == "4\n4\n"
+    assert outputs["fannkuch-redux"]["js"] == "4\n4\n"
+
+
+def test_pidigits_value(outputs):
+    # The spigot buffers one predigit, so n iterations emit n-1 digits.
+    assert outputs["pidigits"]["lua"] == "31415\n"
+    assert outputs["pidigits"]["js"] == "31415\n"
+
+
+def test_binary_trees_value(outputs):
+    # sum over d=1..4 of nodes(2^(d+1)-1) = 3+7+15+31 = 56
+    assert outputs["binary-trees"]["lua"] == "56\n"
+    assert outputs["binary-trees"]["js"] == "56\n"
+
+
+def test_nbody_energy_matches_clbg_reference(outputs):
+    initial, final = outputs["n-body"]["lua"].splitlines()
+    assert abs(float(initial) - (-0.169075164)) < 1e-8
+    assert abs(float(final) - float(initial)) < 1e-4  # near-conserved
+
+
+def test_knucleotide_counts_sum(outputs):
+    for lang in ("lua", "js"):
+        lines = outputs["k-nucleotide"][lang].splitlines()
+        assert len(lines) == 16
+        total = sum(int(line.split()[1]) for line in lines)
+        assert total == TEST_SCALES["k-nucleotide"] - 1
+
+
+def test_mandelbrot_prints_checksum(outputs):
+    for lang in ("lua", "js"):
+        lines = outputs["mandelbrot"][lang].splitlines()
+        assert lines[-1].isdigit()
+
+
+def test_spectral_norm_approximates_reference(outputs):
+    # The power-method estimate approaches 1.274... as n grows; at n=3 it
+    # should already be in the right neighbourhood.
+    for lang in ("lua", "js"):
+        value = float(outputs["spectral-norm"][lang])
+        assert 1.1 < value < 1.3
+
+
+def test_random_matches_lcg_reference(outputs):
+    seed = 42
+    for _ in range(TEST_SCALES["random"]):
+        seed = (seed * 3877 + 29573) % 139968
+    expected = 100.0 * seed / 139968
+    for lang in ("lua", "js"):
+        assert abs(float(outputs["random"][lang]) - expected) < 1e-9
+
+
+@pytest.mark.parametrize("name", BENCHMARK_ORDER)
+def test_lua_js_numeric_agreement(outputs, name):
+    """Both language versions compute the same numbers (formatting may
+    differ in float precision)."""
+    lua_lines = outputs[name]["lua"].split()
+    js_lines = outputs[name]["js"].split()
+    assert len(lua_lines) == len(js_lines)
+    for lua_token, js_token in zip(lua_lines, js_lines):
+        try:
+            assert abs(float(lua_token) - float(js_token)) < 1e-9
+        except ValueError:
+            assert lua_token == js_token
