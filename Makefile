@@ -1,0 +1,26 @@
+PYTHON ?= python
+JOBS ?=
+
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test sweep sweep-full figures clean-cache
+
+# Tier-1 verification.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# CI smoke: 2-cell cold+warm parallel sweep against a temp disk cache;
+# fails unless the warm pass is pure cache hits with identical records.
+sweep:
+	$(PYTHON) -m repro sweep --smoke $(if $(JOBS),--jobs $(JOBS))
+
+# The full matrix + figures (disk-cached, all cores by default).
+sweep-full:
+	$(PYTHON) -m repro sweep $(if $(JOBS),--jobs $(JOBS))
+
+# Regenerate benchmarks/results/ (shares the sweep via the disk cache).
+figures:
+	$(PYTHON) -m pytest -q benchmarks/
+
+clean-cache:
+	rm -rf benchmarks/.cache

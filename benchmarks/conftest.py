@@ -1,23 +1,42 @@
 """Shared fixtures for the figure/table regeneration benchmarks.
 
-The full (engine x benchmark x config) sweep is simulated once per
-session; every figure aggregates from it.  Rendered figures are written
-to ``benchmarks/results/`` so the regenerated rows can be diffed against
-the paper.
+The full (engine x benchmark x config) sweep is simulated once and
+shared three ways: per session (the ``matrix`` fixture), across cores
+(:func:`repro.bench.experiments.sweep` shards cache misses over a
+process pool) and across pytest *processes* (results persist in the
+content-addressed disk cache under ``benchmarks/.cache/``, so a repeat
+run of this suite re-simulates nothing until the source tree changes).
+
+Environment knobs:
+
+* ``REPRO_JOBS``       — worker count for the sweep (default: all cores),
+* ``REPRO_DISK_CACHE`` — set to ``0`` to disable the persistent cache,
+* ``REPRO_CACHE_DIR``  — override the cache location.
+
+Rendered figures are written to ``benchmarks/results/`` so the
+regenerated rows can be diffed against the paper.
 """
 
+import os
 import pathlib
 
 import pytest
 
-from repro.bench.runner import run_matrix, verify_outputs_match
+from repro.bench import cache as result_cache
+from repro.bench import experiments
+from repro.bench.runner import verify_outputs_match
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+CACHE_DIR = pathlib.Path(__file__).parent / ".cache"
 
 
 @pytest.fixture(scope="session")
 def matrix():
-    records = run_matrix()
+    if os.environ.get("REPRO_DISK_CACHE", "1") != "0":
+        result_cache.configure(
+            os.environ.get(result_cache.CACHE_ENV) or CACHE_DIR)
+    jobs = int(os.environ.get("REPRO_JOBS", "0")) or None
+    records = experiments.sweep(jobs=jobs)
     mismatches = verify_outputs_match(records)
     assert not mismatches, \
         "configs disagree on program output: %s" % mismatches

@@ -1,5 +1,10 @@
 """Benchmark workloads, the experiment runner, and figure/table
-regeneration for the paper's evaluation section."""
+regeneration for the paper's evaluation section.
+
+Sweep machinery: :mod:`repro.bench.runner` (serial, memoised),
+:mod:`repro.bench.parallel` (sharded across cores) and
+:mod:`repro.bench.cache` (content-addressed persistent results).
+"""
 
 from repro.bench.workloads import WORKLOADS, Workload, workload
 

@@ -1,0 +1,228 @@
+"""Content-addressed on-disk cache for benchmark :class:`RunRecord`\\ s.
+
+The full (engine x benchmark x config) sweep behind the Section-7
+figures is expensive (~50M simulated instructions) but perfectly
+reproducible: the simulator is deterministic, so a run is a pure
+function of the source tree and the cell key.  This module persists
+each cell as JSON under
+
+    <root>/<tree_hash>/<engine>-<benchmark>-<config>-s<scale>.json
+
+where ``tree_hash`` digests every ``.py`` file of the ``repro``
+package.  Any source change therefore starts from an empty cache —
+no staleness heuristics, no manual invalidation; old tree directories
+are simply dead weight (see :meth:`ResultCache.prune`).
+
+The process-wide cache is opt-in: :func:`configure` (or the
+``REPRO_CACHE_DIR`` environment variable) enables it, after which
+``repro.bench.runner.run_benchmark`` transparently reads and writes
+it.  ``benchmarks/conftest.py`` and the ``sweep`` CLI configure it by
+default so repeat runs of the figure suite are near-instant.
+"""
+
+import contextlib
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+
+from repro.uarch.counters import Counters
+
+#: Environment variable that both overrides the default cache root and
+#: enables the process-wide cache when set.
+CACHE_ENV = "REPRO_CACHE_DIR"
+
+#: Bumped whenever the on-disk payload shape changes; a version
+#: mismatch is treated as a miss.
+FORMAT_VERSION = 1
+
+_TREE_HASHES = {}
+
+
+def default_cache_dir():
+    """``$REPRO_CACHE_DIR`` when set, else ``~/.cache/typedarch``."""
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "typedarch"
+
+
+def source_tree_hash(root=None):
+    """Digest of every ``.py`` file under ``root`` (default: the
+    installed ``repro`` package) — the cache's invalidation key.
+
+    Memoised per root: the tree is assumed immutable for the life of
+    the process, matching how the simulator itself is loaded once.
+    """
+    if root is None:
+        import repro
+        root = pathlib.Path(repro.__file__).parent
+    root = pathlib.Path(root).resolve()
+    cached = _TREE_HASHES.get(root)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(hashlib.sha256(path.read_bytes()).digest())
+    tree = digest.hexdigest()[:20]
+    _TREE_HASHES[root] = tree
+    return tree
+
+
+class ResultCache:
+    """One cache root; counts its own hits/misses/stores.
+
+    ``tree_hash`` may be overridden (tests use this to simulate a
+    source change without editing files).
+    """
+
+    def __init__(self, root=None, tree_hash=None):
+        self.root = pathlib.Path(root) if root is not None \
+            else default_cache_dir()
+        self.tree_hash = tree_hash or source_tree_hash()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @property
+    def tree_dir(self):
+        return self.root / self.tree_hash
+
+    def path_for(self, engine, benchmark, config, scale):
+        return self.tree_dir / ("%s-%s-%s-s%d.json"
+                                % (engine, benchmark, config, scale))
+
+    def __len__(self):
+        try:
+            return sum(1 for _ in self.tree_dir.glob("*.json"))
+        except OSError:
+            return 0
+
+    def load(self, engine, benchmark, config, scale):
+        """Return the cached :class:`RunRecord`, or ``None`` on a miss
+        (absent, unreadable, corrupt or version-mismatched file)."""
+        from repro.bench.runner import RunRecord
+        path = self.path_for(engine, benchmark, config, scale)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) \
+                or payload.get("version") != FORMAT_VERSION:
+            self.misses += 1
+            return None
+        try:
+            record = RunRecord(
+                engine=engine, benchmark=benchmark, config=config,
+                scale=scale, output=payload["output"],
+                counters=Counters.from_dict(payload["counters"]))
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def store(self, record):
+        """Persist one record atomically (write-to-temp + rename, so a
+        concurrent reader or a crashed worker never sees a torn file)."""
+        path = self.path_for(record.engine, record.benchmark,
+                             record.config, record.scale)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": FORMAT_VERSION,
+            "tree": self.tree_hash,
+            "engine": record.engine,
+            "benchmark": record.benchmark,
+            "config": record.config,
+            "scale": record.scale,
+            "output": record.output,
+            "counters": record.counters.as_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+        self.stores += 1
+
+    def clear(self):
+        """Delete every record of the current tree."""
+        for path in self.tree_dir.glob("*.json"):
+            with contextlib.suppress(OSError):
+                path.unlink()
+
+    def prune(self):
+        """Delete record directories left behind by older source trees."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for entry in self.root.iterdir():
+            if entry.is_dir() and entry.name != self.tree_hash:
+                for path in entry.glob("*"):
+                    with contextlib.suppress(OSError):
+                        path.unlink()
+                with contextlib.suppress(OSError):
+                    entry.rmdir()
+                    removed += 1
+        return removed
+
+
+# -- process-wide cache ----------------------------------------------------------
+
+_ACTIVE = None
+_CONFIGURED = False
+
+
+def active_cache():
+    """The process-wide cache, or ``None`` when disk caching is off.
+
+    Never configured explicitly, the cache auto-enables only when
+    ``REPRO_CACHE_DIR`` is set — plain unit-test runs stay free of
+    surprise writes to the user's home directory.
+    """
+    global _ACTIVE, _CONFIGURED
+    if not _CONFIGURED:
+        _CONFIGURED = True
+        if os.environ.get(CACHE_ENV):
+            _ACTIVE = ResultCache()
+    return _ACTIVE
+
+
+def configure(root=None, tree_hash=None):
+    """Enable the process-wide cache at ``root`` (default dir when
+    ``None``); returns the previously active cache (or ``None``)."""
+    global _ACTIVE, _CONFIGURED
+    previous = _ACTIVE
+    _ACTIVE = ResultCache(root=root, tree_hash=tree_hash)
+    _CONFIGURED = True
+    return previous
+
+
+def disable():
+    """Turn the process-wide cache off; returns the previous cache."""
+    global _ACTIVE, _CONFIGURED
+    previous = _ACTIVE
+    _ACTIVE = None
+    _CONFIGURED = True
+    return previous
+
+
+@contextlib.contextmanager
+def temporary(root, tree_hash=None):
+    """Context manager: swap in a cache at ``root``, restore after."""
+    global _ACTIVE, _CONFIGURED
+    previous, was_configured = _ACTIVE, _CONFIGURED
+    _ACTIVE = ResultCache(root=root, tree_hash=tree_hash)
+    _CONFIGURED = True
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE, _CONFIGURED = previous, was_configured

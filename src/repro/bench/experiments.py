@@ -17,6 +17,24 @@ from repro.hw.synthesis import edp_improvement, synthesize
 from repro.uarch.config import table6_rows
 
 
+def sweep(engines=ENGINES, benchmarks=None, configs=CONFIGS, scales=None,
+          jobs=None, use_cache=True, progress=None):
+    """The one sweep behind every figure: cache-aware and sharded.
+
+    Thin front door over :func:`repro.bench.parallel.run_matrix_parallel`
+    — resolves disk-cache hits first, shards the misses over ``jobs``
+    workers (default: all cores), and returns the canonical
+    ``{(engine, benchmark, config): record}`` dict.  With the disk
+    cache configured (see :mod:`repro.bench.cache`), concurrent pytest
+    processes and repeat invocations share one sweep.
+    """
+    from repro.bench.parallel import run_matrix_parallel
+    return run_matrix_parallel(
+        engines=engines, benchmarks=benchmarks or BENCHMARK_ORDER,
+        configs=configs, scales=scales, max_workers=jobs,
+        use_cache=use_cache, progress=progress)
+
+
 def geomean(values):
     """Geometric mean of positive values."""
     values = list(values)

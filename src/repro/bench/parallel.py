@@ -1,0 +1,154 @@
+"""Shard the benchmark matrix across cores.
+
+The (engine x benchmark x config) sweep is embarrassingly parallel:
+every cell is an independent, deterministic simulation.
+:func:`run_matrix_parallel` resolves cache hits in the parent (memory
+first, then the disk cache of :mod:`repro.bench.cache`), ships only
+the misses to a :class:`~concurrent.futures.ProcessPoolExecutor`, and
+falls back to the in-process serial path when one worker (or no pool
+at all) is available — results are identical either way, cell by
+cell, because the simulator is deterministic.
+
+Workers run each cell with ``use_cache=False``; the parent alone
+publishes results to the memory and disk caches, so cache writes are
+single-writer regardless of pool size (the disk cache's atomic
+rename makes even racing processes safe).
+"""
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+
+from repro.bench import cache as result_cache
+from repro.bench import runner
+from repro.bench.runner import ENGINES
+from repro.bench.workloads import BENCHMARK_ORDER
+from repro.engines import CONFIGS
+
+
+@dataclass
+class CellProgress:
+    """One progress/metrics event, emitted per completed cell."""
+
+    key: tuple        #: (engine, benchmark, config)
+    scale: int
+    cached: bool      #: satisfied from the memory/disk cache
+    seconds: float    #: wall-clock simulation time (0.0 for hits)
+    instructions: int  #: total dynamic instructions of the cell
+    completed: int    #: cells finished so far, this sweep
+    total: int        #: cells in the sweep
+    cache_hits: int   #: cache hits so far, this sweep
+
+    @property
+    def throughput(self):
+        """Simulated instructions per second (0.0 for cache hits)."""
+        return self.instructions / self.seconds if self.seconds else 0.0
+
+
+def matrix_cells(engines=ENGINES, benchmarks=BENCHMARK_ORDER,
+                 configs=CONFIGS, scales=None):
+    """The sweep's cells as (engine, benchmark, config, scale) tuples,
+    in the canonical (serial ``run_matrix``) order."""
+    cells = []
+    for engine in engines:
+        for benchmark in benchmarks:
+            scale = runner.resolve_scale(benchmark,
+                                         (scales or {}).get(benchmark))
+            for config in configs:
+                cells.append((engine, benchmark, config, scale))
+    return cells
+
+
+def _warm_worker(engines, configs):
+    """Pool initializer: assemble the interpreter text for every
+    (engine, config) this worker will run, so the one-time per-process
+    setup cost is paid up front instead of inside the first cell."""
+    for engine in engines:
+        if engine == "lua":
+            from repro.engines.lua import vm as engine_vm
+        else:
+            from repro.engines.js import vm as engine_vm
+        for config in configs:
+            engine_vm.interpreter_program(config)
+
+
+def _simulate_cell(cell):
+    """Worker body: simulate one cell, uncached; returns
+    (record, wall_seconds).  Must stay module-level (picklable)."""
+    engine, benchmark, config, scale = cell
+    start = time.perf_counter()
+    record = runner.run_benchmark(engine, benchmark, config, scale=scale,
+                                  use_cache=False)
+    return record, time.perf_counter() - start
+
+
+def run_matrix_parallel(engines=ENGINES, benchmarks=BENCHMARK_ORDER,
+                        configs=CONFIGS, scales=None, max_workers=None,
+                        use_cache=True, progress=None):
+    """Run the sweep across processes; returns the same
+    ``{(engine, benchmark, config): record}`` dict as
+    :func:`repro.bench.runner.run_matrix`, in the same order.
+
+    ``max_workers`` defaults to the CPU count; ``1`` (or an
+    unavailable pool) degrades gracefully to the serial in-process
+    path.  ``progress`` receives one :class:`CellProgress` per
+    completed cell, in completion order; the returned dict is ordered
+    canonically regardless.
+    """
+    cells = matrix_cells(engines, benchmarks, configs, scales)
+    total = len(cells)
+    state = {"completed": 0, "hits": 0}
+    results = {}
+
+    def report(cell, record, cached, seconds):
+        state["completed"] += 1
+        if cached:
+            state["hits"] += 1
+        if progress is not None:
+            progress(CellProgress(
+                key=cell[:3], scale=cell[3], cached=cached,
+                seconds=seconds,
+                instructions=record.counters.instructions,
+                completed=state["completed"], total=total,
+                cache_hits=state["hits"]))
+
+    disk = result_cache.active_cache() if use_cache else None
+    pending = []
+    for cell in cells:
+        record = runner.cached_record(*cell) if use_cache else None
+        if record is not None:
+            results[cell] = record
+            report(cell, record, True, 0.0)
+        else:
+            pending.append(cell)
+
+    def finish(cell, record, seconds):
+        if use_cache:
+            runner.publish(record, disk=disk)
+        results[cell] = record
+        report(cell, record, False, seconds)
+
+    workers = min(max_workers or os.cpu_count() or 1, len(pending))
+    if pending and workers > 1:
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=workers, initializer=_warm_worker,
+                    initargs=(tuple(engines), tuple(configs))) as pool:
+                futures = {pool.submit(_simulate_cell, cell): cell
+                           for cell in pending}
+                for future in as_completed(futures):
+                    record, seconds = future.result()
+                    finish(futures[future], record, seconds)
+        except Exception:
+            # Pool unavailable (sandboxed semaphores, missing /dev/shm,
+            # broken pool, unpicklable state...): anything not yet
+            # computed is re-run serially below; a real simulation bug
+            # re-raises from the serial path with a clean traceback.
+            pass
+        pending = [cell for cell in pending if cell not in results]
+    for cell in pending:
+        record, seconds = _simulate_cell(cell)
+        finish(cell, record, seconds)
+
+    return {cell[:3]: results[cell] for cell in cells}

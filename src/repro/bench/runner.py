@@ -1,11 +1,16 @@
 """Run benchmarks over the (engine, workload, config) matrix.
 
-Results are memoised per process: the figures of Section 7 all derive
-from the same sweep.
+Results are memoised at two levels: a per-process dict (``_CACHE``)
+and, when configured, the content-addressed disk cache of
+:mod:`repro.bench.cache` — the figures of Section 7 all derive from
+the same sweep, and with the disk cache enabled that sweep survives
+across processes.  For the multi-core sharded sweep see
+:func:`repro.bench.parallel.run_matrix_parallel`.
 """
 
 from dataclasses import dataclass
 
+from repro.bench import cache as result_cache
 from repro.bench.workloads import BENCHMARK_ORDER, workload
 from repro.engines import CONFIGS
 from repro.engines.js import run_js
@@ -34,13 +39,49 @@ class RunRecord:
         return sum(self.counters.bytecode_counts.values())
 
 
+def resolve_scale(benchmark, scale=None):
+    """The effective input scale for one cell."""
+    return scale or workload(benchmark).default_scale
+
+
+def cached_record(engine, benchmark, config, scale=None):
+    """Look one cell up in the memory cache, then the disk cache;
+    returns the record or ``None`` without ever simulating."""
+    scale = resolve_scale(benchmark, scale)
+    key = (engine, benchmark, config, scale)
+    if key in _CACHE:
+        return _CACHE[key]
+    disk = result_cache.active_cache()
+    if disk is not None:
+        record = disk.load(*key)
+        if record is not None:
+            _CACHE[key] = record
+            return record
+    return None
+
+
+def publish(record, disk=None):
+    """Insert an externally computed record (e.g. from a pool worker)
+    into the memory cache and, when given, the disk cache."""
+    key = (record.engine, record.benchmark, record.config, record.scale)
+    _CACHE[key] = record
+    if disk is not None:
+        disk.store(record)
+    return record
+
+
 def run_benchmark(engine, benchmark, config, scale=None, use_cache=True):
-    """Run one benchmark on one engine/config; returns a RunRecord."""
+    """Run one benchmark on one engine/config; returns a RunRecord.
+
+    ``use_cache=False`` bypasses (and leaves untouched) both the
+    per-process memoisation and the disk cache.
+    """
     spec = workload(benchmark)
     scale = scale or spec.default_scale
-    key = (engine, benchmark, config, scale)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
+    if use_cache:
+        record = cached_record(engine, benchmark, config, scale)
+        if record is not None:
+            return record
     run, source_attr = _RUNNERS[engine]
     source = getattr(spec, source_attr)(scale)
     result = run(source, config=config)
@@ -48,16 +89,20 @@ def run_benchmark(engine, benchmark, config, scale=None, use_cache=True):
                        scale=scale, output=result.output,
                        counters=result.counters)
     if use_cache:
-        _CACHE[key] = record
+        publish(record, disk=result_cache.active_cache())
     return record
 
 
 def run_matrix(engines=ENGINES, benchmarks=BENCHMARK_ORDER,
-               configs=CONFIGS, scales=None, progress=None):
-    """Run the full sweep; returns {(engine, benchmark, config): record}.
+               configs=CONFIGS, scales=None, progress=None,
+               use_cache=True):
+    """Run the full sweep serially; returns
+    {(engine, benchmark, config): record}.
 
     ``scales`` optionally overrides the per-benchmark input scale;
-    ``progress`` is an optional callback invoked with each key.
+    ``progress`` is an optional callback invoked with each key;
+    ``use_cache`` is forwarded to every :func:`run_benchmark` call so
+    callers can force an uncached sweep.
     """
     records = {}
     for engine in engines:
@@ -67,7 +112,8 @@ def run_matrix(engines=ENGINES, benchmarks=BENCHMARK_ORDER,
                 if progress is not None:
                     progress((engine, benchmark, config))
                 records[(engine, benchmark, config)] = run_benchmark(
-                    engine, benchmark, config, scale=scale)
+                    engine, benchmark, config, scale=scale,
+                    use_cache=use_cache)
     return records
 
 

@@ -3,18 +3,21 @@
 Subcommands:
 
 * ``run`` — run one benchmark on one engine/config and print counters,
-* ``sweep`` — run the full matrix and print Figures 5-9,
+* ``sweep`` — run the full matrix (sharded over ``--jobs`` workers,
+  persisted in the disk cache unless ``--no-disk-cache``) and print
+  Figures 5-9,
 * ``tables`` — print the static tables (1, 6, 7) and the Table 8 model.
 """
 
 import argparse
 import sys
 
+from repro.bench import cache as result_cache
 from repro.bench import experiments
-from repro.bench.runner import run_benchmark, run_matrix, \
+from repro.bench.runner import clear_cache, run_benchmark, \
     verify_outputs_match
 from repro.bench.workloads import BENCHMARK_ORDER
-from repro.engines import CONFIGS
+from repro.engines import BASELINE, CONFIGS, TYPED
 
 
 def _cmd_run(args):
@@ -40,11 +43,67 @@ def _cmd_run(args):
     sys.stdout.write(output)
     print("--- counters (%s model) ---" % args.model)
     for key, value in counter_view.items():
+        if isinstance(value, dict):
+            continue  # per-bytecode breakdowns; see ``profile``
         print("%-20s %s" % (key, value))
     return 0
 
 
+def _progress_printer(event):
+    engine, benchmark, config = event.key
+    status = "cache hit" if event.cached else \
+        "%.2fs, %.0fk instr/s" % (event.seconds, event.throughput / 1000.0)
+    print("[%3d/%d] %s/%s [%s] %s" % (event.completed, event.total,
+                                      engine, benchmark, config, status),
+          file=sys.stderr)
+
+
+def _configure_disk_cache(args):
+    if args.no_disk_cache:
+        result_cache.disable()
+    else:
+        result_cache.configure(args.cache_dir)
+
+
+def _cmd_sweep_smoke(args):
+    """2-cell parallel sweep against a throwaway disk cache: run cold,
+    clear the memory cache, run warm, and check the warm pass was pure
+    cache hits with identical records.  ``make sweep`` runs this."""
+    import tempfile
+    from repro.bench.parallel import run_matrix_parallel
+
+    kwargs = dict(engines=("lua",), benchmarks=("fibo",),
+                  configs=(BASELINE, TYPED), scales={"fibo": 8},
+                  max_workers=args.jobs or 2)
+    with tempfile.TemporaryDirectory() as tmp:
+        with result_cache.temporary(args.cache_dir or tmp):
+            clear_cache()
+            cold, warm = [], []
+            records = run_matrix_parallel(progress=cold.append, **kwargs)
+            clear_cache()
+            again = run_matrix_parallel(progress=warm.append, **kwargs)
+    clear_cache()
+    hits = sum(1 for event in warm if event.cached)
+    identical = list(records) == list(again) and all(
+        records[key].output == again[key].output
+        and records[key].counters == again[key].counters
+        for key in records)
+    ok = identical and len(records) == len(warm) == hits
+    print("sweep smoke: %d cells | cold hits %d | warm hits %d/%d | "
+          "records %s" % (len(records),
+                          sum(1 for event in cold if event.cached),
+                          hits, len(warm),
+                          "identical" if identical else "MISMATCH"))
+    print("sweep smoke: %s" % ("OK" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
 def _cmd_sweep(args):
+    from repro.bench.parallel import run_matrix_parallel
+
+    if args.smoke:
+        return _cmd_sweep_smoke(args)
+    _configure_disk_cache(args)
     scales = None
     if args.quick:
         scales = {name: max(2, spec.default_scale // 2)
@@ -52,11 +111,9 @@ def _cmd_sweep(args):
                   __import__("repro.bench.workloads",
                              fromlist=["WORKLOADS"]).WORKLOADS.items()}
 
-    def progress(key):
-        print("running %s/%s [%s]..." % key, file=sys.stderr)
-
-    records = run_matrix(scales=scales,
-                         progress=progress if args.verbose else None)
+    records = run_matrix_parallel(
+        scales=scales, max_workers=args.jobs,
+        progress=_progress_printer if args.verbose else None)
     mismatches = verify_outputs_match(records)
     if mismatches:
         print("OUTPUT MISMATCH across configs: %s" % mismatches)
@@ -189,6 +246,19 @@ def build_parser():
     sweep_parser.add_argument("--verbose", action="store_true")
     sweep_parser.add_argument("--json", metavar="PATH", default=None,
                               help="also dump all figure data as JSON")
+    sweep_parser.add_argument("--jobs", type=int, default=None,
+                              metavar="N",
+                              help="worker processes (default: all "
+                                   "cores; 1 forces the serial path)")
+    sweep_parser.add_argument("--no-disk-cache", action="store_true",
+                              help="skip the persistent result cache")
+    sweep_parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                              help="result cache location (default: "
+                                   "$REPRO_CACHE_DIR or "
+                                   "~/.cache/typedarch)")
+    sweep_parser.add_argument("--smoke", action="store_true",
+                              help="2-cell cold+warm parallel sweep "
+                                   "against a temp cache (CI smoke)")
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     tables_parser = sub.add_parser("tables",

@@ -74,10 +74,14 @@ class TypeRuleTable:
         return out
 
     def snapshot(self):
-        """Context-switch save of table contents."""
-        return (dict(self._rules), list(self._order))
+        """Context-switch save of table contents *and* the hit/miss
+        counters — dropping the counters would let another process's
+        type-check traffic corrupt this one's type-hit-rate statistics."""
+        return {"rules": dict(self._rules), "order": list(self._order),
+                "hits": self.hits, "misses": self.misses}
 
     def restore(self, state):
-        rules, order = state
-        self._rules = dict(rules)
-        self._order = list(order)
+        self._rules = dict(state["rules"])
+        self._order = list(state["order"])
+        self.hits = state["hits"]
+        self.misses = state["misses"]

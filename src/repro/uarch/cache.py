@@ -10,6 +10,9 @@ class Cache:
 
     def __init__(self, config):
         self.config = config
+        if config.line_bytes <= 0 or \
+                config.line_bytes & (config.line_bytes - 1):
+            raise ValueError("cache line size must be a power of two")
         self.line_shift = config.line_bytes.bit_length() - 1
         self.set_mask = config.sets - 1
         if config.sets & self.set_mask:

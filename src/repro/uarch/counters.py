@@ -6,7 +6,7 @@ total dynamic instructions (core plus charged native-library instructions)
 as the denominator, matching how the paper reports per-benchmark rates.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -70,20 +70,36 @@ class Counters:
         checks = self.type_hits + self.type_misses
         return self.type_hits / checks if checks else 0.0
 
+    #: Derived metrics included in :meth:`as_dict` for reporting but
+    #: ignored by :meth:`from_dict` (they are recomputed on demand).
+    DERIVED = ("instructions", "ipc", "cpi", "branch_mpki", "icache_mpki",
+               "dcache_mpki", "type_hit_rate")
+
     def as_dict(self):
-        """Flat scalar view for reports."""
-        return {
-            "instructions": self.instructions,
-            "core_instructions": self.core_instructions,
-            "host_instructions": self.host_instructions,
-            "cycles": self.cycles,
-            "ipc": self.ipc,
-            "branch_mpki": self.branch_mpki,
-            "icache_mpki": self.icache_mpki,
-            "dcache_mpki": self.dcache_mpki,
-            "type_hits": self.type_hits,
-            "type_misses": self.type_misses,
-            "chk_hits": self.chk_hits,
-            "chk_misses": self.chk_misses,
-            "host_calls": self.host_calls,
-        }
+        """Complete flat view: every raw counter (including the
+        per-bytecode breakdown dicts) plus the derived metrics.
+
+        ``Counters.from_dict(c.as_dict())`` round-trips exactly, which
+        is what makes :class:`repro.bench.runner.RunRecord` JSON
+        serialisable for the on-disk result cache.
+        """
+        view = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            view[spec.name] = dict(value) if isinstance(value, dict) \
+                else value
+        for name in self.DERIVED:
+            view[name] = getattr(self, name)
+        return view
+
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`as_dict`; derived/unknown keys are ignored."""
+        kwargs = {}
+        for spec in fields(cls):
+            if spec.name not in data:
+                continue
+            value = data[spec.name]
+            kwargs[spec.name] = dict(value) if isinstance(value, dict) \
+                else value
+        return cls(**kwargs)

@@ -1,0 +1,154 @@
+"""The persistent result cache: hit/miss/invalidation semantics, the
+Counters dict round-trip it relies on, and the runner integration."""
+
+import json
+
+import pytest
+
+from repro.bench import cache as result_cache
+from repro.bench import runner
+from repro.bench.cache import FORMAT_VERSION, ResultCache, source_tree_hash
+from repro.bench.runner import clear_cache, run_benchmark
+from repro.engines import BASELINE
+from repro.uarch.counters import Counters
+
+
+@pytest.fixture(scope="module")
+def record():
+    clear_cache()
+    return run_benchmark("lua", "fibo", BASELINE, scale=6, use_cache=False)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path, tree_hash="tree-a")
+
+
+def test_store_load_roundtrip(cache, record):
+    cache.store(record)
+    loaded = cache.load("lua", "fibo", BASELINE, 6)
+    assert loaded is not record
+    assert loaded == record  # dataclass equality covers the counters
+    assert loaded.counters.cycles == record.counters.cycles
+    assert loaded.counters.bytecode_counts == record.counters.bytecode_counts
+    assert loaded.counters.ipc == pytest.approx(record.counters.ipc)
+    assert (cache.hits, cache.misses, cache.stores) == (1, 0, 1)
+
+
+def test_loaded_record_is_byte_identical(cache, record):
+    cache.store(record)
+    loaded = cache.load("lua", "fibo", BASELINE, 6)
+    assert json.dumps(loaded.counters.as_dict(), sort_keys=True) \
+        == json.dumps(record.counters.as_dict(), sort_keys=True)
+    assert loaded.output == record.output
+
+
+def test_absent_cell_is_a_miss(cache):
+    assert cache.load("lua", "fibo", BASELINE, 6) is None
+    assert (cache.hits, cache.misses) == (0, 1)
+
+
+def test_invalidated_by_source_change(tmp_path, record):
+    ResultCache(tmp_path, tree_hash="tree-a").store(record)
+    changed = ResultCache(tmp_path, tree_hash="tree-b")
+    assert changed.load("lua", "fibo", BASELINE, 6) is None
+    # ...but the original tree still hits: old results are kept, not
+    # clobbered, until prune().
+    assert ResultCache(tmp_path, tree_hash="tree-a") \
+        .load("lua", "fibo", BASELINE, 6) == record
+
+
+def test_corrupt_payload_is_a_miss(cache, record):
+    cache.store(record)
+    path = cache.path_for("lua", "fibo", BASELINE, 6)
+    path.write_text("{not json")
+    assert cache.load("lua", "fibo", BASELINE, 6) is None
+
+
+def test_version_mismatch_is_a_miss(cache, record):
+    cache.store(record)
+    path = cache.path_for("lua", "fibo", BASELINE, 6)
+    payload = json.loads(path.read_text())
+    payload["version"] = FORMAT_VERSION + 1
+    path.write_text(json.dumps(payload))
+    assert cache.load("lua", "fibo", BASELINE, 6) is None
+
+
+def test_clear_and_len_and_prune(tmp_path, cache, record):
+    cache.store(record)
+    assert len(cache) == 1
+    stale = ResultCache(tmp_path, tree_hash="tree-old")
+    stale.store(record)
+    assert cache.prune() == 1  # tree-old removed, tree-a kept
+    assert len(cache) == 1
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_source_tree_hash_tracks_content(tmp_path):
+    (tmp_path / "a.py").write_text("x = 1\n")
+    first = source_tree_hash(tmp_path)
+    assert first == source_tree_hash(tmp_path)  # memoised and stable
+    other = tmp_path / "other"
+    other.mkdir()
+    (other / "a.py").write_text("x = 2\n")
+    assert source_tree_hash(other) != first
+
+
+def test_runner_reads_through_disk_cache(tmp_path, record, monkeypatch):
+    """After a warm disk cache, run_benchmark never simulates."""
+    with result_cache.temporary(tmp_path):
+        clear_cache()
+        first = run_benchmark("lua", "fibo", BASELINE, scale=6)
+        clear_cache()  # drop the per-process memoisation
+
+        def boom(*_args, **_kwargs):
+            raise AssertionError("simulated despite a warm disk cache")
+
+        monkeypatch.setattr(runner, "_RUNNERS",
+                            {"lua": (boom, "lua_source"),
+                             "js": (boom, "js_source")})
+        again = run_benchmark("lua", "fibo", BASELINE, scale=6)
+    clear_cache()
+    assert again == first
+    assert again is not first
+
+
+def test_use_cache_false_bypasses_disk(tmp_path, record):
+    with result_cache.temporary(tmp_path) as cache:
+        clear_cache()
+        run_benchmark("lua", "fibo", BASELINE, scale=6, use_cache=False)
+        assert cache.stores == 0
+        assert len(cache) == 0
+    clear_cache()
+
+
+# -- Counters round-trip (regression: as_dict omitted cpi,
+# overflow_traps, load_use_stalls and type_hit_rate) ------------------------------
+
+def test_counters_as_dict_is_complete():
+    counters = Counters(core_instructions=900, host_instructions=100,
+                        cycles=2000, load_use_stalls=7, overflow_traps=3,
+                        type_hits=30, type_misses=10)
+    view = counters.as_dict()
+    assert view["cpi"] == pytest.approx(2.0)
+    assert view["overflow_traps"] == 3
+    assert view["load_use_stalls"] == 7
+    assert view["type_hit_rate"] == pytest.approx(0.75)
+    assert view["instructions"] == 1000
+    assert view["ipc"] == pytest.approx(0.5)
+
+
+def test_counters_dict_roundtrip(record):
+    counters = record.counters
+    rebuilt = Counters.from_dict(counters.as_dict())
+    assert rebuilt == counters
+    assert rebuilt.as_dict() == counters.as_dict()
+    # derived keys must not leak into constructor arguments
+    assert Counters.from_dict(Counters().as_dict()) == Counters()
+
+
+def test_counters_roundtrip_survives_json(record):
+    encoded = json.dumps(record.counters.as_dict(), sort_keys=True)
+    rebuilt = Counters.from_dict(json.loads(encoded))
+    assert rebuilt == record.counters

@@ -192,6 +192,28 @@ def test_cli_profile(capsys):
     assert "dynamic bytecodes" in out
 
 
+def test_cli_sweep_parser_cache_flags():
+    parser = build_parser()
+    args = parser.parse_args(["sweep", "--jobs", "4", "--no-disk-cache",
+                              "--cache-dir", "/tmp/x"])
+    assert args.jobs == 4
+    assert args.no_disk_cache
+    assert args.cache_dir == "/tmp/x"
+    args = parser.parse_args(["sweep", "--smoke"])
+    assert args.smoke and args.jobs is None
+
+
+def test_cli_sweep_smoke(capsys):
+    """The ``make sweep`` smoke target: 2-cell parallel sweep, cold
+    then warm, against a throwaway disk cache."""
+    from repro.cli import main
+    assert main(["sweep", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "warm hits 2/2" in out
+    assert "records identical" in out
+    assert "sweep smoke: OK" in out
+
+
 def test_cli_trace_parser():
     parser = build_parser()
     args = parser.parse_args(["trace", "fibo", "--bytecodes",

@@ -1,0 +1,141 @@
+"""The parallel sweep: serial equivalence, cache interplay, fallback,
+progress metrics, and the run_matrix use_cache regression."""
+
+import json
+
+import pytest
+
+from repro.bench import cache as result_cache
+from repro.bench import parallel, runner
+from repro.bench.parallel import matrix_cells, run_matrix_parallel
+from repro.bench.runner import clear_cache, run_matrix
+from repro.engines import CONFIGS
+
+SMALL = dict(engines=("lua",), benchmarks=("fibo", "n-sieve"),
+             scales={"fibo": 8, "n-sieve": 60})
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def _identical(left, right):
+    assert list(left) == list(right)  # same cells, same canonical order
+    for key in left:
+        assert left[key].output == right[key].output, key
+        assert left[key].counters == right[key].counters, key
+        assert json.dumps(left[key].counters.as_dict(), sort_keys=True) \
+            == json.dumps(right[key].counters.as_dict(), sort_keys=True)
+
+
+def test_parallel_matches_serial():
+    result_cache.disable()
+    try:
+        serial = run_matrix(**SMALL)
+        clear_cache()
+        parallel_records = run_matrix_parallel(max_workers=2, **SMALL)
+    finally:
+        result_cache.disable()
+    _identical(serial, parallel_records)
+
+
+def test_serial_fallback_when_one_worker():
+    events = []
+    records = run_matrix_parallel(max_workers=1, progress=events.append,
+                                  **SMALL)
+    total = 2 * len(CONFIGS)
+    assert len(records) == total
+    assert [event.completed for event in events] == list(range(1, total + 1))
+    assert all(event.total == total for event in events)
+
+
+def test_fallback_when_pool_unavailable(monkeypatch):
+    def broken_pool(*_args, **_kwargs):
+        raise OSError("no semaphores here")
+
+    monkeypatch.setattr(parallel, "ProcessPoolExecutor", broken_pool)
+    serial = run_matrix(**SMALL)
+    clear_cache()
+    records = run_matrix_parallel(max_workers=4, **SMALL)
+    _identical(serial, records)
+
+
+def test_warm_disk_cache_simulates_nothing(tmp_path, monkeypatch):
+    with result_cache.temporary(tmp_path):
+        cold = []
+        records = run_matrix_parallel(max_workers=2,
+                                      progress=cold.append, **SMALL)
+        clear_cache()  # memory gone; only the disk knows the results
+
+        def boom(_cell):
+            raise AssertionError("simulated despite a warm disk cache")
+
+        monkeypatch.setattr(parallel, "_simulate_cell", boom)
+        warm = []
+        again = run_matrix_parallel(max_workers=2,
+                                    progress=warm.append, **SMALL)
+    assert sum(1 for event in cold if event.cached) == 0
+    assert all(event.cached for event in warm)
+    assert warm[-1].cache_hits == len(warm) == len(records)
+    _identical(records, again)
+
+
+def test_progress_reports_throughput_and_hits():
+    events = []
+    records = run_matrix_parallel(max_workers=1, progress=events.append,
+                                  **SMALL)
+    for event in events:
+        assert event.key in records
+        assert event.instructions > 0
+        assert event.scale == SMALL["scales"][event.key[1]]
+        if event.cached:
+            assert event.seconds == 0.0 and event.throughput == 0.0
+        else:
+            assert event.seconds > 0.0 and event.throughput > 0.0
+    # second pass over a warm memory cache: all hits, counted as such
+    warm = []
+    run_matrix_parallel(max_workers=1, progress=warm.append, **SMALL)
+    assert all(event.cached for event in warm)
+    assert [event.cache_hits for event in warm] \
+        == list(range(1, len(warm) + 1))
+
+
+def test_matrix_cells_order_matches_run_matrix():
+    cells = matrix_cells(**SMALL)
+    assert [cell[:3] for cell in cells] == list(run_matrix(**SMALL))
+    assert all(cell[3] == SMALL["scales"][cell[1]] for cell in cells)
+
+
+def test_use_cache_false_runs_fresh():
+    """Parallel path: use_cache=False ignores poisoned caches."""
+    seeded = run_matrix_parallel(max_workers=1, **SMALL)
+    key = next(iter(seeded))
+    poisoned = runner.RunRecord(engine=key[0], benchmark=key[1],
+                                config=key[2], scale=8,
+                                output="poisoned", counters=None)
+    runner._CACHE[key + (8,)] = poisoned
+    fresh = run_matrix_parallel(max_workers=1, use_cache=False, **SMALL)
+    assert fresh[key].output != "poisoned"
+
+
+# -- regression: run_matrix never forwarded use_cache -----------------------------
+
+def test_run_matrix_forwards_use_cache(monkeypatch):
+    seen = []
+    sentinel = runner.RunRecord(engine="lua", benchmark="fibo",
+                                config="baseline", scale=1, output="",
+                                counters=None)
+
+    def spy(engine, benchmark, config, scale=None, use_cache=True):
+        seen.append(use_cache)
+        return sentinel
+
+    monkeypatch.setattr(runner, "run_benchmark", spy)
+    run_matrix(use_cache=False, **SMALL)
+    assert seen and all(flag is False for flag in seen)
+    seen.clear()
+    run_matrix(**SMALL)
+    assert seen and all(flag is True for flag in seen)

@@ -117,3 +117,21 @@ def test_snapshot_restore():
     trt.flush()
     trt.restore(state)
     assert trt.lookup(TRT_OPCODES["xmul"], 3, 3) == 3
+
+
+def test_snapshot_restore_preserves_statistics():
+    """Regression: a context switch must not corrupt the hit/miss
+    counters that back every type-hit-rate figure."""
+    trt = TypeRuleTable()
+    trt.load_rules(arithmetic_rules(19, 3))
+    trt.lookup(TRT_OPCODES["xadd"], 19, 19)   # hit
+    trt.lookup(TRT_OPCODES["xadd"], 19, 99)   # miss
+    state = trt.snapshot()
+    # Another process runs: flush + its own traffic skews the counters.
+    trt.flush()
+    trt.lookup(TRT_OPCODES["xadd"], 1, 1)
+    trt.lookup(TRT_OPCODES["xadd"], 2, 2)
+    trt.restore(state)
+    assert (trt.hits, trt.misses) == (1, 1)
+    assert trt.lookup(TRT_OPCODES["xadd"], 19, 19) == 19
+    assert (trt.hits, trt.misses) == (2, 1)

@@ -1,5 +1,6 @@
 """Cache model tests: mapping, associativity, LRU."""
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -10,6 +11,18 @@ from repro.uarch.config import CacheConfig
 def small_cache(ways=2, sets=4, line=64):
     return Cache(CacheConfig(size_bytes=ways * sets * line, ways=ways,
                              line_bytes=line))
+
+
+def test_rejects_non_power_of_two_geometry():
+    """Regression: a 48B line used to silently truncate line_shift
+    (mapping two addresses of one line to different sets) instead of
+    being rejected like a non-power-of-two set count."""
+    with pytest.raises(ValueError, match="line size"):
+        small_cache(ways=2, sets=4, line=48)
+    with pytest.raises(ValueError, match="line size"):
+        Cache(CacheConfig(size_bytes=768, ways=2, line_bytes=0))
+    with pytest.raises(ValueError, match="set count"):
+        small_cache(ways=2, sets=3, line=64)
 
 
 def test_cold_miss_then_hit():
