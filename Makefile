@@ -3,11 +3,15 @@ JOBS ?=
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test sweep sweep-full figures clean-cache
+.PHONY: test lint sweep sweep-full figures clean-cache
 
 # Tier-1 verification.
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Style/correctness lint: ruff when installed, AST fallback otherwise.
+lint:
+	$(PYTHON) tools/lint.py
 
 # CI smoke: 2-cell cold+warm parallel sweep against a temp disk cache;
 # fails unless the warm pass is pure cache hits with identical records.

@@ -1,0 +1,11 @@
+-- A tight numeric loop: mostly integer ADD/MUL with a float mix at the
+-- end, so the profile shows the ALU bytecodes hot and every type check
+-- landing on the int/int and float/float TRT entries.
+local acc = 0
+local x = 1.5
+for i = 1, 400 do
+  acc = acc + i * 3
+  x = x * 1.000244140625
+end
+print(acc)
+print(x > 1.0)

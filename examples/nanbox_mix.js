@@ -1,0 +1,16 @@
+// Mixed int32/double arithmetic under NaN boxing: the int32 adds hit
+// the TRT until the accumulator overflows 32 bits mid-loop, which
+// raises the overflow trap and retypes the value as a double — the
+// exact transition Section 3.2 motivates (visible in the profile as
+// xadd(int32, int32) misses next to double hits).
+var small = 0;
+var big = 2000000000;
+var d = 0.5;
+for (var i = 0; i < 300; i = i + 1) {
+  small = small + i;
+  big = big + 1000000;
+  d = d + 0.25;
+}
+print(small);
+print(big);
+print(d);

@@ -34,8 +34,9 @@ from repro.uarch.counters import Counters
 CACHE_ENV = "REPRO_CACHE_DIR"
 
 #: Bumped whenever the on-disk payload shape changes; a version
-#: mismatch is treated as a miss.
-FORMAT_VERSION = 1
+#: mismatch is treated as a miss.  Version 2 added the optional
+#: ``telemetry`` summary and the flat/TRT attribution counters.
+FORMAT_VERSION = 2
 
 _TREE_HASHES = {}
 
@@ -119,7 +120,8 @@ class ResultCache:
             record = RunRecord(
                 engine=engine, benchmark=benchmark, config=config,
                 scale=scale, output=payload["output"],
-                counters=Counters.from_dict(payload["counters"]))
+                counters=Counters.from_dict(payload["counters"]),
+                telemetry=payload.get("telemetry"))
         except (KeyError, TypeError):
             self.misses += 1
             return None
@@ -141,6 +143,7 @@ class ResultCache:
             "scale": record.scale,
             "output": record.output,
             "counters": record.counters.as_dict(),
+            "telemetry": record.telemetry,
         }
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:

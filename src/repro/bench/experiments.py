@@ -107,7 +107,8 @@ def figure2a(records, engine="lua"):
 def render_figure2a(breakdown, top=8):
     rows = []
     for benchmark, fractions in breakdown.items():
-        ranked = sorted(fractions.items(), key=lambda kv: -kv[1])[:top]
+        ranked = sorted(fractions.items(),
+                        key=lambda kv: (-kv[1], kv[0]))[:top]
         rows.append((benchmark,
                      "  ".join("%s %.1f%%" % (op, 100 * frac)
                                for op, frac in ranked)))
@@ -357,6 +358,59 @@ def render_figure9_detail(detail, engine="lua"):
         ["bytecode", "executions", "hits/exec", "misses/exec"], rows,
         title="Figure 9 detail: per-bytecode type checks (typed, %s)"
               % engine)
+
+
+def attribution(records, config=TYPED):
+    """Per-benchmark cycle and TRT-miss attribution from cached runs.
+
+    Both inputs are plain counters (``bytecode_flat_cycles`` from the
+    timing loop's span accounting, ``trt_miss_keys`` from the
+    always-on TRT miss bookkeeping), so this report works off the disk
+    cache without re-running anything and agrees exactly with what
+    ``repro profile`` would print for each cell.
+
+    Returns {engine: {benchmark: {"hot": [(opcode, cycle_share)...],
+    "trt_misses": {key: count}, "telemetry": summary-or-None}}}.
+    """
+    data = {}
+    for engine in ENGINES:
+        per_engine = {}
+        for benchmark in BENCHMARK_ORDER:
+            record = records.get((engine, benchmark, config))
+            if record is None:
+                continue
+            counters = record.counters
+            cycles = counters.cycles or 1
+            ranked = sorted(counters.bytecode_flat_cycles.items(),
+                            key=lambda kv: (-kv[1], kv[0]))
+            per_engine[benchmark] = {
+                "hot": [(name, count / cycles) for name, count in ranked],
+                "trt_misses": dict(counters.trt_miss_keys),
+                "telemetry": record.telemetry,
+            }
+        data[engine] = per_engine
+    return data
+
+
+def render_attribution(data, config=TYPED, top=4):
+    """Text rendering of :func:`attribution` (``repro sweep
+    --attribution``)."""
+    lines = []
+    for engine, per_engine in data.items():
+        rows = []
+        for benchmark, entry in per_engine.items():
+            hot = "  ".join("%s %.1f%%" % (name, 100.0 * share)
+                            for name, share in entry["hot"][:top])
+            misses = sorted(entry["trt_misses"].items(),
+                            key=lambda kv: (-kv[1], kv[0]))
+            miss_text = "  ".join("%s x%d" % (key, count)
+                                  for key, count in misses[:top]) or "-"
+            rows.append((benchmark, hot, miss_text))
+        lines.append(format_table(
+            ["benchmark", "hot bytecodes (flat cycle share)",
+             "TRT misses (opcode/t1/t2)"], rows,
+            title="Attribution [%s/%s]" % (engine, config)))
+    return "\n\n".join(lines)
 
 
 def to_json(records):

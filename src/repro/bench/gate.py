@@ -1,0 +1,186 @@
+"""Performance regression gate over the benchmark sweep.
+
+The simulator is deterministic, so every metric of the Section-7 sweep
+is a pure function of the source tree — which makes a checked-in
+baseline a meaningful CI gate: any drift in speedups, MPKI rates or
+type-check hit rates is a *behavioural* change someone made, not noise.
+
+``repro bench baseline`` regenerates ``benchmarks/results/baseline.json``
+(do this, and commit the file, whenever a change intentionally shifts
+the numbers); ``repro bench check`` recomputes the sweep (cache-aware)
+and fails when any metric drifts beyond tolerance.
+
+Tolerances are deliberately loose relative to determinism (default 2%
+relative): they exist so that *intended* micro-adjustments (e.g. a
+one-cycle latency tweak) fail loudly while float formatting or
+dict-ordering differences never can.
+"""
+
+import json
+from dataclasses import dataclass
+
+from repro.bench.workloads import BENCHMARK_ORDER
+from repro.engines import BASELINE, CHECKED_LOAD, CONFIGS, TYPED
+
+#: Bumped when the metric schema changes; a mismatch fails the check
+#: with a "regenerate the baseline" message rather than a diff storm.
+BASELINE_VERSION = 1
+
+#: Metrics compared with *relative* tolerance.
+RELATIVE_METRICS = ("speedup_typed", "speedup_chklb", "instructions",
+                    "cycles")
+#: Metrics compared with *absolute* tolerance (already-normalised rates
+#: where a relative bound on a near-zero value is meaningless).
+ABSOLUTE_METRICS = ("branch_mpki", "icache_mpki", "dcache_mpki",
+                    "type_hit_rate")
+
+
+@dataclass
+class Violation:
+    """One metric outside tolerance."""
+
+    cell: str
+    metric: str
+    baseline: float
+    current: float
+    limit: float
+
+    def describe(self):
+        delta = self.current - self.baseline
+        return "%-24s %-14s baseline=%-12.6g current=%-12.6g " \
+            "drift=%+.6g (limit %.6g)" % (
+                self.cell, self.metric, self.baseline, self.current,
+                delta, self.limit)
+
+
+def collect_metrics(records):
+    """Reduce a sweep's records to the gated metric dict.
+
+    Shape: ``{"engine/benchmark": {metric: value}}`` — flat enough to
+    diff by eye in the committed JSON, structured enough to compare
+    mechanically.
+    """
+    metrics = {}
+    engines = sorted({key[0] for key in records})
+    for engine in engines:
+        for benchmark in BENCHMARK_ORDER:
+            try:
+                base = records[(engine, benchmark, BASELINE)]
+                typed = records[(engine, benchmark, TYPED)]
+                chklb = records[(engine, benchmark, CHECKED_LOAD)]
+            except KeyError:
+                continue
+            cell = {}
+            cell["speedup_typed"] = base.counters.cycles \
+                / typed.counters.cycles
+            cell["speedup_chklb"] = base.counters.cycles \
+                / chklb.counters.cycles
+            cell["type_hit_rate"] = typed.counters.type_hit_rate
+            for config in CONFIGS:
+                counters = records[(engine, benchmark, config)].counters
+                cell["instructions/%s" % config] = counters.instructions
+                cell["cycles/%s" % config] = counters.cycles
+                cell["branch_mpki/%s" % config] = counters.branch_mpki
+                cell["icache_mpki/%s" % config] = counters.icache_mpki
+                cell["dcache_mpki/%s" % config] = counters.dcache_mpki
+            metrics["%s/%s" % (engine, benchmark)] = cell
+    return metrics
+
+
+def write_baseline(path, records, note=""):
+    """Serialise the gate metrics for ``records`` to ``path``."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "note": note or "regenerate with: repro bench baseline",
+        "metrics": collect_metrics(records),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def load_baseline(path):
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) \
+            or payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            "baseline %s has version %r, expected %d — regenerate it "
+            "with: repro bench baseline" % (
+                path, payload.get("version") if isinstance(payload, dict)
+                else None, BASELINE_VERSION))
+    return payload
+
+
+def _family(metric):
+    """The tolerance family of a metric name (config suffix stripped)."""
+    return metric.split("/", 1)[0]
+
+
+def compare(baseline_metrics, current_metrics, rel_tol=0.02,
+            abs_tol=0.05):
+    """Compare two metric dicts; returns a list of :class:`Violation`.
+
+    Relative-family metrics (speedups, instruction/cycle counts) fail
+    on ``|cur - base| > rel_tol * |base|``; absolute-family metrics
+    (MPKI, hit rates) on ``|cur - base| > abs_tol``.  A cell or metric
+    present on only one side is itself a violation — shrinking the
+    sweep must not silently pass the gate.
+    """
+    violations = []
+    cells = sorted(set(baseline_metrics) | set(current_metrics))
+    for cell in cells:
+        base_cell = baseline_metrics.get(cell)
+        cur_cell = current_metrics.get(cell)
+        if base_cell is None or cur_cell is None:
+            violations.append(Violation(
+                cell=cell, metric="(missing)",
+                baseline=float(base_cell is not None),
+                current=float(cur_cell is not None), limit=0.0))
+            continue
+        for metric in sorted(set(base_cell) | set(cur_cell)):
+            if metric not in base_cell or metric not in cur_cell:
+                violations.append(Violation(
+                    cell=cell, metric=metric,
+                    baseline=base_cell.get(metric, float("nan")),
+                    current=cur_cell.get(metric, float("nan")),
+                    limit=0.0))
+                continue
+            base_value = float(base_cell[metric])
+            cur_value = float(cur_cell[metric])
+            if _family(metric) in RELATIVE_METRICS:
+                limit = rel_tol * abs(base_value)
+            else:
+                limit = abs_tol
+            if abs(cur_value - base_value) > limit:
+                violations.append(Violation(
+                    cell=cell, metric=metric, baseline=base_value,
+                    current=cur_value, limit=limit))
+    return violations
+
+
+def check(baseline_path, records, rel_tol=0.02, abs_tol=0.05):
+    """Load a baseline and gate ``records`` against it.
+
+    Returns ``(violations, report_text)``; an empty list means the
+    gate passes.
+    """
+    payload = load_baseline(baseline_path)
+    current = collect_metrics(records)
+    violations = compare(payload["metrics"], current,
+                         rel_tol=rel_tol, abs_tol=abs_tol)
+    if violations:
+        lines = ["PERF GATE: %d metric(s) drifted beyond tolerance "
+                 "(rel %.3g / abs %.3g):" % (len(violations), rel_tol,
+                                             abs_tol)]
+        lines += ["  " + violation.describe()
+                  for violation in violations]
+        lines.append("If the drift is intended, regenerate the "
+                     "baseline: repro bench baseline --out %s"
+                     % baseline_path)
+        report = "\n".join(lines)
+    else:
+        report = "PERF GATE: ok — %d cells within tolerance " \
+            "(rel %.3g / abs %.3g)" % (len(current), rel_tol, abs_tol)
+    return violations, report

@@ -25,7 +25,13 @@ _CACHE = {}
 
 @dataclass
 class RunRecord:
-    """One simulated benchmark run."""
+    """One simulated benchmark run.
+
+    ``telemetry`` holds the event-bus summary dict for runs executed
+    with telemetry attached (``None`` for plain runs); it round-trips
+    through the disk cache so sweep-level attribution reports can name
+    what a cached run observed.
+    """
 
     engine: str
     benchmark: str
@@ -33,6 +39,7 @@ class RunRecord:
     scale: int
     output: str
     counters: object
+    telemetry: dict = None
 
     @property
     def total_bytecodes(self):
@@ -70,24 +77,30 @@ def publish(record, disk=None):
     return record
 
 
-def run_benchmark(engine, benchmark, config, scale=None, use_cache=True):
+def run_benchmark(engine, benchmark, config, scale=None, use_cache=True,
+                  telemetry=None):
     """Run one benchmark on one engine/config; returns a RunRecord.
 
     ``use_cache=False`` bypasses (and leaves untouched) both the
-    per-process memoisation and the disk cache.
+    per-process memoisation and the disk cache.  ``telemetry``
+    attaches an event bus to the run; a telemetry-enabled cell is
+    always simulated fresh (the bus must observe the actual run) and
+    its summary is carried in ``record.telemetry`` through the caches.
     """
     spec = workload(benchmark)
     scale = scale or spec.default_scale
-    if use_cache:
+    if use_cache and telemetry is None:
         record = cached_record(engine, benchmark, config, scale)
         if record is not None:
             return record
     run, source_attr = _RUNNERS[engine]
     source = getattr(spec, source_attr)(scale)
-    result = run(source, config=config)
+    result = run(source, config=config, telemetry=telemetry)
     record = RunRecord(engine=engine, benchmark=benchmark, config=config,
                        scale=scale, output=result.output,
-                       counters=result.counters)
+                       counters=result.counters,
+                       telemetry=telemetry.summary()
+                       if telemetry is not None else None)
     if use_cache:
         publish(record, disk=result_cache.active_cache())
     return record

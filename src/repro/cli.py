@@ -5,8 +5,12 @@ Subcommands:
 * ``run`` — run one benchmark on one engine/config and print counters,
 * ``sweep`` — run the full matrix (sharded over ``--jobs`` workers,
   persisted in the disk cache unless ``--no-disk-cache``) and print
-  Figures 5-9,
-* ``tables`` — print the static tables (1, 6, 7) and the Table 8 model.
+  Figures 5-9 (``--attribution`` adds per-benchmark attribution),
+* ``tables`` — print the static tables (1, 6, 7) and the Table 8 model,
+* ``trace`` — instruction/bytecode traces (telemetry-sink tracers),
+* ``profile`` — per-opcode hot table, TRT-miss attribution and
+  optional Chrome trace for a benchmark or a ``.lua``/``.js`` script,
+* ``bench baseline``/``bench check`` — the CI performance gate.
 """
 
 import argparse
@@ -137,6 +141,10 @@ def _cmd_sweep(args):
     print()
     _summary, text = experiments.table8(records)
     print(text)
+    if args.attribution:
+        print()
+        print(experiments.render_attribution(
+            experiments.attribution(records)))
     if args.json:
         import json
         with open(args.json, "w") as handle:
@@ -169,7 +177,7 @@ def _cmd_trace(args):
         print(tracer.format())
         print()
         for name, count in sorted(tracer.counts.items(),
-                                  key=lambda kv: -kv[1]):
+                                  key=lambda kv: (-kv[1], kv[0])):
             print("%-12s %d" % (name, count))
     else:
         tracer = InstructionTracer(cpu, limit=args.limit)
@@ -181,33 +189,67 @@ def _cmd_trace(args):
 
 
 def _cmd_profile(args):
-    """Per-handler instruction profile of one benchmark run."""
-    record = run_benchmark(args.engine, args.benchmark, args.config,
-                           scale=args.scale, use_cache=False)
-    counters = record.counters
-    total = counters.core_instructions
-    buckets = sorted(counters.bucket_instructions.items(),
-                     key=lambda kv: -kv[1])
-    print("profile: %s/%s [%s], %d core instructions"
-          % (args.engine, args.benchmark, args.config, total))
-    print("%-28s %12s %7s" % ("bucket", "instructions", "share"))
-    print("-" * 49)
-    shown = 0
-    for name, instructions in buckets[:args.top]:
-        if not instructions:
-            break
-        shown += instructions
-        print("%-28s %12d %6.1f%%" % (name, instructions,
-                                      100.0 * instructions / total))
-    print("%-28s %12d %6.1f%%" % ("(other)", total - shown,
-                                  100.0 * (total - shown) / total))
+    """Telemetry-backed profile: per-opcode hot table and TRT
+    attribution for one benchmark or a ``.lua``/``.js`` script."""
+    from repro.telemetry import (render_opcode_table, render_trt_table,
+                                 run_profile)
+
+    result = run_profile(args.target, engine=args.engine,
+                         config=args.config, scale=args.scale,
+                         chrome_trace=args.chrome_trace,
+                         events_path=args.events)
+    print(render_opcode_table(result, top=args.top))
     print()
-    print("dynamic bytecodes:")
-    for name, count in sorted(counters.bytecode_counts.items(),
-                              key=lambda kv: -kv[1])[:args.top]:
-        if count:
-            print("  %-12s %d" % (name, count))
+    print(render_trt_table(result, top=args.top))
+    if args.buckets:
+        counters = result.counters
+        total = counters.core_instructions
+        print()
+        print("%-28s %12s %7s" % ("handler bucket", "instructions",
+                                  "share"))
+        print("-" * 49)
+        shown = 0
+        buckets = sorted(counters.bucket_instructions.items(),
+                         key=lambda kv: (-kv[1], kv[0]))
+        for name, instructions in buckets[:args.top]:
+            if not instructions:
+                break
+            shown += instructions
+            print("%-28s %12d %6.1f%%" % (name, instructions,
+                                          100.0 * instructions / total))
+        print("%-28s %12d %6.1f%%" % ("(other)", total - shown,
+                                      100.0 * (total - shown) / total))
+    if args.chrome_trace:
+        print("\nwrote Chrome trace: %s (load in Perfetto or "
+              "chrome://tracing)" % args.chrome_trace)
+    if args.events:
+        print("wrote event log: %s" % args.events)
+    if args.show_output and result.output:
+        sys.stdout.write("--- output ---\n" + result.output)
     return 0
+
+
+def _cmd_bench(args):
+    """Perf-gate subcommands: regenerate or check the sweep baseline."""
+    from repro.bench import gate
+    from repro.bench.parallel import run_matrix_parallel
+
+    _configure_disk_cache(args)
+    records = run_matrix_parallel(max_workers=args.jobs)
+    mismatches = verify_outputs_match(records)
+    if mismatches:
+        print("OUTPUT MISMATCH across configs: %s" % mismatches)
+        return 1
+    if args.bench_command == "baseline":
+        gate.write_baseline(args.out, records)
+        print("wrote %s (%d cells)" % (args.out,
+                                       len(gate.collect_metrics(records))))
+        return 0
+    violations, report = gate.check(args.baseline, records,
+                                    rel_tol=args.tolerance,
+                                    abs_tol=args.abs_tolerance)
+    print(report)
+    return 1 if violations else 0
 
 
 def _cmd_tables(args):
@@ -259,6 +301,9 @@ def build_parser():
     sweep_parser.add_argument("--smoke", action="store_true",
                               help="2-cell cold+warm parallel sweep "
                                    "against a temp cache (CI smoke)")
+    sweep_parser.add_argument("--attribution", action="store_true",
+                              help="also print per-benchmark cycle and "
+                                   "TRT-miss attribution")
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     tables_parser = sub.add_parser("tables",
@@ -283,15 +328,58 @@ def build_parser():
     trace_parser.set_defaults(func=_cmd_trace)
 
     profile_parser = sub.add_parser(
-        "profile", help="per-handler instruction profile")
-    profile_parser.add_argument("benchmark", choices=BENCHMARK_ORDER)
+        "profile",
+        help="telemetry profile: per-opcode hot table, TRT attribution, "
+             "optional Chrome trace")
+    profile_parser.add_argument(
+        "target",
+        help="benchmark name (see `tables`) or path to a .lua/.js script")
     profile_parser.add_argument("--engine", choices=("lua", "js"),
-                                default="lua")
+                                default=None,
+                                help="default: inferred from the target")
     profile_parser.add_argument("--config", choices=CONFIGS,
-                                default="baseline")
-    profile_parser.add_argument("--scale", type=int, default=None)
+                                default=TYPED)
+    profile_parser.add_argument("--scale", type=int, default=None,
+                                help="input scale (benchmark targets)")
     profile_parser.add_argument("--top", type=int, default=15)
+    profile_parser.add_argument("--chrome-trace", metavar="PATH",
+                                default=None,
+                                help="write a Perfetto-loadable Chrome "
+                                     "trace_event JSON file")
+    profile_parser.add_argument("--events", metavar="PATH", default=None,
+                                help="write the raw event stream as "
+                                     "JSON lines")
+    profile_parser.add_argument("--buckets", action="store_true",
+                                help="also print the per-handler "
+                                     "instruction buckets")
+    profile_parser.add_argument("--show-output", action="store_true",
+                                help="echo the guest program's output")
     profile_parser.set_defaults(func=_cmd_profile)
+
+    bench_parser = sub.add_parser(
+        "bench", help="performance gate against a committed baseline")
+    bench_sub = bench_parser.add_subparsers(dest="bench_command",
+                                            required=True)
+    for name, description in (
+            ("baseline", "run the sweep and write the baseline metrics"),
+            ("check", "run the sweep and fail on metric drift")):
+        cmd = bench_sub.add_parser(name, help=description)
+        cmd.add_argument("--jobs", type=int, default=None, metavar="N")
+        cmd.add_argument("--no-disk-cache", action="store_true")
+        cmd.add_argument("--cache-dir", metavar="DIR", default=None)
+        if name == "baseline":
+            cmd.add_argument("--out", metavar="PATH",
+                             default="benchmarks/results/baseline.json")
+        else:
+            cmd.add_argument("--baseline", metavar="PATH",
+                             default="benchmarks/results/baseline.json")
+            cmd.add_argument("--tolerance", type=float, default=0.02,
+                             help="relative tolerance for speedups and "
+                                  "instruction/cycle counts")
+            cmd.add_argument("--abs-tolerance", type=float, default=0.05,
+                             help="absolute tolerance for MPKI and "
+                                  "hit-rate metrics")
+        cmd.set_defaults(func=_cmd_bench)
     return parser
 
 

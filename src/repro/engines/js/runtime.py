@@ -7,7 +7,6 @@ host-side with calibrated native-instruction costs.
 """
 
 import math
-import struct
 
 from repro.engines.js import layout
 from repro.engines.js.handlers import common

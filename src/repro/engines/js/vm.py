@@ -91,11 +91,21 @@ def prepare(source, config=BASELINE):
 
 
 def run_js(source, config=BASELINE, machine_config=None,
-           max_instructions=200_000_000, attribute=True):
-    """Compile and execute MiniJS ``source`` on the simulated machine."""
+           max_instructions=200_000_000, attribute=True, telemetry=None):
+    """Compile and execute MiniJS ``source`` on the simulated machine.
+
+    ``telemetry`` optionally attaches an event bus (see
+    :mod:`repro.telemetry`) to the CPU and timing model.
+    """
     cpu, runtime, program = prepare(source, config)
     attribution = interpreter_program(config)[1] if attribute else None
-    machine = Machine(cpu, config=machine_config, attribution=attribution)
+    if telemetry is not None:
+        from repro.telemetry import attach_cpu
+        attach_cpu(telemetry, cpu)
+    machine = Machine(cpu, config=machine_config, attribution=attribution,
+                      telemetry=telemetry)
     counters = machine.run(max_instructions=max_instructions)
+    if telemetry is not None:
+        telemetry.close()
     return JsResult(output="".join(runtime.output), counters=counters,
                     config=config, exit_code=cpu.exit_code)

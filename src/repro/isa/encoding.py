@@ -10,7 +10,6 @@ for round-trip testing.
 from repro.isa.instructions import (
     INSTRUCTION_SPECS,
     Instruction,
-    OP_FP,
     OP_IMM,
     OP_IMM32,
 )

@@ -19,7 +19,6 @@ code and execution never returns to the faulting instruction.
 
 import struct
 
-from repro.isa.extension import TYPE_UNTYPED
 from repro.sim.errors import ExecutionLimitExceeded, IllegalInstruction
 from repro.sim.regfile import FpRegisterFile, UnifiedRegisterFile
 from repro.sim.tagio import TagCodec
@@ -87,6 +86,12 @@ class Cpu:
         self.deopt_redirects = 0
         self._deopt_sites = {}  # thdl PC -> [executions, misses]
         self._active_thdl_site = None
+
+        # Telemetry bus (repro.telemetry).  ``None`` keeps every
+        # instrumentation point a dead branch on an already-rare path;
+        # hot-path retire events attach by rebinding ``step`` instead
+        # (see repro.telemetry.core.attach_cpu).
+        self.telemetry = None
 
         # Per-step side channel for the timing layer.
         self.mem_addr = None
@@ -169,6 +174,11 @@ class Cpu:
         self.mem.store(addr, width, value)
 
     def _type_mispredict(self):
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.emit({"cat": "mispredict", "name": "type_mispredict",
+                            "pc": self.pc, "target": self.r_hdl,
+                            "instret": self.instret})
         self.pc = self.r_hdl
         self.redirect = True
         if self._active_thdl_site is not None:
@@ -374,7 +384,12 @@ def _op_fsd(cpu, i):
 
 
 def _op_ecall(cpu, i):
-    cpu.pending_host_cost += cpu.host.dispatch(cpu)
+    cost = cpu.host.dispatch(cpu)
+    cpu.pending_host_cost += cost
+    telemetry = cpu.telemetry
+    if telemetry is not None:
+        telemetry.emit({"cat": "hostcall", "name": "ecall", "pc": cpu.pc,
+                        "cost": cost, "instret": cpu.instret})
     cpu.pc += 4
 
 
@@ -441,6 +456,11 @@ def _tagged_alu(opcode_id, int_fn, float_fn):
             if bits is not None and not \
                     -(1 << (bits - 1)) <= result < (1 << (bits - 1)):
                 cpu.overflow_traps += 1
+                telemetry = cpu.telemetry
+                if telemetry is not None:
+                    telemetry.emit({"cat": "trap", "name": "overflow",
+                                    "pc": cpu.pc, "mnemonic": i.mnemonic,
+                                    "instret": cpu.instret})
                 cpu._type_mispredict()
                 return
             regs.write_typed(i.rd, to_unsigned(result), out_tag, 0)

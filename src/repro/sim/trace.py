@@ -2,9 +2,10 @@
 
 Debugging an interpreter running *on* a simulator needs two lenses: the
 native instruction stream (with register/tag effects) and the bytecode
-stream the interpreter is dispatching.  ``InstructionTracer`` captures
-the former from any :class:`~repro.sim.cpu.Cpu`; ``BytecodeTracer``
-derives the latter from a program's attribution entry points.
+stream the interpreter is dispatching.  Both tracers are now *sinks* on
+the :mod:`repro.telemetry` event bus, consuming the same ``retire``
+events the profiler's instrumentation emits — one stream of truth, so
+``repro trace`` and ``repro profile`` cannot disagree on what retired.
 """
 
 from collections import deque
@@ -13,6 +14,8 @@ from dataclasses import dataclass
 from repro.isa.disassembler import disassemble
 from repro.isa.extension import TYPE_UNTYPED
 from repro.isa.registers import int_register_name
+from repro.telemetry.core import Telemetry, attach_cpu, detach_cpu
+from repro.telemetry.sinks import Sink
 
 
 @dataclass
@@ -40,16 +43,20 @@ class TraceEntry:
                                        effect)
 
 
-class InstructionTracer:
-    """Steps a CPU while keeping the last ``limit`` retired instructions.
+class InstructionTracer(Sink):
+    """A ``retire``-event sink keeping the last ``limit`` instructions.
 
-    ``limit=None`` keeps everything (use only for short runs).
+    ``limit=None`` keeps everything (use only for short runs).  The
+    tracer attaches its own single-category bus to the CPU, so every
+    entry is derived from the same ``retire`` events the profiler sees.
     """
 
     def __init__(self, cpu, limit=64):
         self.cpu = cpu
         self.entries = deque(maxlen=limit)
         self._texts = {}
+        self.telemetry = Telemetry(sinks=[self], categories={"retire"})
+        attach_cpu(self.telemetry, cpu)
 
     def _text(self, instr):
         text = self._texts.get(id(instr))
@@ -58,31 +65,37 @@ class InstructionTracer:
             self._texts[id(instr)] = text
         return text
 
-    def step(self):
-        cpu = self.cpu
-        pc = cpu.pc
-        instr = cpu.step()
+    def handle(self, event):
+        instr = event["instr"]
         self.entries.append(TraceEntry(
-            index=cpu.instret, pc=pc, text=self._text(instr),
-            rd=instr.rd, rd_value=cpu.regs.value[instr.rd],
-            rd_tag=cpu.regs.type[instr.rd], redirect=cpu.redirect))
-        return instr
+            index=event["instret"], pc=event["pc"],
+            text=self._text(instr), rd=event["rd"],
+            rd_value=event["rd_value"], rd_tag=event["rd_tag"],
+            redirect=event["redirect"]))
+
+    def step(self):
+        """Retire one instruction (recorded via the event bus)."""
+        return self.cpu.step()
 
     def run(self, max_instructions=1_000_000):
-        while not self.cpu.halted and \
-                self.cpu.instret < max_instructions:
-            self.step()
+        cpu = self.cpu
+        while not cpu.halted and cpu.instret < max_instructions:
+            cpu.step()
+        detach_cpu(cpu)
         return self.entries
 
     def format(self):
         return "\n".join(entry.format() for entry in self.entries)
 
 
-class BytecodeTracer:
+class BytecodeTracer(Sink):
     """Records the bytecode stream an interpreter dispatches.
 
     ``entry_points`` maps instruction *byte addresses* to bytecode names
-    (the same mapping the attribution machinery uses).
+    (the same mapping the attribution machinery uses).  Dispatches are
+    detected on the shared ``retire`` event stream: a retire at an entry
+    address *is* a bytecode dispatch, by the same definition the flat
+    profile uses for its span boundaries.
     """
 
     def __init__(self, cpu, entry_points, limit=None):
@@ -90,17 +103,20 @@ class BytecodeTracer:
         self.entry_points = dict(entry_points)
         self.trace = deque(maxlen=limit)
         self.counts = {}
+        self.telemetry = Telemetry(sinks=[self], categories={"retire"})
+        attach_cpu(self.telemetry, cpu)
+
+    def handle(self, event):
+        name = self.entry_points.get(event["pc"])
+        if name is not None:
+            self.trace.append(name)
+            self.counts[name] = self.counts.get(name, 0) + 1
 
     def run(self, max_instructions=10_000_000):
         cpu = self.cpu
-        entries = self.entry_points
         while not cpu.halted and cpu.instret < max_instructions:
-            pc = cpu.pc
             cpu.step()
-            name = entries.get(pc)
-            if name is not None:
-                self.trace.append(name)
-                self.counts[name] = self.counts.get(name, 0) + 1
+        detach_cpu(cpu)
         return self.trace
 
     def format(self, per_line=8):

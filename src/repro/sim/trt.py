@@ -30,6 +30,15 @@ def unpack_rule(word):
                     (word >> 8) & 0xFF, word & 0xFF)
 
 
+def attribution_keys(keys):
+    """Render ``{(opcode_id, t1, t2): count}`` with JSON-safe string
+    keys (``"xadd/19/3"``) — the shape stored in ``Counters`` and the
+    disk cache."""
+    names = {v: k for k, v in TRT_OPCODES.items()}
+    return {"%s/%d/%d" % (names.get(op, str(op)), t1, t2): count
+            for (op, t1, t2), count in keys.items()}
+
+
 class TypeRuleTable:
     """A ``capacity``-entry CAM mapping (opcode, t1, t2) to the output tag."""
 
@@ -39,6 +48,13 @@ class TypeRuleTable:
         self._order = []
         self.hits = 0
         self.misses = 0
+        # Per-key miss attribution: {(opcode_id, t1, t2): count}.  The
+        # miss path is the rare path (it costs a pipeline redirect), so
+        # this stays always-on — it is what lets ``repro sweep`` report
+        # TRT-miss attribution from cached runs with telemetry off.
+        self.miss_keys = {}
+        self.hit_keys = None  # populated only while telemetry is attached
+        self._telemetry = None
 
     def __len__(self):
         return len(self._order)
@@ -69,8 +85,38 @@ class TypeRuleTable:
         out = self._rules.get((opcode_id, type1, type2))
         if out is None:
             self.misses += 1
+            key = (opcode_id, type1, type2)
+            self.miss_keys[key] = self.miss_keys.get(key, 0) + 1
         else:
             self.hits += 1
+        return out
+
+    def attach_telemetry(self, telemetry):
+        """Swap in the instrumented lookup (hot path!): per-key hit
+        counting plus a ``trt`` event per miss.  Rebinding the method
+        on the instance keeps the detached path identical to the
+        uninstrumented class method — zero overhead when telemetry is
+        off."""
+        self._telemetry = telemetry
+        self.hit_keys = {}
+        self.lookup = self._lookup_instrumented
+
+    def detach_telemetry(self):
+        self._telemetry = None
+        self.__dict__.pop("lookup", None)
+
+    def _lookup_instrumented(self, opcode_id, type1, type2):
+        key = (opcode_id, type1, type2)
+        out = self._rules.get(key)
+        if out is None:
+            self.misses += 1
+            self.miss_keys[key] = self.miss_keys.get(key, 0) + 1
+            self._telemetry.emit({
+                "cat": "trt", "name": "trt_miss", "opcode": opcode_id,
+                "t1": type1, "t2": type2})
+        else:
+            self.hits += 1
+            self.hit_keys[key] = self.hit_keys.get(key, 0) + 1
         return out
 
     def snapshot(self):
@@ -78,10 +124,12 @@ class TypeRuleTable:
         counters — dropping the counters would let another process's
         type-check traffic corrupt this one's type-hit-rate statistics."""
         return {"rules": dict(self._rules), "order": list(self._order),
-                "hits": self.hits, "misses": self.misses}
+                "hits": self.hits, "misses": self.misses,
+                "miss_keys": dict(self.miss_keys)}
 
     def restore(self, state):
         self._rules = dict(state["rules"])
         self._order = list(state["order"])
         self.hits = state["hits"]
         self.misses = state["misses"]
+        self.miss_keys = dict(state.get("miss_keys", ()))

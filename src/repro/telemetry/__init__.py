@@ -1,0 +1,55 @@
+"""Structured telemetry for the simulator and both scripting engines.
+
+The paper's evaluation is attribution — where type-check cycles go,
+which bytecodes miss in the Type Rule Table, how tag-extraction cost
+differs between Lua's struct layout and SpiderMonkey's NaN boxing
+(Sections 6-7).  This package is the reproduction's equivalent of the
+Rocket prototype's custom performance-counter/trace infrastructure:
+
+* :class:`Telemetry` (``core``) — the event bus: enabled categories,
+  sinks, a monotonic clock, and a near-zero disabled path (hot-path
+  instrumentation attaches by rebinding, rare-path instrumentation is
+  a ``None`` check inside an already-rare branch);
+* ``sinks`` — in-memory collector, JSON-lines, and Chrome
+  ``trace_event`` output loadable in ``chrome://tracing``/Perfetto;
+* ``profile`` — the per-opcode flat/call-inclusive profiles and
+  TRT-miss attribution behind ``repro profile``.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and CLI usage.
+"""
+
+from repro.telemetry.core import (
+    CATEGORIES,
+    PROFILE_CATEGORIES,
+    Telemetry,
+    attach_cpu,
+    detach_cpu,
+)
+from repro.telemetry.profile import (
+    ProfileResult,
+    render_opcode_table,
+    render_trt_table,
+    run_profile,
+)
+from repro.telemetry.sinks import (
+    ChromeTraceSink,
+    CollectorSink,
+    JsonlSink,
+    Sink,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "PROFILE_CATEGORIES",
+    "Telemetry",
+    "attach_cpu",
+    "detach_cpu",
+    "ProfileResult",
+    "run_profile",
+    "render_opcode_table",
+    "render_trt_table",
+    "Sink",
+    "CollectorSink",
+    "JsonlSink",
+    "ChromeTraceSink",
+]

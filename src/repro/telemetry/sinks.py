@@ -1,0 +1,140 @@
+"""Event sinks: where the telemetry bus delivers its events.
+
+Three concrete sinks cover the observability surface:
+
+* :class:`CollectorSink` — in-memory list, the substrate for the
+  profile builders and the reimplemented tracers;
+* :class:`JsonlSink` — one JSON object per line, greppable and
+  streamable (``repro profile --events out.jsonl``);
+* :class:`ChromeTraceSink` — the Chrome ``trace_event`` JSON array
+  format, loadable in ``chrome://tracing`` and Perfetto
+  (``repro profile --chrome-trace out.json``).
+
+Sinks receive every event the bus emits; a sink that only cares about
+some categories filters in ``handle`` (events are cheap dicts and the
+bus's category set already bounds the volume).
+"""
+
+import json
+
+
+class Sink:
+    """Base sink: ``handle`` one event dict, ``close`` when done."""
+
+    def handle(self, event):
+        raise NotImplementedError
+
+    def close(self):
+        """Flush/close; must be idempotent."""
+
+
+class CollectorSink(Sink):
+    """Append every event (optionally filtered by category) to a list."""
+
+    def __init__(self, categories=None):
+        self.categories = frozenset(categories) if categories else None
+        self.events = []
+
+    def handle(self, event):
+        if self.categories is None or event.get("cat") in self.categories:
+            self.events.append(event)
+
+    def __len__(self):
+        return len(self.events)
+
+    def by_category(self, category):
+        return [e for e in self.events if e.get("cat") == category]
+
+
+class JsonlSink(Sink):
+    """Write one JSON object per event line.
+
+    Accepts a path or an open text file.  Non-serialisable fields
+    (e.g. the decoded instruction object on retire events) degrade to
+    ``repr`` so the stream is always valid JSON lines.
+    """
+
+    def __init__(self, target):
+        if hasattr(target, "write"):
+            self._file = target
+            self._owns = False
+        else:
+            self._file = open(target, "w")
+            self._owns = True
+        self.lines = 0
+
+    def handle(self, event):
+        self._file.write(json.dumps(event, default=repr,
+                                    sort_keys=True) + "\n")
+        self.lines += 1
+
+    def close(self):
+        if self._owns and not self._file.closed:
+            self._file.close()
+
+
+class ChromeTraceSink(Sink):
+    """Accumulate Chrome ``trace_event`` records; write on ``close``.
+
+    Mapping from the simulator's event schema:
+
+    * ``bytecode`` span events (``ph`` already ``"B"``/``"E"``) pass
+      through — the interpreter's dispatch loop becomes a flame chart
+      with one slice per executed bytecode;
+    * everything else becomes an instant event (``ph: "i"``).
+
+    Timestamps are simulated cycles reported as microseconds (1 cycle
+    = 1us), which keeps Perfetto's zoom levels useful.  Because the
+    bus's clock is monotonic and spans are emitted at open/close time
+    (``B`` at handler entry, ``E`` at the next handler's entry), the
+    ``ts`` sequence in the output array is non-decreasing — a property
+    ``tests/test_telemetry.py`` locks in.
+    """
+
+    #: pid/tid are synthetic: one simulated core, one thread.
+    PID = 1
+    TID = 1
+
+    def __init__(self, target, process_name="typedarch-sim",
+                 thread_name="core0"):
+        self._target = target
+        self.events = [
+            {"ph": "M", "pid": self.PID, "tid": self.TID, "ts": 0,
+             "name": "process_name", "args": {"name": process_name}},
+            {"ph": "M", "pid": self.PID, "tid": self.TID, "ts": 0,
+             "name": "thread_name", "args": {"name": thread_name}},
+        ]
+        self._closed = False
+
+    def handle(self, event):
+        category = event.get("cat", "?")
+        record = {
+            "name": event.get("name", category),
+            "cat": category,
+            "ts": event.get("ts", 0),
+            "pid": self.PID,
+            "tid": self.TID,
+        }
+        if category == "bytecode":
+            record["ph"] = event.get("ph", "i")
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"  # instant scope: thread
+            args = {key: value for key, value in event.items()
+                    if key not in ("cat", "name", "ts", "ph", "instr")}
+            if args:
+                record["args"] = args
+        self.events.append(record)
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        payload = {"traceEvents": self.events,
+                   "displayTimeUnit": "ms",
+                   "otherData": {"clock": "simulated cycles (1 cycle = 1us)"}}
+        if hasattr(self._target, "write"):
+            json.dump(payload, self._target)
+        else:
+            with open(self._target, "w") as handle:
+                json.dump(payload, handle)

@@ -8,8 +8,9 @@ memory); the timing layer charges the DRAM latency on a miss.
 class Cache:
     """A ``sets`` x ``ways`` tag store with per-set LRU ordering."""
 
-    def __init__(self, config):
+    def __init__(self, config, name="cache"):
         self.config = config
+        self.name = name
         if config.line_bytes <= 0 or \
                 config.line_bytes & (config.line_bytes - 1):
             raise ValueError("cache line size must be a power of two")
@@ -22,6 +23,10 @@ class Cache:
         self._sets = [[] for _ in range(config.sets)]
         self.accesses = 0
         self.misses = 0
+        # Optional miss hook ``on_miss(addr)`` — the telemetry layer's
+        # tap.  Checked only on the (rare) miss path, so the hit path
+        # pays nothing for the instrumentation point.
+        self.on_miss = None
 
     def access(self, addr):
         """Access the line containing ``addr``; returns True on a hit."""
@@ -36,6 +41,8 @@ class Cache:
             if len(entry) >= self.ways:
                 entry.pop(0)
             entry.append(tag)
+            if self.on_miss is not None:
+                self.on_miss(addr)
             return False
         entry.append(tag)
         return True

@@ -34,6 +34,16 @@ class Counters:
     bucket_instructions: dict = field(default_factory=dict)
     bytecode_type_hits: dict = field(default_factory=dict)
     bytecode_type_misses: dict = field(default_factory=dict)
+    #: Flat attribution computed at handler-entry boundaries: every
+    #: retired instruction/cycle lands in exactly one bytecode's span
+    #: (``"(startup)"`` before the first entry), so the values sum to
+    #: ``core_instructions``/``cycles`` *exactly* — the reconciliation
+    #: contract ``repro profile`` is built on.
+    bytecode_flat_instructions: dict = field(default_factory=dict)
+    bytecode_flat_cycles: dict = field(default_factory=dict)
+    #: TRT miss attribution keyed ``"opcode/t1/t2"`` (Section 6's
+    #: per-site type-check accounting).
+    trt_miss_keys: dict = field(default_factory=dict)
 
     @property
     def instructions(self):

@@ -23,6 +23,7 @@ from repro.isa.instructions import (
     STORE_MNEMONICS,
 )
 from repro.sim.errors import ExecutionLimitExceeded
+from repro.sim.trt import attribution_keys
 from repro.uarch.branch import FrontEnd
 from repro.uarch.cache import Cache
 from repro.uarch.config import DEFAULT_CONFIG
@@ -113,17 +114,26 @@ class Attribution:
 
 
 class Machine:
-    """A configured core: functional CPU plus timing state."""
+    """A configured core: functional CPU plus timing state.
 
-    def __init__(self, cpu, config=None, attribution=None):
+    ``telemetry`` optionally attaches a :class:`repro.telemetry.Telemetry`
+    bus: the timing loop installs its cycle counter as the bus clock and
+    emits bytecode-span, cache-miss and stall events.  Telemetry is
+    purely observational — counters and cycles are identical with it on
+    or off — and the disabled path adds no per-instruction work (event
+    guards live inside branches that are already rare).
+    """
+
+    def __init__(self, cpu, config=None, attribution=None, telemetry=None):
         self.cpu = cpu
         self.config = config or DEFAULT_CONFIG
-        self.icache = Cache(self.config.icache)
-        self.dcache = Cache(self.config.dcache)
+        self.icache = Cache(self.config.icache, name="icache")
+        self.dcache = Cache(self.config.dcache, name="dcache")
         self.dram = Dram(self.config.dram)
         self.frontend = FrontEnd(self.config.branch)
         self.counters = Counters()
         self.attribution = attribution
+        self.telemetry = telemetry
         self._kinds = [_kind_of(i.mnemonic)
                        for i in cpu.program.instructions]
 
@@ -141,11 +151,20 @@ class Machine:
         base = cpu.program.base
         attribution = self.attribution
         bucket_counts = None
+        entry_names = ()
         if attribution is not None:
+            entry_names = attribution.entry_names
             bucket_counts = [0] * len(attribution.bucket_names)
-            entry_counts = [0] * len(attribution.entry_names)
-            entry_type_hits = [0] * len(attribution.entry_names)
-            entry_type_misses = [0] * len(attribution.entry_names)
+            entry_counts = [0] * len(entry_names)
+            entry_type_hits = [0] * len(entry_names)
+            entry_type_misses = [0] * len(entry_names)
+            # Flat spans: slot 0 is interpreter startup, slot i+1 is
+            # entry i.  A span runs from one handler entry to the next,
+            # so the slots partition instructions and cycles exactly.
+            flat_instructions = [0] * (len(entry_names) + 1)
+            flat_cycles = [0] * (len(entry_names) + 1)
+            span_cycles = 0
+            span_instret = 0
             bucket_of = attribution.bucket_of
             entry_of = attribution.entry_of
             current_entry = -1
@@ -153,21 +172,28 @@ class Machine:
         cycles = 0
         prev_load_rd = -1
 
+        telemetry = self.telemetry
+        ev_stall = ev_bytecode = None
+        if telemetry is not None:
+            telemetry.set_clock(lambda: cycles)
+            if telemetry.wants("cache"):
+                def _cache_miss_hook(name):
+                    def on_miss(addr):
+                        telemetry.emit({"cat": "cache", "name": name,
+                                        "addr": addr})
+                    return on_miss
+                icache.on_miss = _cache_miss_hook("icache_miss")
+                dcache.on_miss = _cache_miss_hook("dcache_miss")
+            if telemetry.wants("stall"):
+                ev_stall = telemetry
+            if telemetry.wants("bytecode") and attribution is not None:
+                ev_bytecode = telemetry
+
         while not cpu.halted:
             pc = cpu.pc
             index = (pc - base) >> 2
             instr = cpu.step()
             kind = kinds[index]
-            cycles += 1
-
-            if prev_load_rd >= 0:
-                if instr.rs1 == prev_load_rd or instr.rs2 == prev_load_rd:
-                    cycles += latency.load_use_stall
-                    counters.load_use_stalls += 1
-                prev_load_rd = -1
-
-            if not icache.access(pc):
-                cycles += dram.access(pc)
 
             if attribution is not None:
                 bucket = bucket_of[index]
@@ -175,8 +201,37 @@ class Machine:
                     bucket_counts[bucket] += 1
                 entry = entry_of[index]
                 if entry >= 0:
+                    # Close the previous flat span: everything retired
+                    # and charged up to (excluding) this entry
+                    # instruction belongs to the previous bytecode.
+                    flat_cycles[current_entry + 1] += cycles - span_cycles
+                    flat_instructions[current_entry + 1] += \
+                        cpu.instret - 1 - span_instret
+                    span_cycles = cycles
+                    span_instret = cpu.instret - 1
+                    if ev_bytecode is not None:
+                        if current_entry >= 0:
+                            ev_bytecode.emit(
+                                {"cat": "bytecode", "ph": "E",
+                                 "name": entry_names[current_entry]})
+                        ev_bytecode.emit({"cat": "bytecode", "ph": "B",
+                                          "name": entry_names[entry]})
                     entry_counts[entry] += 1
                     current_entry = entry
+
+            cycles += 1
+
+            if prev_load_rd >= 0:
+                if instr.rs1 == prev_load_rd or instr.rs2 == prev_load_rd:
+                    cycles += latency.load_use_stall
+                    counters.load_use_stalls += 1
+                    if ev_stall is not None:
+                        ev_stall.emit({"cat": "stall", "name": "load_use",
+                                       "pc": pc})
+                prev_load_rd = -1
+
+            if not icache.access(pc):
+                cycles += dram.access(pc)
 
             if kind:
                 if kind == K_BRANCH:
@@ -251,6 +306,16 @@ class Machine:
                     "exceeded %d instructions at PC 0x%x"
                     % (max_instructions, cpu.pc))
 
+        if attribution is not None:
+            # Close the final flat span so the per-bytecode totals
+            # partition the run exactly.
+            flat_cycles[current_entry + 1] += cycles - span_cycles
+            flat_instructions[current_entry + 1] += \
+                cpu.instret - span_instret
+            if ev_bytecode is not None and current_entry >= 0:
+                ev_bytecode.emit({"cat": "bytecode", "ph": "E",
+                                  "name": entry_names[current_entry]})
+
         counters.cycles = cycles
         counters.core_instructions = cpu.instret
         counters.branches = frontend.branches
@@ -265,6 +330,7 @@ class Machine:
         counters.overflow_traps = cpu.overflow_traps
         counters.chk_hits = cpu.chk_hits
         counters.chk_misses = cpu.chk_misses
+        counters.trt_miss_keys = attribution_keys(cpu.trt.miss_keys)
         if attribution is not None:
             counters.bucket_instructions = dict(
                 zip(attribution.bucket_names, bucket_counts))
@@ -274,4 +340,11 @@ class Machine:
                 zip(attribution.entry_names, entry_type_hits))
             counters.bytecode_type_misses = dict(
                 zip(attribution.entry_names, entry_type_misses))
+            flat_names = ["(startup)"] + list(entry_names)
+            counters.bytecode_flat_instructions = {
+                name: count for name, count
+                in zip(flat_names, flat_instructions) if count}
+            counters.bytecode_flat_cycles = {
+                name: count for name, count
+                in zip(flat_names, flat_cycles) if count}
         return counters

@@ -1,0 +1,88 @@
+"""Tests for the performance regression gate (``repro bench check``)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import gate
+from repro.bench.runner import run_matrix
+
+
+@pytest.fixture(scope="module")
+def records():
+    return run_matrix(engines=("lua",), benchmarks=("fibo",),
+                      scales={"fibo": 6}, use_cache=False)
+
+
+def test_collect_metrics_shape(records):
+    metrics = gate.collect_metrics(records)
+    assert set(metrics) == {"lua/fibo"}
+    cell = metrics["lua/fibo"]
+    assert cell["speedup_typed"] > 1.0
+    assert 0.0 <= cell["type_hit_rate"] <= 1.0
+    for config in ("baseline", "typed", "chklb"):
+        assert cell["instructions/%s" % config] > 0
+        assert cell["cycles/%s" % config] > 0
+        assert cell["branch_mpki/%s" % config] >= 0.0
+
+
+def test_baseline_roundtrip_passes(tmp_path, records):
+    path = tmp_path / "baseline.json"
+    gate.write_baseline(str(path), records)
+    violations, report = gate.check(str(path), records)
+    assert violations == []
+    assert "ok" in report
+
+
+def test_drift_fails_gate(tmp_path, records):
+    path = tmp_path / "baseline.json"
+    payload = gate.write_baseline(str(path), records)
+    drifted = copy.deepcopy(payload)
+    drifted["metrics"]["lua/fibo"]["speedup_typed"] *= 1.10
+    path.write_text(json.dumps(drifted))
+    violations, report = gate.check(str(path), records)
+    assert len(violations) == 1
+    assert violations[0].metric == "speedup_typed"
+    assert "regenerate" in report
+
+
+def test_absolute_family_uses_absolute_tolerance(records):
+    metrics = gate.collect_metrics(records)
+    drifted = copy.deepcopy(metrics)
+    drifted["lua/fibo"]["type_hit_rate"] = \
+        metrics["lua/fibo"]["type_hit_rate"] - 0.2
+    violations = gate.compare(metrics, drifted, abs_tol=0.05)
+    assert [v.metric for v in violations] == ["type_hit_rate"]
+    assert gate.compare(metrics, drifted, abs_tol=0.5) == []
+
+
+def test_missing_cell_is_a_violation(records):
+    metrics = gate.collect_metrics(records)
+    violations = gate.compare(metrics, {})
+    assert violations and violations[0].metric == "(missing)"
+    violations = gate.compare({}, metrics)
+    assert violations and violations[0].metric == "(missing)"
+
+
+def test_missing_metric_is_a_violation(records):
+    metrics = gate.collect_metrics(records)
+    shrunk = copy.deepcopy(metrics)
+    del shrunk["lua/fibo"]["speedup_chklb"]
+    assert [v.metric for v in gate.compare(metrics, shrunk)] \
+        == ["speedup_chklb"]
+
+
+def test_version_mismatch_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 999, "metrics": {}}))
+    with pytest.raises(ValueError, match="regenerate"):
+        gate.load_baseline(str(path))
+
+
+def test_within_tolerance_drift_passes(records):
+    metrics = gate.collect_metrics(records)
+    drifted = copy.deepcopy(metrics)
+    drifted["lua/fibo"]["cycles/typed"] = \
+        int(metrics["lua/fibo"]["cycles/typed"] * 1.01)
+    assert gate.compare(metrics, drifted, rel_tol=0.02) == []

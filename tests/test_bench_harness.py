@@ -186,10 +186,13 @@ def test_to_json_snapshot_is_serialisable(records):
 
 def test_cli_profile(capsys):
     from repro.cli import main
-    assert main(["profile", "fibo", "--scale", "6", "--top", "5"]) == 0
+    assert main(["profile", "fibo", "--scale", "6", "--top", "5",
+                 "--buckets"]) == 0
     out = capsys.readouterr().out
-    assert "dispatch" in out
-    assert "dynamic bytecodes" in out
+    assert "Per-opcode flat profile" in out
+    assert "Type Rule Table attribution" in out
+    assert "CALL" in out          # the hot table names bytecodes
+    assert "dispatch" in out      # --buckets keeps the handler view
 
 
 def test_cli_sweep_parser_cache_flags():

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.isa.assembler import AssemblerError, Program, assemble
+from repro.isa.assembler import AssemblerError, assemble
 
 
 def test_basic_r_type():

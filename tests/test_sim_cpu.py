@@ -192,7 +192,7 @@ def test_xadd_float_binding():
     mem.store_u64(0x108, 3)
     mem.store_u64(0x110, float_to_bits(2.0))
     mem.store_u64(0x118, 3)
-    cpu = run("""
+    run("""
         li s10, 0x100
         li s9, 0x110
         tld t0, 0(s10)
@@ -353,7 +353,7 @@ def test_nanboxed_tld_tsd():
     mem = Memory(size=1 << 16)
     mem.store_u64(0x100, nanbox.box_int32(1, -3))
     mem.store_u64(0x108, nanbox.box_int32(1, 10))
-    cpu = run("""
+    run("""
         li s10, 0x100
         tld t0, 0(s10)
         tld t1, 8(s10)

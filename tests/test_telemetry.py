@@ -1,0 +1,247 @@
+"""Tests for the telemetry layer: the zero-overhead-when-disabled
+contract, the differential no-counter-change guarantee, sink output
+well-formedness and the exact profile reconciliation."""
+
+import json
+
+import pytest
+
+from repro.engines.lua import vm as lua_vm
+from repro.sim.trace import InstructionTracer
+from repro.telemetry import (
+    PROFILE_CATEGORIES,
+    ChromeTraceSink,
+    CollectorSink,
+    JsonlSink,
+    Telemetry,
+    attach_cpu,
+    detach_cpu,
+    run_profile,
+)
+from repro.uarch.pipeline import Machine
+
+SOURCE = "local s = 0 for i = 1, 20 do s = s + i * 2 end print(s)"
+
+
+# -- disabled path -------------------------------------------------------------
+
+def test_disabled_path_leaves_cpu_untouched():
+    """With no telemetry (or no relevant categories) the CPU runs the
+    plain class methods: no wrapper, no reference, no events."""
+    cpu, _runtime, _program = lua_vm.prepare(SOURCE, config="typed")
+    assert cpu.telemetry is None
+    assert "step" not in cpu.__dict__          # class method, not wrapper
+    assert "lookup" not in cpu.trt.__dict__
+
+    attach_cpu(None, cpu)
+    assert cpu.telemetry is None
+    assert "step" not in cpu.__dict__
+
+    empty = Telemetry(categories=())
+    attach_cpu(empty, cpu)
+    assert cpu.telemetry is None               # nothing wanted, no hook
+    assert "step" not in cpu.__dict__
+    assert "lookup" not in cpu.trt.__dict__
+
+    machine = Machine(cpu)
+    machine.run()
+    assert empty.events_emitted == 0
+    assert machine.icache.on_miss is None      # cache hook never installed
+    assert machine.dcache.on_miss is None
+
+
+def test_attach_detach_roundtrip():
+    cpu, _runtime, _program = lua_vm.prepare(SOURCE, config="typed")
+    telemetry = Telemetry(categories=PROFILE_CATEGORIES | {"retire"})
+    attach_cpu(telemetry, cpu)
+    assert "step" in cpu.__dict__
+    assert "lookup" in cpu.trt.__dict__
+    detach_cpu(cpu)
+    assert "step" not in cpu.__dict__
+    assert "lookup" not in cpu.trt.__dict__
+    assert cpu.telemetry is None
+
+
+# -- differential: telemetry observes, never perturbs --------------------------
+
+@pytest.mark.parametrize("config", ["baseline", "typed", "chklb"])
+def test_telemetry_changes_no_counters(config):
+    """Every simulated counter is bit-identical with telemetry on/off."""
+    plain = lua_vm.run_lua(SOURCE, config=config)
+    collector = CollectorSink()
+    telemetry = Telemetry(sinks=[collector],
+                          categories=PROFILE_CATEGORIES | {"retire"})
+    observed = lua_vm.run_lua(SOURCE, config=config, telemetry=telemetry)
+    assert observed.output == plain.output
+    assert observed.counters.as_dict() == plain.counters.as_dict()
+    assert telemetry.events_emitted > 0
+    # The retire stream saw exactly what the counters counted.
+    retires = len(collector.by_category("retire"))
+    assert retires == plain.counters.core_instructions
+
+
+def test_telemetry_changes_no_counters_js():
+    from repro.engines.js import vm as js_vm
+    source = "var s = 0; for (var i = 0; i < 9; i = i + 1) " \
+             "{ s = s + i; } print(s);"
+    plain = js_vm.run_js(source, config="typed")
+    telemetry = Telemetry(categories=PROFILE_CATEGORIES)
+    observed = js_vm.run_js(source, config="typed", telemetry=telemetry)
+    assert observed.counters.as_dict() == plain.counters.as_dict()
+
+
+# -- reconciliation ------------------------------------------------------------
+
+def test_flat_profile_reconciles_exactly():
+    """Per-opcode flat instruction/cycle totals sum to the counters'
+    totals with zero residue — startup included."""
+    result = run_profile("fibo", config="typed", scale=6)
+    counters = result.counters
+    assert result.total_profiled_instructions == \
+        counters.core_instructions
+    assert result.total_profiled_cycles == counters.cycles
+    assert sum(counters.bytecode_flat_instructions.values()) == \
+        counters.core_instructions
+    assert sum(counters.bytecode_flat_cycles.values()) == counters.cycles
+    assert "(startup)" in counters.bytecode_flat_cycles
+
+
+def test_flat_profile_matches_plain_run():
+    """The flat attribution is identical with telemetry off (it lives
+    in the timing loop, not the event stream)."""
+    plain = lua_vm.run_lua(SOURCE, config="typed")
+    counters = plain.counters
+    assert sum(counters.bytecode_flat_instructions.values()) == \
+        counters.core_instructions
+    assert sum(counters.bytecode_flat_cycles.values()) == counters.cycles
+
+
+def test_tracer_agrees_with_retire_counts():
+    """The instruction tracer consumes the same retire events the
+    profiler counts, so entry count == instret by construction."""
+    cpu, _runtime, _program = lua_vm.prepare(SOURCE, config="baseline")
+    tracer = InstructionTracer(cpu, limit=None)
+    tracer.run()
+    assert len(tracer.entries) == cpu.instret
+    assert tracer.entries[-1].index == cpu.instret
+
+
+def test_trt_attribution_sums_to_type_misses():
+    source = "var a = 2000000000; for (var i = 0; i < 5; i = i + 1) " \
+             "{ a = a + 2000000000; } print(a);"
+    result = run_profile(source_path(source, ".js"), config="typed")
+    counters = result.counters
+    assert sum(result.trt_misses.values()) == counters.type_misses
+    assert sum(result.trt_hits.values()) == counters.type_hits
+    for key in list(result.trt_misses) + list(result.trt_hits):
+        opcode, t1, t2 = key.split("/")
+        assert opcode and int(t1) >= 0 and int(t2) >= 0
+
+
+def source_path(source, suffix, _dir=[]):
+    import tempfile
+    if not _dir:
+        _dir.append(tempfile.mkdtemp(prefix="telemetry-test-"))
+    path = "%s/snippet%s" % (_dir[0], suffix)
+    with open(path, "w") as handle:
+        handle.write(source)
+    return path
+
+
+# -- sinks ---------------------------------------------------------------------
+
+def test_chrome_trace_is_valid_and_monotonic(tmp_path):
+    trace_path = tmp_path / "trace.json"
+    run_profile("fibo", config="typed", scale=6,
+                chrome_trace=str(trace_path))
+    payload = json.loads(trace_path.read_text())
+    events = payload["traceEvents"]
+    assert events, "empty trace"
+    spans = [e for e in events if e["ph"] in ("B", "E")]
+    assert spans, "no bytecode spans in trace"
+    timestamps = [e["ts"] for e in events if e["ph"] != "M"]
+    assert timestamps == sorted(timestamps), "non-monotonic ts"
+    # Span opens/closes balance (final E emitted at run end).
+    assert sum(1 for e in spans if e["ph"] == "B") == \
+        sum(1 for e in spans if e["ph"] == "E")
+    assert payload["displayTimeUnit"] == "ms"
+
+
+def test_chrome_trace_sink_idempotent_close(tmp_path):
+    path = tmp_path / "t.json"
+    sink = ChromeTraceSink(str(path))
+    sink.handle({"cat": "trap", "name": "overflow", "ts": 3, "pc": 16})
+    sink.close()
+    sink.close()
+    payload = json.loads(path.read_text())
+    instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+    assert instants[0]["args"]["pc"] == 16
+
+
+def test_jsonl_sink_streams_valid_lines(tmp_path):
+    events_path = tmp_path / "events.jsonl"
+    run_profile("fibo", config="typed", scale=6,
+                events_path=str(events_path))
+    lines = events_path.read_text().splitlines()
+    assert lines
+    categories = set()
+    for line in lines:
+        event = json.loads(line)
+        assert "cat" in event and "ts" in event
+        categories.add(event["cat"])
+    assert "bytecode" in categories
+
+
+def test_collector_sink_filters():
+    sink = CollectorSink(categories={"trap"})
+    sink.handle({"cat": "trap", "name": "overflow"})
+    sink.handle({"cat": "trt", "name": "trt_miss"})
+    assert len(sink) == 1
+    assert sink.by_category("trap")[0]["name"] == "overflow"
+
+
+def test_jsonl_sink_degrades_unserialisable_fields(tmp_path):
+    path = tmp_path / "x.jsonl"
+    sink = JsonlSink(str(path))
+    sink.handle({"cat": "retire", "name": "add", "ts": 0,
+                 "instr": object()})
+    sink.close()
+    event = json.loads(path.read_text())
+    assert event["instr"].startswith("<object object")
+
+
+# -- run record / cache integration --------------------------------------------
+
+def test_run_record_carries_telemetry_through_disk_cache(tmp_path):
+    from repro.bench import cache as result_cache
+    from repro.bench.runner import clear_cache, run_benchmark
+
+    with result_cache.temporary(tmp_path):
+        clear_cache()
+        telemetry = Telemetry(categories=PROFILE_CATEGORIES)
+        record = run_benchmark("lua", "fibo", "typed", scale=6,
+                               telemetry=telemetry)
+        assert record.telemetry["events"] == telemetry.events_emitted
+        assert record.telemetry["by_category"]
+        clear_cache()
+        cached = result_cache.active_cache().load("lua", "fibo", "typed",
+                                                  6)
+        assert cached is not None
+        assert cached.telemetry == record.telemetry
+        assert cached.counters.bytecode_flat_cycles == \
+            record.counters.bytecode_flat_cycles
+        assert cached.counters.trt_miss_keys == \
+            record.counters.trt_miss_keys
+    clear_cache()
+
+
+def test_profile_events_summary_counts():
+    collector = CollectorSink()
+    telemetry = Telemetry(sinks=[collector])
+    telemetry.emit({"cat": "trap", "name": "overflow"})
+    telemetry.emit({"cat": "trap", "name": "overflow"})
+    telemetry.emit({"cat": "stall", "name": "load_use"})
+    summary = telemetry.summary()
+    assert summary["events"] == 3
+    assert summary["by_category"] == {"trap": 2, "stall": 1}
+    assert len(collector) == 3

@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Repo linter: run ruff when available, else a built-in subset.
+
+CI installs real ruff (see ``.github/workflows/ci.yml``) and gets the
+full ``E``/``F``/``W`` rule set from ``pyproject.toml``.  Offline
+environments without ruff still get a high-signal pyflakes subset —
+module-level unused imports (F401), unused local assignments (F841)
+and syntax errors (E999) — plus the E501 line-length check, from a
+small AST walker with no dependencies.  The fallback is deliberately a
+*subset* of ruff's findings (scope-aware rules like F811 need real
+pyflakes), so a clean ruff run implies a clean fallback run, and any
+fallback finding would also fail CI.
+"""
+
+import ast
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+TARGETS = ("src", "tests", "benchmarks", "tools")
+LINE_LENGTH = 88
+
+
+def run_ruff():
+    """Returns ruff's exit code, or None when ruff is unavailable."""
+    import importlib.util
+    if importlib.util.find_spec("ruff") is None:
+        return None
+    proc = subprocess.run(
+        [sys.executable, "-m", "ruff", "check"]
+        + [str(ROOT / target) for target in TARGETS],
+        cwd=str(ROOT))
+    return proc.returncode
+
+
+def _module_level_imports(tree):
+    """``{bound_name: (lineno, imported_label)}`` for top-level imports
+    (function-scoped imports are skipped: they are usually deliberate
+    lazy imports and need scope analysis to judge)."""
+    imports = {}
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = (alias.asname or alias.name).split(".")[0]
+                imports[bound] = (node.lineno, alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                imports[bound] = (node.lineno, alias.name)
+    return imports
+
+
+def _loaded_names(tree):
+    loaded = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            loaded.add(node.id)
+    return loaded
+
+
+def _exported_names(tree):
+    exported = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) \
+                        and target.id == "__all__" \
+                        and isinstance(node.value, (ast.List, ast.Tuple)):
+                    for element in node.value.elts:
+                        if isinstance(element, ast.Constant):
+                            exported.add(element.value)
+    return exported
+
+
+def _unused_locals(tree):
+    """F841: names assigned exactly once and never loaded, per function.
+
+    Conservative (mirrors what pyflakes flags): skips underscore names,
+    tuple unpacking and augmented assignment.
+    """
+    findings = []
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        assigned = {}
+        loaded = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Name):
+                if isinstance(node.ctx, ast.Store):
+                    assigned.setdefault(node.id, node.lineno)
+                elif isinstance(node.ctx, ast.Load):
+                    loaded.add(node.id)
+            elif isinstance(node, (ast.Tuple, ast.List)) \
+                    and isinstance(getattr(node, "ctx", None), ast.Store):
+                for element in ast.walk(node):
+                    if isinstance(element, ast.Name):
+                        loaded.add(element.id)  # unpacking: don't flag
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name):
+                    loaded.add(node.target.id)
+            elif isinstance(node, (ast.Global, ast.Nonlocal)):
+                loaded.update(node.names)
+        for name, lineno in sorted(assigned.items(),
+                                   key=lambda kv: kv[1]):
+            if name not in loaded and not name.startswith("_"):
+                findings.append((lineno, "F841 local variable %r is "
+                                 "assigned to but never used" % name))
+    return findings
+
+
+def check_file(path):
+    """Built-in checks for one file; returns (lineno, message) pairs."""
+    findings = []
+    text = path.read_text()
+    lines = text.splitlines()
+    for lineno, line in enumerate(lines, 1):
+        if len(line) > LINE_LENGTH:
+            findings.append((lineno, "E501 line too long (%d > %d)"
+                             % (len(line), LINE_LENGTH)))
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as error:
+        findings.append((error.lineno or 0,
+                         "E999 syntax error: %s" % error.msg))
+        return findings
+    loaded = _loaded_names(tree)
+    exported = _exported_names(tree)
+    for name, (lineno, label) in sorted(_module_level_imports(tree).items(),
+                                        key=lambda kv: kv[1][0]):
+        if name not in loaded and name not in exported:
+            findings.append((lineno, "F401 %r imported but unused"
+                             % label))
+    findings.extend(_unused_locals(tree))
+    # Honour inline noqa markers the way ruff does, coarsely: any noqa
+    # on the offending line silences the fallback too.
+    return [(lineno, message) for lineno, message in findings
+            if not (0 < lineno <= len(lines)
+                    and "noqa" in lines[lineno - 1])]
+
+
+def run_fallback():
+    print("ruff not installed; running the built-in subset "
+          "(E501/E999/F401/F841)", file=sys.stderr)
+    failures = 0
+    for target in TARGETS:
+        directory = ROOT / target
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.rglob("*.py")):
+            for lineno, message in check_file(path):
+                print("%s:%d: %s"
+                      % (path.relative_to(ROOT), lineno, message))
+                failures += 1
+    if failures:
+        print("lint: %d finding(s)" % failures, file=sys.stderr)
+        return 1
+    print("lint: clean", file=sys.stderr)
+    return 0
+
+
+def main():
+    code = run_ruff()
+    if code is None:
+        return run_fallback()
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())
