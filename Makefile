@@ -3,7 +3,7 @@ JOBS ?=
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint sweep sweep-full figures clean-cache
+.PHONY: test lint sweep sweep-full figures perfbench clean-cache
 
 # Tier-1 verification.
 test:
@@ -25,6 +25,11 @@ sweep-full:
 # Regenerate benchmarks/results/ (shares the sweep via the disk cache).
 figures:
 	$(PYTHON) -m pytest -q benchmarks/
+
+# Host-side simulator performance: block engine vs per-instruction loop
+# over the figure-5 sweep; writes BENCH_simperf.json.
+perfbench:
+	$(PYTHON) tools/perfbench.py --out BENCH_simperf.json
 
 clean-cache:
 	rm -rf benchmarks/.cache

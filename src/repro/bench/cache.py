@@ -35,8 +35,9 @@ CACHE_ENV = "REPRO_CACHE_DIR"
 
 #: Bumped whenever the on-disk payload shape changes; a version
 #: mismatch is treated as a miss.  Version 2 added the optional
-#: ``telemetry`` summary and the flat/TRT attribution counters.
-FORMAT_VERSION = 2
+#: ``telemetry`` summary and the flat/TRT attribution counters;
+#: version 3 added host wall-clock and simulated-MIPS metadata.
+FORMAT_VERSION = 3
 
 _TREE_HASHES = {}
 
@@ -121,7 +122,9 @@ class ResultCache:
                 engine=engine, benchmark=benchmark, config=config,
                 scale=scale, output=payload["output"],
                 counters=Counters.from_dict(payload["counters"]),
-                telemetry=payload.get("telemetry"))
+                telemetry=payload.get("telemetry"),
+                wall_seconds=payload.get("wall_seconds", 0.0),
+                simulated_mips=payload.get("simulated_mips", 0.0))
         except (KeyError, TypeError):
             self.misses += 1
             return None
@@ -144,6 +147,8 @@ class ResultCache:
             "output": record.output,
             "counters": record.counters.as_dict(),
             "telemetry": record.telemetry,
+            "wall_seconds": record.wall_seconds,
+            "simulated_mips": record.simulated_mips,
         }
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:

@@ -39,6 +39,7 @@ class CellProgress:
     completed: int    #: cells finished so far, this sweep
     total: int        #: cells in the sweep
     cache_hits: int   #: cache hits so far, this sweep
+    mips: float = 0.0  #: the record's simulated MIPS (survives caching)
 
     @property
     def throughput(self):
@@ -111,7 +112,8 @@ def run_matrix_parallel(engines=ENGINES, benchmarks=BENCHMARK_ORDER,
                 seconds=seconds,
                 instructions=record.counters.instructions,
                 completed=state["completed"], total=total,
-                cache_hits=state["hits"]))
+                cache_hits=state["hits"],
+                mips=record.simulated_mips))
 
     disk = result_cache.active_cache() if use_cache else None
     pending = []

@@ -8,6 +8,7 @@ across processes.  For the multi-core sharded sweep see
 :func:`repro.bench.parallel.run_matrix_parallel`.
 """
 
+import time
 from dataclasses import dataclass
 
 from repro.bench import cache as result_cache
@@ -31,6 +32,11 @@ class RunRecord:
     with telemetry attached (``None`` for plain runs); it round-trips
     through the disk cache so sweep-level attribution reports can name
     what a cached run observed.
+
+    ``wall_seconds``/``simulated_mips`` record the host-side cost of
+    the simulation itself (simulated instructions per host second in
+    millions); they describe the run that produced the record, so they
+    round-trip through the disk cache unchanged.
     """
 
     engine: str
@@ -40,6 +46,8 @@ class RunRecord:
     output: str
     counters: object
     telemetry: dict = None
+    wall_seconds: float = 0.0
+    simulated_mips: float = 0.0
 
     @property
     def total_bytecodes(self):
@@ -78,7 +86,7 @@ def publish(record, disk=None):
 
 
 def run_benchmark(engine, benchmark, config, scale=None, use_cache=True,
-                  telemetry=None):
+                  telemetry=None, use_blocks=True, attribute=True):
     """Run one benchmark on one engine/config; returns a RunRecord.
 
     ``use_cache=False`` bypasses (and leaves untouched) both the
@@ -86,21 +94,36 @@ def run_benchmark(engine, benchmark, config, scale=None, use_cache=True,
     attaches an event bus to the run; a telemetry-enabled cell is
     always simulated fresh (the bus must observe the actual run) and
     its summary is carried in ``record.telemetry`` through the caches.
+
+    ``use_blocks`` enables the basic-block superinstruction engine
+    (see :mod:`repro.sim.blocks`); counters are bit-identical either
+    way, so cached records are shared across the setting.
+    ``attribute=False`` skips per-bytecode attribution — the fastest
+    way to run a cell, used by ``tools/perfbench.py`` — and forces the
+    cell to bypass the caches, since attribution-free counters would
+    starve the figure pipeline if they were ever served from cache.
     """
     spec = workload(benchmark)
     scale = scale or spec.default_scale
+    if not attribute:
+        use_cache = False
     if use_cache and telemetry is None:
         record = cached_record(engine, benchmark, config, scale)
         if record is not None:
             return record
     run, source_attr = _RUNNERS[engine]
     source = getattr(spec, source_attr)(scale)
-    result = run(source, config=config, telemetry=telemetry)
+    started = time.perf_counter()
+    result = run(source, config=config, telemetry=telemetry,
+                 use_blocks=use_blocks, attribute=attribute)
+    elapsed = time.perf_counter() - started
+    mips = result.counters.instructions / elapsed / 1e6 if elapsed else 0.0
     record = RunRecord(engine=engine, benchmark=benchmark, config=config,
                        scale=scale, output=result.output,
                        counters=result.counters,
                        telemetry=telemetry.summary()
-                       if telemetry is not None else None)
+                       if telemetry is not None else None,
+                       wall_seconds=elapsed, simulated_mips=mips)
     if use_cache:
         publish(record, disk=result_cache.active_cache())
     return record

@@ -41,7 +41,10 @@ def _cmd_run(args):
         counter_view = counters.as_dict()
     else:
         record = run_benchmark(args.engine, args.benchmark, args.config,
-                               scale=args.scale)
+                               scale=args.scale,
+                               use_blocks=not args.no_blocks,
+                               attribute=not args.no_attribution,
+                               use_cache=not args.fresh)
         output = record.output
         counter_view = record.counters.as_dict()
     sys.stdout.write(output)
@@ -50,13 +53,21 @@ def _cmd_run(args):
         if isinstance(value, dict):
             continue  # per-bytecode breakdowns; see ``profile``
         print("%-20s %s" % (key, value))
+    if args.model == "fast" and record.wall_seconds:
+        print("%-20s %.3f" % ("host_seconds", record.wall_seconds))
+        print("%-20s %.3f" % ("simulated_mips", record.simulated_mips))
     return 0
 
 
 def _progress_printer(event):
     engine, benchmark, config = event.key
-    status = "cache hit" if event.cached else \
-        "%.2fs, %.0fk instr/s" % (event.seconds, event.throughput / 1000.0)
+    if event.cached:
+        status = "cache hit"
+        if event.mips:
+            status += " (%.2f MIPS recorded)" % event.mips
+    else:
+        status = "%.2fs, %.0fk instr/s" % (event.seconds,
+                                           event.throughput / 1000.0)
     print("[%3d/%d] %s/%s [%s] %s" % (event.completed, event.total,
                                       engine, benchmark, config, status),
           file=sys.stderr)
@@ -279,6 +290,16 @@ def build_parser():
     run_parser.add_argument("--model", choices=("fast", "scoreboard"),
                             default="fast",
                             help="timing model (see docs/SIMULATOR.md)")
+    run_parser.add_argument("--no-blocks", action="store_true",
+                            help="disable the basic-block "
+                                 "superinstruction engine (counters are "
+                                 "identical; simulation is slower)")
+    run_parser.add_argument("--no-attribution", action="store_true",
+                            help="skip per-bytecode attribution: "
+                                 "fastest simulation (block engine), "
+                                 "never cached")
+    run_parser.add_argument("--fresh", action="store_true",
+                            help="bypass the result caches for this run")
     run_parser.set_defaults(func=_cmd_run)
 
     sweep_parser = sub.add_parser("sweep",

@@ -91,11 +91,15 @@ def prepare(source, config=BASELINE):
 
 
 def run_js(source, config=BASELINE, machine_config=None,
-           max_instructions=200_000_000, attribute=True, telemetry=None):
+           max_instructions=200_000_000, attribute=True, telemetry=None,
+           use_blocks=True):
     """Compile and execute MiniJS ``source`` on the simulated machine.
 
     ``telemetry`` optionally attaches an event bus (see
     :mod:`repro.telemetry`) to the CPU and timing model.
+    ``use_blocks`` enables the basic-block superinstruction engine
+    (only effective without attribution/telemetry; counters are
+    identical either way).
     """
     cpu, runtime, program = prepare(source, config)
     attribution = interpreter_program(config)[1] if attribute else None
@@ -103,7 +107,7 @@ def run_js(source, config=BASELINE, machine_config=None,
         from repro.telemetry import attach_cpu
         attach_cpu(telemetry, cpu)
     machine = Machine(cpu, config=machine_config, attribution=attribution,
-                      telemetry=telemetry)
+                      telemetry=telemetry, use_blocks=use_blocks)
     counters = machine.run(max_instructions=max_instructions)
     if telemetry is not None:
         telemetry.close()

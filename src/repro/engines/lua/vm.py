@@ -95,13 +95,17 @@ def prepare(source, config=BASELINE):
 
 
 def run_lua(source, config=BASELINE, machine_config=None,
-            max_instructions=200_000_000, attribute=True, telemetry=None):
+            max_instructions=200_000_000, attribute=True, telemetry=None,
+            use_blocks=True):
     """Compile and execute MiniLua ``source`` on the simulated machine.
 
     ``config`` selects the interpreter build: ``"baseline"`` (software
     type guards), ``"typed"`` (Typed Architecture) or ``"chklb"``
     (Checked Load).  ``telemetry`` optionally attaches an event bus
     (see :mod:`repro.telemetry`) to the CPU and timing model.
+    ``use_blocks`` enables the basic-block superinstruction engine
+    (only effective without attribution/telemetry; counters are
+    identical either way).
     """
     cpu, runtime, program = prepare(source, config)
     attribution = interpreter_program(config)[1] if attribute else None
@@ -109,7 +113,7 @@ def run_lua(source, config=BASELINE, machine_config=None,
         from repro.telemetry import attach_cpu
         attach_cpu(telemetry, cpu)
     machine = Machine(cpu, config=machine_config, attribution=attribution,
-                      telemetry=telemetry)
+                      telemetry=telemetry, use_blocks=use_blocks)
     counters = machine.run(max_instructions=max_instructions)
     if telemetry is not None:
         telemetry.close()

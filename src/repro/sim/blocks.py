@@ -1,0 +1,531 @@
+"""Basic-block superinstruction engine for the simulator hot loop.
+
+Every guest instruction normally costs two Python-level dispatches: the
+handler lookup in :meth:`repro.sim.cpu.Cpu.step` and the per-instruction
+kind/cache/stall accounting in :meth:`repro.uarch.pipeline.Machine.run`.
+This module amortises both the way the paper amortises per-operation
+type-check overhead in interpreters: straight-line work is fused so the
+dispatch is paid per *basic block*, not per instruction.
+
+A :class:`BlockTable` discovers blocks lazily, dynamic-binary-translation
+style: whenever control reaches an instruction index with no compiled
+block, the block starting there is compiled on the spot (so indirect-jump
+targets — the interpreter's bytecode dispatch — need no static leader
+analysis).  A block extends through conditional branches (guarded on the
+taken direction) and through the may-redirect typed instructions
+(``xadd``/``xsub``/``xmul``/``tchk``/``chklb``/``chklw``/``thdl``,
+guarded on the redirect), and ends at ``jal``/``jalr``/``ecall``/
+``ebreak`` or after :data:`MAX_BLOCK_LEN` instructions.
+
+Each block is compiled to one generated Python function that
+
+* calls the same semantic handlers as ``Cpu.step`` but with the
+  per-step side-channel resets hoisted to the few instructions that
+  read them (branches reset ``branch_taken``, typed ops reset
+  ``redirect``, ``tld``/``tsd`` reset ``mem_addr2``),
+* probes the I-cache once per fetched line instead of once per
+  instruction (re-fetches of the MRU line are guaranteed hits, so the
+  miss count, LRU state and DRAM interleaving are exactly preserved;
+  the access counter is bulk-credited at the block exits),
+* resolves load-use stalls statically: inside a block both sides of
+  every producer/consumer pair are known at compile time, so only the
+  stall against the *previous* block's last load needs a runtime check,
+* folds base cycles, execution-unit latencies and ``instret`` into
+  per-exit constants.
+
+Guard failures (taken branch, type-misprediction redirect, overflow
+trap, checked-load miss, ``thdl`` deoptimisation) simply return to the
+dispatch loop, which resumes — per block or, near the instruction
+budget, per single instruction — at the redirected PC.  Counters and
+cycles are bit-identical with the per-instruction loop; the
+differential suite in ``tests/test_blocks.py`` enforces this across
+every benchmark cell.
+
+Compiled tables are cached per ``(program, machine-config)`` — the
+assembled interpreters are themselves cached per engine configuration,
+so one sweep compiles each interpreter's hot blocks exactly once.
+"""
+
+import weakref
+
+from repro.sim.cpu import _DISPATCH, to_signed, to_unsigned
+from repro.sim.errors import IllegalInstruction
+from repro.uarch.pipeline import (
+    K_BRANCH,
+    K_CHECK,
+    K_DIV,
+    K_ECALL,
+    K_FP_ALU,
+    K_FP_DIV,
+    K_FP_SQRT,
+    K_JAL,
+    K_JALR,
+    K_LOAD,
+    K_MUL,
+    K_STORE,
+    K_TAGGED_ALU,
+    _kind_of,
+)
+
+#: Block growth stops after this many instructions even without a
+#: terminator; longer blocks buy little and inflate the near-budget
+#: single-step window.
+MAX_BLOCK_LEN = 64
+
+#: Instructions that always end a block: indirect control flow lands at
+#: a fresh dispatch anyway, ``ecall`` may touch arbitrary host state and
+#: ``ebreak`` halts the machine.
+_TERMINATORS = frozenset(["jal", "jalr", "ecall", "ebreak"])
+
+_EXTRA_LATENCY = {K_MUL: "mul", K_DIV: "div", K_FP_ALU: "fp_alu",
+                  K_FP_DIV: "fp_div", K_FP_SQRT: "fp_sqrt"}
+
+
+class BlockTable:
+    """Lazily compiled superinstruction blocks for one program/config.
+
+    ``blocks[index]`` holds ``(fn, count)`` — the compiled block entered
+    at instruction ``index`` and the instruction count of its full
+    (unbailed) execution — or ``None`` before first use.  ``fn`` takes
+    only per-run state (cpu, stall carry, cache/DRAM/front-end/counter
+    objects), so one table serves every run of the same program under
+    the same machine configuration.
+    """
+
+    def __init__(self, program, config):
+        # Deliberately no reference to ``program`` itself: the table
+        # lives in a WeakKeyDictionary keyed by the program.
+        self.instructions = program.instructions
+        self.base = program.base
+        self.config = config
+        self.line_shift = config.icache.line_bytes.bit_length() - 1
+        try:
+            self.handlers = [_DISPATCH[i.mnemonic]
+                             for i in program.instructions]
+        except KeyError as err:
+            raise IllegalInstruction("no semantics for %s" % err) from None
+        self.kinds = [_kind_of(i.mnemonic) for i in program.instructions]
+        self.blocks = [None] * len(program.instructions)
+        self._singles = {}
+        self.compiled = 0
+
+    def block_at(self, index):
+        """The block entered at ``index``, compiling it on first use."""
+        entry = self.blocks[index]
+        if entry is None:
+            entry = _compile_block(self, index, MAX_BLOCK_LEN)
+            self.blocks[index] = entry
+            self.compiled += 1
+        return entry
+
+    def single_at(self, index):
+        """A one-instruction block (used near the instruction budget so
+        the ``ExecutionLimitExceeded`` point stays exact)."""
+        entry = self._singles.get(index)
+        if entry is None:
+            entry = _compile_block(self, index, 1)
+            self._singles[index] = entry
+        return entry
+
+
+_M = (1 << 64) - 1
+_S = 1 << 63
+_UNTYPED = 0xFF  # repro.isa.extension.TYPE_UNTYPED
+
+#: Biased compare: ``to_signed(a) < to_signed(b)`` iff
+#: ``(a ^ _S) < (b ^ _S)`` on the unsigned representations.
+_BRANCH_COND = {
+    "beq": "V[%(a)d] == V[%(b)d]",
+    "bne": "V[%(a)d] != V[%(b)d]",
+    "blt": "(V[%(a)d] ^ %(S)d) < (V[%(b)d] ^ %(S)d)",
+    "bge": "(V[%(a)d] ^ %(S)d) >= (V[%(b)d] ^ %(S)d)",
+    "bltu": "V[%(a)d] < V[%(b)d]",
+    "bgeu": "V[%(a)d] >= V[%(b)d]",
+}
+
+_LOAD_ARGS = {"lb": (1, True), "lh": (2, True), "lw": (4, True),
+              "ld": (8, False), "lbu": (1, False), "lhu": (2, False),
+              "lwu": (4, False)}
+_STORE_WIDTH = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
+
+
+def _word_of(var):
+    """Source for ``_word(var)``: truncate to 32 bits, sign-extend."""
+    return "((%s & 2147483647) - (%s & 2147483648)) & %d" % (var, var, _M)
+
+
+def _alu_inline(i):
+    """``(stmts, expr)`` computing an inlined ALU result into registers
+    exactly as the cpu.py handler would, or ``None`` if not inlined.
+
+    The expressions mirror the ``_alu_imm``/``_alu_reg`` lambda bodies in
+    :mod:`repro.sim.cpu` (including their final ``& MASK64``); constants
+    involving the immediate are folded at compile time.
+    """
+    mn = i.mnemonic
+    a, b, imm = i.rs1, i.rs2, i.imm
+    M, S = _M, _S
+    if mn == "addi":
+        return [], "(V[%d] + %d) & %d" % (a, imm, M)
+    if mn == "andi":
+        return [], "V[%d] & %d" % (a, imm & M)
+    if mn == "ori":
+        return [], "V[%d] | %d" % (a, imm & M)
+    if mn == "xori":
+        return [], "V[%d] ^ %d" % (a, imm & M)
+    if mn == "slli":
+        return [], "(V[%d] << %d) & %d" % (a, imm & 0x3F, M)
+    if mn == "srli":
+        return [], "V[%d] >> %d" % (a, imm & 0x3F)
+    if mn == "srai":
+        return (["w = V[%d]" % a],
+                "((w - ((w & %d) << 1)) >> %d) & %d" % (S, imm & 0x3F, M))
+    if mn == "slti":
+        return [], "1 if (V[%d] ^ %d) < %d else 0" % (a, S, (imm & M) ^ S)
+    if mn == "sltiu":
+        return [], "1 if V[%d] < %d else 0" % (a, imm & M)
+    if mn == "addiw":
+        return ["w = V[%d] + %d" % (a, imm)], _word_of("w")
+    if mn == "add":
+        return [], "(V[%d] + V[%d]) & %d" % (a, b, M)
+    if mn == "sub":
+        return [], "(V[%d] - V[%d]) & %d" % (a, b, M)
+    if mn == "and":
+        return [], "V[%d] & V[%d]" % (a, b)
+    if mn == "or":
+        return [], "V[%d] | V[%d]" % (a, b)
+    if mn == "xor":
+        return [], "V[%d] ^ V[%d]" % (a, b)
+    if mn == "sll":
+        return [], "(V[%d] << (V[%d] & 63)) & %d" % (a, b, M)
+    if mn == "srl":
+        return [], "V[%d] >> (V[%d] & 63)" % (a, b)
+    if mn == "sra":
+        return (["w = V[%d]" % a],
+                "((w - ((w & %d) << 1)) >> (V[%d] & 63)) & %d" % (S, b, M))
+    if mn == "slt":
+        return [], "1 if (V[%d] ^ %d) < (V[%d] ^ %d) else 0" % (a, S, b, S)
+    if mn == "sltu":
+        return [], "1 if V[%d] < V[%d] else 0" % (a, b)
+    if mn == "mul":
+        return [], "(V[%d] * V[%d]) & %d" % (a, b, M)
+    if mn == "addw":
+        return ["w = V[%d] + V[%d]" % (a, b)], _word_of("w")
+    if mn == "subw":
+        return ["w = V[%d] - V[%d]" % (a, b)], _word_of("w")
+    if mn == "mulw":
+        return ["w = V[%d] * V[%d]" % (a, b)], _word_of("w")
+    if mn == "lui":
+        value = to_unsigned(to_signed(imm << 12, 32))
+        return [], "%d" % value
+    return None
+
+
+def _compile_block(table, start, max_len):
+    """Generate, ``exec`` and return ``(fn, count)`` for the block
+    entered at instruction index ``start``.
+
+    The generated function mirrors the per-instruction timing loop of
+    :meth:`Machine._run_interpreted` statement for statement; every
+    stateful call (front-end training, D-cache probes, DRAM row-buffer
+    accesses) is emitted in the original per-instruction order so the
+    counters stay bit-identical.
+    """
+    instrs = table.instructions
+    kinds = table.kinds
+    handlers = table.handlers
+    base = table.base
+    lat = table.config.latency
+    redirect_penalty = table.config.branch.miss_penalty
+    lus = lat.load_use_stall
+    line_shift = table.line_shift
+
+    stop = min(len(instrs), start + max_len)
+    for j in range(start, stop):
+        if instrs[j].mnemonic in _TERMINATORS:
+            stop = j + 1
+            break
+    count = stop - start
+
+    sig = ["cpu", "prev", "ic", "dc", "dr", "fe", "ct", "icc"]
+    body = []
+    uses = set()  # which preamble bindings the block needs
+
+    # Statically accumulated state, snapshotted at every exit point.
+    pend = 0      # cycles known at compile time (base + units + stalls)
+    probed = 0    # I-cache probes emitted so far
+    stalls = 0    # load-use stalls known at compile time
+    prev_out = -1  # load destination carried across one instruction
+    # ``cpu.pc`` is materialised lazily: inlined instructions skip the
+    # per-instruction update, so it must be restored from the static PC
+    # before any handler call or exit that relies on it.
+    pc_stale = False
+
+    def emit_exit(k, prev_value, indent, exit_pc=None):
+        executed = k + 1
+        if exit_pc is not None:
+            body.append("%scpu.pc = %d" % (indent, exit_pc))
+        body.append("%scpu.instret += %d" % (indent, executed))
+        extra = executed - probed
+        if extra:
+            body.append("%sicc.accesses += %d" % (indent, extra))
+        if stalls:
+            body.append("%sct.load_use_stalls += %d" % (indent, stalls))
+        body.append("%sreturn c + %d, %d" % (indent, pend, prev_value))
+
+    for k in range(count):
+        i = instrs[start + k]
+        kind = kinds[start + k]
+        pc = base + 4 * (start + k)
+        mn = i.mnemonic
+        pend += 1  # base cycle (single-issue in-order)
+
+        # Load-use interlock: inside the block both sides are static;
+        # only the first instruction races the previous block's load.
+        if k == 0:
+            regs = sorted({r for r in (i.rs1, i.rs2) if r})
+            if regs:
+                cond = " or ".join("prev == %d" % r for r in regs)
+                body.append("    if %s:" % cond)
+                body.append("        c += %d" % lus)
+                body.append("        ct.load_use_stalls += 1")
+        elif prev_out > 0 and prev_out in (i.rs1, i.rs2):
+            pend += lus
+            stalls += 1
+
+        # One real I-cache probe per fetched line; later instructions on
+        # the line are guaranteed MRU hits and are credited at the exits.
+        if k == 0 or (pc >> line_shift) != ((pc - 4) >> line_shift):
+            body.append("    if not ic(%d): c += dr(%d)" % (pc, pc))
+            probed += 1
+
+        prev_next = -1
+        alu = None
+        if mn in _BRANCH_COND:
+            # Inline branch: the front end is trained with the same
+            # (pc, taken, next-pc) triple, just with constants folded
+            # per direction.
+            uses.add("regs")
+            target = (pc + i.imm) & _M
+            cond = _BRANCH_COND[mn] % {"a": i.rs1, "b": i.rs2, "S": _S}
+            body.append("    if %s:" % cond)
+            body.append("        c += fe.conditional_branch(%d, True, %d)"
+                        % (pc, target))
+            body.append("        cpu.pc = %d" % target)
+            emit_exit(k, -1, "        ")
+            body.append("    c += fe.conditional_branch(%d, False, %d)"
+                        % (pc, pc + 4))
+            pc_stale = True
+        elif mn == "jal":
+            if i.rd:
+                uses.add("regs")
+                body.append("    V[%d] = %d" % (i.rd, pc + 4))
+                body.append("    T[%d] = %d" % (i.rd, _UNTYPED))
+                body.append("    F[%d] = 0" % i.rd)
+            target = (pc + i.imm) & _M
+            body.append("    cpu.pc = %d" % target)
+            body.append("    c += fe.direct_jump(%d, %d, %s, %d)"
+                        % (pc, target, i.rd == 1, pc + 4))
+            emit_exit(k, -1, "    ")
+        elif mn == "jalr":
+            uses.add("regs")
+            # Target read before the link write (rd may equal rs1).
+            body.append("    t = (V[%d] + %d) & %d"
+                        % (i.rs1, i.imm, _M - 1))
+            if i.rd:
+                body.append("    V[%d] = %d" % (i.rd, pc + 4))
+                body.append("    T[%d] = %d" % (i.rd, _UNTYPED))
+                body.append("    F[%d] = 0" % i.rd)
+            body.append("    cpu.pc = t")
+            body.append("    c += fe.indirect_jump(%d, t, %s, %s, %d)"
+                        % (pc, i.rd == 0 and i.rs1 == 1, i.rd == 1,
+                           pc + 4))
+            emit_exit(k, -1, "    ")
+        elif mn in _LOAD_ARGS:
+            uses.add("regs")
+            uses.add("mem")
+            width, signed = _LOAD_ARGS[mn]
+            body.append("    a = (V[%d] + %d) & %d" % (i.rs1, i.imm, _M))
+            if signed:
+                body.append("    x = ML(a, %d, True) & %d" % (width, _M))
+            else:
+                body.append("    x = ML(a, %d)" % width)
+            body.append("    if not dc(a): c += dr(a)")
+            if i.rd:
+                body.append("    V[%d] = x" % i.rd)
+                body.append("    T[%d] = %d" % (i.rd, _UNTYPED))
+                body.append("    F[%d] = 0" % i.rd)
+            prev_next = i.rd or -1
+            pc_stale = True
+        elif mn in _STORE_WIDTH:
+            uses.add("regs")
+            uses.add("mem")
+            body.append("    a = (V[%d] + %d) & %d" % (i.rs1, i.imm, _M))
+            body.append("    MS(a, %d, V[%d])"
+                        % (_STORE_WIDTH[mn], i.rs2))
+            body.append("    if not dc(a): c += dr(a)")
+            pc_stale = True
+        elif mn == "auipc":
+            if i.rd:
+                uses.add("regs")
+                value = (pc + to_signed(i.imm << 12, 32)) & _M
+                body.append("    V[%d] = %d" % (i.rd, value))
+                body.append("    T[%d] = %d" % (i.rd, _UNTYPED))
+                body.append("    F[%d] = 0" % i.rd)
+            pc_stale = True
+        elif (alu := _alu_inline(i)) is not None:
+            stmts, expr = alu
+            if i.rd:
+                uses.add("regs")
+                for stmt in stmts:
+                    body.append("    " + stmt)
+                body.append("    V[%d] = %s" % (i.rd, expr))
+                body.append("    T[%d] = %d" % (i.rd, _UNTYPED))
+                body.append("    F[%d] = 0" % i.rd)
+            # rd == x0: the handler's computation is pure, so a dead
+            # write is simply elided.
+            if kind == K_MUL:
+                pend += lat.mul
+            pc_stale = True
+        else:
+            # Handler-called fallback: the handler reads/writes cpu.pc,
+            # so materialise it first if inlined code left it stale.
+            if pc_stale:
+                body.append("    cpu.pc = %d" % pc)
+                pc_stale = False
+            sig.append("h%d=_h[%d]" % (k, k))
+            sig.append("i%d=_i[%d]" % (k, k))
+            call = "h%d(cpu, i%d)" % (k, k)
+            if kind == K_BRANCH:
+                body.append("    cpu.branch_taken = False")
+                body.append("    " + call)
+                body.append("    c += fe.conditional_branch(%d, "
+                            "cpu.branch_taken, cpu.pc)" % pc)
+                body.append("    if cpu.branch_taken:")
+                emit_exit(k, -1, "        ")
+            elif kind == K_JAL:
+                body.append("    " + call)
+                body.append("    c += fe.direct_jump(%d, cpu.pc, %s, %d)"
+                            % (pc, i.rd == 1, pc + 4))
+                emit_exit(k, -1, "    ")
+            elif kind == K_JALR:
+                body.append("    " + call)
+                body.append("    c += fe.indirect_jump(%d, cpu.pc, "
+                            "%s, %s, %d)"
+                            % (pc, i.rd == 0 and i.rs1 == 1, i.rd == 1,
+                               pc + 4))
+                emit_exit(k, -1, "    ")
+            elif kind == K_LOAD:
+                if mn == "tld":
+                    body.append("    cpu.mem_addr2 = None")
+                body.append("    " + call)
+                body.append("    if not dc(cpu.mem_addr): "
+                            "c += dr(cpu.mem_addr)")
+                if mn == "tld":
+                    body.append("    m = cpu.mem_addr2")
+                    body.append("    if m is not None and not dc(m): "
+                                "c += dr(m)")
+                prev_next = i.rd or -1
+                if mn == "chklw":
+                    # Checked load classified as a plain load by the
+                    # timing model: no redirect penalty, but the PC may
+                    # have been redirected to R_hdl — guard the
+                    # fall-through.
+                    body.append("    if cpu.pc != %d:" % (pc + 4))
+                    emit_exit(k, prev_next, "        ")
+            elif kind == K_STORE:
+                if mn == "tsd":
+                    body.append("    cpu.mem_addr2 = None")
+                body.append("    " + call)
+                body.append("    if not dc(cpu.mem_addr): "
+                            "c += dr(cpu.mem_addr)")
+                if mn == "tsd":
+                    body.append("    m = cpu.mem_addr2")
+                    body.append("    if m is not None and not dc(m): "
+                                "c += dr(m)")
+            elif kind == K_TAGGED_ALU:
+                body.append("    cpu.redirect = False")
+                body.append("    " + call)
+                body.append("    if cpu.redirect:")
+                body.append("        c += %d" % redirect_penalty)
+                emit_exit(k, -1, "        ")
+                if mn == "xmul":
+                    pend += lat.mul  # charged on the fast path
+                elif i.rd:
+                    body.append("    if cpu.regs.fbit[%d]: c += %d"
+                                % (i.rd, lat.fp_alu))
+            elif kind == K_CHECK:
+                body.append("    cpu.redirect = False")
+                body.append("    " + call)
+                if mn != "tchk":
+                    body.append("    if not dc(cpu.mem_addr): "
+                                "c += dr(cpu.mem_addr)")
+                body.append("    if cpu.redirect:")
+                body.append("        c += %d" % redirect_penalty)
+                emit_exit(k, -1, "        ")
+                if mn != "tchk":
+                    prev_next = i.rd or -1
+            elif kind == K_ECALL:
+                body.append("    " + call)
+                body.append("    m = cpu.pending_host_cost")
+                body.append("    cpu.pending_host_cost = 0")
+                body.append("    ct.host_instructions += m")
+                body.append("    ct.host_calls += 1")
+                body.append("    c += int(m * %r)" % lat.host_cpi)
+                emit_exit(k, -1, "    ")
+            else:
+                body.append("    " + call)
+                if mn == "ebreak":
+                    emit_exit(k, -1, "    ")
+                elif mn == "thdl":
+                    # With the Section-5 path selector armed, thdl may
+                    # redirect straight to the slow path.
+                    body.append("    if cpu.pc != %d:" % (pc + 4))
+                    emit_exit(k, -1, "        ")
+                extra = _EXTRA_LATENCY.get(kind)
+                if extra is not None:
+                    pend += getattr(lat, extra)
+        prev_out = prev_next
+
+    if instrs[stop - 1].mnemonic not in _TERMINATORS:
+        emit_exit(count - 1, prev_out, "    ",
+                  exit_pc=base + 4 * stop if pc_stale else None)
+
+    lines = ["def _block(%s):" % ", ".join(sig), "    c = 0"]
+    if "regs" in uses:
+        lines.append("    r = cpu.regs")
+        lines.append("    V = r.value; T = r.type; F = r.fbit")
+    if "mem" in uses:
+        lines.append("    m_ = cpu.mem")
+        lines.append("    ML = m_.load; MS = m_.store")
+    lines.extend(body)
+
+    namespace = {
+        "_h": tuple(handlers[start:stop]),
+        "_i": tuple(instrs[start:stop]),
+        "int": int,
+    }
+    code = compile("\n".join(lines), "<block@0x%x>" % (base + 4 * start),
+                   "exec")
+    exec(code, namespace)
+    return namespace["_block"], count
+
+
+# One table per (program, machine config).  Keyed weakly so throwaway
+# test programs do not pin their tables; the values hold no reference
+# back to the program object.
+_TABLES = weakref.WeakKeyDictionary()
+
+
+def block_table(program, config):
+    """The (shared, lazily filled) :class:`BlockTable` for a program
+    under a machine configuration."""
+    per_program = _TABLES.get(program)
+    if per_program is None:
+        per_program = {}
+        _TABLES[program] = per_program
+    table = per_program.get(config)
+    if table is None:
+        table = BlockTable(program, config)
+        per_program[config] = table
+    return table

@@ -31,6 +31,8 @@ INT64_MIN = -(1 << 63)
 
 def to_signed(value, bits=64):
     """Interpret ``value`` as a signed ``bits``-wide integer."""
+    if bits == 64:  # the common case: constants precomputed
+        return (value & (SIGN64 - 1)) - (value & SIGN64)
     sign = 1 << (bits - 1)
     return (value & (sign - 1)) - (value & sign)
 
@@ -39,13 +41,17 @@ def to_unsigned(value):
     return value & MASK64
 
 
+_PACK_U64 = struct.Struct("<Q")
+_PACK_F64 = struct.Struct("<d")
+
+
 def bits_to_float(bits):
-    return struct.unpack("<d", struct.pack("<Q", bits & MASK64))[0]
+    return _PACK_F64.unpack(_PACK_U64.pack(bits & MASK64))[0]
 
 
 def float_to_bits(value):
     try:
-        return struct.unpack("<Q", struct.pack("<d", value))[0]
+        return _PACK_U64.unpack(_PACK_F64.pack(value))[0]
     except (OverflowError, ValueError):
         # Infinity with the right sign for out-of-range magnitudes.
         return 0xFFF0000000000000 if value < 0 else 0x7FF0000000000000

@@ -33,6 +33,10 @@ class Cache:
         self.accesses += 1
         line = addr >> self.line_shift
         entry = self._sets[line & self.set_mask]
+        # MRU fast path: re-touching the most recent line leaves the LRU
+        # order unchanged, so skip the remove/append churn.
+        if entry and entry[-1] == line:
+            return True
         tag = line >> 0  # full line id doubles as the tag
         try:
             entry.remove(tag)

@@ -22,7 +22,7 @@ from repro.isa.instructions import (
     LOAD_MNEMONICS,
     STORE_MNEMONICS,
 )
-from repro.sim.errors import ExecutionLimitExceeded
+from repro.sim.errors import ExecutionLimitExceeded, IllegalInstruction
 from repro.sim.trt import attribution_keys
 from repro.uarch.branch import FrontEnd
 from repro.uarch.cache import Cache
@@ -124,7 +124,8 @@ class Machine:
     guards live inside branches that are already rare).
     """
 
-    def __init__(self, cpu, config=None, attribution=None, telemetry=None):
+    def __init__(self, cpu, config=None, attribution=None, telemetry=None,
+                 use_blocks=True):
         self.cpu = cpu
         self.config = config or DEFAULT_CONFIG
         self.icache = Cache(self.config.icache, name="icache")
@@ -134,11 +135,70 @@ class Machine:
         self.counters = Counters()
         self.attribution = attribution
         self.telemetry = telemetry
+        self.use_blocks = use_blocks
         self._kinds = [_kind_of(i.mnemonic)
                        for i in cpu.program.instructions]
 
     def run(self, max_instructions=200_000_000):
-        """Run to completion, accumulating cycles and counters."""
+        """Run to completion, accumulating cycles and counters.
+
+        Uses the basic-block superinstruction engine
+        (:mod:`repro.sim.blocks`) when nothing needs per-instruction
+        visibility; attribution, telemetry (machine- or cpu-level) and
+        tracers that rebind ``cpu.step`` all fall back to the
+        per-instruction loop.  Both engines produce bit-identical
+        counters and cycles.
+        """
+        if (self.use_blocks and self.attribution is None
+                and self.telemetry is None
+                and self.cpu.telemetry is None
+                and "step" not in self.cpu.__dict__):
+            return self._run_blocks(max_instructions)
+        return self._run_interpreted(max_instructions)
+
+    def _run_blocks(self, max_instructions):
+        """Block-at-a-time dispatch loop (see :mod:`repro.sim.blocks`)."""
+        from repro.sim.blocks import block_table
+
+        cpu = self.cpu
+        table = block_table(cpu.program, self.config)
+        blocks = table.blocks
+        base = table.base
+        icache = self.icache
+        ic = icache.access
+        dc = self.dcache.access
+        dr = self.dram.access
+        frontend = self.frontend
+        counters = self.counters
+        cycles = 0
+        prev = -1
+
+        while not cpu.halted:
+            index = (cpu.pc - base) >> 2
+            if 0 <= index < len(blocks):
+                entry = blocks[index]
+                if entry is None:
+                    entry = table.block_at(index)
+            else:
+                raise IllegalInstruction(
+                    "PC 0x%x outside program" % cpu.pc)
+            if cpu.instret + entry[1] > max_instructions:
+                # Close to the budget: fall back to single-instruction
+                # blocks so the limit trips at the exact instruction.
+                entry = table.single_at(index)
+            c, prev = entry[0](cpu, prev, ic, dc, dr, frontend,
+                               counters, icache)
+            cycles += c
+            if cpu.instret >= max_instructions:
+                raise ExecutionLimitExceeded(
+                    "exceeded %d instructions at PC 0x%x"
+                    % (max_instructions, cpu.pc))
+
+        return self._finalize(cycles)
+
+    def _run_interpreted(self, max_instructions):
+        """Reference per-instruction loop (always used with attribution
+        or telemetry attached)."""
         cpu = self.cpu
         config = self.config
         latency = config.latency
@@ -316,21 +376,7 @@ class Machine:
                 ev_bytecode.emit({"cat": "bytecode", "ph": "E",
                                   "name": entry_names[current_entry]})
 
-        counters.cycles = cycles
-        counters.core_instructions = cpu.instret
-        counters.branches = frontend.branches
-        counters.branch_mispredicts = frontend.mispredicts
-        counters.btb_misses = frontend.btb_misses
-        counters.icache_accesses = icache.accesses
-        counters.icache_misses = icache.misses
-        counters.dcache_accesses = dcache.accesses
-        counters.dcache_misses = dcache.misses
-        counters.type_hits = cpu.trt.hits
-        counters.type_misses = cpu.trt.misses
-        counters.overflow_traps = cpu.overflow_traps
-        counters.chk_hits = cpu.chk_hits
-        counters.chk_misses = cpu.chk_misses
-        counters.trt_miss_keys = attribution_keys(cpu.trt.miss_keys)
+        self._finalize(cycles)
         if attribution is not None:
             counters.bucket_instructions = dict(
                 zip(attribution.bucket_names, bucket_counts))
@@ -347,4 +393,25 @@ class Machine:
             counters.bytecode_flat_cycles = {
                 name: count for name, count
                 in zip(flat_names, flat_cycles) if count}
+        return counters
+
+    def _finalize(self, cycles):
+        """Publish run totals from the model state into the counters."""
+        cpu = self.cpu
+        counters = self.counters
+        counters.cycles = cycles
+        counters.core_instructions = cpu.instret
+        counters.branches = self.frontend.branches
+        counters.branch_mispredicts = self.frontend.mispredicts
+        counters.btb_misses = self.frontend.btb_misses
+        counters.icache_accesses = self.icache.accesses
+        counters.icache_misses = self.icache.misses
+        counters.dcache_accesses = self.dcache.accesses
+        counters.dcache_misses = self.dcache.misses
+        counters.type_hits = cpu.trt.hits
+        counters.type_misses = cpu.trt.misses
+        counters.overflow_traps = cpu.overflow_traps
+        counters.chk_hits = cpu.chk_hits
+        counters.chk_misses = cpu.chk_misses
+        counters.trt_miss_keys = attribution_keys(cpu.trt.miss_keys)
         return counters

@@ -88,6 +88,21 @@ def test_timing_is_deterministic(text):
     assert first.as_dict() == second.as_dict()
 
 
+@settings(max_examples=40, deadline=None)
+@given(text=straight_line_programs())
+def test_block_engine_matches_interpreter(text):
+    """The superinstruction engine is an optimisation, not a model:
+    counters, cycles and architectural state must be bit-identical to
+    the per-instruction loop on arbitrary instruction mixes."""
+    ref_cpu = Cpu(assemble(text), Memory(size=1 << 16))
+    ref = Machine(ref_cpu, use_blocks=False).run(max_instructions=100_000)
+    blk_cpu = Cpu(assemble(text), Memory(size=1 << 16))
+    blk = Machine(blk_cpu).run(max_instructions=100_000)
+    assert blk.as_dict() == ref.as_dict()
+    assert blk_cpu.regs.value == ref_cpu.regs.value
+    assert blk_cpu.mem.data == ref_cpu.mem.data
+
+
 @settings(max_examples=30, deadline=None)
 @given(text=straight_line_programs())
 def test_functional_state_independent_of_timing(text):

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Simulator-performance benchmark: block engine vs per-instruction loop.
+
+Runs the figure-5 sweep cells fresh (attribution off, caches bypassed)
+twice — once with the basic-block superinstruction engine disabled and
+once enabled — and reports host wall-clock, simulated MIPS and the
+speedup per cell plus the geometric-mean speedup, verifying along the
+way that both engines produced bit-identical counters and output.
+
+Writes ``BENCH_simperf.json`` (override with ``--out``) so the perf
+trajectory of the simulator itself is trackable run over run; CI runs
+``--smoke`` (a 4-cell subset) and uploads the JSON as an artifact.
+
+Usage:
+    PYTHONPATH=src python tools/perfbench.py [--smoke] [--out PATH]
+        [--min-speedup X]
+
+Exit status is non-zero when any cell's counters differ between the
+engines, or when ``--min-speedup`` is given and the geomean falls
+below it.
+"""
+
+import argparse
+import json
+import math
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.runner import ENGINES, run_benchmark  # noqa: E402
+from repro.bench.workloads import BENCHMARK_ORDER  # noqa: E402
+from repro.engines import CONFIGS  # noqa: E402
+
+#: --smoke subset: small scales, one engine, two configs — a few
+#: seconds end to end, still covering typed-extension opcodes.
+SMOKE_CELLS = [
+    ("lua", "fibo", "baseline", 8),
+    ("lua", "fibo", "typed", 8),
+    ("lua", "n-sieve", "baseline", 200),
+    ("lua", "n-sieve", "typed", 200),
+]
+
+
+def full_cells():
+    """The figure-5 sweep: every engine x benchmark x config at the
+    default input scales."""
+    return [(engine, benchmark, config, None)
+            for engine in ENGINES
+            for benchmark in BENCHMARK_ORDER
+            for config in CONFIGS]
+
+
+def warm_up(cells):
+    """Pay one-time costs (interpreter assembly, block compilation)
+    before the measured runs."""
+    seen = set()
+    for engine, _benchmark, config, _scale in cells:
+        if (engine, config) in seen:
+            continue
+        seen.add((engine, config))
+        for use_blocks in (False, True):
+            run_benchmark(engine, "fibo", config, scale=4,
+                          use_cache=False, attribute=False,
+                          use_blocks=use_blocks)
+
+
+def measure(cells, echo=print):
+    results = []
+    for index, (engine, benchmark, config, scale) in enumerate(cells):
+        legacy = run_benchmark(engine, benchmark, config, scale=scale,
+                               use_cache=False, attribute=False,
+                               use_blocks=False)
+        blocks = run_benchmark(engine, benchmark, config, scale=scale,
+                               use_cache=False, attribute=False,
+                               use_blocks=True)
+        identical = (legacy.counters.as_dict() == blocks.counters.as_dict()
+                     and legacy.output == blocks.output)
+        speedup = legacy.wall_seconds / blocks.wall_seconds \
+            if blocks.wall_seconds else 0.0
+        results.append({
+            "engine": engine,
+            "benchmark": benchmark,
+            "config": config,
+            "scale": legacy.scale,
+            "instructions": legacy.counters.instructions,
+            "seconds_legacy": round(legacy.wall_seconds, 4),
+            "seconds_blocks": round(blocks.wall_seconds, 4),
+            "mips_legacy": round(legacy.simulated_mips, 3),
+            "mips_blocks": round(blocks.simulated_mips, 3),
+            "speedup": round(speedup, 3),
+            "identical": identical,
+        })
+        echo("[%2d/%d] %-3s %-15s %-8s  %6.2fs -> %6.2fs  %5.2fx  %s"
+             % (index + 1, len(cells), engine, benchmark, config,
+                legacy.wall_seconds, blocks.wall_seconds, speedup,
+                "ok" if identical else "COUNTER MISMATCH"))
+    return results
+
+
+def aggregate(results):
+    speedups = [cell["speedup"] for cell in results if cell["speedup"] > 0]
+    geomean = math.exp(sum(math.log(s) for s in speedups)
+                       / len(speedups)) if speedups else 0.0
+    seconds_legacy = sum(cell["seconds_legacy"] for cell in results)
+    seconds_blocks = sum(cell["seconds_blocks"] for cell in results)
+    instructions = sum(cell["instructions"] for cell in results)
+    return {
+        "cells": len(results),
+        "identical": all(cell["identical"] for cell in results),
+        "geomean_speedup": round(geomean, 3),
+        "total_seconds_legacy": round(seconds_legacy, 2),
+        "total_seconds_blocks": round(seconds_blocks, 2),
+        "total_instructions": instructions,
+        "mips_legacy": round(instructions / seconds_legacy / 1e6, 3)
+        if seconds_legacy else 0.0,
+        "mips_blocks": round(instructions / seconds_blocks / 1e6, 3)
+        if seconds_blocks else 0.0,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="block-engine vs per-instruction simulator benchmark")
+    parser.add_argument("--smoke", action="store_true",
+                        help="4-cell subset for CI (seconds, not minutes)")
+    parser.add_argument("--out", metavar="PATH",
+                        default="BENCH_simperf.json")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail when the geomean speedup is below "
+                             "this (e.g. 1.5)")
+    args = parser.parse_args(argv)
+
+    cells = SMOKE_CELLS if args.smoke else full_cells()
+    print("perfbench: %d cells (%s mode), warming up..."
+          % (len(cells), "smoke" if args.smoke else "full"))
+    warm_up(cells)
+    started = time.time()
+    results = measure(cells)
+    summary = aggregate(results)
+
+    payload = {
+        "version": 1,
+        "mode": "smoke" if args.smoke else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "timestamp": int(started),
+        "cells": results,
+        "aggregate": summary,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+
+    print("\nwrote %s" % args.out)
+    print("geomean speedup: %.2fx | %.2f -> %.2f MIPS | counters %s"
+          % (summary["geomean_speedup"], summary["mips_legacy"],
+             summary["mips_blocks"],
+             "identical" if summary["identical"] else "MISMATCH"))
+    if not summary["identical"]:
+        print("perfbench: FAILED (counter mismatch)")
+        return 1
+    if args.min_speedup is not None \
+            and summary["geomean_speedup"] < args.min_speedup:
+        print("perfbench: FAILED (geomean %.2fx < %.2fx)"
+              % (summary["geomean_speedup"], args.min_speedup))
+        return 1
+    print("perfbench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
