@@ -3,7 +3,8 @@ JOBS ?=
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint sweep sweep-full figures perfbench clean-cache
+.PHONY: test lint sweep sweep-full faults-smoke faults figures \
+	perfbench clean-cache
 
 # Tier-1 verification.
 test:
@@ -21,6 +22,17 @@ sweep:
 # The full matrix + figures (disk-cached, all cores by default).
 sweep-full:
 	$(PYTHON) -m repro sweep $(if $(JOBS),--jobs $(JOBS))
+
+# CI smoke: tiny fixed-seed fault-injection campaign run at 1 and N
+# jobs; fails unless the reports are identical and the typed configs
+# detect more tag-plane corruptions than baseline (docs/RELIABILITY.md).
+faults-smoke:
+	$(PYTHON) -m repro faults --smoke $(if $(JOBS),--jobs $(JOBS)) \
+		$(if $(FAULTS_JSON),--json $(FAULTS_JSON))
+
+# Full fault-injection campaign over the matrix (disk-cached goldens).
+faults:
+	$(PYTHON) -m repro faults $(if $(JOBS),--jobs $(JOBS))
 
 # Regenerate benchmarks/results/ (shares the sweep via the disk cache).
 figures:

@@ -23,11 +23,18 @@ default so repeat runs of the figure suite are near-instant.
 import contextlib
 import hashlib
 import json
+import logging
 import os
 import pathlib
 import tempfile
 
 from repro.uarch.counters import Counters
+
+_LOG = logging.getLogger("repro.bench.cache")
+
+#: Subdirectory of the cache root where damaged entries are parked for
+#: post-mortem instead of being silently discarded.
+CORRUPT_DIR = "corrupt"
 
 #: Environment variable that both overrides the default cache root and
 #: enables the process-wide cache when set.
@@ -88,6 +95,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
 
     @property
     def tree_dir(self):
@@ -104,19 +112,46 @@ class ResultCache:
             return 0
 
     def load(self, engine, benchmark, config, scale):
-        """Return the cached :class:`RunRecord`, or ``None`` on a miss
-        (absent, unreadable, corrupt or version-mismatched file)."""
-        from repro.bench.runner import RunRecord
+        """Return the cached :class:`RunRecord`, or ``None`` on a miss.
+
+        An *absent* file is a plain miss.  A file that exists but is
+        truncated, corrupt or version-mismatched is quarantined to
+        ``<root>/corrupt/`` (with a one-line warning naming the path)
+        and then treated as a miss — the damaged payload stays
+        available for post-mortem and can never be served again.
+        """
         path = self.path_for(engine, benchmark, config, scale)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except FileNotFoundError:
             self.misses += 1
             return None
-        if not isinstance(payload, dict) \
-                or payload.get("version") != FORMAT_VERSION:
+        except OSError as err:
+            self.quarantine(path, "unreadable: %s" % err)
             self.misses += 1
             return None
+        record, reason = self._decode(text, engine, benchmark, config,
+                                      scale)
+        if record is None:
+            self.quarantine(path, reason)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def _decode(self, text, engine, benchmark, config, scale):
+        """Parse one cached payload; returns ``(record, None)`` or
+        ``(None, reason)`` when the payload is damaged or stale."""
+        from repro.bench.runner import RunRecord
+        try:
+            payload = json.loads(text)
+        except ValueError as err:
+            return None, "not valid JSON (%s)" % err
+        if not isinstance(payload, dict):
+            return None, "payload is not an object"
+        if payload.get("version") != FORMAT_VERSION:
+            return None, "format version %r != %d" \
+                % (payload.get("version"), FORMAT_VERSION)
         try:
             record = RunRecord(
                 engine=engine, benchmark=benchmark, config=config,
@@ -125,11 +160,78 @@ class ResultCache:
                 telemetry=payload.get("telemetry"),
                 wall_seconds=payload.get("wall_seconds", 0.0),
                 simulated_mips=payload.get("simulated_mips", 0.0))
-        except (KeyError, TypeError):
-            self.misses += 1
+        except (KeyError, TypeError, ValueError) as err:
+            return None, "truncated record (%s: %s)" \
+                % (type(err).__name__, err)
+        return record, None
+
+    def quarantine(self, path, reason):
+        """Move a damaged entry to ``<root>/corrupt/`` and warn once.
+
+        Returns the quarantine destination, or ``None`` when the move
+        itself failed (the entry is then left in place; the caller has
+        already decided to treat it as a miss either way).
+        """
+        dest_dir = self.root / CORRUPT_DIR
+        dest = dest_dir / ("%s-%s" % (path.parent.name, path.name))
+        try:
+            dest_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            _LOG.warning("cache entry %s is damaged (%s) and could not "
+                         "be quarantined", path, reason)
             return None
-        self.hits += 1
-        return record
+        self.quarantined += 1
+        _LOG.warning("quarantined damaged cache entry %s -> %s (%s)",
+                     path, dest, reason)
+        return dest
+
+    def verify(self, quarantine=True):
+        """Scan every entry of every tree; returns a report dict.
+
+        ``valid`` counts entries of the *current* tree that decode
+        cleanly; ``stale`` counts well-formed entries of other source
+        trees (dead weight, see :meth:`prune`); ``damaged`` lists
+        ``(path, reason)`` for undecodable payloads, which are moved to
+        ``<root>/corrupt/`` unless ``quarantine=False``.
+        """
+        report = {"scanned": 0, "valid": 0, "stale": 0, "damaged": [],
+                  "quarantined": 0}
+        if not self.root.is_dir():
+            return report
+        for tree_dir in sorted(self.root.iterdir()):
+            if not tree_dir.is_dir() or tree_dir.name == CORRUPT_DIR:
+                continue
+            current = tree_dir.name == self.tree_hash
+            for path in sorted(tree_dir.glob("*.json")):
+                report["scanned"] += 1
+                try:
+                    name = path.stem  # engine-benchmark-config-sN
+                    engine, benchmark, config, scale = \
+                        self._parse_name(name)
+                    record, reason = self._decode(
+                        path.read_text(), engine, benchmark, config,
+                        scale)
+                except (OSError, ValueError) as err:
+                    record, reason = None, str(err)
+                if record is not None:
+                    report["valid" if current else "stale"] += 1
+                    continue
+                report["damaged"].append((str(path), reason))
+                if quarantine and self.quarantine(path, reason):
+                    report["quarantined"] += 1
+        return report
+
+    @staticmethod
+    def _parse_name(name):
+        """Split ``engine-benchmark-config-sN`` (benchmark may itself
+        contain dashes, engine and config never do)."""
+        head, _, scale = name.rpartition("-s")
+        engine, _, rest = head.partition("-")
+        benchmark, _, config = rest.rpartition("-")
+        if not (engine and benchmark and config and scale.isdigit()):
+            raise ValueError("unparseable cache file name %r" % name)
+        return engine, benchmark, config, int(scale)
 
     def store(self, record):
         """Persist one record atomically (write-to-temp + rename, so a
@@ -168,12 +270,15 @@ class ResultCache:
                 path.unlink()
 
     def prune(self):
-        """Delete record directories left behind by older source trees."""
+        """Delete record directories left behind by older source trees
+        (the quarantine directory is kept — it is post-mortem evidence,
+        not a result tree)."""
         removed = 0
         if not self.root.is_dir():
             return removed
         for entry in self.root.iterdir():
-            if entry.is_dir() and entry.name != self.tree_hash:
+            if entry.is_dir() and entry.name != self.tree_hash \
+                    and entry.name != CORRUPT_DIR:
                 for path in entry.glob("*"):
                     with contextlib.suppress(OSError):
                         path.unlink()

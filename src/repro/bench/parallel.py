@@ -1,4 +1,4 @@
-"""Shard the benchmark matrix across cores.
+"""Shard the benchmark matrix (and fault campaigns) across cores.
 
 The (engine x benchmark x config) sweep is embarrassingly parallel:
 every cell is an independent, deterministic simulation.
@@ -9,15 +9,28 @@ falls back to the in-process serial path when one worker (or no pool
 at all) is available — results are identical either way, cell by
 cell, because the simulator is deterministic.
 
+The pool itself is *hardened* (:func:`run_hardened`): every in-flight
+task carries a deadline, a worker that hangs past it is killed with the
+pool and its task retried with exponential backoff, a task whose worker
+dies repeatedly is quarantined to serial execution in the parent, and a
+broken pool (sandboxed semaphores, missing ``/dev/shm``) degrades to
+the serial path.  A single wedged or crashing worker therefore slows a
+sweep down but can never wedge or kill it.  The fault-injection
+campaign runner (:mod:`repro.faults.campaign`) fans its injections
+through the same executor.
+
 Workers run each cell with ``use_cache=False``; the parent alone
 publishes results to the memory and disk caches, so cache writes are
 single-writer regardless of pool size (the disk cache's atomic
 rename makes even racing processes safe).
 """
 
+import contextlib
+import logging
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 
 from repro.bench import cache as result_cache
@@ -25,6 +38,20 @@ from repro.bench import runner
 from repro.bench.runner import ENGINES
 from repro.bench.workloads import BENCHMARK_ORDER
 from repro.engines import CONFIGS
+
+_LOG = logging.getLogger("repro.bench.parallel")
+
+#: Per-task wall-clock budget inside the pool; a worker that exceeds it
+#: is presumed hung, killed with its pool, and the task retried.
+DEFAULT_TIMEOUT = 120.0
+
+#: Failed attempts (death, hang or exception) before a task is
+#: quarantined to serial execution in the parent process.
+DEFAULT_RETRIES = 2
+
+#: Base of the exponential backoff slept before rebuilding a pool after
+#: a death or hang (``backoff * 2**(attempt-1)`` seconds).
+DEFAULT_BACKOFF = 0.5
 
 
 @dataclass
@@ -84,9 +111,178 @@ def _simulate_cell(cell):
     return record, time.perf_counter() - start
 
 
+# -- hardened executor -------------------------------------------------------
+
+def _kill_pool(pool):
+    """Tear a pool down *now*: cancel queued work, then terminate the
+    worker processes (a hung worker never honours a graceful join).
+
+    The process handles must be snapshotted *before* ``shutdown``:
+    CPython drops ``_processes`` to ``None`` on shutdown even with
+    ``wait=False``, and an unterminated hung worker would keep the
+    executor's management thread — and the interpreter's atexit join —
+    alive forever."""
+    processes = dict(getattr(pool, "_processes", None) or {})
+    with contextlib.suppress(Exception):
+        pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes.values():
+        with contextlib.suppress(Exception):
+            process.terminate()
+
+
+def run_hardened(fn, tasks, max_workers=None, timeout=DEFAULT_TIMEOUT,
+                 retries=DEFAULT_RETRIES, backoff=DEFAULT_BACKOFF,
+                 initializer=None, initargs=(), on_result=None):
+    """Map ``fn`` over ``tasks`` in a process pool that survives hung,
+    crashing and failing workers; returns ``{task: result}``.
+
+    * Each in-flight task has a ``timeout``-second deadline; a task
+      still running past it is presumed hung — the pool is killed, the
+      hung task charged one attempt, and innocent in-flight tasks are
+      requeued free of charge.
+    * A dead pool (:class:`BrokenProcessPool`) charges every in-flight
+      task one attempt and is rebuilt after ``backoff * 2**(attempt-1)``
+      seconds.
+    * A task that fails more than ``retries`` times — and any task left
+      when no pool can be built at all — runs *serially* in the parent,
+      where a genuine deterministic error finally raises with a clean
+      traceback instead of being retried forever.
+
+    ``fn`` and every task must be picklable; ``fn`` must be
+    deterministic for retries to be sound.  ``on_result(task, result)``
+    fires in completion order; the returned dict is unordered.
+    """
+    tasks = list(tasks)
+    results = {}
+
+    def emit(task, value):
+        results[task] = value
+        if on_result is not None:
+            on_result(task, value)
+
+    workers = min(max_workers or os.cpu_count() or 1, len(tasks))
+    pending = deque(tasks)
+    serial = []
+    if workers > 1:
+        attempts = {}
+
+        def charge(task, reason):
+            """One failed attempt; route to retry or serial quarantine."""
+            attempts[task] = attempts.get(task, 0) + 1
+            if attempts[task] > retries:
+                _LOG.warning("task %r %s; quarantined to serial "
+                             "execution after %d attempts",
+                             task, reason, attempts[task])
+                serial.append(task)
+            else:
+                _LOG.warning("task %r %s; retrying (attempt %d/%d)",
+                             task, reason, attempts[task] + 1, retries + 1)
+                pending.append(task)
+            return attempts[task]
+
+        pool = None
+        in_flight = {}  # future -> (task, deadline)
+        try:
+            while pending or in_flight:
+                if pool is None:
+                    try:
+                        pool = ProcessPoolExecutor(
+                            max_workers=workers, initializer=initializer,
+                            initargs=initargs)
+                    except Exception:
+                        # Pool unavailable (sandboxed semaphores,
+                        # missing /dev/shm...): everything left runs
+                        # serially below.
+                        _LOG.warning("process pool unavailable; running "
+                                     "%d task(s) serially", len(pending))
+                        break
+                while pending and len(in_flight) < workers:
+                    task = pending.popleft()
+                    try:
+                        future = pool.submit(fn, task)
+                    except Exception:  # pool died between polls
+                        pending.appendleft(task)
+                        break
+                    deadline = time.monotonic() + timeout \
+                        if timeout else None
+                    in_flight[future] = (task, deadline)
+                if not in_flight:
+                    if pending:  # submission failed: rebuild the pool
+                        _kill_pool(pool)
+                        pool = None
+                    continue
+
+                interval = None
+                if timeout:
+                    now = time.monotonic()
+                    interval = max(0.01, min(
+                        deadline - now
+                        for _, deadline in in_flight.values()))
+                done, _ = wait(list(in_flight), timeout=interval,
+                               return_when=FIRST_COMPLETED)
+
+                broken = False
+                worst = 0
+                for future in done:
+                    task, _deadline = in_flight.pop(future)
+                    try:
+                        emit(task, future.result())
+                    except Exception as err:
+                        if isinstance(err, BaseException) and \
+                                type(err).__name__ == "BrokenProcessPool" \
+                                or "Broken" in type(err).__name__:
+                            broken = True
+                            worst = max(worst,
+                                        charge(task, "lost its worker"))
+                        else:
+                            worst = max(worst, charge(
+                                task, "failed (%s: %s)"
+                                % (type(err).__name__, err)))
+                if broken:
+                    # The whole pool is dead: every other in-flight task
+                    # died with it.
+                    for task, _deadline in in_flight.values():
+                        worst = max(worst,
+                                    charge(task, "lost its worker"))
+                    in_flight.clear()
+                    _kill_pool(pool)
+                    pool = None
+                elif timeout:
+                    now = time.monotonic()
+                    overdue = [future for future, (_t, deadline)
+                               in in_flight.items()
+                               if deadline and now >= deadline]
+                    if overdue:
+                        for future in overdue:
+                            task, _deadline = in_flight.pop(future)
+                            worst = max(worst, charge(
+                                task,
+                                "exceeded the %gs timeout" % timeout))
+                        # Innocent in-flight work is requeued without a
+                        # charge — only the hung task pays.
+                        for task, _deadline in in_flight.values():
+                            pending.appendleft(task)
+                        in_flight.clear()
+                        _kill_pool(pool)
+                        pool = None
+                if pool is None and (pending or serial) and worst:
+                    time.sleep(backoff * (2 ** (worst - 1)))
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    # Serial tail: quarantined tasks, everything left when no pool could
+    # be built, and the whole workload when only one worker is allowed.
+    for task in serial + list(pending):
+        emit(task, fn(task))
+    return results
+
+
 def run_matrix_parallel(engines=ENGINES, benchmarks=BENCHMARK_ORDER,
                         configs=CONFIGS, scales=None, max_workers=None,
-                        use_cache=True, progress=None):
+                        use_cache=True, progress=None,
+                        timeout=DEFAULT_TIMEOUT, retries=DEFAULT_RETRIES,
+                        backoff=DEFAULT_BACKOFF):
     """Run the sweep across processes; returns the same
     ``{(engine, benchmark, config): record}`` dict as
     :func:`repro.bench.runner.run_matrix`, in the same order.
@@ -95,7 +291,8 @@ def run_matrix_parallel(engines=ENGINES, benchmarks=BENCHMARK_ORDER,
     unavailable pool) degrades gracefully to the serial in-process
     path.  ``progress`` receives one :class:`CellProgress` per
     completed cell, in completion order; the returned dict is ordered
-    canonically regardless.
+    canonically regardless.  ``timeout``/``retries``/``backoff`` tune
+    the hardened executor (see :func:`run_hardened`).
     """
     cells = matrix_cells(engines, benchmarks, configs, scales)
     total = len(cells)
@@ -125,7 +322,8 @@ def run_matrix_parallel(engines=ENGINES, benchmarks=BENCHMARK_ORDER,
         else:
             pending.append(cell)
 
-    def finish(cell, record, seconds):
+    def finish(cell, payload):
+        record, seconds = payload
         if use_cache:
             runner.publish(record, disk=disk)
         results[cell] = record
@@ -133,24 +331,13 @@ def run_matrix_parallel(engines=ENGINES, benchmarks=BENCHMARK_ORDER,
 
     workers = min(max_workers or os.cpu_count() or 1, len(pending))
     if pending and workers > 1:
-        try:
-            with ProcessPoolExecutor(
-                    max_workers=workers, initializer=_warm_worker,
-                    initargs=(tuple(engines), tuple(configs))) as pool:
-                futures = {pool.submit(_simulate_cell, cell): cell
-                           for cell in pending}
-                for future in as_completed(futures):
-                    record, seconds = future.result()
-                    finish(futures[future], record, seconds)
-        except Exception:
-            # Pool unavailable (sandboxed semaphores, missing /dev/shm,
-            # broken pool, unpicklable state...): anything not yet
-            # computed is re-run serially below; a real simulation bug
-            # re-raises from the serial path with a clean traceback.
-            pass
-        pending = [cell for cell in pending if cell not in results]
-    for cell in pending:
-        record, seconds = _simulate_cell(cell)
-        finish(cell, record, seconds)
+        run_hardened(_simulate_cell, pending, max_workers=workers,
+                     timeout=timeout, retries=retries, backoff=backoff,
+                     initializer=_warm_worker,
+                     initargs=(tuple(engines), tuple(configs)),
+                     on_result=finish)
+    else:
+        for cell in pending:
+            finish(cell, _simulate_cell(cell))
 
     return {cell[:3]: results[cell] for cell in cells}

@@ -10,7 +10,12 @@ Subcommands:
 * ``trace`` — instruction/bytecode traces (telemetry-sink tracers),
 * ``profile`` — per-opcode hot table, TRT-miss attribution and
   optional Chrome trace for a benchmark or a ``.lua``/``.js`` script,
-* ``bench baseline``/``bench check`` — the CI performance gate.
+* ``faults`` — seeded fault-injection campaign over the matrix with a
+  detection-coverage report (``--smoke`` runs the deterministic CI
+  campaign; see docs/RELIABILITY.md),
+* ``bench baseline``/``bench check`` — the CI performance gate,
+* ``bench cache --verify`` — scan the result cache, quarantining any
+  corrupt or truncated entries to ``<cache>/corrupt/``.
 """
 
 import argparse
@@ -240,7 +245,137 @@ def _cmd_profile(args):
     return 0
 
 
+def _render_faults_report(report):
+    lines = []
+    classes = report["classes"]
+    total = sum(classes.values()) or 1
+    lines.append("fault campaign: seed %d, %d injections per cell, "
+                 "%d total" % (report["seed"], report["count_per_cell"],
+                               sum(classes.values())))
+    lines.append("  " + "  ".join("%s %d (%.1f%%)"
+                                  % (name, count, 100.0 * count / total)
+                                  for name, count in classes.items()))
+    lines.append("")
+    lines.append("detection coverage (detected/total) by config x target:")
+    targets = report["targets"]
+    header = "%-10s" % "config" + "".join("%14s" % t for t in targets)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for config, coverage in report["coverage"].items():
+        row = "%-10s" % config
+        for target in targets:
+            cell = coverage.get(target)
+            row += "%14s" % ("%d/%d" % (cell["detected"], cell["total"])
+                             if cell else "-")
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def _faults_progress(done, total, result):
+    spec = result["spec"]
+    print("[%3d/%d] %s@%d -> %s" % (done, total, spec["target"],
+                                    spec["index"], result["class"]),
+          file=sys.stderr)
+
+
+def _cmd_faults_smoke(args):
+    """Tiny fixed-seed campaign run at --jobs 1 and --jobs 2: asserts
+    the reports are byte-identical (determinism across worker counts)
+    and that the typed config detects strictly more injected tag-plane
+    corruptions than baseline.  ``make faults-smoke`` runs this."""
+    import json
+    import tempfile
+    from repro.faults import run_campaign
+
+    kwargs = dict(seed=args.seed, count=args.count or 25,
+                  engines=("lua",), benchmarks=("fibo",),
+                  scales={"fibo": 10})
+    with tempfile.TemporaryDirectory() as tmp:
+        with result_cache.temporary(args.cache_dir or tmp):
+            clear_cache()
+            serial = run_campaign(max_workers=1, **kwargs)
+            clear_cache()
+            parallel = run_campaign(max_workers=args.jobs or 2, **kwargs)
+    clear_cache()
+    identical = json.dumps(serial, sort_keys=True) \
+        == json.dumps(parallel, sort_keys=True)
+
+    def tag_detections(config):
+        return serial["coverage"].get(config, {}).get("mem_tag", {}) \
+            .get("detected", 0)
+
+    base_hits = tag_detections("baseline")
+    tag_margin = all(tag_detections(config) > base_hits
+                     for config in ("typed", "chklb"))
+    print(_render_faults_report(serial))
+    print()
+    print("faults smoke: reports %s | tag-plane detections "
+          "typed %d / chklb %d > baseline %d: %s"
+          % ("identical" if identical else "MISMATCH",
+             tag_detections("typed"), tag_detections("chklb"),
+             base_hits, "yes" if tag_margin else "NO"))
+    ok = identical and tag_margin
+    print("faults smoke: %s" % ("OK" if ok else "FAILED"))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(serial, handle, indent=1, sort_keys=True)
+        print("wrote %s" % args.json)
+    return 0 if ok else 1
+
+
+def _cmd_faults(args):
+    from repro.faults import run_campaign
+
+    if args.smoke:
+        return _cmd_faults_smoke(args)
+    _configure_disk_cache(args)
+    scales = None
+    if args.quick:
+        scales = {name: max(2, spec.default_scale // 2)
+                  for name, spec in
+                  __import__("repro.bench.workloads",
+                             fromlist=["WORKLOADS"]).WORKLOADS.items()}
+    report = run_campaign(
+        seed=args.seed, count=args.count or 40,
+        engines=tuple(args.engine) if args.engine else ("lua", "js"),
+        benchmarks=tuple(args.benchmark) if args.benchmark
+        else BENCHMARK_ORDER,
+        scales=scales, max_workers=args.jobs,
+        progress=_faults_progress if args.verbose else None)
+    print(_render_faults_report(report))
+    if args.json:
+        import json
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+        print("\nwrote %s" % args.json)
+    return 0
+
+
+def _cmd_bench_cache(args):
+    """Scan the disk cache for damaged entries (``bench cache``)."""
+    _configure_disk_cache(args)
+    cache = result_cache.active_cache()
+    if cache is None:
+        print("disk cache is disabled")
+        return 1
+    if not args.verify:
+        print("cache %s: %d entries for the current tree (%s)"
+              % (cache.root, len(cache), cache.tree_hash))
+        return 0
+    report = cache.verify(quarantine=not args.no_quarantine)
+    for path, reason in report["damaged"]:
+        print("damaged: %s (%s)" % (path, reason))
+    print("cache %s: %d scanned, %d valid, %d stale, %d damaged, "
+          "%d quarantined" % (cache.root, report["scanned"],
+                              report["valid"], report["stale"],
+                              len(report["damaged"]),
+                              report["quarantined"]))
+    return 0
+
+
 def _cmd_bench(args):
+    if args.bench_command == "cache":
+        return _cmd_bench_cache(args)
     """Perf-gate subcommands: regenerate or check the sweep baseline."""
     from repro.bench import gate
     from repro.bench.parallel import run_matrix_parallel
@@ -377,10 +512,57 @@ def build_parser():
                                 help="echo the guest program's output")
     profile_parser.set_defaults(func=_cmd_profile)
 
+    faults_parser = sub.add_parser(
+        "faults",
+        help="seeded fault-injection campaign + coverage report")
+    faults_parser.add_argument("--seed", type=int, default=1234)
+    faults_parser.add_argument("--count", type=int, default=None,
+                               metavar="N",
+                               help="injections per (engine, benchmark, "
+                                    "config) cell (default 40)")
+    faults_parser.add_argument("--engine", action="append",
+                               choices=("lua", "js"), default=None,
+                               help="repeatable; default: both engines")
+    faults_parser.add_argument("--benchmark", action="append",
+                               choices=BENCHMARK_ORDER, default=None,
+                               help="repeatable; default: all benchmarks")
+    faults_parser.add_argument("--quick", action="store_true",
+                               help="halve the input scales")
+    faults_parser.add_argument("--jobs", type=int, default=None,
+                               metavar="N",
+                               help="worker processes (default: all "
+                                    "cores; 1 forces the serial path)")
+    faults_parser.add_argument("--json", metavar="PATH", default=None,
+                               help="write the full campaign report")
+    faults_parser.add_argument("--verbose", action="store_true")
+    faults_parser.add_argument("--no-disk-cache", action="store_true",
+                               help="skip the persistent result cache "
+                                    "for the golden runs")
+    faults_parser.add_argument("--cache-dir", metavar="DIR",
+                               default=None)
+    faults_parser.add_argument("--smoke", action="store_true",
+                               help="tiny fixed-seed campaign at 1 and "
+                                    "N jobs; asserts determinism and "
+                                    "typed > baseline tag-plane "
+                                    "detection (CI smoke)")
+    faults_parser.set_defaults(func=_cmd_faults)
+
     bench_parser = sub.add_parser(
         "bench", help="performance gate against a committed baseline")
     bench_sub = bench_parser.add_subparsers(dest="bench_command",
                                             required=True)
+    cache_parser = bench_sub.add_parser(
+        "cache", help="inspect/verify the persistent result cache")
+    cache_parser.add_argument("--verify", action="store_true",
+                              help="decode every entry; quarantine "
+                                   "damaged ones to <cache>/corrupt/")
+    cache_parser.add_argument("--no-quarantine", action="store_true",
+                              help="report damaged entries but leave "
+                                   "them in place")
+    cache_parser.add_argument("--no-disk-cache", action="store_true",
+                              help=argparse.SUPPRESS)
+    cache_parser.add_argument("--cache-dir", metavar="DIR", default=None)
+    cache_parser.set_defaults(func=_cmd_bench)
     for name, description in (
             ("baseline", "run the sweep and write the baseline metrics"),
             ("check", "run the sweep and fail on metric drift")):

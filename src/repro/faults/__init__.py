@@ -1,0 +1,58 @@
+"""Deterministic fault injection for the Typed Architecture simulator.
+
+A reliability argument is implicit in the paper: the extension adds
+*architectural state* — per-register type tags and F/I bits, the Type
+Rule Table CAM, the ``R_offset``/``R_shift``/``R_mask`` extractor
+registers, and a tag plane in memory (Sections 3.1-3.3) — and its
+checking machinery (TRT lookups, overflow traps, the Checked-Load
+comparator) doubles as an error detector: a particle strike that flips
+a tag bit is exactly a type mismatch.  This package quantifies that:
+it injects single- and multi-bit upsets into each of those structures
+at exact, seed-chosen dynamic instruction indices, re-runs the
+workload against its golden (fault-free) result, and classifies every
+injection as **detected** (a type misprediction, TRT miss, overflow
+trap or simulator trap the golden run did not have), **masked**
+(bit-identical output), **SDC** (silent data corruption — wrong output,
+no trap) or **hang** (tripped the watchdog instruction budget).
+
+* :mod:`plan` — :class:`FaultSpec` / :class:`InjectionPlan`: the
+  seeded, wall-clock-free schedule of what to flip and when;
+* :mod:`inject` — :class:`FaultSession`: applies a plan to a live CPU
+  through :meth:`repro.sim.cpu.Cpu.attach_fault_hook`;
+* :mod:`classify` — the four-way outcome taxonomy and watchdog budget;
+* :mod:`campaign` — fans hundreds of injections across the hardened
+  process pool of :mod:`repro.bench.parallel` and emits the
+  deterministic JSON coverage report behind ``repro faults``.
+
+See ``docs/RELIABILITY.md`` for the methodology and headline numbers.
+"""
+
+from repro.faults.campaign import run_campaign, run_injection
+from repro.faults.classify import (
+    CLASSES,
+    DETECTED,
+    HANG,
+    MASKED,
+    SDC,
+    classify,
+    watchdog_budget,
+)
+from repro.faults.inject import FaultSession, tag_geometry
+from repro.faults.plan import TARGETS, FaultSpec, InjectionPlan
+
+__all__ = [
+    "TARGETS",
+    "FaultSpec",
+    "InjectionPlan",
+    "FaultSession",
+    "tag_geometry",
+    "CLASSES",
+    "DETECTED",
+    "MASKED",
+    "SDC",
+    "HANG",
+    "classify",
+    "watchdog_budget",
+    "run_campaign",
+    "run_injection",
+]

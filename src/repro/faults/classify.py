@@ -1,0 +1,71 @@
+"""The four-way outcome taxonomy of a fault-injection run.
+
+Every injection is classified against the *golden* (fault-free) run of
+the same cell, in strict priority order:
+
+1. **hang** — the watchdog instruction budget tripped
+   (:class:`~repro.sim.errors.ExecutionLimitExceeded`); the fault sent
+   execution into a loop the golden run did not have.
+2. **detected** — the *machine* noticed: a hardware trap the golden
+   run did not raise (:class:`IllegalInstruction`, a memory fault —
+   any :class:`SimulationError`), or the checking machinery fired more
+   often than in the golden run — extra TRT misses (type
+   mispredictions), extra overflow traps, or extra Checked-Load
+   comparator misses.  Detection beats masking on purpose: a fault the
+   checkers caught *and* the slow path repaired is a detection
+   success, not luck.
+3. **masked** — program output is bit-identical to golden; the flipped
+   bit was dead, overwritten, or logically irrelevant.
+4. **SDC** — silent data corruption: the hardware stayed silent and
+   the program misbehaved.  Wrong output is the obvious case, but a
+   *guest-level* error (the interpreted script aborting with
+   ``LuaError``/``JsError`` from a software guard) counts as SDC too:
+   those guards live above the architecture, and crediting them would
+   let the baseline claim the typed hardware's detection story.
+"""
+
+from repro.sim.errors import ExecutionLimitExceeded, SimulationError
+
+DETECTED = "detected"
+MASKED = "masked"
+SDC = "sdc"
+HANG = "hang"
+
+#: All outcome classes, in report order.
+CLASSES = (DETECTED, MASKED, SDC, HANG)
+
+#: Counters that constitute hardware detection evidence, in the order
+#: they appear in a ``detect`` tuple: TRT misses (type mispredictions),
+#: integer overflow traps, Checked-Load comparator misses.
+DETECT_COUNTERS = ("type_misses", "overflow_traps", "chk_misses")
+
+
+def detect_evidence(counters):
+    """The detection-evidence tuple of a golden run's counters."""
+    return tuple(getattr(counters, name, 0) or 0
+                 for name in DETECT_COUNTERS)
+
+
+def watchdog_budget(golden_instret, factor=2, floor=10_000):
+    """Instruction budget for a faulted run: generous enough that a
+    legitimate extra slow-path excursion finishes, tight enough that a
+    campaign of hundreds of injections stays cheap."""
+    return max(floor, int(golden_instret) * factor)
+
+
+def classify(error, output, golden_output, detect, golden_detect):
+    """Classify one faulted run (see the module docstring for the
+    priority order).  ``detect``/``golden_detect`` are
+    :data:`DETECT_COUNTERS`-ordered tuples."""
+    if isinstance(error, ExecutionLimitExceeded):
+        return HANG
+    if isinstance(error, SimulationError):
+        return DETECTED
+    if any(faulty > golden
+           for faulty, golden in zip(detect, golden_detect)):
+        return DETECTED
+    if error is not None:  # guest-level (software) abort: no trap fired
+        return SDC
+    if output == golden_output:
+        return MASKED
+    return SDC

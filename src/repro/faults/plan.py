@@ -1,0 +1,159 @@
+"""Seeded injection schedules: what to flip, where, and when.
+
+A plan is a pure function of its seed — it uses one
+:class:`random.Random` stream and never reads the wall clock, the PID
+or anything else environmental, so the same seed reproduces the same
+campaign bit-for-bit on any machine and any worker count.
+
+Plans are *abstract* until resolved: each scheduled fault carries a
+fraction of the run (``frac``) rather than an instruction index, so
+one plan can be resolved against the golden instruction counts of
+several machine configurations (baseline / chklb / typed) and hit the
+same relative point in each — the cross-configuration detection
+comparison stays apples-to-apples even though the configs retire
+different instruction counts.
+"""
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+#: Injectable structures, in the order a plan cycles through them:
+#:
+#: * ``reg_value`` — a register's 64-bit value (the only target that
+#:   also exists on a baseline core; everything below is state the
+#:   Typed Architecture extension adds),
+#: * ``reg_tag``   — a register's 8-bit type tag or its F/I bit,
+#: * ``trt``       — a Type Rule Table CAM entry (data or key array),
+#: * ``mem_tag``   — the in-memory tag plane (tag byte / NaN-box tag),
+#: * ``extractor`` — the ``R_offset``/``R_shift``/``R_mask`` registers.
+TARGETS = ("reg_value", "reg_tag", "trt", "mem_tag", "extractor")
+
+
+def _mask_of(bits):
+    value = 0
+    for bit in bits:
+        value |= 1 << bit
+    return value
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One concrete injection: flip ``bits`` in ``target`` just before
+    dynamic instruction ``index`` executes.
+
+    ``bits`` are positions inside the targeted field (register value,
+    8-bit tag, TRT byte, tag-plane field, extractor register); ``kind``
+    selects the sub-structure where a target has more than one
+    (``"tag"``/``"fbit"`` for ``reg_tag``, ``"out"``/``"key"`` for
+    ``trt``, the field name for ``extractor``).  Frozen (hashable) so a
+    spec can ride inside the hardened executor's task tuples.
+    """
+
+    target: str
+    index: int
+    bits: tuple
+    reg: int = 0
+    slot: int = 0
+    kind: str = ""
+
+    @property
+    def mask(self):
+        """The XOR mask ``bits`` describes."""
+        return _mask_of(self.bits)
+
+    def as_dict(self):
+        """JSON-friendly form used in campaign reports."""
+        return {"target": self.target, "index": self.index,
+                "bits": list(self.bits), "reg": self.reg,
+                "slot": self.slot, "kind": self.kind}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(target=payload["target"], index=payload["index"],
+                   bits=tuple(payload["bits"]), reg=payload.get("reg", 0),
+                   slot=payload.get("slot", 0),
+                   kind=payload.get("kind", ""))
+
+
+def derive_seed(seed, *parts):
+    """A per-cell child seed: deterministic, avalanching, and stable
+    across processes (``hash()`` is salted per process; this is not)."""
+    text = "%s:%s" % (seed, ":".join(str(part) for part in parts))
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class InjectionPlan:
+    """``count`` scheduled faults cycling round-robin over ``targets``.
+
+    The round-robin guarantees every target gets ``count /
+    len(targets)`` injections (±1) — a uniform draw over so few samples
+    would leave coverage holes.  Bit choices are mostly single-bit
+    upsets with a ``multi_bit_rate`` admixture of double-bit flips
+    (adjacent-cell upsets), per the usual SEU model.
+    """
+
+    def __init__(self, seed, count, targets=TARGETS,
+                 multi_bit_rate=0.25):
+        self.seed = seed
+        self.count = count
+        self.targets = tuple(targets)
+        rng = random.Random(seed)
+        self._scheduled = [self._draw(rng, self.targets[i % len(self.targets)])
+                           for i in range(count)]
+
+    @staticmethod
+    def _pick_bits(rng, width, multi_bit_rate):
+        nbits = 2 if width > 1 and rng.random() < multi_bit_rate else 1
+        return tuple(sorted(rng.sample(range(width), nbits)))
+
+    def _draw(self, rng, target):
+        """One abstract fault: every field except the final index."""
+        frac = rng.random()
+        pick = self._pick_bits
+        if target == "reg_value":
+            return dict(target=target, frac=frac,
+                        reg=rng.randrange(1, 32),
+                        bits=pick(rng, 64, 0.25), kind="value")
+        if target == "reg_tag":
+            kind = "fbit" if rng.random() < 0.25 else "tag"
+            return dict(target=target, frac=frac,
+                        reg=rng.randrange(1, 32),
+                        bits=() if kind == "fbit"
+                        else pick(rng, 8, 0.25), kind=kind)
+        if target == "trt":
+            kind = "key" if rng.random() < 0.5 else "out"
+            return dict(target=target, frac=frac,
+                        slot=rng.randrange(64),
+                        bits=pick(rng, 8, 0.25), kind=kind)
+        if target == "mem_tag":
+            # Bit positions inside the tag-plane field; the injector
+            # folds them into the engine's actual tag width/shift.
+            return dict(target=target, frac=frac,
+                        bits=pick(rng, 8, 0.25), kind="")
+        if target == "extractor":
+            from repro.sim.tagio import TagCodec
+            field, width = TagCodec.FIELDS[
+                rng.randrange(len(TagCodec.FIELDS))]
+            return dict(target=target, frac=frac,
+                        bits=pick(rng, width, 0.25), kind=field)
+        raise ValueError("unknown fault target %r" % (target,))
+
+    def resolve(self, length):
+        """Bind the plan to a run of ``length`` retired instructions;
+        returns concrete :class:`FaultSpec` tuples (one per scheduled
+        fault, in schedule order).  Index 0 is skipped — the very first
+        instruction has no preceding state worth corrupting differently
+        from initial state, and keeping ``index >= 1`` lets tests pin
+        "fires before instruction N" exactly.
+        """
+        span = max(1, length - 1)
+        return tuple(
+            FaultSpec(target=fault["target"],
+                      index=1 + int(fault["frac"] * (span - 1)),
+                      bits=tuple(fault["bits"]),
+                      reg=fault.get("reg", 0),
+                      slot=fault.get("slot", 0),
+                      kind=fault.get("kind", ""))
+            for fault in self._scheduled)

@@ -108,14 +108,24 @@ class BlockTable:
         self.blocks = [None] * len(program.instructions)
         self._singles = {}
         self.compiled = 0
+        self.compile_failures = 0
 
     def block_at(self, index):
-        """The block entered at ``index``, compiling it on first use."""
+        """The block entered at ``index``, compiling it on first use.
+
+        A compilation failure is a *degradation*, not a crash: the
+        entry PC permanently falls back to a generic per-instruction
+        step with identical timing accounting, and the failure is
+        recorded on the telemetry degradation ledger.
+        """
         entry = self.blocks[index]
         if entry is None:
-            entry = _compile_block(self, index, MAX_BLOCK_LEN)
+            try:
+                entry = _compile_block(self, index, MAX_BLOCK_LEN)
+                self.compiled += 1
+            except Exception as err:  # noqa: BLE001 — degrade, don't die
+                entry = self._degrade(index, err)
             self.blocks[index] = entry
-            self.compiled += 1
         return entry
 
     def single_at(self, index):
@@ -123,9 +133,26 @@ class BlockTable:
         the ``ExecutionLimitExceeded`` point stays exact)."""
         entry = self._singles.get(index)
         if entry is None:
-            entry = _compile_block(self, index, 1)
+            try:
+                entry = _compile_block(self, index, 1)
+            except Exception as err:  # noqa: BLE001 — degrade, don't die
+                entry = self._degrade(index, err)
             self._singles[index] = entry
         return entry
+
+    def _degrade(self, index, err):
+        """Record a compile failure and build the interpreted-step
+        fallback entry for ``index``."""
+        from repro.telemetry.core import record_degradation
+
+        self.compile_failures += 1
+        record_degradation({
+            "name": "block_compile_failed",
+            "pc": self.base + 4 * index,
+            "mnemonic": self.instructions[index].mnemonic,
+            "error": "%s: %s" % (type(err).__name__, err),
+        })
+        return _fallback_block(self, index), 1
 
 
 _M = (1 << 64) - 1
@@ -509,6 +536,90 @@ def _compile_block(table, start, max_len):
                    "exec")
     exec(code, namespace)
     return namespace["_block"], count
+
+
+def _fallback_block(table, index):
+    """A compile-free single-instruction entry for ``index``.
+
+    Used when :func:`_compile_block` fails: a plain Python closure that
+    executes one instruction through ``Cpu.step`` and charges cycles
+    with the exact statement order of
+    :meth:`repro.uarch.pipeline.Machine._run_interpreted`, so counters
+    stay bit-identical with both engines even for degraded entries.
+    It never ``exec``-compiles anything, so it cannot itself fail.
+    """
+    instr = table.instructions[index]
+    kind = table.kinds[index]
+    pc = table.base + 4 * index
+    lat = table.config.latency
+    lus = lat.load_use_stall
+    rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+    mnemonic = instr.mnemonic
+
+    def step(cpu, prev, ic, dc, dr, fe, ct, icc):
+        cpu.step()
+        c = 1
+        if prev >= 0:
+            if rs1 == prev or rs2 == prev:
+                c += lus
+                ct.load_use_stalls += 1
+        out_prev = -1
+        if not ic(pc):
+            c += dr(pc)
+        if kind:
+            if kind == K_BRANCH:
+                c += fe.conditional_branch(pc, cpu.branch_taken, cpu.pc)
+            elif kind == K_JAL:
+                c += fe.direct_jump(pc, cpu.pc, rd == 1, pc + 4)
+            elif kind == K_JALR:
+                c += fe.indirect_jump(pc, cpu.pc, rd == 0 and rs1 == 1,
+                                      rd == 1, pc + 4)
+            elif kind == K_LOAD:
+                if not dc(cpu.mem_addr):
+                    c += dr(cpu.mem_addr)
+                if cpu.mem_addr2 is not None and not dc(cpu.mem_addr2):
+                    c += dr(cpu.mem_addr2)
+                if rd:
+                    out_prev = rd
+            elif kind == K_STORE:
+                if not dc(cpu.mem_addr):
+                    c += dr(cpu.mem_addr)
+                if cpu.mem_addr2 is not None and not dc(cpu.mem_addr2):
+                    c += dr(cpu.mem_addr2)
+            elif kind == K_TAGGED_ALU:
+                if cpu.redirect:
+                    c += fe.pipeline_redirect()
+                elif cpu.regs.fbit[rd]:
+                    c += lat.fp_alu if mnemonic != "xmul" else lat.mul
+                elif mnemonic == "xmul":
+                    c += lat.mul
+            elif kind == K_CHECK:
+                is_load = mnemonic != "tchk"
+                if is_load and not dc(cpu.mem_addr):
+                    c += dr(cpu.mem_addr)
+                if cpu.redirect:
+                    c += fe.pipeline_redirect()
+                elif is_load and rd:
+                    out_prev = rd
+            elif kind == K_ECALL:
+                cost = cpu.pending_host_cost
+                cpu.pending_host_cost = 0
+                ct.host_instructions += cost
+                ct.host_calls += 1
+                c += int(cost * lat.host_cpi)
+            elif kind == K_MUL:
+                c += lat.mul
+            elif kind == K_DIV:
+                c += lat.div
+            elif kind == K_FP_ALU:
+                c += lat.fp_alu
+            elif kind == K_FP_DIV:
+                c += lat.fp_div
+            elif kind == K_FP_SQRT:
+                c += lat.fp_sqrt
+        return c, out_prev
+
+    return step
 
 
 # One table per (program, machine config).  Keyed weakly so throwaway

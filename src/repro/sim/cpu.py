@@ -19,7 +19,11 @@ code and execution never returns to the faulting instruction.
 
 import struct
 
-from repro.sim.errors import ExecutionLimitExceeded, IllegalInstruction
+from repro.sim.errors import (
+    ExecutionLimitExceeded,
+    IllegalInstruction,
+    MemoryError_,
+)
 from repro.sim.regfile import FpRegisterFile, UnifiedRegisterFile
 from repro.sim.tagio import TagCodec
 from repro.sim.trt import TRT_OPCODES, TypeRuleTable
@@ -150,21 +154,53 @@ class Cpu:
         try:
             op, instr = self._ops[index]
         except IndexError:
-            raise IllegalInstruction("PC 0x%x outside program" % self.pc) \
-                from None
-        op(self, instr)
+            raise IllegalInstruction("PC 0x%x outside program" % self.pc,
+                                     pc=self.pc) from None
+        try:
+            op(self, instr)
+        except MemoryError_ as err:
+            raise err.with_context(pc=self.pc, mnemonic=instr.mnemonic)
         self.instret += 1
         return instr
 
     def run(self, max_instructions=100_000_000):
         """Run until ``ebreak``/exit or the instruction budget is hit."""
         while not self.halted:
-            self.step()
+            instr = self.step()
             if self.instret >= max_instructions:
                 raise ExecutionLimitExceeded(
                     "exceeded %d instructions at PC 0x%x"
-                    % (max_instructions, self.pc))
+                    % (max_instructions, self.pc),
+                    pc=self.pc, mnemonic=instr.mnemonic)
         return self.exit_code
+
+    # -- fault injection ----------------------------------------------------
+    def attach_fault_hook(self, hook):
+        """Install a per-instruction fault hook (see :mod:`repro.faults`).
+
+        ``hook(cpu)`` runs *before* each instruction executes, with
+        ``cpu.instret`` identifying the upcoming instruction index —
+        the hook corrupts architectural state (registers, tags, TRT,
+        memory, extractor config) at exact, reproducible points.
+
+        The hook attaches by rebinding ``step`` on the instance, the
+        same idiom telemetry uses: the unfaulted path stays untouched,
+        and :meth:`repro.uarch.pipeline.Machine.run` sees the shadowed
+        ``step`` and deopts from the basic-block engine to the
+        per-instruction reference loop, so timing counters and the
+        watchdog stay honest under injection.
+        """
+        base_step = type(self).step
+
+        def step():
+            hook(self)
+            return base_step(self)
+
+        self.step = step
+
+    def detach_fault_hook(self):
+        """Undo :meth:`attach_fault_hook` (no-op when not attached)."""
+        self.__dict__.pop("step", None)
 
     # -- helpers used by the semantic functions ------------------------------
     def _load(self, addr, width, signed):

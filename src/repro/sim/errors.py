@@ -1,8 +1,46 @@
-"""Simulator exception hierarchy."""
+"""Simulator exception hierarchy.
+
+Every fault carries *where* it happened: ``pc`` (the program counter at
+the time of the fault) and ``mnemonic`` (the opcode being executed, when
+known).  The fault-injection campaign (:mod:`repro.faults`) classifies
+any raised :class:`SimulationError` as a *detected* event, and the
+context fields are what let the campaign report say which instruction
+tripped the detector without re-running the simulation.
+"""
 
 
 class SimulationError(Exception):
-    """Base class for all simulator faults."""
+    """Base class for all simulator faults.
+
+    ``pc`` and ``mnemonic`` locate the faulting instruction; either may
+    be ``None`` when the raise site cannot know it (the context is then
+    filled in by the nearest frame that can — see
+    :meth:`with_context`).
+    """
+
+    def __init__(self, message, pc=None, mnemonic=None):
+        super().__init__(message)
+        self.pc = pc
+        self.mnemonic = mnemonic
+
+    def with_context(self, pc=None, mnemonic=None):
+        """Fill in missing location context; never overwrites fields the
+        original raise site already set.  Returns ``self`` so callers
+        can ``raise err.with_context(...)``."""
+        if self.pc is None:
+            self.pc = pc
+        if self.mnemonic is None:
+            self.mnemonic = mnemonic
+        return self
+
+    def __str__(self):
+        text = super().__str__()
+        where = []
+        if self.pc is not None:
+            where.append("pc=0x%x" % self.pc)
+        if self.mnemonic is not None:
+            where.append("op=%s" % self.mnemonic)
+        return "%s [%s]" % (text, " ".join(where)) if where else text
 
 
 class MemoryError_(SimulationError):
@@ -18,4 +56,8 @@ class HostCallError(SimulationError):
 
 
 class ExecutionLimitExceeded(SimulationError):
-    """The instruction budget for a run was exhausted."""
+    """The instruction budget for a run was exhausted.
+
+    The fault-injection watchdog uses this as the *hang* detector: a
+    corrupted run that never reaches ``ebreak`` trips the budget at an
+    exact, deterministic instruction."""

@@ -50,6 +50,18 @@ class Memory:
         self._check(addr, 8)
         self.data[addr:addr + 8] = (value & MASK64).to_bytes(8, "little")
 
+    def corrupt(self, addr, mask):
+        """Fault injection: XOR ``mask`` into the byte at ``addr``.
+
+        Returns ``True`` when the address is in range; an out-of-range
+        fault target is absorbed (nothing to upset) rather than raised —
+        the injector must never crash the campaign itself.
+        """
+        if not 0 <= addr < self.size:
+            return False
+        self.data[addr] ^= mask & 0xFF
+        return True
+
     def write_bytes(self, addr, payload):
         """Bulk write ``payload`` (bytes-like) at ``addr``."""
         self._check(addr, len(payload))

@@ -44,6 +44,25 @@ class UnifiedRegisterFile:
         self.type[index] = tag & 0xFF
         self.fbit[index] = 1 if fbit else 0
 
+    def corrupt_value(self, index, mask):
+        """Fault injection: XOR ``mask`` into a register's *value* bits.
+
+        ``x0`` is hardwired to zero in real silicon (no storage cell to
+        upset), so faults aimed at it are dropped — mirroring hardware.
+        """
+        if index == 0:
+            return
+        self.value[index] ^= mask & MASK64
+
+    def corrupt_tag(self, index, mask, flip_fbit=False):
+        """Fault injection: XOR ``mask`` into a register's 8-bit type
+        tag, optionally flipping the F/I bit as well."""
+        if index == 0:
+            return
+        self.type[index] ^= mask & 0xFF
+        if flip_fbit:
+            self.fbit[index] ^= 1
+
     def snapshot(self):
         """Copy of (value, type, fbit) arrays, e.g. for context switching."""
         return (list(self.value), list(self.type), list(self.fbit))

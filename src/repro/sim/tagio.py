@@ -50,6 +50,23 @@ class TagCodec:
     def set_mask(self, value):
         self.mask = value & 0xFF
 
+    #: Fault-injectable configuration fields and their widths in bits —
+    #: the three special registers of Section 3.3.
+    FIELDS = (("offset", 3), ("shift", 6), ("mask", 8))
+
+    def corrupt(self, field, mask):
+        """Fault injection: XOR ``mask`` into one of the extractor
+        special registers (``offset``/``shift``/``mask``), re-applying
+        the architectural width clamp the setters enforce."""
+        if field == "offset":
+            self.set_offset(self.offset ^ mask)
+        elif field == "shift":
+            self.set_shift(self.shift ^ mask)
+        elif field == "mask":
+            self.set_mask(self.mask ^ mask)
+        else:
+            raise ValueError("unknown codec field %r" % field)
+
     @property
     def nan_detect(self):
         return bool(self.offset & OFFSET_NAN_DETECT)

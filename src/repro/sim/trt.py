@@ -119,6 +119,32 @@ class TypeRuleTable:
             self.hit_keys[key] = self.hit_keys.get(key, 0) + 1
         return out
 
+    def corrupt_entry(self, slot, out_mask=0, key_mask=0):
+        """Fault injection: upset the CAM entry at ``slot``.
+
+        ``out_mask`` XORs into the stored output tag (a data-array
+        upset: lookups still hit but return a wrong tag).  ``key_mask``
+        XORs into the entry's ``type_in1`` key byte (a tag-array upset:
+        the original key now *misses* and a corrupted key matches
+        instead).  Returns ``True`` when an entry was actually
+        corrupted — an empty table absorbs the fault.
+        """
+        if not self._order:
+            return False
+        key = self._order[slot % len(self._order)]
+        if key_mask:
+            out = self._rules.pop(key)
+            self._order.remove(key)
+            opcode_id, t1, t2 = key
+            new_key = (opcode_id, (t1 ^ key_mask) & 0xFF, t2)
+            if new_key not in self._rules:
+                self._order.append(new_key)
+            self._rules[new_key] = out
+            key = new_key
+        if out_mask:
+            self._rules[key] = (self._rules[key] ^ out_mask) & 0xFF
+        return True
+
     def snapshot(self):
         """Context-switch save of table contents *and* the hit/miss
         counters — dropping the counters would let another process's

@@ -23,7 +23,10 @@ from repro.telemetry.core import (
     PROFILE_CATEGORIES,
     Telemetry,
     attach_cpu,
+    clear_degradations,
+    degradations,
     detach_cpu,
+    record_degradation,
 )
 from repro.telemetry.profile import (
     ProfileResult,
@@ -44,6 +47,9 @@ __all__ = [
     "Telemetry",
     "attach_cpu",
     "detach_cpu",
+    "record_degradation",
+    "degradations",
+    "clear_degradations",
     "ProfileResult",
     "run_profile",
     "render_opcode_table",

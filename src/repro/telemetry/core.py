@@ -34,12 +34,60 @@ CATEGORIES = frozenset([
     "hostcall",    # ecall into a native host service
     "cache",       # I-/D-cache miss
     "stall",       # load-use interlock stall
+    "fault",       # fault-injection: one event per applied injection
+    "degradation",  # self-healing fallback engaged (e.g. block compile)
 ])
 
 #: The categories ``repro profile`` enables by default: everything
 #: except per-retire events, which multiply event volume by the
 #: instruction count and are only needed by the instruction tracer.
 PROFILE_CATEGORIES = frozenset(CATEGORIES - {"retire"})
+
+
+# -- degradation ledger ------------------------------------------------------
+#
+# Self-healing fallbacks (a basic block that failed to compile, a pool
+# worker quarantined to the serial path, a cache entry moved aside) fire
+# on paths where no Telemetry bus is attached — the block engine only
+# runs when telemetry is *off*.  They report here instead: a bounded
+# process-wide ledger plus a one-line ``logging`` warning, so a degraded
+# run is never silent but also never crashes or grows without bound.
+
+import logging
+
+_LOG = logging.getLogger("repro.telemetry")
+
+#: Maximum ledger length; older entries are dropped first.
+DEGRADATION_LIMIT = 256
+
+_DEGRADATIONS = []
+
+
+def record_degradation(event):
+    """Record one degradation event (a plain dict with at least
+    ``name``) in the process-wide ledger and log it once.
+
+    Any attached bus can mirror the ledger by passing ``telemetry`` —
+    callers that have a live bus emit there as well.
+    """
+    event = dict(event)
+    event.setdefault("cat", "degradation")
+    if len(_DEGRADATIONS) >= DEGRADATION_LIMIT:
+        del _DEGRADATIONS[0]
+    _DEGRADATIONS.append(event)
+    _LOG.warning("degraded: %s (%s)", event.get("name"),
+                 ", ".join("%s=%s" % (k, v) for k, v in sorted(event.items())
+                           if k not in ("cat", "name")))
+    return event
+
+
+def degradations():
+    """Snapshot of the process-wide degradation ledger."""
+    return list(_DEGRADATIONS)
+
+
+def clear_degradations():
+    _DEGRADATIONS.clear()
 
 
 def _zero_clock():

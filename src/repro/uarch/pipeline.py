@@ -181,7 +181,7 @@ class Machine:
                     entry = table.block_at(index)
             else:
                 raise IllegalInstruction(
-                    "PC 0x%x outside program" % cpu.pc)
+                    "PC 0x%x outside program" % cpu.pc, pc=cpu.pc)
             if cpu.instret + entry[1] > max_instructions:
                 # Close to the budget: fall back to single-instruction
                 # blocks so the limit trips at the exact instruction.
@@ -192,7 +192,7 @@ class Machine:
             if cpu.instret >= max_instructions:
                 raise ExecutionLimitExceeded(
                     "exceeded %d instructions at PC 0x%x"
-                    % (max_instructions, cpu.pc))
+                    % (max_instructions, cpu.pc), pc=cpu.pc)
 
         return self._finalize(cycles)
 
@@ -364,7 +364,8 @@ class Machine:
             if cpu.instret >= max_instructions:
                 raise ExecutionLimitExceeded(
                     "exceeded %d instructions at PC 0x%x"
-                    % (max_instructions, cpu.pc))
+                    % (max_instructions, cpu.pc),
+                    pc=cpu.pc, mnemonic=instr.mnemonic)
 
         if attribution is not None:
             # Close the final flat span so the per-bytecode totals

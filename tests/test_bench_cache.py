@@ -123,6 +123,100 @@ def test_use_cache_false_bypasses_disk(tmp_path, record):
     clear_cache()
 
 
+# -- quarantine + verify -----------------------------------------------------
+
+def test_corrupt_payload_is_quarantined(cache, record):
+    cache.store(record)
+    path = cache.path_for("lua", "fibo", BASELINE, 6)
+    path.write_text("{not json")
+    assert cache.load("lua", "fibo", BASELINE, 6) is None
+    # The damaged file is parked under corrupt/, not deleted, and can
+    # never be served again.
+    assert not path.exists()
+    parked = cache.root / "corrupt" / ("tree-a-" + path.name)
+    assert parked.read_text() == "{not json"
+    assert cache.quarantined == 1
+    # A fresh store of the same cell works normally afterwards.
+    cache.store(record)
+    assert cache.load("lua", "fibo", BASELINE, 6) == record
+
+
+def test_truncated_payload_is_quarantined(cache, record):
+    cache.store(record)
+    path = cache.path_for("lua", "fibo", BASELINE, 6)
+    payload = json.loads(path.read_text())
+    del payload["counters"]
+    path.write_text(json.dumps(payload))
+    assert cache.load("lua", "fibo", BASELINE, 6) is None
+    assert cache.quarantined == 1
+
+
+def _damage(cache, record, scale, text):
+    path = cache.path_for(record.engine, record.benchmark,
+                          record.config, scale)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+def test_verify_classifies_valid_stale_and_damaged(tmp_path, record):
+    current = ResultCache(tmp_path, tree_hash="tree-a")
+    current.store(record)
+    stale = ResultCache(tmp_path, tree_hash="tree-old")
+    stale.store(record)
+    bad = _damage(current, record, 7, "garbage")
+    (current.tree_dir / "weird.json").write_text("{}")  # unparseable name
+
+    report = current.verify()
+    assert report["scanned"] == 4
+    assert report["valid"] == 1
+    assert report["stale"] == 1
+    assert len(report["damaged"]) == 2
+    assert report["quarantined"] == 2
+    assert not bad.exists()
+    assert sorted(p.name for p in (tmp_path / "corrupt").iterdir()) \
+        == ["tree-a-weird.json", "tree-a-" + bad.name] \
+        or len(list((tmp_path / "corrupt").iterdir())) == 2
+    # A second scan finds a clean cache (damaged entries are gone).
+    again = current.verify()
+    assert again["damaged"] == []
+    assert again["scanned"] == 2
+
+
+def test_verify_without_quarantine_leaves_files(tmp_path, record):
+    current = ResultCache(tmp_path, tree_hash="tree-a")
+    bad = _damage(current, record, 7, "garbage")
+    report = current.verify(quarantine=False)
+    assert len(report["damaged"]) == 1
+    assert report["quarantined"] == 0
+    assert bad.exists()
+
+
+def test_verify_empty_root(tmp_path):
+    report = ResultCache(tmp_path / "absent", tree_hash="t").verify()
+    assert report == {"scanned": 0, "valid": 0, "stale": 0,
+                      "damaged": [], "quarantined": 0}
+
+
+def test_prune_keeps_quarantine_directory(tmp_path, record):
+    current = ResultCache(tmp_path, tree_hash="tree-a")
+    _damage(current, record, 7, "garbage")
+    current.verify()
+    stale = ResultCache(tmp_path, tree_hash="tree-old")
+    stale.store(record)
+    assert current.prune() == 1  # tree-old removed...
+    assert (tmp_path / "corrupt").is_dir()  # ...post-mortem evidence kept
+
+
+def test_parse_name_roundtrip():
+    parse = ResultCache._parse_name
+    assert parse("lua-fibo-baseline-s8") == ("lua", "fibo", "baseline", 8)
+    assert parse("js-n-sieve-typed-s400") == ("js", "n-sieve", "typed", 400)
+    for name in ("weird", "lua-fibo-baseline", "lua-fibo-baseline-sX"):
+        with pytest.raises(ValueError):
+            parse(name)
+
+
 # -- Counters round-trip (regression: as_dict omitted cpi,
 # overflow_traps, load_use_stalls and type_hit_rate) ------------------------------
 

@@ -1,0 +1,84 @@
+"""Injection plans: determinism, target balance, spec round-trips."""
+
+import random
+
+from repro.faults.plan import TARGETS, FaultSpec, InjectionPlan, derive_seed
+
+
+def test_same_seed_same_plan():
+    a = InjectionPlan(seed=99, count=30).resolve(10_000)
+    b = InjectionPlan(seed=99, count=30).resolve(10_000)
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = InjectionPlan(seed=1, count=30).resolve(10_000)
+    b = InjectionPlan(seed=2, count=30).resolve(10_000)
+    assert a != b
+
+
+def test_round_robin_covers_every_target():
+    specs = InjectionPlan(seed=5, count=len(TARGETS) * 4).resolve(1000)
+    per_target = {target: 0 for target in TARGETS}
+    for spec in specs:
+        per_target[spec.target] += 1
+    assert all(count == 4 for count in per_target.values()), per_target
+
+
+def test_resolve_bounds_and_scaling():
+    plan = InjectionPlan(seed=7, count=50)
+    for length in (2, 10, 1_000, 5_000_000):
+        for spec in plan.resolve(length):
+            assert 1 <= spec.index < max(2, length)
+    # The same schedule lands at the same *relative* point in runs of
+    # different lengths (the cross-config fairness property).
+    short = plan.resolve(1_000)
+    long = plan.resolve(100_000)
+    for a, b in zip(short, long):
+        assert abs(a.index / 1_000 - b.index / 100_000) < 0.01
+        assert (a.target, a.bits, a.reg, a.slot, a.kind) \
+            == (b.target, b.bits, b.reg, b.slot, b.kind)
+
+
+def test_spec_mask_and_roundtrip():
+    spec = FaultSpec(target="reg_value", index=17, bits=(0, 5),
+                     reg=9, kind="value")
+    assert spec.mask == 0b100001
+    assert FaultSpec.from_dict(spec.as_dict()) == spec
+    # Frozen + tuple fields => hashable (rides in executor task tuples).
+    assert hash(spec) == hash(FaultSpec.from_dict(spec.as_dict()))
+
+
+def test_spec_fields_in_valid_ranges():
+    specs = InjectionPlan(seed=11, count=200).resolve(10_000)
+    for spec in specs:
+        if spec.target in ("reg_value", "reg_tag"):
+            assert 1 <= spec.reg < 32
+        if spec.target == "reg_value":
+            assert all(0 <= bit < 64 for bit in spec.bits)
+        if spec.target == "reg_tag":
+            assert spec.kind in ("tag", "fbit")
+            if spec.kind == "fbit":
+                assert spec.bits == ()
+            else:
+                assert all(0 <= bit < 8 for bit in spec.bits)
+        if spec.target == "trt":
+            assert spec.kind in ("out", "key")
+            assert 0 <= spec.slot < 64
+        if spec.target == "extractor":
+            assert spec.kind in ("offset", "shift", "mask")
+        assert 1 <= len(spec.bits) <= 2 or spec.kind == "fbit"
+
+
+def test_derive_seed_is_stable_and_avalanching():
+    assert derive_seed(1, "lua", "fibo") == derive_seed(1, "lua", "fibo")
+    assert derive_seed(1, "lua", "fibo") != derive_seed(2, "lua", "fibo")
+    assert derive_seed(1, "lua", "fibo") != derive_seed(1, "js", "fibo")
+
+
+def test_plan_does_not_disturb_global_rng():
+    random.seed(123)
+    expected = random.random()
+    random.seed(123)
+    InjectionPlan(seed=4, count=20).resolve(100)
+    assert random.random() == expected

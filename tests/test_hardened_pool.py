@@ -1,0 +1,95 @@
+"""The hardened executor: hung workers, dying workers, deterministic
+failures, and the serial quarantine path.
+
+Worker-side misbehaviour is keyed on the process id: under the fork
+start method the module-global ``_PARENT_PID`` captured here stays the
+parent's pid inside every pool worker, so the same (picklable) function
+hangs or dies in the pool yet completes instantly when the executor
+quarantines it to serial execution in the parent.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.bench.parallel import run_hardened
+
+_PARENT_PID = os.getpid()
+
+FAST = dict(timeout=5.0, retries=1, backoff=0.01)
+
+
+def _square(task):
+    return task * task
+
+
+def _hang_in_worker(task):
+    if task == "hang" and os.getpid() != _PARENT_PID:
+        time.sleep(3600)
+    return ("ok", task)
+
+
+def _die_in_worker(task):
+    if task == "die" and os.getpid() != _PARENT_PID:
+        os._exit(13)
+    return ("ok", task)
+
+
+def _always_raises(task):
+    raise ValueError("deterministic failure on %r" % (task,))
+
+
+def test_empty_task_list():
+    assert run_hardened(_square, [], max_workers=4) == {}
+
+
+def test_plain_parallel_map():
+    results = run_hardened(_square, [1, 2, 3, 4, 5], max_workers=2,
+                           **FAST)
+    assert results == {n: n * n for n in (1, 2, 3, 4, 5)}
+
+
+def test_single_worker_runs_serially_in_parent():
+    seen = []
+    results = run_hardened(_hang_in_worker, ["hang", "a"], max_workers=1,
+                           on_result=lambda t, r: seen.append(t), **FAST)
+    # max_workers=1 never builds a pool, so the "hang" task runs in the
+    # parent (where it does not hang) in submission order.
+    assert results == {"hang": ("ok", "hang"), "a": ("ok", "a")}
+    assert seen == ["hang", "a"]
+
+
+def test_hung_worker_is_killed_and_task_quarantined():
+    tasks = ["a", "hang", "b", "c"]
+    start = time.monotonic()
+    results = run_hardened(_hang_in_worker, tasks, max_workers=2,
+                           timeout=1.0, retries=1, backoff=0.01)
+    elapsed = time.monotonic() - start
+    # Two timed-out attempts, then the parent runs it serially — the
+    # sweep completes with every result present and correct.
+    assert results == {task: ("ok", task) for task in tasks}
+    assert elapsed < 60, "hung worker wedged the executor"
+
+
+def test_dying_worker_is_retried_then_quarantined():
+    tasks = ["a", "die", "b", "c"]
+    results = run_hardened(_die_in_worker, tasks, max_workers=2, **FAST)
+    assert results == {task: ("ok", task) for task in tasks}
+
+
+def test_deterministic_failure_raises_cleanly_in_parent():
+    # A task that fails identically on every attempt must not be
+    # retried forever: after the retry budget it runs serially in the
+    # parent, where the real exception finally propagates.
+    with pytest.raises(ValueError, match="deterministic failure"):
+        run_hardened(_always_raises, ["x"], max_workers=2, **FAST)
+
+
+def test_on_result_fires_once_per_task():
+    seen = []
+    results = run_hardened(_square, [3, 4, 5], max_workers=2,
+                           on_result=lambda t, r: seen.append((t, r)),
+                           **FAST)
+    assert sorted(seen) == [(3, 9), (4, 16), (5, 25)]
+    assert len(seen) == len(results) == 3
