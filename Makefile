@@ -3,8 +3,8 @@ JOBS ?=
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint sweep sweep-full faults-smoke faults figures \
-	perfbench clean-cache
+.PHONY: test lint sweep sweep-full faults-smoke faults serve-smoke \
+	figures perfbench clean-cache
 
 # Tier-1 verification.
 test:
@@ -33,6 +33,14 @@ faults-smoke:
 # Full fault-injection campaign over the matrix (disk-cached goldens).
 faults:
 	$(PYTHON) -m repro faults $(if $(JOBS),--jobs $(JOBS))
+
+# CI smoke: boot the execution daemon as a subprocess and assert the
+# acceptance contract — 3 concurrent clients get counters identical to
+# an in-process run, a cache-hit bench never builds the worker pool,
+# and SIGTERM drains in-flight requests before exit (docs/API.md).
+serve-smoke:
+	$(PYTHON) -m repro serve --smoke $(if $(JOBS),--jobs $(JOBS)) \
+		$(if $(SERVE_JSON),--json $(SERVE_JSON))
 
 # Regenerate benchmarks/results/ (shares the sweep via the disk cache).
 figures:

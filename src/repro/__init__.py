@@ -10,11 +10,52 @@ SpiderMonkey-17-style NaN-boxing stack VM), the Checked Load comparator,
 a 40nm area/power model, and a harness regenerating every table and
 figure of the paper's evaluation.
 
-Quickstart::
+Quickstart — :func:`repro.api.run` is the single documented entry
+point (see docs/API.md)::
 
-    from repro.engines.lua import run_lua
-    result = run_lua("print(1 + 2)", config="typed")
+    from repro.api import run
+
+    result = run("lua", "print(1 + 2)", config="typed")
     print(result.output, result.counters.cycles)
+
+    result = run("js", "fibo", scale=10, config="typed")  # benchmark
+
+For a long-lived execution daemon (warm workers, request coalescing,
+deadlines), see :mod:`repro.serve` and the ``repro serve`` /
+``repro submit`` CLI verbs.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Public surface re-exported lazily (PEP 562) so that ``import repro``
+#: stays free of engine/bench imports until a name is actually used.
+_EXPORTS = {
+    "run": ("repro.api", "run"),
+    "execute": ("repro.api", "execute"),
+    "ExecutionRequest": ("repro.api", "ExecutionRequest"),
+    "ExecutionResult": ("repro.api", "ExecutionResult"),
+    "SCHEMA_VERSION": ("repro.schema", "SCHEMA_VERSION"),
+    "Counters": ("repro.uarch.counters", "Counters"),
+    "MachineConfig": ("repro.uarch.config", "MachineConfig"),
+    "RunRecord": ("repro.bench.runner", "RunRecord"),
+}
+
+__all__ = ["run", "execute", "ExecutionRequest", "ExecutionResult",
+           "SCHEMA_VERSION", "Counters", "MachineConfig", "RunRecord",
+           "__version__"]
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError("module %r has no attribute %r"
+                             % (__name__, name))
+    import importlib
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -28,6 +28,7 @@ import os
 import pathlib
 import tempfile
 
+from repro.schema import SCHEMA_VERSION
 from repro.uarch.counters import Counters
 
 _LOG = logging.getLogger("repro.bench.cache")
@@ -40,11 +41,12 @@ CORRUPT_DIR = "corrupt"
 #: enables the process-wide cache when set.
 CACHE_ENV = "REPRO_CACHE_DIR"
 
-#: Bumped whenever the on-disk payload shape changes; a version
-#: mismatch is treated as a miss.  Version 2 added the optional
-#: ``telemetry`` summary and the flat/TRT attribution counters;
-#: version 3 added host wall-clock and simulated-MIPS metadata.
-FORMAT_VERSION = 3
+#: The on-disk payload version — an alias of the package-wide
+#: :data:`repro.schema.SCHEMA_VERSION` (one bump invalidates every
+#: versioned artefact at once; see docs/API.md for the policy and
+#: :mod:`repro.schema` for the version history).  A mismatch is
+#: treated as a miss and the entry quarantined.
+FORMAT_VERSION = SCHEMA_VERSION
 
 _TREE_HASHES = {}
 

@@ -21,10 +21,12 @@ from dataclasses import dataclass
 
 from repro.bench.workloads import BENCHMARK_ORDER
 from repro.engines import BASELINE, CHECKED_LOAD, CONFIGS, TYPED
+from repro.schema import SCHEMA_VERSION
 
-#: Bumped when the metric schema changes; a mismatch fails the check
+#: The baseline payload version — an alias of the package-wide
+#: :data:`repro.schema.SCHEMA_VERSION`; a mismatch fails the check
 #: with a "regenerate the baseline" message rather than a diff storm.
-BASELINE_VERSION = 1
+BASELINE_VERSION = SCHEMA_VERSION
 
 #: Metrics compared with *relative* tolerance.
 RELATIVE_METRICS = ("speedup_typed", "speedup_chklb", "instructions",

@@ -8,18 +8,15 @@ across processes.  For the multi-core sharded sweep see
 :func:`repro.bench.parallel.run_matrix_parallel`.
 """
 
-import time
 from dataclasses import dataclass
 
 from repro.bench import cache as result_cache
 from repro.bench.workloads import BENCHMARK_ORDER, workload
 from repro.engines import CONFIGS
-from repro.engines.js import run_js
-from repro.engines.lua import run_lua
 
 ENGINES = ("lua", "js")
 
-_RUNNERS = {"lua": (run_lua, "lua_source"), "js": (run_js, "js_source")}
+_SOURCE_ATTRS = {"lua": "lua_source", "js": "js_source"}
 
 _CACHE = {}
 
@@ -103,6 +100,8 @@ def run_benchmark(engine, benchmark, config, scale=None, use_cache=True,
     cell to bypass the caches, since attribution-free counters would
     starve the figure pipeline if they were ever served from cache.
     """
+    from repro import api
+
     spec = workload(benchmark)
     scale = scale or spec.default_scale
     if not attribute:
@@ -111,19 +110,17 @@ def run_benchmark(engine, benchmark, config, scale=None, use_cache=True,
         record = cached_record(engine, benchmark, config, scale)
         if record is not None:
             return record
-    run, source_attr = _RUNNERS[engine]
-    source = getattr(spec, source_attr)(scale)
-    started = time.perf_counter()
-    result = run(source, config=config, telemetry=telemetry,
-                 use_blocks=use_blocks, attribute=attribute)
-    elapsed = time.perf_counter() - started
-    mips = result.counters.instructions / elapsed / 1e6 if elapsed else 0.0
+    source = getattr(spec, _SOURCE_ATTRS[engine])(scale)
+    result = api._engine_run(engine, source, config=config,
+                             telemetry=telemetry, use_blocks=use_blocks,
+                             attribute=attribute)
     record = RunRecord(engine=engine, benchmark=benchmark, config=config,
                        scale=scale, output=result.output,
                        counters=result.counters,
                        telemetry=telemetry.summary()
                        if telemetry is not None else None,
-                       wall_seconds=elapsed, simulated_mips=mips)
+                       wall_seconds=result.wall_seconds,
+                       simulated_mips=result.simulated_mips)
     if use_cache:
         publish(record, disk=result_cache.active_cache())
     return record

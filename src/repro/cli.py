@@ -15,10 +15,23 @@ Subcommands:
   campaign; see docs/RELIABILITY.md),
 * ``bench baseline``/``bench check`` — the CI performance gate,
 * ``bench cache --verify`` — scan the result cache, quarantining any
-  corrupt or truncated entries to ``<cache>/corrupt/``.
+  corrupt or truncated entries to ``<cache>/corrupt/``,
+* ``serve`` — the persistent execution daemon: warm forked workers
+  behind a localhost socket (``--smoke`` runs the acceptance harness;
+  see docs/API.md),
+* ``submit`` — submit a benchmark, script or sweep to a running
+  daemon (also ``--status``/``--drain``/``--ping`` control verbs).
+
+Flag conventions, uniform across subcommands: ``--jobs`` (worker
+processes), ``--cache-dir``/``--no-disk-cache`` (the persistent
+result cache), ``--smoke`` (tiny deterministic CI variant) and
+``--json PATH`` (machine-readable report).  The old spellings
+``--workers``, ``--cache`` and ``--json-out`` are kept as hidden
+aliases.
 """
 
 import argparse
+import os
 import sys
 
 from repro.bench import cache as result_cache
@@ -30,6 +43,10 @@ from repro.engines import BASELINE, CONFIGS, TYPED
 
 
 def _cmd_run(args):
+    _configure_disk_cache(args)
+    if args.smoke and args.scale is None:
+        args.scale = 2
+    record = None
     if args.model == "scoreboard":
         from repro.bench.workloads import workload
         from repro.uarch.scoreboard import ScoreboardMachine
@@ -58,9 +75,15 @@ def _cmd_run(args):
         if isinstance(value, dict):
             continue  # per-bytecode breakdowns; see ``profile``
         print("%-20s %s" % (key, value))
-    if args.model == "fast" and record.wall_seconds:
+    if record is not None and record.wall_seconds:
         print("%-20s %.3f" % ("host_seconds", record.wall_seconds))
         print("%-20s %.3f" % ("simulated_mips", record.simulated_mips))
+    if args.json:
+        _write_json(args.json, {
+            "engine": args.engine, "benchmark": args.benchmark,
+            "config": args.config, "scale": args.scale,
+            "model": args.model, "output": output,
+            "counters": counter_view})
     return 0
 
 
@@ -79,10 +102,56 @@ def _progress_printer(event):
 
 
 def _configure_disk_cache(args):
-    if args.no_disk_cache:
+    if getattr(args, "no_disk_cache", False):
         result_cache.disable()
     else:
-        result_cache.configure(args.cache_dir)
+        result_cache.configure(getattr(args, "cache_dir", None))
+
+
+# -- uniform flag spellings -------------------------------------------------
+#
+# Every subcommand accepts the same canonical flags where they apply:
+# ``--jobs N``, ``--cache-dir DIR`` / ``--no-disk-cache``, ``--smoke``
+# and ``--json PATH``.  The historical spellings ``--workers``,
+# ``--cache`` and ``--json-out`` still parse, hidden from ``--help``.
+
+def _hidden_alias(parser, flag, canonical, **kwargs):
+    parser.add_argument(flag, dest=canonical, default=argparse.SUPPRESS,
+                        help=argparse.SUPPRESS, **kwargs)
+
+
+def _add_jobs_flag(parser, help_text="worker processes (default: all "
+                                     "cores; 1 forces the serial path)"):
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help=help_text)
+    _hidden_alias(parser, "--workers", "jobs", type=int, metavar="N")
+
+
+def _add_cache_flags(parser):
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="result cache location (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/typedarch)")
+    _hidden_alias(parser, "--cache", "cache_dir", metavar="DIR")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="skip the persistent result cache")
+
+
+def _add_smoke_flag(parser, help_text):
+    parser.add_argument("--smoke", action="store_true", help=help_text)
+
+
+def _add_json_flag(parser, help_text):
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help=help_text)
+    _hidden_alias(parser, "--json-out", "json", metavar="PATH")
+
+
+def _write_json(path, payload):
+    import json
+    from repro.schema import stamp
+    with open(path, "w") as handle:
+        json.dump(stamp(dict(payload)), handle, indent=1, sort_keys=True)
+    print("wrote %s" % path)
 
 
 def _cmd_sweep_smoke(args):
@@ -201,6 +270,13 @@ def _cmd_trace(args):
         print(tracer.format())
     sys.stdout.write(("".join(runtime.output)) and
                      "--- output ---\n" + "".join(runtime.output) or "")
+    if args.json:
+        payload = {"benchmark": args.benchmark, "engine": args.engine,
+                   "config": args.config, "scale": args.scale,
+                   "trace": tracer.format()}
+        if args.bytecodes:
+            payload["counts"] = dict(tracer.counts)
+        _write_json(args.json, payload)
     return 0
 
 
@@ -210,6 +286,8 @@ def _cmd_profile(args):
     from repro.telemetry import (render_opcode_table, render_trt_table,
                                  run_profile)
 
+    if args.smoke and args.scale is None:
+        args.scale = 2
     result = run_profile(args.target, engine=args.engine,
                          config=args.config, scale=args.scale,
                          chrome_trace=args.chrome_trace,
@@ -242,6 +320,13 @@ def _cmd_profile(args):
         print("wrote event log: %s" % args.events)
     if args.show_output and result.output:
         sys.stdout.write("--- output ---\n" + result.output)
+    if args.json:
+        _write_json(args.json, {
+            "target": args.target, "engine": args.engine,
+            "config": args.config, "scale": args.scale,
+            "counters": result.counters.as_dict(),
+            "opcode_table": render_opcode_table(result, top=args.top),
+            "trt_table": render_trt_table(result, top=args.top)})
     return 0
 
 
@@ -380,6 +465,18 @@ def _cmd_bench(args):
     from repro.bench import gate
     from repro.bench.parallel import run_matrix_parallel
 
+    if args.bench_command == "check" and args.smoke:
+        # Compatibility probe only: the committed baseline must load
+        # under the current SCHEMA_VERSION.  No sweep is run.
+        try:
+            payload = gate.load_baseline(args.baseline)
+        except (OSError, ValueError) as err:
+            print("bench check smoke: %s" % err)
+            return 1
+        print("bench check smoke: %s loads (%d metrics, schema v%d): OK"
+              % (args.baseline, len(payload.get("metrics", {})),
+                 gate.BASELINE_VERSION))
+        return 0
     _configure_disk_cache(args)
     records = run_matrix_parallel(max_workers=args.jobs)
     mismatches = verify_outputs_match(records)
@@ -398,15 +495,299 @@ def _cmd_bench(args):
     return 1 if violations else 0
 
 
+def _cmd_serve_smoke(args):
+    """The serve acceptance harness (``repro serve --smoke``; CI runs
+    it as the ``serve-smoke`` job).  Boots the daemon as a subprocess
+    and checks the three acceptance properties:
+
+    1. a ``bench`` request answered from the persistent result cache
+       returns ``cached`` without ever building the worker pool,
+    2. three concurrent ``run`` clients get counters byte-identical
+       to an in-process :func:`repro.api.run` of the same source,
+    3. SIGTERM drains the in-flight request before the daemon exits 0.
+    """
+    import json
+    import signal as signal_mod
+    import subprocess
+    import tempfile
+    import threading
+    import time
+
+    import repro
+    from repro import api
+    from repro.serve.client import ServeClient
+
+    checks = {}
+    proc = None
+    with tempfile.TemporaryDirectory() as tmp:
+        sock = os.path.join(tmp, "serve.sock")
+        cache_dir = args.cache_dir or os.path.join(tmp, "cache")
+
+        # Seed one bench cell into the disk cache the daemon will use.
+        with result_cache.temporary(cache_dir):
+            clear_cache()
+            seeded = api.run("lua", "fibo", scale=6, config=TYPED)
+        clear_cache()
+
+        pkg_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = pkg_root + os.pathsep \
+            + env.get("PYTHONPATH", "")
+        env["REPRO_CACHE_DIR"] = cache_dir
+        jobs = 2 if args.jobs is None else args.jobs
+        try:
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve",
+                 "--socket", sock, "--jobs", str(jobs),
+                 "--queue-depth", "8"],
+                env=env, stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT)
+
+            deadline = time.monotonic() + 60
+            while not os.path.exists(sock):
+                if proc.poll() is not None or time.monotonic() > deadline:
+                    out = proc.stdout.read().decode("utf-8", "replace") \
+                        if proc.poll() is not None else ""
+                    print("serve smoke: daemon failed to start\n%s" % out)
+                    return 1
+                time.sleep(0.05)
+
+            # 1. Cache hit first: the pool must still be cold after it.
+            with ServeClient(socket_path=sock, timeout=120) as client:
+                hit = client.run("lua", "fibo", scale=6, config=TYPED)
+                stats = client.status()
+            checks["bench_cache_hit_no_worker"] = (
+                hit.ok and hit.cached
+                and hit.counters.as_dict() == seeded.counters.as_dict()
+                and stats["pool"]["builds"] == 0
+                and stats["pool"]["executed"] == 0)
+
+            # 2. Three concurrent run clients, byte-identical counters.
+            src = ("local s = 0\n"
+                   "for i = 1, 2000 do s = s + i end\n"
+                   "print(s)\n")
+            expected = api.run("lua", src, config=TYPED)
+            expected_blob = json.dumps(expected.counters.as_dict(),
+                                       sort_keys=True)
+            results = [None] * 3
+            errors = []
+
+            def one_client(index):
+                try:
+                    with ServeClient(socket_path=sock,
+                                     timeout=120) as client:
+                        results[index] = client.run("lua", src,
+                                                    config=TYPED)
+                except Exception as err:  # noqa: BLE001 - report below
+                    errors.append(err)
+
+            threads = [threading.Thread(target=one_client, args=(i,))
+                       for i in range(3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(180)
+            checks["concurrent_identical_counters"] = (
+                not errors and all(
+                    result is not None and result.ok
+                    and json.dumps(result.counters.as_dict(),
+                                   sort_keys=True) == expected_blob
+                    for result in results))
+            if errors:
+                print("serve smoke: concurrent client errors: %s"
+                      % errors, file=sys.stderr)
+
+            # 3. SIGTERM mid-flight: the result must still arrive and
+            #    the daemon must exit cleanly once drained.
+            slow_src = ("local s = 0\n"
+                        "for i = 1, 120000 do s = s + i end\n"
+                        "print(s)\n")
+            started = threading.Event()
+            box = {}
+
+            def on_event(frame):
+                if frame.get("event") == "started":
+                    started.set()
+
+            def slow_client():
+                try:
+                    with ServeClient(socket_path=sock,
+                                     timeout=300) as client:
+                        box["result"] = client.run(
+                            "lua", slow_src, config=TYPED,
+                            on_event=on_event)
+                except Exception as err:  # noqa: BLE001 - report below
+                    box["error"] = err
+
+            thread = threading.Thread(target=slow_client)
+            thread.start()
+            if not started.wait(120):
+                box.setdefault("error", "request never started")
+            proc.send_signal(signal_mod.SIGTERM)
+            thread.join(300)
+            exit_code = proc.wait(timeout=120)
+            drained = box.get("result")
+            checks["sigterm_drains_inflight"] = (
+                drained is not None and drained.ok and exit_code == 0)
+            if "error" in box:
+                print("serve smoke: drain client error: %s" % box["error"],
+                      file=sys.stderr)
+        finally:
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            if proc is not None and proc.stdout is not None:
+                proc.stdout.close()
+
+    ok = all(checks.values()) and len(checks) == 3
+    for name in sorted(checks):
+        print("serve smoke: %-32s %s" % (name,
+                                         "ok" if checks[name] else "FAIL"))
+    print("serve smoke: %s" % ("OK" if ok else "FAILED"))
+    if args.json:
+        _write_json(args.json, {"ok": ok, "checks": checks, "jobs": jobs})
+    return 0 if ok else 1
+
+
+def _cmd_serve(args):
+    if args.smoke:
+        return _cmd_serve_smoke(args)
+    import asyncio
+    import logging
+
+    from repro.serve.server import serve as serve_daemon
+
+    _configure_disk_cache(args)
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    workers = 2 if args.jobs is None else args.jobs
+    if args.port is not None:
+        socket_path, host = None, args.host or "127.0.0.1"
+    else:
+        socket_path, host = args.socket, None
+
+    def ready(server):
+        where = server.socket_path or "%s:%d" % (server.host,
+                                                 server.bound_port)
+        print("serving on %s (workers=%d, queue depth %d)"
+              % (where, workers, args.queue_depth), file=sys.stderr,
+              flush=True)
+
+    asyncio.run(serve_daemon(
+        socket_path=socket_path, host=host, port=args.port, ready=ready,
+        workers=workers, queue_depth=args.queue_depth,
+        default_deadline=args.deadline,
+        warm_engines=tuple(args.warm_engine or ("lua", "js")),
+        warm_configs=tuple(args.warm_config or CONFIGS)))
+    return 0
+
+
+def _cmd_submit(args):
+    import json
+
+    from repro.api import DEFAULT_PRIORITY, ExecutionRequest
+    from repro.serve.client import ServeBusy, ServeClient, ServeError
+
+    on_event = None
+    if args.verbose:
+        def on_event(frame):
+            print("event: %s" % json.dumps(frame, sort_keys=True),
+                  file=sys.stderr)
+
+    wants_control = args.ping or args.status or args.drain
+    if args.target is None and not (wants_control or args.sweep):
+        print("submit: a target (benchmark, script path, '-' or inline "
+              "source) or --sweep/--status/--drain/--ping is required",
+              file=sys.stderr)
+        return 2
+
+    client = ServeClient(socket_path=args.socket,
+                         host=args.host if args.port else None,
+                         port=args.port, timeout=args.timeout)
+    try:
+        with client:
+            if args.ping:
+                print("pong" if client.ping() else "schema mismatch")
+                return 0
+            if args.status or args.drain:
+                stats = client.drain() if args.drain else client.status()
+                print(json.dumps(stats, indent=1, sort_keys=True))
+                return 0
+
+            priority = DEFAULT_PRIORITY if args.priority is None \
+                else args.priority
+            if args.sweep:
+                request = ExecutionRequest(
+                    op="sweep", jobs=args.jobs, deadline=args.deadline,
+                    priority=priority)
+                result = client.submit(request, on_event=on_event)
+            else:
+                target, engine = args.target, args.engine
+                if target in BENCHMARK_ORDER:
+                    source = target
+                elif target == "-":
+                    source = sys.stdin.read()
+                elif target.endswith(".lua") or target.endswith(".js"):
+                    with open(target) as handle:
+                        source = handle.read()
+                    engine = engine or ("js" if target.endswith(".js")
+                                        else "lua")
+                else:
+                    source = target
+                scale = args.scale
+                if args.smoke and scale is None:
+                    scale = 2
+                result = client.run(
+                    engine or "lua", source, config=args.config,
+                    scale=scale, deadline=args.deadline,
+                    priority=priority, on_event=on_event)
+    except ServeBusy as err:
+        print("busy: %s (retry after %.1fs)"
+              % (err, err.retry_after or 0.0), file=sys.stderr)
+        return 75  # EX_TEMPFAIL
+    except ServeError as err:
+        print("error: %s" % err, file=sys.stderr)
+        return 1
+    except (ConnectionError, FileNotFoundError, OSError) as err:
+        print("cannot reach the daemon: %s (is `repro serve` running?)"
+              % err, file=sys.stderr)
+        return 1
+
+    if args.json:
+        _write_json(args.json, result.as_dict())
+    if not result.ok:
+        print("execution failed: %s" % result.error, file=sys.stderr)
+        return 1
+    if result.op == "sweep":
+        print("sweep complete: %d cells%s"
+              % (len(result.cells or {}),
+                 " (coalesced)" if result.coalesced else ""))
+        if not args.json:
+            print("(use --json PATH for the per-cell metrics)")
+        return 0
+    sys.stdout.write(result.output or "")
+    origin = "cached" if result.cached else "served"
+    if result.coalesced:
+        origin += ", coalesced"
+    print("--- counters (%s) ---" % origin)
+    for key, value in result.counters.as_dict().items():
+        if isinstance(value, dict):
+            continue  # per-bytecode breakdowns; see ``profile``
+        print("%-20s %s" % (key, value))
+    return 0
+
+
 def _cmd_tables(args):
-    print(experiments.table1())
-    print()
-    print(experiments.table6())
-    print()
-    print(experiments.table7())
-    print()
-    _summary, text = experiments.table8()
-    print(text)
+    _summary, table8_text = experiments.table8()
+    sections = (("table1", experiments.table1()),
+                ("table6", experiments.table6()),
+                ("table7", experiments.table7()),
+                ("table8", table8_text))
+    print("\n\n".join(text for _name, text in sections))
+    if args.json:
+        _write_json(args.json, dict(sections))
     return 0
 
 
@@ -435,6 +816,11 @@ def build_parser():
                                  "never cached")
     run_parser.add_argument("--fresh", action="store_true",
                             help="bypass the result caches for this run")
+    _add_jobs_flag(run_parser, help_text="accepted for flag uniformity; "
+                                         "a single run is one process")
+    _add_cache_flags(run_parser)
+    _add_smoke_flag(run_parser, "scale-2 quick run (unless --scale)")
+    _add_json_flag(run_parser, "write output + counters as JSON")
     run_parser.set_defaults(func=_cmd_run)
 
     sweep_parser = sub.add_parser("sweep",
@@ -442,21 +828,11 @@ def build_parser():
     sweep_parser.add_argument("--quick", action="store_true",
                               help="halve the input scales")
     sweep_parser.add_argument("--verbose", action="store_true")
-    sweep_parser.add_argument("--json", metavar="PATH", default=None,
-                              help="also dump all figure data as JSON")
-    sweep_parser.add_argument("--jobs", type=int, default=None,
-                              metavar="N",
-                              help="worker processes (default: all "
-                                   "cores; 1 forces the serial path)")
-    sweep_parser.add_argument("--no-disk-cache", action="store_true",
-                              help="skip the persistent result cache")
-    sweep_parser.add_argument("--cache-dir", metavar="DIR", default=None,
-                              help="result cache location (default: "
-                                   "$REPRO_CACHE_DIR or "
-                                   "~/.cache/typedarch)")
-    sweep_parser.add_argument("--smoke", action="store_true",
-                              help="2-cell cold+warm parallel sweep "
-                                   "against a temp cache (CI smoke)")
+    _add_json_flag(sweep_parser, "also dump all figure data as JSON")
+    _add_jobs_flag(sweep_parser)
+    _add_cache_flags(sweep_parser)
+    _add_smoke_flag(sweep_parser, "2-cell cold+warm parallel sweep "
+                                  "against a temp cache (CI smoke)")
     sweep_parser.add_argument("--attribution", action="store_true",
                               help="also print per-benchmark cycle and "
                                    "TRT-miss attribution")
@@ -464,6 +840,7 @@ def build_parser():
 
     tables_parser = sub.add_parser("tables",
                                    help="static tables and the hw model")
+    _add_json_flag(tables_parser, "write the rendered tables as JSON")
     tables_parser.set_defaults(func=_cmd_tables)
 
     trace_parser = sub.add_parser(
@@ -481,6 +858,8 @@ def build_parser():
                               help="trace entries kept (tail)")
     trace_parser.add_argument("--max-instructions", type=int,
                               default=200_000)
+    _add_json_flag(trace_parser, "write the trace (and bytecode "
+                                 "counts) as JSON")
     trace_parser.set_defaults(func=_cmd_trace)
 
     profile_parser = sub.add_parser(
@@ -510,6 +889,10 @@ def build_parser():
                                      "instruction buckets")
     profile_parser.add_argument("--show-output", action="store_true",
                                 help="echo the guest program's output")
+    _add_smoke_flag(profile_parser, "scale-2 quick profile "
+                                    "(unless --scale)")
+    _add_json_flag(profile_parser, "write counters + rendered tables "
+                                   "as JSON")
     profile_parser.set_defaults(func=_cmd_profile)
 
     faults_parser = sub.add_parser(
@@ -528,23 +911,14 @@ def build_parser():
                                help="repeatable; default: all benchmarks")
     faults_parser.add_argument("--quick", action="store_true",
                                help="halve the input scales")
-    faults_parser.add_argument("--jobs", type=int, default=None,
-                               metavar="N",
-                               help="worker processes (default: all "
-                                    "cores; 1 forces the serial path)")
-    faults_parser.add_argument("--json", metavar="PATH", default=None,
-                               help="write the full campaign report")
     faults_parser.add_argument("--verbose", action="store_true")
-    faults_parser.add_argument("--no-disk-cache", action="store_true",
-                               help="skip the persistent result cache "
-                                    "for the golden runs")
-    faults_parser.add_argument("--cache-dir", metavar="DIR",
-                               default=None)
-    faults_parser.add_argument("--smoke", action="store_true",
-                               help="tiny fixed-seed campaign at 1 and "
-                                    "N jobs; asserts determinism and "
-                                    "typed > baseline tag-plane "
-                                    "detection (CI smoke)")
+    _add_jobs_flag(faults_parser)
+    _add_json_flag(faults_parser, "write the full campaign report")
+    _add_cache_flags(faults_parser)
+    _add_smoke_flag(faults_parser,
+                    "tiny fixed-seed campaign at 1 and N jobs; asserts "
+                    "determinism and typed > baseline tag-plane "
+                    "detection (CI smoke)")
     faults_parser.set_defaults(func=_cmd_faults)
 
     bench_parser = sub.add_parser(
@@ -559,17 +933,18 @@ def build_parser():
     cache_parser.add_argument("--no-quarantine", action="store_true",
                               help="report damaged entries but leave "
                                    "them in place")
-    cache_parser.add_argument("--no-disk-cache", action="store_true",
-                              help=argparse.SUPPRESS)
-    cache_parser.add_argument("--cache-dir", metavar="DIR", default=None)
+    _add_cache_flags(cache_parser)
     cache_parser.set_defaults(func=_cmd_bench)
     for name, description in (
             ("baseline", "run the sweep and write the baseline metrics"),
             ("check", "run the sweep and fail on metric drift")):
         cmd = bench_sub.add_parser(name, help=description)
-        cmd.add_argument("--jobs", type=int, default=None, metavar="N")
-        cmd.add_argument("--no-disk-cache", action="store_true")
-        cmd.add_argument("--cache-dir", metavar="DIR", default=None)
+        _add_jobs_flag(cmd)
+        _add_cache_flags(cmd)
+        if name == "check":
+            _add_smoke_flag(cmd, "only verify the committed baseline "
+                                 "loads under the current schema "
+                                 "version (no sweep)")
         if name == "baseline":
             cmd.add_argument("--out", metavar="PATH",
                              default="benchmarks/results/baseline.json")
@@ -583,12 +958,101 @@ def build_parser():
                              help="absolute tolerance for MPKI and "
                                   "hit-rate metrics")
         cmd.set_defaults(func=_cmd_bench)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="persistent execution daemon: warm workers behind a "
+             "localhost socket (see docs/API.md)")
+    serve_parser.add_argument("--socket", metavar="PATH", default=None,
+                              help="unix socket path (default: "
+                                   "$REPRO_SERVE_SOCKET or a per-user "
+                                   "temp path)")
+    serve_parser.add_argument("--host", default=None,
+                              help="TCP mode bind host (with --port; "
+                                   "default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=None,
+                              metavar="N",
+                              help="TCP mode port (0 picks a free one)")
+    serve_parser.add_argument("--queue-depth", type=int, default=32,
+                              metavar="N",
+                              help="pending requests before busy "
+                                   "rejection")
+    serve_parser.add_argument("--deadline", type=float, default=None,
+                              metavar="SECONDS",
+                              help="default per-request deadline")
+    serve_parser.add_argument("--warm-engine", action="append",
+                              choices=("lua", "js"), default=None,
+                              help="repeatable; interpreters assembled "
+                                   "at worker fork (default: both)")
+    serve_parser.add_argument("--warm-config", action="append",
+                              choices=CONFIGS, default=None,
+                              help="repeatable; default: all configs")
+    serve_parser.add_argument("--verbose", action="store_true")
+    _add_jobs_flag(serve_parser, help_text="warm worker processes "
+                                           "(default 2; 0 runs requests "
+                                           "inline)")
+    _add_cache_flags(serve_parser)
+    _add_smoke_flag(serve_parser,
+                    "acceptance smoke: subprocess daemon, 3 concurrent "
+                    "clients, cache-hit path, SIGTERM drain (CI)")
+    _add_json_flag(serve_parser, "write the smoke report as JSON")
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit",
+        help="submit work to a running serve daemon")
+    submit_parser.add_argument(
+        "target", nargs="?", default=None,
+        help="benchmark name, path to a .lua/.js script, '-' for "
+             "stdin, or inline source text")
+    submit_parser.add_argument("--engine", choices=("lua", "js"),
+                               default=None,
+                               help="default: inferred from the target")
+    submit_parser.add_argument("--config", choices=CONFIGS,
+                               default=BASELINE)
+    submit_parser.add_argument("--scale", type=int, default=None)
+    submit_parser.add_argument("--sweep", action="store_true",
+                               help="submit a full-matrix sweep instead "
+                                    "of a single target")
+    submit_parser.add_argument("--deadline", type=float, default=None,
+                               metavar="SECONDS",
+                               help="wall-clock deadline for this "
+                                    "request")
+    submit_parser.add_argument("--priority", type=int, default=None,
+                               metavar="N",
+                               help="lower runs first (default 5)")
+    submit_parser.add_argument("--socket", metavar="PATH", default=None)
+    submit_parser.add_argument("--host", default=None)
+    submit_parser.add_argument("--port", type=int, default=None,
+                               metavar="N")
+    submit_parser.add_argument("--timeout", type=float, default=600.0,
+                               metavar="SECONDS",
+                               help="client-side socket timeout")
+    submit_parser.add_argument("--status", action="store_true",
+                               help="print daemon statistics and exit")
+    submit_parser.add_argument("--drain", action="store_true",
+                               help="ask the daemon to drain and exit")
+    submit_parser.add_argument("--ping", action="store_true",
+                               help="liveness + schema-version probe")
+    submit_parser.add_argument("--verbose", action="store_true",
+                               help="print streamed events to stderr")
+    _add_jobs_flag(submit_parser, help_text="worker shards for a "
+                                            "--sweep request (server "
+                                            "side)")
+    _add_smoke_flag(submit_parser, "scale-2 submission (unless --scale)")
+    _add_json_flag(submit_parser, "write the result payload as JSON")
+    submit_parser.set_defaults(func=_cmd_submit)
     return parser
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`); exit quietly.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

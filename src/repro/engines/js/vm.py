@@ -13,7 +13,7 @@ from repro.isa.assembler import assemble
 from repro.sim.cpu import Cpu
 from repro.sim.memory import Memory
 from repro.sim.tagio import TagCodec
-from repro.uarch.pipeline import Attribution, Machine
+from repro.uarch.pipeline import Attribution
 
 _EXTRA_BUCKETS = ("startup", "dispatch", "arith_slow_common",
                   "arith_slow_unary", "compare_slow_common",
@@ -90,26 +90,28 @@ def prepare(source, config=BASELINE):
     return cpu, runtime, program
 
 
-def run_js(source, config=BASELINE, machine_config=None,
-           max_instructions=200_000_000, attribute=True, telemetry=None,
-           use_blocks=True):
+def run_js(source, *args, **kwargs):
     """Compile and execute MiniJS ``source`` on the simulated machine.
+
+    Thin adapter over :func:`repro.api.run` with the same unified
+    keyword-only signature as ``run_lua``::
+
+        run_js(source, *, config="baseline", machine_config=None,
+               max_instructions=200_000_000, attribute=True,
+               telemetry=None, use_blocks=True)
 
     ``telemetry`` optionally attaches an event bus (see
     :mod:`repro.telemetry`) to the CPU and timing model.
     ``use_blocks`` enables the basic-block superinstruction engine
     (only effective without attribution/telemetry; counters are
     identical either way).
+
+    Legacy call styles — positional arguments after ``source``, or the
+    drifted keyword spellings ``machine``/``limit``/``mode`` — still
+    work but emit one :class:`DeprecationWarning` per process.
     """
-    cpu, runtime, program = prepare(source, config)
-    attribution = interpreter_program(config)[1] if attribute else None
-    if telemetry is not None:
-        from repro.telemetry import attach_cpu
-        attach_cpu(telemetry, cpu)
-    machine = Machine(cpu, config=machine_config, attribution=attribution,
-                      telemetry=telemetry, use_blocks=use_blocks)
-    counters = machine.run(max_instructions=max_instructions)
-    if telemetry is not None:
-        telemetry.close()
-    return JsResult(output="".join(runtime.output), counters=counters,
-                    config=config, exit_code=cpu.exit_code)
+    from repro import api
+    params = api.normalize_engine_kwargs("run_js", args, kwargs)
+    result = api._engine_run("js", source, **params)
+    return JsResult(output=result.output, counters=result.counters,
+                    config=result.config, exit_code=result.exit_code)

@@ -18,7 +18,7 @@ from repro.isa.assembler import assemble
 from repro.sim.cpu import Cpu
 from repro.sim.memory import Memory
 from repro.sim.tagio import TagCodec
-from repro.uarch.pipeline import Attribution, Machine
+from repro.uarch.pipeline import Attribution
 
 # Labels that delimit attribution buckets besides the h_* handlers.
 _EXTRA_BUCKETS = ("startup", "dispatch", "arith_slow_common",
@@ -94,10 +94,15 @@ def prepare(source, config=BASELINE):
     return cpu, runtime, program
 
 
-def run_lua(source, config=BASELINE, machine_config=None,
-            max_instructions=200_000_000, attribute=True, telemetry=None,
-            use_blocks=True):
+def run_lua(source, *args, **kwargs):
     """Compile and execute MiniLua ``source`` on the simulated machine.
+
+    Thin adapter over :func:`repro.api.run` — the unified signature is
+    keyword-only after ``source``::
+
+        run_lua(source, *, config="baseline", machine_config=None,
+                max_instructions=200_000_000, attribute=True,
+                telemetry=None, use_blocks=True)
 
     ``config`` selects the interpreter build: ``"baseline"`` (software
     type guards), ``"typed"`` (Typed Architecture) or ``"chklb"``
@@ -106,16 +111,13 @@ def run_lua(source, config=BASELINE, machine_config=None,
     ``use_blocks`` enables the basic-block superinstruction engine
     (only effective without attribution/telemetry; counters are
     identical either way).
+
+    Legacy call styles — positional arguments after ``source``, or the
+    drifted keyword spellings ``machine``/``limit``/``mode`` — still
+    work but emit one :class:`DeprecationWarning` per process.
     """
-    cpu, runtime, program = prepare(source, config)
-    attribution = interpreter_program(config)[1] if attribute else None
-    if telemetry is not None:
-        from repro.telemetry import attach_cpu
-        attach_cpu(telemetry, cpu)
-    machine = Machine(cpu, config=machine_config, attribution=attribution,
-                      telemetry=telemetry, use_blocks=use_blocks)
-    counters = machine.run(max_instructions=max_instructions)
-    if telemetry is not None:
-        telemetry.close()
-    return LuaResult(output="".join(runtime.output), counters=counters,
-                     config=config, exit_code=cpu.exit_code)
+    from repro import api
+    params = api.normalize_engine_kwargs("run_lua", args, kwargs)
+    result = api._engine_run("lua", source, **params)
+    return LuaResult(output=result.output, counters=result.counters,
+                     config=result.config, exit_code=result.exit_code)

@@ -27,7 +27,8 @@ no trap) or **hang** (tripped the watchdog instruction budget).
 See ``docs/RELIABILITY.md`` for the methodology and headline numbers.
 """
 
-from repro.faults.campaign import run_campaign, run_injection
+from repro.faults.campaign import load_report, run_campaign, \
+    run_injection
 from repro.faults.classify import (
     CLASSES,
     DETECTED,
@@ -55,4 +56,5 @@ __all__ = [
     "watchdog_budget",
     "run_campaign",
     "run_injection",
+    "load_report",
 ]

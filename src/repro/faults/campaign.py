@@ -36,6 +36,7 @@ from repro.faults.classify import (
 )
 from repro.faults.inject import FaultSession, tag_geometry
 from repro.faults.plan import TARGETS, InjectionPlan, derive_seed
+from repro.schema import require, stamp
 
 #: Injections per (engine, benchmark, config) cell — 8 per target with
 #: the default five targets; the CLI's ``--count`` overrides it.
@@ -219,7 +220,7 @@ def _build_report(seed, count, targets, cells, tasks, results,
                 target_cov["detected"] / target_cov["total"], 4) \
                 if target_cov["total"] else 0.0
 
-    return {
+    return stamp({
         "seed": seed,
         "count_per_cell": count,
         "targets": list(targets),
@@ -227,4 +228,20 @@ def _build_report(seed, count, targets, cells, tasks, results,
         "coverage": coverage,
         "cells": [report_cells[cell[:3]] for cell in cells
                   if cell[:3] in report_cells],
-    }
+    })
+
+
+def load_report(source):
+    """Load and validate a campaign report (a path, a JSON string or
+    an already-parsed dict); raises :class:`repro.schema.SchemaError`
+    when the payload is from another schema version."""
+    import json
+    import os
+    payload = source
+    if isinstance(source, (str, bytes, os.PathLike)):
+        if isinstance(source, str) and source.lstrip().startswith("{"):
+            payload = json.loads(source)
+        else:
+            with open(source) as handle:
+                payload = json.load(handle)
+    return require(payload, "fault-campaign report")

@@ -1,0 +1,34 @@
+"""The persistent execution service: warm workers behind a socket.
+
+``repro serve`` keeps a pool of warm forked workers (interpreters
+pre-assembled at fork time) behind a localhost unix/TCP socket and
+serves :class:`repro.api.ExecutionRequest` payloads over a
+newline-delimited JSON protocol — ``run`` (arbitrary Lua/JS source),
+``bench`` (one cached benchmark cell) and ``sweep`` (the full matrix,
+with streamed per-cell progress).  Requests carry priorities and
+wall-clock deadlines; identical in-flight requests are deduplicated
+and coalesced; ``bench`` hits in the persistent result cache are
+answered without ever building the pool; a full queue pushes back with
+a ``busy`` + ``retry_after`` rejection; SIGTERM drains in-flight work
+before exit.
+
+* :mod:`repro.serve.server` — the asyncio daemon
+  (:class:`ExecutionService` + :class:`ExecutionServer`),
+* :mod:`repro.serve.client` — a small blocking client
+  (:class:`ServeClient`), used by ``repro submit``,
+* :mod:`repro.serve.protocol` — the wire format,
+* :mod:`repro.serve.pool` — the lazy warm worker pool.
+
+See docs/API.md for the protocol specification.
+"""
+
+from repro.serve.client import ServeBusy, ServeClient, ServeError
+from repro.serve.server import (
+    ExecutionServer,
+    ExecutionService,
+    default_socket_path,
+    serve,
+)
+
+__all__ = ["ExecutionService", "ExecutionServer", "ServeClient",
+           "ServeError", "ServeBusy", "default_socket_path", "serve"]

@@ -1,0 +1,203 @@
+"""The repro.api facade: dispatch, schema round-trips and the
+run_lua/run_js deprecation shims."""
+
+import json
+import os
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+import repro
+from repro import api
+from repro.api import ExecutionRequest, ExecutionResult, run
+from repro.bench import cache as result_cache
+from repro.bench.runner import clear_cache
+from repro.engines.js.vm import run_js
+from repro.engines.lua.vm import run_lua
+from repro.schema import SCHEMA_VERSION, SchemaError
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path):
+    clear_cache()
+    with result_cache.temporary(tmp_path):
+        yield
+    clear_cache()
+
+
+# -- run(): the single documented entry point --------------------------------
+
+def test_run_source():
+    result = run("lua", "print(1 + 2)", config="typed")
+    assert result.ok and result.op == "run"
+    assert result.output == "3\n"
+    assert result.exit_code == 0
+    assert result.counters.instructions > 0
+    assert result.wall_seconds > 0
+
+
+def test_run_js_source():
+    result = run("js", "print(21 * 2)", config="typed")
+    assert result.ok and result.output == "42\n"
+
+
+def test_run_matches_engine_adapters():
+    source = "local t = {1, 2, 3}\nprint(t[1] + t[3])\n"
+    facade = run("lua", source, config="typed")
+    adapter = run_lua(source, config="typed")
+    assert facade.output == adapter.output == "4\n"
+    assert facade.counters.as_dict() == adapter.counters.as_dict()
+
+
+def test_run_dispatches_benchmark_names():
+    cold = run("lua", "fibo", scale=5, config="baseline")
+    assert cold.op == "bench" and cold.benchmark == "fibo"
+    assert cold.scale == 5 and not cold.cached
+    warm = run("lua", "fibo", scale=5, config="baseline")
+    assert warm.cached
+    assert warm.counters.as_dict() == cold.counters.as_dict()
+
+
+def test_run_rejects_unknown_engine():
+    with pytest.raises(SchemaError):
+        run("forth", "print(1)")
+
+
+def test_facade_is_clean_under_deprecation_errors():
+    """The acceptance one-liner: no DeprecationWarning on the new path."""
+    pkg_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = pkg_root + os.pathsep + env.get("PYTHONPATH", "")
+    script = ("from repro.api import run; "
+              "result = run('lua', 'print(1+2)', config='typed'); "
+              "assert result.output == '3\\n', result.output")
+    proc = subprocess.run(
+        [sys.executable, "-W", "error::DeprecationWarning", "-c", script],
+        env=env, capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+
+
+# -- ExecutionRequest / ExecutionResult schema -------------------------------
+
+def test_request_round_trip():
+    request = ExecutionRequest(op="run", engine="lua",
+                               source="print(1)", config="typed")
+    payload = json.loads(json.dumps(request.as_dict()))
+    assert payload["version"] == SCHEMA_VERSION
+    assert ExecutionRequest.from_dict(payload) == request
+
+
+def test_request_key_ignores_scheduling_metadata():
+    base = ExecutionRequest(op="run", engine="lua", source="print(1)")
+    hurried = ExecutionRequest(op="run", engine="lua", source="print(1)",
+                               deadline=1.5, priority=0)
+    other = ExecutionRequest(op="run", engine="lua", source="print(2)")
+    assert base.key() == hurried.key()
+    assert base.key() != other.key()
+
+
+def test_request_rejects_version_mismatch():
+    payload = ExecutionRequest(op="run", engine="lua",
+                               source="print(1)").as_dict()
+    payload["version"] = SCHEMA_VERSION + 1
+    with pytest.raises(SchemaError):
+        ExecutionRequest.from_dict(payload)
+
+
+def test_request_rejects_unknown_fields():
+    payload = ExecutionRequest(op="run", engine="lua",
+                               source="print(1)").as_dict()
+    payload["shards"] = 4
+    with pytest.raises(SchemaError):
+        ExecutionRequest.from_dict(payload)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(op="teleport"),
+    dict(op="run", engine="forth", source="x"),
+    dict(op="run", engine="lua"),                       # no source
+    dict(op="bench", engine="lua"),                     # no benchmark
+    dict(op="run", engine="lua", source="x", config="warp"),
+    dict(op="run", engine="lua", source="x", deadline=-1),
+    dict(op="run", engine="lua", source="x", priority=11),
+])
+def test_request_validation_rejects_nonsense(kwargs):
+    with pytest.raises(SchemaError):
+        ExecutionRequest(**kwargs).validate()
+
+
+def test_result_round_trip():
+    result = run("lua", "print(7)", config="typed")
+    payload = json.loads(json.dumps(result.as_dict()))
+    assert payload["version"] == SCHEMA_VERSION
+    back = ExecutionResult.from_dict(payload)
+    assert back.ok and back.output == "7\n"
+    assert back.counters.as_dict() == result.counters.as_dict()
+
+
+def test_execute_payload_is_the_wire_body():
+    payload = ExecutionRequest(op="run", engine="lua",
+                               source="print(5)", config="typed").as_dict()
+    out = api.execute_payload(payload)
+    assert out["version"] == SCHEMA_VERSION
+    assert out["ok"] and out["output"] == "5\n"
+    assert out["counters"]["instructions"] > 0
+
+
+# -- deprecation shims -------------------------------------------------------
+
+@pytest.fixture
+def fresh_warnings():
+    api._warned.clear()
+    yield
+    api._warned.clear()
+
+
+def test_positional_config_warns_once(fresh_warnings):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        first = run_lua("print(1)", "typed")
+        second = run_lua("print(2)", "typed")
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1  # warn-once per process
+    assert "positional" in str(deprecations[0].message)
+    assert first.output == "1\n" and second.output == "2\n"
+
+
+def test_renamed_keywords_still_work(fresh_warnings):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        renamed = run_lua("print(1 + 1)", mode="typed",
+                          limit=20_000_000)
+    messages = [str(w.message) for w in caught
+                if issubclass(w.category, DeprecationWarning)]
+    assert any("`mode` was renamed to `config`" in m for m in messages)
+    assert any("`limit` was renamed to `max_instructions`" in m
+               for m in messages)
+    assert renamed.output == "2\n"
+    clean = run_lua("print(1 + 1)", config="typed")
+    assert renamed.counters.as_dict() == clean.counters.as_dict()
+
+
+def test_js_shim_matches_lua_shim(fresh_warnings):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = run_js("print(3)", "typed")
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+    assert result.output == "3\n"
+
+
+def test_shim_rejects_old_and_new_spelling_together(fresh_warnings):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        with pytest.raises(TypeError):
+            run_lua("print(1)", mode="typed", config="typed")
+
+
+def test_shim_rejects_unknown_keyword():
+    with pytest.raises(TypeError):
+        run_lua("print(1)", turbo=True)

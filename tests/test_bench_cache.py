@@ -6,7 +6,6 @@ import json
 import pytest
 
 from repro.bench import cache as result_cache
-from repro.bench import runner
 from repro.bench.cache import FORMAT_VERSION, ResultCache, source_tree_hash
 from repro.bench.runner import clear_cache, run_benchmark
 from repro.engines import BASELINE
@@ -105,9 +104,8 @@ def test_runner_reads_through_disk_cache(tmp_path, record, monkeypatch):
         def boom(*_args, **_kwargs):
             raise AssertionError("simulated despite a warm disk cache")
 
-        monkeypatch.setattr(runner, "_RUNNERS",
-                            {"lua": (boom, "lua_source"),
-                             "js": (boom, "js_source")})
+        from repro import api
+        monkeypatch.setattr(api, "_engine_run", boom)
         again = run_benchmark("lua", "fibo", BASELINE, scale=6)
     clear_cache()
     assert again == first

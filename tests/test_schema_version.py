@@ -1,0 +1,100 @@
+"""One SCHEMA_VERSION across every versioned artefact: the result
+cache, the perf-gate baseline, fault-campaign reports and the wire
+protocol all advance together and reject mismatches."""
+
+import json
+import os
+
+import pytest
+
+import repro
+from repro.api import run
+from repro.bench import cache as result_cache
+from repro.bench import gate
+from repro.bench.runner import clear_cache
+from repro.faults import load_report
+from repro.schema import (
+    SCHEMA_VERSION,
+    SchemaError,
+    check,
+    mismatch,
+    require,
+    stamp,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(REPO_ROOT, "benchmarks", "results",
+                             "baseline.json")
+
+
+def test_one_version_everywhere():
+    assert result_cache.FORMAT_VERSION == SCHEMA_VERSION
+    assert gate.BASELINE_VERSION == SCHEMA_VERSION
+    assert repro.SCHEMA_VERSION == SCHEMA_VERSION  # package export
+
+
+def test_stamp_and_require():
+    payload = stamp({"data": 1})
+    assert payload["version"] == SCHEMA_VERSION
+    assert mismatch(payload) is None
+    assert check(payload)
+    require(payload, "thing")  # no raise
+
+    payload["version"] = SCHEMA_VERSION + 1
+    assert mismatch(payload) is not None
+    with pytest.raises(SchemaError) as excinfo:
+        require(payload, "stale thing")
+    assert "stale thing" in str(excinfo.value)
+
+
+def test_committed_baseline_speaks_current_schema():
+    with open(BASELINE_PATH) as handle:
+        payload = json.load(handle)
+    assert payload["version"] == SCHEMA_VERSION
+    loaded = gate.load_baseline(BASELINE_PATH)
+    assert loaded["metrics"]
+
+
+def test_gate_rejects_foreign_baseline(tmp_path):
+    stale = tmp_path / "baseline.json"
+    stale.write_text(json.dumps({"version": SCHEMA_VERSION - 1,
+                                 "metrics": {}}))
+    with pytest.raises(ValueError) as excinfo:
+        gate.load_baseline(str(stale))
+    assert "regenerate" in str(excinfo.value)
+
+
+def test_campaign_report_round_trip(tmp_path):
+    report = stamp({"seed": 7, "count_per_cell": 1, "classes": {},
+                    "targets": [], "coverage": {}})
+    assert load_report(dict(report))["seed"] == 7
+    assert load_report(json.dumps(report))["seed"] == 7
+    path = tmp_path / "report.json"
+    path.write_text(json.dumps(report))
+    assert load_report(str(path))["seed"] == 7
+
+    report["version"] = SCHEMA_VERSION + 3
+    with pytest.raises(SchemaError):
+        load_report(dict(report))
+
+
+def test_cache_rejects_other_format_version(tmp_path):
+    clear_cache()
+    with result_cache.temporary(tmp_path):
+        cold = run("lua", "fibo", scale=5, config="baseline")
+        assert not cold.cached
+        cache = result_cache.active_cache()
+        path = cache.path_for("lua", "fibo", "baseline", 5)
+        payload = json.loads(path.read_text()) if hasattr(path, "read_text") \
+            else json.load(open(path))
+        assert payload["version"] == SCHEMA_VERSION
+
+        # A version bump must read as a miss, not a wrong answer.
+        payload["version"] = SCHEMA_VERSION + 1
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        clear_cache()  # drop the in-memory copy; force the disk path
+        rerun = run("lua", "fibo", scale=5, config="baseline")
+        assert not rerun.cached
+        assert rerun.counters.as_dict() == cold.counters.as_dict()
+    clear_cache()

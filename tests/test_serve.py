@@ -1,0 +1,391 @@
+"""The execution service: protocol conformance, concurrent clients,
+dedup/coalescing, backpressure, deadlines and graceful drain.
+
+Most tests run the daemon in-process on a background thread with the
+pool in inline mode (``workers=0``) so execution is deterministic and
+gateable; one test exercises a real forked worker pool.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import api
+from repro.bench import cache as result_cache
+from repro.bench.runner import clear_cache
+from repro.schema import SCHEMA_VERSION
+from repro.serve import protocol
+from repro.serve.client import ServeBusy, ServeClient, ServeError
+from repro.serve.server import ExecutionServer, ExecutionService
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path):
+    clear_cache()
+    with result_cache.temporary(tmp_path / "cache"):
+        yield
+    clear_cache()
+
+
+class Harness:
+    """An in-process daemon on a background thread."""
+
+    def __init__(self, tmp_path, **service_kwargs):
+        service_kwargs.setdefault("workers", 0)
+        self.socket_path = str(tmp_path / "serve.sock")
+        self.service = ExecutionService(**service_kwargs)
+        self._ready = threading.Event()
+        self.exited = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        async def main():
+            server = ExecutionServer(self.service,
+                                     socket_path=self.socket_path)
+            await server.start()
+            self._ready.set()
+            await server.serve_until_stopped()
+        asyncio.run(main())
+        self.exited.set()
+
+    def start(self):
+        self._thread.start()
+        assert self._ready.wait(10), "server never came up"
+        return self
+
+    def client(self, timeout=120.0):
+        return ServeClient(socket_path=self.socket_path, timeout=timeout)
+
+    def stop(self):
+        if not self.exited.is_set():
+            try:
+                with self.client(10) as client:
+                    client.drain()
+            except (OSError, ServeError):
+                pass
+        assert self.exited.wait(30), "server never drained"
+
+
+@pytest.fixture
+def harness(tmp_path):
+    instance = Harness(tmp_path)
+    yield instance.start()
+    instance.stop()
+
+
+def gated_harness(tmp_path, release, calls, **kwargs):
+    """A harness whose inline executor blocks until ``release`` is set,
+    so tests can observe queued/in-flight states deterministically."""
+    def gated(payload):
+        calls.append(payload)
+        assert release.wait(60), "test never released the executor"
+        return api.execute_payload(payload)
+    return Harness(tmp_path, inline_fn=gated, **kwargs).start()
+
+
+# -- basics ------------------------------------------------------------------
+
+def test_ping_and_status(harness):
+    with harness.client() as client:
+        assert client.ping()
+        stats = client.status()
+    assert stats["schema_version"] == SCHEMA_VERSION
+    assert not stats["draining"]
+    assert stats["pool"]["mode"] == "inline"
+
+
+def test_served_run_matches_in_process(harness):
+    source = "local s = 0\nfor i = 1, 100 do s = s + i end\nprint(s)\n"
+    expected = api.run("lua", source, config="typed")
+    with harness.client() as client:
+        served = client.run("lua", source, config="typed")
+    assert served.ok and served.output == expected.output == "5050\n"
+    assert json.dumps(served.counters.as_dict(), sort_keys=True) \
+        == json.dumps(expected.counters.as_dict(), sort_keys=True)
+
+
+def test_three_concurrent_clients_identical_counters(harness):
+    source = "print(6 * 7)\n"
+    expected = json.dumps(
+        api.run("lua", source, config="typed").counters.as_dict(),
+        sort_keys=True)
+    results, errors = [None] * 3, []
+
+    def one(index):
+        try:
+            with harness.client() as client:
+                results[index] = client.run("lua", source, config="typed")
+        except Exception as err:  # noqa: BLE001 - surfaced in assert
+            errors.append(err)
+
+    threads = [threading.Thread(target=one, args=(i,)) for i in range(3)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(120)
+    assert not errors
+    assert all(r is not None and r.ok for r in results)
+    assert all(json.dumps(r.counters.as_dict(), sort_keys=True)
+               == expected for r in results)
+
+
+def test_streaming_events_arrive_in_order(harness):
+    events = []
+    with harness.client() as client:
+        result = client.run("lua", "print(1)", config="typed",
+                            on_event=lambda f: events.append(f["event"]))
+    assert result.ok
+    assert events[0] == "queued"
+    assert "started" in events
+
+
+def test_invalid_request_rejected(harness):
+    with harness.client() as client:
+        with pytest.raises(ServeError) as excinfo:
+            client.submit({"op": "teleport", "version": SCHEMA_VERSION})
+    assert excinfo.value.code == protocol.ERR_INVALID
+
+
+# -- raw-socket protocol edges -----------------------------------------------
+
+def _raw_exchange(path, line):
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(30)
+    sock.connect(path)
+    sock.sendall(line)
+    reply = sock.makefile("rb").readline()
+    sock.close()
+    return json.loads(reply)
+
+
+def test_version_mismatch_answered_not_dropped(harness):
+    frame = {"kind": "ping", "id": 9, "version": SCHEMA_VERSION + 1}
+    reply = _raw_exchange(harness.socket_path,
+                          json.dumps(frame).encode() + b"\n")
+    assert reply["kind"] == "error"
+    assert reply["code"] == protocol.ERR_VERSION
+    assert reply["id"] == 9
+
+
+def test_malformed_frame_answered(harness):
+    reply = _raw_exchange(harness.socket_path, b"this is not json\n")
+    assert reply["kind"] == "error"
+    assert reply["code"] == protocol.ERR_MALFORMED
+
+
+# -- dedup / coalescing ------------------------------------------------------
+
+def test_identical_inflight_requests_coalesce(tmp_path):
+    release, calls = threading.Event(), []
+    harness = gated_harness(tmp_path, release, calls)
+    try:
+        source = "print('coalesce me')\n"
+        results, errors = [None] * 2, []
+
+        def one(index):
+            try:
+                with harness.client() as client:
+                    results[index] = client.run("lua", source,
+                                                config="typed")
+            except Exception as err:  # noqa: BLE001
+                errors.append(err)
+
+        first = threading.Thread(target=one, args=(0,))
+        first.start()
+        deadline = time.monotonic() + 30
+        while not calls and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert calls, "first request never reached the executor"
+
+        second = threading.Thread(target=one, args=(1,))
+        second.start()
+        deadline = time.monotonic() + 30
+        while harness.service.stats_counters["deduped"] < 1 \
+                and time.monotonic() < deadline:
+            time.sleep(0.01)
+        release.set()
+        first.join(60)
+        second.join(60)
+
+        assert not errors
+        assert len(calls) == 1, "identical request executed twice"
+        assert all(r is not None and r.ok for r in results)
+        assert sorted(r.coalesced for r in results) == [False, True]
+        assert results[0].counters.as_dict() \
+            == results[1].counters.as_dict()
+    finally:
+        release.set()
+        harness.stop()
+
+
+# -- backpressure and deadlines ----------------------------------------------
+
+def test_full_queue_rejects_busy_with_retry_after(tmp_path):
+    release, calls = threading.Event(), []
+    harness = gated_harness(tmp_path, release, calls, queue_depth=1)
+    try:
+        box = {}
+
+        def blocker():
+            with harness.client() as client:
+                box["a"] = client.run("lua", "print('A')", config="typed")
+
+        def queued():
+            with harness.client() as client:
+                box["b"] = client.run("lua", "print('B')", config="typed")
+
+        thread_a = threading.Thread(target=blocker)
+        thread_a.start()
+        deadline = time.monotonic() + 30
+        while not calls and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert calls, "first request never started"
+
+        thread_b = threading.Thread(target=queued)
+        thread_b.start()
+        deadline = time.monotonic() + 30
+        while harness.service.stats()["queued"] < 1 \
+                and time.monotonic() < deadline:
+            time.sleep(0.01)
+
+        with harness.client() as client:
+            with pytest.raises(ServeBusy) as excinfo:
+                client.run("lua", "print('C')", config="typed")
+        assert excinfo.value.retry_after is not None
+        assert excinfo.value.retry_after >= 0
+
+        release.set()
+        thread_a.join(60)
+        thread_b.join(60)
+        assert box["a"].ok and box["b"].ok
+    finally:
+        release.set()
+        harness.stop()
+
+
+def test_expired_deadline_rejected_before_execution(tmp_path):
+    release, calls = threading.Event(), []
+    harness = gated_harness(tmp_path, release, calls)
+    try:
+        def blocker():
+            with harness.client() as client:
+                client.run("lua", "print('slow')", config="typed")
+
+        blocking = threading.Thread(target=blocker)
+        blocking.start()
+        deadline = time.monotonic() + 30
+        while not calls and time.monotonic() < deadline:
+            time.sleep(0.01)
+
+        box = {}
+
+        def hurried():
+            try:
+                with harness.client() as client:
+                    box["result"] = client.run(
+                        "lua", "print('too late')", config="typed",
+                        deadline=0.05)
+            except ServeError as err:
+                box["error"] = err
+
+        hurry = threading.Thread(target=hurried)
+        hurry.start()
+        time.sleep(0.3)  # let the tiny deadline lapse while queued
+        release.set()
+        blocking.join(60)
+        hurry.join(60)
+
+        assert "error" in box, "expired request was executed anyway"
+        assert box["error"].code == protocol.ERR_DEADLINE
+        executed = {json.loads(json.dumps(p))["source"] for p in calls}
+        assert "print('too late')" not in executed
+    finally:
+        release.set()
+        harness.stop()
+
+
+# -- the cache path ----------------------------------------------------------
+
+def test_bench_cache_hit_skips_the_pool(tmp_path, harness):
+    seeded = api.run("lua", "fibo", scale=5, config="typed")
+    assert not seeded.cached
+    with harness.client() as client:
+        hit = client.run("lua", "fibo", scale=5, config="typed")
+        stats = client.status()
+    assert hit.ok and hit.cached
+    assert hit.counters.as_dict() == seeded.counters.as_dict()
+    assert stats["jobs"]["cache_hits"] == 1
+    assert stats["pool"]["executed"] == 0
+    assert not stats["pool"]["warm"], "cache hit built the pool"
+
+
+def test_bench_miss_executes_then_populates_cache(harness):
+    with harness.client() as client:
+        cold = client.run("lua", "fibo", scale=4, config="baseline")
+        warm = client.run("lua", "fibo", scale=4, config="baseline")
+    assert cold.ok and not cold.cached
+    assert warm.ok and warm.cached
+    assert warm.counters.as_dict() == cold.counters.as_dict()
+
+
+# -- graceful drain ----------------------------------------------------------
+
+def test_drain_finishes_inflight_and_rejects_new(tmp_path):
+    release, calls = threading.Event(), []
+    harness = gated_harness(tmp_path, release, calls)
+    try:
+        box = {}
+
+        def inflight():
+            with harness.client() as client:
+                box["result"] = client.run("lua", "print('drain me')",
+                                           config="typed")
+
+        thread = threading.Thread(target=inflight)
+        thread.start()
+        deadline = time.monotonic() + 30
+        while not calls and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert calls, "request never started"
+
+        with harness.client() as client:
+            stats = client.drain()
+        assert stats["draining"]
+
+        with harness.client() as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.run("lua", "print('rejected')", config="typed")
+        assert excinfo.value.code == protocol.ERR_DRAINING
+
+        release.set()
+        thread.join(60)
+        assert box["result"].ok, "in-flight request lost during drain"
+        assert box["result"].output == "drain me\n"
+        assert harness.exited.wait(30), "server never exited after drain"
+    finally:
+        release.set()
+        harness.stop()
+
+
+# -- a real forked pool ------------------------------------------------------
+
+def test_process_pool_round_trip(tmp_path):
+    harness = Harness(tmp_path, workers=1, warm_engines=("lua",),
+                      warm_configs=("typed",))
+    harness.start()
+    try:
+        expected = api.run("lua", "print(16 * 16)", config="typed")
+        with harness.client() as client:
+            served = client.run("lua", "print(16 * 16)", config="typed")
+            stats = client.status()
+        assert served.ok and served.output == expected.output
+        assert served.counters.as_dict() == expected.counters.as_dict()
+        if stats["pool"]["mode"] == "process":  # sandboxes may fall back
+            assert stats["pool"]["builds"] == 1
+        assert stats["pool"]["executed"] == 1
+    finally:
+        harness.stop()
