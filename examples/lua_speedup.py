@@ -1,7 +1,8 @@
-"""Run a MiniLua benchmark on all three machines and compare.
+"""Run a MiniLua benchmark on every registered machine and compare.
 
 Reproduces one bar of the paper's Figure 5 interactively: the same
-program, byte-identical output, three hardware configurations.
+program, byte-identical output, one row per registered tagging
+scheme (the paper's triple plus selftag and the placement variants).
 
 Run:  python examples/lua_speedup.py [benchmark] [scale]
 """
@@ -30,16 +31,17 @@ def main(argv):
     print("program output:")
     print("  " + results["baseline"].output.strip().replace("\n", "\n  "))
     print()
-    header = "%-10s %12s %12s %9s %9s %9s" % (
-        "config", "instructions", "cycles", "speedup", "type-hit",
+    width = max(len("config"), max(len(config) for config in CONFIGS))
+    header = "%-*s %12s %12s %9s %9s %9s" % (
+        width, "config", "instructions", "cycles", "speedup", "type-hit",
         "br-MPKI")
     print(header)
     print("-" * len(header))
     base_cycles = results["baseline"].counters.cycles
     for config in CONFIGS:
         counters = results[config].counters
-        print("%-10s %12d %12d %8.3fx %9.3f %9.2f" % (
-            config, counters.instructions, counters.cycles,
+        print("%-*s %12d %12d %8.3fx %9.3f %9.2f" % (
+            width, config, counters.instructions, counters.cycles,
             base_cycles / counters.cycles, counters.type_hit_rate,
             counters.branch_mpki))
 

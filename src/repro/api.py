@@ -37,7 +37,7 @@ import time
 import warnings
 from dataclasses import asdict, dataclass, field, fields
 
-from repro.engines import BASELINE, CONFIGS
+from repro.engines import BASELINE, all_configs, is_registered
 from repro.schema import SchemaError, require, stamp
 from repro.uarch.config import (
     BranchConfig,
@@ -126,9 +126,13 @@ class ExecutionRequest:
             raise SchemaError("op 'run' needs a source string")
         if self.op == "bench" and not isinstance(self.benchmark, str):
             raise SchemaError("op 'bench' needs a benchmark name")
-        if self.op in ("run", "bench") and self.config not in CONFIGS:
+        if self.op in ("run", "bench") \
+                and not is_registered(self.config):
+            # Checked against the live tagging-scheme registry so
+            # late-registered configs are accepted everywhere the
+            # request schema is (CLI, serve daemon, API callers).
             raise SchemaError("unknown config %r (expected one of %s)"
-                              % (self.config, "/".join(CONFIGS)))
+                              % (self.config, "/".join(all_configs())))
         if self.deadline is not None and self.deadline <= 0:
             raise SchemaError("deadline must be positive seconds")
         if not 0 <= int(self.priority) <= 9:
@@ -286,7 +290,7 @@ def _execute_sweep(request, progress=None):
     records = run_matrix_parallel(
         engines=request.engines or ENGINES,
         benchmarks=request.benchmarks or BENCHMARK_ORDER,
-        configs=request.configs or CONFIGS,
+        configs=request.configs or all_configs(),
         scales=request.scales, max_workers=request.jobs,
         use_cache=request.use_cache, progress=progress)
     mismatches = verify_outputs_match(records)

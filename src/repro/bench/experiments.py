@@ -12,12 +12,12 @@ import math
 from repro.bench.report import format_percent, format_table
 from repro.bench.runner import ENGINES
 from repro.bench.workloads import BENCHMARK_ORDER, WORKLOADS
-from repro.engines import BASELINE, CHECKED_LOAD, CONFIGS, TYPED
+from repro.engines import BASELINE, TYPED, configs as registry
 from repro.hw.synthesis import edp_improvement, synthesize
 from repro.uarch.config import table6_rows
 
 
-def sweep(engines=ENGINES, benchmarks=None, configs=CONFIGS, scales=None,
+def sweep(engines=ENGINES, benchmarks=None, configs=None, scales=None,
           jobs=None, use_cache=True, progress=None):
     """The one sweep behind every figure: cache-aware and sharded.
 
@@ -31,8 +31,27 @@ def sweep(engines=ENGINES, benchmarks=None, configs=CONFIGS, scales=None,
     from repro.bench.parallel import run_matrix_parallel
     return run_matrix_parallel(
         engines=engines, benchmarks=benchmarks or BENCHMARK_ORDER,
-        configs=configs, scales=scales, max_workers=jobs,
+        configs=configs if configs is not None else registry.all_configs(),
+        scales=scales, max_workers=jobs,
         use_cache=use_cache, progress=progress)
+
+
+def matrix_axes(records):
+    """The (engines, benchmarks, configs) actually present in a record
+    dict, each in canonical order (registry order for configs, with any
+    unregistered leftovers appended alphabetically).  Every figure
+    derives its axes from this, so subsets — a single benchmark, or a
+    sweep over extra registered schemes — render without the figure
+    code hard-coding the paper's triple."""
+    engines = [e for e in ENGINES if any(k[0] == e for k in records)]
+    engines += sorted({k[0] for k in records} - set(engines))
+    benchmarks = [b for b in BENCHMARK_ORDER if any(k[1] == b
+                                                    for k in records)]
+    benchmarks += sorted({k[1] for k in records} - set(benchmarks))
+    present = {k[2] for k in records}
+    ordered = [c for c in registry.all_configs() if c in present]
+    ordered += sorted(present - set(ordered))
+    return engines, benchmarks, ordered
 
 
 def geomean(values):
@@ -95,7 +114,8 @@ def figure2a(records, engine="lua"):
     Returns {benchmark: {opcode: fraction}} over the opcode space.
     """
     breakdown = {}
-    for benchmark in BENCHMARK_ORDER:
+    _, benchmarks, _ = matrix_axes(records)
+    for benchmark in benchmarks:
         counters = records[(engine, benchmark, BASELINE)].counters
         total = sum(counters.bytecode_counts.values())
         breakdown[benchmark] = {
@@ -132,7 +152,7 @@ def figure2b(records, engine="lua", benchmarks=None):
     aggregated over ``benchmarks`` at baseline.
     """
     hot = HOT_BYTECODES if engine == "lua" else HOT_BYTECODES_JS
-    benchmarks = benchmarks or BENCHMARK_ORDER
+    benchmarks = benchmarks or matrix_axes(records)[1]
     result = {}
     totals = {op: [0, 0] for op in hot}  # instrs, executions
     paths = {op: {} for op in hot}
@@ -183,29 +203,46 @@ def figure5(records):
     pseudo-benchmark per engine.
     """
     speedups = {}
-    for engine in ENGINES:
+    engines, benchmarks, configs = matrix_axes(records)
+    for engine in engines:
         per_engine = {}
-        for benchmark in BENCHMARK_ORDER:
+        for benchmark in benchmarks:
             base = records[(engine, benchmark, BASELINE)].counters.cycles
             per_engine[benchmark] = {
                 config: base
                 / records[(engine, benchmark, config)].counters.cycles
-                for config in CONFIGS}
+                for config in configs
+                if (engine, benchmark, config) in records}
         per_engine["geomean"] = {
             config: geomean(per_engine[b][config]
-                            for b in BENCHMARK_ORDER)
-            for config in CONFIGS}
+                            for b in benchmarks if config in per_engine[b])
+            for config in configs}
         speedups[engine] = per_engine
     return speedups
 
 
+def _config_columns(data):
+    """Column order for a ``{engine: {row: {config: value}}}`` figure:
+    the configs present, in registry order, unregistered ones last."""
+    seen = []
+    for per_engine in data.values():
+        for values in per_engine.values():
+            for config in values:
+                if config not in seen:
+                    seen.append(config)
+    ordered = [c for c in registry.all_configs() if c in seen]
+    return ordered + [c for c in seen if c not in ordered]
+
+
 def _render_per_config(title, data, formatter):
     lines = []
+    columns = _config_columns(data)
     for engine, per_engine in data.items():
-        rows = [(benchmark,) + tuple(formatter(values[config])
-                                     for config in CONFIGS)
+        rows = [(benchmark,) + tuple(
+            formatter(values[config]) if config in values else "-"
+            for config in columns)
                 for benchmark, values in per_engine.items()]
-        lines.append(format_table(["benchmark"] + list(CONFIGS), rows,
+        lines.append(format_table(["benchmark"] + list(columns), rows,
                                   title="%s [%s]" % (title, engine)))
     return "\n\n".join(lines)
 
@@ -217,29 +254,33 @@ def render_figure5(speedups):
         lambda value: "%.3fx" % value)
     charts = []
     for engine, per_engine in speedups.items():
+        if not all(TYPED in values for values in per_engine.values()):
+            continue
         charts.append(format_bars(
             "Typed Architecture speedup [%s]" % engine,
             {name: values[TYPED] for name, values in per_engine.items()},
             unit="x", baseline=1.0))
-    return tables + "\n\n" + "\n\n".join(charts)
+    return "\n\n".join([tables] + charts)
 
 
 def figure6(records):
     """Dynamic instruction-count reduction vs. baseline."""
     reductions = {}
-    for engine in ENGINES:
+    engines, benchmarks, configs = matrix_axes(records)
+    for engine in engines:
         per_engine = {}
-        for benchmark in BENCHMARK_ORDER:
+        for benchmark in benchmarks:
             base = records[(engine, benchmark,
                             BASELINE)].counters.instructions
             per_engine[benchmark] = {
                 config: 1.0 - records[(engine, benchmark,
                                        config)].counters.instructions / base
-                for config in CONFIGS}
+                for config in configs
+                if (engine, benchmark, config) in records}
         per_engine["mean"] = {
-            config: sum(per_engine[b][config]
-                        for b in BENCHMARK_ORDER) / len(BENCHMARK_ORDER)
-            for config in CONFIGS}
+            config: sum(per_engine[b][config] for b in benchmarks
+                        if config in per_engine[b]) / len(benchmarks)
+            for config in configs}
         reductions[engine] = per_engine
     return reductions
 
@@ -252,13 +293,15 @@ def render_figure6(reductions):
 
 def _mpki_figure(records, attr):
     data = {}
-    for engine in ENGINES:
+    engines, benchmarks, configs = matrix_axes(records)
+    for engine in engines:
         per_engine = {}
-        for benchmark in BENCHMARK_ORDER:
+        for benchmark in benchmarks:
             per_engine[benchmark] = {
                 config: getattr(records[(engine, benchmark,
                                          config)].counters, attr)
-                for config in CONFIGS}
+                for config in configs
+                if (engine, benchmark, config) in records}
         data[engine] = per_engine
     return data
 
@@ -284,36 +327,61 @@ def render_figure8(data):
 
 
 def figure9(records):
-    """Type check hits/misses per dynamic bytecode (typed and chklb).
+    """Type check hits/misses per dynamic bytecode for every config
+    whose scheme uses hardware checks.
 
-    Returns {engine: {benchmark: {"typed_hit": .., "typed_miss": ..,
-    "chklb_hit": .., "chklb_miss": ..}}} normalised to the dynamic
-    bytecode count, as in the paper.
+    Returns {engine: {benchmark: {key: rate}}} with the paper's key
+    names for the original triple (``typed_hit``/``typed_miss``/
+    ``overflow``/``chklb_hit``/``chklb_miss``) and ``<config>_hit`` /
+    ``<config>_miss`` (plus ``<config>_overflow`` for typed-family
+    schemes) for additionally registered configs.  Each rate is
+    normalised to *that run's own* dynamic bytecode count — the configs
+    execute different dynamic bytecode streams, so sharing the typed
+    run's denominator (the old behaviour) skews the reported rates.
     """
     data = {}
-    for engine in ENGINES:
+    engines, benchmarks, configs = matrix_axes(records)
+    hw_configs = [c for c in configs if registry.is_registered(c)
+                  and registry.get_scheme(c).hardware_checks]
+    for engine in engines:
         per_engine = {}
-        for benchmark in BENCHMARK_ORDER:
-            typed = records[(engine, benchmark, TYPED)]
-            chklb = records[(engine, benchmark, CHECKED_LOAD)]
-            bytecodes = typed.total_bytecodes or 1
-            per_engine[benchmark] = {
-                "typed_hit": typed.counters.type_hits / bytecodes,
-                "typed_miss": typed.counters.type_misses / bytecodes,
-                "overflow": typed.counters.overflow_traps / bytecodes,
-                "chklb_hit": chklb.counters.chk_hits / bytecodes,
-                "chklb_miss": chklb.counters.chk_misses / bytecodes,
-            }
+        for benchmark in benchmarks:
+            entry = {}
+            for config in hw_configs:
+                record = records.get((engine, benchmark, config))
+                if record is None:
+                    continue
+                scheme = registry.get_scheme(config)
+                counters = record.counters
+                bytecodes = record.total_bytecodes or 1
+                if scheme.family == registry.FAMILY_CHECKED:
+                    entry["%s_hit" % config] = counters.chk_hits / bytecodes
+                    entry["%s_miss" % config] = \
+                        counters.chk_misses / bytecodes
+                else:
+                    entry["%s_hit" % config] = counters.type_hits / bytecodes
+                    entry["%s_miss" % config] = \
+                        counters.type_misses / bytecodes
+                    overflow_key = "overflow" if config == TYPED \
+                        else "%s_overflow" % config
+                    entry[overflow_key] = \
+                        counters.overflow_traps / bytecodes
+            per_engine[benchmark] = entry
         data[engine] = per_engine
     return data
 
 
 def render_figure9(data):
     lines = []
-    keys = ("typed_hit", "typed_miss", "overflow", "chklb_hit",
-            "chklb_miss")
+    keys = []
+    for per_engine in data.values():
+        for values in per_engine.values():
+            for key in values:
+                if key not in keys:
+                    keys.append(key)
     for engine, per_engine in data.items():
-        rows = [(benchmark,) + tuple("%.3f" % values[key] for key in keys)
+        rows = [(benchmark,) + tuple(
+            "%.3f" % values[key] if key in values else "-" for key in keys)
                 for benchmark, values in per_engine.items()]
         lines.append(format_table(
             ["benchmark"] + list(keys), rows,
@@ -329,8 +397,11 @@ def figure9_detail(records, engine="lua"):
     hits = {}
     misses = {}
     executions = {}
-    for benchmark in BENCHMARK_ORDER:
-        counters = records[(engine, benchmark, TYPED)].counters
+    for benchmark in matrix_axes(records)[1]:
+        record = records.get((engine, benchmark, TYPED))
+        if record is None:
+            continue
+        counters = record.counters
         for name, value in counters.bytecode_type_hits.items():
             hits[name] = hits.get(name, 0) + value
         for name, value in counters.bytecode_type_misses.items():
@@ -373,9 +444,10 @@ def attribution(records, config=TYPED):
     "trt_misses": {key: count}, "telemetry": summary-or-None}}}.
     """
     data = {}
-    for engine in ENGINES:
+    engines, benchmarks, _ = matrix_axes(records)
+    for engine in engines:
         per_engine = {}
-        for benchmark in BENCHMARK_ORDER:
+        for benchmark in benchmarks:
             record = records.get((engine, benchmark, config))
             if record is None:
                 continue
@@ -443,7 +515,8 @@ def table8(records=None, speedups=None):
     if speedups is None and records is not None:
         fig5 = figure5(records)
         speedups = {engine: fig5[engine]["geomean"][TYPED]
-                    for engine in ENGINES}
+                    for engine in fig5
+                    if TYPED in fig5[engine]["geomean"]}
     if speedups is None:
         speedups = {"lua": 1.099, "js": 1.112}
     baseline = synthesize(typed=False)

@@ -37,7 +37,7 @@ from repro.bench import cache as result_cache
 from repro.bench import runner
 from repro.bench.runner import ENGINES
 from repro.bench.workloads import BENCHMARK_ORDER
-from repro.engines import CONFIGS
+from repro.engines import all_configs
 
 _LOG = logging.getLogger("repro.bench.parallel")
 
@@ -75,9 +75,11 @@ class CellProgress:
 
 
 def matrix_cells(engines=ENGINES, benchmarks=BENCHMARK_ORDER,
-                 configs=CONFIGS, scales=None):
+                 configs=None, scales=None):
     """The sweep's cells as (engine, benchmark, config, scale) tuples,
-    in the canonical (serial ``run_matrix``) order."""
+    in the canonical (serial ``run_matrix``) order.  ``configs``
+    defaults to the live tagging-scheme registry."""
+    configs = all_configs() if configs is None else configs
     cells = []
     for engine in engines:
         for benchmark in benchmarks:
@@ -279,7 +281,7 @@ def run_hardened(fn, tasks, max_workers=None, timeout=DEFAULT_TIMEOUT,
 
 
 def run_matrix_parallel(engines=ENGINES, benchmarks=BENCHMARK_ORDER,
-                        configs=CONFIGS, scales=None, max_workers=None,
+                        configs=None, scales=None, max_workers=None,
                         use_cache=True, progress=None,
                         timeout=DEFAULT_TIMEOUT, retries=DEFAULT_RETRIES,
                         backoff=DEFAULT_BACKOFF):
@@ -294,6 +296,7 @@ def run_matrix_parallel(engines=ENGINES, benchmarks=BENCHMARK_ORDER,
     canonically regardless.  ``timeout``/``retries``/``backoff`` tune
     the hardened executor (see :func:`run_hardened`).
     """
+    configs = all_configs() if configs is None else configs
     cells = matrix_cells(engines, benchmarks, configs, scales)
     total = len(cells)
     state = {"completed": 0, "hits": 0}

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.bench import cache as result_cache
 from repro.bench.workloads import BENCHMARK_ORDER, workload
-from repro.engines import CONFIGS
+from repro.engines import all_configs
 
 ENGINES = ("lua", "js")
 
@@ -127,7 +127,7 @@ def run_benchmark(engine, benchmark, config, scale=None, use_cache=True,
 
 
 def run_matrix(engines=ENGINES, benchmarks=BENCHMARK_ORDER,
-               configs=CONFIGS, scales=None, progress=None,
+               configs=None, scales=None, progress=None,
                use_cache=True):
     """Run the full sweep serially; returns
     {(engine, benchmark, config): record}.
@@ -137,6 +137,7 @@ def run_matrix(engines=ENGINES, benchmarks=BENCHMARK_ORDER,
     ``use_cache`` is forwarded to every :func:`run_benchmark` call so
     callers can force an uncached sweep.
     """
+    configs = all_configs() if configs is None else configs
     records = {}
     for engine in engines:
         for benchmark in benchmarks:

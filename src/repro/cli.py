@@ -39,7 +39,27 @@ from repro.bench import experiments
 from repro.bench.runner import clear_cache, run_benchmark, \
     verify_outputs_match
 from repro.bench.workloads import BENCHMARK_ORDER
-from repro.engines import BASELINE, CONFIGS, TYPED
+from repro.engines import BASELINE, GATE_CONFIGS, TYPED
+
+
+def _config_arg(value):
+    """``type=`` validator for every ``--config`` flag.
+
+    Resolved against the live tagging-scheme registry at *parse* time
+    — ``choices=CONFIGS`` captured an import-time snapshot, so schemes
+    registered after :mod:`repro.cli` was imported were rejected.
+    """
+    from repro.engines import all_configs, is_registered
+    if not is_registered(value):
+        raise argparse.ArgumentTypeError(
+            "unknown config %r (registered: %s)"
+            % (value, ", ".join(all_configs())))
+    return value
+
+
+def _config_metavar():
+    from repro.engines import all_configs
+    return "{%s}" % ",".join(all_configs())
 
 
 def _cmd_run(args):
@@ -155,14 +175,18 @@ def _write_json(path, payload):
 
 
 def _cmd_sweep_smoke(args):
-    """2-cell parallel sweep against a throwaway disk cache: run cold,
-    clear the memory cache, run warm, and check the warm pass was pure
-    cache hits with identical records.  ``make sweep`` runs this."""
+    """One-benchmark parallel sweep over *every* registered config
+    against a throwaway disk cache: run cold, clear the memory cache,
+    run warm, check the warm pass was pure cache hits with identical
+    records, and render the N-config figure 5/9 tables (CI uploads
+    the output as an artifact).  ``make sweep`` runs this."""
     import tempfile
     from repro.bench.parallel import run_matrix_parallel
+    from repro.engines import all_configs
 
+    configs = all_configs()
     kwargs = dict(engines=("lua",), benchmarks=("fibo",),
-                  configs=(BASELINE, TYPED), scales={"fibo": 8},
+                  configs=configs, scales={"fibo": 8},
                   max_workers=args.jobs or 2)
     with tempfile.TemporaryDirectory() as tmp:
         with result_cache.temporary(args.cache_dir or tmp):
@@ -177,13 +201,26 @@ def _cmd_sweep_smoke(args):
         records[key].output == again[key].output
         and records[key].counters == again[key].counters
         for key in records)
-    ok = identical and len(records) == len(warm) == hits
-    print("sweep smoke: %d cells | cold hits %d | warm hits %d/%d | "
-          "records %s" % (len(records),
-                          sum(1 for event in cold if event.cached),
-                          hits, len(warm),
-                          "identical" if identical else "MISMATCH"))
+    mismatches = verify_outputs_match(records)
+    ok = identical and not mismatches \
+        and len(records) == len(warm) == hits
+    fig5 = experiments.figure5(records)
+    fig9 = experiments.figure9(records)
+    print(experiments.render_figure5(fig5))
+    print()
+    print(experiments.render_figure9(fig9))
+    print()
+    print("sweep smoke: %d cells over %d configs (%s) | cold hits %d | "
+          "warm hits %d/%d | records %s | outputs %s"
+          % (len(records), len(configs), ", ".join(configs),
+             sum(1 for event in cold if event.cached),
+             hits, len(warm),
+             "identical" if identical else "MISMATCH",
+             "match" if not mismatches else "MISMATCH %s" % mismatches))
     print("sweep smoke: %s" % ("OK" if ok else "FAILED"))
+    if args.json:
+        _write_json(args.json, {"configs": list(configs),
+                                "figure5": fig5, "figure9": fig9})
     return 0 if ok else 1
 
 
@@ -343,11 +380,14 @@ def _render_faults_report(report):
     lines.append("")
     lines.append("detection coverage (detected/total) by config x target:")
     targets = report["targets"]
-    header = "%-10s" % "config" + "".join("%14s" % t for t in targets)
+    width = max([len("config")]
+                + [len(config) for config in report["coverage"]])
+    header = "%-*s" % (width, "config") \
+        + "".join("%14s" % t for t in targets)
     lines.append(header)
     lines.append("-" * len(header))
     for config, coverage in report["coverage"].items():
-        row = "%-10s" % config
+        row = "%-*s" % (width, config)
         for target in targets:
             cell = coverage.get(target)
             row += "%14s" % ("%d/%d" % (cell["detected"], cell["total"])
@@ -366,10 +406,12 @@ def _faults_progress(done, total, result):
 def _cmd_faults_smoke(args):
     """Tiny fixed-seed campaign run at --jobs 1 and --jobs 2: asserts
     the reports are byte-identical (determinism across worker counts)
-    and that the typed config detects strictly more injected tag-plane
-    corruptions than baseline.  ``make faults-smoke`` runs this."""
+    and that every config whose scheme declares hardware type checks
+    detects strictly more injected tag-plane corruptions than
+    baseline.  ``make faults-smoke`` runs this."""
     import json
     import tempfile
+    from repro.engines import hardware_check_configs
     from repro.faults import run_campaign
 
     kwargs = dict(seed=args.seed, count=args.count or 25,
@@ -389,15 +431,20 @@ def _cmd_faults_smoke(args):
         return serial["coverage"].get(config, {}).get("mem_tag", {}) \
             .get("detected", 0)
 
+    # Derived from the registry, not a hard-coded ("typed", "chklb")
+    # tuple, so newly registered hardware-checked schemes are covered
+    # automatically.
+    detect_configs = hardware_check_configs()
     base_hits = tag_detections("baseline")
     tag_margin = all(tag_detections(config) > base_hits
-                     for config in ("typed", "chklb"))
+                     for config in detect_configs)
     print(_render_faults_report(serial))
     print()
-    print("faults smoke: reports %s | tag-plane detections "
-          "typed %d / chklb %d > baseline %d: %s"
+    print("faults smoke: reports %s | tag-plane detections %s "
+          "> baseline %d: %s"
           % ("identical" if identical else "MISMATCH",
-             tag_detections("typed"), tag_detections("chklb"),
+             " / ".join("%s %d" % (config, tag_detections(config))
+                        for config in detect_configs),
              base_hits, "yes" if tag_margin else "NO"))
     ok = identical and tag_margin
     print("faults smoke: %s" % ("OK" if ok else "FAILED"))
@@ -478,7 +525,11 @@ def _cmd_bench(args):
                  gate.BASELINE_VERSION))
         return 0
     _configure_disk_cache(args)
-    records = run_matrix_parallel(max_workers=args.jobs)
+    # The gate is pinned to the original config triple (see
+    # repro.bench.gate): sweeping additionally registered schemes here
+    # would only burn time on cells the metric comparison ignores.
+    records = run_matrix_parallel(configs=GATE_CONFIGS,
+                                  max_workers=args.jobs)
     mismatches = verify_outputs_match(records)
     if mismatches:
         print("OUTPUT MISMATCH across configs: %s" % mismatches)
@@ -680,7 +731,8 @@ def _cmd_serve(args):
         workers=workers, queue_depth=args.queue_depth,
         default_deadline=args.deadline,
         warm_engines=tuple(args.warm_engine or ("lua", "js")),
-        warm_configs=tuple(args.warm_config or CONFIGS)))
+        warm_configs=tuple(args.warm_config) if args.warm_config
+        else None))
     return 0
 
 
@@ -801,7 +853,9 @@ def build_parser():
     run_parser.add_argument("benchmark", choices=BENCHMARK_ORDER)
     run_parser.add_argument("--engine", choices=("lua", "js"),
                             default="lua")
-    run_parser.add_argument("--config", choices=CONFIGS, default="baseline")
+    run_parser.add_argument("--config", type=_config_arg,
+                            metavar=_config_metavar(),
+                            default="baseline")
     run_parser.add_argument("--scale", type=int, default=None)
     run_parser.add_argument("--model", choices=("fast", "scoreboard"),
                             default="fast",
@@ -848,7 +902,8 @@ def build_parser():
     trace_parser.add_argument("benchmark", choices=BENCHMARK_ORDER)
     trace_parser.add_argument("--engine", choices=("lua", "js"),
                               default="lua")
-    trace_parser.add_argument("--config", choices=CONFIGS,
+    trace_parser.add_argument("--config", type=_config_arg,
+                              metavar=_config_metavar(),
                               default="baseline")
     trace_parser.add_argument("--scale", type=int, default=2)
     trace_parser.add_argument("--bytecodes", action="store_true",
@@ -872,7 +927,8 @@ def build_parser():
     profile_parser.add_argument("--engine", choices=("lua", "js"),
                                 default=None,
                                 help="default: inferred from the target")
-    profile_parser.add_argument("--config", choices=CONFIGS,
+    profile_parser.add_argument("--config", type=_config_arg,
+                                metavar=_config_metavar(),
                                 default=TYPED)
     profile_parser.add_argument("--scale", type=int, default=None,
                                 help="input scale (benchmark targets)")
@@ -985,8 +1041,10 @@ def build_parser():
                               help="repeatable; interpreters assembled "
                                    "at worker fork (default: both)")
     serve_parser.add_argument("--warm-config", action="append",
-                              choices=CONFIGS, default=None,
-                              help="repeatable; default: all configs")
+                              type=_config_arg,
+                              metavar=_config_metavar(), default=None,
+                              help="repeatable; default: all "
+                                   "registered configs")
     serve_parser.add_argument("--verbose", action="store_true")
     _add_jobs_flag(serve_parser, help_text="warm worker processes "
                                            "(default 2; 0 runs requests "
@@ -1008,7 +1066,8 @@ def build_parser():
     submit_parser.add_argument("--engine", choices=("lua", "js"),
                                default=None,
                                help="default: inferred from the target")
-    submit_parser.add_argument("--config", choices=CONFIGS,
+    submit_parser.add_argument("--config", type=_config_arg,
+                               metavar=_config_metavar(),
                                default=BASELINE)
     submit_parser.add_argument("--scale", type=int, default=None)
     submit_parser.add_argument("--sweep", action="store_true",

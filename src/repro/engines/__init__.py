@@ -1,14 +1,36 @@
 """Scripting-engine substrates: MiniLua (register VM) and MiniJS (stack VM).
 
 Each engine compiles a language subset to bytecode and interprets it with
-hand-written RV64 assembly handlers executed on the simulator, in three
-machine configurations: ``baseline`` (software type guards, as in the
-paper's Figure 1(c)), ``typed`` (the Typed Architecture extension,
-Figure 3) and ``chklb`` (the Checked Load comparator).
+hand-written RV64 assembly handlers executed on the simulator, under the
+machine configurations enumerated by the tagging-scheme registry
+(:mod:`repro.engines.configs`): the paper's ``baseline`` (software type
+guards, Figure 1(c)), ``typed`` (the Typed Architecture extension,
+Figure 3) and ``chklb`` (the Checked Load comparator), plus any
+additionally registered schemes (``selftag`` and the tag-placement
+variants ship by default).
 """
 
-BASELINE = "baseline"
-TYPED = "typed"
-CHECKED_LOAD = "chklb"
+from repro.engines.configs import (  # noqa: F401
+    BASELINE,
+    CHECKED_LOAD,
+    GATE_CONFIGS,
+    SELF_TAG,
+    TYPED,
+    TYPED_LOWBIT,
+    TYPED_WIDE,
+    all_configs,
+    all_schemes,
+    get_scheme,
+    hardware_check_configs,
+    is_registered,
+    register,
+    unregister,
+)
 
-CONFIGS = (BASELINE, CHECKED_LOAD, TYPED)
+
+def __getattr__(name):
+    # ``CONFIGS`` reflects the live registry so late-registered schemes
+    # are picked up by every consumer that enumerates it at call time.
+    if name == "CONFIGS":
+        return all_configs()
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

@@ -12,7 +12,7 @@ original code with software-based type checking"), which also gives the
 hardware overflow misprediction its correct double-producing semantics.
 """
 
-from repro.engines import BASELINE, CHECKED_LOAD, TYPED
+from repro.engines import configs
 from repro.engines.js.handlers import common
 
 _POLY = {"ADD": ("add", "fadd.d", "xadd"),
@@ -85,15 +85,15 @@ h_{name}__dd:
 """
 
 
-def polymorphic_handler(name, config):
+def polymorphic_handler(name, scheme):
     int_op, float_op, tagged_op = _POLY[name]
     guard = _guard_chain(name, int_op, float_op).format(
         name=name, int_op=int_op, float_op=float_op,
         op_id=common.ARITH_OPS[name])
-    if config == BASELINE:
+    if scheme.family == configs.FAMILY_SOFTWARE:
         # The handler entry falls straight into the guard chain.
         return "h_%s:\n%s" % (name, guard)
-    if config == TYPED:
+    if scheme.family == configs.FAMILY_TYPED:
         body = """h_{name}:
     tld  t1, -8(s7)
     tld  t2, 0(s7)
@@ -104,7 +104,7 @@ def polymorphic_handler(name, config):
     j    dispatch
 """.format(name=name, tagged_op=tagged_op)
         return body + guard
-    if config == CHECKED_LOAD:
+    if scheme.family == configs.FAMILY_CHECKED:
         # Integer-specialised: chklw fuses the (load, compare-upper-word,
         # branch) of each operand; R_ctype holds the int32 signature.
         body = """h_{name}:
@@ -126,7 +126,7 @@ h_{name}__chk_ii:
     or   t3, t3, a5
 """.format(name=name, int_op=int_op) + _push_result_and_dispatch()
         return body + guard
-    raise ValueError("unknown config %r" % config)
+    raise ValueError("unknown scheme family %r" % scheme.family)
 
 
 def div_handler():
@@ -238,8 +238,8 @@ arith_slow_unary:
 """ % (common.ARITH_OPS["NEG"], common.SVC_ARITH)
 
 
-def build(config):
-    parts = [polymorphic_handler(name, config)
+def build(scheme):
+    parts = [polymorphic_handler(name, scheme)
              for name in ("ADD", "SUB", "MUL")]
     parts += [div_handler(), mod_handler(), neg_handler()]
     return "\n".join(parts)

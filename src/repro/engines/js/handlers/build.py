@@ -1,12 +1,12 @@
 """Assemble the full MiniJS interpreter for one configuration."""
 
-from repro.engines import BASELINE, CHECKED_LOAD, TYPED
+from repro.engines import configs
 from repro.engines.js import layout
 from repro.engines.js.handlers import arith, common, control, elem
 from repro.sim.trt import pack_rule
 
 
-def _startup(config):
+def _startup(scheme):
     lines = ["startup:"]
     lines.append("    li a0, %d" % layout.BOOT_BLOCK)
     lines.append("    ld s0, %d(a0)" % layout.BOOT_MAIN_CODE)
@@ -29,18 +29,20 @@ def _startup(config):
     lines.append("    addi a5, a5, -1")
     lines.append("    j startup_initloop")
     lines.append("startup_initdone:")
-    if config == TYPED:
-        spr = layout.SPR_SETTINGS
+    if scheme.family == configs.FAMILY_TYPED:
+        spr = scheme.spr("js", layout.SPR_SETTINGS)
         lines.append("    li a0, %d" % spr.offset)
         lines.append("    setoffset a0")
         lines.append("    li a0, %d" % spr.shift)
         lines.append("    setshift a0")
         lines.append("    li a0, %d" % spr.mask)
         lines.append("    setmask a0")
-        for rule in layout.TYPE_RULES:
+        rules = configs.transformed_rules(
+            scheme, "js", layout.SPR_SETTINGS, layout.TYPE_RULES)
+        for rule in rules:
             lines.append("    li a0, %d" % pack_rule(rule))
             lines.append("    set_trt a0")
-    elif config == CHECKED_LOAD:
+    elif scheme.family == configs.FAMILY_CHECKED:
         lines.append("    li a0, %d" % common.CTYPE_INT_UPPER)
         lines.append("    settype a0")
     lines.append("    j dispatch")
@@ -49,14 +51,13 @@ def _startup(config):
 
 def build_interpreter(config):
     """Full interpreter text for ``config`` (program-independent)."""
-    if config not in (BASELINE, TYPED, CHECKED_LOAD):
-        raise ValueError("unknown config %r" % config)
+    scheme = configs.get_scheme(config)
     parts = [
         common.equ_block(),
-        _startup(config),
+        _startup(scheme),
         common.dispatch_loop(),
-        arith.build(config),
-        elem.build(config),
+        arith.build(scheme),
+        elem.build(scheme),
         control.build(),
         common.slow_stubs(),
         common.error_stub(),

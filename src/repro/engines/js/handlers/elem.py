@@ -8,7 +8,7 @@ so unlike Lua no separate tag traffic exists here — which is why the
 paper sees a smaller dynamic-instruction reduction for SpiderMonkey.
 """
 
-from repro.engines import BASELINE, CHECKED_LOAD, TYPED
+from repro.engines import configs
 from repro.engines.js.handlers import common
 
 
@@ -29,8 +29,8 @@ GETELEM_slowstub:
 """
 
 
-def getelem_handler(config):
-    if config == BASELINE:
+def getelem_handler(scheme):
+    if scheme.family == configs.FAMILY_SOFTWARE:
         return """h_GETELEM:
     ld   t1, -8(s7)
     ld   t2, 0(s7)
@@ -41,14 +41,14 @@ def getelem_handler(config):
     li   a4, SIG_INT
     bne  t3, a4, GETELEM_slowstub
 """ + common.unbox_pointer("t1") + "    addiw t2, t2, 0\n" + _getelem_fast()
-    if config == TYPED:
+    if scheme.family == configs.FAMILY_TYPED:
         return """h_GETELEM:
     tld  t1, -8(s7)
     tld  t2, 0(s7)
     thdl GETELEM_slowstub
     tchk t1, t2
 """ + _getelem_fast()
-    if config == CHECKED_LOAD:
+    if scheme.family == configs.FAMILY_CHECKED:
         # Single expected-type register (int32 signature): fuse the key
         # check; the object keeps its software guard.
         return """h_GETELEM:
@@ -60,7 +60,7 @@ def getelem_handler(config):
     chklw t2, 4(s7)
     ld   t2, 0(s7)
 """ + common.unbox_pointer("t1") + "    addiw t2, t2, 0\n" + _getelem_fast()
-    raise ValueError("unknown config %r" % config)
+    raise ValueError("unknown scheme family %r" % scheme.family)
 
 
 def _setelem_fast():
@@ -86,8 +86,8 @@ SETELEM_slowstub:
 """
 
 
-def setelem_handler(config):
-    if config == BASELINE:
+def setelem_handler(scheme):
+    if scheme.family == configs.FAMILY_SOFTWARE:
         return """h_SETELEM:
     ld   t1, -16(s7)
     ld   t2, -8(s7)
@@ -98,14 +98,14 @@ def setelem_handler(config):
     li   a4, SIG_INT
     bne  t3, a4, SETELEM_slowstub
 """ + common.unbox_pointer("t1") + "    addiw t2, t2, 0\n" + _setelem_fast()
-    if config == TYPED:
+    if scheme.family == configs.FAMILY_TYPED:
         return """h_SETELEM:
     tld  t1, -16(s7)
     tld  t2, -8(s7)
     thdl SETELEM_slowstub
     tchk t1, t2
 """ + _setelem_fast()
-    if config == CHECKED_LOAD:
+    if scheme.family == configs.FAMILY_CHECKED:
         return """h_SETELEM:
     ld   t1, -16(s7)
     srli t3, t1, 47
@@ -115,7 +115,7 @@ def setelem_handler(config):
     chklw t2, -4(s7)
     ld   t2, -8(s7)
 """ + common.unbox_pointer("t1") + "    addiw t2, t2, 0\n" + _setelem_fast()
-    raise ValueError("unknown config %r" % config)
+    raise ValueError("unknown scheme family %r" % scheme.family)
 
 
 def newarray_handler():
@@ -139,8 +139,8 @@ def newobj_handler():
 """ % common.SVC_NEWOBJ
 
 
-def build(config):
+def build(scheme):
     return "\n".join([
-        getelem_handler(config), setelem_handler(config),
+        getelem_handler(scheme), setelem_handler(scheme),
         newarray_handler(), newobj_handler(),
     ])

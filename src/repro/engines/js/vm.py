@@ -2,7 +2,7 @@
 
 from dataclasses import dataclass
 
-from repro.engines import BASELINE, CHECKED_LOAD, TYPED
+from repro.engines import BASELINE, configs
 from repro.engines.js import layout
 from repro.engines.js.compiler import compile_source
 from repro.engines.js.handlers import build_interpreter
@@ -71,8 +71,7 @@ def interpreter_program(config):
 
 
 def prepare(source, config=BASELINE):
-    if config not in (BASELINE, TYPED, CHECKED_LOAD):
-        raise ValueError("unknown config %r" % config)
+    scheme = configs.get_scheme(config)
     chunk = compile_source(source)
     memory = Memory(size=layout.MEMORY_SIZE)
     runtime = JsRuntime(memory)
@@ -81,8 +80,14 @@ def prepare(source, config=BASELINE):
     fill_jump_table(image, program, memory)
     host = JsHost(runtime)
     # NaN boxing: the extractor needs the double pseudo-tag and the int
-    # tag for payload sign extension (Section 4.2).
-    codec = TagCodec(double_tag=layout.TAG_DOUBLE, int_tag=layout.TAG_INT32)
+    # tag for payload sign extension (Section 4.2) — expressed in the
+    # scheme's extractor window (e.g. the wide window reports
+    # 0xF0 | tag, folding in the low NaN-prefix bits).
+    codec = TagCodec(
+        double_tag=scheme.extracted_tag(
+            "js", layout.SPR_SETTINGS, layout.TAG_DOUBLE),
+        int_tag=scheme.extracted_tag(
+            "js", layout.SPR_SETTINGS, layout.TAG_INT32))
     # SpiderMonkey co-locates tag and value in one double-word, so integer
     # overflow must trigger a type misprediction (Section 3.2).
     cpu = Cpu(program, memory, host=host.interface, tag_codec=codec,

@@ -10,7 +10,7 @@ The three machine configurations differ exactly as in the paper:
   is); a tag mismatch falls back to the original software guards.
 """
 
-from repro.engines import BASELINE, CHECKED_LOAD, TYPED
+from repro.engines import configs
 from repro.engines.lua.handlers import common
 
 
@@ -54,17 +54,17 @@ h_{name}__ff:
 """.format(name=name, int_op=int_op, float_op=float_op)
 
 
-def polymorphic_handler(name, config):
-    """ADD/SUB/MUL handler for one configuration."""
+def polymorphic_handler(name, scheme):
+    """ADD/SUB/MUL handler for one scheme family."""
     int_op, float_op, tagged_op = _POLY[name]
     slow = """{name}_slowstub:
     li   a3, {op_id}
     j    arith_slow_common
 """.format(name=name, op_id=common.ARITH_OPS[name])
 
-    if config == BASELINE:
+    if scheme.family == configs.FAMILY_SOFTWARE:
         body = _software_guards(name, int_op, float_op)
-    elif config == TYPED:
+    elif scheme.family == configs.FAMILY_TYPED:
         body = """
     tld  t1, 0(t5)
     tld  t2, 0(t6)
@@ -73,7 +73,7 @@ def polymorphic_handler(name, config):
     tsd  t1, 0(t4)
     j    dispatch
 """.format(name=name, tagged_op=tagged_op)
-    elif config == CHECKED_LOAD:
+    elif scheme.family == configs.FAMILY_CHECKED:
         # Integer-specialised fast path; a chklb miss re-runs the original
         # software guards starting at the float check.  R_ctype holds the
         # integer tag as a VM-wide invariant (set at startup and restored
@@ -93,7 +93,7 @@ def polymorphic_handler(name, config):
 """.format(name=name, int_op=int_op,
            guards=_fallback_guards(name, float_op))
     else:
-        raise ValueError("unknown config %r" % config)
+        raise ValueError("unknown scheme family %r" % scheme.family)
     return "h_%s:\n%s%s%s" % (name, _decode_abc(), body, slow)
 
 
@@ -294,9 +294,9 @@ BNOT_slowstub:
 """ % common.ARITH_OPS["BNOT"])
 
 
-def build(config):
-    """All arithmetic handlers for ``config``."""
-    parts = [polymorphic_handler(name, config)
+def build(scheme):
+    """All arithmetic handlers for ``scheme``."""
+    parts = [polymorphic_handler(name, scheme)
              for name in ("ADD", "SUB", "MUL")]
     parts += [div_handler(), mod_handler(), idiv_handler(), pow_handler(),
               unm_handler(),

@@ -1,16 +1,17 @@
 """Assemble the full MiniLua interpreter text for one configuration."""
 
-from repro.engines import BASELINE, CHECKED_LOAD, TYPED
+from repro.engines import configs
 from repro.engines.lua import layout
 from repro.engines.lua.handlers import arith, common, control, table
 from repro.sim.trt import pack_rule
 
 
-def _startup(config):
+def _startup(scheme):
     """Interpreter prologue: load the VM registers (program-specific
-    addresses come from the boot block) and, for the typed machine,
-    program the tag extractor and Type Rule Table exactly once at launch
-    (Section 3.1)."""
+    addresses come from the boot block) and, for the typed-family
+    machines, program the tag extractor and Type Rule Table exactly once
+    at launch (Section 3.1) — with the scheme's own extractor geometry
+    and correspondingly transformed rule tags."""
     lines = ["startup:"]
     lines.append("    li a0, %d" % layout.BOOT_BLOCK)
     lines.append("    ld s0, %d(a0)" % layout.BOOT_MAIN_CODE)
@@ -20,18 +21,20 @@ def _startup(config):
     lines.append("    li s3, %d" % layout.JUMP_TABLE_ADDR)
     lines.append("    li s5, %d" % layout.CALL_STACK_BASE)
     lines.append("    li s6, %d" % layout.CALL_STACK_BASE)
-    if config == TYPED:
-        spr = layout.SPR_SETTINGS
+    if scheme.family == configs.FAMILY_TYPED:
+        spr = scheme.spr("lua", layout.SPR_SETTINGS)
         lines.append("    li a0, %d" % spr.offset)
         lines.append("    setoffset a0")
         lines.append("    li a0, %d" % spr.shift)
         lines.append("    setshift a0")
         lines.append("    li a0, %d" % spr.mask)
         lines.append("    setmask a0")
-        for rule in layout.TYPE_RULES:
+        rules = configs.transformed_rules(
+            scheme, "lua", layout.SPR_SETTINGS, layout.TYPE_RULES)
+        for rule in rules:
             lines.append("    li a0, %d" % pack_rule(rule))
             lines.append("    set_trt a0")
-    elif config == CHECKED_LOAD:
+    elif scheme.family == configs.FAMILY_CHECKED:
         lines.append("    li a0, %d" % layout.TNUMINT)
         lines.append("    settype a0")
     lines.append("    j dispatch")
@@ -45,14 +48,13 @@ def build_interpreter(config):
     boot block the image builder fills, so callers may cache the
     assembled program per configuration.
     """
-    if config not in (BASELINE, TYPED, CHECKED_LOAD):
-        raise ValueError("unknown config %r" % config)
+    scheme = configs.get_scheme(config)
     parts = [
         common.equ_block(),
-        _startup(config),
+        _startup(scheme),
         common.dispatch_loop(),
-        arith.build(config),
-        table.build(config),
+        arith.build(scheme),
+        table.build(scheme),
         control.build(),
         common.slow_stubs(),
         common.error_stub(),

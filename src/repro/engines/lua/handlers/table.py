@@ -8,7 +8,7 @@ the host-backed hash-table code — exactly the split the paper describes
 in Section 4.1.
 """
 
-from repro.engines import BASELINE, CHECKED_LOAD, TYPED
+from repro.engines import configs
 from repro.engines.lua.handlers import common
 
 
@@ -36,10 +36,10 @@ h_GETTABLE__fast:
 """ % copy
 
 
-def gettable_handler(config):
+def gettable_handler(scheme):
     decode = (common.decode_a("t4") + common.decode_rk("b", "t5")
               + common.decode_rk("c", "t6"))
-    if config == BASELINE:
+    if scheme.family == configs.FAMILY_SOFTWARE:
         body = """
     lbu  t1, 8(t5)
     li   t2, TTAB
@@ -50,14 +50,14 @@ def gettable_handler(config):
     ld   t1, 0(t5)
     ld   t2, 0(t6)
 """ + _gettable_fast_body(copy_typed=False)
-    elif config == TYPED:
+    elif scheme.family == configs.FAMILY_TYPED:
         body = """
     tld  t1, 0(t5)
     tld  t2, 0(t6)
     thdl GETTABLE_slowstub
     tchk t1, t2
 """ + _gettable_fast_body(copy_typed=True)
-    elif config == CHECKED_LOAD:
+    elif scheme.family == configs.FAMILY_CHECKED:
         # The single expected-type register holds the integer tag as a
         # VM-wide invariant, so only the key check can be fused; the
         # table tag keeps its software guard (Checked Load's narrow
@@ -72,7 +72,7 @@ def gettable_handler(config):
     ld   t2, 0(t6)
 """ + _gettable_fast_body(copy_typed=False)
     else:
-        raise ValueError("unknown config %r" % config)
+        raise ValueError("unknown scheme family %r" % scheme.family)
     return "h_GETTABLE:\n%s%sGETTABLE_slowstub:\n    j table_get_slow_common\n" \
         % (decode, body)
 
@@ -107,10 +107,10 @@ SETTABLE_store:
 """ % copy
 
 
-def settable_handler(config):
+def settable_handler(scheme):
     decode = (common.decode_a("t4") + common.decode_rk("b", "t5")
               + common.decode_rk("c", "t6"))
-    if config == BASELINE:
+    if scheme.family == configs.FAMILY_SOFTWARE:
         body = """
     lbu  t1, 8(t4)
     li   t2, TTAB
@@ -121,14 +121,14 @@ def settable_handler(config):
     ld   t1, 0(t4)
     ld   t2, 0(t5)
 """ + _settable_fast_body(copy_typed=False)
-    elif config == TYPED:
+    elif scheme.family == configs.FAMILY_TYPED:
         body = """
     tld  t1, 0(t4)
     tld  t2, 0(t5)
     thdl SETTABLE_slowstub
     tchk t1, t2
 """ + _settable_fast_body(copy_typed=True)
-    elif config == CHECKED_LOAD:
+    elif scheme.family == configs.FAMILY_CHECKED:
         body = """
     lbu  t1, 8(t4)
     li   t2, TTAB
@@ -139,7 +139,7 @@ def settable_handler(config):
     ld   t2, 0(t5)
 """ + _settable_fast_body(copy_typed=False)
     else:
-        raise ValueError("unknown config %r" % config)
+        raise ValueError("unknown scheme family %r" % scheme.family)
     return "h_SETTABLE:\n%s%sSETTABLE_slowstub:\n    j table_set_slow_common\n" \
         % (decode, body)
 
@@ -194,11 +194,11 @@ def concat_handler():
 """ % common.SVC_CONCAT)
 
 
-def build(config):
-    """All table-access handlers for ``config``."""
+def build(scheme):
+    """All table-access handlers for ``scheme``."""
     return "\n".join([
-        gettable_handler(config),
-        settable_handler(config),
+        gettable_handler(scheme),
+        settable_handler(scheme),
         newtable_handler(),
         len_handler(),
         concat_handler(),

@@ -7,7 +7,7 @@ model's performance counters.
 
 from dataclasses import dataclass
 
-from repro.engines import BASELINE, CHECKED_LOAD, TYPED
+from repro.engines import BASELINE, configs
 from repro.engines.lua import layout
 from repro.engines.lua.compiler import compile_source
 from repro.engines.lua.handlers import build_interpreter
@@ -79,8 +79,7 @@ def interpreter_program(config):
 
 def prepare(source, config=BASELINE):
     """Compile + image + assemble; returns (cpu, runtime, program)."""
-    if config not in (BASELINE, TYPED, CHECKED_LOAD):
-        raise ValueError("unknown config %r" % config)
+    scheme = configs.get_scheme(config)
     chunk = compile_source(source)
     memory = Memory(size=layout.MEMORY_SIZE)
     runtime = LuaRuntime(memory)
@@ -88,7 +87,12 @@ def prepare(source, config=BASELINE):
     program, _attribution = interpreter_program(config)
     fill_jump_table(image, program, memory)
     host = LuaHost(runtime)
-    codec = TagCodec(fp_tags=layout.FP_TAGS)
+    # The F/I-bit table must hold the tags as this scheme's extractor
+    # window reports them (identical to the layout tags for every
+    # shipped Lua geometry, but kept symmetric with the TRT transform).
+    codec = TagCodec(fp_tags=frozenset(
+        scheme.extracted_tag("lua", layout.SPR_SETTINGS, tag)
+        for tag in layout.FP_TAGS))
     cpu = Cpu(program, memory, host=host.interface, tag_codec=codec,
               overflow_bits=None)
     return cpu, runtime, program

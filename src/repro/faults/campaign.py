@@ -25,7 +25,7 @@ from repro.bench.parallel import (
     run_hardened,
 )
 from repro.bench.workloads import BENCHMARK_ORDER
-from repro.engines import CONFIGS
+from repro.engines import all_configs
 from repro.faults.classify import (
     CLASSES,
     DETECTED,
@@ -102,7 +102,7 @@ def _empty_tally():
 
 
 def run_campaign(seed=0, count=DEFAULT_COUNT, engines=("lua", "js"),
-                 benchmarks=BENCHMARK_ORDER, configs=CONFIGS,
+                 benchmarks=BENCHMARK_ORDER, configs=None,
                  scales=None, targets=TARGETS, max_workers=None,
                  timeout=DEFAULT_TIMEOUT, retries=DEFAULT_RETRIES,
                  backoff=DEFAULT_BACKOFF, telemetry=None,
@@ -114,6 +114,7 @@ def run_campaign(seed=0, count=DEFAULT_COUNT, engines=("lua", "js"),
     bus) receives one ``fault``-category event per injection.  The
     report itself is independent of both and of ``max_workers``.
     """
+    configs = all_configs() if configs is None else configs
     cells = []
     for engine in engines:
         for benchmark in benchmarks:

@@ -21,7 +21,7 @@ import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 from repro.bench.parallel import _kill_pool, _warm_worker
-from repro.engines import CONFIGS
+from repro.engines import all_configs
 
 _LOG = logging.getLogger("repro.serve.pool")
 
@@ -38,10 +38,11 @@ class WarmPool:
     """
 
     def __init__(self, workers=2, warm_engines=("lua", "js"),
-                 warm_configs=CONFIGS, inline_fn=None):
+                 warm_configs=None, inline_fn=None):
         self.workers = max(0, int(workers))
         self.warm_engines = tuple(warm_engines)
-        self.warm_configs = tuple(warm_configs)
+        self.warm_configs = tuple(
+            all_configs() if warm_configs is None else warm_configs)
         from repro import api
         self.inline_fn = inline_fn or api.execute_payload
         self._pool = None

@@ -38,7 +38,6 @@ import threading
 import time
 
 from repro.api import ExecutionRequest, ExecutionResult
-from repro.engines import CONFIGS
 from repro.schema import SCHEMA_VERSION, SchemaError
 from repro.serve import protocol
 from repro.serve.pool import WarmPool
@@ -91,7 +90,7 @@ class ExecutionService:
 
     def __init__(self, *, workers=2, queue_depth=32,
                  default_deadline=None, retries=1,
-                 warm_engines=("lua", "js"), warm_configs=CONFIGS,
+                 warm_engines=("lua", "js"), warm_configs=None,
                  inline_fn=None):
         self.workers = max(0, int(workers))
         self.queue_depth = queue_depth

@@ -207,14 +207,19 @@ def test_cli_sweep_parser_cache_flags():
 
 
 def test_cli_sweep_smoke(capsys):
-    """The ``make sweep`` smoke target: 2-cell parallel sweep, cold
-    then warm, against a throwaway disk cache."""
+    """The ``make sweep`` smoke target: one benchmark across every
+    registered config, cold then warm, against a throwaway disk
+    cache, with the N-config figure 5/9 tables rendered."""
     from repro.cli import main
+    from repro.engines import all_configs
+    cells = len(all_configs())
     assert main(["sweep", "--smoke"]) == 0
     out = capsys.readouterr().out
-    assert "warm hits 2/2" in out
+    assert "warm hits %d/%d" % (cells, cells) in out
     assert "records identical" in out
     assert "sweep smoke: OK" in out
+    assert "Figure 5" in out and "Figure 9" in out
+    assert "selftag" in out and "typed-lowbit" in out
 
 
 def test_cli_trace_parser():

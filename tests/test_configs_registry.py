@@ -1,0 +1,228 @@
+"""Tests for the tagging-scheme registry (repro.engines.configs)."""
+
+import pytest
+
+from repro.engines import (
+    BASELINE,
+    CHECKED_LOAD,
+    GATE_CONFIGS,
+    SELF_TAG,
+    TYPED,
+    TYPED_LOWBIT,
+    TYPED_WIDE,
+    all_configs,
+    all_schemes,
+    get_scheme,
+    hardware_check_configs,
+    is_registered,
+    register,
+    unregister,
+)
+from repro.engines.configs import (
+    FAMILY_SOFTWARE,
+    FAMILY_TYPED,
+    TaggingScheme,
+    transformed_rules,
+)
+from repro.engines.js import layout as js_layout
+from repro.engines.lua import layout as lua_layout
+from repro.isa.extension import OFFSET_SELF_TAG, SprSettings
+from repro.sim import nanbox
+from repro.sim.tagio import TagCodec
+
+
+def _scheme(name, **kwargs):
+    kwargs.setdefault("description", "test scheme")
+    kwargs.setdefault("family", FAMILY_TYPED)
+    kwargs.setdefault("hardware_checks", True)
+    return TaggingScheme(name=name, **kwargs)
+
+
+# -- registry mechanics ------------------------------------------------------
+
+def test_builtins_registered_in_order():
+    configs = all_configs()
+    assert configs[:3] == GATE_CONFIGS == (BASELINE, CHECKED_LOAD, TYPED)
+    assert set(configs) >= {SELF_TAG, TYPED_LOWBIT, TYPED_WIDE}
+    assert [s.name for s in all_schemes()] == list(configs)
+
+
+def test_gate_configs_pinned_to_paper_triple():
+    for config in GATE_CONFIGS:
+        assert get_scheme(config).gate_pinned
+    for config in (SELF_TAG, TYPED_LOWBIT, TYPED_WIDE):
+        assert not get_scheme(config).gate_pinned
+
+
+def test_hardware_check_configs_excludes_baseline():
+    hw = hardware_check_configs()
+    assert BASELINE not in hw
+    assert set(hw) >= {TYPED, CHECKED_LOAD, SELF_TAG, TYPED_LOWBIT,
+                       TYPED_WIDE}
+
+
+def test_register_and_unregister():
+    scheme = _scheme("unit-test-scheme")
+    register(scheme)
+    try:
+        assert is_registered("unit-test-scheme")
+        assert get_scheme("unit-test-scheme") is scheme
+        assert all_configs()[-1] == "unit-test-scheme"
+    finally:
+        unregister("unit-test-scheme")
+    assert not is_registered("unit-test-scheme")
+
+
+def test_duplicate_name_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register(_scheme(TYPED))
+
+
+def test_register_requires_tagging_scheme():
+    with pytest.raises(TypeError):
+        register("typed-2")
+
+
+def test_get_scheme_unknown_name():
+    with pytest.raises(ValueError, match="unknown config"):
+        get_scheme("no-such-config")
+
+
+def test_unknown_family_rejected():
+    with pytest.raises(ValueError, match="unknown scheme family"):
+        _scheme("bad-family", family="quantum")
+
+
+def test_live_configs_view_through_engines_module():
+    import repro.engines as engines
+    before = engines.CONFIGS
+    register(_scheme("late-view-scheme"))
+    try:
+        assert "late-view-scheme" in engines.CONFIGS
+        assert "late-view-scheme" not in before
+    finally:
+        unregister("late-view-scheme")
+
+
+# -- extractor geometry ------------------------------------------------------
+
+def test_default_scheme_uses_table4_geometry():
+    typed = get_scheme(TYPED)
+    assert typed.spr("lua", lua_layout.SPR_SETTINGS) \
+        == lua_layout.SPR_SETTINGS
+    assert typed.spr("js", js_layout.SPR_SETTINGS) \
+        == js_layout.SPR_SETTINGS
+
+
+def test_selftag_sets_offset_bit_only():
+    spr = get_scheme(SELF_TAG).spr("lua", lua_layout.SPR_SETTINGS)
+    default = lua_layout.SPR_SETTINGS
+    assert spr.offset == default.offset | OFFSET_SELF_TAG
+    assert spr.self_tag
+    assert (spr.shift, spr.mask) == (default.shift, default.mask)
+    # The tag transform is the identity: same window, extra offset bit.
+    for tag in range(20):
+        assert get_scheme(SELF_TAG).extracted_tag(
+            "lua", default, tag) == tag & default.mask
+
+
+def test_lowbit_windows_extract_layout_tags_unchanged():
+    lowbit = get_scheme(TYPED_LOWBIT)
+    for tag in (lua_layout.TNUMFLT, lua_layout.TNUMINT):
+        assert lowbit.extracted_tag(
+            "lua", lua_layout.SPR_SETTINGS, tag) == tag
+    for tag in (js_layout.TAG_DOUBLE, js_layout.TAG_INT32):
+        assert lowbit.extracted_tag(
+            "js", js_layout.SPR_SETTINGS, tag) == tag
+
+
+def test_wide_js_window_folds_nan_prefix_bits():
+    wide = get_scheme(TYPED_WIDE)
+    default = js_layout.SPR_SETTINGS
+    # The 8-bit window at shift 47 spans the NaN-box tag plus the low
+    # four bits of the NaN prefix: extracted = 0xF0 | tag.
+    for tag in range(8):
+        expected = (nanbox.box(tag, 0) >> 47) & 0xFF
+        assert expected == 0xF0 | tag
+        assert wide.extracted_tag("js", default, tag) == expected
+
+
+def test_geometry_may_not_move_the_dword_select():
+    scheme = _scheme("bad-offset", geometry={
+        "lua": SprSettings(offset=0b011, shift=0, mask=0xFF)})
+    with pytest.raises(ValueError, match="dword"):
+        scheme.spr("lua", lua_layout.SPR_SETTINGS)
+
+
+def test_geometry_round_trip_through_tagio():
+    """Programming a codec with a scheme's SPR values reproduces
+    TaggingScheme.extracted_tag for every layout tag."""
+    for engine, layout, tags in (
+            ("lua", lua_layout, range(20)),
+            ("js", js_layout, range(8))):
+        default = layout.SPR_SETTINGS
+        for config in (TYPED, SELF_TAG, TYPED_LOWBIT, TYPED_WIDE):
+            scheme = get_scheme(config)
+            spr = scheme.spr(engine, default)
+            codec = TagCodec()
+            codec.set_offset(spr.offset)
+            codec.set_shift(spr.shift)
+            codec.set_mask(spr.mask)
+            assert codec.self_tag == scheme.self_tag
+            for tag in tags:
+                if default.nan_detect:
+                    bits = nanbox.box(tag, 0)
+                else:
+                    bits = (tag & default.mask) << default.shift
+                assert (bits >> codec.shift) & codec.mask \
+                    == scheme.extracted_tag(engine, default, tag)
+
+
+def test_transformed_rules_remap_every_tag_field():
+    wide = get_scheme(TYPED_WIDE)
+    default = js_layout.SPR_SETTINGS
+    rules = transformed_rules(wide, "js", default, js_layout.TYPE_RULES)
+    assert len(rules) == len(js_layout.TYPE_RULES)
+    for original, transformed in zip(js_layout.TYPE_RULES, rules):
+        assert transformed.opcode == original.opcode
+        assert transformed.type_in1 == 0xF0 | original.type_in1
+        assert transformed.type_in2 == 0xF0 | original.type_in2
+        assert transformed.type_out == 0xF0 | original.type_out
+    # Identity transform for the default scheme.
+    assert transformed_rules(get_scheme(TYPED), "js", default,
+                             js_layout.TYPE_RULES) \
+        == tuple(js_layout.TYPE_RULES)
+
+
+# -- downstream validation ---------------------------------------------------
+
+def test_api_validation_tracks_registry():
+    from repro import api
+    from repro.schema import SchemaError
+    request = api.ExecutionRequest(op="run", engine="lua",
+                                   source="print(1)",
+                                   config="late-api-scheme")
+    with pytest.raises(SchemaError, match="unknown config"):
+        request.validate()
+    register(_scheme("late-api-scheme", family=FAMILY_SOFTWARE,
+                     hardware_checks=False))
+    try:
+        request.validate()
+    finally:
+        unregister("late-api-scheme")
+
+
+def test_cli_config_choices_resolve_at_parse_time():
+    """Regression: ``--config`` used ``choices=CONFIGS`` captured at
+    import time, so schemes registered later were rejected."""
+    from repro.cli import build_parser
+    parser = build_parser()   # built *before* the scheme exists
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "fibo", "--config", "late-cli-scheme"])
+    register(_scheme("late-cli-scheme"))
+    try:
+        args = parser.parse_args(["run", "fibo", "--config",
+                                  "late-cli-scheme"])
+        assert args.config == "late-cli-scheme"
+    finally:
+        unregister("late-cli-scheme")

@@ -77,12 +77,15 @@ def test_campaign_deterministic_across_worker_counts():
 
 
 def test_campaign_report_shape():
+    from repro.engines import all_configs
     report = run_campaign(max_workers=1, **TINY)
     assert report["seed"] == TINY["seed"]
     assert report["count_per_cell"] == TINY["count"]
-    assert sum(report["classes"].values()) == 3 * TINY["count"]
+    # The campaign covers every registered config by default.
+    assert sum(report["classes"].values()) \
+        == len(all_configs()) * TINY["count"]
     assert set(report["classes"]) == set(CLASSES)
-    assert set(report["coverage"]) == {"baseline", "chklb", "typed"}
+    assert set(report["coverage"]) == set(all_configs())
     for cell in report["cells"]:
         assert len(cell["injections"]) == TINY["count"]
         assert sum(cell["outcomes"].values()) == TINY["count"]

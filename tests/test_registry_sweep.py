@@ -1,0 +1,138 @@
+"""N-config sweeps through the registry: figures, campaigns, smoke.
+
+Covers the registry-driven figure pipeline (figures 5 and 9 rendering
+an arbitrary number of registered configs), the figure 9 denominator
+regression (chklb rates normalised by the chklb run's own bytecode
+count) and the fault-campaign guarantee that every config — including
+``selftag`` — faces the identical seeded fault sequence.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.runner import RunRecord, clear_cache, run_matrix
+from repro.engines import (
+    BASELINE,
+    CHECKED_LOAD,
+    SELF_TAG,
+    TYPED,
+    TYPED_LOWBIT,
+    TYPED_WIDE,
+    all_configs,
+)
+
+SMOKE_CONFIGS = (BASELINE, CHECKED_LOAD, TYPED, SELF_TAG,
+                 TYPED_LOWBIT, TYPED_WIDE)
+
+
+@pytest.fixture(scope="module")
+def records():
+    clear_cache()
+    return run_matrix(engines=("lua",), benchmarks=("fibo",),
+                      configs=SMOKE_CONFIGS, scales={"fibo": 6})
+
+
+# -- N-config figures --------------------------------------------------------
+
+def test_figure5_renders_all_registered_configs(records):
+    data = experiments.figure5(records)
+    assert set(data["lua"]["geomean"]) == set(SMOKE_CONFIGS)
+    assert data["lua"]["geomean"][BASELINE] == pytest.approx(1.0)
+    for config in (TYPED, SELF_TAG, TYPED_LOWBIT, TYPED_WIDE):
+        assert data["lua"]["geomean"][config] > 1.0
+    text = experiments.render_figure5(data)
+    for config in SMOKE_CONFIGS:
+        assert config in text
+
+
+def test_figure9_renders_all_hardware_check_configs(records):
+    data = experiments.figure9(records)
+    entry = data["lua"]["fibo"]
+    # Paper key names for the original triple, derived names beyond it.
+    assert {"typed_hit", "typed_miss", "overflow",
+            "chklb_hit", "chklb_miss"} <= set(entry)
+    for config in (SELF_TAG, TYPED_LOWBIT, TYPED_WIDE):
+        assert entry["%s_hit" % config] == entry["typed_hit"]
+    assert BASELINE not in {key.split("_")[0] for key in entry}
+    text = experiments.render_figure9(data)
+    assert "selftag_hit" in text and "chklb_hit" in text
+
+
+def test_selftag_matches_typed_except_tag_plane_traffic():
+    # n-body is float-heavy; fibo (integer-only) would elide nothing.
+    clear_cache()
+    pair = run_matrix(engines=("lua",), benchmarks=("n-body",),
+                      configs=(TYPED, SELF_TAG), scales={"n-body": 3})
+    clear_cache()
+    typed = pair[("lua", "n-body", TYPED)]
+    selftag = pair[("lua", "n-body", SELF_TAG)]
+    assert selftag.output == typed.output
+    assert selftag.counters.instructions == typed.counters.instructions
+    # Float Self-Tagging elides the tag-plane probe for FP values.
+    assert selftag.counters.dcache_accesses \
+        < typed.counters.dcache_accesses
+
+
+def _record(config, chk_hits, chk_misses, type_hits, type_misses,
+            overflow, bytecodes):
+    counters = SimpleNamespace(
+        chk_hits=chk_hits, chk_misses=chk_misses,
+        type_hits=type_hits, type_misses=type_misses,
+        overflow_traps=overflow,
+        bytecode_counts={"ADD": bytecodes})
+    return RunRecord(engine="lua", benchmark="fibo", config=config,
+                     scale=1, output="", counters=counters)
+
+
+def test_figure9_uses_each_configs_own_denominator():
+    """Regression: chklb rates were normalised by the *typed* run's
+    bytecode count even though the two configs execute different
+    dynamic bytecode streams."""
+    records = {
+        ("lua", "fibo", TYPED): _record(TYPED, 0, 0, 80, 20, 4, 200),
+        ("lua", "fibo", CHECKED_LOAD): _record(CHECKED_LOAD, 30, 10,
+                                               0, 0, 0, 50),
+    }
+    entry = experiments.figure9(records)["lua"]["fibo"]
+    assert entry["typed_hit"] == pytest.approx(80 / 200)
+    assert entry["typed_miss"] == pytest.approx(20 / 200)
+    assert entry["overflow"] == pytest.approx(4 / 200)
+    # The old bug divided these by 200 (typed's total) instead of 50.
+    assert entry["chklb_hit"] == pytest.approx(30 / 50)
+    assert entry["chklb_miss"] == pytest.approx(10 / 50)
+
+
+# -- fault-campaign parity ---------------------------------------------------
+
+def test_campaign_covers_registry_with_identical_fault_sequence():
+    """Every registered config — selftag included — faces the same
+    abstract seeded fault sequence as the paper's triple; only the
+    resolved instruction index differs (it scales with each config's
+    golden instruction count)."""
+    from repro.faults import run_campaign
+    clear_cache()
+    configs = (BASELINE, CHECKED_LOAD, TYPED, SELF_TAG)
+    report = run_campaign(seed=7, count=5, engines=("lua",),
+                          benchmarks=("fibo",), configs=configs,
+                          scales={"fibo": 2}, max_workers=1)
+    clear_cache()
+    cells = {cell["config"]: cell for cell in report["cells"]}
+    assert set(cells) == set(configs)
+
+    def abstract_sequence(config):
+        return [{key: value
+                 for key, value in injection["spec"].items()
+                 if key != "index"}
+                for injection in cells[config]["injections"]]
+
+    reference = abstract_sequence(TYPED)
+    assert len(reference) == 5
+    for config in configs:
+        assert abstract_sequence(config) == reference
+    assert set(report["coverage"]) == set(configs)
+
+
+def test_sweep_default_covers_registry():
+    assert set(SMOKE_CONFIGS) <= set(all_configs())
