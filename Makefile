@@ -4,7 +4,7 @@ JOBS ?=
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test lint sweep sweep-full faults-smoke faults serve-smoke \
-	figures perfbench clean-cache
+	serve-load figures perfbench clean-cache
 
 # Tier-1 verification.
 test:
@@ -41,6 +41,17 @@ faults:
 serve-smoke:
 	$(PYTHON) -m repro serve --smoke $(if $(JOBS),--jobs $(JOBS)) \
 		$(if $(SERVE_JSON),--json $(SERVE_JSON))
+
+# CI SLO gate: boot a 2-shard consistent-hash routed tier over a
+# throwaway shared cache, replay zipf-skewed run/bench/sweep traffic,
+# write the BENCH_serve.json artifact (+ router log) and fail on any
+# SLO violation — p99 under load, sustained QPS, zero errors, zero
+# dropped in-flight requests on drain, byte-identical sampled replies
+# (docs/SERVING.md).
+serve-load:
+	$(PYTHON) -m repro loadgen --smoke $(if $(JOBS),--jobs $(JOBS)) \
+		--json $(or $(SERVE_LOAD_JSON),BENCH_serve.json) \
+		--router-log $(or $(ROUTER_LOG),router.log)
 
 # Regenerate benchmarks/results/ (shares the sweep via the disk cache).
 figures:

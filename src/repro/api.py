@@ -334,6 +334,18 @@ def execute_payload(payload):
     return execute(ExecutionRequest.from_dict(payload)).as_dict()
 
 
+def request_key(payload):
+    """Validate a wire payload and return ``(request, key)``.
+
+    The key is the canonical identity of the *work* — the same value
+    the execution service dedups on — and is what the router
+    consistent-hashes to place the request on a shard, so a request's
+    shard affinity and its coalescing identity can never disagree.
+    """
+    request = ExecutionRequest.from_dict(payload)
+    return request, request.key()
+
+
 def run(engine, source, *, config=BASELINE, scale=None,
         machine_config=None, max_instructions=DEFAULT_MAX_INSTRUCTIONS,
         attribute=True, telemetry=None, use_blocks=True, use_cache=True):

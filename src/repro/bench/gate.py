@@ -1,9 +1,10 @@
-"""Performance regression gate over the benchmark sweep.
+"""Performance gates: the sweep-regression gate and the serving SLO.
 
-The simulator is deterministic, so every metric of the Section-7 sweep
-is a pure function of the source tree — which makes a checked-in
-baseline a meaningful CI gate: any drift in speedups, MPKI rates or
-type-check hit rates is a *behavioural* change someone made, not noise.
+**Sweep gate.** The simulator is deterministic, so every metric of the
+Section-7 sweep is a pure function of the source tree — which makes a
+checked-in baseline a meaningful CI gate: any drift in speedups, MPKI
+rates or type-check hit rates is a *behavioural* change someone made,
+not noise.
 
 ``repro bench baseline`` regenerates ``benchmarks/results/baseline.json``
 (do this, and commit the file, whenever a change intentionally shifts
@@ -14,6 +15,15 @@ Tolerances are deliberately loose relative to determinism (default 2%
 relative): they exist so that *intended* micro-adjustments (e.g. a
 one-cycle latency tweak) fail loudly while float formatting or
 dict-ordering differences never can.
+
+**SLO gate.** :func:`check_slo` holds the serving line over a
+``BENCH_serve.json`` artifact from ``repro loadgen``
+(:mod:`repro.serve.loadgen`): p99 latency under load at the target
+QPS, a sustained-throughput floor, bounded rejection rate, zero
+errors, zero dropped in-flight requests on router drain, and
+byte-identical counters on the sampled identity subset.  CI's
+``serve-load`` job fails on it the same way ``perf-gate`` fails on the
+sweep baseline; ``repro bench slo`` re-checks a saved artifact.
 """
 
 import json
@@ -21,7 +31,7 @@ from dataclasses import dataclass
 
 from repro.bench.workloads import BENCHMARK_ORDER
 from repro.engines import BASELINE, CHECKED_LOAD, GATE_CONFIGS, TYPED
-from repro.schema import SCHEMA_VERSION
+from repro.schema import SCHEMA_VERSION, SchemaError, require_artifact
 
 #: The baseline payload version — an alias of the package-wide
 #: :data:`repro.schema.SCHEMA_VERSION`; a mismatch fails the check
@@ -193,3 +203,116 @@ def check(baseline_path, records, rel_tol=0.02, abs_tol=0.05):
         report = "PERF GATE: ok — %d cells within tolerance " \
             "(rel %.3g / abs %.3g)" % (len(current), rel_tol, abs_tol)
     return violations, report
+
+
+# -- the serving SLO gate ----------------------------------------------------
+
+#: Default SLO bounds for the serve-load gate (``repro loadgen``
+#: against a 2-shard router on a cold CI runner; see docs/SERVING.md
+#: for the policy).  ``p99_ms`` is deliberately generous — the first
+#: requests pay worker-pool fork+warm — while the structural bounds
+#: (zero errors, zero dropped on drain, identity) are exact.
+DEFAULT_SLO = {
+    "p99_ms": 5000.0,
+    "min_qps_fraction": 0.5,
+    "max_rejection_rate": 0.25,
+    "max_error_rate": 0.0,
+    "max_drain_dropped": 0,
+    "require_identity": True,
+}
+
+
+def check_slo(report, **overrides):
+    """Gate a ``BENCH_serve.json`` payload against the serving SLO.
+
+    ``report`` is the stamped artifact dict from
+    :func:`repro.serve.loadgen.make_report`; ``overrides`` replace
+    individual :data:`DEFAULT_SLO` bounds (``None`` disables a bound).
+    Returns ``(violations, text)`` like :func:`check` — an empty list
+    means the SLO holds.
+    """
+    slo = dict(DEFAULT_SLO)
+    unknown = set(overrides) - set(slo)
+    if unknown:
+        raise ValueError("unknown SLO bound(s): %s"
+                         % ", ".join(sorted(unknown)))
+    slo.update(overrides)
+    try:
+        require_artifact(report, "serve-load")
+    except SchemaError as err:
+        return (["artifact: %s" % err],
+                "SLO GATE: unreadable artifact — %s" % err)
+
+    violations = []
+    latency = report.get("latency_ms", {})
+    spec = report.get("spec", {})
+    drain = report.get("drain", {})
+    identity = report.get("identity", {})
+
+    if slo["p99_ms"] is not None:
+        p99 = float(latency.get("p99", float("inf")))
+        if p99 > slo["p99_ms"]:
+            violations.append(
+                "p99 latency %.1fms exceeds the %.1fms bound"
+                % (p99, slo["p99_ms"]))
+    if slo["min_qps_fraction"] is not None:
+        target = float(spec.get("qps", 0.0))
+        sustained = float(report.get("sustained_qps", 0.0))
+        floor = slo["min_qps_fraction"] * target
+        if sustained < floor:
+            violations.append(
+                "sustained %.2f QPS below %.2f (%.0f%% of the %.2f "
+                "target)" % (sustained, floor,
+                             100.0 * slo["min_qps_fraction"], target))
+    if slo["max_rejection_rate"] is not None:
+        rejection = float(report.get("rejection_rate", 1.0))
+        if rejection > slo["max_rejection_rate"]:
+            violations.append(
+                "rejection rate %.1f%% exceeds the %.1f%% bound"
+                % (100.0 * rejection, 100.0 * slo["max_rejection_rate"]))
+    if slo["max_error_rate"] is not None:
+        errors = float(report.get("error_rate", 1.0))
+        if errors > slo["max_error_rate"]:
+            violations.append(
+                "error rate %.1f%% exceeds the %.1f%% bound (samples: "
+                "%s)" % (100.0 * errors,
+                         100.0 * slo["max_error_rate"],
+                         report.get("traffic", {}).get("error_samples")))
+    if slo["max_drain_dropped"] is not None:
+        if not drain.get("checked"):
+            violations.append("drain was never exercised — zero-dropped "
+                              "on drain is unverified")
+        elif int(drain.get("dropped", 1)) > slo["max_drain_dropped"]:
+            violations.append(
+                "%d of %d in-flight request(s) dropped on drain "
+                "(bound %d)" % (drain.get("dropped"),
+                                drain.get("inflight_at_drain", 0),
+                                slo["max_drain_dropped"]))
+    if slo["require_identity"]:
+        sampled = int(identity.get("sampled", 0))
+        matched = int(identity.get("matched", -1))
+        if sampled < 1:
+            violations.append("identity subset is empty — served "
+                              "counters were never cross-checked")
+        elif matched != sampled:
+            violations.append(
+                "identity broken: served counters diverge from "
+                "in-process execution on %d of %d sampled key(s): %s"
+                % (sampled - matched, sampled,
+                   identity.get("mismatched_keys")))
+
+    if violations:
+        lines = ["SLO GATE: %d violation(s):" % len(violations)]
+        lines += ["  " + violation for violation in violations]
+        text = "\n".join(lines)
+    else:
+        text = ("SLO GATE: ok — p99 %.1fms at %.2f sustained QPS, "
+                "cache hit rate %.1f%%, rejections %.1f%%, "
+                "%d/%d identity, 0 dropped on drain"
+                % (float(latency.get("p99", 0.0)),
+                   float(report.get("sustained_qps", 0.0)),
+                   100.0 * float(report.get("cache_hit_rate", 0.0)),
+                   100.0 * float(report.get("rejection_rate", 0.0)),
+                   int(identity.get("matched", 0)),
+                   int(identity.get("sampled", 0))))
+    return violations, text

@@ -19,8 +19,15 @@ Subcommands:
 * ``serve`` — the persistent execution daemon: warm forked workers
   behind a localhost socket (``--smoke`` runs the acceptance harness;
   see docs/API.md),
+* ``route`` — the consistent-hash front router over N serve shards
+  (``--shards N`` spawns and owns them; see docs/SERVING.md),
+* ``loadgen`` — synthetic run/bench/sweep traffic at a target QPS
+  with zipf-skewed popularity; writes ``BENCH_serve.json`` and holds
+  the SLO gate (``--smoke`` boots a 2-shard router and is the CI
+  ``serve-load`` job),
+* ``bench slo`` — re-check a saved ``BENCH_serve.json`` artifact,
 * ``submit`` — submit a benchmark, script or sweep to a running
-  daemon (also ``--status``/``--drain``/``--ping`` control verbs).
+  daemon or router (also ``--status``/``--drain``/``--ping`` verbs).
 
 Flag conventions, uniform across subcommands: ``--jobs`` (worker
 processes), ``--cache-dir``/``--no-disk-cache`` (the persistent
@@ -60,6 +67,29 @@ def _config_arg(value):
 def _config_metavar():
     from repro.engines import all_configs
     return "{%s}" % ",".join(all_configs())
+
+
+def _mix_arg(text):
+    """``type=`` validator for ``loadgen --mix``: normalised
+    ``op=weight`` pairs over run/bench/sweep."""
+    mix = {}
+    for part in text.split(","):
+        name, sep, value = part.partition("=")
+        name = name.strip()
+        try:
+            weight = float(value)
+        except ValueError:
+            weight = -1.0
+        if not sep or name not in ("run", "bench", "sweep") \
+                or weight < 0:
+            raise argparse.ArgumentTypeError(
+                "mix must be op=weight pairs over run/bench/sweep, "
+                "e.g. run=0.6,bench=0.4 (got %r)" % text)
+        mix[name] = weight
+    total = sum(mix.values())
+    if total <= 0:
+        raise argparse.ArgumentTypeError("mix weights must sum > 0")
+    return {name: weight / total for name, weight in mix.items()}
 
 
 def _cmd_run(args):
@@ -164,6 +194,30 @@ def _add_json_flag(parser, help_text):
     parser.add_argument("--json", metavar="PATH", default=None,
                         help=help_text)
     _hidden_alias(parser, "--json-out", "json", metavar="PATH")
+
+
+def _add_slo_flags(parser):
+    """SLO bound overrides, shared by ``loadgen`` and ``bench slo``
+    (defaults live in :data:`repro.bench.gate.DEFAULT_SLO`)."""
+    parser.add_argument("--p99-ms", type=float, default=None,
+                        dest="p99_ms", metavar="MS",
+                        help="p99 latency bound under load")
+    parser.add_argument("--min-qps-fraction", type=float, default=None,
+                        dest="min_qps_fraction", metavar="F",
+                        help="sustained qps must reach F * target qps")
+    parser.add_argument("--max-rejection-rate", type=float,
+                        default=None, dest="max_rejection_rate",
+                        metavar="F", help="busy rejection ceiling")
+    parser.add_argument("--max-error-rate", type=float, default=None,
+                        dest="max_error_rate", metavar="F",
+                        help="hard error ceiling (default 0)")
+    parser.add_argument("--max-drain-dropped", type=int, default=None,
+                        dest="max_drain_dropped", metavar="N",
+                        help="in-flight requests allowed to drop on "
+                             "drain (default 0)")
+    parser.add_argument("--no-identity", action="store_true",
+                        help="skip the byte-identical sampled-replies "
+                             "requirement")
 
 
 def _write_json(path, payload):
@@ -508,6 +562,8 @@ def _cmd_bench_cache(args):
 def _cmd_bench(args):
     if args.bench_command == "cache":
         return _cmd_bench_cache(args)
+    if args.bench_command == "slo":
+        return _cmd_bench_slo(args)
     """Perf-gate subcommands: regenerate or check the sweep baseline."""
     from repro.bench import gate
     from repro.bench.parallel import run_matrix_parallel
@@ -718,6 +774,12 @@ def _cmd_serve(args):
         socket_path, host = None, args.host or "127.0.0.1"
     else:
         socket_path, host = args.socket, None
+        if socket_path == "auto":
+            # Collision-free pick (fresh mkdtemp directory), so
+            # parallel CI jobs can each boot a daemon without racing
+            # for one well-known path.
+            from repro.serve.server import free_socket_path
+            socket_path = free_socket_path()
 
     def ready(server):
         where = server.socket_path or "%s:%d" % (server.host,
@@ -734,6 +796,235 @@ def _cmd_serve(args):
         warm_configs=tuple(args.warm_config) if args.warm_config
         else None))
     return 0
+
+
+def _cmd_route(args):
+    """The consistent-hash front router (``repro route``): fronts
+    existing shards (``--shard``, repeatable) and/or spawns and owns
+    its own (``--shards N``)."""
+    import asyncio
+    import logging
+
+    from repro.serve.router import ShardManager, ShardSpec, route
+    from repro.serve.server import free_socket_path
+
+    if not args.shard and not args.shards:
+        print("route: give --shard ADDR (repeatable) for existing "
+              "shards, or --shards N to spawn them", file=sys.stderr)
+        return 2
+    _configure_disk_cache(args)
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+
+    socket_path, host, port = args.socket, None, None
+    if args.port is not None:
+        socket_path, host, port = None, args.host or "127.0.0.1", \
+            args.port
+    elif socket_path in (None, "auto"):
+        socket_path = free_socket_path("typedarch-route")
+
+    try:
+        specs = [ShardSpec.parse(item) for item in args.shard or ()]
+    except ValueError as err:
+        print("route: %s" % err, file=sys.stderr)
+        return 2
+    manager = None
+    exit_code = 0
+    try:
+        if args.shards:
+            manager = ShardManager(
+                args.shards, jobs=1 if args.jobs is None else args.jobs,
+                queue_depth=args.queue_depth, cache_dir=args.cache_dir,
+                deadline=args.deadline,
+                warm_engines=tuple(args.warm_engine or ("lua",)),
+                warm_configs=tuple(args.warm_config)
+                if args.warm_config else None)
+            manager.start()
+            specs = specs + list(manager.specs)
+
+        def ready(server):
+            where = server.socket_path or "%s:%d" % (server.host,
+                                                     server.bound_port)
+            print("routing on %s across %d shard(s)"
+                  % (where, len(specs)), file=sys.stderr, flush=True)
+
+        asyncio.run(route(
+            specs, socket_path=socket_path, host=host, port=port,
+            ready=ready, replicas=args.replicas,
+            health_interval=args.health_interval,
+            busy_retries=args.retries))
+    finally:
+        if manager is not None:
+            codes = manager.drain()
+            if any(codes):
+                print("route: shard exit codes %s" % codes,
+                      file=sys.stderr)
+                exit_code = 1
+    return exit_code
+
+
+def _slo_overrides(args):
+    """SLO bound overrides from the shared ``--p99-ms``-family flags
+    (only the ones the user actually set)."""
+    overrides = {}
+    for name in ("p99_ms", "min_qps_fraction", "max_rejection_rate",
+                 "max_error_rate", "max_drain_dropped"):
+        value = getattr(args, name, None)
+        if value is not None:
+            overrides[name] = value
+    if getattr(args, "no_identity", False):
+        overrides["require_identity"] = False
+    return overrides
+
+
+def _render_load_report(report):
+    traffic = report["traffic"]
+    latency = report["latency_ms"]
+    identity = report["identity"]
+    drain = report["drain"]
+    lines = [
+        "loadgen: %d offered at %.1f qps | %d completed | %d rejected "
+        "| %d errors" % (traffic["offered"], report["spec"]["qps"],
+                         traffic["completed"], traffic["rejected"],
+                         traffic["errors"]),
+        "loadgen: sustained %.2f qps over %.2fs | p50 %.0fms  p95 "
+        "%.0fms  p99 %.0fms" % (report["sustained_qps"],
+                                report["elapsed_seconds"],
+                                latency["p50"], latency["p95"],
+                                latency["p99"]),
+        "loadgen: cache hit rate %.1f%% | coalesced %.1f%% | rejection "
+        "rate %.1f%%" % (100.0 * report["cache_hit_rate"],
+                         100.0 * report["coalesced_rate"],
+                         100.0 * report["rejection_rate"]),
+        "loadgen: identity %d/%d sampled replies byte-identical"
+        % (identity["matched"], identity["sampled"]),
+    ]
+    if drain["checked"]:
+        lines.append("loadgen: drain with %d in flight dropped %d"
+                     % (drain["inflight_at_drain"], drain["dropped"]))
+    return "\n".join(lines)
+
+
+def _cmd_loadgen(args):
+    """``repro loadgen``: synthetic traffic against a router or
+    daemon, a ``BENCH_serve.json`` artifact and the SLO gate.
+    ``--smoke`` self-boots a 2-shard routed tier (the CI
+    ``serve-load`` job)."""
+    import json
+    import logging
+    import tempfile
+
+    from repro.bench import gate
+    from repro.serve import loadgen
+
+    handler = None
+    if args.router_log:
+        handler = logging.FileHandler(args.router_log, mode="w")
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(name)s %(levelname)s %(message)s"))
+        tier_log = logging.getLogger("repro.serve")
+        tier_log.addHandler(handler)
+        if tier_log.level in (logging.NOTSET, logging.WARNING):
+            tier_log.setLevel(logging.INFO)
+
+    spec_kwargs = {}
+    if args.smoke:
+        # Sized for CI: ~48 requests over ~6s against 2 one-worker
+        # shards, lua only, two configs (cheap pool warm-up).
+        spec_kwargs.update(qps=8.0, duration=6.0, keys=12, threads=12,
+                           configs=(BASELINE, TYPED))
+    for name, value in (("qps", args.qps), ("duration", args.duration),
+                        ("keys", args.keys), ("zipf_s", args.zipf),
+                        ("seed", args.seed), ("threads", args.threads),
+                        ("sample", args.sample),
+                        ("timeout", args.timeout)):
+        if value is not None:
+            spec_kwargs[name] = value
+    if args.mix:
+        spec_kwargs["mix"] = args.mix
+    if args.engine:
+        spec_kwargs["engines"] = tuple(args.engine)
+    if args.config:
+        spec_kwargs["configs"] = tuple(args.config)
+    spec = loadgen.LoadSpec(**spec_kwargs)
+
+    json_path = args.json
+    if args.smoke and json_path is None:
+        json_path = "BENCH_serve.json"
+    try:
+        if args.smoke and args.socket is None and args.port is None:
+            shards = args.shards or 2
+            with tempfile.TemporaryDirectory() as tmp:
+                cache_dir = args.cache_dir \
+                    or os.path.join(tmp, "cache")
+                # The router thread lives in *this* process: point its
+                # cache probe (and the identity re-execution) at the
+                # tier's shared root.
+                with result_cache.temporary(cache_dir):
+                    clear_cache()
+                    tier = loadgen.LocalTier(
+                        shards, jobs=1 if args.jobs is None
+                        else args.jobs,
+                        queue_depth=16, cache_dir=cache_dir,
+                        warm_engines=spec.engines,
+                        warm_configs=spec.resolved_configs(),
+                        log_dir=tmp)
+                    print("loadgen: booting %d-shard routed tier..."
+                          % shards, file=sys.stderr, flush=True)
+                    with tier:
+                        report = loadgen.run_load(
+                            spec, socket_path=tier.socket_path,
+                            drain_check=not args.no_drain)
+                    if tier.shard_exit_codes \
+                            and any(tier.shard_exit_codes):
+                        print("loadgen: shard exit codes %s"
+                              % tier.shard_exit_codes, file=sys.stderr)
+                clear_cache()
+        else:
+            if args.socket is None and args.port is None:
+                print("loadgen: give --socket/--host/--port of a "
+                      "running router or daemon, or use --smoke",
+                      file=sys.stderr)
+                return 2
+            _configure_disk_cache(args)
+            report = loadgen.run_load(
+                spec, socket_path=args.socket,
+                host=args.host if args.port else None, port=args.port,
+                drain_check=not args.no_drain)
+    finally:
+        if handler is not None:
+            logging.getLogger("repro.serve").removeHandler(handler)
+            handler.close()
+            print("wrote %s" % args.router_log)
+
+    stamped = loadgen.make_report(report)
+    print(_render_load_report(report))
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(stamped, handle, indent=1, sort_keys=True)
+        print("wrote %s" % json_path)
+    violations, text = gate.check_slo(stamped, **_slo_overrides(args))
+    print(text)
+    return 1 if violations else 0
+
+
+def _cmd_bench_slo(args):
+    """Re-check a saved ``BENCH_serve.json`` artifact
+    (``bench slo``)."""
+    import json
+
+    from repro.bench import gate
+
+    try:
+        with open(args.report) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as err:
+        print("bench slo: cannot read %s: %s" % (args.report, err))
+        return 1
+    violations, text = gate.check_slo(payload, **_slo_overrides(args))
+    print(text)
+    return 1 if violations else 0
 
 
 def _cmd_submit(args):
@@ -1014,6 +1305,14 @@ def build_parser():
                              help="absolute tolerance for MPKI and "
                                   "hit-rate metrics")
         cmd.set_defaults(func=_cmd_bench)
+    slo_parser = bench_sub.add_parser(
+        "slo", help="re-check a saved BENCH_serve.json against the "
+                    "serving SLO")
+    slo_parser.add_argument("--report", metavar="PATH",
+                            default="BENCH_serve.json",
+                            help="serve-load artifact to check")
+    _add_slo_flags(slo_parser)
+    slo_parser.set_defaults(func=_cmd_bench)
 
     serve_parser = sub.add_parser(
         "serve",
@@ -1055,6 +1354,143 @@ def build_parser():
                     "clients, cache-hit path, SIGTERM drain (CI)")
     _add_json_flag(serve_parser, "write the smoke report as JSON")
     serve_parser.set_defaults(func=_cmd_serve)
+
+    route_parser = sub.add_parser(
+        "route",
+        help="consistent-hash front router over N serve shards "
+             "(see docs/SERVING.md)")
+    route_parser.add_argument("--shard", action="append",
+                              metavar="ADDR", default=None,
+                              help="repeatable; an existing shard at "
+                                   "unix:/path, /path or host:port")
+    route_parser.add_argument("--shards", type=int, default=None,
+                              metavar="N",
+                              help="spawn and own N serve shard "
+                                   "subprocesses (collision-free "
+                                   "sockets, shared cache root)")
+    route_parser.add_argument("--socket", metavar="PATH", default=None,
+                              help="router socket path ('auto' or "
+                                   "unset picks a collision-free temp "
+                                   "path)")
+    route_parser.add_argument("--host", default=None,
+                              help="TCP mode bind host (with --port; "
+                                   "default 127.0.0.1)")
+    route_parser.add_argument("--port", type=int, default=None,
+                              metavar="N",
+                              help="TCP mode port (0 picks a free one)")
+    route_parser.add_argument("--replicas", type=int, default=128,
+                              metavar="N",
+                              help="virtual nodes per shard on the "
+                                   "hash ring")
+    route_parser.add_argument("--health-interval", type=float,
+                              default=2.0, metavar="SECONDS",
+                              help="seconds between shard health "
+                                   "probes")
+    route_parser.add_argument("--retries", type=int, default=2,
+                              metavar="N",
+                              help="per-shard busy retries (honouring "
+                                   "retry_after) before failover")
+    route_parser.add_argument("--queue-depth", type=int, default=32,
+                              metavar="N",
+                              help="queue depth of spawned shards")
+    route_parser.add_argument("--deadline", type=float, default=None,
+                              metavar="SECONDS",
+                              help="default per-request deadline of "
+                                   "spawned shards")
+    route_parser.add_argument("--warm-engine", action="append",
+                              choices=("lua", "js"), default=None,
+                              help="repeatable; warm engines of "
+                                   "spawned shards (default: lua)")
+    route_parser.add_argument("--warm-config", action="append",
+                              type=_config_arg,
+                              metavar=_config_metavar(), default=None,
+                              help="repeatable; warm configs of "
+                                   "spawned shards")
+    route_parser.add_argument("--verbose", action="store_true")
+    _add_jobs_flag(route_parser, help_text="warm workers per spawned "
+                                           "shard (default 1)")
+    _add_cache_flags(route_parser)
+    route_parser.set_defaults(func=_cmd_route)
+
+    loadgen_parser = sub.add_parser(
+        "loadgen",
+        help="synthetic run/bench/sweep traffic against the serve "
+             "tier; writes BENCH_serve.json and holds the SLO gate")
+    loadgen_parser.add_argument("--qps", type=float, default=None,
+                                help="target offered load "
+                                     "(default 10)")
+    loadgen_parser.add_argument("--duration", type=float, default=None,
+                                metavar="SECONDS",
+                                help="offered-load window (default 8)")
+    loadgen_parser.add_argument("--keys", type=int, default=None,
+                                metavar="N",
+                                help="distinct request keys in the "
+                                     "population (default 16)")
+    loadgen_parser.add_argument("--zipf", type=float, default=None,
+                                metavar="S",
+                                help="popularity skew: rank r drawn "
+                                     "~ 1/(r+1)^S (default 1.1)")
+    loadgen_parser.add_argument("--mix", type=_mix_arg, default=None,
+                                metavar="OP=W,...",
+                                help="op mix, e.g. run=0.6,bench=0.4 "
+                                     "(normalised; default "
+                                     "run=0.55,bench=0.40,sweep=0.05)")
+    loadgen_parser.add_argument("--engine", action="append",
+                                choices=("lua", "js"), default=None,
+                                help="repeatable; population engines "
+                                     "(default: lua)")
+    loadgen_parser.add_argument("--config", action="append",
+                                type=_config_arg,
+                                metavar=_config_metavar(),
+                                default=None,
+                                help="repeatable; population configs "
+                                     "(default: all registered)")
+    loadgen_parser.add_argument("--seed", type=int, default=None,
+                                help="population + schedule seed "
+                                     "(default 1234)")
+    loadgen_parser.add_argument("--threads", type=int, default=None,
+                                metavar="N",
+                                help="client threads (default 16)")
+    loadgen_parser.add_argument("--sample", type=int, default=None,
+                                metavar="N",
+                                help="replies identity-checked against "
+                                     "in-process execution (default 3)")
+    loadgen_parser.add_argument("--timeout", type=float, default=None,
+                                metavar="SECONDS",
+                                help="per-request client timeout "
+                                     "(default 120)")
+    loadgen_parser.add_argument("--socket", metavar="PATH",
+                                default=None,
+                                help="target router/daemon socket "
+                                     "(default: self-boot with "
+                                     "--smoke)")
+    loadgen_parser.add_argument("--host", default=None)
+    loadgen_parser.add_argument("--port", type=int, default=None,
+                                metavar="N")
+    loadgen_parser.add_argument("--shards", type=int, default=None,
+                                metavar="N",
+                                help="shards of the self-booted "
+                                     "--smoke tier (default 2)")
+    loadgen_parser.add_argument("--no-drain", action="store_true",
+                                help="skip the drain check (leaves an "
+                                     "external target running; the "
+                                     "default drain check stops it)")
+    loadgen_parser.add_argument("--router-log", metavar="PATH",
+                                default=None,
+                                help="write repro.serve tier logs to "
+                                     "PATH (CI uploads this)")
+    _add_slo_flags(loadgen_parser)
+    _add_jobs_flag(loadgen_parser, help_text="warm workers per "
+                                             "self-booted shard "
+                                             "(default 1)")
+    _add_cache_flags(loadgen_parser)
+    _add_smoke_flag(loadgen_parser,
+                    "self-boot a 2-shard routed tier over a throwaway "
+                    "shared cache and gate it (CI serve-load job); "
+                    "writes BENCH_serve.json by default")
+    _add_json_flag(loadgen_parser, "write the stamped serve-load "
+                                   "artifact (BENCH_serve.json)")
+    loadgen_parser.set_defaults(func=_cmd_loadgen)
 
     submit_parser = sub.add_parser(
         "submit",

@@ -71,3 +71,26 @@ def require(payload, kind="payload"):
     if reason is not None:
         raise SchemaError("%s: %s" % (kind, reason))
     return payload
+
+
+#: Key naming the artifact family inside stamped benchmark artifacts
+#: (``BENCH_serve.json``, ``BENCH_simperf.json``, ...).
+ARTIFACT_KEY = "kind"
+
+
+def artifact(kind, payload):
+    """Stamp ``payload`` as a versioned benchmark artifact of family
+    ``kind`` (returns a new dict; the original is not mutated)."""
+    stamped = dict(payload)
+    stamped[ARTIFACT_KEY] = kind
+    return stamp(stamped)
+
+
+def require_artifact(payload, kind):
+    """Validate a stamped artifact of family ``kind`` (version *and*
+    kind must match); returns the payload."""
+    require(payload, "%s artifact" % kind)
+    actual = payload.get(ARTIFACT_KEY)
+    if actual != kind:
+        raise SchemaError("artifact kind %r != %r" % (actual, kind))
+    return payload

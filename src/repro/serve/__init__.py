@@ -1,4 +1,5 @@
-"""The persistent execution service: warm workers behind a socket.
+"""The persistent execution service: warm workers behind a socket,
+and the scale-out tier in front of it.
 
 ``repro serve`` keeps a pool of warm forked workers (interpreters
 pre-assembled at fork time) behind a localhost unix/TCP socket and
@@ -17,18 +18,40 @@ before exit.
 * :mod:`repro.serve.client` — a small blocking client
   (:class:`ServeClient`), used by ``repro submit``,
 * :mod:`repro.serve.protocol` — the wire format,
-* :mod:`repro.serve.pool` — the lazy warm worker pool.
+* :mod:`repro.serve.pool` — the lazy warm worker pool,
+* :mod:`repro.serve.router` — the ``repro route`` consistent-hash
+  front router over N shards (:class:`Router`, :class:`ShardManager`),
+* :mod:`repro.serve.hashring` — the deterministic placement ring,
+* :mod:`repro.serve.loadgen` — the ``repro loadgen`` traffic harness
+  behind ``BENCH_serve.json`` and the CI SLO gate.
 
-See docs/API.md for the protocol specification.
+See docs/API.md for the protocol specification and docs/SERVING.md
+for the sharded tier.
 """
 
 from repro.serve.client import ServeBusy, ServeClient, ServeError
+from repro.serve.hashring import HashRing
 from repro.serve.server import (
     ExecutionServer,
     ExecutionService,
     default_socket_path,
+    free_socket_path,
     serve,
 )
 
 __all__ = ["ExecutionService", "ExecutionServer", "ServeClient",
-           "ServeError", "ServeBusy", "default_socket_path", "serve"]
+           "ServeError", "ServeBusy", "HashRing", "Router",
+           "RouterServer", "ShardManager", "ShardSpec",
+           "default_socket_path", "free_socket_path", "serve", "route"]
+
+
+def __getattr__(name):
+    # Router machinery is imported lazily: the daemon itself never
+    # needs it, and keeping it out of the hot import path keeps forked
+    # shard workers lean.
+    if name in ("Router", "RouterServer", "ShardManager", "ShardSpec",
+                "route"):
+        from repro.serve import router as _router
+        return getattr(_router, name)
+    raise AttributeError("module %r has no attribute %r"
+                         % (__name__, name))

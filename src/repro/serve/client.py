@@ -15,6 +15,7 @@ Usage::
 
 import json
 import socket
+import time
 
 from repro.api import ExecutionRequest, ExecutionResult
 from repro.schema import SCHEMA_VERSION, stamp
@@ -129,19 +130,42 @@ class ServeClient:
         """Ask the server to drain and exit (the polite SIGTERM)."""
         return self._transact({"kind": "drain"})["stats"]
 
-    def submit(self, request, on_event=None):
+    def submit(self, request, on_event=None, retries=0, backoff=0.25,
+               max_backoff=10.0):
         """Submit an :class:`ExecutionRequest` (or its dict form);
         blocks until the terminal frame and returns the
         :class:`ExecutionResult`.  ``on_event`` receives each
-        streaming event frame."""
+        streaming event frame.
+
+        ``retries`` bounds how many *additional* attempts are made
+        after a ``busy`` rejection.  Each retry sleeps for the
+        server's ``retry_after`` hint when one was sent (clamped to
+        ``max_backoff``), else for ``backoff * 2**attempt`` — the
+        client-side half of the service's backpressure contract, and
+        what the :mod:`repro.serve.router` uses per shard.  Only
+        ``busy`` is retried; every other error stays terminal.
+        """
         payload = request.as_dict() \
             if isinstance(request, ExecutionRequest) else dict(request)
-        reply = self._transact({"kind": "submit", "request": payload},
-                               on_event=on_event)
-        return ExecutionResult.from_dict(reply["result"])
+        attempt = 0
+        while True:
+            try:
+                reply = self._transact(
+                    {"kind": "submit", "request": payload},
+                    on_event=on_event)
+            except ServeBusy as err:
+                if attempt >= retries:
+                    raise
+                delay = err.retry_after if err.retry_after is not None \
+                    else backoff * (2 ** attempt)
+                time.sleep(min(max(float(delay), 0.0), max_backoff))
+                attempt += 1
+                continue
+            return ExecutionResult.from_dict(reply["result"])
 
     def run(self, engine, source, *, config="baseline", scale=None,
-            deadline=None, priority=None, on_event=None, **fields):
+            deadline=None, priority=None, on_event=None, retries=0,
+            **fields):
         """Convenience mirror of :func:`repro.api.run` over the wire."""
         from repro.api import DEFAULT_PRIORITY
         from repro.bench.workloads import WORKLOADS
@@ -155,4 +179,4 @@ class ServeClient:
             request = ExecutionRequest(
                 op="run", engine=engine, source=source, config=config,
                 deadline=deadline, priority=priority, **fields)
-        return self.submit(request, on_event=on_event)
+        return self.submit(request, on_event=on_event, retries=retries)

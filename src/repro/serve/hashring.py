@@ -1,0 +1,120 @@
+"""A deterministic consistent-hash ring for shard placement.
+
+``repro route`` spreads work across N ``repro serve`` shards by the
+request's canonical work key (:meth:`repro.api.ExecutionRequest.key`).
+Consistent hashing gives the two properties the serve tier needs:
+
+* **Cache affinity** — a given key always lands on the same shard, so
+  the shard's in-memory cache and dedup/coalescing machinery see every
+  repeat of a popular request.
+* **Minimal remapping** — adding or losing a shard moves only ~1/N of
+  the key space; everything else keeps its placement (and its warm
+  state).
+
+Every hash is derived from SHA-256 over the key *bytes* — never from
+Python's builtin ``hash()``, whose value is randomised per process by
+``PYTHONHASHSEED``.  Placement is therefore identical across
+processes, hosts and interpreter restarts, which the router relies on
+(two router instances in front of the same shard set agree on
+placement) and the tests assert by re-deriving the ring in a
+subprocess under a different hash seed.
+
+Each node is projected onto the ring at ``replicas`` pseudo-random
+points ("virtual nodes"), which bounds per-node load skew; a key is
+owned by the first node point clockwise from the key's own hash.
+"""
+
+import bisect
+import hashlib
+
+#: Virtual nodes per shard.  128 keeps the max/mean load ratio of a
+#: small shard set under ~1.3 while the ring stays tiny (a few KB).
+DEFAULT_REPLICAS = 128
+
+
+def stable_hash(key):
+    """A 64-bit integer digest of ``key`` (str or bytes) that is
+    identical in every process — the ring's only hash function."""
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    return int.from_bytes(hashlib.sha256(key).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over opaque node-id strings."""
+
+    def __init__(self, nodes=(), replicas=DEFAULT_REPLICAS):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = int(replicas)
+        self._points = []   # sorted virtual-node hash points
+        self._owners = {}   # point -> node id
+        self._nodes = {}    # node id -> its points
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self):
+        return len(self._nodes)
+
+    def __contains__(self, node):
+        return node in self._nodes
+
+    @property
+    def nodes(self):
+        """Node ids, sorted (stable for display and tests)."""
+        return sorted(self._nodes)
+
+    def add(self, node):
+        """Insert ``node``; returns ``False`` if already present."""
+        if node in self._nodes:
+            return False
+        points = []
+        for index in range(self.replicas):
+            point = stable_hash("%s#%d" % (node, index))
+            while point in self._owners:
+                # Astronomically unlikely 64-bit collision; re-derive
+                # deterministically rather than silently dropping the
+                # virtual node.
+                point = stable_hash("%s#%d+%d" % (node, index, point))
+            self._owners[point] = node
+            bisect.insort(self._points, point)
+            points.append(point)
+        self._nodes[node] = points
+        return True
+
+    def remove(self, node):
+        """Remove ``node``; returns ``False`` if absent."""
+        points = self._nodes.pop(node, None)
+        if points is None:
+            return False
+        for point in points:
+            del self._owners[point]
+            del self._points[bisect.bisect_left(self._points, point)]
+        return True
+
+    def preference(self, key):
+        """Yield the distinct nodes for ``key`` in ring order: the
+        owner first, then each successive fallback — the router's
+        failover order on shard loss."""
+        if not self._points:
+            return
+        start = bisect.bisect_right(self._points, stable_hash(key))
+        seen = set()
+        for offset in range(len(self._points)):
+            point = self._points[(start + offset) % len(self._points)]
+            node = self._owners[point]
+            if node in seen:
+                continue
+            seen.add(node)
+            yield node
+            if len(seen) == len(self._nodes):
+                return
+
+    def node_for(self, key, exclude=()):
+        """The owning node for ``key``, skipping any node in
+        ``exclude`` (down or already-tried shards); ``None`` when no
+        eligible node remains."""
+        for node in self.preference(key):
+            if node not in exclude:
+                return node
+        return None

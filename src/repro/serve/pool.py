@@ -26,6 +26,22 @@ from repro.engines import all_configs
 _LOG = logging.getLogger("repro.serve.pool")
 
 
+def _shard_worker_init(warm_engines, warm_configs):
+    """Worker initializer: warm the interpreters, then drop the disk
+    cache the ``fork`` inherited from the parent.
+
+    The shared result-cache tier is strictly single-writer per shard:
+    only the shard *parent* publishes records (mirroring
+    :mod:`repro.bench.parallel`), so a forked worker must never hold a
+    live handle to the shared cache root — with N shards over one
+    root, worker-side writes would multiply the writers per cell from
+    N to N x pool size for no benefit.
+    """
+    _warm_worker(warm_engines, warm_configs)
+    from repro.bench import cache as result_cache
+    result_cache.disable()
+
+
 class WarmPool:
     """Lazily-built pool of warm forked workers.
 
@@ -66,7 +82,8 @@ class WarmPool:
                 return self._pool
             try:
                 self._pool = ProcessPoolExecutor(
-                    max_workers=self.workers, initializer=_warm_worker,
+                    max_workers=self.workers,
+                    initializer=_shard_worker_init,
                     initargs=(self.warm_engines, self.warm_configs))
                 self.builds += 1
             except Exception:

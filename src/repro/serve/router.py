@@ -1,0 +1,708 @@
+"""``repro route`` — the consistent-hash front router of the serve tier.
+
+One router process fronts N ``repro serve`` shards and speaks the
+*same* NDJSON protocol as a single daemon, so every existing client
+(``repro submit``, :class:`~repro.serve.client.ServeClient`, the load
+generator) works against either unchanged.  What the router adds:
+
+* **Placement** — each submit is consistent-hashed by its canonical
+  work key (:func:`repro.api.request_key`) onto a shard
+  (:mod:`repro.serve.hashring`), so repeats of a popular request
+  always meet the same shard's dedup/coalescing machinery and warm
+  state, and a shard set change remaps only ~1/N of the key space.
+* **Health + rebalancing** — a background loop pings every shard;
+  consecutive failures evict it from the ring (its keys flow to the
+  ring successors), recovery re-adds it.  A connection error during a
+  forward fails over to the next shard in ring order immediately,
+  without waiting for the health loop.
+* **Backpressure** — per-shard ``busy`` rejections are retried with
+  bounded backoff honouring the server's ``retry_after`` hint (the
+  :meth:`ServeClient.submit` retry machinery), then failed over once;
+  only when every eligible shard is saturated does the client see the
+  ``busy`` frame.
+* **Shared cache tier** — all shards and the router point at one
+  content-addressed result-cache root; the router probes it before
+  forwarding, so a ``bench`` cell computed by *any* shard is a router
+  cache hit for every later client.  The aggregated ``status`` frame
+  reports whether the tier is coherent (every member on the same root
+  and source tree).
+* **Graceful drain** — a ``drain`` frame (or SIGTERM) stops admission,
+  lets every forwarded in-flight request finish and flush its reply
+  (zero dropped — the SLO gate asserts this), then exits.
+
+See docs/SERVING.md for topology and operations.
+"""
+
+import asyncio
+import contextlib
+import logging
+import os
+import signal
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import api
+from repro.schema import SCHEMA_VERSION, SchemaError
+from repro.serve import protocol
+from repro.serve.client import ServeBusy, ServeClient, ServeError
+from repro.serve.hashring import DEFAULT_REPLICAS, HashRing
+from repro.serve.server import cache_tier_stats, free_socket_path
+
+_LOG = logging.getLogger("repro.serve.router")
+
+#: Seconds between health probes of each shard.
+DEFAULT_HEALTH_INTERVAL = 2.0
+
+#: Consecutive failed probes before a shard is evicted from the ring.
+DEFAULT_FAIL_THRESHOLD = 2
+
+#: Per-shard busy retries (on top of the first attempt) before the
+#: router fails the request over to the next shard in ring order.
+DEFAULT_BUSY_RETRIES = 2
+
+
+class ShardSpec:
+    """Address of one shard: a unix socket path or ``host:port``."""
+
+    __slots__ = ("shard_id", "socket_path", "host", "port")
+
+    def __init__(self, socket_path=None, host=None, port=None):
+        if socket_path is None and (host is None or port is None):
+            raise ValueError("a shard needs a socket path or host:port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = int(port) if port is not None else None
+        self.shard_id = "unix:%s" % socket_path if socket_path \
+            else "%s:%d" % (host, self.port)
+
+    @classmethod
+    def parse(cls, text):
+        """``unix:/path/to.sock``, a bare ``/path/to.sock``, or
+        ``host:port``."""
+        if text.startswith("unix:"):
+            return cls(socket_path=text[len("unix:"):])
+        if text.startswith(("/", ".")):
+            return cls(socket_path=text)
+        host, sep, port = text.rpartition(":")
+        if not sep or not port.isdigit():
+            raise ValueError("unparseable shard address %r (expected "
+                             "unix:/path, /path or host:port)" % text)
+        return cls(host=host or "127.0.0.1", port=int(port))
+
+    def client(self, timeout=600.0):
+        return ServeClient(socket_path=self.socket_path, host=self.host,
+                           port=self.port, timeout=timeout)
+
+    def __repr__(self):
+        return "ShardSpec(%s)" % self.shard_id
+
+
+class _ShardState:
+    """Router-side bookkeeping for one shard."""
+
+    __slots__ = ("spec", "healthy", "fails", "stats", "last_probe")
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.healthy = True
+        self.fails = 0
+        self.stats = None       # last status snapshot from the shard
+        self.last_probe = None
+
+
+class Router:
+    """Placement, health and forwarding over a set of shards.
+
+    Forwards run on a dedicated thread pool (the blocking
+    :class:`ServeClient` with its busy-retry machinery), bridged back
+    to the event loop; everything else is single-threaded asyncio.
+    """
+
+    def __init__(self, shards, *, replicas=DEFAULT_REPLICAS,
+                 health_interval=DEFAULT_HEALTH_INTERVAL,
+                 fail_threshold=DEFAULT_FAIL_THRESHOLD,
+                 busy_retries=DEFAULT_BUSY_RETRIES, backoff=0.25,
+                 probe_cache=True, forward_timeout=600.0,
+                 max_forward_threads=32):
+        specs = [shard if isinstance(shard, ShardSpec)
+                 else ShardSpec.parse(shard) for shard in shards]
+        if not specs:
+            raise ValueError("a router needs at least one shard")
+        self.shards = {spec.shard_id: _ShardState(spec) for spec in specs}
+        self.ring = HashRing(self.shards, replicas=replicas)
+        self.health_interval = health_interval
+        self.fail_threshold = fail_threshold
+        self.busy_retries = busy_retries
+        self.backoff = backoff
+        self.probe_cache = probe_cache
+        self.forward_timeout = forward_timeout
+        self.counters = {
+            "submitted": 0, "forwarded": 0, "completed": 0, "failed": 0,
+            "router_cache_hits": 0, "failovers": 0, "busy_rejected": 0,
+            "drain_rejected": 0, "shards_evicted": 0, "shards_restored": 0,
+        }
+        self.inflight = 0
+        self.draining = False
+        self._stopped = None
+        self._health_task = None
+        self._last_retry_after = 1.0
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_forward_threads,
+            thread_name_prefix="repro-route-fwd")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, loop):
+        self._stopped = asyncio.Event()
+        self._health_task = loop.create_task(self._health_loop())
+
+    async def stop(self):
+        if self._health_task is not None:
+            self._health_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._health_task
+            self._health_task = None
+        self._executor.shutdown(wait=False)
+
+    @property
+    def stopped(self):
+        return self._stopped
+
+    def begin_drain(self):
+        """Stop admission; :attr:`stopped` fires once every forwarded
+        in-flight request has been answered."""
+        if self.draining:
+            return
+        self.draining = True
+        _LOG.info("router drain requested: %d forwards in flight",
+                  self.inflight)
+        self.maybe_finish_drain()
+
+    def maybe_finish_drain(self):
+        if self.draining and self.inflight == 0 \
+                and self._stopped is not None:
+            self._stopped.set()
+
+    # -- health ------------------------------------------------------------
+
+    async def _health_loop(self):
+        loop = asyncio.get_running_loop()
+        while True:
+            for state in list(self.shards.values()):
+                try:
+                    stats = await loop.run_in_executor(
+                        self._executor, self._probe_shard, state.spec)
+                except (ServeError, ConnectionError, OSError) as err:
+                    self._note_failure(state, err)
+                else:
+                    self._note_success(state, stats)
+            await asyncio.sleep(self.health_interval)
+
+    def _probe_shard(self, spec):
+        with spec.client(timeout=max(5.0, self.health_interval * 5)) \
+                as client:
+            return client.status()
+
+    def _note_failure(self, state, err):
+        state.fails += 1
+        state.last_probe = time.monotonic()
+        if state.healthy and state.fails >= self.fail_threshold:
+            state.healthy = False
+            self.ring.remove(state.spec.shard_id)
+            self.counters["shards_evicted"] += 1
+            _LOG.warning("shard %s evicted after %d failed probes (%s); "
+                         "ring now %s", state.spec.shard_id, state.fails,
+                         err, self.ring.nodes)
+
+    def _note_success(self, state, stats):
+        state.fails = 0
+        state.stats = stats
+        state.last_probe = time.monotonic()
+        retry_after = stats.get("retry_after")
+        if retry_after:
+            self._last_retry_after = float(retry_after)
+        if not state.healthy:
+            state.healthy = True
+            self.ring.add(state.spec.shard_id)
+            self.counters["shards_restored"] += 1
+            _LOG.info("shard %s restored; ring now %s",
+                      state.spec.shard_id, self.ring.nodes)
+
+    def mark_down(self, shard_id):
+        """Immediate eviction on a forwarding connection error (the
+        health loop restores the shard when it answers again)."""
+        state = self.shards.get(shard_id)
+        if state is None or not state.healthy:
+            return
+        state.healthy = False
+        state.fails = self.fail_threshold
+        self.ring.remove(shard_id)
+        self.counters["shards_evicted"] += 1
+        _LOG.warning("shard %s marked down mid-forward; ring now %s",
+                     shard_id, self.ring.nodes)
+
+    # -- the shared cache tier ---------------------------------------------
+
+    def _probe_cache(self, request):
+        """Router-side probe of the shared content-addressed cache —
+        a ``bench`` cell computed by *any* shard is a hit here."""
+        if not self.probe_cache or request.op != "bench" \
+                or not request.use_cache:
+            return None
+        from repro.bench import runner
+        try:
+            scale = runner.resolve_scale(request.benchmark, request.scale)
+        except KeyError:
+            return None
+        record = runner.cached_record(request.engine, request.benchmark,
+                                      request.config, scale)
+        if record is None:
+            return None
+        return api.ExecutionResult(
+            op="bench", engine=request.engine,
+            benchmark=request.benchmark, config=request.config,
+            scale=record.scale, output=record.output,
+            counters=record.counters, cached=True,
+            wall_seconds=record.wall_seconds,
+            simulated_mips=record.simulated_mips)
+
+    def cache_tier(self):
+        """Coherence summary of the shared cache tier: the router and
+        every shard must agree on (root, tree) for a hit anywhere to
+        be a hit everywhere."""
+        members = {"router": cache_tier_stats()}
+        for shard_id, state in self.shards.items():
+            if isinstance(state.stats, dict):
+                members[shard_id] = state.stats.get("cache",
+                                                    {"enabled": False})
+        identities = {
+            (member.get("root"), member.get("tree"))
+            for member in members.values() if member.get("enabled")}
+        coherent = len(identities) == 1 and all(
+            member.get("enabled") for member in members.values())
+        return {"coherent": coherent, "members": members}
+
+    # -- forwarding --------------------------------------------------------
+
+    def pick(self, key, exclude=()):
+        """The shard for ``key``: ring owner first, unhealthy and
+        already-tried shards skipped."""
+        down = {shard_id for shard_id, state in self.shards.items()
+                if not state.healthy}
+        return self.ring.node_for(key, exclude=set(exclude) | down)
+
+    async def forward(self, payload, emit_event):
+        """Place and forward one submit payload.
+
+        Returns ``("result", result_dict)`` or
+        ``("error", code, message, extra)``.  ``emit_event`` receives
+        each relayed shard event frame (called on the event loop).
+        """
+        self.counters["submitted"] += 1
+        try:
+            request, key = api.request_key(payload)
+        except SchemaError as err:
+            return ("error", protocol.ERR_INVALID, str(err), {})
+
+        cached = self._probe_cache(request)
+        if cached is not None:
+            self.counters["router_cache_hits"] += 1
+            return ("result", cached.as_dict())
+
+        loop = asyncio.get_running_loop()
+
+        def emit_threadsafe(frame):
+            loop.call_soon_threadsafe(emit_event, frame)
+
+        tried = []
+        busy = None
+        while True:
+            shard_id = self.pick(key, exclude=tried)
+            if shard_id is None:
+                break
+            state = self.shards[shard_id]
+            emit_event({"event": "routed", "shard": shard_id,
+                        "key": key, "attempt": len(tried) + 1})
+            self.counters["forwarded"] += 1
+            try:
+                result = await loop.run_in_executor(
+                    self._executor, self._forward_blocking, state.spec,
+                    payload, emit_threadsafe)
+            except ServeBusy as err:
+                busy = err
+                tried.append(shard_id)
+                self.counters["failovers"] += 1
+                _LOG.info("shard %s saturated for %s; failing over",
+                          shard_id, key)
+                continue
+            except ServeError as err:
+                if err.code == protocol.ERR_DRAINING:
+                    tried.append(shard_id)
+                    self.counters["failovers"] += 1
+                    continue
+                self.counters["failed"] += 1
+                return ("error", err.code or protocol.ERR_EXECUTION,
+                        str(err), {})
+            except (ConnectionError, OSError) as err:
+                self.mark_down(shard_id)
+                tried.append(shard_id)
+                self.counters["failovers"] += 1
+                _LOG.warning("shard %s unreachable for %s (%s); "
+                             "failing over", shard_id, key, err)
+                continue
+            self.counters["completed"] += 1
+            return ("result", result)
+
+        self.counters["failed"] += 1
+        if busy is not None:
+            self.counters["busy_rejected"] += 1
+            return ("error", protocol.ERR_BUSY,
+                    "every eligible shard is saturated; retry later",
+                    {"retry_after": busy.retry_after
+                     or self._last_retry_after})
+        return ("error", protocol.ERR_EXECUTION,
+                "no healthy shard available for this request", {})
+
+    def _forward_blocking(self, spec, payload, emit):
+        """One shard attempt on an executor thread: the blocking
+        client with bounded busy-retry honouring ``retry_after``."""
+        with spec.client(timeout=self.forward_timeout) as client:
+            result = client.submit(payload, on_event=emit,
+                                   retries=self.busy_retries,
+                                   backoff=self.backoff)
+            return result.as_dict()
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self):
+        shard_view = {}
+        for shard_id, state in self.shards.items():
+            shard_view[shard_id] = {
+                "healthy": state.healthy,
+                "fails": state.fails,
+                "stats": state.stats,
+            }
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "role": "router",
+            "draining": self.draining,
+            "inflight": self.inflight,
+            "jobs": dict(self.counters),
+            "ring": {"nodes": self.ring.nodes,
+                     "replicas": self.ring.replicas},
+            "shards": shard_view,
+            "cache_tier": self.cache_tier(),
+            "retry_after": self._last_retry_after,
+        }
+
+
+class RouterServer:
+    """The router's socket front end — protocol-compatible with
+    :class:`repro.serve.server.ExecutionServer`."""
+
+    def __init__(self, router, *, socket_path=None, host=None, port=None):
+        if host is None and socket_path is None:
+            socket_path = free_socket_path("typedarch-route")
+        self.router = router
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.bound_port = None
+        self._server = None
+        self._connections = set()
+
+    async def start(self):
+        loop = asyncio.get_running_loop()
+        self.router.start(loop)
+        if self.socket_path is not None:
+            with contextlib.suppress(OSError):
+                os.unlink(self.socket_path)
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.socket_path,
+                limit=protocol.MAX_FRAME_BYTES)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host or "127.0.0.1",
+                port=self.port or 0, limit=protocol.MAX_FRAME_BYTES)
+            self.bound_port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    def install_signal_handlers(self):
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(signum, self.router.begin_drain)
+
+    async def serve_until_stopped(self):
+        await self.router.stopped.wait()
+        await self.close()
+
+    async def close(self):
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        for task in list(self._connections):
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await task
+        self._connections.clear()
+        await self.router.stop()
+        if self.socket_path is not None:
+            with contextlib.suppress(OSError):
+                os.unlink(self.socket_path)
+
+    # -- per-connection protocol -------------------------------------------
+
+    async def _send(self, writer, frame):
+        writer.write(protocol.encode(frame))
+        await writer.drain()
+
+    async def _handle_connection(self, reader, writer):
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    frame = protocol.decode(line)
+                except protocol.ProtocolError as err:
+                    await self._send(writer, protocol.error_frame(
+                        None, protocol.ERR_MALFORMED, str(err)))
+                    continue
+                await self._handle_frame(frame, writer)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connections.discard(task)
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _handle_frame(self, frame, writer):
+        request_id = frame.get("id")
+        reason = protocol.version_mismatch(frame)
+        if reason is not None:
+            await self._send(writer, protocol.error_frame(
+                request_id, protocol.ERR_VERSION, reason))
+            return
+        kind = frame.get("kind")
+        if kind == "ping":
+            await self._send(writer, protocol.pong_frame(request_id))
+        elif kind == "status":
+            await self._send(writer, protocol.status_frame(
+                request_id, self.router.stats()))
+        elif kind == "drain":
+            self.router.begin_drain()
+            await self._send(writer, protocol.status_frame(
+                request_id, self.router.stats()))
+        elif kind == "submit":
+            await self._handle_submit(frame, writer)
+        else:
+            await self._send(writer, protocol.error_frame(
+                request_id, protocol.ERR_MALFORMED,
+                "unknown frame kind %r" % (kind,)))
+
+    async def _handle_submit(self, frame, writer):
+        request_id = frame.get("id")
+        payload = frame.get("request")
+        if not isinstance(payload, dict):
+            await self._send(writer, protocol.error_frame(
+                request_id, protocol.ERR_MALFORMED,
+                "submit frame has no request object"))
+            return
+        if self.router.draining:
+            self.router.counters["drain_rejected"] += 1
+            await self._send(writer, protocol.error_frame(
+                request_id, protocol.ERR_DRAINING,
+                "router is draining; resubmit elsewhere"))
+            return
+
+        self.router.inflight += 1
+        events = asyncio.Queue()
+        forward = asyncio.ensure_future(
+            self.router.forward(payload, events.put_nowait))
+        try:
+            while True:
+                getter = asyncio.ensure_future(events.get())
+                done, _pending = await asyncio.wait(
+                    {getter, forward},
+                    return_when=asyncio.FIRST_COMPLETED)
+                if getter in done:
+                    await self._relay_event(writer, request_id,
+                                            getter.result())
+                    continue
+                getter.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await getter
+                while not events.empty():
+                    await self._relay_event(writer, request_id,
+                                            events.get_nowait())
+                outcome = forward.result()
+                if outcome[0] == "result":
+                    await self._send(writer, protocol.result_frame(
+                        request_id, outcome[1]))
+                else:
+                    _kind, code, message, extra = outcome
+                    await self._send(writer, protocol.error_frame(
+                        request_id, code, message, **extra))
+                return
+        finally:
+            if not forward.done():
+                forward.cancel()
+                with contextlib.suppress(asyncio.CancelledError,
+                                         Exception):
+                    await forward
+            self.router.inflight -= 1
+            self.router.maybe_finish_drain()
+
+    async def _relay_event(self, writer, request_id, frame):
+        extra = {key: value for key, value in frame.items()
+                 if key not in ("kind", "id", "event", "version")}
+        await self._send(writer, protocol.event_frame(
+            request_id, frame.get("event"), **extra))
+
+
+class ShardManager:
+    """Spawn and own N ``repro serve`` shard subprocesses.
+
+    Every shard gets a collision-free unix socket under one
+    ``mkdtemp`` directory and the same ``REPRO_CACHE_DIR`` (the shared
+    cache tier).  Used by ``repro route --shards N``, the loadgen
+    smoke harness and the CI ``serve-load`` job.
+    """
+
+    def __init__(self, count, *, jobs=1, queue_depth=32, cache_dir=None,
+                 warm_engines=("lua",), warm_configs=None, log_dir=None,
+                 deadline=None):
+        if count < 1:
+            raise ValueError("need at least one shard")
+        self.count = int(count)
+        self.jobs = jobs
+        self.queue_depth = queue_depth
+        self.cache_dir = cache_dir
+        self.warm_engines = tuple(warm_engines)
+        self.warm_configs = tuple(warm_configs) if warm_configs else None
+        self.log_dir = log_dir
+        self.deadline = deadline
+        self.base_dir = None
+        self.procs = []
+        self.specs = []
+        self._logs = []
+
+    def start(self, timeout=90.0):
+        import tempfile
+
+        import repro
+        self.base_dir = tempfile.mkdtemp(prefix="typedarch-shards-")
+        pkg_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = pkg_root + os.pathsep \
+            + env.get("PYTHONPATH", "")
+        if self.cache_dir:
+            env["REPRO_CACHE_DIR"] = str(self.cache_dir)
+        for index in range(self.count):
+            sock = os.path.join(self.base_dir, "shard-%d.sock" % index)
+            argv = [sys.executable, "-m", "repro", "serve",
+                    "--socket", sock, "--jobs", str(self.jobs),
+                    "--queue-depth", str(self.queue_depth)]
+            if self.deadline:
+                argv += ["--deadline", str(self.deadline)]
+            for engine in self.warm_engines:
+                argv += ["--warm-engine", engine]
+            for config in self.warm_configs or ():
+                argv += ["--warm-config", config]
+            log_path = os.path.join(self.log_dir or self.base_dir,
+                                    "shard-%d.log" % index)
+            log = open(log_path, "wb")
+            self._logs.append(log)
+            self.procs.append(subprocess.Popen(
+                argv, env=env, stdout=log, stderr=subprocess.STDOUT))
+            self.specs.append(ShardSpec(socket_path=sock))
+        deadline_at = time.monotonic() + timeout
+        for spec, proc in zip(self.specs, self.procs):
+            while not os.path.exists(spec.socket_path):
+                if proc.poll() is not None:
+                    raise RuntimeError(
+                        "shard %s exited %d before binding its socket"
+                        % (spec.shard_id, proc.returncode))
+                if time.monotonic() > deadline_at:
+                    raise RuntimeError("shard %s never came up"
+                                       % spec.shard_id)
+                time.sleep(0.05)
+        return self
+
+    def alive(self):
+        return [proc.poll() is None for proc in self.procs]
+
+    def kill(self, index):
+        """Hard-kill one shard (tests: shard-loss rebalancing)."""
+        proc = self.procs[index]
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        with contextlib.suppress(OSError):
+            os.unlink(self.specs[index].socket_path)
+
+    def drain(self, timeout=120.0):
+        """Politely drain every live shard; returns their exit codes."""
+        for spec, proc in zip(self.specs, self.procs):
+            if proc.poll() is not None:
+                continue
+            try:
+                with spec.client(timeout=30.0) as client:
+                    client.drain()
+            except (ServeError, ConnectionError, OSError):
+                proc.terminate()
+        codes = []
+        for proc in self.procs:
+            try:
+                codes.append(proc.wait(timeout=timeout))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                codes.append(proc.wait())
+        self._close_logs()
+        return codes
+
+    def stop(self):
+        """Hard stop (error paths); prefer :meth:`drain`."""
+        for proc in self.procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        self._close_logs()
+
+    def _close_logs(self):
+        for log in self._logs:
+            with contextlib.suppress(OSError):
+                log.close()
+        self._logs = []
+
+
+async def route(shards, *, socket_path=None, host=None, port=None,
+                signals=True, ready=None, **router_kwargs):
+    """Run the router until drained (the ``repro route`` body)."""
+    router = Router(shards, **router_kwargs)
+    server = RouterServer(router, socket_path=socket_path, host=host,
+                          port=port)
+    await server.start()
+    if signals:
+        server.install_signal_handlers()
+    if ready is not None:
+        ready(server)
+    _LOG.info("routing on %s across %d shard(s): %s",
+              server.socket_path or "%s:%s" % (server.host,
+                                               server.bound_port),
+              len(router.shards), ", ".join(router.shards))
+    await server.serve_until_stopped()
+    return router

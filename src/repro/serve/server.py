@@ -30,6 +30,7 @@ Design (see docs/API.md for the wire protocol):
 
 import asyncio
 import contextlib
+import functools
 import logging
 import os
 import signal
@@ -61,6 +62,22 @@ def default_socket_path():
     uid = os.getuid() if hasattr(os, "getuid") else 0
     return os.path.join(tempfile.gettempdir(),
                         "typedarch-serve-%d.sock" % uid)
+
+
+def free_socket_path(prefix="typedarch-serve"):
+    """A collision-free unix-socket path, picked *atomically*.
+
+    The per-user :func:`default_socket_path` is a fixed name, so two
+    daemons started by the same user (parallel CI jobs on one runner)
+    would race to bind it.  Here the enclosing directory is created by
+    ``mkdtemp`` — an atomic, kernel-arbitrated operation — so every
+    caller gets a distinct path with no check-then-bind window.  TCP
+    mode gets the same property from ``--port 0`` (the kernel assigns
+    a free port at bind time).  ``repro serve --socket auto``,
+    ``repro route`` and the load-generation harness all use this.
+    """
+    directory = tempfile.mkdtemp(prefix=prefix + "-")
+    return os.path.join(directory, "serve.sock")
 
 
 class _Job:
@@ -357,10 +374,12 @@ class ExecutionService:
         loop = asyncio.get_running_loop()
 
         def on_progress(cell):
-            loop.call_soon_threadsafe(
+            # call_soon_threadsafe takes positional args only; bind
+            # the event fields with a partial.
+            loop.call_soon_threadsafe(functools.partial(
                 self._broadcast_event, job, "progress",
                 cell="%s/%s/%s" % cell.key, cached=cell.cached,
-                completed=cell.completed, total=cell.total)
+                completed=cell.completed, total=cell.total))
 
         def work():
             return api.execute(ExecutionRequest.from_dict(job.payload),
@@ -434,9 +453,32 @@ class ExecutionService:
             "inflight": self._inflight,
             "jobs": dict(self.stats_counters),
             "pool": self.pool.stats(),
+            "cache": cache_tier_stats(),
             "avg_seconds": round(self._avg_seconds(), 4),
             "retry_after": self.retry_after(),
         }
+
+
+def cache_tier_stats():
+    """Describe this process's view of the shared result-cache tier.
+
+    Every shard of a routed deployment must point at the same
+    content-addressed cache root (same ``root`` and ``tree`` here) for
+    a hit on any shard to be a hit everywhere; the router's aggregated
+    status uses these fields to verify the tier is actually coherent.
+    """
+    from repro.bench import cache as result_cache
+    active = result_cache.active_cache()
+    if active is None:
+        return {"enabled": False}
+    return {
+        "enabled": True,
+        "root": str(active.root),
+        "tree": active.tree_hash,
+        "hits": active.hits,
+        "misses": active.misses,
+        "stores": active.stores,
+    }
 
 
 class ExecutionServer:

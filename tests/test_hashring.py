@@ -1,0 +1,124 @@
+"""The consistent-hash ring: placement balance, minimal remapping on
+shard join/leave, and determinism across processes (placement must not
+depend on ``PYTHONHASHSEED``)."""
+
+import subprocess
+import sys
+
+from repro.serve.hashring import HashRing, stable_hash
+
+NODES = ["unix:/tmp/shard-0.sock", "unix:/tmp/shard-1.sock",
+         "unix:/tmp/shard-2.sock", "unix:/tmp/shard-3.sock"]
+KEYS = ["key-%04d" % index for index in range(2000)]
+
+
+def owners(ring, keys=KEYS):
+    return {key: ring.node_for(key) for key in keys}
+
+
+def test_stable_hash_is_sha_derived_not_builtin_hash():
+    # Known value: pinning it catches any accidental switch to the
+    # per-process-salted builtin ``hash()``.
+    assert stable_hash("key-0000") == stable_hash("key-0000")
+    assert stable_hash("key-0000") != stable_hash("key-0001")
+    assert 0 <= stable_hash("anything") < 2 ** 64
+    assert stable_hash("") == 0xE3B0C44298FC1C14
+
+
+def test_every_key_gets_a_node_and_empty_ring_gets_none():
+    ring = HashRing(NODES)
+    placement = owners(ring)
+    assert all(node in NODES for node in placement.values())
+    assert HashRing([]).node_for("anything") is None
+
+
+def test_distribution_is_balanced():
+    ring = HashRing(NODES)
+    counts = {node: 0 for node in NODES}
+    for node in owners(ring).values():
+        counts[node] += 1
+    expected = len(KEYS) / len(NODES)
+    # With 128 virtual nodes each shard should land well within a
+    # factor of two of the fair share.
+    for node, count in counts.items():
+        assert expected / 2 < count < expected * 2, \
+            "unbalanced ring: %s" % counts
+
+
+def test_join_remaps_only_a_minority_of_keys():
+    ring = HashRing(NODES)
+    before = owners(ring)
+    ring.add("unix:/tmp/shard-4.sock")
+    after = owners(ring)
+    moved = [key for key in KEYS if before[key] != after[key]]
+    # ~1/5 of the key space should move to the new node, and every
+    # moved key must have moved *to* it (never between old nodes).
+    assert 0 < len(moved) < len(KEYS) * 2 / len(NODES) + len(NODES)
+    assert all(after[key] == "unix:/tmp/shard-4.sock" for key in moved)
+
+
+def test_leave_moves_only_the_lost_nodes_keys():
+    ring = HashRing(NODES)
+    before = owners(ring)
+    ring.remove(NODES[1])
+    after = owners(ring)
+    for key in KEYS:
+        if before[key] == NODES[1]:
+            assert after[key] != NODES[1]
+        else:
+            assert after[key] == before[key]
+
+
+def test_rejoin_restores_the_original_placement():
+    ring = HashRing(NODES)
+    before = owners(ring)
+    ring.remove(NODES[2])
+    ring.add(NODES[2])
+    assert owners(ring) == before
+
+
+def test_preference_order_is_distinct_and_complete():
+    ring = HashRing(NODES)
+    for key in KEYS[:50]:
+        order = list(ring.preference(key))
+        assert sorted(order) == sorted(NODES)
+        assert order[0] == ring.node_for(key)
+        assert ring.node_for(key, exclude={order[0]}) == order[1]
+
+
+def test_replica_count_is_respected():
+    ring = HashRing(NODES[:2], replicas=8)
+    assert ring.replicas == 8
+    assert len(ring._points) == 2 * 8
+
+
+def _placement_script():
+    return (
+        "from repro.serve.hashring import HashRing, stable_hash\n"
+        "nodes = %r\n"
+        "ring = HashRing(nodes)\n"
+        "keys = ['key-%%04d' %% i for i in range(200)]\n"
+        "print('|'.join(ring.node_for(key) for key in keys))\n"
+        "print(stable_hash('key-0042'))\n" % NODES)
+
+
+def test_placement_is_identical_across_hash_seeds(tmp_path):
+    """Two subprocesses with different PYTHONHASHSEED values must
+    compute byte-identical placements — the ring may never lean on the
+    salted builtin ``hash()``."""
+    import os
+    outputs = []
+    for seed in ("0", "424242"):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = seed
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        result = subprocess.run(
+            [sys.executable, "-c", _placement_script()],
+            env=env, capture_output=True, text=True, timeout=60)
+        assert result.returncode == 0, result.stderr
+        outputs.append(result.stdout)
+    assert outputs[0] == outputs[1]
+    # ... and in-process placement agrees with the subprocesses.
+    ring = HashRing(NODES)
+    local = "|".join(ring.node_for("key-%04d" % i) for i in range(200))
+    assert outputs[0].splitlines()[0] == local

@@ -1,0 +1,190 @@
+"""The load generator and the SLO gate: deterministic populations,
+zipf popularity, percentile math, a real (tiny) load run against an
+in-process daemon, and the gate's pass/violation behaviour on stamped
+``BENCH_serve.json`` artifacts."""
+
+import threading
+
+import pytest
+
+from repro.bench import cache as result_cache
+from repro.bench import gate
+from repro.bench.runner import clear_cache
+from repro.schema import SCHEMA_VERSION
+from repro.serve import loadgen
+from tests.test_serve import Harness
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path):
+    clear_cache()
+    with result_cache.temporary(tmp_path / "cache"):
+        yield
+    clear_cache()
+
+
+def small_spec(**overrides):
+    # qps sized to the inline daemon's serial capacity (~40 small
+    # requests/s) so the sustained-QPS floor holds without overrides.
+    kwargs = dict(qps=20.0, duration=0.6, keys=4, threads=4,
+                  mix={"run": 1.0}, configs=("baseline",), sample=2,
+                  drain_inflight=2, timeout=60.0)
+    kwargs.update(overrides)
+    return loadgen.LoadSpec(**kwargs)
+
+
+# -- the traffic model -------------------------------------------------------
+
+def test_population_is_deterministic_for_a_seed():
+    spec = loadgen.LoadSpec(keys=16, seed=7)
+    first = loadgen.build_population(spec)
+    second = loadgen.build_population(loadgen.LoadSpec(keys=16, seed=7))
+    assert first == second
+    shifted = loadgen.build_population(loadgen.LoadSpec(keys=16, seed=8))
+    assert [e["key"] for e in first] != [e["key"] for e in shifted]
+
+
+def test_population_op_mix_and_run_key_distinctness():
+    population = loadgen.build_population(loadgen.LoadSpec(keys=32))
+    ops = {entry["op"] for entry in population}
+    assert ops <= {"run", "bench", "sweep"}
+    # run sources are distinct per rank, so their keys never collide
+    # (bench cells may legitimately repeat when config and scale
+    # cycles realign).
+    only_runs = loadgen.build_population(
+        loadgen.LoadSpec(keys=8, mix={"run": 1.0}))
+    assert all(entry["op"] == "run" for entry in only_runs)
+    assert len({entry["key"] for entry in only_runs}) == 8
+
+
+def test_zipf_rank_zero_is_most_popular():
+    sampler = loadgen.ZipfSampler(8, s=1.1)
+    import random
+    rng = random.Random(3)
+    counts = [0] * 8
+    for _ in range(4000):
+        counts[sampler.draw(rng.random())] += 1
+    assert counts[0] == max(counts)
+    assert counts[0] > counts[-1] * 2
+    assert sampler.draw(0.0) == 0
+    assert sampler.draw(0.999999) == 7
+
+
+def test_percentile_edges():
+    assert loadgen.percentile([], 0.99) == 0.0
+    assert loadgen.percentile([5.0], 0.5) == 5.0
+    values = [float(v) for v in range(1, 101)]
+    assert loadgen.percentile(values, 0.50) == 50.0
+    assert loadgen.percentile(values, 0.99) == 99.0
+    assert loadgen.percentile(values, 1.0) == 100.0
+
+
+# -- a real load run ---------------------------------------------------------
+
+def test_run_load_against_a_daemon_completes_and_gates(tmp_path):
+    harness = Harness(tmp_path).start()
+    spec = small_spec()
+    # drain_check=True is the run's final act: it stops the daemon.
+    report = loadgen.run_load(spec, socket_path=harness.socket_path,
+                              drain_check=True)
+    assert harness.exited.wait(30)
+
+    traffic = report["traffic"]
+    assert traffic["offered"] == int(spec.qps * spec.duration)
+    assert traffic["completed"] == traffic["offered"]
+    assert traffic["errors"] == 0 and traffic["rejected"] == 0
+    assert report["latency_ms"]["p99"] >= report["latency_ms"]["p50"] > 0
+    assert report["identity"] == {"sampled": 2, "matched": 2,
+                                  "mismatched_keys": []}
+    assert report["drain"]["checked"]
+    assert report["drain"]["dropped"] == 0
+
+    stamped = loadgen.make_report(report)
+    assert stamped["version"] == SCHEMA_VERSION
+    assert stamped["kind"] == loadgen.ARTIFACT_KIND
+    violations, text = gate.check_slo(stamped)
+    assert violations == [], text
+    assert "SLO GATE: ok" in text
+
+
+def test_progress_callback_sees_every_outcome(tmp_path):
+    harness = Harness(tmp_path).start()
+    ticks = []
+    lock = threading.Lock()
+
+    def progress(collector):
+        with lock:
+            ticks.append(collector.completed)
+
+    spec = small_spec(qps=40.0, duration=0.2)
+    report = loadgen.run_load(spec, socket_path=harness.socket_path,
+                              drain_check=False, progress=progress)
+    harness.stop()
+    assert len(ticks) == report["traffic"]["offered"]
+
+
+# -- the SLO gate ------------------------------------------------------------
+
+def passing_report():
+    return loadgen.make_report({
+        "spec": {"qps": 10.0},
+        "traffic": {"offered": 50, "completed": 50, "rejected": 0,
+                    "errors": 0, "error_samples": []},
+        "sustained_qps": 9.5,
+        "latency_ms": {"p99": 120.0},
+        "rejection_rate": 0.0,
+        "error_rate": 0.0,
+        "identity": {"sampled": 3, "matched": 3, "mismatched_keys": []},
+        "drain": {"checked": True, "inflight_at_drain": 3, "dropped": 0},
+    })
+
+
+def test_slo_gate_passes_a_healthy_report():
+    violations, text = gate.check_slo(passing_report())
+    assert violations == []
+    assert text.startswith("SLO GATE: ok")
+
+
+@pytest.mark.parametrize("doctor,needle", [
+    (lambda r: r["latency_ms"].__setitem__("p99", 9999.0), "p99"),
+    (lambda r: r.__setitem__("sustained_qps", 1.0), "sustained"),
+    (lambda r: r.__setitem__("rejection_rate", 0.9), "rejection"),
+    (lambda r: (r.__setitem__("error_rate", 0.5),
+                r["traffic"].__setitem__("errors", 25)), "error"),
+    (lambda r: r["drain"].__setitem__("dropped", 2), "drain"),
+    (lambda r: r["drain"].__setitem__("checked", False), "drain"),
+    (lambda r: r["identity"].__setitem__("matched", 1), "identity"),
+    (lambda r: r["identity"].__setitem__("sampled", 0), "identity"),
+])
+def test_slo_gate_flags_each_violation(doctor, needle):
+    report = passing_report()
+    doctor(report)
+    violations, text = gate.check_slo(report)
+    assert violations, text
+    assert any(needle in violation for violation in violations), \
+        (needle, violations)
+    assert "violation" in text
+
+
+def test_slo_gate_overrides_loosen_and_tighten():
+    report = passing_report()
+    report["latency_ms"]["p99"] = 9999.0
+    assert gate.check_slo(report)[0]
+    assert gate.check_slo(report, p99_ms=10000.0)[0] == []
+    assert gate.check_slo(passing_report(), p99_ms=1.0)[0]
+    loosened = passing_report()
+    loosened["drain"]["dropped"] = 1
+    assert gate.check_slo(loosened, max_drain_dropped=1)[0] == []
+
+
+def test_slo_gate_rejects_unknown_overrides_and_bad_artifacts():
+    with pytest.raises(ValueError):
+        gate.check_slo(passing_report(), p99=100.0)
+    # Unstamped or wrong-kind payloads gate as violations, not crashes.
+    violations, text = gate.check_slo({"latency_ms": {"p99": 1.0}})
+    assert violations and "artifact" in violations[0]
+    assert "unreadable artifact" in text
+    from repro.schema import artifact
+    violations, _text = gate.check_slo(
+        artifact("sweep", {"latency_ms": {"p99": 1.0}}))
+    assert violations and "kind" in violations[0]

@@ -389,3 +389,189 @@ def test_process_pool_round_trip(tmp_path):
         assert stats["pool"]["executed"] == 1
     finally:
         harness.stop()
+
+
+# -- client busy-retry (the router's per-shard backoff machinery) ------------
+
+class FlakyBusyServer:
+    """Protocol-speaking fake: rejects the first ``busy_count`` submit
+    frames with ``busy`` + a ``retry_after`` hint, then answers with a
+    canned result.  Exercises :meth:`ServeClient.submit` retries
+    without any real execution service."""
+
+    def __init__(self, tmp_path, busy_count, result_payload,
+                 retry_after=0.02):
+        self.socket_path = str(tmp_path / "flaky.sock")
+        self.busy_count = busy_count
+        self.result_payload = result_payload
+        self.retry_after = retry_after
+        self.attempts = 0
+        self.attempt_times = []
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.bind(self.socket_path)
+        self._sock.listen(4)
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return
+            threading.Thread(target=self._handle, args=(conn,),
+                             daemon=True).start()
+
+    def _handle(self, conn):
+        with conn, conn.makefile("rb") as reader:
+            for line in reader:
+                frame = protocol.decode(line)
+                if frame.get("kind") != "submit":
+                    continue
+                self.attempts += 1
+                self.attempt_times.append(time.monotonic())
+                if self.attempts <= self.busy_count:
+                    reply = protocol.error_frame(
+                        frame.get("id"), protocol.ERR_BUSY,
+                        "queue full", retry_after=self.retry_after)
+                else:
+                    reply = protocol.result_frame(
+                        frame.get("id"), self.result_payload)
+                try:
+                    conn.sendall(protocol.encode(reply))
+                except OSError:
+                    return
+
+    def close(self):
+        self._sock.close()
+
+
+@pytest.fixture
+def canned_result():
+    return api.run("lua", "print(3)\n", config="baseline").as_dict()
+
+
+def test_submit_without_retries_raises_busy(tmp_path, canned_result):
+    server = FlakyBusyServer(tmp_path, busy_count=99,
+                             result_payload=canned_result)
+    try:
+        with ServeClient(socket_path=server.socket_path) as client:
+            with pytest.raises(ServeBusy) as excinfo:
+                client.run("lua", "print(3)\n")
+        assert excinfo.value.retry_after == server.retry_after
+        assert server.attempts == 1
+    finally:
+        server.close()
+
+
+def test_submit_retries_until_the_queue_frees(tmp_path, canned_result):
+    server = FlakyBusyServer(tmp_path, busy_count=2,
+                             result_payload=canned_result)
+    try:
+        with ServeClient(socket_path=server.socket_path) as client:
+            result = client.run("lua", "print(3)\n", retries=2)
+        assert result.ok and result.output == "3\n"
+        assert server.attempts == 3
+    finally:
+        server.close()
+
+
+def test_submit_retry_budget_is_bounded(tmp_path, canned_result):
+    server = FlakyBusyServer(tmp_path, busy_count=99,
+                             result_payload=canned_result)
+    try:
+        with ServeClient(socket_path=server.socket_path) as client:
+            with pytest.raises(ServeBusy):
+                client.run("lua", "print(3)\n", retries=3)
+        assert server.attempts == 4  # first attempt + 3 retries
+    finally:
+        server.close()
+
+
+def test_submit_retry_honours_server_retry_after(tmp_path,
+                                                 canned_result):
+    # backoff would be 10s/attempt; the 0.02s server hint must win.
+    server = FlakyBusyServer(tmp_path, busy_count=2,
+                             result_payload=canned_result)
+    try:
+        start = time.monotonic()
+        with ServeClient(socket_path=server.socket_path) as client:
+            result = client.submit(
+                {"op": "run", "engine": "lua", "source": "print(3)\n"},
+                retries=2, backoff=10.0)
+        elapsed = time.monotonic() - start
+        assert result.ok
+        assert elapsed < 5.0, "retry ignored retry_after"
+        gaps = [b - a for a, b in zip(server.attempt_times,
+                                      server.attempt_times[1:])]
+        assert all(gap >= server.retry_after * 0.5 for gap in gaps)
+    finally:
+        server.close()
+
+
+# -- atomic socket-path pick (parallel CI jobs must not collide) -------------
+
+def test_free_socket_path_is_collision_free_across_threads():
+    from repro.serve.server import free_socket_path
+    paths, errors = [], []
+    lock = threading.Lock()
+
+    def grab():
+        try:
+            path = free_socket_path()
+            with lock:
+                paths.append(path)
+        except Exception as err:  # noqa: BLE001 - collected below
+            errors.append(err)
+
+    threads = [threading.Thread(target=grab) for _ in range(16)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(30)
+    assert not errors
+    assert len(set(paths)) == 16
+
+
+def test_two_concurrent_servers_bind_without_colliding(tmp_path):
+    """Two daemons booted at the same instant (as parallel CI jobs
+    do) must each get their own socket and both answer pings."""
+    from repro.serve.server import ExecutionServer, free_socket_path
+
+    servers, errors = [], []
+    ready = threading.Barrier(3, timeout=30)
+
+    def boot():
+        async def main():
+            service = ExecutionService(workers=0)
+            server = ExecutionServer(service,
+                                     socket_path=free_socket_path())
+            await server.start()
+            stop = asyncio.Event()
+            servers.append((server.socket_path, stop,
+                            asyncio.get_running_loop()))
+            ready.wait()
+            await stop.wait()
+            await server.close()
+        try:
+            asyncio.run(main())
+        except Exception as err:  # noqa: BLE001 - collected below
+            errors.append(err)
+
+    threads = [threading.Thread(target=boot, daemon=True)
+               for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    ready.wait()
+    try:
+        assert not errors
+        paths = [path for path, _stop, _loop in servers]
+        assert len(set(paths)) == 2
+        for path in paths:
+            with ServeClient(socket_path=path, timeout=30) as client:
+                assert client.ping()
+    finally:
+        for _path, stop, loop in servers:
+            loop.call_soon_threadsafe(stop.set)
+        for thread in threads:
+            thread.join(30)
