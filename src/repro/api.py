@@ -105,6 +105,7 @@ class ExecutionRequest:
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS
     attribute: bool = True
     use_blocks: bool = True
+    use_traces: bool = True
     use_cache: bool = True
     engines: tuple = None       # sweep
     benchmarks: tuple = None    # sweep
@@ -234,7 +235,7 @@ def _vm(engine):
 
 def _engine_run(engine, source, *, config=BASELINE, machine_config=None,
                 max_instructions=DEFAULT_MAX_INSTRUCTIONS, attribute=True,
-                telemetry=None, use_blocks=True):
+                telemetry=None, use_blocks=True, use_traces=True):
     """Compile and execute ``source`` on the simulated machine — the
     one implementation behind ``run_lua``, ``run_js``,
     ``run_benchmark`` and the served ``run`` op."""
@@ -248,7 +249,8 @@ def _engine_run(engine, source, *, config=BASELINE, machine_config=None,
         from repro.telemetry import attach_cpu
         attach_cpu(telemetry, cpu)
     machine = Machine(cpu, config=machine_config, attribution=attribution,
-                      telemetry=telemetry, use_blocks=use_blocks)
+                      telemetry=telemetry, use_blocks=use_blocks,
+                      use_traces=use_traces)
     counters = machine.run(max_instructions=max_instructions)
     elapsed = time.perf_counter() - started
     if telemetry is not None:
@@ -271,7 +273,8 @@ def _execute_bench(request, telemetry=None):
     record = runner.run_benchmark(
         request.engine, request.benchmark, request.config, scale=scale,
         use_cache=request.use_cache, telemetry=telemetry,
-        use_blocks=request.use_blocks, attribute=request.attribute)
+        use_blocks=request.use_blocks, use_traces=request.use_traces,
+        attribute=request.attribute)
     return ExecutionResult(
         op="bench", engine=request.engine, benchmark=request.benchmark,
         config=request.config, scale=record.scale, output=record.output,
@@ -321,7 +324,7 @@ def execute(request, *, telemetry=None, progress=None):
             machine_config=request.machine_config,
             max_instructions=request.max_instructions,
             attribute=request.attribute, telemetry=telemetry,
-            use_blocks=request.use_blocks)
+            use_blocks=request.use_blocks, use_traces=request.use_traces)
     if request.op == "bench":
         return _execute_bench(request, telemetry=telemetry)
     return _execute_sweep(request, progress=progress)
@@ -348,7 +351,8 @@ def request_key(payload):
 
 def run(engine, source, *, config=BASELINE, scale=None,
         machine_config=None, max_instructions=DEFAULT_MAX_INSTRUCTIONS,
-        attribute=True, telemetry=None, use_blocks=True, use_cache=True):
+        attribute=True, telemetry=None, use_blocks=True, use_traces=True,
+        use_cache=True):
     """Run ``source`` on ``engine`` — the single documented entry point.
 
     ``source`` is Lua/JS program text; when it instead names a
@@ -360,8 +364,9 @@ def run(engine, source, *, config=BASELINE, scale=None,
     ``machine_config`` overrides the Table 6 machine parameters
     (:class:`~repro.uarch.config.MachineConfig`); ``telemetry``
     attaches an event bus (:mod:`repro.telemetry`); ``use_blocks``
-    selects the basic-block superinstruction engine (counters are
-    bit-identical either way).
+    selects the basic-block superinstruction engine and ``use_traces``
+    the superblock trace engine stacked on it (counters are
+    bit-identical whichever engine runs).
     """
     from repro.bench.workloads import WORKLOADS
 
@@ -369,13 +374,14 @@ def run(engine, source, *, config=BASELINE, scale=None,
         request = ExecutionRequest(
             op="bench", engine=engine, benchmark=source, config=config,
             scale=scale, attribute=attribute, use_blocks=use_blocks,
-            use_cache=use_cache)
+            use_traces=use_traces, use_cache=use_cache)
     else:
         request = ExecutionRequest(
             op="run", engine=engine, source=source, config=config,
             machine_config=machine_config,
             max_instructions=max_instructions, attribute=attribute,
-            use_blocks=use_blocks, use_cache=use_cache)
+            use_blocks=use_blocks, use_traces=use_traces,
+            use_cache=use_cache)
     return execute(request, telemetry=telemetry)
 
 
@@ -384,7 +390,7 @@ def run(engine, source, *, config=BASELINE, scale=None,
 #: Positional parameter order of the pre-facade ``run_lua``/``run_js``
 #: signatures, used to decode legacy positional calls.
 _LEGACY_ORDER = ("config", "machine_config", "max_instructions",
-                 "attribute", "telemetry", "use_blocks")
+                 "attribute", "telemetry", "use_blocks", "use_traces")
 
 #: Parameter names accepted (with a warning) from the era when the two
 #: engine signatures had drifted apart.

@@ -1,0 +1,194 @@
+"""Shared-predecode batch execution of sweep cells.
+
+A sweep cell's host cost has two parts: the simulation itself and the
+per-process setup it rides on — assembling the guest interpreter for
+its ``(engine, config)`` pair, predecoding it into a
+:class:`~repro.sim.blocks.BlockTable`, and (for the trace engine)
+profiling and compiling superblock traces.  Run cells one-per-process
+and every cell pays all of it; run them *batched* in one process,
+grouped by ``(engine, config)``, and the setup is paid exactly once
+per pair while every subsequent cell starts hot.
+
+:func:`run_batch` is that executor.  It groups the requested cells,
+runs each group back to back through :func:`repro.bench.runner`
+(uncached, attribution-free — the fast path), and audits the sharing
+it promises:
+
+* each ``(engine, config)`` pair **assembles at most once per
+  process** — asserted against the engine modules'
+  ``assembly_count`` counters (a pair already warmed earlier in the
+  process assembles zero times);
+* block tables are shared across the group's cells (one ``compiled``
+  pool per pair);
+* trace tables are per guest workload by design (see
+  :func:`repro.sim.traces.trace_table`) but persist across repeated
+  runs of the same cell, so a batch re-running a cell reuses its
+  compiled traces for free.
+
+The report is a plain dict (see :func:`run_batch`) so callers — the
+CLI, ``tools/perfbench.py``, tests — can assert on it directly.
+"""
+
+from collections import OrderedDict
+import time
+
+from repro.bench import runner
+from repro.bench.runner import ENGINES
+from repro.bench.workloads import BENCHMARK_ORDER
+from repro.engines import all_configs
+
+
+class BatchInvariantError(AssertionError):
+    """A batch group violated the shared-predecode contract (an
+    ``(engine, config)`` pair assembled its interpreter more than once
+    in one process)."""
+
+
+def _engine_vm(engine):
+    """The engine's ``vm`` module (owner of the interpreter cache and
+    the ``assembly_count`` audit counter)."""
+    if engine == "lua":
+        from repro.engines.lua import vm
+    elif engine == "js":
+        from repro.engines.js import vm
+    else:
+        raise ValueError("unknown engine %r" % (engine,))
+    return vm
+
+
+def group_cells(cells):
+    """Group ``(engine, benchmark, config, scale)`` cells by their
+    shared setup: returns an ordered
+    ``{(engine, config): [(benchmark, scale), ...]}`` mapping, group
+    order following each pair's first appearance and cell order
+    preserved within a group."""
+    groups = OrderedDict()
+    for engine, benchmark, config, scale in cells:
+        groups.setdefault((engine, config), []).append((benchmark, scale))
+    return groups
+
+
+def batch_cells(engines=ENGINES, benchmarks=BENCHMARK_ORDER,
+                configs=None, scales=None):
+    """The sweep's cells ordered for batching: ``(engine, config)``
+    major, so :func:`group_cells` yields one contiguous group per pair.
+    (The canonical sweep order of ``parallel.matrix_cells`` is
+    benchmark-major, which interleaves pairs.)"""
+    configs = all_configs() if configs is None else configs
+    cells = []
+    for engine in engines:
+        for config in configs:
+            for benchmark in benchmarks:
+                scale = runner.resolve_scale(benchmark,
+                                             (scales or {}).get(benchmark))
+                cells.append((engine, benchmark, config, scale))
+    return cells
+
+
+def run_batch(cells=None, use_blocks=True, use_traces=True,
+              progress=None, check=True):
+    """Run ``cells`` grouped by ``(engine, config)`` in this process;
+    returns ``(records, report)``.
+
+    ``records`` is ``{(engine, benchmark, config, scale): RunRecord}``
+    (uncached, attribution-free runs).  ``report`` audits the sharing:
+
+    ``groups``
+        One entry per ``(engine, config)`` pair:  ``engine``,
+        ``config``, ``cells`` run, ``seconds``, ``instructions``,
+        ``assemblies`` (interpreter assemblies this group actually
+        performed: 1 cold, 0 warm), ``blocks_compiled`` (cumulative
+        block pool for the pair), and ``traces``/``trace_retired``
+        (cumulative trace-engine stats across the pair's workloads).
+    ``assemblies_total`` / ``pairs``
+        Process-wide totals; with ``check=True`` (default) a group
+        assembling more than once raises :class:`BatchInvariantError`.
+
+    ``progress`` receives ``(cell, record)`` per completed cell.
+    """
+    if cells is None:
+        cells = batch_cells()
+    groups = group_cells(cells)
+    records = {}
+    report_groups = []
+    assemblies_total = 0
+    for (engine, config), members in groups.items():
+        vm = _engine_vm(engine)
+        before = vm.assembly_count
+        start = time.perf_counter()
+        instructions = 0
+        for benchmark, scale in members:
+            record = runner.run_benchmark(
+                engine, benchmark, config, scale=scale, use_cache=False,
+                use_blocks=use_blocks, use_traces=use_traces,
+                attribute=False)
+            records[(engine, benchmark, config, scale)] = record
+            instructions += record.counters.instructions
+            if progress is not None:
+                progress((engine, benchmark, config, scale), record)
+        seconds = time.perf_counter() - start
+        assemblies = vm.assembly_count - before
+        if check and assemblies > 1:
+            raise BatchInvariantError(
+                "(%s, %s) assembled its interpreter %d times in one "
+                "batch group; the shared-predecode contract is at most "
+                "once per process" % (engine, config, assemblies))
+        assemblies_total += assemblies
+        report_groups.append({
+            "engine": engine,
+            "config": config,
+            "cells": len(members),
+            "seconds": seconds,
+            "instructions": instructions,
+            "assemblies": assemblies,
+            **_table_stats(vm, engine, config),
+        })
+    report = {
+        "groups": report_groups,
+        "pairs": len(report_groups),
+        "cells": len(cells),
+        "assemblies_total": assemblies_total,
+        "use_blocks": use_blocks,
+        "use_traces": use_traces,
+    }
+    return records, report
+
+
+def _table_stats(vm, engine, config):
+    """Cumulative predecode/compile pools for one ``(engine, config)``
+    pair: the shared block table and every per-workload trace table
+    living on the pair's interpreter program.  Benchmark runs use the
+    default Table 6 machine, so the tables sit under
+    :data:`~repro.uarch.config.DEFAULT_CONFIG`."""
+    from repro.sim import blocks, traces
+    from repro.uarch.config import DEFAULT_CONFIG
+
+    program, _attribution = vm.interpreter_program(config)
+    stats = {"blocks_compiled": 0, "traces": 0, "trace_retired": 0}
+    table = blocks._TABLES.get(program, {}).get(DEFAULT_CONFIG)
+    if table is not None:
+        stats["blocks_compiled"] = table.compiled
+    for (table_config, _workload), trace_tbl in \
+            traces._TABLES.get(program, {}).items():
+        if table_config is DEFAULT_CONFIG:
+            stats["traces"] += trace_tbl.traces
+            stats["trace_retired"] += trace_tbl.retired
+    return stats
+
+
+def format_report(report):
+    """Human-readable batch report (one line per group)."""
+    lines = ["batch: %d cell(s) in %d group(s), %d interpreter "
+             "assembl%s" % (report["cells"], report["pairs"],
+                            report["assemblies_total"],
+                            "y" if report["assemblies_total"] == 1
+                            else "ies")]
+    for group in report["groups"]:
+        lines.append(
+            "  %-4s %-14s %2d cells %7.2fs %9d instrs "
+            "assemblies=%d blocks=%d traces=%d retired=%d"
+            % (group["engine"], group["config"], group["cells"],
+               group["seconds"], group["instructions"],
+               group["assemblies"], group["blocks_compiled"],
+               group["traces"], group["trace_retired"]))
+    return "\n".join(lines)

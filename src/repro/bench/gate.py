@@ -205,6 +205,77 @@ def check(baseline_path, records, rel_tol=0.02, abs_tol=0.05):
     return violations, report
 
 
+# -- the advisory host-throughput floor --------------------------------------
+
+#: The floor is this fraction of the committed reference figure —
+#: deliberately generous: host timing on shared CI runners is noisy in
+#: a way the deterministic simulated metrics above are not, so this
+#: advisory only catches order-of-magnitude regressions of the hot
+#: loop (an accidentally disabled engine, a quadratic slip), never
+#: jitter.
+HOST_FLOOR_FRACTION = 0.5
+
+
+def check_host_floor(records, simperf_path="BENCH_simperf.json",
+                     fraction=HOST_FLOOR_FRACTION):
+    """Advisory host-throughput floor against the committed perfbench
+    artifact.
+
+    Compares the sweep's observed host throughput (geomean simulated
+    MIPS across ``records``) with ``geomean_mips_legacy`` from the
+    stamped ``BENCH_simperf.json`` — the reference-loop figure, since
+    gate sweeps run with attribution and therefore at reference-loop
+    speed.  Returns ``(ok, text, details)``; **advisory only** — the
+    caller prints the text (and may upload ``details``) but never
+    fails the gate on it.  An unreadable, unstamped or mismatched
+    artifact skips the check with ``ok=True``.
+    """
+    import math
+
+    try:
+        with open(simperf_path) as handle:
+            payload = json.load(handle)
+        require_artifact(payload, "simperf")
+    except (OSError, ValueError, SchemaError) as err:
+        return True, "HOST FLOOR: skipped — %s" % err, None
+    reference = float(payload.get("aggregate", {})
+                      .get("geomean_mips_legacy") or 0.0)
+    if reference <= 0.0:
+        return (True, "HOST FLOOR: skipped — no geomean_mips_legacy in "
+                "%s (regenerate with tools/perfbench.py)" % simperf_path,
+                None)
+    mips = [record.simulated_mips for record in records.values()
+            if record.simulated_mips > 0.0]
+    if not mips:
+        return (True, "HOST FLOOR: skipped — no cell carries a MIPS "
+                "figure", None)
+    measured = math.exp(sum(math.log(v) for v in mips) / len(mips))
+    floor = fraction * reference
+    ok = measured >= floor
+    details = {
+        "reference_mips": reference,
+        "measured_mips": round(measured, 3),
+        "floor_mips": round(floor, 3),
+        "fraction": fraction,
+        "cells": len(mips),
+        "ok": ok,
+        "source": simperf_path,
+    }
+    if ok:
+        text = ("HOST FLOOR: ok (advisory) — geomean %.3f MIPS over %d "
+                "cell(s), floor %.3f (%.0f%% of committed %.3f)"
+                % (measured, len(mips), floor, 100.0 * fraction,
+                   reference))
+    else:
+        text = ("HOST FLOOR: below floor (advisory) — geomean %.3f MIPS "
+                "over %d cell(s) under %.3f (%.0f%% of committed %.3f); "
+                "the hot loop likely regressed — profile before "
+                "regenerating %s"
+                % (measured, len(mips), floor, 100.0 * fraction,
+                   reference, simperf_path))
+    return ok, text, details
+
+
 # -- the serving SLO gate ----------------------------------------------------
 
 #: Default SLO bounds for the serve-load gate (``repro loadgen``

@@ -325,6 +325,16 @@ def run_matrix_parallel(engines=ENGINES, benchmarks=BENCHMARK_ORDER,
         else:
             pending.append(cell)
 
+    # Batch-friendly scheduling (see repro.bench.batch): dispatch misses
+    # grouped by (engine, config) so consecutive cells landing on one
+    # worker share the assembled interpreter, predecoded program and
+    # block/trace tables instead of interleaving six cold pairs.  The
+    # returned dict is re-ordered canonically below either way.
+    group_order = {}
+    for cell in pending:
+        group_order.setdefault((cell[0], cell[2]), len(group_order))
+    pending.sort(key=lambda cell: group_order[(cell[0], cell[2])])
+
     def finish(cell, payload):
         record, seconds = payload
         if use_cache:

@@ -83,7 +83,8 @@ def publish(record, disk=None):
 
 
 def run_benchmark(engine, benchmark, config, scale=None, use_cache=True,
-                  telemetry=None, use_blocks=True, attribute=True):
+                  telemetry=None, use_blocks=True, use_traces=True,
+                  attribute=True):
     """Run one benchmark on one engine/config; returns a RunRecord.
 
     ``use_cache=False`` bypasses (and leaves untouched) both the
@@ -113,7 +114,7 @@ def run_benchmark(engine, benchmark, config, scale=None, use_cache=True,
     source = getattr(spec, _SOURCE_ATTRS[engine])(scale)
     result = api._engine_run(engine, source, config=config,
                              telemetry=telemetry, use_blocks=use_blocks,
-                             attribute=attribute)
+                             use_traces=use_traces, attribute=attribute)
     record = RunRecord(engine=engine, benchmark=benchmark, config=config,
                        scale=scale, output=result.output,
                        counters=result.counters,
@@ -124,6 +125,17 @@ def run_benchmark(engine, benchmark, config, scale=None, use_cache=True,
     if use_cache:
         publish(record, disk=result_cache.active_cache())
     return record
+
+
+def run_matrix_batched(cells=None, **kwargs):
+    """Shared-predecode batch execution of sweep cells (uncached,
+    attribution-free — the host-perf path); delegates to
+    :func:`repro.bench.batch.run_batch` and returns its
+    ``(records, report)``.  The report's ``assemblies`` counters audit
+    that each ``(engine, config)`` pair assembled at most once in this
+    process."""
+    from repro.bench.batch import run_batch
+    return run_batch(cells, **kwargs)
 
 
 def run_matrix(engines=ENGINES, benchmarks=BENCHMARK_ORDER,

@@ -115,6 +115,7 @@ def _cmd_run(args):
         record = run_benchmark(args.engine, args.benchmark, args.config,
                                scale=args.scale,
                                use_blocks=not args.no_blocks,
+                               use_traces=not args.no_traces,
                                attribute=not args.no_attribution,
                                use_cache=not args.fresh)
         output = record.output
@@ -599,6 +600,13 @@ def _cmd_bench(args):
                                     rel_tol=args.tolerance,
                                     abs_tol=args.abs_tolerance)
     print(report)
+    # Advisory only: printed (and optionally exported for CI upload)
+    # but never part of the exit code — host timing is noisy where the
+    # simulated metrics above are deterministic.
+    _ok, floor_text, floor_details = gate.check_host_floor(records)
+    print(floor_text)
+    if args.host_floor_json and floor_details is not None:
+        _write_json(args.host_floor_json, floor_details)
     return 1 if violations else 0
 
 
@@ -1155,6 +1163,10 @@ def build_parser():
                             help="disable the basic-block "
                                  "superinstruction engine (counters are "
                                  "identical; simulation is slower)")
+    run_parser.add_argument("--no-traces", action="store_true",
+                            help="disable the superblock trace engine "
+                                 "(counters are identical; simulation "
+                                 "is slower)")
     run_parser.add_argument("--no-attribution", action="store_true",
                             help="skip per-bytecode attribution: "
                                  "fastest simulation (block engine), "
@@ -1304,6 +1316,10 @@ def build_parser():
             cmd.add_argument("--abs-tolerance", type=float, default=0.05,
                              help="absolute tolerance for MPKI and "
                                   "hit-rate metrics")
+            cmd.add_argument("--host-floor-json", metavar="PATH",
+                             help="write the advisory host-throughput "
+                                  "floor comparison as JSON (CI "
+                                  "uploads it)")
         cmd.set_defaults(func=_cmd_bench)
     slo_parser = bench_sub.add_parser(
         "slo", help="re-check a saved BENCH_serve.json against the "

@@ -56,11 +56,18 @@ def build_attribution(program):
 # Cached, program-independent interpreter text per configuration.
 _PROGRAM_CACHE = {}
 
+#: Process-wide count of actual interpreter assemblies (cache misses).
+#: The batch executor (:mod:`repro.bench.batch`) asserts each
+#: ``(engine, config)`` pair assembles exactly once per process.
+assembly_count = 0
+
 
 def interpreter_program(config):
     """The assembled interpreter for ``config`` (cached)."""
+    global assembly_count
     cached = _PROGRAM_CACHE.get(config)
     if cached is None:
+        assembly_count += 1
         program = assemble(build_interpreter(config),
                            base=layout.CODE_BASE)
         if program.end > layout.BOOT_BLOCK:
@@ -92,6 +99,10 @@ def prepare(source, config=BASELINE):
     # overflow must trigger a type misprediction (Section 3.2).
     cpu = Cpu(program, memory, host=host.interface, tag_codec=codec,
               overflow_bits=32)
+    # Trace profiles are guest-specific (the hot paths through the
+    # interpreter depend on the bytecode it runs); the trace engine
+    # keys its tables on this token (see repro.sim.traces.trace_table).
+    cpu.workload = source
     return cpu, runtime, program
 
 

@@ -1,0 +1,258 @@
+"""Optional compiled backend for the generated block/trace closures.
+
+The superinstruction engines (:mod:`repro.sim.blocks`,
+:mod:`repro.sim.traces`) generate Python source per unit and
+``compile()``/``exec`` it at first dispatch.  The generated text is
+deterministic per ``(interpreter program, machine config)``, yet every
+process re-``compile()``s it from scratch — and CPython ``compile`` on
+the generated code is the dominant cold-start cost (roughly 19 ms per
+thousand lines; a 512-instruction trace is ~100 ms).
+
+``tools/build_backend.py`` builds those units ahead of time into a
+content-addressed cache this module serves at runtime:
+
+* ``cython`` / ``mypyc`` — when one of them is importable, the build
+  emits a module of the recorded units and compiles it to a native
+  extension (fastest, optional: neither ships in the default
+  container);
+* ``marshal`` — always available: each unit's code object is
+  pre-compiled once and marshalled; loading is ``marshal.loads``, an
+  order of magnitude cheaper than ``compile``.
+
+Selection is via :data:`BACKEND_ENV` (``REPRO_BLOCK_BACKEND``):
+
+``"python"`` / unset
+    Pure-Python ``compile``+``exec`` (the default everywhere).
+``"auto"``
+    Use :data:`DEFAULT_BUILD_DIR` if a valid build manifest is there,
+    else fall through to pure Python silently.
+``a path``
+    Use the build directory at that path; a missing or incompatible
+    build records one degradation event and falls through.
+
+The backend only changes *how the same generated source becomes a
+callable* — never the source itself — so counters are bit-identical
+across backends by construction; ``tests/test_backend_parity.py``
+enforces it and the absence of any build never breaks a test or CLI
+path.
+"""
+
+import hashlib
+import importlib.util
+import json
+import marshal
+import os
+
+#: Environment variable selecting the backend (see module docstring).
+BACKEND_ENV = "REPRO_BLOCK_BACKEND"
+
+#: Where ``tools/build_backend.py`` writes (and ``auto`` looks for)
+#: the build, relative to the repository root / current directory.
+DEFAULT_BUILD_DIR = os.path.join("build", "block_backend")
+
+#: Schema of ``manifest.json`` inside a build directory.
+MANIFEST_VERSION = 1
+
+
+def source_key(source):
+    """Content address of one generated unit (its source text)."""
+    return hashlib.sha256(source.encode()).hexdigest()[:32]
+
+
+class BackendUnavailable(Exception):
+    """A requested build directory is missing or incompatible."""
+
+
+class CompiledBackend:
+    """Serves pre-built unit callables from one build directory.
+
+    ``lookup(source, namespace)`` returns the unit function (executed
+    into ``namespace`` for marshalled code objects, bound natively for
+    extension builds) or ``None`` when the unit is not in the build —
+    the caller then compiles from source as usual, so a partial build
+    only accelerates what it covers.
+    """
+
+    def __init__(self, root):
+        path = os.path.join(root, "manifest.json")
+        try:
+            with open(path) as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError) as err:
+            raise BackendUnavailable("no backend manifest at %s (%s)"
+                                     % (path, err))
+        if manifest.get("manifest_version") != MANIFEST_VERSION:
+            raise BackendUnavailable(
+                "manifest version %r != %d"
+                % (manifest.get("manifest_version"), MANIFEST_VERSION))
+        if manifest.get("magic") != _magic():
+            # Marshalled code objects are interpreter-build specific.
+            raise BackendUnavailable(
+                "build was made by a different Python (magic %r != %r)"
+                % (manifest.get("magic"), _magic()))
+        self.root = root
+        self.kind = manifest.get("backend", "marshal")
+        self.units = manifest.get("units", {})
+        self.hits = 0
+        self.misses = 0
+        self._native = None
+        if self.kind in ("cython", "mypyc"):
+            self._native = _load_native(root, manifest)
+
+    def lookup(self, source, namespace):
+        """The pre-built callable for ``source``, or ``None``."""
+        key = source_key(source)
+        name = self.units.get(key)
+        if name is None:
+            self.misses += 1
+            return None
+        if self._native is not None:
+            fn = self._native.bind(name, namespace)
+            if fn is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return fn
+        try:
+            with open(os.path.join(self.root, name), "rb") as handle:
+                code = marshal.loads(handle.read())
+        except (OSError, ValueError, EOFError):
+            self.misses += 1
+            return None
+        exec(code, namespace)
+        self.hits += 1
+        return namespace["_block"]
+
+
+class _NativeUnits:
+    """Adapter over a compiled extension of units.
+
+    The extension exposes one function per unit plus a module-level
+    ``BINDINGS`` dict its functions read their free names from.  The
+    engines build exactly one interpreter program per (engine, config)
+    per process, so the module is bound to the first namespace that
+    uses it; a unit asked for under a *different* namespace is refused
+    (``None`` → source fallback) rather than silently cross-bound.
+    """
+
+    def __init__(self, module):
+        self.module = module
+        self._bound = None
+
+    def bind(self, name, namespace):
+        fn = getattr(self.module, name, None)
+        if fn is None:
+            return None
+        bindings = self.module.BINDINGS
+        if self._bound is None:
+            bindings.update(namespace)
+            self._bound = {key: namespace[key]
+                           for key in ("_h", "_i") if key in namespace}
+        else:
+            for key, value in self._bound.items():
+                if namespace.get(key) is not value:
+                    return None
+        return fn
+
+
+def _load_native(root, manifest):
+    module_file = manifest.get("module")
+    if not module_file:
+        raise BackendUnavailable("native manifest names no module")
+    path = os.path.join(root, module_file)
+    if not os.path.exists(path):
+        raise BackendUnavailable("native module %s is missing" % path)
+    spec = importlib.util.spec_from_file_location("repro_block_units",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return _NativeUnits(module)
+
+
+def _magic():
+    """The running interpreter's bytecode magic, as an int."""
+    return int.from_bytes(importlib.util.MAGIC_NUMBER[:2], "little")
+
+
+# -- runtime selection --------------------------------------------------------
+
+_ACTIVE = None
+_RESOLVED = False
+
+#: When not ``None``, every unit that falls through to ``compile`` is
+#: recorded as ``{key: (source, filename)}`` — the build tool's capture
+#: hook (see :func:`record_units`).
+_RECORDER = None
+
+
+def reset():
+    """Forget the resolved backend (tests, and after building)."""
+    global _ACTIVE, _RESOLVED
+    _ACTIVE = None
+    _RESOLVED = False
+
+
+def active():
+    """The selected :class:`CompiledBackend`, or ``None`` for the
+    pure-Python default.  Resolution is cached per process; a broken
+    explicit selection degrades (once, recorded) instead of failing."""
+    global _ACTIVE, _RESOLVED
+    if _RESOLVED:
+        return _ACTIVE
+    _RESOLVED = True
+    choice = os.environ.get(BACKEND_ENV, "").strip()
+    if choice in ("", "python", "off", "0"):
+        return None
+    root = DEFAULT_BUILD_DIR if choice == "auto" else choice
+    try:
+        _ACTIVE = CompiledBackend(root)
+    except BackendUnavailable as err:
+        if choice != "auto":
+            from repro.telemetry.core import record_degradation
+            record_degradation({"name": "block_backend_unavailable",
+                                "root": root, "error": str(err)})
+        _ACTIVE = None
+    return _ACTIVE
+
+
+def record_units(store):
+    """Route every subsequently compiled unit's source into ``store``
+    (``{key: (source, filename)}``); pass ``None`` to stop.  Used by
+    ``tools/build_backend.py`` to capture the unit set while running a
+    calibration workload."""
+    global _RECORDER
+    _RECORDER = store
+
+
+def load_unit(source, filename, namespace):
+    """Turn one generated unit into its callable.
+
+    The single funnel for both engines (every block and trace goes
+    through :meth:`repro.sim.blocks._Emitter.build`): serve from the
+    active compiled backend when it has the unit, otherwise
+    ``compile``+``exec`` the source — bit-identical behaviour either
+    way.
+    """
+    backend = active()
+    if backend is not None:
+        fn = backend.lookup(source, namespace)
+        if fn is not None:
+            return fn
+    if _RECORDER is not None:
+        _RECORDER[source_key(source)] = (source, filename)
+    code = compile(source, filename, "exec")
+    exec(code, namespace)
+    return namespace["_block"]
+
+
+def describe():
+    """One status line for CLIs and reports."""
+    backend = active()
+    if backend is None:
+        choice = os.environ.get(BACKEND_ENV, "").strip()
+        return "block backend: pure python%s" % (
+            " (%r unavailable)" % choice
+            if choice not in ("", "python", "off", "0", "auto") else "")
+    return "block backend: %s at %s (%d units, %d hits, %d misses)" % (
+        backend.kind, backend.root, len(backend.units), backend.hits,
+        backend.misses)

@@ -41,6 +41,11 @@ cycles are bit-identical with the per-instruction loop; the
 differential suite in ``tests/test_blocks.py`` enforces this across
 every benchmark cell.
 
+The per-instruction code generator itself lives in :class:`_Emitter`,
+shared with the superblock *trace* engine (:mod:`repro.sim.traces`)
+which chains hot blocks across taken branches into longer compilation
+units with guarded side exits.
+
 Compiled tables are cached per ``(program, machine-config)`` — the
 assembled interpreters are themselves cached per engine configuration,
 so one sweep compiles each interpreter's hot blocks exactly once.
@@ -48,8 +53,16 @@ so one sweep compiles each interpreter's hot blocks exactly once.
 
 import weakref
 
-from repro.sim.cpu import _DISPATCH, to_signed, to_unsigned
+from repro.isa.extension import TAG_DWORD_DISPLACEMENT
+from repro.sim.cpu import (
+    _DISPATCH,
+    _PACK_F64,
+    _PACK_U64,
+    to_signed,
+    to_unsigned,
+)
 from repro.sim.errors import IllegalInstruction
+from repro.sim.trt import TRT_OPCODES
 from repro.uarch.pipeline import (
     K_BRANCH,
     K_CHECK,
@@ -109,6 +122,11 @@ class BlockTable:
         self._singles = {}
         self.compiled = 0
         self.compile_failures = 0
+        # Full handler/instruction tuples shared by every generated
+        # function's default-argument bindings (blocks and traces bind
+        # by absolute instruction index).
+        self._h = tuple(self.handlers)
+        self._i = tuple(program.instructions)
 
     def block_at(self, index):
         """The block entered at ``index``, compiling it on first use.
@@ -156,6 +174,7 @@ class BlockTable:
 
 
 _M = (1 << 64) - 1
+_SIGN = 1 << 63
 _S = 1 << 63
 _UNTYPED = 0xFF  # repro.isa.extension.TYPE_UNTYPED
 
@@ -248,83 +267,269 @@ def _alu_inline(i):
     return None
 
 
-def _compile_block(table, start, max_len):
-    """Generate, ``exec`` and return ``(fn, count)`` for the block
-    entered at instruction index ``start``.
-
-    The generated function mirrors the per-instruction timing loop of
-    :meth:`Machine._run_interpreted` statement for statement; every
-    stateful call (front-end training, D-cache probes, DRAM row-buffer
-    accesses) is emitted in the original per-instruction order so the
-    counters stay bit-identical.
-    """
+def _block_extent(table, start, max_len):
+    """The exclusive stop index of the block entered at ``start``:
+    truncated at the first terminator, else after ``max_len``."""
     instrs = table.instructions
-    kinds = table.kinds
-    handlers = table.handlers
-    base = table.base
-    lat = table.config.latency
-    redirect_penalty = table.config.branch.miss_penalty
-    lus = lat.load_use_stall
-    line_shift = table.line_shift
-
     stop = min(len(instrs), start + max_len)
     for j in range(start, stop):
         if instrs[j].mnemonic in _TERMINATORS:
-            stop = j + 1
-            break
-    count = stop - start
+            return j + 1
+    return stop
 
-    sig = ["cpu", "prev", "ic", "dc", "dr", "fe", "ct", "icc"]
-    body = []
-    uses = set()  # which preamble bindings the block needs
 
-    # Statically accumulated state, snapshotted at every exit point.
-    pend = 0      # cycles known at compile time (base + units + stalls)
-    probed = 0    # I-cache probes emitted so far
-    stalls = 0    # load-use stalls known at compile time
-    prev_out = -1  # load destination carried across one instruction
-    # ``cpu.pc`` is materialised lazily: inlined instructions skip the
-    # per-instruction update, so it must be restored from the static PC
-    # before any handler call or exit that relies on it.
-    pc_stale = False
+class _Emitter:
+    """Per-instruction code generator shared by blocks and traces.
 
-    def emit_exit(k, prev_value, indent, exit_pc=None):
-        executed = k + 1
+    ``emit(index)`` appends block-mode code for one instruction to the
+    generated function body; ``emit(index, chain=...)`` instead *chains
+    through* the control transfer, turning what the block engine treats
+    as an exit into a guarded continuation:
+
+    ``("taken", target_pc)``
+        Conditional branch assumed taken: the guard is the branch
+        condition itself; the fall-through direction side-exits with
+        the same front-end training call and cycle charge the
+        reference loop pays on that path.
+    ``("jal", target_pc)``
+        Direct jump: unconditional chain, no guard needed.
+    ``("jalr", assumed_pc)``
+        Indirect jump: the actual target is computed and trained as
+        usual, then guarded against the assumed trace successor.
+
+    The generated code mirrors the per-instruction timing loop of
+    :meth:`Machine._run_interpreted` statement for statement; every
+    stateful call (front-end training, D-cache probes, DRAM row-buffer
+    accesses) is emitted in the original per-instruction order so the
+    counters stay bit-identical between all engines.
+
+    With ``fast=True`` (the trace engine) the emitter additionally
+    *inlines* the stateful helpers themselves — gshare/BTB/RAS
+    training, the cache MRU probe and the functional memory access —
+    instead of calling them.  The inlined code manipulates the very
+    same model state (counter lists, LRU order lists, the tag sets,
+    the backing bytearray), with slow paths falling back to the real
+    methods, so the model state and every counter remain bit-identical
+    at any deopt boundary even though traces and plain blocks
+    interleave freely on the same machine.  Block compilation keeps
+    ``fast=False`` so the block engine's generated code — the baseline
+    the trace speedup is measured against — is unchanged from PR 3.
+    """
+
+    def __init__(self, table, fast=False):
+        self.table = table
+        self.instrs = table.instructions
+        self.kinds = table.kinds
+        self.base = table.base
+        self.lat = table.config.latency
+        self.redirect_penalty = table.config.branch.miss_penalty
+        self.lus = self.lat.load_use_stall
+        self.line_shift = table.line_shift
+        self.sig = ["cpu", "prev", "ic", "dc", "dr", "fe", "ct", "icc"]
+        self.body = []
+        self.uses = set()    # which preamble bindings the code needs
+        self._bound = set()  # instruction indices already bound in sig
+        # Statically accumulated state, snapshotted at every exit point.
+        self.pend = 0       # cycles known at compile time
+        self.probed = 0     # I-cache probes emitted so far
+        self.stalls = 0     # load-use stalls known at compile time
+        self.prev_out = -1  # load destination carried one instruction
+        # ``cpu.pc`` is materialised lazily: inlined instructions skip
+        # the per-instruction update, so it must be restored from the
+        # static PC before any handler call or exit that relies on it.
+        self.pc_stale = False
+        # PC of the previously executed instruction (``None`` at unit
+        # entry): the I-cache is probed only on a line change, because
+        # re-fetches of the MRU line are guaranteed hits — including
+        # across chained branches and jumps.
+        self.prev_pc = None
+        self.k = 0          # instructions emitted so far
+        self.fast = fast
+        if fast:
+            branch = table.config.branch
+            self.gshare_mask = branch.gshare_entries - 1
+            self.history_mask = \
+                (1 << (branch.gshare_entries.bit_length() - 1)) - 1
+            self.btb_entries = branch.btb_entries
+            self.ras_entries = branch.ras_entries
+            dcache = table.config.dcache
+            self.d_shift = dcache.line_bytes.bit_length() - 1
+            self.d_mask = dcache.sets - 1
+            self.i_mask = table.config.icache.sets - 1
+            # Statically known per exit point, like ``instret``:
+            # conditional branches + indirect jumps executed so far,
+            # and inlined D-cache probes to bulk-credit.
+            self.fe_branches = 0
+            self.dprobes = 0
+            # Global history lives in a local (``gh``) inside the
+            # generated function and is flushed back at every exit.
+            self.uses.add("gsh")
+
+    def emit_exit(self, executed, prev_value, indent, exit_pc=None):
+        body = self.body
         if exit_pc is not None:
             body.append("%scpu.pc = %d" % (indent, exit_pc))
         body.append("%scpu.instret += %d" % (indent, executed))
-        extra = executed - probed
+        extra = executed - self.probed
         if extra:
             body.append("%sicc.accesses += %d" % (indent, extra))
-        if stalls:
-            body.append("%sct.load_use_stalls += %d" % (indent, stalls))
-        body.append("%sreturn c + %d, %d" % (indent, pend, prev_value))
+        if self.stalls:
+            body.append("%sct.load_use_stalls += %d"
+                        % (indent, self.stalls))
+        if self.fast:
+            if self.fe_branches:
+                body.append("%sfe.branches += %d"
+                            % (indent, self.fe_branches))
+            if self.dprobes:
+                body.append("%sdcc.accesses += %d" % (indent, self.dprobes))
+            body.append("%sg_.history = gh" % indent)
+        body.append("%sreturn c + %d, %d"
+                    % (indent, self.pend, prev_value))
 
-    for k in range(count):
-        i = instrs[start + k]
-        kind = kinds[start + k]
-        pc = base + 4 * (start + k)
+    def _call(self, index):
+        """Bind handler/instruction ``index`` as default arguments (once
+        per index) and return the call expression."""
+        if index not in self._bound:
+            self._bound.add(index)
+            self.sig.append("h%d=_h[%d]" % (index, index))
+            self.sig.append("i%d=_i[%d]" % (index, index))
+        return "h%d(cpu, i%d)" % (index, index)
+
+    # -- fast-mode (trace) inline expansions ----------------------------
+
+    def _cond_fused(self, pc, taken, target, A):
+        """Inline ``fe.conditional_branch(pc, taken, ...)`` with the
+        direction known at compile time.
+
+        Replicates :meth:`FrontEnd.conditional_branch` state change for
+        state change: the gshare counter nudge and history shift, the
+        BTB LRU touch on a predicted-taken lookup, the BTB insertion on
+        an actually-taken branch, and the mispredict accounting.  (The
+        lookup's LRU touch and the update's re-insertion compose to a
+        single move-to-MRU, which is what is emitted.)
+        """
+        body = self.body
+        body.append(A + "gi = (%d ^ gh) & %d"
+                    % (pc >> 2, self.gshare_mask))
+        body.append(A + "n_ = gc[gi]")
+        if taken:
+            self.uses.add("btb")
+            body.append(A + "if n_ < 3: gc[gi] = n_ + 1")
+            body.append(A + "gh = ((gh << 1) | 1) & %d"
+                        % self.history_mask)
+            self._btb_fused(pc, "%d" % target, A)
+            body.append(A + "if n_ < 2 or p_ != %d:" % target)
+            body.append(A + "    fe.mispredicts += 1")
+            body.append(A + "    c += %d" % self.redirect_penalty)
+        else:
+            body.append(A + "if n_ > 0: gc[gi] = n_ - 1")
+            body.append(A + "gh = (gh << 1) & %d" % self.history_mask)
+            body.append(A + "if n_ >= 2:")
+            self.uses.add("btb")
+            # btb.lookup(pc) alone: the entry (if any) moves to MRU by
+            # dict re-insertion; the prediction is a mispredict either
+            # way (predicted taken, was not).
+            body.append(A + "    p_ = bt.get(%d)" % pc)
+            body.append(A + "    if p_ is not None:")
+            body.append(A + "        del bt[%d]" % pc)
+            body.append(A + "        bt[%d] = p_" % pc)
+            body.append(A + "    fe.mispredicts += 1")
+            body.append(A + "    c += %d" % self.redirect_penalty)
+
+    def _btb_fused(self, pc, target_expr, A):
+        """Inline ``btb.lookup(pc)`` + ``btb.update(pc, target)``: the
+        prediction lands in ``p_``, the entry moves to MRU (dict
+        insertion order *is* the LRU order), and the LRU victim — the
+        oldest key — is evicted exactly when the original pair would."""
+        self.uses.add("btb")
+        body = self.body
+        body.append(A + "p_ = bt.get(%d)" % pc)
+        body.append(A + "if p_ is None:")
+        body.append(A + "    if len(bt) >= %d: del bt[next(iter(bt))]"
+                    % self.btb_entries)
+        body.append(A + "else:")
+        body.append(A + "    del bt[%d]" % pc)
+        body.append(A + "bt[%d] = %s" % (pc, target_expr))
+
+    def _ras_push(self, return_address, A):
+        """Inline ``ras.push(return_address)``."""
+        self.uses.add("ras")
+        body = self.body
+        body.append(A + "rs_.append(%d)" % return_address)
+        body.append(A + "if len(rs_) > %d: del rs_[0]" % self.ras_entries)
+
+    def _dc_fused(self, addr, A):
+        """Inline the D-cache MRU fast path for an access to ``addr``.
+
+        A re-touch of a set's MRU line is a hit with no LRU movement,
+        so only the tag compare runs inline; anything else falls back
+        to the real :meth:`Cache.access`.  The access counter is
+        bulk-credited at the exits (``self.dprobes``), so the fallback
+        pre-decrements to compensate for its own count.
+        """
+        self.uses.add("dcf")
+        self.dprobes += 1
+        body = self.body
+        body.append(A + "ln = %s >> %d" % (addr, self.d_shift))
+        body.append(A + "e_ = ds[ln & %d]" % self.d_mask)
+        body.append(A + "if not (e_ and e_[-1] == ln):")
+        body.append(A + "    dcc.accesses -= 1")
+        body.append(A + "    if not dc(%s): c += dr(%s)" % (addr, addr))
+
+    def _redirect_exit(self, k, A):
+        """Inline ``Cpu._type_mispredict`` plus the redirect penalty and
+        the trace exit (telemetry is off on this engine by selection)."""
+        body = self.body
+        body.append(A + "cpu.pc = cpu.r_hdl")
+        body.append(A + "cpu.redirect = True")
+        body.append(A + "s_ = cpu._active_thdl_site")
+        body.append(A + "if s_ is not None:")
+        body.append(A + "    cpu._deopt_sites[s_][1] += 1")
+        body.append(A + "    cpu._active_thdl_site = None")
+        body.append(A + "c += %d" % self.redirect_penalty)
+        self.emit_exit(k + 1, -1, A)
+
+    def emit(self, index, chain=None):
+        i = self.instrs[index]
+        kind = self.kinds[index]
+        pc = self.base + 4 * index
         mn = i.mnemonic
-        pend += 1  # base cycle (single-issue in-order)
+        body = self.body
+        uses = self.uses
+        lat = self.lat
+        k = self.k
+        self.pend += 1  # base cycle (single-issue in-order)
 
-        # Load-use interlock: inside the block both sides are static;
-        # only the first instruction races the previous block's load.
+        # Load-use interlock: inside the unit both sides are static;
+        # only the first instruction races the previous unit's load.
         if k == 0:
             regs = sorted({r for r in (i.rs1, i.rs2) if r})
             if regs:
                 cond = " or ".join("prev == %d" % r for r in regs)
                 body.append("    if %s:" % cond)
-                body.append("        c += %d" % lus)
+                body.append("        c += %d" % self.lus)
                 body.append("        ct.load_use_stalls += 1")
-        elif prev_out > 0 and prev_out in (i.rs1, i.rs2):
-            pend += lus
-            stalls += 1
+        elif self.prev_out > 0 and self.prev_out in (i.rs1, i.rs2):
+            self.pend += self.lus
+            self.stalls += 1
 
         # One real I-cache probe per fetched line; later instructions on
-        # the line are guaranteed MRU hits and are credited at the exits.
-        if k == 0 or (pc >> line_shift) != ((pc - 4) >> line_shift):
-            body.append("    if not ic(%d): c += dr(%d)" % (pc, pc))
-            probed += 1
+        # the line are guaranteed MRU hits, credited at the exits.
+        if self.prev_pc is None or \
+                (pc >> self.line_shift) != (self.prev_pc >> self.line_shift):
+            if self.fast:
+                # The set index and tag are compile-time constants, so
+                # even the MRU hit check is inlined; the slow path
+                # compensates the bulk access credit.
+                self.uses.add("icf")
+                line = pc >> self.line_shift
+                body.append("    e_ = iss[%d]" % (line & self.i_mask))
+                body.append("    if not (e_ and e_[-1] == %d):" % line)
+                body.append("        icc.accesses -= 1")
+                body.append("        if not ic(%d): c += dr(%d)" % (pc, pc))
+            else:
+                body.append("    if not ic(%d): c += dr(%d)" % (pc, pc))
+                self.probed += 1
 
         prev_next = -1
         alu = None
@@ -335,14 +540,35 @@ def _compile_block(table, start, max_len):
             uses.add("regs")
             target = (pc + i.imm) & _M
             cond = _BRANCH_COND[mn] % {"a": i.rs1, "b": i.rs2, "S": _S}
-            body.append("    if %s:" % cond)
-            body.append("        c += fe.conditional_branch(%d, True, %d)"
-                        % (pc, target))
-            body.append("        cpu.pc = %d" % target)
-            emit_exit(k, -1, "        ")
-            body.append("    c += fe.conditional_branch(%d, False, %d)"
-                        % (pc, pc + 4))
-            pc_stale = True
+            if self.fast:
+                self.fe_branches += 1
+                if chain is not None and chain[0] == "taken":
+                    body.append("    if not (%s):" % cond)
+                    self._cond_fused(pc, False, None, "        ")
+                    self.emit_exit(k + 1, -1, "        ", exit_pc=pc + 4)
+                    self._cond_fused(pc, True, target, "    ")
+                else:
+                    body.append("    if %s:" % cond)
+                    self._cond_fused(pc, True, target, "        ")
+                    body.append("        cpu.pc = %d" % target)
+                    self.emit_exit(k + 1, -1, "        ")
+                    self._cond_fused(pc, False, None, "    ")
+            elif chain is not None and chain[0] == "taken":
+                body.append("    if not (%s):" % cond)
+                body.append("        c += fe.conditional_branch("
+                            "%d, False, %d)" % (pc, pc + 4))
+                self.emit_exit(k + 1, -1, "        ", exit_pc=pc + 4)
+                body.append("    c += fe.conditional_branch(%d, True, %d)"
+                            % (pc, target))
+            else:
+                body.append("    if %s:" % cond)
+                body.append("        c += fe.conditional_branch("
+                            "%d, True, %d)" % (pc, target))
+                body.append("        cpu.pc = %d" % target)
+                self.emit_exit(k + 1, -1, "        ")
+                body.append("    c += fe.conditional_branch(%d, False, %d)"
+                            % (pc, pc + 4))
+            self.pc_stale = True
         elif mn == "jal":
             if i.rd:
                 uses.add("regs")
@@ -350,10 +576,29 @@ def _compile_block(table, start, max_len):
                 body.append("    T[%d] = %d" % (i.rd, _UNTYPED))
                 body.append("    F[%d] = 0" % i.rd)
             target = (pc + i.imm) & _M
-            body.append("    cpu.pc = %d" % target)
-            body.append("    c += fe.direct_jump(%d, %d, %s, %d)"
-                        % (pc, target, i.rd == 1, pc + 4))
-            emit_exit(k, -1, "    ")
+            if self.fast:
+                # fe.direct_jump inline: RAS push for calls, fused BTB
+                # lookup+update, a one-cycle charge on a BTB miss.
+                if i.rd == 1:
+                    self._ras_push(pc + 4, "    ")
+                self._btb_fused(pc, "%d" % target, "    ")
+                body.append("    if p_ != %d:" % target)
+                body.append("        fe.btb_misses += 1")
+                body.append("        c += 1")
+                if chain is not None:
+                    self.pc_stale = True
+                else:
+                    body.append("    cpu.pc = %d" % target)
+                    self.emit_exit(k + 1, -1, "    ")
+            elif chain is not None:
+                body.append("    c += fe.direct_jump(%d, %d, %s, %d)"
+                            % (pc, target, i.rd == 1, pc + 4))
+                self.pc_stale = True
+            else:
+                body.append("    cpu.pc = %d" % target)
+                body.append("    c += fe.direct_jump(%d, %d, %s, %d)"
+                            % (pc, target, i.rd == 1, pc + 4))
+                self.emit_exit(k + 1, -1, "    ")
         elif mn == "jalr":
             uses.add("regs")
             # Target read before the link write (rd may equal rs1).
@@ -363,35 +608,291 @@ def _compile_block(table, start, max_len):
                 body.append("    V[%d] = %d" % (i.rd, pc + 4))
                 body.append("    T[%d] = %d" % (i.rd, _UNTYPED))
                 body.append("    F[%d] = 0" % i.rd)
-            body.append("    cpu.pc = t")
-            body.append("    c += fe.indirect_jump(%d, t, %s, %s, %d)"
-                        % (pc, i.rd == 0 and i.rs1 == 1, i.rd == 1,
-                           pc + 4))
-            emit_exit(k, -1, "    ")
+            if self.fast:
+                # fe.indirect_jump inline: RAS prediction for returns,
+                # else fused BTB lookup+update (and a RAS push for
+                # calls), then the mispredict check against the actual
+                # target.
+                self.fe_branches += 1
+                if i.rd == 0 and i.rs1 == 1:
+                    self.uses.add("ras")
+                    body.append("    p_ = rs_.pop() if rs_ else None")
+                else:
+                    self._btb_fused(pc, "t", "    ")
+                    if i.rd == 1:
+                        self._ras_push(pc + 4, "    ")
+                body.append("    if p_ != t:")
+                body.append("        fe.mispredicts += 1")
+                body.append("        c += %d" % self.redirect_penalty)
+                if chain is not None:
+                    body.append("    if t != %d:" % chain[1])
+                    body.append("        cpu.pc = t")
+                    self.emit_exit(k + 1, -1, "        ")
+                    self.pc_stale = True
+                else:
+                    body.append("    cpu.pc = t")
+                    self.emit_exit(k + 1, -1, "    ")
+            elif chain is not None:
+                # The front end trains on the *actual* target exactly as
+                # the reference loop would; the guard only decides where
+                # execution continues.
+                body.append("    c += fe.indirect_jump(%d, t, %s, %s, %d)"
+                            % (pc, i.rd == 0 and i.rs1 == 1, i.rd == 1,
+                               pc + 4))
+                body.append("    if t != %d:" % chain[1])
+                body.append("        cpu.pc = t")
+                self.emit_exit(k + 1, -1, "        ")
+                self.pc_stale = True
+            else:
+                body.append("    cpu.pc = t")
+                body.append("    c += fe.indirect_jump(%d, t, %s, %s, %d)"
+                            % (pc, i.rd == 0 and i.rs1 == 1, i.rd == 1,
+                               pc + 4))
+                self.emit_exit(k + 1, -1, "    ")
         elif mn in _LOAD_ARGS:
             uses.add("regs")
             uses.add("mem")
             width, signed = _LOAD_ARGS[mn]
             body.append("    a = (V[%d] + %d) & %d" % (i.rs1, i.imm, _M))
-            if signed:
-                body.append("    x = ML(a, %d, True) & %d" % (width, _M))
+            if self.fast:
+                # In-bounds accesses read the backing bytearray
+                # directly; the bounds check routes out-of-range
+                # addresses to Memory.load for the exact MemoryError.
+                uses.add("memf")
+                body.append("    if a + %d > msz:" % width)
+                if signed:
+                    body.append("        x = ML(a, %d, True) & %d"
+                                % (width, _M))
+                    body.append("    else:")
+                    body.append("        x = FB(D[a:a+%d], 'little', "
+                                "signed=True) & %d" % (width, _M))
+                else:
+                    body.append("        x = ML(a, %d)" % width)
+                    body.append("    else:")
+                    body.append("        x = FB(D[a:a+%d], 'little')"
+                                % width)
+                self._dc_fused("a", "    ")
             else:
-                body.append("    x = ML(a, %d)" % width)
-            body.append("    if not dc(a): c += dr(a)")
+                if signed:
+                    body.append("    x = ML(a, %d, True) & %d"
+                                % (width, _M))
+                else:
+                    body.append("    x = ML(a, %d)" % width)
+                body.append("    if not dc(a): c += dr(a)")
             if i.rd:
                 body.append("    V[%d] = x" % i.rd)
                 body.append("    T[%d] = %d" % (i.rd, _UNTYPED))
                 body.append("    F[%d] = 0" % i.rd)
             prev_next = i.rd or -1
-            pc_stale = True
+            self.pc_stale = True
         elif mn in _STORE_WIDTH:
             uses.add("regs")
             uses.add("mem")
+            width = _STORE_WIDTH[mn]
             body.append("    a = (V[%d] + %d) & %d" % (i.rs1, i.imm, _M))
-            body.append("    MS(a, %d, V[%d])"
-                        % (_STORE_WIDTH[mn], i.rs2))
-            body.append("    if not dc(a): c += dr(a)")
-            pc_stale = True
+            if self.fast:
+                uses.add("memf")
+                body.append("    if a + %d > msz:" % width)
+                body.append("        MS(a, %d, V[%d])" % (width, i.rs2))
+                body.append("    else:")
+                if width == 1:
+                    body.append("        D[a] = V[%d] & 255" % i.rs2)
+                else:
+                    body.append("        D[a:a+%d] = (V[%d] & %d)"
+                                ".to_bytes(%d, 'little')"
+                                % (width, i.rs2,
+                                   (1 << (8 * width)) - 1, width))
+                self._dc_fused("a", "    ")
+            else:
+                body.append("    MS(a, %d, V[%d])" % (width, i.rs2))
+                body.append("    if not dc(a): c += dr(a)")
+            self.pc_stale = True
+        elif self.fast and mn == "fld":
+            # FP load: same shape as the integer loads, landing in the
+            # FP bit file (no type/F-bit bookkeeping on FP registers).
+            uses.add("regs")
+            uses.add("mem")
+            uses.add("memf")
+            uses.add("fregs")
+            body.append("    a = (V[%d] + %d) & %d" % (i.rs1, i.imm, _M))
+            body.append("    if a + 8 > msz:")
+            body.append("        x = ML(a, 8)")
+            body.append("    else:")
+            body.append("        x = FB(D[a:a+8], 'little')")
+            self._dc_fused("a", "    ")
+            body.append("    FV[%d] = x" % i.rd)
+            prev_next = i.rd or -1
+            self.pc_stale = True
+        elif self.fast and mn == "fsd":
+            uses.add("regs")
+            uses.add("mem")
+            uses.add("memf")
+            uses.add("fregs")
+            body.append("    a = (V[%d] + %d) & %d" % (i.rs1, i.imm, _M))
+            body.append("    if a + 8 > msz:")
+            body.append("        MS(a, 8, FV[%d])" % i.rs2)
+            body.append("    else:")
+            body.append("        D[a:a+8] = FV[%d].to_bytes(8, 'little')"
+                        % i.rs2)
+            self._dc_fused("a", "    ")
+            self.pc_stale = True
+        elif self.fast and mn == "tld":
+            # Tagged load, fully inlined: mirrors _op_tld +
+            # TagCodec.extract statement for statement, reading the
+            # codec special registers (mutable via setoffset/setshift/
+            # setmask) afresh at every execution.  ``m2`` stands in for
+            # ``cpu.mem_addr2`` (the tag-plane probe address).
+            uses.add("regs")
+            uses.add("mem")
+            uses.add("memf")
+            body.append("    a = (V[%d] + %d) & %d" % (i.rs1, i.imm, _M))
+            body.append("    cd_ = cpu.codec")
+            body.append("    co_ = cd_.offset")
+            body.append("    if a + 8 > msz:")
+            body.append("        vd = ML(a, 8)")
+            body.append("    else:")
+            body.append("        vd = FB(D[a:a+8], 'little')")
+            body.append("    m2 = None")
+            body.append("    if co_ & 4:")           # nan_detect
+            body.append("        if (vd >> 51) == 8191:")  # nanbox.is_boxed
+            body.append("            tg = (vd >> cd_.shift) & cd_.mask")
+            body.append("            it_ = cd_.int_tag")
+            body.append("            if it_ is not None and tg == it_:")
+            body.append("                w = vd & 4294967295")
+            body.append("                x = (w - 4294967296 "
+                        "if w & 2147483648 else w) & %d" % _M)
+            body.append("            else:")
+            body.append("                x = vd & %d" % ((1 << 47) - 1))
+            body.append("            fb = 0")
+            body.append("        else:")
+            body.append("            x = vd")
+            body.append("            tg = cd_.double_tag")
+            body.append("            fb = 1")
+            body.append("    else:")
+            body.append("        dp_ = TD_[co_ & 3]")
+            body.append("        if dp_:")
+            body.append("            m2 = (a + dp_) & %d" % _M)
+            body.append("            if m2 + 8 > msz:")
+            body.append("                td = ML(m2, 8)")
+            body.append("            else:")
+            body.append("                td = FB(D[m2:m2+8], 'little')")
+            body.append("            tg = (td >> cd_.shift) & cd_.mask")
+            body.append("        else:")
+            body.append("            tg = (vd >> cd_.shift) & cd_.mask")
+            body.append("        x = vd")
+            body.append("        fb = 1 if tg in cd_.fp_tags else 0")
+            body.append("        if fb and m2 is not None and (co_ & 8):")
+            body.append("            m2 = None")     # Float Self-Tagging
+            if i.rd:
+                body.append("    V[%d] = x" % i.rd)
+                body.append("    T[%d] = tg & 255" % i.rd)
+                body.append("    F[%d] = 1 if fb else 0" % i.rd)
+            self._dc_fused("a", "    ")
+            body.append("    if m2 is not None:")
+            body.append("        if not dc(m2): c += dr(m2)")
+            prev_next = i.rd or -1
+            self.pc_stale = True
+        elif self.fast and mn == "tsd":
+            # Tagged store, fully inlined: mirrors _op_tsd +
+            # TagCodec.insert, preserving the functional memory-op
+            # order (old-tag load, value store, tag store).
+            uses.add("regs")
+            uses.add("mem")
+            uses.add("memf")
+            body.append("    a = (V[%d] + %d) & %d" % (i.rs1, i.imm, _M))
+            body.append("    cd_ = cpu.codec")
+            body.append("    co_ = cd_.offset")
+            body.append("    m2 = None")
+            body.append("    if co_ & 4:")           # nan-boxed: one dword
+            body.append("        if F[%d]:" % i.rs2)
+            body.append("            vd = V[%d]" % i.rs2)
+            body.append("        else:")
+            body.append("            vd = %d | ((T[%d] & cd_.mask) "
+                        "<< cd_.shift) | (V[%d] & %d)"
+                        % (8191 << 51, i.rs2, i.rs2, (1 << 47) - 1))
+            body.append("        if a + 8 > msz:")
+            body.append("            MS(a, 8, vd)")
+            body.append("        else:")
+            body.append("            D[a:a+8] = (vd & %d)"
+                        ".to_bytes(8, 'little')" % _M)
+            body.append("    else:")
+            body.append("        ta = (a + TD_[co_ & 3]) & %d" % _M)
+            body.append("        if ta + 8 > msz:")
+            body.append("            otd = ML(ta, 8)")
+            body.append("        else:")
+            body.append("            otd = FB(D[ta:ta+8], 'little')")
+            body.append("        fd_ = (cd_.mask & 255) << cd_.shift")
+            body.append("        td = (otd & ~fd_ & %d) | ((T[%d] "
+                        "& cd_.mask) << cd_.shift)" % (_M, i.rs2))
+            body.append("        vd = V[%d]" % i.rs2)
+            body.append("        if a + 8 > msz:")
+            body.append("            MS(a, 8, vd)")
+            body.append("        else:")
+            body.append("            D[a:a+8] = vd.to_bytes(8, 'little')")
+            body.append("        if ta + 8 > msz:")
+            body.append("            MS(ta, 8, td)")
+            body.append("        else:")
+            body.append("            D[ta:ta+8] = (td & %d)"
+                        ".to_bytes(8, 'little')" % _M)
+            body.append("        if not ((co_ & 8) and F[%d]):" % i.rs2)
+            body.append("            m2 = ta")       # tag-plane probe
+            self._dc_fused("a", "    ")
+            body.append("    if m2 is not None:")
+            body.append("        if not dc(m2): c += dr(m2)")
+            self.pc_stale = True
+        elif self.fast and kind == K_TAGGED_ALU:
+            # _tagged_alu inlined: TRT dict probe (hit/miss accounting
+            # kept on the table object, whose dict identity survives
+            # set_trt/flush_trt), the float path on the fbit, the int
+            # path with the optional overflow trap, and write_typed.
+            # Both mispredict paths replicate Cpu._type_mispredict and
+            # exit the trace; the engine-selection guard guarantees
+            # telemetry is off and ``trt.lookup`` is not rebound.
+            uses.add("regs")
+            uses.add("trt")
+            sym = {"xadd": "+", "xsub": "-", "xmul": "*"}[mn]
+            body.append("    k_ = (%d, T[%d], T[%d])"
+                        % (TRT_OPCODES[mn], i.rs1, i.rs2))
+            body.append("    o_ = tg_(k_)")
+            body.append("    if o_ is None:")
+            body.append("        tt_.misses += 1")
+            body.append("        tt_.miss_keys[k_] = "
+                        "tt_.miss_keys.get(k_, 0) + 1")
+            self._redirect_exit(k, "        ")
+            body.append("    tt_.hits += 1")
+            body.append("    if F[%d]:" % i.rs1)
+            if i.rd:
+                # Finite-double arithmetic cannot raise in Python (it
+                # saturates to inf per IEEE 754), so float_to_bits'
+                # OverflowError fallback is unreachable here and the
+                # struct round-trips are inlined directly.
+                body.append("        x = UQ(PF(FU(UP(V[%d]))[0] %s "
+                            "FU(UP(V[%d]))[0]))[0]" % (i.rs1, sym, i.rs2))
+                body.append("        V[%d] = x" % i.rd)
+                body.append("        T[%d] = o_ & 255" % i.rd)
+                body.append("        F[%d] = 1" % i.rd)
+                if mn != "xmul":
+                    body.append("        c += %d" % lat.fp_alu)
+            else:
+                # rd == x0: the float result is pure and the write is
+                # skipped, so fbit[0] stays 0 and no fp_alu is charged.
+                body.append("        pass")
+            body.append("    else:")
+            body.append("        a_ = (V[%d] & %d) - (V[%d] & %d)"
+                        % (i.rs1, _SIGN - 1, i.rs1, _SIGN))
+            body.append("        b_ = (V[%d] & %d) - (V[%d] & %d)"
+                        % (i.rs2, _SIGN - 1, i.rs2, _SIGN))
+            body.append("        x = a_ %s b_" % sym)
+            body.append("        if hi_ and not (-hi_ <= x < hi_):")
+            body.append("            cpu.overflow_traps += 1")
+            self._redirect_exit(k, "            ")
+            if i.rd:
+                body.append("        V[%d] = x & %d" % (i.rd, _M))
+                body.append("        T[%d] = o_ & 255" % i.rd)
+                body.append("        F[%d] = 0" % i.rd)
+            if mn == "xmul":
+                self.pend += lat.mul  # charged on the fast path
+            self.pc_stale = True
         elif mn == "auipc":
             if i.rd:
                 uses.add("regs")
@@ -399,7 +900,7 @@ def _compile_block(table, start, max_len):
                 body.append("    V[%d] = %d" % (i.rd, value))
                 body.append("    T[%d] = %d" % (i.rd, _UNTYPED))
                 body.append("    F[%d] = 0" % i.rd)
-            pc_stale = True
+            self.pc_stale = True
         elif (alu := _alu_inline(i)) is not None:
             stmts, expr = alu
             if i.rd:
@@ -412,42 +913,52 @@ def _compile_block(table, start, max_len):
             # rd == x0: the handler's computation is pure, so a dead
             # write is simply elided.
             if kind == K_MUL:
-                pend += lat.mul
-            pc_stale = True
+                self.pend += lat.mul
+            self.pc_stale = True
         else:
             # Handler-called fallback: the handler reads/writes cpu.pc,
             # so materialise it first if inlined code left it stale.
-            if pc_stale:
+            if self.pc_stale:
                 body.append("    cpu.pc = %d" % pc)
-                pc_stale = False
-            sig.append("h%d=_h[%d]" % (k, k))
-            sig.append("i%d=_i[%d]" % (k, k))
-            call = "h%d(cpu, i%d)" % (k, k)
+                self.pc_stale = False
+            call = self._call(index)
+            if kind in (K_BRANCH, K_JAL, K_JALR) and self.fast:
+                # Unreachable in practice (all branch/jump mnemonics
+                # are inlined above), but if a new mnemonic ever lands
+                # here the front-end method must see — and the inline
+                # sites must then re-read — the live global history.
+                body.append("    g_.history = gh")
             if kind == K_BRANCH:
                 body.append("    cpu.branch_taken = False")
                 body.append("    " + call)
                 body.append("    c += fe.conditional_branch(%d, "
                             "cpu.branch_taken, cpu.pc)" % pc)
+                if self.fast:
+                    body.append("    gh = g_.history")
                 body.append("    if cpu.branch_taken:")
-                emit_exit(k, -1, "        ")
+                self.emit_exit(k + 1, -1, "        ")
             elif kind == K_JAL:
                 body.append("    " + call)
                 body.append("    c += fe.direct_jump(%d, cpu.pc, %s, %d)"
                             % (pc, i.rd == 1, pc + 4))
-                emit_exit(k, -1, "    ")
+                self.emit_exit(k + 1, -1, "    ")
             elif kind == K_JALR:
                 body.append("    " + call)
                 body.append("    c += fe.indirect_jump(%d, cpu.pc, "
                             "%s, %s, %d)"
                             % (pc, i.rd == 0 and i.rs1 == 1, i.rd == 1,
                                pc + 4))
-                emit_exit(k, -1, "    ")
+                self.emit_exit(k + 1, -1, "    ")
             elif kind == K_LOAD:
                 if mn == "tld":
                     body.append("    cpu.mem_addr2 = None")
                 body.append("    " + call)
-                body.append("    if not dc(cpu.mem_addr): "
-                            "c += dr(cpu.mem_addr)")
+                if self.fast:
+                    body.append("    a = cpu.mem_addr")
+                    self._dc_fused("a", "    ")
+                else:
+                    body.append("    if not dc(cpu.mem_addr): "
+                                "c += dr(cpu.mem_addr)")
                 if mn == "tld":
                     body.append("    m = cpu.mem_addr2")
                     body.append("    if m is not None and not dc(m): "
@@ -459,13 +970,17 @@ def _compile_block(table, start, max_len):
                     # have been redirected to R_hdl — guard the
                     # fall-through.
                     body.append("    if cpu.pc != %d:" % (pc + 4))
-                    emit_exit(k, prev_next, "        ")
+                    self.emit_exit(k + 1, prev_next, "        ")
             elif kind == K_STORE:
                 if mn == "tsd":
                     body.append("    cpu.mem_addr2 = None")
                 body.append("    " + call)
-                body.append("    if not dc(cpu.mem_addr): "
-                            "c += dr(cpu.mem_addr)")
+                if self.fast:
+                    body.append("    a = cpu.mem_addr")
+                    self._dc_fused("a", "    ")
+                else:
+                    body.append("    if not dc(cpu.mem_addr): "
+                                "c += dr(cpu.mem_addr)")
                 if mn == "tsd":
                     body.append("    m = cpu.mem_addr2")
                     body.append("    if m is not None and not dc(m): "
@@ -474,10 +989,10 @@ def _compile_block(table, start, max_len):
                 body.append("    cpu.redirect = False")
                 body.append("    " + call)
                 body.append("    if cpu.redirect:")
-                body.append("        c += %d" % redirect_penalty)
-                emit_exit(k, -1, "        ")
+                body.append("        c += %d" % self.redirect_penalty)
+                self.emit_exit(k + 1, -1, "        ")
                 if mn == "xmul":
-                    pend += lat.mul  # charged on the fast path
+                    self.pend += lat.mul  # charged on the fast path
                 elif i.rd:
                     body.append("    if cpu.regs.fbit[%d]: c += %d"
                                 % (i.rd, lat.fp_alu))
@@ -485,11 +1000,15 @@ def _compile_block(table, start, max_len):
                 body.append("    cpu.redirect = False")
                 body.append("    " + call)
                 if mn != "tchk":
-                    body.append("    if not dc(cpu.mem_addr): "
-                                "c += dr(cpu.mem_addr)")
+                    if self.fast:
+                        body.append("    a = cpu.mem_addr")
+                        self._dc_fused("a", "    ")
+                    else:
+                        body.append("    if not dc(cpu.mem_addr): "
+                                    "c += dr(cpu.mem_addr)")
                 body.append("    if cpu.redirect:")
-                body.append("        c += %d" % redirect_penalty)
-                emit_exit(k, -1, "        ")
+                body.append("        c += %d" % self.redirect_penalty)
+                self.emit_exit(k + 1, -1, "        ")
                 if mn != "tchk":
                     prev_next = i.rd or -1
             elif kind == K_ECALL:
@@ -499,43 +1018,79 @@ def _compile_block(table, start, max_len):
                 body.append("    ct.host_instructions += m")
                 body.append("    ct.host_calls += 1")
                 body.append("    c += int(m * %r)" % lat.host_cpi)
-                emit_exit(k, -1, "    ")
+                self.emit_exit(k + 1, -1, "    ")
             else:
                 body.append("    " + call)
                 if mn == "ebreak":
-                    emit_exit(k, -1, "    ")
+                    self.emit_exit(k + 1, -1, "    ")
                 elif mn == "thdl":
                     # With the Section-5 path selector armed, thdl may
                     # redirect straight to the slow path.
                     body.append("    if cpu.pc != %d:" % (pc + 4))
-                    emit_exit(k, -1, "        ")
+                    self.emit_exit(k + 1, -1, "        ")
                 extra = _EXTRA_LATENCY.get(kind)
                 if extra is not None:
-                    pend += getattr(lat, extra)
-        prev_out = prev_next
+                    self.pend += getattr(lat, extra)
+        self.prev_out = prev_next
+        self.prev_pc = pc
+        self.k += 1
 
-    if instrs[stop - 1].mnemonic not in _TERMINATORS:
-        emit_exit(count - 1, prev_out, "    ",
-                  exit_pc=base + 4 * stop if pc_stale else None)
+    def finish(self, stop):
+        """Emit the final fall-through exit unless the last instruction
+        was a terminator (whose exit is already emitted)."""
+        if self.instrs[stop - 1].mnemonic not in _TERMINATORS:
+            exit_pc = self.base + 4 * stop if self.pc_stale else None
+            self.emit_exit(self.k, self.prev_out, "    ", exit_pc=exit_pc)
 
-    lines = ["def _block(%s):" % ", ".join(sig), "    c = 0"]
-    if "regs" in uses:
-        lines.append("    r = cpu.regs")
-        lines.append("    V = r.value; T = r.type; F = r.fbit")
-    if "mem" in uses:
-        lines.append("    m_ = cpu.mem")
-        lines.append("    ML = m_.load; MS = m_.store")
-    lines.extend(body)
+    def build(self, filename):
+        """Assemble, ``compile`` and ``exec`` the generated function."""
+        lines = ["def _block(%s):" % ", ".join(self.sig), "    c = 0"]
+        uses = self.uses
+        if "regs" in uses:
+            lines.append("    r = cpu.regs")
+            lines.append("    V = r.value; T = r.type; F = r.fbit")
+        if "mem" in uses:
+            lines.append("    m_ = cpu.mem")
+            lines.append("    ML = m_.load; MS = m_.store")
+        if "memf" in uses:
+            lines.append("    D = m_.data; msz = m_.size")
+            lines.append("    FB = int.from_bytes")
+        if "fregs" in uses:
+            lines.append("    FV = cpu.fregs.bits")
+        if "gsh" in uses:
+            lines.append("    g_ = fe.gshare")
+            lines.append("    gc = g_.counters; gh = g_.history")
+        if "btb" in uses:
+            lines.append("    bt = fe.btb._table")
+        if "ras" in uses:
+            lines.append("    rs_ = fe.ras._stack")
+        if "dcf" in uses:
+            lines.append("    dcc = dc.__self__; ds = dcc._sets")
+        if "icf" in uses:
+            lines.append("    iss = icc._sets")
+        if "trt" in uses:
+            lines.append("    tt_ = cpu.trt; tg_ = tt_._rules.get")
+            lines.append("    ob_ = cpu.overflow_bits")
+            lines.append("    hi_ = 1 << (ob_ - 1) if ob_ else 0")
+        lines.extend(self.body)
+        namespace = {"_h": self.table._h, "_i": self.table._i, "int": int,
+                     "TD_": TAG_DWORD_DISPLACEMENT,
+                     "UP": _PACK_U64.pack, "UQ": _PACK_U64.unpack,
+                     "PF": _PACK_F64.pack, "FU": _PACK_F64.unpack}
+        from repro.sim import backend
+        return backend.load_unit("\n".join(lines), filename, namespace)
 
-    namespace = {
-        "_h": tuple(handlers[start:stop]),
-        "_i": tuple(instrs[start:stop]),
-        "int": int,
-    }
-    code = compile("\n".join(lines), "<block@0x%x>" % (base + 4 * start),
-                   "exec")
-    exec(code, namespace)
-    return namespace["_block"], count
+
+def _compile_block(table, start, max_len):
+    """Generate, ``exec`` and return ``(fn, count)`` for the block
+    entered at instruction index ``start``."""
+    stop = _block_extent(table, start, max_len)
+    emitter = _Emitter(table)
+    for index in range(start, stop):
+        emitter.emit(index)
+    emitter.finish(stop)
+    fn = emitter.build("<block@0x%x>" % (table.base + 4 * start))
+    return fn, stop - start
 
 
 def _fallback_block(table, index):

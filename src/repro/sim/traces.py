@@ -1,0 +1,406 @@
+"""Superblock trace engine: hot blocks chained across taken branches.
+
+The basic-block engine (:mod:`repro.sim.blocks`) pays one Python-level
+dispatch per basic block — and guest interpreter blocks are short, so
+the dispatch (PC arithmetic, table lookup, budget check, call) is still
+a large fraction of host time.  This module chains *hot* blocks into
+superblock traces, dynamic-binary-translation style, so the dispatch is
+paid once per trace instead:
+
+* **Profile-driven formation.**  The trace dispatch loop counts entries
+  per block; when a block's count reaches :data:`TRACE_THRESHOLD` the
+  runtime records the concrete path taken from that head — executing
+  per block while recording — until the path returns to the head, hits
+  an unchainable exit, or reaches :data:`MAX_TRACE_BLOCKS`.
+* **Static validation.**  Each recorded transition is justified against
+  the program text (:func:`_chain_segment`): a conditional branch whose
+  taken target matches, a ``jal`` whose target matches, a ``jalr``
+  (guarded on the assumed target), or the unconditional fall-through at
+  a :data:`~repro.sim.blocks.MAX_BLOCK_LEN` cut.  Transitions produced
+  by dynamic redirects (type mispredictions, checked-load misses,
+  ``thdl`` deoptimisation) cannot be justified and truncate the trace.
+* **Guarded side exits.**  The chained unit is compiled by the same
+  per-instruction emitter as basic blocks
+  (:class:`repro.sim.blocks._Emitter`), so a guard failure — branch
+  went the other way, ``jalr`` landed elsewhere, a typed op redirected
+  — exits the trace with exactly the front-end training calls, cycle
+  charges and counter updates the reference loop pays on that path.
+  Side exits are architecturally exact: nothing is rolled back or
+  re-executed, control simply deopts to the per-block engine at the
+  exit PC.
+
+Counter identity with both the block engine and the per-instruction
+reference loop is enforced by ``tests/test_traces.py``; traces never
+change *what* is simulated, only how many host-level dispatches it
+costs.
+
+Tables are cached per ``(program, machine-config)`` like block tables
+(the underlying :class:`~repro.sim.blocks.BlockTable` is shared with
+the block engine), so profiles and compiled traces persist across runs
+and across sweep cells in one process.
+"""
+
+import weakref
+
+from repro.sim.blocks import (
+    _BRANCH_COND,
+    _M,
+    MAX_BLOCK_LEN,
+    _block_extent,
+    _Emitter,
+    block_table,
+)
+
+#: A block becomes a trace head after this many dispatch-loop entries.
+TRACE_THRESHOLD = 16
+
+#: Recording stops after this many chained blocks even without closing
+#: the loop back to the head.
+MAX_TRACE_BLOCKS = 64
+
+#: Hard cap on instructions in one compiled trace: bounds generated
+#: code size and the near-budget fallback window.
+MAX_TRACE_INSTRS = 512
+
+#: A trace is evaluated after this many dispatches (see
+#: :meth:`TraceTable.evaluate`).
+TRACE_EVAL_WINDOW = 32
+
+#: Evaluation keeps a trace whose average instructions per dispatch
+#: are at least this factor of its *first-guard span* — the
+#: instructions a dispatch executes when the recorded path is wrong
+#: immediately, i.e. what the head's block dispatch would have done.
+#: One trace dispatch must therefore replace at least this many
+#: head-block dispatches.  A trace that side-exits partway can still
+#: clear this easily (30% of a 200-instruction trace is many blocks'
+#: worth of work in one dispatch); only a trace doing no better than
+#: the plain block — its recorded path no longer taken at all — is
+#: retired for re-profiling.  The bar is capped at half the trace
+#: length so a trace whose first guard sits near its end (which
+#: executes almost everything even when it exits there) is never
+#: unbeatable.
+TRACE_PROFIT_FACTOR = 2.0
+
+#: Consecutive healthy evaluation windows after which a trace
+#: *graduates*: health metering stops (its ``meta`` slot is cleared)
+#: and the dispatch loop runs it with zero bookkeeping from then on —
+#: the same move tiered JITs make when they stop profiling mature
+#: code.  A workload phase change after graduation is still correct
+#: (guards exit to the block engine); it just runs at guard-exit
+#: speed instead of being re-recorded.
+TRACE_MATURE_WINDOWS = 4
+
+#: Bound on retire/re-record cycles per head; re-records are cheap
+#: once a path is in the per-head compiled cache, so this is a large
+#: safety stop, with exponential backoff doing the real damping.
+MAX_RERECORDS = 32
+
+#: Bound on *distinct compiled paths* per head.  Compiling a trace is
+#: the expensive step (CPython ``compile`` on a few thousand generated
+#: lines); a head whose hot path keeps shifting stops getting new
+#: compiles after this many and swaps between its cached traces (or
+#: the plain block) from then on.
+MAX_TRACES_PER_HEAD = 4
+
+
+class TraceTable:
+    """Per-``(program, config)`` trace state for the dispatch loop.
+
+    ``entries[index]`` is the ``(fn, count)`` unit dispatched at
+    ``index`` — a compiled trace for hot heads, otherwise the shared
+    :class:`~repro.sim.blocks.BlockTable` entry — or ``None`` before
+    first use.  ``counts[index]`` is the dispatch-loop entry profile
+    driving trace formation.
+    """
+
+    def __init__(self, program, config):
+        self.blocks = block_table(program, config)
+        size = len(self.blocks.instructions)
+        self.base = self.blocks.base
+        self.entries = [None] * size
+        self.counts = [0] * size
+        #: ``meta[head]`` is ``[profit_bar, dispatches, executed,
+        #: healthy_windows]`` for an installed trace still under health
+        #: metering (``None`` for no trace *or* a graduated one) — the
+        #: dispatch loop feeds it and triggers :meth:`evaluate` once
+        #: per window.  ``profit_bar`` is the per-dispatch instruction
+        #: bar the trace must average to stay installed (see
+        #: :data:`TRACE_PROFIT_FACTOR`).
+        self.meta = [None] * size
+        #: ``head -> {path_tuple: entry}``: every trace ever compiled,
+        #: so retire/re-record cycles (and workload switches on a
+        #: shared table) reinstall known paths without recompiling.
+        self._compiled = {}
+        self._rerecorded = {}
+        self.traces = 0
+        self.trace_instructions = 0
+        self.trace_failures = 0
+        self.retired = 0
+
+    def entry_at(self, index):
+        """Install and return the block-engine entry for ``index``."""
+        entry = self.blocks.block_at(index)
+        self.entries[index] = entry
+        return entry
+
+    def budget_entry(self, index, remaining):
+        """The largest exact unit that cannot overrun ``remaining``
+        instructions: the plain block, or a single instruction so the
+        ``ExecutionLimitExceeded`` point stays exact."""
+        entry = self.blocks.block_at(index)
+        if entry[1] > remaining:
+            entry = self.blocks.single_at(index)
+        return entry
+
+    def record_and_run(self, index, cpu, prev, ic, dc, dr, fe, ct, icc,
+                       max_instructions):
+        """Record the hot path from ``index`` while executing it per
+        block, then compile and install a trace for the head.
+
+        Returns ``(cycles, prev)`` for the span actually executed, so
+        the dispatch loop treats recording like any other unit call.
+        Recording stops when the path returns to the head (a loop
+        closed), leaves the program, reaches :data:`MAX_TRACE_BLOCKS`,
+        halts, or nears the instruction budget.
+        """
+        blocks = self.blocks
+        base = self.base
+        size = len(self.entries)
+        head = index
+        path = [index]
+        cycles = 0
+        while True:
+            entry = blocks.block_at(path[-1])
+            if cpu.instret + entry[1] > max_instructions:
+                break
+            c, prev = entry[0](cpu, prev, ic, dc, dr, fe, ct, icc)
+            cycles += c
+            if cpu.halted or cpu.instret >= max_instructions:
+                break
+            nxt = (cpu.pc - base) >> 2
+            if not 0 <= nxt < size:
+                break
+            if nxt == head or len(path) >= MAX_TRACE_BLOCKS:
+                break
+            path.append(nxt)
+        self._install(head, path)
+        return cycles, prev
+
+    def _install(self, head, path):
+        """Compile (or fetch from the per-head cache) a trace entry
+        for the recorded ``path``; anything unchainable degrades to
+        the plain block."""
+        compiled = None
+        if len(path) > 1:
+            per_head = self._compiled.setdefault(head, {})
+            key = tuple(path)
+            compiled = per_head.get(key)
+            if compiled is None and len(per_head) < MAX_TRACES_PER_HEAD:
+                try:
+                    segments = _plan(self.blocks, path)
+                    if len(segments) > 1:
+                        entry = _compile_trace(self.blocks, segments)
+                        span = _first_guard_span(self.blocks, segments)
+                        bar = min(TRACE_PROFIT_FACTOR * span,
+                                  0.5 * entry[1])
+                        compiled = (entry, bar)
+                        self.traces += 1
+                        self.trace_instructions += entry[1]
+                        per_head[key] = compiled
+                except Exception as err:  # noqa: BLE001 — degrade
+                    from repro.telemetry.core import record_degradation
+
+                    self.trace_failures += 1
+                    record_degradation({
+                        "name": "trace_compile_failed",
+                        "pc": self.base + 4 * head,
+                        "blocks": len(path),
+                        "error": "%s: %s" % (type(err).__name__, err),
+                    })
+        if compiled is None:
+            self.entries[head] = self.blocks.block_at(head)
+        else:
+            entry, bar = compiled
+            self.meta[head] = [bar, 0, 0, 0]
+            self.entries[head] = entry
+
+    def evaluate(self, head):
+        """Keep or retire the trace at ``head`` after its evaluation
+        window.
+
+        The test is *profitability against the block alternative*: a
+        trace averaging at least its profit bar (see
+        :data:`TRACE_PROFIT_FACTOR`) of instructions per dispatch
+        stays installed — even one that side-exits partway amortises
+        many block dispatches into one.  A trace doing no better than
+        the plain block was recorded under a path profile that no
+        longer holds (a later phase of the workload), so it is
+        retired: the head reverts to the plain block and re-profiles,
+        re-recording a trace for the path that is hot *now*.  Retiring
+        only swaps which exact compiled units run; counters are
+        unaffected.
+        """
+        meta = self.meta[head]
+        bar, dispatches, executed, healthy = meta
+        done = self._rerecorded.get(head, 0)
+        if executed >= bar * dispatches \
+                or done >= MAX_RERECORDS:
+            # Healthy (or out of re-record budget): keep the trace.
+            # After TRACE_MATURE_WINDOWS consecutive healthy windows
+            # it graduates — metering stops and its dispatches carry
+            # no bookkeeping at all.
+            healthy += 1
+            if healthy >= TRACE_MATURE_WINDOWS or done >= MAX_RERECORDS:
+                self.meta[head] = None
+                return
+            meta[1] = 0
+            meta[2] = 0
+            meta[3] = healthy
+            return
+        self._rerecorded[head] = done + 1
+        self.retired += 1
+        self.meta[head] = None
+        self.entries[head] = self.blocks.block_at(head)
+        # Re-profile with exponential backoff: each successive
+        # re-record needs geometrically more dispatches first, so a
+        # head whose hot path keeps shifting spends its time in the
+        # plain block instead of oscillating between traces.
+        self.counts[head] = -(TRACE_THRESHOLD << min(done, 8))
+
+
+def _chain_segment(blocks, s, t):
+    """Statically justify the recorded transition ``s -> t``.
+
+    Returns ``(start, stop, chain)`` — the instruction span emitted for
+    this segment and the chain disposition of its last instruction (see
+    :class:`repro.sim.blocks._Emitter`) — or ``None`` if no static exit
+    of the block at ``s`` can produce entry ``t`` (e.g. the transition
+    came from a dynamic redirect).
+    """
+    instrs = blocks.instructions
+    base = blocks.base
+    size = len(instrs)
+    stop = min(size, s + MAX_BLOCK_LEN)
+    for j in range(s, stop):
+        i = instrs[j]
+        mn = i.mnemonic
+        pc = base + 4 * j
+        if mn in _BRANCH_COND:
+            target = (pc + i.imm) & _M
+            if (target - base) >> 2 == t:
+                return (s, j + 1, ("taken", target))
+            continue  # assumed not taken: emitted with a taken side exit
+        if mn == "jal":
+            target = (pc + i.imm) & _M
+            if (target - base) >> 2 == t:
+                return (s, j + 1, ("jal", target))
+            return None
+        if mn == "jalr":
+            return (s, j + 1, ("jalr", base + 4 * t))
+        if mn in ("ecall", "ebreak"):
+            return None
+    if stop < size and stop == t:
+        return (s, stop, ("fall",))  # MAX_BLOCK_LEN cut: unconditional
+    return None
+
+
+def _plan(blocks, path):
+    """Turn a recorded entry path into emitter segments.
+
+    Chained segments cover every transition that can be statically
+    justified (stopping at the first that cannot, or at
+    :data:`MAX_TRACE_INSTRS`); the final segment is the full block at
+    the last chained-to entry, emitted with plain block-mode exits —
+    which is also what closes a loop back to the head.
+    """
+    segments = []
+    total = 0
+    final = path[0]
+    for s, t in zip(path, path[1:]):
+        seg = _chain_segment(blocks, s, t)
+        if seg is None:
+            break
+        total += seg[1] - seg[0]
+        if total > MAX_TRACE_INSTRS:
+            break
+        segments.append(seg)
+        final = t
+    segments.append((final, _block_extent(blocks, final, MAX_BLOCK_LEN),
+                     None))
+    return segments
+
+
+def _first_guard_span(blocks, segments):
+    """Instructions executed when the first guard in the trace fails.
+
+    This is what a dispatch costs when the recorded path is wrong from
+    the start — i.e. what the plain head block would have executed —
+    and therefore the yardstick for trace profitability.  The first
+    guard is the first conditional branch anywhere in the trace
+    (interior ones are emitted assumed-not-taken with a taken side
+    exit) or a guarded ``jalr`` chain; a trace with no guard at all
+    cannot fail early and the span is its full length.
+    """
+    instrs = blocks.instructions
+    span = 0
+    for start, stop, chain in segments:
+        for j in range(start, stop):
+            span += 1
+            if instrs[j].mnemonic in _BRANCH_COND:
+                return span
+        if chain is not None and chain[0] == "jalr":
+            return span
+    return span
+
+
+def _compile_trace(blocks, segments):
+    """Generate, ``exec`` and return ``(fn, count)`` for a trace.
+
+    Traces are compiled with the emitter's ``fast`` mode: the
+    front-end, cache and memory helpers are inlined on their hot paths
+    (see :class:`repro.sim.blocks._Emitter`), while plain blocks keep
+    the PR 3 code shape.
+    """
+    emitter = _Emitter(blocks, fast=True)
+    for start, stop, chain in segments:
+        if chain is None or chain[0] == "fall":
+            for index in range(start, stop):
+                emitter.emit(index)
+        else:
+            for index in range(start, stop - 1):
+                emitter.emit(index)
+            emitter.emit(stop - 1, chain=chain)
+    emitter.finish(segments[-1][1])
+    head_pc = blocks.base + 4 * segments[0][0]
+    fn = emitter.build("<trace@0x%x>" % head_pc)
+    return fn, emitter.k
+
+
+# One table per (program, machine config, guest workload), keyed weakly
+# on the program like blocks._TABLES.
+_TABLES = weakref.WeakKeyDictionary()
+
+
+def trace_table(program, config, workload=None):
+    """The (shared, lazily filled) :class:`TraceTable` for a program
+    under a machine configuration, specialised to a guest workload.
+
+    Block tables are guest-independent (pure interpreter text) and
+    shared per ``(program, config)``; trace state is *profile* — the
+    hot paths through the interpreter are driven by the guest program
+    it runs — so it is additionally keyed by the ``workload`` token the
+    engine stamps on the CPU (see ``vm.prepare``).  This mirrors a real
+    DBT's per-process code cache: two guests never pollute each other's
+    traces, while repeated runs of the same guest (warm-up, sweeps,
+    batch cells) reuse profiles and compiled traces for free.
+    """
+    per_program = _TABLES.get(program)
+    if per_program is None:
+        per_program = {}
+        _TABLES[program] = per_program
+    key = (config, workload)
+    table = per_program.get(key)
+    if table is None:
+        table = TraceTable(program, config)
+        per_program[key] = table
+    return table

@@ -42,29 +42,36 @@ class Gshare:
 
 
 class Btb:
-    """Fully-associative branch target buffer with LRU replacement."""
+    """Fully-associative branch target buffer with LRU replacement.
+
+    LRU order is the insertion order of ``_table`` (oldest first):
+    touching an entry re-inserts it at the MRU end, eviction pops the
+    first key.  O(1) per operation where a list-based order would scan
+    all 62 entries on every branch — the BTB is on the trained path of
+    every control-flow instruction, so this is one of the hottest
+    structures in the whole simulator.
+    """
 
     def __init__(self, entries=62):
         self.entries = entries
         self._table = {}
-        self._order = []
 
     def lookup(self, pc):
         """Predicted target for ``pc``, or ``None`` on a BTB miss."""
-        target = self._table.get(pc)
+        table = self._table
+        target = table.get(pc)
         if target is not None:
-            self._order.remove(pc)
-            self._order.append(pc)
+            del table[pc]
+            table[pc] = target
         return target
 
     def update(self, pc, target):
-        if pc in self._table:
-            self._order.remove(pc)
-        elif len(self._order) >= self.entries:
-            victim = self._order.pop(0)
-            del self._table[victim]
-        self._table[pc] = target
-        self._order.append(pc)
+        table = self._table
+        if pc in table:
+            del table[pc]
+        elif len(table) >= self.entries:
+            del table[next(iter(table))]
+        table[pc] = target
 
 
 class ReturnAddressStack:

@@ -125,7 +125,7 @@ class Machine:
     """
 
     def __init__(self, cpu, config=None, attribution=None, telemetry=None,
-                 use_blocks=True):
+                 use_blocks=True, use_traces=True):
         self.cpu = cpu
         self.config = config or DEFAULT_CONFIG
         self.icache = Cache(self.config.icache, name="icache")
@@ -136,23 +136,31 @@ class Machine:
         self.attribution = attribution
         self.telemetry = telemetry
         self.use_blocks = use_blocks
+        self.use_traces = use_traces
         self._kinds = [_kind_of(i.mnemonic)
                        for i in cpu.program.instructions]
 
     def run(self, max_instructions=200_000_000):
         """Run to completion, accumulating cycles and counters.
 
-        Uses the basic-block superinstruction engine
-        (:mod:`repro.sim.blocks`) when nothing needs per-instruction
-        visibility; attribution, telemetry (machine- or cpu-level) and
-        tracers that rebind ``cpu.step`` all fall back to the
-        per-instruction loop.  Both engines produce bit-identical
+        Engine selection: the superblock trace engine
+        (:mod:`repro.sim.traces`) by default, the basic-block engine
+        (:mod:`repro.sim.blocks`) with ``use_traces=False``, and the
+        per-instruction reference loop whenever something needs
+        per-instruction visibility — attribution, telemetry (machine-
+        or cpu-level), tracers that rebind ``cpu.step`` — or with
+        ``use_blocks=False``.  All engines produce bit-identical
         counters and cycles.
         """
         if (self.use_blocks and self.attribution is None
                 and self.telemetry is None
                 and self.cpu.telemetry is None
                 and "step" not in self.cpu.__dict__):
+            # Traces additionally inline the TRT hit path, so an
+            # instance-rebound ``trt.lookup`` (telemetry wrapper) must
+            # fall back to the handler-calling block engine.
+            if self.use_traces and "lookup" not in self.cpu.trt.__dict__:
+                return self._run_traces(max_instructions)
             return self._run_blocks(max_instructions)
         return self._run_interpreted(max_instructions)
 
@@ -188,6 +196,83 @@ class Machine:
                 entry = table.single_at(index)
             c, prev = entry[0](cpu, prev, ic, dc, dr, frontend,
                                counters, icache)
+            cycles += c
+            if cpu.instret >= max_instructions:
+                raise ExecutionLimitExceeded(
+                    "exceeded %d instructions at PC 0x%x"
+                    % (max_instructions, cpu.pc), pc=cpu.pc)
+
+        return self._finalize(cycles)
+
+    def _run_traces(self, max_instructions):
+        """Trace-at-a-time dispatch loop (see :mod:`repro.sim.traces`).
+
+        Identical to :meth:`_run_blocks` except that each dispatch also
+        bumps the per-entry profile counter, and a counter hitting
+        :data:`~repro.sim.traces.TRACE_THRESHOLD` triggers path
+        recording — which executes per block while recording, so it is
+        accounted exactly like any other unit call.
+        """
+        from repro.sim.traces import (
+            TRACE_EVAL_WINDOW,
+            TRACE_THRESHOLD,
+            trace_table,
+        )
+
+        cpu = self.cpu
+        table = trace_table(cpu.program, self.config,
+                            getattr(cpu, "workload", None))
+        entries = table.entries
+        counts = table.counts
+        meta = table.meta
+        size = len(entries)
+        base = table.base
+        icache = self.icache
+        ic = icache.access
+        dc = self.dcache.access
+        dr = self.dram.access
+        frontend = self.frontend
+        counters = self.counters
+        cycles = 0
+        prev = -1
+
+        while not cpu.halted:
+            index = (cpu.pc - base) >> 2
+            if 0 <= index < size:
+                entry = entries[index]
+                if entry is None:
+                    entry = table.entry_at(index)
+            else:
+                raise IllegalInstruction(
+                    "PC 0x%x outside program" % cpu.pc, pc=cpu.pc)
+            hot = counts[index] + 1
+            counts[index] = hot
+            if hot == TRACE_THRESHOLD:
+                c, prev = table.record_and_run(
+                    index, cpu, prev, ic, dc, dr, frontend, counters,
+                    icache, max_instructions)
+            else:
+                done = cpu.instret
+                if done + entry[1] > max_instructions:
+                    # Close to the budget: fall back to the plain block
+                    # or a single instruction so the limit trips at the
+                    # exact instruction.
+                    entry = table.budget_entry(
+                        index, max_instructions - done)
+                    c, prev = entry[0](cpu, prev, ic, dc, dr, frontend,
+                                       counters, icache)
+                else:
+                    c, prev = entry[0](cpu, prev, ic, dc, dr, frontend,
+                                       counters, icache)
+                    m = meta[index]
+                    if m is not None:
+                        # Trace health: how much of the trace actually
+                        # ran.  Mostly-early-exiting traces (stale path
+                        # profile) are retired for re-recording.
+                        m[1] += 1
+                        m[2] += cpu.instret - done
+                        if m[1] == TRACE_EVAL_WINDOW:
+                            table.evaluate(index)
             cycles += c
             if cpu.instret >= max_instructions:
                 raise ExecutionLimitExceeded(

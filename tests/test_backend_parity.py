@@ -1,0 +1,150 @@
+"""The optional compiled block backend (:mod:`repro.sim.backend`).
+
+Contract: the backend only changes *how* a generated unit becomes a
+callable — never the unit's source — so every counter is bit-identical
+with and without it, and a missing or broken build degrades to pure
+Python instead of failing anything.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+from repro.bench.runner import run_benchmark
+from repro.engines.lua import vm as lua_vm
+from repro.sim import backend
+
+_TOOL = os.path.join(os.path.dirname(__file__), os.pardir, "tools",
+                     "build_backend.py")
+
+
+def _build_tool():
+    spec = importlib.util.spec_from_file_location("build_backend", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(autouse=True)
+def _pristine_backend(monkeypatch):
+    monkeypatch.delenv(backend.BACKEND_ENV, raising=False)
+    backend.reset()
+    yield
+    backend.record_units(None)
+    backend.reset()
+
+
+def _run_cell():
+    return run_benchmark("lua", "fibo", "baseline", scale=10,
+                         use_cache=False, attribute=False)
+
+
+def _fresh_tables():
+    """Drop the cached interpreter program so the next run predecodes
+    and compiles its units from scratch (through the active backend)."""
+    lua_vm._PROGRAM_CACHE.clear()
+
+
+def test_pure_python_is_the_default():
+    assert backend.active() is None
+    assert backend.describe() == "block backend: pure python"
+
+
+def test_marshal_backend_bit_identical(tmp_path, monkeypatch):
+    reference = _run_cell()
+
+    units = {}
+    backend.record_units(units)
+    try:
+        _fresh_tables()
+        _run_cell()
+    finally:
+        backend.record_units(None)
+    assert units  # blocks (and traces) really went through the funnel
+
+    tool = _build_tool()
+    manifest = tool.build(units, str(tmp_path), "marshal")
+    assert manifest["backend"] == "marshal"
+    assert set(manifest["units"]) == set(units)
+
+    monkeypatch.setenv(backend.BACKEND_ENV, str(tmp_path))
+    backend.reset()
+    _fresh_tables()
+    served = _run_cell()
+
+    active = backend.active()
+    assert active is not None and active.kind == "marshal"
+    assert active.hits > 0
+    assert served.output == reference.output
+    assert served.counters.as_dict() == reference.counters.as_dict()
+    assert str(tmp_path) in backend.describe()
+
+
+def test_partial_build_serves_what_it_has(tmp_path, monkeypatch):
+    units = {}
+    backend.record_units(units)
+    try:
+        _fresh_tables()
+        reference = _run_cell()
+    finally:
+        backend.record_units(None)
+
+    # Build only half the captured units: the rest must fall back to
+    # compile-from-source within the same run, bit for bit.
+    half = dict(sorted(units.items())[:max(1, len(units) // 2)])
+    _build_tool().build(half, str(tmp_path), "marshal")
+
+    monkeypatch.setenv(backend.BACKEND_ENV, str(tmp_path))
+    backend.reset()
+    _fresh_tables()
+    served = _run_cell()
+
+    active = backend.active()
+    assert active.hits > 0 and active.misses > 0
+    assert served.counters.as_dict() == reference.counters.as_dict()
+
+
+def test_missing_explicit_path_degrades_to_pure(tmp_path, monkeypatch):
+    reference = _run_cell()
+    monkeypatch.setenv(backend.BACKEND_ENV, str(tmp_path / "nope"))
+    backend.reset()
+    assert backend.active() is None
+    _fresh_tables()
+    record = _run_cell()
+    assert record.counters.as_dict() == reference.counters.as_dict()
+    assert "unavailable" in backend.describe()
+
+
+def test_auto_without_build_is_silent(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # no build/block_backend here
+    monkeypatch.setenv(backend.BACKEND_ENV, "auto")
+    backend.reset()
+    assert backend.active() is None
+    assert backend.describe() == "block backend: pure python"
+
+
+def test_wrong_magic_is_refused(tmp_path, monkeypatch):
+    units = {}
+    backend.record_units(units)
+    try:
+        _fresh_tables()
+        _run_cell()
+    finally:
+        backend.record_units(None)
+    _build_tool().build(units, str(tmp_path), "marshal")
+
+    manifest_path = tmp_path / "manifest.json"
+    import json
+    manifest = json.loads(manifest_path.read_text())
+    manifest["magic"] = manifest["magic"] + 1
+    manifest_path.write_text(json.dumps(manifest))
+
+    with pytest.raises(backend.BackendUnavailable):
+        backend.CompiledBackend(str(tmp_path))
+    # And through the env path it degrades rather than raises.
+    monkeypatch.setenv(backend.BACKEND_ENV, str(tmp_path))
+    backend.reset()
+    assert backend.active() is None
+    _fresh_tables()
+    _run_cell()

@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Ahead-of-time build of the generated block/trace units.
+
+Captures the unit set by running a small calibration matrix with the
+block and trace engines enabled (every compiled unit's source is
+content-addressed and deterministic per ``(interpreter, machine
+config)``), then builds the fastest backend the toolchain supports:
+
+1. **cython** — compile a module of the captured units to a native
+   extension (needs Cython + a C compiler);
+2. **mypyc** — same idea via mypyc (needs mypy);
+3. **marshal** — always available: pre-compile each unit once and
+   marshal the code object, so a later process pays ``marshal.loads``
+   instead of CPython ``compile``.
+
+The build lands in ``build/block_backend/`` (see
+``repro.sim.backend.DEFAULT_BUILD_DIR``) and is activated with
+``REPRO_BLOCK_BACKEND=auto`` (or a path).  Building is always
+optional: when no backend can be built — or none is activated — every
+code path falls back to pure-Python ``compile``+``exec`` with
+bit-identical counters.
+
+Usage::
+
+    PYTHONPATH=src python tools/build_backend.py [--out DIR]
+        [--backend auto|cython|mypyc|marshal] [--configs a,b,...]
+"""
+
+import argparse
+import importlib.util
+import json
+import marshal
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import runner  # noqa: E402
+from repro.engines import all_configs  # noqa: E402
+from repro.sim import backend  # noqa: E402
+
+#: Calibration cells per (engine, config): enough to drive every hot
+#: handler through block *and* trace compilation without a full sweep.
+CAPTURE_BENCHMARKS = (("fibo", 12), ("n-sieve", 400))
+
+
+def capture_units(configs):
+    """Run the calibration matrix with unit recording on; returns
+    ``{key: (source, filename)}`` of every unit compiled."""
+    units = {}
+    backend.record_units(units)
+    try:
+        for engine in runner.ENGINES:
+            for config in configs:
+                for benchmark, scale in CAPTURE_BENCHMARKS:
+                    runner.run_benchmark(
+                        engine, benchmark, config, scale=scale,
+                        use_cache=False, attribute=False,
+                        use_blocks=True, use_traces=True)
+    finally:
+        backend.record_units(None)
+    return units
+
+
+def build_marshal(units, out):
+    """Marshal each unit's pre-compiled code object into ``out``."""
+    index = {}
+    for key, (source, filename) in units.items():
+        code = compile(source, filename, "exec")
+        name = "%s.bin" % key
+        with open(os.path.join(out, name), "wb") as handle:
+            handle.write(marshal.dumps(code))
+        index[key] = name
+    return "marshal", index, {}
+
+
+def _units_module_source(units):
+    """One module holding every captured unit, renamed ``u_<key>``.
+
+    ``BINDINGS = globals()`` lets the runtime adapter
+    (:class:`repro.sim.backend._NativeUnits`) inject the emitter's
+    namespace (``_h``, ``_i``, the struct packers...) as module
+    globals before the first call.
+    """
+    lines = ["BINDINGS = globals()", ""]
+    for key, (source, _filename) in sorted(units.items()):
+        lines.append(re.sub(r"^def _block\(", "def u_%s(" % key, source,
+                            count=1))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def build_cython(units, out):
+    """Compile the units module with Cython; raises if unavailable."""
+    from Cython.Build import cythonize  # noqa: F401 - availability probe
+    from setuptools import Extension
+    from setuptools.dist import Distribution
+
+    module_path = os.path.join(out, "repro_block_units.pyx")
+    with open(module_path, "w") as handle:
+        handle.write(_units_module_source(units))
+    extensions = cythonize(
+        [Extension("repro_block_units", [module_path])],
+        quiet=True, language_level=3)
+    dist = Distribution({"ext_modules": extensions})
+    cmd = dist.get_command_obj("build_ext")
+    cmd.build_lib = out
+    cmd.build_temp = os.path.join(out, "tmp")
+    dist.run_command("build_ext")
+    built = next(name for name in os.listdir(out)
+                 if name.startswith("repro_block_units")
+                 and name.endswith((".so", ".pyd")))
+    index = {key: "u_%s" % key for key in units}
+    return "cython", index, {"module": built}
+
+
+def build_mypyc(units, out):
+    """Compile the units module with mypyc; raises if unavailable."""
+    from mypyc.build import mypycify
+    from setuptools.dist import Distribution
+
+    module_path = os.path.join(out, "repro_block_units.py")
+    with open(module_path, "w") as handle:
+        handle.write(_units_module_source(units))
+    dist = Distribution({"ext_modules": mypycify([module_path])})
+    cmd = dist.get_command_obj("build_ext")
+    cmd.build_lib = out
+    cmd.build_temp = os.path.join(out, "tmp")
+    dist.run_command("build_ext")
+    built = next(name for name in os.listdir(out)
+                 if name.startswith("repro_block_units")
+                 and name.endswith((".so", ".pyd")))
+    index = {key: "u_%s" % key for key in units}
+    return "mypyc", index, {"module": built}
+
+
+_BUILDERS = {"cython": build_cython, "mypyc": build_mypyc,
+             "marshal": build_marshal}
+
+
+def build(units, out, choice="auto"):
+    """Build the requested (or best available) backend into ``out``;
+    returns the manifest dict."""
+    os.makedirs(out, exist_ok=True)
+    order = [choice] if choice != "auto" else ["cython", "mypyc",
+                                              "marshal"]
+    last_error = None
+    for name in order:
+        try:
+            kind, index, extra = _BUILDERS[name](units, out)
+            break
+        except Exception as err:  # noqa: BLE001 - fall through the chain
+            last_error = "%s: %s: %s" % (name, type(err).__name__, err)
+            print("backend %s unavailable (%s)" % (name, last_error),
+                  file=sys.stderr)
+    else:
+        raise SystemExit("no backend could be built: %s" % last_error)
+    manifest = {
+        "manifest_version": backend.MANIFEST_VERSION,
+        "backend": kind,
+        "magic": int.from_bytes(importlib.util.MAGIC_NUMBER[:2],
+                                "little"),
+        "python": "%d.%d" % sys.version_info[:2],
+        "units": index,
+        **extra,
+    }
+    with open(os.path.join(out, "manifest.json"), "w") as handle:
+        json.dump(manifest, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return manifest
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=backend.DEFAULT_BUILD_DIR,
+                        help="build directory (default: %(default)s)")
+    parser.add_argument("--backend", default="auto",
+                        choices=("auto", "cython", "mypyc", "marshal"),
+                        help="backend to build (auto tries cython, "
+                             "mypyc, then marshal)")
+    parser.add_argument("--configs", default=None,
+                        help="comma-separated tagging configs "
+                             "(default: the full registry)")
+    args = parser.parse_args(argv)
+
+    configs = args.configs.split(",") if args.configs else all_configs()
+    unknown = [c for c in configs if c not in all_configs()]
+    if unknown:
+        parser.error("unknown config(s): %s" % ", ".join(unknown))
+
+    print("capturing units over %d config(s)..." % len(configs))
+    units = capture_units(configs)
+    print("captured %d unit(s); building..." % len(units))
+    manifest = build(units, args.out, args.backend)
+    print("built %s backend: %d unit(s) at %s"
+          % (manifest["backend"], len(manifest["units"]), args.out))
+    print("activate with %s=auto (or %s=%s)"
+          % (backend.BACKEND_ENV, backend.BACKEND_ENV, args.out))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
