@@ -4,7 +4,7 @@ JOBS ?=
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test lint sweep sweep-full faults-smoke faults serve-smoke \
-	serve-load figures perfbench clean-cache
+	serve-load chaos-smoke figures perfbench clean-cache
 
 # Tier-1 verification.
 test:
@@ -52,6 +52,17 @@ serve-load:
 	$(PYTHON) -m repro loadgen --smoke $(if $(JOBS),--jobs $(JOBS)) \
 		--json $(or $(SERVE_LOAD_JSON),BENCH_serve.json) \
 		--router-log $(or $(ROUTER_LOG),router.log)
+
+# CI chaos gate: boot a supervised 2-shard tier, replay the pinned-seed
+# fault schedule (shard SIGKILL + SIGSTOP stall mid-load), write the
+# BENCH_chaos.json artifact (+ router/shard logs) and fail on any chaos
+# SLO violation — zero lost, zero duplicated, bounded MTTR, ring back
+# to full strength (docs/RELIABILITY.md).
+chaos-smoke:
+	$(PYTHON) -m repro chaos --smoke \
+		--json $(or $(CHAOS_JSON),BENCH_chaos.json) \
+		--router-log $(or $(ROUTER_LOG),router.log) \
+		--log-dir $(or $(CHAOS_LOGS),chaos-logs)
 
 # Regenerate benchmarks/results/ (shares the sweep via the disk cache).
 figures:

@@ -132,6 +132,10 @@ class ResultCache:
             self.quarantine(path, "unreadable: %s" % err)
             self.misses += 1
             return None
+        except UnicodeDecodeError as err:
+            self.quarantine(path, "not valid UTF-8 (%s)" % err)
+            self.misses += 1
+            return None
         record, reason = self._decode(text, engine, benchmark, config,
                                       scale)
         if record is None:

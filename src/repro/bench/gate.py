@@ -387,3 +387,99 @@ def check_slo(report, **overrides):
                    int(identity.get("matched", 0)),
                    int(identity.get("sampled", 0))))
     return violations, text
+
+
+# -- the chaos SLO gate ------------------------------------------------------
+
+#: Default bounds for the chaos gate (``repro chaos`` against a
+#: supervised 2-shard tier; see docs/RELIABILITY.md).  The structural
+#: bounds are exact: a self-healing tier under seeded faults loses
+#: *nothing* and duplicates *nothing* — a killed shard's in-flight
+#: work is re-dispatched (``retried``), overload is shed with a typed
+#: rejection, and the ring is whole again at the end.  ``mttr`` is
+#: generous for cold CI runners; the zero bounds are the gate.
+DEFAULT_CHAOS_SLO = {
+    "max_lost": 0,
+    "max_duplicated": 0,
+    "max_mttr_seconds": 30.0,
+    "require_ring_full": True,
+    "min_served": 1,
+}
+
+
+def check_chaos(report, **overrides):
+    """Gate a ``BENCH_chaos.json`` payload against the chaos SLO.
+
+    ``report`` is the stamped artifact dict from
+    :func:`repro.serve.chaos.make_chaos_report`; ``overrides`` replace
+    individual :data:`DEFAULT_CHAOS_SLO` bounds (``None`` disables
+    one).  Returns ``(violations, text)`` like :func:`check_slo`.
+    """
+    slo = dict(DEFAULT_CHAOS_SLO)
+    unknown = set(overrides) - set(slo)
+    if unknown:
+        raise ValueError("unknown chaos SLO bound(s): %s"
+                         % ", ".join(sorted(unknown)))
+    slo.update(overrides)
+    try:
+        require_artifact(report, "chaos")
+    except SchemaError as err:
+        return (["artifact: %s" % err],
+                "CHAOS GATE: unreadable artifact — %s" % err)
+
+    violations = []
+    traffic = report.get("traffic", {})
+    recovery = report.get("recovery", {})
+    faults = report.get("faults", [])
+
+    if slo["max_lost"] is not None:
+        lost = int(traffic.get("lost", 1))
+        if lost > slo["max_lost"]:
+            violations.append(
+                "%d request(s) LOST under faults (bound %d; samples: "
+                "%s)" % (lost, slo["max_lost"],
+                         traffic.get("lost_samples")))
+    if slo["max_duplicated"] is not None:
+        duplicated = int(traffic.get("duplicated", 1))
+        if duplicated > slo["max_duplicated"]:
+            violations.append(
+                "%d duplicated terminal frame(s) (bound %d) — the "
+                "re-dispatch journal failed its exactly-once contract"
+                % (duplicated, slo["max_duplicated"]))
+    if slo["max_mttr_seconds"] is not None:
+        for fault in faults:
+            mttr = fault.get("mttr_seconds")
+            if mttr is None:
+                violations.append(
+                    "%s of shard %s never recovered"
+                    % (fault.get("kind"), fault.get("shard")))
+            elif mttr > slo["max_mttr_seconds"]:
+                violations.append(
+                    "%s of shard %s took %.2fs to recover (bound "
+                    "%.2fs)" % (fault.get("kind"), fault.get("shard"),
+                                mttr, slo["max_mttr_seconds"]))
+    if slo["require_ring_full"] and not recovery.get("ring_full"):
+        violations.append(
+            "ring never returned to full strength: missing %s"
+            % recovery.get("unrecovered"))
+    if slo["min_served"] is not None:
+        served = int(traffic.get("served", 0)) \
+            + int(traffic.get("retried", 0))
+        if served < slo["min_served"]:
+            violations.append(
+                "only %d request(s) served under faults (need %d) — "
+                "the run proves nothing" % (served, slo["min_served"]))
+
+    if violations:
+        lines = ["CHAOS GATE: %d violation(s):" % len(violations)]
+        lines += ["  " + violation for violation in violations]
+        text = "\n".join(lines)
+    else:
+        text = ("CHAOS GATE: ok — %d served + %d retried, %d shed, "
+                "0 lost, 0 duplicated across %d fault(s); max MTTR "
+                "%.2fs, ring full"
+                % (int(traffic.get("served", 0)),
+                   int(traffic.get("retried", 0)),
+                   int(traffic.get("shed", 0)), len(faults),
+                   float(recovery.get("max_mttr_seconds", 0.0))))
+    return violations, text

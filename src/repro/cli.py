@@ -221,6 +221,44 @@ def _add_slo_flags(parser):
                              "requirement")
 
 
+def _add_chaos_slo_flags(parser):
+    """Chaos SLO bound overrides, shared by ``chaos`` and ``bench
+    slo`` (defaults live in
+    :data:`repro.bench.gate.DEFAULT_CHAOS_SLO`)."""
+    parser.add_argument("--max-lost", type=int, default=None,
+                        dest="max_lost", metavar="N",
+                        help="requests allowed to be lost under "
+                             "faults (default 0)")
+    parser.add_argument("--max-duplicated", type=int, default=None,
+                        dest="max_duplicated", metavar="N",
+                        help="duplicated terminal frames allowed "
+                             "(default 0)")
+    parser.add_argument("--max-mttr-seconds", type=float, default=None,
+                        dest="max_mttr_seconds", metavar="SECONDS",
+                        help="per-fault recovery time bound "
+                             "(default 30)")
+    parser.add_argument("--min-served", type=int, default=None,
+                        dest="min_served", metavar="N",
+                        help="served+retried floor that makes the run "
+                             "meaningful (default 1)")
+    parser.add_argument("--no-ring-full", action="store_true",
+                        help="skip the ring-returns-to-full-strength "
+                             "requirement")
+
+
+def _chaos_slo_overrides(args):
+    """Chaos SLO bound overrides actually set on the command line."""
+    overrides = {}
+    for name in ("max_lost", "max_duplicated", "max_mttr_seconds",
+                 "min_served"):
+        value = getattr(args, name, None)
+        if value is not None:
+            overrides[name] = value
+    if getattr(args, "no_ring_full", False):
+        overrides["require_ring_full"] = False
+    return overrides
+
+
 def _write_json(path, payload):
     import json
     from repro.schema import stamp
@@ -838,6 +876,7 @@ def _cmd_route(args):
         print("route: %s" % err, file=sys.stderr)
         return 2
     manager = None
+    supervisor = None
     exit_code = 0
     try:
         if args.shards:
@@ -850,19 +889,30 @@ def _cmd_route(args):
                 if args.warm_config else None)
             manager.start()
             specs = specs + list(manager.specs)
+            if not args.no_supervise:
+                # Owned shards are supervised: a dead shard process is
+                # respawned (exponential backoff, crash-loop circuit
+                # breaker) and rejoins the ring once probes pass.
+                from repro.serve.supervisor import ShardSupervisor
+                supervisor = ShardSupervisor(manager).start()
 
         def ready(server):
             where = server.socket_path or "%s:%d" % (server.host,
                                                      server.bound_port)
-            print("routing on %s across %d shard(s)"
-                  % (where, len(specs)), file=sys.stderr, flush=True)
+            print("routing on %s across %d shard(s)%s"
+                  % (where, len(specs),
+                     " [supervised]" if supervisor else ""),
+                  file=sys.stderr, flush=True)
 
         asyncio.run(route(
             specs, socket_path=socket_path, host=host, port=port,
             ready=ready, replicas=args.replicas,
             health_interval=args.health_interval,
-            busy_retries=args.retries))
+            busy_retries=args.retries, supervisor=supervisor,
+            attempt_timeout=args.attempt_timeout, quorum=args.quorum))
     finally:
+        if supervisor is not None:
+            supervisor.stop()
         if manager is not None:
             codes = manager.drain()
             if any(codes):
@@ -1018,8 +1068,10 @@ def _cmd_loadgen(args):
 
 
 def _cmd_bench_slo(args):
-    """Re-check a saved ``BENCH_serve.json`` artifact
-    (``bench slo``)."""
+    """Re-check a saved serving artifact (``bench slo``): dispatches
+    on the artifact's ``kind`` — ``serve-load`` (BENCH_serve.json)
+    through the serving SLO, ``chaos`` (BENCH_chaos.json) through the
+    chaos SLO."""
     import json
 
     from repro.bench import gate
@@ -1030,7 +1082,116 @@ def _cmd_bench_slo(args):
     except (OSError, ValueError) as err:
         print("bench slo: cannot read %s: %s" % (args.report, err))
         return 1
-    violations, text = gate.check_slo(payload, **_slo_overrides(args))
+    if isinstance(payload, dict) and payload.get("kind") == "chaos":
+        violations, text = gate.check_chaos(
+            payload, **_chaos_slo_overrides(args))
+    else:
+        violations, text = gate.check_slo(payload,
+                                          **_slo_overrides(args))
+    print(text)
+    return 1 if violations else 0
+
+
+def _cmd_chaos(args):
+    """``repro chaos``: boot a supervised routed tier, replay loadgen
+    traffic under a seed-deterministic fault schedule (shard SIGKILL,
+    SIGSTOP stall, black-holed socket, cache corruption), classify
+    every request, measure per-fault MTTR, write ``BENCH_chaos.json``
+    and hold the chaos SLO gate.  ``--smoke`` pins the CI
+    ``chaos-smoke`` configuration."""
+    import json
+    import logging
+    import tempfile
+
+    from repro.bench import gate
+    from repro.serve import chaos as chaos_mod
+    from repro.serve import loadgen
+
+    handler = None
+    if args.router_log:
+        handler = logging.FileHandler(args.router_log, mode="w")
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(name)s %(levelname)s %(message)s"))
+        tier_log = logging.getLogger("repro.serve")
+        tier_log.addHandler(handler)
+        if tier_log.level in (logging.NOTSET, logging.WARNING):
+            tier_log.setLevel(logging.INFO)
+
+    load_kwargs = {}
+    if args.smoke:
+        # Sized for CI: ~60 requests over ~10s against 2 one-worker
+        # shards with a kill and a stall landing mid-load.
+        load_kwargs.update(qps=6.0, duration=10.0, keys=10,
+                           threads=12, configs=(BASELINE, TYPED))
+    for name, value in (("qps", args.qps), ("duration", args.duration),
+                        ("keys", args.keys), ("threads", args.threads),
+                        ("timeout", args.timeout)):
+        if value is not None:
+            load_kwargs[name] = value
+    if args.config:
+        load_kwargs["configs"] = tuple(args.config)
+
+    chaos_kwargs = {"load": loadgen.LoadSpec(**load_kwargs)}
+    for name, value in (("seed", args.seed), ("shards", args.shards),
+                        ("stall_seconds", args.stall_seconds),
+                        ("blackhole_seconds", args.blackhole_seconds),
+                        ("attempt_timeout", args.attempt_timeout),
+                        ("recovery_timeout", args.recovery_timeout)):
+        if value is not None:
+            chaos_kwargs[name] = value
+    if args.faults:
+        chaos_kwargs["faults"] = tuple(
+            kind.strip() for kind in args.faults.split(",")
+            if kind.strip())
+    try:
+        spec = chaos_mod.ChaosSpec(**chaos_kwargs)
+        chaos_mod.build_fault_schedule(spec)  # validate fault kinds
+    except ValueError as err:
+        print("chaos: %s" % err, file=sys.stderr)
+        return 2
+
+    json_path = args.json
+    if args.smoke and json_path is None:
+        json_path = "BENCH_chaos.json"
+    done = {"count": 0}
+
+    def progress(_record):
+        done["count"] += 1
+        if done["count"] % 20 == 0:
+            print("chaos: %d requests classified" % done["count"],
+                  file=sys.stderr, flush=True)
+
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            cache_dir = args.cache_dir or os.path.join(tmp, "cache")
+            log_dir = args.log_dir or tmp
+            os.makedirs(log_dir, exist_ok=True)
+            # The router thread lives in *this* process: its cache
+            # probe must see the tier's shared root.
+            with result_cache.temporary(cache_dir):
+                clear_cache()
+                print("chaos: booting supervised %d-shard tier "
+                      "(faults: %s)..."
+                      % (spec.shards, ", ".join(spec.faults)),
+                      file=sys.stderr, flush=True)
+                report = chaos_mod.run_chaos(
+                    spec, cache_dir=cache_dir, log_dir=log_dir,
+                    progress=progress)
+            clear_cache()
+    finally:
+        if handler is not None:
+            logging.getLogger("repro.serve").removeHandler(handler)
+            handler.close()
+            print("wrote %s" % args.router_log)
+
+    stamped = chaos_mod.make_chaos_report(report)
+    print(chaos_mod.render_report(report))
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(stamped, handle, indent=1, sort_keys=True)
+        print("wrote %s" % json_path)
+    violations, text = gate.check_chaos(stamped,
+                                        **_chaos_slo_overrides(args))
     print(text)
     return 1 if violations else 0
 
@@ -1328,6 +1489,7 @@ def build_parser():
                             default="BENCH_serve.json",
                             help="serve-load artifact to check")
     _add_slo_flags(slo_parser)
+    _add_chaos_slo_flags(slo_parser)
     slo_parser.set_defaults(func=_cmd_bench)
 
     serve_parser = sub.add_parser(
@@ -1422,6 +1584,23 @@ def build_parser():
                               metavar=_config_metavar(), default=None,
                               help="repeatable; warm configs of "
                                    "spawned shards")
+    route_parser.add_argument("--no-supervise", action="store_true",
+                              help="do not respawn spawned shards "
+                                   "that die (default: supervise "
+                                   "owned shards with backoff + "
+                                   "circuit breaker)")
+    route_parser.add_argument("--attempt-timeout", type=float,
+                              default=None, dest="attempt_timeout",
+                              metavar="SECONDS",
+                              help="per-shard-attempt timeout: a "
+                                   "stalled shard costs at most this "
+                                   "before re-dispatch (default: the "
+                                   "full forward timeout)")
+    route_parser.add_argument("--quorum", type=int, default=None,
+                              metavar="N",
+                              help="healthy shards below which new "
+                                   "work is shed lowest-priority "
+                                   "first (default: a majority)")
     route_parser.add_argument("--verbose", action="store_true")
     _add_jobs_flag(route_parser, help_text="warm workers per spawned "
                                            "shard (default 1)")
@@ -1507,6 +1686,69 @@ def build_parser():
     _add_json_flag(loadgen_parser, "write the stamped serve-load "
                                    "artifact (BENCH_serve.json)")
     loadgen_parser.set_defaults(func=_cmd_loadgen)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="replay a seed-deterministic fault schedule against a "
+             "supervised routed tier under load and gate the chaos "
+             "SLO (zero lost/duplicated, bounded MTTR)")
+    chaos_parser.add_argument("--qps", type=float, default=None,
+                              help="offered load (requests per second)")
+    chaos_parser.add_argument("--duration", type=float, default=None,
+                              help="load window in seconds")
+    chaos_parser.add_argument("--keys", type=int, default=None,
+                              help="distinct (benchmark, scale) work "
+                                   "keys in the population")
+    chaos_parser.add_argument("--threads", type=int, default=None,
+                              help="concurrent client connections")
+    chaos_parser.add_argument("--timeout", type=float, default=None,
+                              help="per-request client timeout")
+    chaos_parser.add_argument("--config", action="append", default=None,
+                              metavar="NAME", choices=sorted(GATE_CONFIGS),
+                              help="restrict traffic to these configs "
+                                   "(repeatable)")
+    chaos_parser.add_argument("--seed", type=int, default=None,
+                              help="fault-schedule + traffic seed "
+                                   "(default 4242; same seed, same "
+                                   "schedule)")
+    chaos_parser.add_argument("--shards", type=int, default=None,
+                              help="shards in the self-booted tier "
+                                   "(default 2)")
+    chaos_parser.add_argument("--faults", metavar="KINDS", default=None,
+                              help="comma-separated fault kinds: kill, "
+                                   "stall, blackhole, cache_corrupt "
+                                   "(default kill,stall)")
+    chaos_parser.add_argument("--stall-seconds", type=float,
+                              default=None, dest="stall_seconds",
+                              help="SIGSTOP duration for stall faults")
+    chaos_parser.add_argument("--blackhole-seconds", type=float,
+                              default=None, dest="blackhole_seconds",
+                              help="black-holed socket duration")
+    chaos_parser.add_argument("--attempt-timeout", type=float,
+                              default=None, dest="attempt_timeout",
+                              help="per-attempt router timeout that "
+                                   "bounds a stalled shard (default 2)")
+    chaos_parser.add_argument("--recovery-timeout", type=float,
+                              default=None, dest="recovery_timeout",
+                              help="max seconds to wait for the ring "
+                                   "to return to full strength")
+    chaos_parser.add_argument("--log-dir", metavar="DIR", default=None,
+                              dest="log_dir",
+                              help="keep shard logs under DIR (CI "
+                                   "uploads these)")
+    chaos_parser.add_argument("--router-log", metavar="PATH",
+                              default=None,
+                              help="write repro.serve tier logs to "
+                                   "PATH (CI uploads this)")
+    _add_chaos_slo_flags(chaos_parser)
+    _add_cache_flags(chaos_parser)
+    _add_smoke_flag(chaos_parser,
+                    "pinned-seed CI run: 2 shards, kill + stall "
+                    "mid-load, throwaway shared cache; writes "
+                    "BENCH_chaos.json by default")
+    _add_json_flag(chaos_parser, "write the stamped chaos artifact "
+                                 "(BENCH_chaos.json)")
+    chaos_parser.set_defaults(func=_cmd_chaos)
 
     submit_parser = sub.add_parser(
         "submit",

@@ -23,13 +23,18 @@ before exit.
   front router over N shards (:class:`Router`, :class:`ShardManager`),
 * :mod:`repro.serve.hashring` — the deterministic placement ring,
 * :mod:`repro.serve.loadgen` — the ``repro loadgen`` traffic harness
-  behind ``BENCH_serve.json`` and the CI SLO gate.
+  behind ``BENCH_serve.json`` and the CI SLO gate,
+* :mod:`repro.serve.supervisor` — shard supervision: dead-shard
+  detection, backed-off respawn, crash-loop circuit breaker
+  (:class:`ShardSupervisor`),
+* :mod:`repro.serve.chaos` — the ``repro chaos`` seeded fault-injection
+  harness behind ``BENCH_chaos.json`` and the CI chaos SLO gate.
 
-See docs/API.md for the protocol specification and docs/SERVING.md
-for the sharded tier.
+See docs/API.md for the protocol specification, docs/SERVING.md for
+the sharded tier and docs/RELIABILITY.md for the chaos harness.
 """
 
-from repro.serve.client import ServeBusy, ServeClient, ServeError
+from repro.serve.client import ServeBusy, ServeClient, ServeError, ServeShed
 from repro.serve.hashring import HashRing
 from repro.serve.server import (
     ExecutionServer,
@@ -40,18 +45,25 @@ from repro.serve.server import (
 )
 
 __all__ = ["ExecutionService", "ExecutionServer", "ServeClient",
-           "ServeError", "ServeBusy", "HashRing", "Router",
+           "ServeError", "ServeBusy", "ServeShed", "HashRing", "Router",
            "RouterServer", "ShardManager", "ShardSpec",
+           "ShardSupervisor", "supervised", "ChaosSpec", "run_chaos",
            "default_socket_path", "free_socket_path", "serve", "route"]
 
 
 def __getattr__(name):
-    # Router machinery is imported lazily: the daemon itself never
-    # needs it, and keeping it out of the hot import path keeps forked
-    # shard workers lean.
+    # Router, supervision and chaos machinery are imported lazily: the
+    # daemon itself never needs them, and keeping them out of the hot
+    # import path keeps forked shard workers lean.
     if name in ("Router", "RouterServer", "ShardManager", "ShardSpec",
                 "route"):
         from repro.serve import router as _router
         return getattr(_router, name)
+    if name in ("ShardSupervisor", "supervised"):
+        from repro.serve import supervisor as _supervisor
+        return getattr(_supervisor, name)
+    if name in ("ChaosSpec", "run_chaos"):
+        from repro.serve import chaos as _chaos
+        return getattr(_chaos, name)
     raise AttributeError("module %r has no attribute %r"
                          % (__name__, name))

@@ -1,0 +1,598 @@
+"""``repro chaos`` — seeded fault injection against a live serve tier.
+
+The software analogue of PR 4's simulator fault campaigns, aimed at
+the process tier: boot a supervised, routed shard tier
+(:class:`~repro.serve.loadgen.LocalTier`), replay the *same*
+deterministic zipf traffic the loadgen SLO run uses, and — while the
+load is in flight — execute a seed-deterministic **fault schedule**:
+
+* ``kill`` — SIGKILL a shard process mid-load.  The supervisor must
+  respawn it and the router's health loop re-admit it to the ring.
+* ``stall`` — SIGSTOP a shard for a bounded window, then SIGCONT: the
+  classic grey failure.  The socket stays connectable but nothing
+  answers; the router's per-attempt timeout must re-dispatch.
+* ``blackhole`` — kill a shard, *hold* its supervisor slot and squat a
+  decoy listener on its socket that accepts and swallows bytes
+  forever.  Harsher than ``stall``: the decoy never recovers on its
+  own; recovery requires eviction + (after release) a respawn.
+* ``cache_corrupt`` — scribble garbage over a shared result-cache
+  entry; the cache's verify-on-load quarantine must turn it into a
+  miss, never a wrong answer or a crash.
+
+Every request is classified — ``served`` (clean), ``retried`` (the
+client saw a ``retried`` event: a shard died or stalled mid-request
+and the router transparently re-dispatched), ``shed`` (typed
+below-quorum rejection), ``busy`` (ordinary backpressure), ``lost``
+(hard error or hang — the thing the tier must never do), and
+``duplicated`` (more than one terminal frame for one submit — ditto).
+Per fault, **MTTR** is measured as injection → the shard back in the
+ring (0 when it never left: no client-visible outage).
+
+The report is a schema-stamped ``chaos`` artifact
+(``BENCH_chaos.json``); :func:`repro.bench.gate.check_chaos` holds
+the SLO line: zero lost, zero duplicated, MTTR bound, ring full again
+at the end.  See docs/RELIABILITY.md.
+"""
+
+import contextlib
+import json
+import logging
+import os
+import random
+import signal
+import socket as socket_mod
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.schema import artifact
+from repro.serve import protocol
+from repro.serve.client import (ServeBusy, ServeClient, ServeError,
+                                ServeShed)
+from repro.serve.loadgen import (LoadSpec, LocalTier, build_population,
+                                 build_schedule, percentile)
+
+_LOG = logging.getLogger("repro.serve.chaos")
+
+#: Artifact family of ``BENCH_chaos.json``.
+ARTIFACT_KIND = "chaos"
+
+#: Every fault kind the schedule generator knows.
+FAULT_KINDS = ("kill", "stall", "blackhole", "cache_corrupt")
+
+
+@dataclass
+class ChaosSpec:
+    """One chaos campaign: a load spec plus a fault schedule, all
+    deterministic given ``seed``."""
+
+    load: LoadSpec = field(default_factory=LoadSpec)
+    shards: int = 2
+    seed: int = 4242
+    faults: tuple = ("kill", "stall")
+    fault_count: int = None          # default: one event per kind
+    #: Fraction of the load window the faults land inside.
+    window: tuple = (0.2, 0.65)
+    stall_seconds: float = 1.2
+    blackhole_seconds: float = 2.5
+    #: Deterministic slice of traffic demoted to priority 9 — the
+    #: first to be shed below quorum (the shedding-order probe).
+    low_priority_fraction: float = 0.2
+    #: Router/supervisor reaction knobs (tight: chaos runs are short).
+    health_interval: float = 0.3
+    attempt_timeout: float = 2.0
+    probe_timeout: float = 1.0
+    recovery_timeout: float = 30.0
+    monitor_interval: float = 0.1
+
+    def resolved_fault_count(self):
+        return self.fault_count if self.fault_count \
+            else len(tuple(self.faults))
+
+
+def build_fault_schedule(spec):
+    """The seed-deterministic fault schedule: ``fault_count`` events,
+    kinds cycling through ``spec.faults``, spaced evenly across the
+    window so recovery from one fault completes before the next hits,
+    target shards drawn from ``random.Random(spec.seed)``."""
+    for kind in spec.faults:
+        if kind not in FAULT_KINDS:
+            raise ValueError("unknown fault kind %r (know: %s)"
+                             % (kind, ", ".join(FAULT_KINDS)))
+    rng = random.Random(spec.seed)
+    count = spec.resolved_fault_count()
+    lo, hi = spec.window
+    span = spec.load.duration * (hi - lo)
+    start = spec.load.duration * lo
+    events = []
+    for index in range(count):
+        kind = spec.faults[index % len(spec.faults)]
+        offset = start + (span * index / max(1, count - 1)
+                          if count > 1 else span / 2)
+        if kind == "stall":
+            duration = spec.stall_seconds
+        elif kind == "blackhole":
+            duration = spec.blackhole_seconds
+        else:
+            duration = 0.0
+        events.append({
+            "kind": kind,
+            "shard": rng.randrange(spec.shards),
+            "at": round(offset, 3),
+            "duration": duration,
+        })
+    return events
+
+
+class _Decoy:
+    """A black-holed socket: accepts connections on a shard's unix
+    socket path, reads and discards everything, never replies."""
+
+    def __init__(self, path):
+        self.path = path
+        with contextlib.suppress(OSError):
+            os.unlink(path)
+        self._listener = socket_mod.socket(socket_mod.AF_UNIX,
+                                           socket_mod.SOCK_STREAM)
+        self._listener.bind(path)
+        self._listener.listen(16)
+        self._listener.settimeout(0.1)
+        self._stop = threading.Event()
+        self._conns = []
+        self._thread = threading.Thread(target=self._loop,
+                                        name="chaos-decoy", daemon=True)
+        self._thread.start()
+
+    def _loop(self):
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except (socket_mod.timeout, OSError):
+                continue
+            conn.settimeout(0.1)
+            self._conns.append(conn)
+            threading.Thread(target=self._swallow, args=(conn,),
+                             daemon=True).start()
+
+    def _swallow(self, conn):
+        while not self._stop.is_set():
+            try:
+                if not conn.recv(65536):
+                    break
+            except socket_mod.timeout:
+                continue
+            except OSError:
+                break
+
+    def close(self):
+        self._stop.set()
+        with contextlib.suppress(OSError):
+            self._listener.close()
+        for conn in self._conns:
+            with contextlib.suppress(OSError):
+                conn.close()
+        self._thread.join(2.0)
+        with contextlib.suppress(OSError):
+            os.unlink(self.path)
+
+
+def corrupt_cache_entry(cache_dir, rng):
+    """Overwrite one shared-cache entry with garbage; returns the
+    victim path (or ``None`` when the cache has no entries yet).  The
+    cache's verify-on-load must quarantine it — a corrupt entry is a
+    miss, never a served wrong answer."""
+    import glob
+    entries = sorted(glob.glob(os.path.join(str(cache_dir),
+                                            "*", "*.json")))
+    entries = [path for path in entries
+               if os.sep + "corrupt" + os.sep not in path]
+    if not entries:
+        return None
+    victim = entries[rng.randrange(len(entries))]
+    with open(victim, "wb") as handle:
+        handle.write(b'{"cycles": "NOT A NUMBER", "truncated'
+                     b"\xff\xfe garbage")
+    return victim
+
+
+class _FaultInjector:
+    """Executes the fault schedule against a live tier on a thread."""
+
+    def __init__(self, spec, tier, cache_dir, start_at):
+        self.spec = spec
+        self.tier = tier
+        self.cache_dir = cache_dir
+        self.start_at = start_at
+        self.records = []           # schedule + injection bookkeeping
+        self._rng = random.Random(spec.seed + 13)
+        self._thread = threading.Thread(target=self._run,
+                                        name="chaos-inject",
+                                        daemon=True)
+
+    def start(self):
+        self._thread.start()
+        return self
+
+    def join(self, timeout=None):
+        self._thread.join(timeout)
+
+    def _run(self):
+        for event in build_fault_schedule(self.spec):
+            delay = self.start_at + event["at"] - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            record = dict(event)
+            record["shard_id"] = \
+                self.tier.manager.specs[event["shard"]].shard_id
+            record["injected_at"] = time.monotonic()
+            try:
+                self._inject(event, record)
+            except Exception as err:  # noqa: BLE001 — recorded
+                record["error"] = "%s: %s" % (type(err).__name__, err)
+                _LOG.exception("fault injection %s failed", event)
+            self.records.append(record)
+
+    def _inject(self, event, record):
+        index = event["shard"]
+        manager = self.tier.manager
+        kind = event["kind"]
+        _LOG.info("injecting %s into shard %d", kind, index)
+        if kind == "kill":
+            proc = manager.procs[index]
+            record["pid"] = proc.pid
+            os.kill(proc.pid, signal.SIGKILL)
+        elif kind == "stall":
+            proc = manager.procs[index]
+            record["pid"] = proc.pid
+            os.kill(proc.pid, signal.SIGSTOP)
+            try:
+                time.sleep(event["duration"])
+            finally:
+                with contextlib.suppress(OSError):
+                    os.kill(proc.pid, signal.SIGCONT)
+        elif kind == "blackhole":
+            proc = manager.procs[index]
+            record["pid"] = proc.pid
+            supervisor = self.tier.supervisor
+            if supervisor is not None:
+                supervisor.hold(index)
+            try:
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.wait()
+                decoy = _Decoy(manager.specs[index].socket_path)
+                try:
+                    time.sleep(event["duration"])
+                finally:
+                    decoy.close()
+            finally:
+                if supervisor is not None:
+                    supervisor.release(index)
+        elif kind == "cache_corrupt":
+            record["victim"] = corrupt_cache_entry(self.cache_dir,
+                                                   self._rng)
+        else:  # pragma: no cover — schedule generator validates
+            raise ValueError("unknown fault kind %r" % kind)
+
+
+class _RingMonitor:
+    """Samples the router's ring membership for MTTR measurement."""
+
+    def __init__(self, socket_path, interval):
+        self.socket_path = socket_path
+        self.interval = interval
+        self.samples = []           # (monotonic, frozenset(nodes))
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run,
+                                        name="chaos-monitor",
+                                        daemon=True)
+
+    def start(self):
+        self._thread.start()
+        return self
+
+    def stop(self):
+        self._stop.set()
+        self._thread.join(5.0)
+
+    def sample_once(self):
+        try:
+            with ServeClient(socket_path=self.socket_path,
+                             timeout=2.0) as client:
+                stats = client.status()
+        except (ServeError, ConnectionError, OSError):
+            return None
+        nodes = frozenset(stats.get("ring", {}).get("nodes", ()))
+        self.samples.append((time.monotonic(), nodes))
+        return nodes
+
+    def _run(self):
+        while not self._stop.is_set():
+            self.sample_once()
+            self._stop.wait(self.interval)
+
+
+def measure_mttr(samples, shard_id, injected_at):
+    """MTTR for one fault from ring-membership samples: time from
+    injection until the shard is back in the ring, ``0.0`` when it
+    never left (no client-visible outage), ``None`` when it never
+    came back (gate failure)."""
+    after = [(t, nodes) for t, nodes in samples if t >= injected_at]
+    outage_start = None
+    for t, nodes in after:
+        if outage_start is None:
+            if shard_id not in nodes:
+                outage_start = t
+        elif shard_id in nodes:
+            return round(t - injected_at, 3)
+    if outage_start is None:
+        return 0.0
+    return None
+
+
+def _saw_duplicate_terminal(client):
+    """After a terminal frame, peek the connection briefly: any
+    *second* terminal frame for the same exchange is a duplicated
+    delivery — the invariant the journal exists to prove."""
+    try:
+        client._sock.settimeout(0.05)
+        line = client._file.readline()
+        if not line:
+            return False
+        frame = protocol.decode(line)
+        return frame.get("kind") in ("result", "error")
+    except (TimeoutError, OSError, ValueError):
+        return False
+
+
+def run_chaos(spec, *, cache_dir=None, log_dir=None, progress=None):
+    """Run one chaos campaign; returns the (unstamped) report dict —
+    :func:`make_chaos_report` stamps it into ``BENCH_chaos.json``."""
+    load = spec.load
+    population = build_population(load)
+    schedule = build_schedule(load, population)
+    prio_rng = random.Random(spec.seed + 7)
+    entries = []
+    for offset, entry in schedule:
+        payload = dict(entry["payload"])
+        if prio_rng.random() < spec.low_priority_fraction:
+            payload["priority"] = 9
+        entries.append((offset, entry, payload))
+
+    tier = LocalTier(
+        spec.shards, cache_dir=cache_dir, log_dir=log_dir,
+        health_interval=spec.health_interval,
+        supervise=True,
+        supervisor_kwargs={"poll_interval": 0.1, "backoff": 0.2,
+                           "max_backoff": 2.0, "breaker_threshold": 8},
+        router_kwargs={"attempt_timeout": spec.attempt_timeout,
+                       "probe_timeout": spec.probe_timeout})
+    records = [None] * len(entries)
+    with tier:
+        started = time.monotonic()
+        monitor = _RingMonitor(tier.socket_path,
+                               spec.monitor_interval).start()
+        injector = _FaultInjector(spec, tier, cache_dir,
+                                  started).start()
+        cursor = {"next": 0}
+        cursor_lock = threading.Lock()
+
+        def worker():
+            while True:
+                with cursor_lock:
+                    index = cursor["next"]
+                    if index >= len(entries):
+                        return
+                    cursor["next"] = index + 1
+                offset, entry, payload = entries[index]
+                delay = started + offset - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                records[index] = _one_request(
+                    tier.socket_path, entry, payload, load.timeout)
+                if progress is not None:
+                    progress(records[index])
+
+        threads = [threading.Thread(target=worker,
+                                    name="chaos-load-%d" % i,
+                                    daemon=True)
+                   for i in range(max(1, min(load.threads,
+                                             len(entries))))]
+        for thread in threads:
+            thread.start()
+        injector.join(load.duration + spec.recovery_timeout)
+        for thread in threads:
+            thread.join(load.timeout + spec.recovery_timeout)
+
+        # Recovery: the ring must be full again — every configured
+        # shard back — within the recovery window.
+        expected = frozenset(spec_.shard_id
+                             for spec_ in tier.manager.specs)
+        recovery_deadline = time.monotonic() + spec.recovery_timeout
+        ring_full = False
+        while time.monotonic() < recovery_deadline:
+            nodes = monitor.sample_once()
+            if nodes is not None and nodes >= expected:
+                ring_full = True
+                break
+            time.sleep(spec.monitor_interval)
+        recovered_at = time.monotonic()
+        monitor.stop()
+
+        router_stats = None
+        with contextlib.suppress(ServeError, ConnectionError, OSError):
+            with ServeClient(socket_path=tier.socket_path,
+                             timeout=5.0) as client:
+                router_stats = client.status()
+        supervisor_stats = tier.supervisor.stats() \
+            if tier.supervisor is not None else None
+        elapsed = recovered_at - started
+
+    faults = []
+    for record in injector.records:
+        fault = {key: record[key] for key in
+                 ("kind", "shard", "shard_id", "at", "duration")}
+        if record["kind"] == "cache_corrupt":
+            fault["mttr_seconds"] = 0.0
+            fault["recovered"] = True
+            fault["victim"] = record.get("victim")
+        else:
+            mttr = measure_mttr(monitor.samples, record["shard_id"],
+                                record["injected_at"])
+            fault["mttr_seconds"] = mttr
+            fault["recovered"] = mttr is not None
+        if "error" in record:
+            fault["injection_error"] = record["error"]
+        faults.append(fault)
+
+    return _build_report(spec, entries, records, faults, ring_full,
+                         sorted(expected), router_stats,
+                         supervisor_stats, tier.shard_exit_codes,
+                         elapsed)
+
+
+def _one_request(socket_path, entry, payload, timeout):
+    record = {"rank": entry["rank"], "key": entry["key"],
+              "priority": payload.get("priority", 5),
+              "outcome": None, "retries": 0, "duplicated": False}
+    sent = time.monotonic()
+    events = []
+    try:
+        with ServeClient(socket_path=socket_path,
+                         timeout=timeout) as client:
+            result = client.submit(payload, on_event=events.append)
+            record["duplicated"] = _saw_duplicate_terminal(client)
+    except ServeShed:
+        record["outcome"] = "shed"
+    except ServeBusy:
+        record["outcome"] = "busy"
+    except (ServeError, ConnectionError, OSError) as err:
+        record["outcome"] = "lost"
+        record["error"] = "%s: %s" % (type(err).__name__, err)
+    else:
+        record["retries"] = sum(1 for frame in events
+                                if frame.get("event") == "retried")
+        record["outcome"] = "retried" if record["retries"] \
+            else "served"
+        record["latency"] = time.monotonic() - sent
+        record["cached"] = bool(result.cached)
+    return record
+
+
+def _build_report(spec, entries, records, faults, ring_full, expected,
+                  router_stats, supervisor_stats, shard_exit_codes,
+                  elapsed):
+    records = [record for record in records if record is not None]
+    counts = {"served": 0, "retried": 0, "shed": 0, "busy": 0,
+              "lost": 0}
+    duplicated = 0
+    lost_samples = []
+    latencies_ms = []
+    for record in records:
+        counts[record["outcome"]] += 1
+        duplicated += bool(record["duplicated"])
+        if record["outcome"] == "lost":
+            lost_samples.append({"key": record["key"],
+                                 "error": record.get("error")})
+        if record.get("latency") is not None:
+            latencies_ms.append(record["latency"] * 1000.0)
+    journal = {}
+    if isinstance(router_stats, dict):
+        journal = router_stats.get("journal", {}).get("counters", {})
+    duplicated += journal.get("duplicated", 0)
+    mttrs = [fault["mttr_seconds"] for fault in faults
+             if fault["mttr_seconds"] is not None]
+    load = spec.load
+    return {
+        "spec": {
+            "shards": spec.shards, "seed": spec.seed,
+            "faults": list(spec.faults),
+            "fault_count": spec.resolved_fault_count(),
+            "window": list(spec.window),
+            "stall_seconds": spec.stall_seconds,
+            "blackhole_seconds": spec.blackhole_seconds,
+            "low_priority_fraction": spec.low_priority_fraction,
+            "health_interval": spec.health_interval,
+            "attempt_timeout": spec.attempt_timeout,
+            "recovery_timeout": spec.recovery_timeout,
+            "load": {
+                "qps": load.qps, "duration": load.duration,
+                "keys": load.keys, "zipf_s": load.zipf_s,
+                "seed": load.seed, "threads": load.threads,
+                "engines": list(load.engines),
+                "configs": list(load.resolved_configs()),
+                "benchmark": load.benchmark,
+            },
+        },
+        "traffic": {
+            "offered": len(entries),
+            "classified": len(records),
+            "served": counts["served"],
+            "retried": counts["retried"],
+            "shed": counts["shed"],
+            "busy": counts["busy"],
+            "lost": counts["lost"],
+            "duplicated": duplicated,
+            "lost_samples": lost_samples[:5],
+        },
+        "latency_ms": {
+            "p50": round(percentile(latencies_ms, 0.50), 2),
+            "p95": round(percentile(latencies_ms, 0.95), 2),
+            "p99": round(percentile(latencies_ms, 0.99), 2),
+            "max": round(max(latencies_ms), 2) if latencies_ms
+            else 0.0,
+        },
+        "faults": faults,
+        "recovery": {
+            "ring_full": ring_full,
+            "expected": expected,
+            "max_mttr_seconds": round(max(mttrs), 3) if mttrs
+            else 0.0,
+            "unrecovered": [fault["shard_id"] for fault in faults
+                            if not fault["recovered"]],
+        },
+        "journal": journal,
+        "supervisor": supervisor_stats,
+        "shard_exit_codes": shard_exit_codes,
+        "elapsed_seconds": round(elapsed, 3),
+    }
+
+
+def make_chaos_report(report):
+    """Stamp a :func:`run_chaos` report as the ``BENCH_chaos.json``
+    artifact."""
+    return artifact(ARTIFACT_KIND, report)
+
+
+def render_report(report):
+    """Human-readable chaos summary (the CLI's stdout)."""
+    traffic = report["traffic"]
+    recovery = report["recovery"]
+    lines = [
+        "chaos: %d offered | %d served, %d retried, %d shed, "
+        "%d busy, %d lost, %d duplicated"
+        % (traffic["offered"], traffic["served"], traffic["retried"],
+           traffic["shed"], traffic["busy"], traffic["lost"],
+           traffic["duplicated"]),
+        "latency: p50 %.1fms p95 %.1fms p99 %.1fms"
+        % (report["latency_ms"]["p50"], report["latency_ms"]["p95"],
+           report["latency_ms"]["p99"]),
+    ]
+    for fault in report["faults"]:
+        mttr = fault["mttr_seconds"]
+        lines.append(
+            "fault %-13s shard %d @ %5.1fs  mttr %s"
+            % (fault["kind"], fault["shard"], fault["at"],
+               "%.2fs" % mttr if mttr is not None
+               else "NEVER RECOVERED"))
+    lines.append("recovery: ring %s (max mttr %.2fs)"
+                 % ("full" if recovery["ring_full"] else
+                    "DEGRADED: missing %s"
+                    % recovery["unrecovered"],
+                    recovery["max_mttr_seconds"]))
+    return "\n".join(lines)
+
+
+def load_report(path):
+    """Read a ``BENCH_chaos.json`` back (no gate judgement here)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

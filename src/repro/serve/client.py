@@ -14,6 +14,7 @@ Usage::
 """
 
 import json
+import random
 import socket
 import time
 
@@ -34,6 +35,15 @@ class ServeError(RuntimeError):
 
 class ServeBusy(ServeError):
     """Queue-full rejection; ``retry_after`` suggests when to retry."""
+
+
+class ServeShed(ServeBusy):
+    """Router-side load shedding: the tier is below shard quorum and
+    deterministically rejected this request (lowest priority first)
+    instead of letting it time out.  Subclasses :class:`ServeBusy`
+    because the client-side contract is the same — back off for
+    ``retry_after`` and resubmit — but the distinct ``shed`` code lets
+    harnesses account for shed traffic separately from backpressure."""
 
 
 class ServeClient:
@@ -111,9 +121,14 @@ class ServeClient:
                     on_event(reply)
                 continue
             if kind == "error":
-                cls = ServeBusy if reply.get("code") == protocol.ERR_BUSY \
-                    else ServeError
-                raise cls(reply.get("code"), reply.get("message"),
+                code = reply.get("code")
+                if code == protocol.ERR_BUSY:
+                    cls = ServeBusy
+                elif code == protocol.ERR_SHED:
+                    cls = ServeShed
+                else:
+                    cls = ServeError
+                raise cls(code, reply.get("message"),
                           retry_after=reply.get("retry_after"))
             return reply
 
@@ -131,23 +146,29 @@ class ServeClient:
         return self._transact({"kind": "drain"})["stats"]
 
     def submit(self, request, on_event=None, retries=0, backoff=0.25,
-               max_backoff=10.0):
+               max_backoff=10.0, rng=None):
         """Submit an :class:`ExecutionRequest` (or its dict form);
         blocks until the terminal frame and returns the
         :class:`ExecutionResult`.  ``on_event`` receives each
         streaming event frame.
 
         ``retries`` bounds how many *additional* attempts are made
-        after a ``busy`` rejection.  Each retry sleeps for the
-        server's ``retry_after`` hint when one was sent (clamped to
-        ``max_backoff``), else for ``backoff * 2**attempt`` — the
-        client-side half of the service's backpressure contract, and
-        what the :mod:`repro.serve.router` uses per shard.  Only
-        ``busy`` is retried; every other error stays terminal.
+        after a ``busy``/``shed`` rejection.  Each retry sleeps for
+        the server's ``retry_after`` hint when one was sent (clamped
+        to ``max_backoff``); otherwise it uses **decorrelated
+        jitter** — ``uniform(backoff, 3 * previous_delay)``, clamped
+        to ``max_backoff`` — so a thousand clients bouncing off one
+        saturated shard spread their retries instead of marching back
+        in deterministic ``backoff * 2**attempt`` lockstep.  ``rng``
+        injects the randomness source (tests); it defaults to the
+        module-level :mod:`random` generator.  Only ``busy``-family
+        rejections are retried; every other error stays terminal.
         """
         payload = request.as_dict() \
             if isinstance(request, ExecutionRequest) else dict(request)
+        draw = (rng or random).uniform
         attempt = 0
+        previous = backoff
         while True:
             try:
                 reply = self._transact(
@@ -156,9 +177,13 @@ class ServeClient:
             except ServeBusy as err:
                 if attempt >= retries:
                     raise
-                delay = err.retry_after if err.retry_after is not None \
-                    else backoff * (2 ** attempt)
-                time.sleep(min(max(float(delay), 0.0), max_backoff))
+                if err.retry_after is not None:
+                    delay = float(err.retry_after)
+                else:
+                    delay = draw(backoff, max(backoff, previous * 3.0))
+                delay = min(max(delay, 0.0), max_backoff)
+                previous = max(delay, backoff)
+                time.sleep(delay)
                 attempt += 1
                 continue
             return ExecutionResult.from_dict(reply["result"])

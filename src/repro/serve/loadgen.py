@@ -37,7 +37,8 @@ from dataclasses import dataclass, field
 
 from repro import api
 from repro.schema import artifact
-from repro.serve.client import ServeBusy, ServeClient, ServeError
+from repro.serve.client import (ServeBusy, ServeClient, ServeError,
+                                ServeShed)
 
 _LOG = logging.getLogger("repro.serve.loadgen")
 
@@ -149,6 +150,21 @@ def build_population(spec):
     return population
 
 
+def build_schedule(spec, population):
+    """The open-loop arrival schedule: ``(offset_seconds, entry)``
+    pairs, zipf-skewed over the population, deterministic for a seed.
+    Shared by :func:`run_load` and the chaos harness
+    (:mod:`repro.serve.chaos`), which replays the *same* traffic under
+    a fault schedule."""
+    import random
+    sampler = ZipfSampler(len(population), spec.zipf_s)
+    rng = random.Random(spec.seed + 1)
+    offered = max(1, int(spec.qps * spec.duration))
+    return [(index / spec.qps,
+             population[sampler.draw(rng.random())])
+            for index in range(offered)]
+
+
 def percentile(values, q):
     """The ``q``-quantile (0..1) of ``values`` by rank selection;
     0.0 for an empty list."""
@@ -171,6 +187,7 @@ class _Collector:
         self.cached = 0
         self.coalesced = 0
         self.rejected = 0
+        self.shed = 0
         self.errors = []
         self.first_result = {}   # rank -> result dict (first completion)
         self.first_sent = None
@@ -195,6 +212,11 @@ class _Collector:
             self.rejected += 1
             self.last_done = now
 
+    def note_shed(self, now):
+        with self.lock:
+            self.shed += 1
+            self.last_done = now
+
     def note_error(self, err, now):
         with self.lock:
             self.errors.append("%s: %s" % (type(err).__name__, err))
@@ -212,14 +234,9 @@ def run_load(spec, *, socket_path=None, host=None, port=None,
     """Run one load campaign against the tier at the given address;
     returns the (unstamped) report dict — see :func:`make_report` for
     the artifact form."""
-    import random
     population = build_population(spec)
-    sampler = ZipfSampler(len(population), spec.zipf_s)
-    rng = random.Random(spec.seed + 1)
-    offered = max(1, int(spec.qps * spec.duration))
-    schedule = [(index / spec.qps,
-                 population[sampler.draw(rng.random())])
-                for index in range(offered)]
+    schedule = build_schedule(spec, population)
+    offered = len(schedule)
     collector = _Collector()
     cursor = {"next": 0}
     cursor_lock = threading.Lock()
@@ -242,6 +259,8 @@ def run_load(spec, *, socket_path=None, host=None, port=None,
                 with ServeClient(**_client_kwargs(
                         socket_path, host, port, spec.timeout)) as client:
                     result = client.submit(entry["payload"])
+            except ServeShed:
+                collector.note_shed(time.monotonic())
             except ServeBusy:
                 collector.note_rejected(time.monotonic())
             except (ServeError, ConnectionError, OSError) as err:
@@ -272,7 +291,7 @@ def run_load(spec, *, socket_path=None, host=None, port=None,
 
     latencies_ms = [latency * 1000.0 for latency in collector.latencies]
     attempts = collector.completed + collector.rejected \
-        + len(collector.errors)
+        + collector.shed + len(collector.errors)
     report = {
         "spec": {
             "qps": spec.qps, "duration": spec.duration,
@@ -286,6 +305,7 @@ def run_load(spec, *, socket_path=None, host=None, port=None,
             "offered": offered,
             "completed": collector.completed,
             "rejected": collector.rejected,
+            "shed": collector.shed,
             "errors": len(collector.errors),
             "error_samples": collector.errors[:5],
             "cached": collector.cached,
@@ -307,6 +327,7 @@ def run_load(spec, *, socket_path=None, host=None, port=None,
         "coalesced_rate": round(collector.coalesced
                                 / max(1, collector.completed), 4),
         "rejection_rate": round(collector.rejected / max(1, attempts), 4),
+        "shed_rate": round(collector.shed / max(1, attempts), 4),
         "error_rate": round(len(collector.errors) / max(1, attempts), 4),
         "identity": identity,
         "drain": drain,
@@ -416,7 +437,9 @@ class LocalTier:
     def __init__(self, shards=2, *, jobs=1, queue_depth=16,
                  cache_dir=None, warm_engines=("lua",),
                  warm_configs=None, log_dir=None, socket_path=None,
-                 health_interval=1.0, busy_retries=2):
+                 health_interval=1.0, busy_retries=2,
+                 supervise=False, supervisor_kwargs=None,
+                 router_kwargs=None):
         from repro.serve.router import ShardManager
         from repro.serve.server import free_socket_path
         self.manager = ShardManager(
@@ -427,7 +450,11 @@ class LocalTier:
             or free_socket_path("typedarch-route")
         self.health_interval = health_interval
         self.busy_retries = busy_retries
+        self.supervise = supervise
+        self.supervisor_kwargs = dict(supervisor_kwargs or {})
+        self.router_kwargs = dict(router_kwargs or {})
         self.router = None
+        self.supervisor = None
         self.shard_exit_codes = None
         self._thread = None
         self._ready = threading.Event()
@@ -436,6 +463,10 @@ class LocalTier:
     def start(self, timeout=120.0):
         import asyncio
         self.manager.start()
+        if self.supervise:
+            from repro.serve.supervisor import ShardSupervisor
+            self.supervisor = ShardSupervisor(
+                self.manager, **self.supervisor_kwargs).start()
 
         def main():
             from repro.serve.router import route
@@ -445,7 +476,9 @@ class LocalTier:
                     signals=False,
                     ready=lambda _server: self._ready.set(),
                     health_interval=self.health_interval,
-                    busy_retries=self.busy_retries))
+                    busy_retries=self.busy_retries,
+                    supervisor=self.supervisor,
+                    **self.router_kwargs))
             except Exception as err:  # noqa: BLE001 — surfaced below
                 self._error = err
                 self._ready.set()
@@ -454,13 +487,18 @@ class LocalTier:
                                         daemon=True)
         self._thread.start()
         if not self._ready.wait(timeout) or self._error is not None:
+            if self.supervisor is not None:
+                self.supervisor.stop()
             self.manager.stop()
             raise RuntimeError("router never came up: %s" % self._error)
         return self
 
     def shutdown(self, timeout=120.0):
-        """Drain the router (idempotent: a no-op if the load run's
-        drain check already stopped it), then drain the shards."""
+        """Stop supervision (so the drain is not fought by respawns),
+        drain the router (idempotent: a no-op if the load run's drain
+        check already stopped it), then drain the shards."""
+        if self.supervisor is not None:
+            self.supervisor.stop()
         if self._thread is not None and self._thread.is_alive():
             try:
                 with ServeClient(socket_path=self.socket_path,
@@ -479,4 +517,6 @@ class LocalTier:
         try:
             self.shutdown()
         except Exception:  # noqa: BLE001 — teardown must not mask
+            if self.supervisor is not None:
+                self.supervisor.stop()
             self.manager.stop()

@@ -25,7 +25,9 @@ Server -> client frames:
 * ``{"kind": "error", "id": ..., "code": ..., "message": ...}`` —
   terminal failure frame.  Codes: ``version``, ``malformed``,
   ``invalid``, ``busy`` (queue full; carries ``retry_after`` seconds),
-  ``deadline``, ``draining``, ``execution``, ``internal``.
+  ``shed`` (router-side load shedding below shard quorum; also
+  carries ``retry_after``), ``deadline``, ``draining``,
+  ``execution``, ``internal``.
 * ``{"kind": "pong" | "status", "id": ..., ...}`` — control replies.
 
 The payload schema inside ``request``/``result`` is exactly
@@ -48,6 +50,7 @@ ERR_VERSION = "version"
 ERR_MALFORMED = "malformed"
 ERR_INVALID = "invalid"
 ERR_BUSY = "busy"
+ERR_SHED = "shed"
 ERR_DEADLINE = "deadline"
 ERR_DRAINING = "draining"
 ERR_EXECUTION = "execution"

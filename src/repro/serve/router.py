@@ -15,6 +15,20 @@ generator) works against either unchanged.  What the router adds:
   ring successors), recovery re-adds it.  A connection error during a
   forward fails over to the next shard in ring order immediately,
   without waiting for the health loop.
+* **In-flight recovery** — a :class:`RequestJournal` tracks every
+  forwarded request by its canonical work key.  When a shard dies (or
+  stalls past ``attempt_timeout``) mid-request, the router re-dispatches
+  to the ring-failover shard and the client sees a ``retried`` event
+  instead of an error; the work key is already the dedup/coalescing
+  identity, so re-dispatch is idempotent.  The journal proves the
+  terminal-frame contract: one terminal frame per submit, ever — its
+  ``duplicated`` counter must stay zero (the chaos gate asserts it).
+* **Quorum + load shedding** — when fewer than ``quorum`` shards are
+  healthy the router sheds deterministically, lowest priority first
+  (numerically largest ``priority``), with a typed ``shed`` error
+  carrying ``retry_after`` — bounded, honest rejection instead of
+  letting everything time out.  With zero healthy shards *all* new
+  work is shed (still typed, still fast).
 * **Backpressure** — per-shard ``busy`` rejections are retried with
   bounded backoff honouring the server's ``retry_after`` hint (the
   :meth:`ServeClient.submit` retry machinery), then failed over once;
@@ -34,6 +48,7 @@ See docs/SERVING.md for topology and operations.
 """
 
 import asyncio
+import collections
 import contextlib
 import logging
 import os
@@ -61,6 +76,63 @@ DEFAULT_FAIL_THRESHOLD = 2
 #: Per-shard busy retries (on top of the first attempt) before the
 #: router fails the request over to the next shard in ring order.
 DEFAULT_BUSY_RETRIES = 2
+
+
+class RequestJournal:
+    """In-flight forward journal keyed by the canonical work key.
+
+    Runs entirely on the router's event loop (no locking).  An entry
+    is opened per submit, records every shard attempt and re-dispatch,
+    and is closed exactly once with the terminal outcome; closing an
+    already-closed entry increments ``duplicated`` — the counter the
+    chaos SLO pins to zero, because a nonzero value would mean one
+    submit produced two terminal frames.
+    """
+
+    def __init__(self, capacity=256):
+        self.active = {}            # key -> open entry (refcounted)
+        self.recent = collections.deque(maxlen=capacity)
+        self.counters = {
+            "opened": 0, "completed": 0, "failed": 0,
+            "redispatched": 0, "duplicated": 0,
+        }
+
+    def open(self, key, priority):
+        entry = self.active.get(key)
+        if entry is None:
+            entry = {"key": key, "priority": priority, "inflight": 0,
+                     "attempts": [], "retries": 0}
+            self.active[key] = entry
+        entry["inflight"] += 1
+        self.counters["opened"] += 1
+        return entry
+
+    def attempt(self, entry, shard_id):
+        entry["attempts"].append(shard_id)
+
+    def redispatch(self, entry, reason):
+        entry["retries"] += 1
+        self.counters["redispatched"] += 1
+
+    def close(self, entry, ok):
+        if entry["inflight"] <= 0:
+            self.counters["duplicated"] += 1
+            return
+        entry["inflight"] -= 1
+        self.counters["completed" if ok else "failed"] += 1
+        if entry["inflight"] == 0:
+            self.active.pop(entry["key"], None)
+            if entry["retries"]:
+                self.recent.append({"key": entry["key"],
+                                    "retries": entry["retries"],
+                                    "attempts": list(entry["attempts"])})
+
+    def stats(self):
+        return {
+            "counters": dict(self.counters),
+            "active": len(self.active),
+            "recent_retried": list(self.recent)[-8:],
+        }
 
 
 class ShardSpec:
@@ -125,6 +197,8 @@ class Router:
                  fail_threshold=DEFAULT_FAIL_THRESHOLD,
                  busy_retries=DEFAULT_BUSY_RETRIES, backoff=0.25,
                  probe_cache=True, forward_timeout=600.0,
+                 attempt_timeout=None, probe_timeout=None,
+                 quorum=None, shed_priority=None,
                  max_forward_threads=32):
         specs = [shard if isinstance(shard, ShardSpec)
                  else ShardSpec.parse(shard) for shard in shards]
@@ -138,10 +212,25 @@ class Router:
         self.backoff = backoff
         self.probe_cache = probe_cache
         self.forward_timeout = forward_timeout
+        #: Per-shard-attempt socket timeout: a stalled (SIGSTOPped or
+        #: black-holed) shard costs at most this long before the
+        #: router marks it down and re-dispatches.  ``None`` falls
+        #: back to ``forward_timeout`` (the pre-recovery behaviour).
+        self.attempt_timeout = attempt_timeout
+        self.probe_timeout = probe_timeout
+        #: Below this many healthy shards, new work is shed lowest
+        #: priority first.  Default: a majority of the configured set.
+        self.quorum = max(1, len(specs) // 2 + 1) if quorum is None \
+            else max(1, int(quorum))
+        self.shed_priority = api.DEFAULT_PRIORITY if shed_priority is None \
+            else int(shed_priority)
+        self.journal = RequestJournal()
+        self.supervisor = None      # attached by route()/LocalTier
         self.counters = {
             "submitted": 0, "forwarded": 0, "completed": 0, "failed": 0,
-            "router_cache_hits": 0, "failovers": 0, "busy_rejected": 0,
-            "drain_rejected": 0, "shards_evicted": 0, "shards_restored": 0,
+            "router_cache_hits": 0, "failovers": 0, "retried": 0,
+            "busy_rejected": 0, "shed": 0, "drain_rejected": 0,
+            "shards_evicted": 0, "shards_restored": 0,
         }
         self.inflight = 0
         self.draining = False
@@ -201,8 +290,9 @@ class Router:
             await asyncio.sleep(self.health_interval)
 
     def _probe_shard(self, spec):
-        with spec.client(timeout=max(5.0, self.health_interval * 5)) \
-                as client:
+        timeout = self.probe_timeout if self.probe_timeout is not None \
+            else max(5.0, self.health_interval * 5)
+        with spec.client(timeout=timeout) as client:
             return client.status()
 
     def _note_failure(self, state, err):
@@ -293,6 +383,39 @@ class Router:
                 if not state.healthy}
         return self.ring.node_for(key, exclude=set(exclude) | down)
 
+    def healthy_count(self):
+        return sum(1 for state in self.shards.values() if state.healthy)
+
+    def _shed_retry_after(self):
+        """How long a shed client should wait: long enough for the
+        supervisor respawn + health-probe restore cycle to complete."""
+        return round(max(self.health_interval * 2.0, 0.5), 3)
+
+    def _maybe_shed(self, priority):
+        """Deterministic load shedding below shard quorum.
+
+        Shedding order is by priority, numerically largest (= least
+        urgent) first: below quorum, requests with ``priority >
+        shed_priority`` are shed; at zero healthy shards everything
+        is.  Returns the typed error outcome or ``None`` to admit.
+        """
+        healthy = self.healthy_count()
+        if healthy >= self.quorum:
+            return None
+        if healthy > 0 and priority <= self.shed_priority:
+            return None
+        self.counters["shed"] += 1
+        self.counters["failed"] += 1
+        if healthy == 0:
+            message = ("no healthy shard available; shedding all new "
+                       "work until the tier recovers")
+        else:
+            message = ("tier below quorum (%d/%d healthy); shedding "
+                       "priority > %d" % (healthy, self.quorum,
+                                          self.shed_priority))
+        return ("error", protocol.ERR_SHED, message,
+                {"retry_after": self._shed_retry_after()})
+
     async def forward(self, payload, emit_event):
         """Place and forward one submit payload.
 
@@ -306,6 +429,10 @@ class Router:
         except SchemaError as err:
             return ("error", protocol.ERR_INVALID, str(err), {})
 
+        shed = self._maybe_shed(request.priority)
+        if shed is not None:
+            return shed
+
         cached = self._probe_cache(request)
         if cached is not None:
             self.counters["router_cache_hits"] += 1
@@ -316,16 +443,39 @@ class Router:
         def emit_threadsafe(frame):
             loop.call_soon_threadsafe(emit_event, frame)
 
+        entry = self.journal.open(key, request.priority)
+        outcome = None
+        try:
+            outcome = await self._forward_attempts(
+                payload, key, entry, emit_event, emit_threadsafe, loop)
+            return outcome
+        finally:
+            self.journal.close(
+                entry, outcome is not None and outcome[0] == "result")
+
+    async def _forward_attempts(self, payload, key, entry, emit_event,
+                                emit_threadsafe, loop):
         tried = []
         busy = None
+        retry_reason = None
         while True:
             shard_id = self.pick(key, exclude=tried)
             if shard_id is None:
                 break
             state = self.shards[shard_id]
+            if retry_reason is not None:
+                # The previous attempt already reached a shard; this
+                # re-dispatch is transparent to the client — it sees
+                # a ``retried`` event, not an error.
+                self.journal.redispatch(entry, retry_reason)
+                self.counters["retried"] += 1
+                emit_event({"event": "retried", "shard": shard_id,
+                            "from": tried[-1], "reason": retry_reason,
+                            "key": key})
             emit_event({"event": "routed", "shard": shard_id,
                         "key": key, "attempt": len(tried) + 1})
             self.counters["forwarded"] += 1
+            self.journal.attempt(entry, shard_id)
             try:
                 result = await loop.run_in_executor(
                     self._executor, self._forward_blocking, state.spec,
@@ -333,6 +483,7 @@ class Router:
             except ServeBusy as err:
                 busy = err
                 tried.append(shard_id)
+                retry_reason = "busy"
                 self.counters["failovers"] += 1
                 _LOG.info("shard %s saturated for %s; failing over",
                           shard_id, key)
@@ -340,6 +491,7 @@ class Router:
             except ServeError as err:
                 if err.code == protocol.ERR_DRAINING:
                     tried.append(shard_id)
+                    retry_reason = "draining"
                     self.counters["failovers"] += 1
                     continue
                 self.counters["failed"] += 1
@@ -348,9 +500,11 @@ class Router:
             except (ConnectionError, OSError) as err:
                 self.mark_down(shard_id)
                 tried.append(shard_id)
+                retry_reason = "stalled" \
+                    if isinstance(err, TimeoutError) else "unreachable"
                 self.counters["failovers"] += 1
-                _LOG.warning("shard %s unreachable for %s (%s); "
-                             "failing over", shard_id, key, err)
+                _LOG.warning("shard %s %s for %s (%s); re-dispatching",
+                             shard_id, retry_reason, key, err)
                 continue
             self.counters["completed"] += 1
             return ("result", result)
@@ -362,13 +516,22 @@ class Router:
                     "every eligible shard is saturated; retry later",
                     {"retry_after": busy.retry_after
                      or self._last_retry_after})
-        return ("error", protocol.ERR_EXECUTION,
-                "no healthy shard available for this request", {})
+        self.counters["shed"] += 1
+        return ("error", protocol.ERR_SHED,
+                "no healthy shard available for this request; "
+                "retry after the tier recovers",
+                {"retry_after": self._shed_retry_after()})
 
     def _forward_blocking(self, spec, payload, emit):
         """One shard attempt on an executor thread: the blocking
-        client with bounded busy-retry honouring ``retry_after``."""
-        with spec.client(timeout=self.forward_timeout) as client:
+        client with bounded busy-retry honouring ``retry_after``.
+
+        The socket timeout is ``attempt_timeout`` when set, so a
+        stalled shard surfaces as :class:`TimeoutError` (an
+        ``OSError``) and flows into the re-dispatch path above."""
+        timeout = self.attempt_timeout if self.attempt_timeout \
+            is not None else self.forward_timeout
+        with spec.client(timeout=timeout) as client:
             result = client.submit(payload, on_event=emit,
                                    retries=self.busy_retries,
                                    backoff=self.backoff)
@@ -384,7 +547,7 @@ class Router:
                 "fails": state.fails,
                 "stats": state.stats,
             }
-        return {
+        stats = {
             "schema_version": SCHEMA_VERSION,
             "role": "router",
             "draining": self.draining,
@@ -395,7 +558,13 @@ class Router:
             "shards": shard_view,
             "cache_tier": self.cache_tier(),
             "retry_after": self._last_retry_after,
+            "quorum": self.quorum,
+            "healthy": self.healthy_count(),
+            "journal": self.journal.stats(),
         }
+        if self.supervisor is not None:
+            stats["supervisor"] = self.supervisor.stats()
+        return stats
 
 
 class RouterServer:
@@ -598,6 +767,7 @@ class ShardManager:
         self.procs = []
         self.specs = []
         self._logs = []
+        self._env = None
 
     def start(self, timeout=90.0):
         import tempfile
@@ -611,39 +781,59 @@ class ShardManager:
             + env.get("PYTHONPATH", "")
         if self.cache_dir:
             env["REPRO_CACHE_DIR"] = str(self.cache_dir)
-        for index in range(self.count):
-            sock = os.path.join(self.base_dir, "shard-%d.sock" % index)
-            argv = [sys.executable, "-m", "repro", "serve",
-                    "--socket", sock, "--jobs", str(self.jobs),
-                    "--queue-depth", str(self.queue_depth)]
-            if self.deadline:
-                argv += ["--deadline", str(self.deadline)]
-            for engine in self.warm_engines:
-                argv += ["--warm-engine", engine]
-            for config in self.warm_configs or ():
-                argv += ["--warm-config", config]
-            log_path = os.path.join(self.log_dir or self.base_dir,
-                                    "shard-%d.log" % index)
-            log = open(log_path, "wb")
-            self._logs.append(log)
-            self.procs.append(subprocess.Popen(
-                argv, env=env, stdout=log, stderr=subprocess.STDOUT))
-            self.specs.append(ShardSpec(socket_path=sock))
-        deadline_at = time.monotonic() + timeout
-        for spec, proc in zip(self.specs, self.procs):
-            while not os.path.exists(spec.socket_path):
-                if proc.poll() is not None:
-                    raise RuntimeError(
-                        "shard %s exited %d before binding its socket"
-                        % (spec.shard_id, proc.returncode))
-                if time.monotonic() > deadline_at:
-                    raise RuntimeError("shard %s never came up"
-                                       % spec.shard_id)
-                time.sleep(0.05)
+        self._env = env
+        try:
+            for index in range(self.count):
+                sock = os.path.join(self.base_dir,
+                                    "shard-%d.sock" % index)
+                self.specs.append(ShardSpec(socket_path=sock))
+                self.procs.append(None)
+                self._logs.append(None)
+                self._spawn(index)
+            deadline_at = time.monotonic() + timeout
+            for spec, proc in zip(self.specs, self.procs):
+                while not os.path.exists(spec.socket_path):
+                    if proc.poll() is not None:
+                        raise RuntimeError(
+                            "shard %s exited %d before binding its "
+                            "socket" % (spec.shard_id, proc.returncode))
+                    if time.monotonic() > deadline_at:
+                        raise RuntimeError("shard %s never came up"
+                                           % spec.shard_id)
+                    time.sleep(0.05)
+        except Exception:
+            # No leaked children or log handles on a failed boot.
+            self.stop()
+            raise
         return self
 
+    def _argv(self, index):
+        argv = [sys.executable, "-m", "repro", "serve",
+                "--socket", self.specs[index].socket_path,
+                "--jobs", str(self.jobs),
+                "--queue-depth", str(self.queue_depth)]
+        if self.deadline:
+            argv += ["--deadline", str(self.deadline)]
+        for engine in self.warm_engines:
+            argv += ["--warm-engine", engine]
+        for config in self.warm_configs or ():
+            argv += ["--warm-config", config]
+        return argv
+
+    def _spawn(self, index):
+        """(Re)spawn shard ``index``; appends to its log so a respawn
+        keeps the crash history in one file."""
+        log_path = os.path.join(self.log_dir or self.base_dir,
+                                "shard-%d.log" % index)
+        log = open(log_path, "ab")
+        self._logs[index] = log
+        self.procs[index] = subprocess.Popen(
+            self._argv(index), env=self._env, stdout=log,
+            stderr=subprocess.STDOUT)
+
     def alive(self):
-        return [proc.poll() is None for proc in self.procs]
+        return [proc is not None and proc.poll() is None
+                for proc in self.procs]
 
     def kill(self, index):
         """Hard-kill one shard (tests: shard-loss rebalancing)."""
@@ -651,13 +841,43 @@ class ShardManager:
         if proc.poll() is None:
             proc.kill()
             proc.wait()
+        self._close_log(index)
         with contextlib.suppress(OSError):
             os.unlink(self.specs[index].socket_path)
+
+    def respawn(self, index, timeout=30.0):
+        """Re-spawn one *dead* shard on its original socket path (so
+        its ring identity — and therefore its key ownership — is
+        unchanged).  Raises if the shard is still running or the
+        respawn never binds its socket.  Used by
+        :class:`repro.serve.supervisor.ShardSupervisor`."""
+        proc = self.procs[index]
+        if proc is not None and proc.poll() is None:
+            raise RuntimeError("shard %d is still running" % index)
+        spec = self.specs[index]
+        self._close_log(index)
+        with contextlib.suppress(OSError):
+            os.unlink(spec.socket_path)
+        self._spawn(index)
+        proc = self.procs[index]
+        deadline_at = time.monotonic() + timeout
+        while not os.path.exists(spec.socket_path):
+            if proc.poll() is not None:
+                raise RuntimeError(
+                    "respawned shard %s exited %d before binding"
+                    % (spec.shard_id, proc.returncode))
+            if time.monotonic() > deadline_at:
+                proc.kill()
+                proc.wait()
+                raise RuntimeError("respawned shard %s never came up"
+                                   % spec.shard_id)
+            time.sleep(0.05)
+        return spec
 
     def drain(self, timeout=120.0):
         """Politely drain every live shard; returns their exit codes."""
         for spec, proc in zip(self.specs, self.procs):
-            if proc.poll() is not None:
+            if proc is None or proc.poll() is not None:
                 continue
             try:
                 with spec.client(timeout=30.0) as client:
@@ -666,6 +886,9 @@ class ShardManager:
                 proc.terminate()
         codes = []
         for proc in self.procs:
+            if proc is None:
+                codes.append(None)
+                continue
             try:
                 codes.append(proc.wait(timeout=timeout))
             except subprocess.TimeoutExpired:
@@ -677,22 +900,29 @@ class ShardManager:
     def stop(self):
         """Hard stop (error paths); prefer :meth:`drain`."""
         for proc in self.procs:
-            if proc.poll() is None:
+            if proc is not None and proc.poll() is None:
                 proc.kill()
                 proc.wait()
         self._close_logs()
 
-    def _close_logs(self):
-        for log in self._logs:
+    def _close_log(self, index):
+        log = self._logs[index]
+        if log is not None:
             with contextlib.suppress(OSError):
                 log.close()
-        self._logs = []
+            self._logs[index] = None
+
+    def _close_logs(self):
+        for index in range(len(self._logs)):
+            self._close_log(index)
 
 
 async def route(shards, *, socket_path=None, host=None, port=None,
-                signals=True, ready=None, **router_kwargs):
+                signals=True, ready=None, supervisor=None,
+                **router_kwargs):
     """Run the router until drained (the ``repro route`` body)."""
     router = Router(shards, **router_kwargs)
+    router.supervisor = supervisor
     server = RouterServer(router, socket_path=socket_path, host=host,
                           port=port)
     await server.start()

@@ -446,6 +446,11 @@ class ExecutionService:
     def stats(self):
         return {
             "schema_version": SCHEMA_VERSION,
+            # Role and pid let the router's health loop and the shard
+            # supervisor verify *what* answered a probe: a respawned
+            # shard shows a fresh pid, a chaos decoy shows nothing.
+            "role": "shard",
+            "pid": os.getpid(),
             "draining": self._draining,
             "workers": self.workers,
             "queue_depth": self.queue_depth,

@@ -1,0 +1,271 @@
+"""Shard supervision: detect dead shard processes and bring them back.
+
+:class:`ShardSupervisor` watches a :class:`~repro.serve.router
+.ShardManager`'s subprocesses from a daemon thread and mirrors
+``bench/parallel.run_hardened``'s kill+rebuild semantics at the
+process tier:
+
+* **Detect** — a poll loop notices a shard whose process has exited
+  (SIGKILLed, OOMed, crashed — the supervisor does not care why).
+* **Respawn with exponential backoff** — the shard is respawned on
+  its *original* socket path (same ring identity, same key
+  ownership).  Consecutive failures back off ``backoff * 2**n`` up to
+  ``max_backoff`` so a broken shard binary cannot hot-loop the
+  supervisor.
+* **Crash-loop circuit breaker** — more than ``breaker_threshold``
+  deaths inside ``breaker_window`` seconds opens the breaker for that
+  shard: no respawns until ``breaker_cooldown`` has passed (then one
+  half-open attempt is allowed).  A tier where one shard's workload
+  reliably kills it degrades to N-1 shards instead of burning CPU on
+  a respawn storm.
+* **Health-probed re-admission** — a respawn only counts as recovered
+  once a ``status`` probe answers.  Ring re-admission itself stays
+  where it always was: the router's health loop restores a shard
+  after a successful probe, so a shard that binds its socket but
+  cannot serve never rejoins the ring.
+
+The supervisor deliberately owns *no* ring state — it heals
+processes; the router heals membership.  ``hold(index)`` /
+``release(index)`` suspend healing for one shard (the chaos harness
+uses this to keep a black-holed socket in place).
+
+See docs/SERVING.md (supervision) and docs/RELIABILITY.md (chaos).
+"""
+
+import contextlib
+import logging
+import threading
+import time
+
+_LOG = logging.getLogger("repro.serve.supervisor")
+
+#: Seconds between liveness polls of the shard process table.
+DEFAULT_POLL_INTERVAL = 0.2
+
+#: First respawn delay; doubles per consecutive failure.
+DEFAULT_BACKOFF = 0.25
+
+#: Ceiling on the respawn delay.
+DEFAULT_MAX_BACKOFF = 8.0
+
+#: Deaths within ``breaker_window`` that open the circuit breaker.
+DEFAULT_BREAKER_THRESHOLD = 5
+
+#: Sliding window (seconds) the breaker counts deaths over.
+DEFAULT_BREAKER_WINDOW = 30.0
+
+#: Seconds the breaker stays open before one half-open retry.
+DEFAULT_BREAKER_COOLDOWN = 10.0
+
+
+class _ShardWatch:
+    """Supervision state for one shard index."""
+
+    __slots__ = ("index", "deaths", "consecutive_failures", "respawns",
+                 "next_attempt_at", "breaker_open_until", "breaker_trips",
+                 "held", "awaiting_probe", "last_exit_code")
+
+    def __init__(self, index):
+        self.index = index
+        self.deaths = []            # monotonic timestamps, pruned
+        self.consecutive_failures = 0
+        self.respawns = 0
+        self.next_attempt_at = 0.0
+        self.breaker_open_until = None
+        self.breaker_trips = 0
+        self.held = False
+        self.awaiting_probe = False
+        self.last_exit_code = None
+
+
+class ShardSupervisor:
+    """Watch a :class:`ShardManager`'s shards; respawn the dead ones.
+
+    ``manager`` needs ``procs``, ``specs`` and ``respawn(index)`` —
+    the real :class:`~repro.serve.router.ShardManager` or a test
+    double.  Start/stop from the owning harness; the poll loop runs
+    on a daemon thread and never raises.
+    """
+
+    def __init__(self, manager, *,
+                 poll_interval=DEFAULT_POLL_INTERVAL,
+                 backoff=DEFAULT_BACKOFF,
+                 max_backoff=DEFAULT_MAX_BACKOFF,
+                 breaker_threshold=DEFAULT_BREAKER_THRESHOLD,
+                 breaker_window=DEFAULT_BREAKER_WINDOW,
+                 breaker_cooldown=DEFAULT_BREAKER_COOLDOWN,
+                 probe_timeout=2.0,
+                 clock=time.monotonic, sleep=None):
+        self.manager = manager
+        self.poll_interval = poll_interval
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self.breaker_threshold = breaker_threshold
+        self.breaker_window = breaker_window
+        self.breaker_cooldown = breaker_cooldown
+        self.probe_timeout = probe_timeout
+        self._clock = clock
+        self._stop = threading.Event()
+        self._sleep = sleep or (lambda s: self._stop.wait(s))
+        self._thread = None
+        self._lock = threading.Lock()
+        self.watches = [_ShardWatch(index)
+                        for index in range(len(manager.procs))]
+        self.events = []            # (t, kind, index, detail) audit trail
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self):
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-shard-supervisor",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, timeout=10.0):
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def hold(self, index):
+        """Suspend respawns for one shard (chaos: keep a dead socket
+        dead while a decoy listener squats on it)."""
+        with self._lock:
+            self.watches[index].held = True
+
+    def release(self, index):
+        with self._lock:
+            self.watches[index].held = False
+            self.watches[index].next_attempt_at = 0.0
+
+    # -- the poll loop -----------------------------------------------------
+
+    def _loop(self):
+        while not self._stop.is_set():
+            try:
+                self.poll_once()
+            except Exception:  # noqa: BLE001 — supervision never dies
+                _LOG.exception("supervisor poll failed")
+            self._sleep(self.poll_interval)
+
+    def poll_once(self):
+        """One supervision pass (exposed for deterministic tests)."""
+        now = self._clock()
+        for watch in self.watches:
+            with self._lock:
+                if watch.held:
+                    continue
+            proc = self.manager.procs[watch.index]
+            if proc is None or proc.poll() is not None:
+                self._handle_dead(watch, proc, now)
+            elif watch.awaiting_probe:
+                self._probe(watch, now)
+
+    def _handle_dead(self, watch, proc, now):
+        if proc is not None and watch.last_exit_code is None:
+            watch.last_exit_code = proc.returncode
+            watch.deaths.append(now)
+            self._record(now, "died", watch.index,
+                         "exit %s" % proc.returncode)
+        cutoff = now - self.breaker_window
+        watch.deaths = [t for t in watch.deaths if t >= cutoff]
+        if watch.breaker_open_until is not None:
+            if now < watch.breaker_open_until:
+                return
+            # Half-open: allow exactly one attempt; re-trips on the
+            # next death inside the window.
+            watch.breaker_open_until = None
+            watch.deaths = []
+            self._record(now, "breaker_half_open", watch.index, "")
+        if len(watch.deaths) > self.breaker_threshold:
+            watch.breaker_open_until = now + self.breaker_cooldown
+            watch.breaker_trips += 1
+            self._record(now, "breaker_open", watch.index,
+                         "%d deaths in %.1fs" % (len(watch.deaths),
+                                                 self.breaker_window))
+            _LOG.warning("shard %d crash-looping (%d deaths in %.1fs); "
+                         "breaker open for %.1fs", watch.index,
+                         len(watch.deaths), self.breaker_window,
+                         self.breaker_cooldown)
+            return
+        if now < watch.next_attempt_at:
+            return
+        # Exponential backoff grows with both failed respawn attempts
+        # and rapid re-deaths of successfully respawned processes.
+        exponent = watch.consecutive_failures \
+            + max(0, len(watch.deaths) - 1)
+        delay = min(self.max_backoff, self.backoff * (2 ** exponent))
+        try:
+            self.manager.respawn(watch.index)
+        except Exception as err:  # noqa: BLE001 — retried with backoff
+            watch.consecutive_failures += 1
+            watch.next_attempt_at = self._clock() + delay
+            self._record(now, "respawn_failed", watch.index, str(err))
+            _LOG.warning("respawn of shard %d failed (%s); next attempt "
+                         "in %.2fs", watch.index, err, delay)
+            return
+        watch.respawns += 1
+        watch.last_exit_code = None
+        watch.awaiting_probe = True
+        # A fresh death of the respawned process still backs off.
+        watch.next_attempt_at = self._clock() + delay
+        self._record(now, "respawned", watch.index,
+                     "attempt %d" % watch.respawns)
+        _LOG.info("shard %d respawned (attempt %d)", watch.index,
+                  watch.respawns)
+
+    def _probe(self, watch, now):
+        """Confirm a respawned shard actually serves before calling it
+        recovered (ring re-admission is the router health loop's call,
+        made on the same evidence: an answered status probe)."""
+        spec = self.manager.specs[watch.index]
+        try:
+            with spec.client(timeout=self.probe_timeout) as client:
+                client.status()
+        except Exception:  # noqa: BLE001 — not up yet; keep polling
+            return
+        watch.awaiting_probe = False
+        watch.consecutive_failures = 0
+        watch.next_attempt_at = 0.0
+        self._record(now, "recovered", watch.index, "")
+        _LOG.info("shard %d answering probes again", watch.index)
+
+    def _record(self, now, kind, index, detail):
+        with self._lock:
+            self.events.append((round(now, 3), kind, index, detail))
+            del self.events[:-256]
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self):
+        with self._lock:
+            shards = {}
+            for watch in self.watches:
+                shards[str(watch.index)] = {
+                    "respawns": watch.respawns,
+                    "breaker_trips": watch.breaker_trips,
+                    "breaker_open": watch.breaker_open_until is not None,
+                    "held": watch.held,
+                    "awaiting_probe": watch.awaiting_probe,
+                }
+            return {
+                "respawns": sum(w.respawns for w in self.watches),
+                "breaker_trips": sum(w.breaker_trips
+                                     for w in self.watches),
+                "shards": shards,
+                "events": [list(event) for event in self.events[-32:]],
+            }
+
+
+@contextlib.contextmanager
+def supervised(manager, **kwargs):
+    """Context-manager sugar: a running supervisor over ``manager``."""
+    supervisor = ShardSupervisor(manager, **kwargs).start()
+    try:
+        yield supervisor
+    finally:
+        supervisor.stop()

@@ -97,6 +97,29 @@ def test_campaign_report_shape():
     json.dumps(report)
 
 
+def test_campaign_report_identical_with_compiled_engines_fenced(
+        monkeypatch):
+    """Every injected run must execute on the per-instruction loop
+    (the fault hook's rebound ``step`` forces the deopt): with the
+    trace and block engines made to explode on entry, the campaign
+    still runs — and its report is byte-identical to the unfenced
+    one, so the engines were never what produced the numbers."""
+    from repro.uarch.pipeline import Machine
+
+    reference = run_campaign(max_workers=1, **TINY)
+    clear_cache()
+
+    def boom(self, *_args, **_kwargs):  # pragma: no cover - must not run
+        raise AssertionError("compiled engine entered during a "
+                             "fault-injection run")
+
+    monkeypatch.setattr(Machine, "_run_traces", boom)
+    monkeypatch.setattr(Machine, "_run_blocks", boom)
+    fenced = run_campaign(max_workers=1, **TINY)
+    assert json.dumps(fenced, sort_keys=True) \
+        == json.dumps(reference, sort_keys=True)
+
+
 def test_campaign_same_plan_across_configs():
     report = run_campaign(max_workers=1, **TINY)
     sequences = {}

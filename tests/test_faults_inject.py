@@ -47,6 +47,23 @@ def test_hook_forces_interpreted_loop():
     assert cpu.regs.value[10] == 4
 
 
+def test_hook_forces_trace_engine_deopt():
+    """The superblock trace engine (the default) must also deopt to
+    the per-instruction loop when a fault hook rebinds ``step`` —
+    otherwise injection indices would be inexact — with counters
+    bit-identical to an explicit interpreted run."""
+    from repro.uarch.pipeline import Machine
+
+    reference = make_cpu(COUNT_PROGRAM)
+    ref_counters = Machine(reference, use_blocks=False).run()
+
+    cpu = make_cpu(COUNT_PROGRAM)
+    FaultSession(cpu, []).attach()
+    counters = Machine(cpu, use_blocks=True, use_traces=True).run()
+    assert cpu.regs.value[10] == reference.regs.value[10] == 4
+    assert counters.as_dict() == ref_counters.as_dict()
+
+
 def test_detach_restores_plain_step():
     cpu = make_cpu(COUNT_PROGRAM)
     session = FaultSession(cpu, []).attach()

@@ -509,6 +509,79 @@ def test_submit_retry_honours_server_retry_after(tmp_path,
         server.close()
 
 
+class RecordingRng:
+    """``random``-module stand-in: records each ``uniform`` call's
+    bounds and returns the upper bound (worst-case draw)."""
+
+    def __init__(self):
+        self.calls = []
+
+    def uniform(self, lo, hi):
+        self.calls.append((lo, hi))
+        return hi
+
+
+def _always_busy_client(monkeypatch, sleeps, retry_after=None):
+    """A client whose transport always answers busy; sleeps are
+    captured instead of taken."""
+    client = ServeClient(socket_path="/nonexistent.sock")
+    monkeypatch.setattr(
+        client, "_transact",
+        lambda *a, **k: (_ for _ in ()).throw(
+            ServeBusy("busy", "queue full", retry_after=retry_after)))
+    monkeypatch.setattr("repro.serve.client.time.sleep", sleeps.append)
+    return client
+
+
+def test_retry_backoff_uses_decorrelated_jitter(monkeypatch):
+    # Retry delays are drawn uniform(backoff, 3 * previous), not
+    # computed as deterministic backoff * 2**attempt lockstep.
+    sleeps, rng = [], RecordingRng()
+    client = _always_busy_client(monkeypatch, sleeps)
+    with pytest.raises(ServeBusy):
+        client.submit({"op": "run", "engine": "lua", "source": "x"},
+                      retries=3, backoff=0.25, rng=rng)
+    assert rng.calls == [(0.25, 0.75), (0.25, 2.25), (0.25, 6.75)]
+    assert sleeps == [0.75, 2.25, 6.75]
+
+
+def test_retry_backoff_is_clamped_to_max_backoff(monkeypatch):
+    sleeps, rng = [], RecordingRng()
+    client = _always_busy_client(monkeypatch, sleeps)
+    with pytest.raises(ServeBusy):
+        client.submit({"op": "run", "engine": "lua", "source": "x"},
+                      retries=3, backoff=0.25, max_backoff=1.0, rng=rng)
+    assert sleeps == [0.75, 1.0, 1.0]          # ceiling holds
+    # The jitter window keeps widening off the *clamped* delay.
+    assert rng.calls == [(0.25, 0.75), (0.25, 2.25), (0.25, 3.0)]
+
+
+def test_retry_after_hint_bypasses_the_jitter(monkeypatch):
+    sleeps, rng = [], RecordingRng()
+    client = _always_busy_client(monkeypatch, sleeps, retry_after=0.02)
+    with pytest.raises(ServeBusy):
+        client.submit({"op": "run", "engine": "lua", "source": "x"},
+                      retries=2, backoff=10.0, rng=rng)
+    assert sleeps == [0.02, 0.02]   # the server's hint wins
+    assert rng.calls == []          # jitter never consulted
+
+
+def test_retry_jitter_spreads_two_clients(monkeypatch):
+    # The point of the jitter: two clients bouncing off the same
+    # saturated shard do not march back in lockstep.
+    import random
+    schedules = []
+    for seed in (1, 2):
+        sleeps = []
+        client = _always_busy_client(monkeypatch, sleeps)
+        with pytest.raises(ServeBusy):
+            client.submit({"op": "run", "engine": "lua", "source": "x"},
+                          retries=3, backoff=0.25,
+                          rng=random.Random(seed))
+        schedules.append(tuple(sleeps))
+    assert schedules[0] != schedules[1]
+
+
 # -- atomic socket-path pick (parallel CI jobs must not collide) -------------
 
 def test_free_socket_path_is_collision_free_across_threads():
