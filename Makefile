@@ -3,8 +3,8 @@ JOBS ?=
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint sweep sweep-full faults-smoke faults serve-smoke \
-	serve-load chaos-smoke figures perfbench clean-cache
+.PHONY: test lint sweep sweep-full analysis-smoke faults-smoke faults \
+	serve-smoke serve-load chaos-smoke figures perfbench clean-cache
 
 # Tier-1 verification.
 test:
@@ -22,6 +22,19 @@ sweep:
 # The full matrix + figures (disk-cached, all cores by default).
 sweep-full:
 	$(PYTHON) -m repro sweep $(if $(JOBS),--jobs $(JOBS))
+
+# CI smoke for the static-elision axis (docs/ANALYSIS.md): the
+# analysis/IR/differential suites, then a sweep smoke whose JSON
+# carries the 4-way gradual figure (baseline vs elided vs chklb vs
+# typed with the recovered fraction) and a fault smoke that gates the
+# elision SDC silent/abort shift.  The elided config stays exempt from
+# the committed perf gate (GATE_CONFIGS pins the paper triple).
+analysis-smoke:
+	$(PYTHON) -m pytest -q tests/test_analysis.py tests/test_ir_views.py \
+		tests/test_elided_differential.py
+	$(PYTHON) -m repro sweep --smoke $(if $(JOBS),--jobs $(JOBS)) \
+		$(if $(GRADUAL_JSON),--json $(GRADUAL_JSON))
+	$(PYTHON) -m repro faults --smoke $(if $(JOBS),--jobs $(JOBS))
 
 # CI smoke: tiny fixed-seed fault-injection campaign run at 1 and N
 # jobs; fails unless the reports are identical and the typed configs

@@ -1,0 +1,50 @@
+"""Static tag inference over predecoded guest bytecode.
+
+The pass proves, per bytecode site, that operand tags are stable —
+abstract interpretation on the :mod:`repro.analysis.lattice` AV domain
+over the shared :mod:`repro.engines.ir` views, one engine-specific
+transfer relation each (:mod:`repro.analysis.lua`,
+:mod:`repro.analysis.js`) — and *quickens* proven sites: the opcode
+byte is rewritten to a guard-free handler variant from
+:mod:`repro.analysis.quickening`.  Unproven sites keep their base
+opcode and run the normal software-guarded handler, so the elided
+configuration is exactly "software checks minus the ones a static
+proof discharges" — the transient-elision point of the gradual-typing
+comparison (paper Section 6.4 / Figure 12).
+
+Entry point: :func:`quicken_chunk`, invoked through the elided
+family's :class:`~repro.engines.configs.HandlerPolicy` after
+compilation (chunks are compiled fresh per ``prepare()``, so the
+in-place rewrite never leaks into other configurations).
+"""
+
+from repro.analysis import quickening
+from repro.analysis.lattice import AV, BOT, NATIVE, TOP, join, join_all
+
+__all__ = ["AV", "BOT", "NATIVE", "TOP", "join", "join_all",
+           "quicken_chunk", "quickening"]
+
+
+def quicken_chunk(engine, chunk):
+    """Infer tags for ``chunk`` and rewrite proven sites in place.
+
+    Returns ``{"sites": total rewrites, "per_op": {variant: count}}``
+    for attribution/diagnostics.
+    """
+    if engine == "lua":
+        from repro.analysis import lua as engine_pass
+        by_name = quickening.LUA_BY_NAME
+    elif engine == "js":
+        from repro.analysis import js as engine_pass
+        by_name = quickening.JS_BY_NAME
+    else:
+        raise ValueError("unknown engine %r" % (engine,))
+    decisions = engine_pass.infer(chunk).decide()
+    per_op = {}
+    total = 0
+    for proto_index, per_proto in decisions.items():
+        code = chunk.protos[proto_index].code
+        total += quickening.rewrite(code, per_proto, by_name)
+        for variant in per_proto.values():
+            per_op[variant] = per_op.get(variant, 0) + 1
+    return {"sites": total, "per_op": per_op}

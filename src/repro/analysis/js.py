@@ -1,0 +1,394 @@
+"""Interprocedural tag inference over MiniJS stack-VM bytecode.
+
+Same structure as :mod:`repro.analysis.lua`, adapted to the stack
+machine: the abstract state is ``(locals, operand stack)`` with one
+:class:`~repro.analysis.lattice.AV` per slot.  The compiler emits
+balanced stacks, so states meeting at a join always have equal depth;
+if a depth mismatch ever appears the proto is conservatively abandoned
+(no decisions).
+
+Interprocedural summaries are per-proto *entry-locals* (the calling
+convention maps pushed arguments onto local slots 0..nargs-1 and the
+``CALL_initloop`` undefined-initialises the rest, so arity mismatches
+fall out naturally), per-proto returns, and join-only global slots.
+Hoisted function declarations give ``GETGLOBAL`` precise proto sets;
+the builtin global slots are ``TOP``.
+
+Global slots accessed by *no proto other than main* are promoted to
+flow-sensitive pseudo-locals of main.  Top-level ``var``s compile to
+globals in this subset, so without promotion every benchmark-shaped
+program (all code at top level) joins the initial ``undefined`` into
+each variable and nothing is provably numeric.  Promotion is sound
+because main runs exactly once, only main's code reads or writes a
+promoted slot, and native builtins never store to user globals.
+
+The crucial JS-specific soundness fact: **int32 arithmetic promotes to
+double on overflow**, so an ``ADD_II``-eligible site still produces an
+``int ∨ double`` result.  Proven-int operand chains therefore rarely
+survive past one operation — the honest consequence of JS number
+semantics, and the reason the recovered fraction on integer-heavy JS
+benchmarks is near zero while double-heavy ones elide fully.
+``+`` with a possible string operand concatenates, so anything outside
+``{int32, double}`` degrades an ADD result to ``TOP``.
+"""
+
+from repro.analysis.lattice import AV, BOT, TOP, func_av, join, tag_av
+from repro.engines.ir import JsView
+from repro.engines.js import layout
+from repro.engines.js.opcodes import JsOp
+
+_MAX_ROUNDS = 100
+
+_DBL = tag_av(layout.TAG_DOUBLE)
+_INT = tag_av(layout.TAG_INT32)
+_UNDEF = tag_av(layout.TAG_UNDEFINED)
+_BOOL = tag_av(layout.TAG_BOOLEAN)
+_STR = tag_av(layout.TAG_STRING)
+_NULL = tag_av(layout.TAG_NULL)
+_OBJ = tag_av(layout.TAG_OBJECT)
+_NUM = AV(tags=(layout.TAG_INT32, layout.TAG_DOUBLE))
+_NUM_TAGS = frozenset((layout.TAG_INT32, layout.TAG_DOUBLE))
+
+#: Names install_builtin_globals populates with natives/library objects.
+_BUILTIN_NAMES = frozenset(
+    ("print", "write", "substring", "charCodeAt", "Math", "String"))
+
+_ARITH = (JsOp.ADD, JsOp.SUB, JsOp.MUL, JsOp.DIV, JsOp.MOD)
+_COMPARES = (JsOp.EQ, JsOp.NE, JsOp.LT, JsOp.LE, JsOp.GT, JsOp.GE)
+
+
+def _const_av(constant):
+    # Mirrors JsRuntime.box: bool before int; ints promote to double
+    # when they do not fit int32; None boxes as undefined.
+    if isinstance(constant, bool):
+        return _BOOL
+    if isinstance(constant, int):
+        return _INT if -(1 << 31) <= constant < (1 << 31) else _DBL
+    if isinstance(constant, float):
+        return _DBL
+    if isinstance(constant, str):
+        return _STR
+    if constant is None:
+        return _UNDEF
+    return TOP
+
+
+def _numeric(av):
+    return not av.top and av.tags <= _NUM_TAGS and not av.funcs
+
+
+class JsInference:
+    """Whole-chunk fixpoint; ``run()`` then ``states``/``decide()``."""
+
+    def __init__(self, chunk):
+        self.chunk = chunk
+        self.views = [JsView(p.code) for p in chunk.protos]
+        self.const_avs = [[_const_av(c) for c in p.constants]
+                          for p in chunk.protos]
+        self.entry_locals = [[BOT] * max(p.num_locals, p.num_params, 1)
+                             for p in chunk.protos]
+        self.returns = [BOT] * len(chunk.protos)
+        self.escaped = set()
+        self.reachable = {0}
+        self.globals = [self._initial_global(name) for name
+                        in chunk.globals]
+        # Promote main-exclusive global slots to pseudo-locals of main
+        # (appended past its real locals) so they are tracked
+        # flow-sensitively instead of through join-only summaries.
+        self.promoted = {}
+        accessors = self._global_accessors()
+        main_entry = self.entry_locals[0]
+        self._main_real_locals = len(main_entry)
+        for slot, name in enumerate(chunk.globals):
+            if accessors.get(slot, set()) <= {0}:
+                self.promoted[slot] = len(main_entry)
+                main_entry.append(self.globals[slot])
+        self.states = {}
+        self.bailed = set()
+        self._changed = False
+
+    def _global_accessors(self):
+        """``{global slot: {proto indices that touch it}}`` over every
+        proto's code, reachable or not."""
+        accessors = {}
+        for proto_index, view in enumerate(self.views):
+            for instr in view.instrs:
+                if instr.op in (JsOp.GETGLOBAL, JsOp.SETGLOBAL):
+                    accessors.setdefault(instr.args[0],
+                                         set()).add(proto_index)
+        return accessors
+
+    def _initial_global(self, name):
+        if name in self.chunk.func_globals:
+            return func_av(layout.TAG_OBJECT,
+                           self.chunk.func_globals[name])
+        if name in _BUILTIN_NAMES:
+            return TOP
+        return _UNDEF
+
+    # -- summary contributions --------------------------------------------
+
+    def _join_entry_local(self, proto_index, slot, value):
+        entry = self.entry_locals[proto_index]
+        if slot >= len(entry):
+            return  # beyond the frame: dead extra argument
+        merged = join(entry[slot], value)
+        if merged != entry[slot]:
+            entry[slot] = merged
+            self._changed = True
+
+    def _join_return(self, proto_index, value):
+        merged = join(self.returns[proto_index], value)
+        if merged != self.returns[proto_index]:
+            self.returns[proto_index] = merged
+            self._changed = True
+
+    def _join_global(self, slot, value):
+        merged = join(self.globals[slot], value)
+        if merged != self.globals[slot]:
+            self.globals[slot] = merged
+            self._changed = True
+
+    def _mark_reachable(self, proto_index):
+        if proto_index not in self.reachable:
+            self.reachable.add(proto_index)
+            self._changed = True
+
+    def _escape(self, value):
+        for proto_index in value.protos():
+            if proto_index not in self.escaped:
+                self.escaped.add(proto_index)
+                self._changed = True
+            self._mark_reachable(proto_index)
+
+    # -- per-proto abstract interpretation --------------------------------
+
+    def _entry_state(self, proto_index):
+        if proto_index in self.escaped:
+            locals_ = [TOP] * len(self.entry_locals[proto_index])
+        elif proto_index == 0:
+            # startup_initloop undefined-initialises main's real
+            # locals; promoted pseudo-locals start at the installed
+            # global's initial value (hoisted function, builtin, or
+            # undefined).
+            locals_ = ([_UNDEF] * self._main_real_locals
+                       + self.entry_locals[0][self._main_real_locals:])
+        else:
+            locals_ = list(self.entry_locals[proto_index])
+        return (tuple(locals_), ())
+
+    def analyze_proto(self, proto_index):
+        view = self.views[proto_index]
+        code_len = len(view)
+        states = [None] * code_len
+        if code_len == 0:
+            return states
+        states[0] = self._entry_state(proto_index)
+        work = [0]
+        while work:
+            index = work.pop()
+            in_state = states[index]
+            for succ, out_state in self._transfer(proto_index, view,
+                                                  index, in_state):
+                if succ < 0 or succ >= code_len:
+                    continue
+                if states[succ] is None:
+                    states[succ] = out_state
+                    work.append(succ)
+                    continue
+                old_locals, old_stack = states[succ]
+                new_locals, new_stack = out_state
+                if len(old_stack) != len(new_stack):
+                    # Unbalanced merge: give up on this proto.
+                    self.bailed.add(proto_index)
+                    return [None] * code_len
+                merged = (tuple(join(a, b) for a, b
+                                in zip(old_locals, new_locals)),
+                          tuple(join(a, b) for a, b
+                                in zip(old_stack, new_stack)))
+                if merged != states[succ]:
+                    states[succ] = merged
+                    work.append(succ)
+        return states
+
+    def _transfer(self, pi, view, index, state):
+        instr = view.instrs[index]
+        op = JsOp(instr.op)
+        imm = instr.args[0]
+        locals_, stack = state
+        nxt = index + 1
+
+        if op is JsOp.UNDEF:
+            return [(nxt, (locals_, stack + (_UNDEF,)))]
+        if op is JsOp.NULL:
+            return [(nxt, (locals_, stack + (_NULL,)))]
+        if op is JsOp.PUSHBOOL:
+            return [(nxt, (locals_, stack + (_BOOL,)))]
+        if op is JsOp.PUSHK:
+            consts = self.const_avs[pi]
+            value = consts[imm] if 0 <= imm < len(consts) else TOP
+            return [(nxt, (locals_, stack + (value,)))]
+        if op is JsOp.GETLOCAL:
+            value = locals_[imm] if 0 <= imm < len(locals_) else TOP
+            return [(nxt, (locals_, stack + (value,)))]
+        if op is JsOp.SETLOCAL:
+            value = stack[-1]
+            if 0 <= imm < len(locals_):
+                locals_ = (locals_[:imm] + (value,) + locals_[imm + 1:])
+            return [(nxt, (locals_, stack[:-1]))]
+        if op is JsOp.GETGLOBAL:
+            if pi == 0 and imm in self.promoted:
+                value = locals_[self.promoted[imm]]
+            else:
+                value = (self.globals[imm]
+                         if 0 <= imm < len(self.globals) else TOP)
+            return [(nxt, (locals_, stack + (value,)))]
+        if op is JsOp.SETGLOBAL:
+            if pi == 0 and imm in self.promoted:
+                slot = self.promoted[imm]
+                locals_ = (locals_[:slot] + (stack[-1],)
+                           + locals_[slot + 1:])
+            elif 0 <= imm < len(self.globals):
+                self._join_global(imm, stack[-1])
+            return [(nxt, (locals_, stack[:-1]))]
+        if op is JsOp.DUP:
+            return [(nxt, (locals_, stack + (stack[-1],)))]
+        if op is JsOp.POP:
+            return [(nxt, (locals_, stack[:-1]))]
+        if op in _ARITH:
+            left, right = stack[-2], stack[-1]
+            result = self._arith_result(op, left, right)
+            return [(nxt, (locals_, stack[:-2] + (result,)))]
+        if op is JsOp.NEG:
+            value = stack[-1]
+            result = _DBL if value.is_only(layout.TAG_DOUBLE) else _NUM
+            return [(nxt, (locals_, stack[:-1] + (result,)))]
+        if op in _COMPARES or op is JsOp.NOT:
+            pops = 1 if op is JsOp.NOT else 2
+            return [(nxt, (locals_, stack[:-pops] + (_BOOL,)))]
+        if op is JsOp.TYPEOF:
+            return [(nxt, (locals_, stack[:-1] + (_STR,)))]
+        if op is JsOp.GETELEM:
+            return [(nxt, (locals_, stack[:-2] + (TOP,)))]
+        if op is JsOp.SETELEM:
+            self._escape(stack[-1])
+            return [(nxt, (locals_, stack[:-3]))]
+        if op is JsOp.NEWARRAY or op is JsOp.NEWOBJ:
+            return [(nxt, (locals_, stack + (_OBJ,)))]
+        if op is JsOp.JUMP:
+            return [(index + 1 + imm, (locals_, stack))]
+        if op is JsOp.IFEQ or op is JsOp.IFNE:
+            popped = (locals_, stack[:-1])
+            return [(nxt, popped), (index + 1 + imm, popped)]
+        if op is JsOp.CALL:
+            return [(nxt, self._call(locals_, stack, imm))]
+        if op is JsOp.RETURN:
+            self._join_return(pi, stack[-1])
+            return []
+        if op is JsOp.RETURN_UNDEF:
+            self._join_return(pi, _UNDEF)
+            return []
+        return [(nxt, (locals_, stack))]
+
+    @staticmethod
+    def _arith_result(op, left, right):
+        if left.is_bot or right.is_bot:
+            return BOT
+        # The runtime's slow path computes float(result) unless *both*
+        # operands unbox to Python ints, and box() never re-canonicalises
+        # an integral double back to int32 — so one proven-double
+        # operand forces a double result, whatever the other side is.
+        either_dbl = (left.is_only(layout.TAG_DOUBLE)
+                      or right.is_only(layout.TAG_DOUBLE))
+        if op is JsOp.ADD:
+            if not (_numeric(left) and _numeric(right)):
+                return TOP  # '+' concatenates when a string is involved
+            return _DBL if either_dbl else _NUM
+        if op is JsOp.DIV:
+            # Float division unconditionally (5/2 is 2.5): the result
+            # is a raw double no matter what the operands were.
+            return _DBL
+        if op is JsOp.MOD:
+            # The int32 fast path exists only when both operands are
+            # int32-boxed; every other route is fmod -> double.
+            return _NUM if (left.may(layout.TAG_INT32)
+                            and right.may(layout.TAG_INT32)) else _DBL
+        # SUB/MUL coerce everything to numbers; int32 results promote
+        # to double on overflow, so int/int is still only "numeric".
+        return _DBL if either_dbl else _NUM
+
+    def _call(self, locals_, stack, nargs):
+        callee = stack[-1 - nargs]
+        args = stack[len(stack) - nargs:]
+        if callee.top or callee.has_native:
+            for arg in args:
+                self._escape(arg)
+        result = TOP if callee.top or callee.has_native else BOT
+        for q in callee.protos():
+            self._mark_reachable(q)
+            for slot, arg in enumerate(args):
+                self._join_entry_local(q, slot, arg)
+            for slot in range(nargs, len(self.entry_locals[q])):
+                self._join_entry_local(q, slot, _UNDEF)
+            result = join(result, self.returns[q])
+        if not callee.top and not callee.has_native and not callee.protos():
+            result = TOP  # calling a non-function traps; stay safe
+        return (locals_, stack[:-1 - nargs] + (result,))
+
+    # -- driver -----------------------------------------------------------
+
+    def run(self):
+        for _ in range(_MAX_ROUNDS):
+            self._changed = False
+            for proto_index in sorted(self.reachable):
+                self.analyze_proto(proto_index)
+            if not self._changed:
+                break
+        self.states = {proto_index: self.analyze_proto(proto_index)
+                       for proto_index in sorted(self.reachable)
+                       if proto_index not in self.bailed}
+        return self
+
+    def decide(self):
+        decisions = {}
+        for proto_index, states in self.states.items():
+            view = self.views[proto_index]
+            per_proto = {}
+            for index, state in enumerate(states):
+                if state is None:
+                    continue
+                variant = self._decide_one(view, index, state)
+                if variant is not None:
+                    per_proto[index] = variant
+            if per_proto:
+                decisions[proto_index] = per_proto
+        return decisions
+
+    @staticmethod
+    def _decide_one(view, index, state):
+        instr = view.instrs[index]
+        op = JsOp(instr.op)
+        if op not in _ARITH and op not in _COMPARES:
+            return None
+        _locals, stack = state
+        if len(stack) < 2:
+            return None
+        left, right = stack[-2], stack[-1]
+        both_int = (left.is_only(layout.TAG_INT32)
+                    and right.is_only(layout.TAG_INT32))
+        both_dbl = (left.is_only(layout.TAG_DOUBLE)
+                    and right.is_only(layout.TAG_DOUBLE))
+        if op is JsOp.DIV:
+            return "DIV_DD" if both_dbl else None
+        if op is JsOp.MOD:
+            return "MOD_II" if both_int else None
+        if both_int:
+            return "%s_II" % op.name
+        if both_dbl:
+            return "%s_DD" % op.name
+        return None
+
+
+def infer(chunk):
+    """Run the fixpoint and return the :class:`JsInference`."""
+    return JsInference(chunk).run()

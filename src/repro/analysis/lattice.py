@@ -1,0 +1,113 @@
+"""The abstract tag lattice shared by both engines' inference passes.
+
+An :class:`AV` (abstract value) describes every concrete value a
+register / stack slot may hold at a program point:
+
+* ``BOT`` — no value (unreachable, or never assigned on any path yet);
+* a finite set of layout ``tags`` — the engine's type-tag ids (Lua
+  ``TNUMINT``/``TNUMFLT``/... or the JS NaN-box tags), any of which the
+  value may carry;
+* a set of ``funcs`` — for function-typed values, which compiled protos
+  (by index) the value may refer to, with :data:`NATIVE` standing for
+  any host builtin.  Tracking proto sets is what lets the
+  interprocedural pass resolve call targets and join argument tags
+  into callee parameter summaries;
+* ``TOP`` — any value at all, including any *escaped* function.
+
+Join is set union (``TOP`` absorbing).  The lattice is finite for a
+fixed program (tags and proto indices are finite), so the fixpoint
+iteration in the engine passes terminates.
+"""
+
+
+#: Pseudo proto index for host builtins inside ``funcs`` sets.
+NATIVE = -1
+
+
+class AV:
+    """One immutable abstract value."""
+
+    __slots__ = ("top", "tags", "funcs")
+
+    def __init__(self, tags=(), funcs=(), top=False):
+        object.__setattr__(self, "top", bool(top))
+        object.__setattr__(self, "tags",
+                           frozenset() if top else frozenset(tags))
+        object.__setattr__(self, "funcs",
+                           frozenset() if top else frozenset(funcs))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("AV is immutable")
+
+    def __eq__(self, other):
+        return (isinstance(other, AV) and self.top == other.top
+                and self.tags == other.tags and self.funcs == other.funcs)
+
+    def __hash__(self):
+        return hash((self.top, self.tags, self.funcs))
+
+    def __repr__(self):
+        if self.top:
+            return "AV(TOP)"
+        if not self.tags and not self.funcs:
+            return "AV(BOT)"
+        parts = [repr(sorted(self.tags))]
+        if self.funcs:
+            parts.append("funcs=%r" % sorted(self.funcs))
+        return "AV(%s)" % ", ".join(parts)
+
+    @property
+    def is_bot(self):
+        return not self.top and not self.tags and not self.funcs
+
+    def is_only(self, tag):
+        """Proven: every concrete value carries exactly ``tag``."""
+        return not self.top and self.tags == frozenset((tag,))
+
+    def may(self, tag):
+        """Whether some concrete value may carry ``tag``."""
+        return self.top or tag in self.tags
+
+    def protos(self):
+        """Tracked user protos this value may refer to (excludes
+        :data:`NATIVE`; meaningless when ``top``)."""
+        return frozenset(f for f in self.funcs if f != NATIVE)
+
+    @property
+    def has_native(self):
+        return NATIVE in self.funcs
+
+
+TOP = AV(top=True)
+BOT = AV()
+
+
+def tag_av(tag):
+    return AV(tags=(tag,))
+
+
+def func_av(fun_tag, proto_index):
+    return AV(tags=(fun_tag,), funcs=(proto_index,))
+
+
+def native_av(fun_tag):
+    return AV(tags=(fun_tag,), funcs=(NATIVE,))
+
+
+def join(a, b):
+    if a is b:
+        return a
+    if a.top or b.top:
+        return TOP
+    if a.is_bot:
+        return b
+    if b.is_bot:
+        return a
+    return AV(tags=a.tags | b.tags, funcs=a.funcs | b.funcs)
+
+
+def join_all(values):
+    result = BOT
+    for value in values:
+        result = join(result, value)
+    return result

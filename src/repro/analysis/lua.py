@@ -1,0 +1,422 @@
+"""Interprocedural tag inference over MiniLua register-VM bytecode.
+
+Per-function abstract interpretation (one :class:`~repro.analysis
+.lattice.AV` per register, worklist join at control-flow merges) under
+whole-chunk summaries computed to a fixpoint:
+
+* ``params[p]`` — join of argument values over every resolved call
+  site of proto ``p`` (``TOP`` for escaped protos);
+* ``returns[p]`` — join of ``p``'s returned values;
+* ``globals[slot]`` — join of the install-time initial value and every
+  ``SETGLOBAL`` store anywhere in the chunk.
+
+Function values are tracked as proto sets (``AV.funcs``), so direct
+recursion (``LOADK FunctionConst``), global function declarations and
+higher-order locals all resolve; a function value reaching an
+untracked sink — a table store, or an argument/callee of an
+unresolvable or native call — *escapes* and its parameters degrade to
+``TOP``.
+
+The abstract transfer functions mirror ``runtime._arith`` exactly:
+integer arithmetic wraps at 64 bits (so int ⊕ int stays ``TNUMINT``
+with no overflow escape), ``/`` and ``^`` always produce floats, the
+slow path coerces strings to numbers (so an arith result is always a
+number — errors halt the VM and have no out-state), ``FORPREP``'s host
+path coerces all three control slots to float, and table/property
+loads are ``TOP`` (the layout proves nothing about element types).
+"""
+
+from repro.analysis.lattice import (
+    AV,
+    BOT,
+    TOP,
+    join,
+    native_av,
+    tag_av,
+)
+from repro.engines.ir import LuaView
+from repro.engines.lua import layout
+from repro.engines.lua.compiler import FunctionConst
+from repro.engines.lua.opcodes import Op, rk_index, rk_is_constant
+
+_MAX_ROUNDS = 100
+
+_NIL = tag_av(layout.TNIL)
+_BOOL = tag_av(layout.TBOOL)
+_INT = tag_av(layout.TNUMINT)
+_FLT = tag_av(layout.TNUMFLT)
+_STR = tag_av(layout.TSTR)
+_TAB = tag_av(layout.TTAB)
+_NUM = AV(tags=(layout.TNUMINT, layout.TNUMFLT))
+
+#: Builtin globals the image installer populates (runtime.
+#: install_builtin_globals): native functions and library tables.
+_BUILTIN_FUNCS = ("print", "tostring", "type")
+_BUILTIN_TABLES = ("io", "math", "string")
+
+_ARITH = (Op.ADD, Op.SUB, Op.MUL)
+_INT_ONLY = (Op.BAND, Op.BOR, Op.BXOR, Op.SHL, Op.SHR)
+
+
+def _const_av(constant):
+    if isinstance(constant, FunctionConst):
+        return AV(tags=(layout.TFUN,), funcs=(constant.proto_index,))
+    if isinstance(constant, bool):
+        return _BOOL
+    if isinstance(constant, int):
+        return _INT
+    if isinstance(constant, float):
+        return _FLT
+    if isinstance(constant, str):
+        return _STR
+    if constant is None:
+        return _NIL
+    return TOP
+
+
+def _numeric_result(x, y):
+    """ADD/SUB/MUL/MOD/IDIV result: int when both proven int (64-bit
+    wrap, zero divisors raise host-side), float when both proven
+    float; otherwise any number (string coercion included)."""
+    if x.is_bot or y.is_bot:
+        return BOT
+    if x.is_only(layout.TNUMINT) and y.is_only(layout.TNUMINT):
+        return _INT
+    if x.is_only(layout.TNUMFLT) and y.is_only(layout.TNUMFLT):
+        return _FLT
+    if x.may(layout.TNUMINT) and y.may(layout.TNUMINT):
+        return _NUM
+    return _FLT
+
+
+class LuaInference:
+    """Whole-chunk fixpoint; ``run()`` then ``states``/``decide()``."""
+
+    def __init__(self, chunk):
+        self.chunk = chunk
+        self.views = [LuaView(p.code) for p in chunk.protos]
+        self.const_avs = [[_const_av(c) for c in p.constants]
+                          for p in chunk.protos]
+        self.params = [[BOT] * p.num_params for p in chunk.protos]
+        self.returns = [BOT] * len(chunk.protos)
+        self.escaped = set()
+        self.reachable = {0}
+        self.globals = [self._initial_global(name)
+                        for name in chunk.globals]
+        self.states = {}
+        self._changed = False
+
+    @staticmethod
+    def _initial_global(name):
+        if name in _BUILTIN_FUNCS:
+            return native_av(layout.TFUN)
+        if name in _BUILTIN_TABLES:
+            return _TAB
+        return _NIL
+
+    # -- summary contributions (monotone joins) ---------------------------
+
+    def _join_param(self, proto_index, slot, value):
+        params = self.params[proto_index]
+        if slot >= len(params):
+            return  # extra argument: dropped by the calling convention
+        merged = join(params[slot], value)
+        if merged != params[slot]:
+            params[slot] = merged
+            self._changed = True
+
+    def _join_return(self, proto_index, value):
+        merged = join(self.returns[proto_index], value)
+        if merged != self.returns[proto_index]:
+            self.returns[proto_index] = merged
+            self._changed = True
+
+    def _join_global(self, slot, value):
+        merged = join(self.globals[slot], value)
+        if merged != self.globals[slot]:
+            self.globals[slot] = merged
+            self._changed = True
+
+    def _mark_reachable(self, proto_index):
+        if proto_index not in self.reachable:
+            self.reachable.add(proto_index)
+            self._changed = True
+
+    def _escape(self, value):
+        """A function value reached an untracked sink."""
+        for proto_index in value.protos():
+            if proto_index not in self.escaped:
+                self.escaped.add(proto_index)
+                self._changed = True
+            self._mark_reachable(proto_index)
+
+    # -- per-proto abstract interpretation --------------------------------
+
+    def _entry_state(self, proto_index):
+        proto = self.chunk.protos[proto_index]
+        nregs = max(proto.nregs, proto.num_params)
+        if proto_index == 0:
+            # Main runs on zero-filled register-stack memory: every
+            # slot reads as nil before first assignment.
+            state = [_NIL] * nregs
+        else:
+            # Callee frames overlay the caller's register stack, so
+            # unwritten non-param registers hold arbitrary leftovers.
+            state = [TOP] * nregs
+        params = self.params[proto_index]
+        for slot in range(proto.num_params):
+            value = TOP if proto_index in self.escaped else params[slot]
+            if slot < nregs:
+                state[slot] = value
+        return state
+
+    def _rk(self, proto_index, state, operand):
+        if rk_is_constant(operand):
+            consts = self.const_avs[proto_index]
+            idx = rk_index(operand)
+            return consts[idx] if idx < len(consts) else TOP
+        return state[operand] if operand < len(state) else TOP
+
+    def analyze_proto(self, proto_index):
+        """In-states per instruction under the current summaries."""
+        view = self.views[proto_index]
+        code_len = len(view)
+        states = [None] * code_len
+        if code_len == 0:
+            return states
+        states[0] = self._entry_state(proto_index)
+        work = [0]
+        while work:
+            index = work.pop()
+            in_state = states[index]
+            for succ, out_state in self._transfer(proto_index, view,
+                                                  index, in_state):
+                if succ < 0 or succ >= code_len:
+                    continue
+                if states[succ] is None:
+                    states[succ] = list(out_state)
+                    work.append(succ)
+                else:
+                    merged = [join(a, b)
+                              for a, b in zip(states[succ], out_state)]
+                    if merged != states[succ]:
+                        states[succ] = merged
+                        work.append(succ)
+        return states
+
+    def _transfer(self, pi, view, index, state):
+        """``[(successor, out_state), ...]`` for one instruction; also
+        contributes to the interprocedural summaries."""
+        instr = view.instrs[index]
+        op = Op(instr.op)
+        a, b, c = instr.args
+        out = list(state)
+        nxt = index + 1
+
+        def setreg(slot, value):
+            if slot < len(out):
+                out[slot] = value
+
+        if op is Op.MOVE:
+            setreg(a, state[b] if b < len(state) else TOP)
+        elif op is Op.LOADK:
+            consts = self.const_avs[pi]
+            setreg(a, consts[b] if b < len(consts) else TOP)
+        elif op is Op.LOADNIL:
+            setreg(a, _NIL)
+        elif op is Op.LOADBOOL:
+            setreg(a, _BOOL)
+        elif op is Op.GETGLOBAL:
+            setreg(a, self.globals[b] if b < len(self.globals) else TOP)
+        elif op is Op.SETGLOBAL:
+            if b < len(self.globals):
+                self._join_global(b, state[a] if a < len(state) else TOP)
+        elif op in _ARITH or op is Op.MOD or op is Op.IDIV:
+            x = self._rk(pi, state, b)
+            y = self._rk(pi, state, c)
+            setreg(a, _numeric_result(x, y))
+        elif op is Op.DIV or op is Op.POW:
+            setreg(a, _FLT)
+        elif op in _INT_ONLY or op is Op.BNOT or op is Op.LEN:
+            setreg(a, _INT)
+        elif op is Op.UNM:
+            x = state[b] if b < len(state) else TOP
+            if x.is_bot:
+                setreg(a, BOT)
+            elif x.is_only(layout.TNUMINT):
+                setreg(a, _INT)
+            elif x.is_only(layout.TNUMFLT):
+                setreg(a, _FLT)
+            else:
+                setreg(a, _NUM)
+        elif op is Op.CONCAT:
+            setreg(a, _STR)
+        elif op is Op.NOT or op is Op.EQ or op is Op.LT or op is Op.LE:
+            setreg(a, _BOOL)
+        elif op is Op.NEWTABLE:
+            setreg(a, _TAB)
+        elif op is Op.GETTABLE:
+            setreg(a, TOP)
+        elif op is Op.SETTABLE:
+            # The stored value leaves the tracked region.
+            self._escape(self._rk(pi, state, c))
+        elif op is Op.JMP:
+            return [(index + 1 + c, out)]
+        elif op is Op.JMPF or op is Op.JMPT:
+            return [(nxt, out), (index + 1 + c, out)]
+        elif op is Op.CALL:
+            return [(nxt, self._call(pi, state, out, a, b))]
+        elif op is Op.RETURN:
+            self._join_return(pi, state[a] if a < len(state) else TOP)
+            return []
+        elif op is Op.RETURN0:
+            self._join_return(pi, _NIL)
+            return []
+        elif op is Op.FORPREP:
+            return [(index + 1 + c, self._forprep(state, out, a))]
+        elif op is Op.FORLOOP:
+            return self._forloop(state, out, a, index, c)
+        elif not view._implemented(op):
+            return []  # traps to the error stub
+        return [(nxt, out)]
+
+    def _call(self, pi, state, out, a, nargs):
+        callee = state[a] if a < len(state) else TOP
+        args = [state[a + 1 + k] if a + 1 + k < len(state) else TOP
+                for k in range(nargs)]
+        unresolved = callee.top or callee.has_native
+        if unresolved:
+            # Natives may inspect anything; a TOP callee may be any
+            # escaped function.  Functions among the arguments escape.
+            for arg in args:
+                self._escape(arg)
+        result = TOP if unresolved else BOT
+        for q in callee.protos():
+            self._mark_reachable(q)
+            callee_params = self.params[q]
+            for slot, arg in enumerate(args):
+                self._join_param(q, slot, arg)
+            for slot in range(len(args), len(callee_params)):
+                # Missing arguments read the callee frame unwritten.
+                self._join_param(q, slot, TOP)
+            result = join(result, self.returns[q])
+        if a < len(out):
+            out[a] = result
+        # The callee frame overlays every register above the call base.
+        for slot in range(a + 1, len(out)):
+            out[slot] = TOP
+        return out
+
+    def _forprep(self, state, out, a):
+        triple = [state[a + k] if a + k < len(state) else TOP
+                  for k in range(3)]
+        all_int = all(v.is_only(layout.TNUMINT) for v in triple)
+        if all_int:
+            # Inline priming: idx -= step, all-integer.
+            if a < len(out):
+                out[a] = _INT
+        else:
+            # Host priming coerces all three slots to float; if the
+            # all-int path is also possible the index may stay int.
+            may_int = all(v.may(layout.TNUMINT) for v in triple)
+            idx = _NUM if may_int else _FLT
+            if a < len(out):
+                out[a] = idx
+            for k in (1, 2):
+                if a + k < len(out):
+                    out[a + k] = (join(out[a + k], _FLT) if may_int
+                                  else _FLT)
+        return out
+
+    def _forloop(self, state, out, a, index, offset):
+        triple = [state[a + k] if a + k < len(state) else TOP
+                  for k in range(3)]
+        all_int = all(v.is_only(layout.TNUMINT) for v in triple)
+        all_flt = all(v.is_only(layout.TNUMFLT) for v in triple)
+        if all_int:
+            kind = _INT
+        elif all_flt:
+            kind = _FLT
+        else:
+            kind = _NUM
+        # The advanced index is stored on both paths (before the limit
+        # compare); the user variable only when the loop continues.
+        if a < len(out):
+            out[a] = kind
+        back = list(out)
+        if a + 3 < len(back):
+            back[a + 3] = kind
+        return [(index + 1, out), (index + 1 + offset, back)]
+
+    # -- driver -----------------------------------------------------------
+
+    def run(self):
+        for _ in range(_MAX_ROUNDS):
+            self._changed = False
+            for proto_index in sorted(self.reachable):
+                self.analyze_proto(proto_index)
+            if not self._changed:
+                break
+        # Final pass under the converged summaries: the states any
+        # elision decision is justified by.
+        self.states = {proto_index: self.analyze_proto(proto_index)
+                       for proto_index in sorted(self.reachable)}
+        return self
+
+    def decide(self):
+        """``{proto_index: {instr_index: variant}}`` — every site whose
+        in-state proves the operand tags a quickened handler assumes."""
+        decisions = {}
+        for proto_index, states in self.states.items():
+            view = self.views[proto_index]
+            per_proto = {}
+            for index, state in enumerate(states):
+                if state is None:
+                    continue
+                variant = self._decide_one(proto_index, view, index, state)
+                if variant is not None:
+                    per_proto[index] = variant
+            if per_proto:
+                decisions[proto_index] = per_proto
+        return decisions
+
+    def _decide_one(self, pi, view, index, state):
+        instr = view.instrs[index]
+        op = Op(instr.op)
+        a, b, c = instr.args
+        int_t, flt_t = layout.TNUMINT, layout.TNUMFLT
+
+        if op in _ARITH or op in (Op.EQ, Op.LT, Op.LE):
+            x = self._rk(pi, state, b)
+            y = self._rk(pi, state, c)
+            if x.is_only(int_t) and y.is_only(int_t):
+                return "%s_II" % op.name
+            if x.is_only(flt_t) and y.is_only(flt_t):
+                return "%s_FF" % op.name
+            return None
+        if op is Op.DIV:
+            x = self._rk(pi, state, b)
+            y = self._rk(pi, state, c)
+            if x.is_only(flt_t) and y.is_only(flt_t):
+                return "DIV_FF"
+            return None
+        if op is Op.MOD or op is Op.IDIV:
+            x = self._rk(pi, state, b)
+            y = self._rk(pi, state, c)
+            if x.is_only(int_t) and y.is_only(int_t):
+                return "%s_II" % op.name
+            return None
+        if op is Op.FORLOOP:
+            triple = [state[a + k] if a + k < len(state) else TOP
+                      for k in range(3)]
+            if all(v.is_only(int_t) for v in triple):
+                return "FORLOOP_I"
+            if all(v.is_only(flt_t) for v in triple):
+                return "FORLOOP_F"
+            return None
+        return None
+
+
+def infer(chunk):
+    """Run the fixpoint and return the :class:`LuaInference`."""
+    return LuaInference(chunk).run()

@@ -1,0 +1,85 @@
+"""Quickened opcode assignments and the bytecode rewrite.
+
+The elided family extends each engine's jump table with *quickened*
+opcodes: guard-free (or value-check-only) variants of the hot
+polymorphic handlers, installed by rewriting the opcode byte of
+instructions the inference pass proved tag-stable.  The assignments
+live here — one map per engine, opcode number to variant name — so the
+analysis, the elided handler modules, the image builders (jump-table
+capacity) and handler attribution all share a single source of truth.
+
+Lua numbering starts at ``NUM_OPCODES`` (47) and exactly fills the
+64-slot table the elided configuration allocates; the stock
+configurations keep their 47-slot table so their image layout — and
+therefore the committed perf-gate baseline — is untouched.  JS already
+reserves 64 slots, so its quickened opcodes simply occupy free slots
+from 34 up.
+
+Naming: ``<BASE>_<KINDS>`` where KINDS is ``II`` (both int), ``FF``
+(both Lua floats), ``DD`` (both JS doubles), or ``I``/``F`` for the
+FORLOOP control-triple variants.  ``base_name`` recovers the base
+bytecode, which attribution uses to fold quickened execution counts
+into the base opcode's histogram bucket.
+"""
+
+from repro.engines.js.opcodes import NUM_OPCODES as JS_NUM_OPCODES
+from repro.engines.lua.opcodes import NUM_OPCODES as LUA_NUM_OPCODES
+
+LUA_QUICKENED = {
+    47: "ADD_II", 48: "ADD_FF",
+    49: "SUB_II", 50: "SUB_FF",
+    51: "MUL_II", 52: "MUL_FF",
+    53: "DIV_FF",
+    54: "MOD_II", 55: "IDIV_II",
+    56: "EQ_II", 57: "EQ_FF",
+    58: "LT_II", 59: "LT_FF",
+    60: "LE_II", 61: "LE_FF",
+    62: "FORLOOP_I", 63: "FORLOOP_F",
+}
+
+JS_QUICKENED = {
+    34: "ADD_II", 35: "ADD_DD",
+    36: "SUB_II", 37: "SUB_DD",
+    38: "MUL_II", 39: "MUL_DD",
+    40: "DIV_DD",
+    41: "MOD_II",
+    42: "LT_II", 43: "LT_DD",
+    44: "LE_II", 45: "LE_DD",
+    46: "GT_II", 47: "GT_DD",
+    48: "GE_II", 49: "GE_DD",
+    50: "EQ_II", 51: "EQ_DD",
+    52: "NE_II", 53: "NE_DD",
+}
+
+LUA_BY_NAME = {name: op for op, name in LUA_QUICKENED.items()}
+JS_BY_NAME = {name: op for op, name in JS_QUICKENED.items()}
+
+assert min(LUA_QUICKENED) == LUA_NUM_OPCODES
+assert max(LUA_QUICKENED) < 64
+assert min(JS_QUICKENED) >= 34 and max(JS_QUICKENED) < JS_NUM_OPCODES
+
+
+def quickened_ops(engine):
+    """``{opcode: variant name}`` for ``engine`` (a fresh dict)."""
+    if engine == "lua":
+        return dict(LUA_QUICKENED)
+    if engine == "js":
+        return dict(JS_QUICKENED)
+    raise ValueError("unknown engine %r" % (engine,))
+
+
+def base_name(variant):
+    """The base bytecode a quickened variant specialises
+    (``"ADD_II"`` → ``"ADD"``, ``"FORLOOP_F"`` → ``"FORLOOP"``)."""
+    return variant.rsplit("_", 1)[0]
+
+
+def rewrite(code, decisions, by_name):
+    """Rewrite the opcode byte of ``code`` words per ``decisions``
+    (``{instr_index: variant name}``); returns the rewrite count."""
+    count = 0
+    for index, variant in decisions.items():
+        word = code[index]
+        code[index] = (word & ~0xFF) | by_name[variant]
+        count += 1
+    return count

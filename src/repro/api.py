@@ -28,13 +28,12 @@ Quickstart::
 
 :func:`run` is the single documented entry point;
 ``repro.engines.lua.run_lua`` / ``repro.engines.js.run_js`` remain as
-thin adapters over it (see docs/API.md for the deprecation policy).
+thin keyword-only adapters over it (see docs/API.md).
 """
 
 import hashlib
 import json
 import time
-import warnings
 from dataclasses import asdict, dataclass, field, fields
 
 from repro.engines import BASELINE, all_configs, is_registered
@@ -384,61 +383,3 @@ def run(engine, source, *, config=BASELINE, scale=None,
             use_cache=use_cache)
     return execute(request, telemetry=telemetry)
 
-
-# -- deprecation shims -------------------------------------------------------
-
-#: Positional parameter order of the pre-facade ``run_lua``/``run_js``
-#: signatures, used to decode legacy positional calls.
-_LEGACY_ORDER = ("config", "machine_config", "max_instructions",
-                 "attribute", "telemetry", "use_blocks", "use_traces")
-
-#: Parameter names accepted (with a warning) from the era when the two
-#: engine signatures had drifted apart.
-_LEGACY_RENAMES = {"machine": "machine_config",
-                   "limit": "max_instructions",
-                   "mode": "config"}
-
-_warned = set()
-
-
-def _warn_once(key, message):
-    if key in _warned:
-        return
-    _warned.add(key)
-    warnings.warn(message, DeprecationWarning, stacklevel=4)
-
-
-def normalize_engine_kwargs(name, args, kwargs):
-    """Decode a legacy ``run_lua``/``run_js`` call: positional
-    parameters after ``source`` and renamed keywords are mapped onto
-    the unified keyword-only signature, each warning once per process.
-    Returns the clean keyword dict."""
-    params = {}
-    if args:
-        if len(args) > len(_LEGACY_ORDER):
-            raise TypeError("%s() takes at most %d positional arguments "
-                            "(%d given)" % (name, len(_LEGACY_ORDER) + 1,
-                                            len(args) + 1))
-        _warn_once((name, "positional"),
-                   "%s(): positional arguments after `source` are "
-                   "deprecated; pass %s as keywords (see repro.api.run)"
-                   % (name, ", ".join(_LEGACY_ORDER[:len(args)])))
-        params.update(zip(_LEGACY_ORDER, args))
-    for legacy, current in _LEGACY_RENAMES.items():
-        if legacy in kwargs:
-            _warn_once((name, legacy),
-                       "%s(): keyword `%s` was renamed to `%s`"
-                       % (name, legacy, current))
-            if current in kwargs or current in params:
-                raise TypeError("%s() got both `%s` and `%s`"
-                                % (name, legacy, current))
-            params[current] = kwargs.pop(legacy)
-    for key, value in kwargs.items():
-        if key not in _LEGACY_ORDER:
-            raise TypeError("%s() got an unexpected keyword argument %r"
-                            % (name, key))
-        if key in params:
-            raise TypeError("%s() got multiple values for argument %r"
-                            % (name, key))
-        params[key] = value
-    return params

@@ -266,6 +266,76 @@ def render_figure5(speedups):
     return "\n\n".join([tables] + charts)
 
 
+GRADUAL_CONFIGS = (BASELINE, registry.ELIDED, registry.CHECKED_LOAD, TYPED)
+
+
+def figure_gradual(records):
+    """The gradual-typing figure: how much of the typed-hardware win
+    does *static* guard elision recover in software?
+
+    Four-way comparison per engine/benchmark — ``baseline`` (software
+    guards) vs ``elided`` (software guards statically removed where the
+    tag-inference proof holds, see :mod:`repro.analysis`) vs ``chklb``
+    vs ``typed`` — as speedups over baseline, plus a per-row
+    ``recovered``: the fraction of the typed-hardware speedup that the
+    software-only elision config achieves,
+
+        recovered = (elided_speedup - 1) / (typed_speedup - 1)
+
+    Returns ``{engine: {benchmark: {"speedups": {config: x},
+    "recovered": f|None}}}`` with a "geomean" pseudo-benchmark.  Rows
+    missing any of the four configs are dropped; ``recovered`` is None
+    when the typed win is too small to divide by (< 0.1%).
+    """
+    data = {}
+    engines, benchmarks, _ = matrix_axes(records)
+    for engine in engines:
+        per_engine = {}
+        for benchmark in benchmarks:
+            if any((engine, benchmark, c) not in records
+                   for c in GRADUAL_CONFIGS):
+                continue
+            base = records[(engine, benchmark, BASELINE)].counters.cycles
+            speedups = {
+                c: base / records[(engine, benchmark, c)].counters.cycles
+                for c in GRADUAL_CONFIGS}
+            per_engine[benchmark] = {
+                "speedups": speedups,
+                "recovered": _recovered_fraction(speedups)}
+        if not per_engine:
+            continue
+        geo = {c: geomean(row["speedups"][c] for row in per_engine.values())
+               for c in GRADUAL_CONFIGS}
+        per_engine["geomean"] = {"speedups": geo,
+                                 "recovered": _recovered_fraction(geo)}
+        data[engine] = per_engine
+    return data
+
+
+def _recovered_fraction(speedups):
+    typed_win = speedups[TYPED] - 1.0
+    if abs(typed_win) < 1e-3:
+        return None
+    return (speedups[registry.ELIDED] - 1.0) / typed_win
+
+
+def render_figure_gradual(data):
+    lines = []
+    for engine, per_engine in data.items():
+        rows = []
+        for benchmark, row in per_engine.items():
+            recovered = row["recovered"]
+            rows.append((benchmark,) + tuple(
+                "%.3fx" % row["speedups"][c] for c in GRADUAL_CONFIGS) + (
+                format_percent(recovered) if recovered is not None else "-",))
+        lines.append(format_table(
+            ["benchmark"] + list(GRADUAL_CONFIGS) + ["recovered"],
+            rows,
+            title="Gradual typing: static elision vs hardware checks "
+                  "[%s]" % engine))
+    return "\n\n".join(lines)
+
+
 def figure6(records):
     """Dynamic instruction-count reduction vs. baseline."""
     reductions = {}
@@ -502,6 +572,7 @@ def to_json(records):
         "figure7": figure7(records),
         "figure8": figure8(records),
         "figure9": figure9(records),
+        "gradual": figure_gradual(records),
         "table8": table8(records)[0],
         "geomeans": {engine: fig5[engine]["geomean"]
                      for engine in fig5},

@@ -13,18 +13,23 @@ variants ship by default).
 from repro.engines.configs import (  # noqa: F401
     BASELINE,
     CHECKED_LOAD,
+    ELIDED,
     GATE_CONFIGS,
     SELF_TAG,
     TYPED,
     TYPED_LOWBIT,
     TYPED_WIDE,
     all_configs,
+    all_families,
     all_schemes,
+    family_policy,
     get_scheme,
     hardware_check_configs,
     is_registered,
     register,
+    register_family,
     unregister,
+    unregister_family,
 )
 
 

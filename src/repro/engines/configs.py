@@ -45,6 +45,7 @@ CHECKED_LOAD = "chklb"
 SELF_TAG = "selftag"
 TYPED_LOWBIT = "typed-lowbit"
 TYPED_WIDE = "typed-wide"
+ELIDED = "elided"
 
 #: The paper's triple, in the order the committed gate baseline stores
 #: them.  ``bench/gate.py`` pins its metric collection to this tuple so
@@ -56,8 +57,119 @@ GATE_CONFIGS = (BASELINE, CHECKED_LOAD, TYPED)
 FAMILY_SOFTWARE = "software"   # Figure 1(c) software guard chains
 FAMILY_TYPED = "typed"         # tld/thdl/xadd/tchk/tsd (Figure 3)
 FAMILY_CHECKED = "chklb"       # Checked Load comparator (chklb/chklw)
+FAMILY_ELIDED = "elided"       # software guards, statically elided
 
-_FAMILIES = (FAMILY_SOFTWARE, FAMILY_TYPED, FAMILY_CHECKED)
+
+@dataclass(frozen=True)
+class HandlerPolicy:
+    """How both engines build an interpreter for one scheme family.
+
+    The engine builders (``engines/*/handlers/build.py``) consult the
+    policy instead of switching on ``scheme.family`` directly, so a new
+    family registers here once and every engine, sweep, figure and
+    fault campaign picks it up without per-engine edits.
+
+    ``check_mode`` / ``startup_mode`` select which of the engines'
+    guard flavours and startup fragments the *standard* handlers use
+    (one of the paper-triple families).  The optional hooks extend the
+    build: ``quicken(engine, chunk)`` runs after compilation and may
+    rewrite bytecode in place; ``quickened_ops(engine)`` names the
+    extra opcodes the rewrite may emit (``{opcode: name}`` — sizes the
+    jump table and extends handler attribution); ``extra_handlers
+    (engine, scheme)`` returns assembly text appended to the
+    interpreter for those opcodes.
+    """
+
+    family: str
+    description: str
+    check_mode: str = FAMILY_SOFTWARE
+    startup_mode: str = FAMILY_SOFTWARE
+    quicken: object = None
+    quickened_ops: object = None
+    extra_handlers: object = None
+
+
+_POLICIES = {}
+
+
+def register_family(policy):
+    """Add a :class:`HandlerPolicy`.  Duplicate families are rejected."""
+    if not isinstance(policy, HandlerPolicy):
+        raise TypeError("expected a HandlerPolicy, got %r" % (policy,))
+    if policy.family in _POLICIES:
+        raise ValueError("scheme family %r is already registered"
+                         % policy.family)
+    _POLICIES[policy.family] = policy
+    return policy
+
+
+def unregister_family(family):
+    """Remove a family policy (test hook; built-ins should stay put)."""
+    _POLICIES.pop(family, None)
+
+
+def family_policy(family):
+    """Look up the :class:`HandlerPolicy` for a scheme family."""
+    try:
+        return _POLICIES[family]
+    except KeyError:
+        raise ValueError("unknown scheme family %r (registered: %s)"
+                         % (family, ", ".join(_POLICIES))) from None
+
+
+def all_families():
+    """Registered family names, in registration order."""
+    return tuple(_POLICIES)
+
+
+register_family(HandlerPolicy(
+    family=FAMILY_SOFTWARE,
+    description="software guard chains on every dispatch (Figure 1(c))",
+))
+
+register_family(HandlerPolicy(
+    family=FAMILY_TYPED,
+    description="hardware tagged ISA: tld/thdl/xadd/tchk/tsd (Figure 3)",
+    check_mode=FAMILY_TYPED,
+    startup_mode=FAMILY_TYPED,
+))
+
+register_family(HandlerPolicy(
+    family=FAMILY_CHECKED,
+    description="Checked Load comparator guards (chklb/chklw)",
+    check_mode=FAMILY_CHECKED,
+    startup_mode=FAMILY_CHECKED,
+))
+
+
+def _elided_quicken(engine, chunk):
+    from repro.analysis import quicken_chunk
+    return quicken_chunk(engine, chunk)
+
+
+def _elided_quickened_ops(engine):
+    from repro.analysis.quickening import quickened_ops
+    return quickened_ops(engine)
+
+
+def _elided_extra_handlers(engine, scheme):
+    if engine == "lua":
+        from repro.engines.lua.handlers import elided
+    elif engine == "js":
+        from repro.engines.js.handlers import elided
+    else:
+        raise ValueError("unknown engine %r" % (engine,))
+    return elided.build(scheme)
+
+
+register_family(HandlerPolicy(
+    family=FAMILY_ELIDED,
+    description=("software guards statically elided where the tag-"
+                 "inference proof holds (repro.analysis)"),
+    quicken=_elided_quicken,
+    quickened_ops=_elided_quickened_ops,
+    extra_handlers=_elided_extra_handlers,
+))
 
 
 @dataclass(frozen=True)
@@ -81,8 +193,9 @@ class TaggingScheme:
     gate_pinned: bool = False
 
     def __post_init__(self):
-        if self.family not in _FAMILIES:
-            raise ValueError("unknown scheme family %r" % self.family)
+        if self.family not in _POLICIES:
+            raise ValueError("unknown scheme family %r (registered: %s)"
+                             % (self.family, ", ".join(_POLICIES)))
         if self.geometry is not None:
             object.__setattr__(
                 self, "geometry", MappingProxyType(dict(self.geometry)))
@@ -249,4 +362,16 @@ register(TaggingScheme(
         "lua": SprSettings(offset=0b001, shift=0, mask=0xFF),
         "js": SprSettings(offset=0b100, shift=47, mask=0xFF),
     },
+))
+
+# The gradual-typing rival (ROADMAP item 4): software guards, but the
+# static tag-inference pass (repro/analysis/) quickens proven-stable
+# sites to guard-free handler variants.  Gate-exempt like every
+# post-baseline scheme.
+register(TaggingScheme(
+    name=ELIDED,
+    description=("software guards with static tag inference eliding "
+                 "proven checks (transient gradual typing)"),
+    family=FAMILY_ELIDED,
+    hardware_checks=False,
 ))

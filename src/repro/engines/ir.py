@@ -1,0 +1,331 @@
+"""Shared instruction-level IR surface for analyses and sim engines.
+
+Two layers live here, one per instruction set:
+
+**Host-ISA metadata** — the mnemonic classification the basic-block and
+superblock-trace engines (:mod:`repro.sim.blocks`,
+:mod:`repro.sim.traces`) need to carve a program into compilation
+units: which mnemonics terminate a block, the inlinable branch
+conditions, and the load/store access shapes.  These used to be
+private module state of ``sim/blocks.py``; they are canonical here so
+any pass that reasons about the simulated RV64 text (block formation,
+trace chaining, future host-level analyses) shares one definition.
+
+**Guest-bytecode views** — a uniform protocol over both engines'
+predecoded programs.  :class:`LuaView` (register VM) and
+:class:`JsView` (stack VM) decode a function's 32-bit code words once
+and answer the queries every bytecode-level analysis needs without
+re-deriving per-engine opcode knowledge:
+
+* opcode metadata (``instrs[i].op`` / ``.name`` / ``.args``),
+* control flow (:meth:`~BytecodeView.successors`,
+  :meth:`~BytecodeView.is_jump_target` via :meth:`~BytecodeView.targets`),
+* operand def/use accessors (:meth:`~BytecodeView.reads` /
+  :meth:`~BytecodeView.writes`), expressed as ``(kind, index)``
+  descriptors — ``"reg"``/``"const"``/``"global"`` slots for Lua,
+  ``"local"``/``"const"``/``"global"``/``"stack"`` for JS — plus the
+  static stack effect for the stack machine
+  (:meth:`JsView.stack_effect`).
+
+The tag-inference pass (:mod:`repro.analysis`) is the first bytecode
+consumer; the sim engines consume the host layer.
+"""
+
+from collections import namedtuple
+
+# -- host-ISA metadata (canonical; sim/blocks.py and sim/traces.py consume) ----
+
+#: 64-bit register/address mask of the simulated machine.
+MASK64 = (1 << 64) - 1
+
+#: Block growth stops after this many instructions even without a
+#: terminator; longer blocks buy little and inflate the near-budget
+#: single-step window.
+MAX_BLOCK_LEN = 64
+
+#: Instructions that always end a block: indirect control flow lands at
+#: a fresh dispatch anyway, ``ecall`` may touch arbitrary host state and
+#: ``ebreak`` halts the machine.
+TERMINATORS = frozenset(["jal", "jalr", "ecall", "ebreak"])
+
+_S = 1 << 63
+
+#: Biased compare: ``to_signed(a) < to_signed(b)`` iff
+#: ``(a ^ _S) < (b ^ _S)`` on the unsigned representations.
+BRANCH_COND = {
+    "beq": "V[%(a)d] == V[%(b)d]",
+    "bne": "V[%(a)d] != V[%(b)d]",
+    "blt": "(V[%(a)d] ^ %(S)d) < (V[%(b)d] ^ %(S)d)",
+    "bge": "(V[%(a)d] ^ %(S)d) >= (V[%(b)d] ^ %(S)d)",
+    "bltu": "V[%(a)d] < V[%(b)d]",
+    "bgeu": "V[%(a)d] >= V[%(b)d]",
+}
+
+#: ``mnemonic -> (width, signed)`` for the integer loads.
+LOAD_ARGS = {"lb": (1, True), "lh": (2, True), "lw": (4, True),
+             "ld": (8, False), "lbu": (1, False), "lhu": (2, False),
+             "lwu": (4, False)}
+
+#: ``mnemonic -> width`` for the integer stores.
+STORE_WIDTH = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
+
+
+def block_extent(instructions, start, max_len):
+    """The exclusive stop index of the block entered at ``start``:
+    truncated at the first terminator, else after ``max_len``."""
+    stop = min(len(instructions), start + max_len)
+    for j in range(start, stop):
+        if instructions[j].mnemonic in TERMINATORS:
+            return j + 1
+    return stop
+
+
+# -- guest-bytecode views ------------------------------------------------------
+
+#: One predecoded guest bytecode.  ``op`` is the numeric opcode,
+#: ``name`` its mnemonic, ``args`` the decoded operand tuple — Lua
+#: ``(a, b, c)`` with the signed jump displacement in ``c`` for jump
+#: formats, JS ``(imm,)``.
+GuestInstr = namedtuple("GuestInstr", "index op name args")
+
+
+class BytecodeView:
+    """Uniform queries over one predecoded guest function.
+
+    Subclasses decode ``code`` (the function's 32-bit words) into
+    :data:`GuestInstr` tuples and answer control-flow and def/use
+    queries in engine-neutral vocabulary.
+    """
+
+    engine = None
+
+    def __init__(self, code):
+        self.instrs = [self._decode(index, word)
+                       for index, word in enumerate(code)]
+
+    def __len__(self):
+        return len(self.instrs)
+
+    def __iter__(self):
+        return iter(self.instrs)
+
+    def _decode(self, index, word):
+        raise NotImplementedError
+
+    def successors(self, index):
+        """Intra-function successor indices of instruction ``index``
+        (empty for returns, traps and halts; calls fall through — the
+        callee edge is interprocedural)."""
+        raise NotImplementedError
+
+    def reads(self, index):
+        """Operand sources as ``(kind, slot)`` descriptors."""
+        raise NotImplementedError
+
+    def writes(self, index):
+        """Operand destinations as ``(kind, slot)`` descriptors."""
+        raise NotImplementedError
+
+    def targets(self):
+        """All branch/jump target indices in this function."""
+        found = set()
+        for instr in self.instrs:
+            succs = self.successors(instr.index)
+            for s in succs:
+                if s != instr.index + 1:
+                    found.add(s)
+        return found
+
+
+class LuaView(BytecodeView):
+    """Def/use and successor queries over MiniLua register-VM code.
+
+    RK-encoded operands are resolved at this layer: a ``B``/``C``
+    operand with the constant flag set becomes ``("const", index)``,
+    otherwise ``("reg", index)``.
+    """
+
+    engine = "lua"
+
+    def _decode(self, index, word):
+        from repro.engines.lua.opcodes import decode
+        op, a, b, c = decode(word)
+        return GuestInstr(index, int(op), op.name, (a, b, c))
+
+    @staticmethod
+    def _rk(operand):
+        from repro.engines.lua.opcodes import rk_index, rk_is_constant
+        if rk_is_constant(operand):
+            return ("const", rk_index(operand))
+        return ("reg", operand)
+
+    def successors(self, index):
+        from repro.engines.lua.opcodes import Op
+        instr = self.instrs[index]
+        op = Op(instr.op)
+        a, _b, c = instr.args
+        if op in (Op.RETURN, Op.RETURN0):
+            return ()
+        if op is Op.JMP or op is Op.FORPREP:
+            # FORPREP always lands on its matching FORLOOP (the guard
+            # only selects the int or coerced-float priming, both of
+            # which rejoin the jump).
+            return (index + 1 + c,)
+        if op in (Op.JMPF, Op.JMPT, Op.FORLOOP):
+            return (index + 1, index + 1 + c)
+        if not self._implemented(op):
+            return ()  # traps to the error stub: execution halts
+        return (index + 1,)
+
+    @staticmethod
+    def _implemented(op):
+        from repro.engines.lua.opcodes import Op
+        return op not in (Op.LOADKX, Op.GETUPVAL, Op.SETUPVAL, Op.SELF,
+                          Op.TEST, Op.TESTSET, Op.TAILCALL, Op.TFORCALL,
+                          Op.TFORLOOP, Op.SETLIST)
+
+    def reads(self, index):
+        from repro.engines.lua.opcodes import Op
+        instr = self.instrs[index]
+        op = Op(instr.op)
+        a, b, c = instr.args
+        if op is Op.MOVE:
+            return (("reg", b),)
+        if op is Op.LOADK:
+            return (("const", b),)
+        if op is Op.GETGLOBAL:
+            return (("global", b),)
+        if op is Op.SETGLOBAL:
+            return (("reg", a), ("global", b))
+        if op is Op.GETTABLE or op is Op.CONCAT:
+            return (self._rk(b), self._rk(c))
+        if op is Op.SETTABLE:
+            return (("reg", a), self._rk(b), self._rk(c))
+        if op in (Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.IDIV,
+                  Op.POW, Op.BAND, Op.BOR, Op.BXOR, Op.SHL, Op.SHR,
+                  Op.EQ, Op.LT, Op.LE):
+            return (self._rk(b), self._rk(c))
+        if op in (Op.UNM, Op.NOT, Op.LEN, Op.BNOT):
+            return (("reg", b),)
+        if op in (Op.JMPF, Op.JMPT, Op.RETURN):
+            return (("reg", a),)
+        if op is Op.CALL:
+            return tuple(("reg", a + k) for k in range(b + 1))
+        if op is Op.FORPREP:
+            return (("reg", a), ("reg", a + 1), ("reg", a + 2))
+        if op is Op.FORLOOP:
+            return (("reg", a), ("reg", a + 1), ("reg", a + 2))
+        return ()
+
+    def writes(self, index):
+        from repro.engines.lua.opcodes import Op
+        instr = self.instrs[index]
+        op = Op(instr.op)
+        a, _b, _c = instr.args
+        if op is Op.SETGLOBAL:
+            return (("global", instr.args[1]),)
+        if op is Op.SETTABLE:
+            return ()  # writes through the table reference, not a slot
+        if op is Op.FORPREP:
+            # The int path rewrites the index; the coercing slow path
+            # rewrites all three control slots.
+            return (("reg", a), ("reg", a + 1), ("reg", a + 2))
+        if op is Op.FORLOOP:
+            return (("reg", a), ("reg", a + 3))
+        if op in (Op.JMP, Op.JMPF, Op.JMPT, Op.RETURN, Op.RETURN0):
+            return ()
+        if self._implemented(op):
+            return (("reg", a),)
+        return ()
+
+
+class JsView(BytecodeView):
+    """Def/use, successor and stack-effect queries over MiniJS
+    stack-VM code."""
+
+    engine = "js"
+
+    def _decode(self, index, word):
+        from repro.engines.js.opcodes import decode
+        op, imm = decode(word)
+        return GuestInstr(index, int(op), op.name, (imm,))
+
+    def successors(self, index):
+        from repro.engines.js.opcodes import JsOp
+        instr = self.instrs[index]
+        op = JsOp(instr.op)
+        imm = instr.args[0]
+        if op in (JsOp.RETURN, JsOp.RETURN_UNDEF):
+            return ()
+        if op is JsOp.JUMP:
+            return (index + 1 + imm,)
+        if op in (JsOp.IFEQ, JsOp.IFNE):
+            return (index + 1, index + 1 + imm)
+        return (index + 1,)
+
+    def stack_effect(self, index):
+        """``(pops, pushes)`` of instruction ``index`` — static for
+        every opcode (CALL folds its operand count in)."""
+        from repro.engines.js.opcodes import JsOp
+        instr = self.instrs[index]
+        op = JsOp(instr.op)
+        imm = instr.args[0]
+        if op in (JsOp.UNDEF, JsOp.NULL, JsOp.PUSHBOOL, JsOp.PUSHK,
+                  JsOp.GETLOCAL, JsOp.GETGLOBAL, JsOp.NEWARRAY,
+                  JsOp.NEWOBJ):
+            return (0, 1)
+        if op is JsOp.DUP:
+            return (1, 2)
+        if op in (JsOp.SETLOCAL, JsOp.SETGLOBAL, JsOp.POP, JsOp.IFEQ,
+                  JsOp.IFNE, JsOp.RETURN):
+            return (1, 0)
+        if op in (JsOp.ADD, JsOp.SUB, JsOp.MUL, JsOp.DIV, JsOp.MOD,
+                  JsOp.EQ, JsOp.NE, JsOp.LT, JsOp.LE, JsOp.GT, JsOp.GE,
+                  JsOp.GETELEM):
+            return (2, 1)
+        if op in (JsOp.NEG, JsOp.NOT, JsOp.TYPEOF):
+            return (1, 1)
+        if op is JsOp.SETELEM:
+            return (3, 0)
+        if op is JsOp.CALL:
+            return (imm + 1, 1)
+        return (0, 0)  # JUMP, RETURN_UNDEF
+
+    def reads(self, index):
+        from repro.engines.js.opcodes import JsOp
+        instr = self.instrs[index]
+        op = JsOp(instr.op)
+        imm = instr.args[0]
+        pops = self.stack_effect(index)[0]
+        stack = tuple(("stack", -k) for k in range(pops, 0, -1))
+        if op is JsOp.PUSHK:
+            return (("const", imm),)
+        if op is JsOp.GETLOCAL:
+            return (("local", imm),)
+        if op is JsOp.GETGLOBAL:
+            return (("global", imm),)
+        if op is JsOp.SETGLOBAL:
+            return stack + (("global", imm),)
+        return stack
+
+    def writes(self, index):
+        from repro.engines.js.opcodes import JsOp
+        instr = self.instrs[index]
+        op = JsOp(instr.op)
+        imm = instr.args[0]
+        pushes = self.stack_effect(index)[1]
+        stack = tuple(("stack", -k) for k in range(pushes, 0, -1))
+        if op is JsOp.SETLOCAL:
+            return (("local", imm),)
+        if op is JsOp.SETGLOBAL:
+            return (("global", imm),)
+        return stack
+
+
+def view(engine, code):
+    """The :class:`BytecodeView` for one function's ``code`` words."""
+    if engine == "lua":
+        return LuaView(code)
+    if engine == "js":
+        return JsView(code)
+    raise ValueError("unknown engine %r" % (engine,))

@@ -85,16 +85,13 @@ h_{name}__dd:
 """
 
 
-def polymorphic_handler(name, scheme):
-    int_op, float_op, tagged_op = _POLY[name]
-    guard = _guard_chain(name, int_op, float_op).format(
-        name=name, int_op=int_op, float_op=float_op,
-        op_id=common.ARITH_OPS[name])
-    if scheme.family == configs.FAMILY_SOFTWARE:
-        # The handler entry falls straight into the guard chain.
-        return "h_%s:\n%s" % (name, guard)
-    if scheme.family == configs.FAMILY_TYPED:
-        body = """h_{name}:
+def _software_entry(name, int_op, tagged_op):
+    # The handler entry falls straight into the guard chain.
+    return ""
+
+
+def _typed_entry(name, int_op, tagged_op):
+    return """h_{name}:
     tld  t1, -8(s7)
     tld  t2, 0(s7)
     thdl {name}_guard
@@ -103,11 +100,12 @@ def polymorphic_handler(name, scheme):
     tsd  t1, 0(s7)
     j    dispatch
 """.format(name=name, tagged_op=tagged_op)
-        return body + guard
-    if scheme.family == configs.FAMILY_CHECKED:
-        # Integer-specialised: chklw fuses the (load, compare-upper-word,
-        # branch) of each operand; R_ctype holds the int32 signature.
-        body = """h_{name}:
+
+
+def _chklb_entry(name, int_op, tagged_op):
+    # Integer-specialised: chklw fuses the (load, compare-upper-word,
+    # branch) of each operand; R_ctype holds the int32 signature.
+    return """h_{name}:
     thdl {name}_guard
     chklw t1, -4(s7)
     chklw t2, 4(s7)
@@ -125,8 +123,32 @@ h_{name}__chk_ii:
     slli a5, a5, 47
     or   t3, t3, a5
 """.format(name=name, int_op=int_op) + _push_result_and_dispatch()
-        return body + guard
-    raise ValueError("unknown scheme family %r" % scheme.family)
+
+
+#: Fast-path entry per check mode (HandlerPolicy.check_mode); the
+#: software guard chain always follows as the fallback body.
+_FAST_ENTRIES = {
+    configs.FAMILY_SOFTWARE: _software_entry,
+    configs.FAMILY_TYPED: _typed_entry,
+    configs.FAMILY_CHECKED: _chklb_entry,
+}
+
+
+def polymorphic_handler(name, scheme):
+    int_op, float_op, tagged_op = _POLY[name]
+    guard = _guard_chain(name, int_op, float_op).format(
+        name=name, int_op=int_op, float_op=float_op,
+        op_id=common.ARITH_OPS[name])
+    policy = configs.family_policy(scheme.family)
+    try:
+        entry = _FAST_ENTRIES[policy.check_mode]
+    except KeyError:
+        raise ValueError("no JS arith entry for check mode %r (family %r)"
+                         % (policy.check_mode, scheme.family)) from None
+    body = entry(name, int_op, tagged_op)
+    if not body:
+        return "h_%s:\n%s" % (name, guard)
+    return body + guard
 
 
 def div_handler():

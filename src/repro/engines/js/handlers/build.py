@@ -6,7 +6,47 @@ from repro.engines.js.handlers import arith, common, control, elem
 from repro.sim.trt import pack_rule
 
 
+def _software_startup(scheme):
+    return []
+
+
+def _typed_startup(scheme):
+    spr = scheme.spr("js", layout.SPR_SETTINGS)
+    lines = []
+    lines.append("    li a0, %d" % spr.offset)
+    lines.append("    setoffset a0")
+    lines.append("    li a0, %d" % spr.shift)
+    lines.append("    setshift a0")
+    lines.append("    li a0, %d" % spr.mask)
+    lines.append("    setmask a0")
+    rules = configs.transformed_rules(
+        scheme, "js", layout.SPR_SETTINGS, layout.TYPE_RULES)
+    for rule in rules:
+        lines.append("    li a0, %d" % pack_rule(rule))
+        lines.append("    set_trt a0")
+    return lines
+
+
+def _chklb_startup(scheme):
+    return ["    li a0, %d" % common.CTYPE_INT_UPPER,
+            "    settype a0"]
+
+
+#: Startup tail per HandlerPolicy.startup_mode.
+_STARTUP_TAILS = {
+    configs.FAMILY_SOFTWARE: _software_startup,
+    configs.FAMILY_TYPED: _typed_startup,
+    configs.FAMILY_CHECKED: _chklb_startup,
+}
+
+
 def _startup(scheme):
+    policy = configs.family_policy(scheme.family)
+    try:
+        tail = _STARTUP_TAILS[policy.startup_mode]
+    except KeyError:
+        raise ValueError("no JS startup for mode %r (family %r)"
+                         % (policy.startup_mode, scheme.family)) from None
     lines = ["startup:"]
     lines.append("    li a0, %d" % layout.BOOT_BLOCK)
     lines.append("    ld s0, %d(a0)" % layout.BOOT_MAIN_CODE)
@@ -29,29 +69,18 @@ def _startup(scheme):
     lines.append("    addi a5, a5, -1")
     lines.append("    j startup_initloop")
     lines.append("startup_initdone:")
-    if scheme.family == configs.FAMILY_TYPED:
-        spr = scheme.spr("js", layout.SPR_SETTINGS)
-        lines.append("    li a0, %d" % spr.offset)
-        lines.append("    setoffset a0")
-        lines.append("    li a0, %d" % spr.shift)
-        lines.append("    setshift a0")
-        lines.append("    li a0, %d" % spr.mask)
-        lines.append("    setmask a0")
-        rules = configs.transformed_rules(
-            scheme, "js", layout.SPR_SETTINGS, layout.TYPE_RULES)
-        for rule in rules:
-            lines.append("    li a0, %d" % pack_rule(rule))
-            lines.append("    set_trt a0")
-    elif scheme.family == configs.FAMILY_CHECKED:
-        lines.append("    li a0, %d" % common.CTYPE_INT_UPPER)
-        lines.append("    settype a0")
+    lines.extend(tail(scheme))
     lines.append("    j dispatch")
     return "\n".join(lines) + "\n"
 
 
 def build_interpreter(config):
-    """Full interpreter text for ``config`` (program-independent)."""
+    """Full interpreter text for ``config`` (program-independent).
+    Families whose policy carries ``extra_handlers`` (quickened
+    guard-free variants) get that text appended before the shared slow
+    stubs."""
     scheme = configs.get_scheme(config)
+    policy = configs.family_policy(scheme.family)
     parts = [
         common.equ_block(),
         _startup(scheme),
@@ -59,6 +88,10 @@ def build_interpreter(config):
         arith.build(scheme),
         elem.build(scheme),
         control.build(),
+    ]
+    if policy.extra_handlers is not None:
+        parts.append(policy.extra_handlers("js", scheme))
+    parts += [
         common.slow_stubs(),
         common.error_stub(),
     ]

@@ -29,8 +29,8 @@ GETELEM_slowstub:
 """
 
 
-def getelem_handler(scheme):
-    if scheme.family == configs.FAMILY_SOFTWARE:
+def _getelem_prologue(mode):
+    if mode == configs.FAMILY_SOFTWARE:
         return """h_GETELEM:
     ld   t1, -8(s7)
     ld   t2, 0(s7)
@@ -40,15 +40,15 @@ def getelem_handler(scheme):
     srli t3, t2, 47
     li   a4, SIG_INT
     bne  t3, a4, GETELEM_slowstub
-""" + common.unbox_pointer("t1") + "    addiw t2, t2, 0\n" + _getelem_fast()
-    if scheme.family == configs.FAMILY_TYPED:
+""" + common.unbox_pointer("t1") + "    addiw t2, t2, 0\n"
+    if mode == configs.FAMILY_TYPED:
         return """h_GETELEM:
     tld  t1, -8(s7)
     tld  t2, 0(s7)
     thdl GETELEM_slowstub
     tchk t1, t2
-""" + _getelem_fast()
-    if scheme.family == configs.FAMILY_CHECKED:
+"""
+    if mode == configs.FAMILY_CHECKED:
         # Single expected-type register (int32 signature): fuse the key
         # check; the object keeps its software guard.
         return """h_GETELEM:
@@ -59,8 +59,17 @@ def getelem_handler(scheme):
     thdl GETELEM_slowstub
     chklw t2, 4(s7)
     ld   t2, 0(s7)
-""" + common.unbox_pointer("t1") + "    addiw t2, t2, 0\n" + _getelem_fast()
-    raise ValueError("unknown scheme family %r" % scheme.family)
+""" + common.unbox_pointer("t1") + "    addiw t2, t2, 0\n"
+    return None
+
+
+def getelem_handler(scheme):
+    policy = configs.family_policy(scheme.family)
+    prologue = _getelem_prologue(policy.check_mode)
+    if prologue is None:
+        raise ValueError("no GETELEM prologue for check mode %r (family %r)"
+                         % (policy.check_mode, scheme.family))
+    return prologue + _getelem_fast()
 
 
 def _setelem_fast():
@@ -86,8 +95,8 @@ SETELEM_slowstub:
 """
 
 
-def setelem_handler(scheme):
-    if scheme.family == configs.FAMILY_SOFTWARE:
+def _setelem_prologue(mode):
+    if mode == configs.FAMILY_SOFTWARE:
         return """h_SETELEM:
     ld   t1, -16(s7)
     ld   t2, -8(s7)
@@ -97,15 +106,15 @@ def setelem_handler(scheme):
     srli t3, t2, 47
     li   a4, SIG_INT
     bne  t3, a4, SETELEM_slowstub
-""" + common.unbox_pointer("t1") + "    addiw t2, t2, 0\n" + _setelem_fast()
-    if scheme.family == configs.FAMILY_TYPED:
+""" + common.unbox_pointer("t1") + "    addiw t2, t2, 0\n"
+    if mode == configs.FAMILY_TYPED:
         return """h_SETELEM:
     tld  t1, -16(s7)
     tld  t2, -8(s7)
     thdl SETELEM_slowstub
     tchk t1, t2
-""" + _setelem_fast()
-    if scheme.family == configs.FAMILY_CHECKED:
+"""
+    if mode == configs.FAMILY_CHECKED:
         return """h_SETELEM:
     ld   t1, -16(s7)
     srli t3, t1, 47
@@ -114,8 +123,17 @@ def setelem_handler(scheme):
     thdl SETELEM_slowstub
     chklw t2, -4(s7)
     ld   t2, -8(s7)
-""" + common.unbox_pointer("t1") + "    addiw t2, t2, 0\n" + _setelem_fast()
-    raise ValueError("unknown scheme family %r" % scheme.family)
+""" + common.unbox_pointer("t1") + "    addiw t2, t2, 0\n"
+    return None
+
+
+def setelem_handler(scheme):
+    policy = configs.family_policy(scheme.family)
+    prologue = _setelem_prologue(policy.check_mode)
+    if prologue is None:
+        raise ValueError("no SETELEM prologue for check mode %r (family %r)"
+                         % (policy.check_mode, scheme.family))
+    return prologue + _setelem_fast()
 
 
 def newarray_handler():

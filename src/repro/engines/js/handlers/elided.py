@@ -1,0 +1,135 @@
+"""Quickened MiniJS handlers for the elided (software-elision) family.
+
+One handler per entry in
+:data:`repro.analysis.quickening.JS_QUICKENED`: the software guard
+chain's matching case with the NaN-box signature checks deleted.
+
+Checks on *values* remain, because they are part of the operator's
+semantics rather than of dynamic typing:
+
+* ``ADD_II``/``SUB_II``/``MUL_II`` keep the int32 overflow test — an
+  overflowing result must become a double, so they branch to the base
+  handler's ``{name}_ii_ovf`` path (whose global label expects the
+  sign-extended operands in ``t1``/``t2``, exactly as left here).
+  Because of that promotion an int+int *result* is not statically int,
+  so the inference pass can rarely prove downstream int chains — the
+  honest price of JS number semantics.
+* ``MOD_II`` keeps the zero-divisor and negative-zero tests (both
+  produce doubles) on private labels — the base ``MOD_box`` assumes
+  the guard preloaded ``a4`` — and bails to ``MOD_slowstub``.
+* ``EQ_II``/``NE_II`` compare the full boxed dwords (identical int
+  boxes are equal), so they need no sign extension at all.
+"""
+
+from repro.engines.js.handlers import common
+
+
+def _binop_entry(name):
+    return """h_{name}:
+    ld   t1, -8(s7)
+    ld   t2, 0(s7)
+""".format(name=name)
+
+
+def _push_result():
+    return """    addi s7, s7, -8
+    sd   t3, 0(s7)
+    j    dispatch
+"""
+
+
+def _box_int():
+    return """    slli t3, t3, 32
+    srli t3, t3, 32
+    li   a4, SIG_INT
+    slli a5, a4, 47
+    or   t3, t3, a5
+"""
+
+
+def _arith_ii(name, int_op):
+    """Both proven int32; only the overflow promotion check remains."""
+    return _binop_entry(name + "_II") + """    addiw t1, t1, 0
+    addiw t2, t2, 0
+    {int_op}  t3, t1, t2
+    addiw a5, t3, 0
+    beq  t3, a5, {name}_II_fits
+    j    {name}_ii_ovf
+{name}_II_fits:
+""".format(name=name, int_op=int_op) + _box_int() + _push_result()
+
+
+def _arith_dd(name, float_op):
+    return _binop_entry(name + "_DD") + """    fmv.d.x f1, t1
+    fmv.d.x f2, t2
+    {float_op} f1, f1, f2
+    fmv.x.d t3, f1
+""".format(float_op=float_op) + _push_result()
+
+
+def mod_ii():
+    return _binop_entry("MOD_II") + """    addiw t1, t1, 0
+    addiw t2, t2, 0
+    beqz t2, MOD_II_slow
+    rem  t3, t1, t2
+    bltz t1, MOD_II_negzero
+MOD_II_box:
+""" + _box_int() + _push_result() + """MOD_II_negzero:
+    beqz t3, MOD_II_slow
+    j    MOD_II_box
+MOD_II_slow:
+    j    MOD_slowstub
+"""
+
+
+def _compare_ii(name, int_cmp):
+    return _binop_entry(name + "_II") + """    addiw t1, t1, 0
+    addiw t2, t2, 0
+    {int_cmp}
+""".format(int_cmp=int_cmp) + common.box_bool("t3", "a5") + _push_result()
+
+
+def _compare_dd(name, float_cmp):
+    return _binop_entry(name + "_DD") + """    fmv.d.x f1, t1
+    fmv.d.x f2, t2
+    {float_cmp}
+""".format(float_cmp=float_cmp) + common.box_bool("t3", "a5") \
+        + _push_result()
+
+
+def _equality_ii(name, negate):
+    negate_text = "    xori t3, t3, 1\n" if negate else ""
+    return _binop_entry(name + "_II") + """    xor  t3, t1, t2
+    seqz t3, t3
+""" + negate_text + common.box_bool("t3", "a5") + _push_result()
+
+
+def _equality_dd(name, negate):
+    negate_text = "    xori t3, t3, 1\n" if negate else ""
+    return _binop_entry(name + "_DD") + """    fmv.d.x f1, t1
+    fmv.d.x f2, t2
+    feq.d t3, f1, f2
+""" + negate_text + common.box_bool("t3", "a5") + _push_result()
+
+
+def build(scheme):
+    """All quickened handler text (appended before the slow stubs)."""
+    return "\n".join([
+        _arith_ii("ADD", "add"), _arith_dd("ADD", "fadd.d"),
+        _arith_ii("SUB", "sub"), _arith_dd("SUB", "fsub.d"),
+        _arith_ii("MUL", "mul"), _arith_dd("MUL", "fmul.d"),
+        _arith_dd("DIV", "fdiv.d"),
+        mod_ii(),
+        _compare_ii("LT", "slt  t3, t1, t2"),
+        _compare_dd("LT", "flt.d t3, f1, f2"),
+        _compare_ii("LE", "slt  t3, t2, t1\n    xori t3, t3, 1"),
+        _compare_dd("LE", "fle.d t3, f1, f2"),
+        _compare_ii("GT", "slt  t3, t2, t1"),
+        _compare_dd("GT", "flt.d t3, f2, f1"),
+        _compare_ii("GE", "slt  t3, t1, t2\n    xori t3, t3, 1"),
+        _compare_dd("GE", "fle.d t3, f2, f1"),
+        _equality_ii("EQ", negate=False),
+        _equality_dd("EQ", negate=False),
+        _equality_ii("NE", negate=True),
+        _equality_dd("NE", negate=True),
+    ])

@@ -77,13 +77,19 @@ def build_image(chunk, runtime):
     )
 
 
-def fill_jump_table(image, program, memory):
-    """Point every opcode slot at its handler (error stub otherwise)."""
+def fill_jump_table(image, program, memory, extra_ops=None):
+    """Point every opcode slot at its handler (error stub otherwise).
+    ``extra_ops`` maps quickened opcode numbers (free slots above the
+    base catalogue) to their handler base names."""
     fallback = program.labels["h_ILLEGAL"]
+    extra_ops = extra_ops or {}
     for opcode in range(NUM_OPCODES):
-        try:
-            label = "h_%s" % JsOp(opcode).name
-        except ValueError:
-            label = None
+        if opcode in extra_ops:
+            label = "h_%s" % extra_ops[opcode]
+        else:
+            try:
+                label = "h_%s" % JsOp(opcode).name
+            except ValueError:
+                label = None
         target = program.labels.get(label, fallback) if label else fallback
         memory.store_u64(image.jump_table_addr + opcode * 8, target)

@@ -35,7 +35,10 @@ class JsResult:
         return self.output.splitlines()
 
 
-def build_attribution(program):
+def build_attribution(program, extra_ops=None):
+    """``extra_ops`` (quickened opcode -> variant name) registers the
+    elided family's guard-free handlers so their executions land in the
+    bytecode histogram instead of vanishing."""
     marks = []
     for label, addr in program.labels.items():
         if label.startswith("h_") or label in _EXTRA_BUCKETS:
@@ -50,7 +53,15 @@ def build_attribution(program):
         label = "h_%s" % opcode.name
         if label in program.labels:
             entry_points[program.labels[label]] = opcode.name
+    for name in (extra_ops or {}).values():
+        label = "h_%s" % name
+        if label in program.labels:
+            entry_points[program.labels[label]] = name
     return Attribution(program, ranges, entry_points)
+
+
+def _policy(config):
+    return configs.family_policy(configs.get_scheme(config).family)
 
 
 # Cached, program-independent interpreter text per configuration.
@@ -72,19 +83,28 @@ def interpreter_program(config):
                            base=layout.CODE_BASE)
         if program.end > layout.BOOT_BLOCK:
             raise ValueError("interpreter text overflows the code region")
-        cached = (program, build_attribution(program))
+        policy = _policy(config)
+        extra_ops = (policy.quickened_ops("js")
+                     if policy.quickened_ops else None)
+        cached = (program, build_attribution(program, extra_ops))
         _PROGRAM_CACHE[config] = cached
     return cached
 
 
 def prepare(source, config=BASELINE):
     scheme = configs.get_scheme(config)
+    policy = configs.family_policy(scheme.family)
     chunk = compile_source(source)
+    # Chunks are compiled fresh per prepare(), so the in-place bytecode
+    # quickening (elided family) cannot leak into other configurations.
+    if policy.quicken is not None:
+        policy.quicken("js", chunk)
+    extra_ops = policy.quickened_ops("js") if policy.quickened_ops else None
     memory = Memory(size=layout.MEMORY_SIZE)
     runtime = JsRuntime(memory)
     image = build_image(chunk, runtime)
     program, _attribution = interpreter_program(config)
-    fill_jump_table(image, program, memory)
+    fill_jump_table(image, program, memory, extra_ops=extra_ops)
     host = JsHost(runtime)
     # NaN boxing: the extractor needs the double pseudo-tag and the int
     # tag for payload sign extension (Section 4.2) — expressed in the
@@ -106,28 +126,25 @@ def prepare(source, config=BASELINE):
     return cpu, runtime, program
 
 
-def run_js(source, *args, **kwargs):
+def run_js(source, *, config=BASELINE, machine_config=None,
+           max_instructions=None, attribute=True, telemetry=None,
+           use_blocks=True, use_traces=True):
     """Compile and execute MiniJS ``source`` on the simulated machine.
 
     Thin adapter over :func:`repro.api.run` with the same unified
-    keyword-only signature as ``run_lua``::
-
-        run_js(source, *, config="baseline", machine_config=None,
-               max_instructions=200_000_000, attribute=True,
-               telemetry=None, use_blocks=True)
-
-    ``telemetry`` optionally attaches an event bus (see
-    :mod:`repro.telemetry`) to the CPU and timing model.
-    ``use_blocks`` enables the basic-block superinstruction engine
-    (only effective without attribution/telemetry; counters are
-    identical either way).
-
-    Legacy call styles — positional arguments after ``source``, or the
-    drifted keyword spellings ``machine``/``limit``/``mode`` — still
-    work but emit one :class:`DeprecationWarning` per process.
+    keyword-only signature as ``run_lua``.  ``telemetry`` optionally
+    attaches an event bus (see :mod:`repro.telemetry`) to the CPU and
+    timing model.  ``use_blocks`` enables the basic-block
+    superinstruction engine (only effective without
+    attribution/telemetry; counters are identical either way).
     """
     from repro import api
-    params = api.normalize_engine_kwargs("run_js", args, kwargs)
-    result = api._engine_run("js", source, **params)
+    result = api._engine_run(
+        "js", source, config=config, machine_config=machine_config,
+        max_instructions=(api.DEFAULT_MAX_INSTRUCTIONS
+                          if max_instructions is None
+                          else max_instructions),
+        attribute=attribute, telemetry=telemetry,
+        use_blocks=use_blocks, use_traces=use_traces)
     return JsResult(output=result.output, counters=result.counters,
                     config=result.config, exit_code=result.exit_code)

@@ -54,18 +54,8 @@ h_{name}__ff:
 """.format(name=name, int_op=int_op, float_op=float_op)
 
 
-def polymorphic_handler(name, scheme):
-    """ADD/SUB/MUL handler for one scheme family."""
-    int_op, float_op, tagged_op = _POLY[name]
-    slow = """{name}_slowstub:
-    li   a3, {op_id}
-    j    arith_slow_common
-""".format(name=name, op_id=common.ARITH_OPS[name])
-
-    if scheme.family == configs.FAMILY_SOFTWARE:
-        body = _software_guards(name, int_op, float_op)
-    elif scheme.family == configs.FAMILY_TYPED:
-        body = """
+def _typed_body(name, int_op, float_op, tagged_op):
+    return """
     tld  t1, 0(t5)
     tld  t2, 0(t6)
     thdl {name}_slowstub
@@ -73,12 +63,14 @@ def polymorphic_handler(name, scheme):
     tsd  t1, 0(t4)
     j    dispatch
 """.format(name=name, tagged_op=tagged_op)
-    elif scheme.family == configs.FAMILY_CHECKED:
-        # Integer-specialised fast path; a chklb miss re-runs the original
-        # software guards starting at the float check.  R_ctype holds the
-        # integer tag as a VM-wide invariant (set at startup and restored
-        # by the table handlers), so no settype is needed here.
-        body = """
+
+
+def _chklb_body(name, int_op, float_op, tagged_op):
+    # Integer-specialised fast path; a chklb miss re-runs the original
+    # software guards starting at the float check.  R_ctype holds the
+    # integer tag as a VM-wide invariant (set at startup and restored
+    # by the table handlers), so no settype is needed here.
+    return """
     thdl {name}_guard_float
     chklb t1, 8(t5)
     chklb t2, 8(t6)
@@ -92,8 +84,33 @@ def polymorphic_handler(name, scheme):
 {guards}
 """.format(name=name, int_op=int_op,
            guards=_fallback_guards(name, float_op))
-    else:
-        raise ValueError("unknown scheme family %r" % scheme.family)
+
+
+#: Fast-path body per check mode (HandlerPolicy.check_mode).
+_FAST_BODIES = {
+    configs.FAMILY_SOFTWARE:
+        lambda name, int_op, float_op, tagged_op:
+            _software_guards(name, int_op, float_op),
+    configs.FAMILY_TYPED: _typed_body,
+    configs.FAMILY_CHECKED: _chklb_body,
+}
+
+
+def polymorphic_handler(name, scheme):
+    """ADD/SUB/MUL handler for one scheme family."""
+    int_op, float_op, tagged_op = _POLY[name]
+    slow = """{name}_slowstub:
+    li   a3, {op_id}
+    j    arith_slow_common
+""".format(name=name, op_id=common.ARITH_OPS[name])
+
+    policy = configs.family_policy(scheme.family)
+    try:
+        builder = _FAST_BODIES[policy.check_mode]
+    except KeyError:
+        raise ValueError("no Lua arith body for check mode %r (family %r)"
+                         % (policy.check_mode, scheme.family)) from None
+    body = builder(name, int_op, float_op, tagged_op)
     return "h_%s:\n%s%s%s" % (name, _decode_abc(), body, slow)
 
 

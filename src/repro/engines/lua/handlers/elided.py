@@ -1,0 +1,176 @@
+"""Quickened MiniLua handlers for the elided (software-elision) family.
+
+One handler per entry in
+:data:`repro.analysis.quickening.LUA_QUICKENED`: the software handler's
+fast path with the tag guards deleted, installed only at bytecode sites
+where the inference pass proved the operand tags.  Instructions whose
+proof failed keep their base opcode and run the normal guarded handler,
+so the full software handler set is always present alongside these.
+
+Guards that check *values* rather than tags stay: MOD_II/IDIV_II keep
+the zero-divisor test (a zero divisor raises a Lua error host-side) and
+branch to the base handler's ``MOD_slowstub``/``IDIV_slowstub`` — the
+labels are global and the operand pointers are in ``t4``/``t5``/``t6``
+exactly as the base handler's own fast path leaves them.
+
+FORLOOP variants preserve the base handler's store discipline: the
+advanced index is written to R(A) on *every* path (including loop
+exit), the user variable R(A+3) only when the loop continues.
+"""
+
+from repro.engines.lua.handlers import common
+
+
+def _decode_abc():
+    return (common.decode_a("t4") + common.decode_rk("b", "t5")
+            + common.decode_rk("c", "t6"))
+
+
+def _store_tagged(tag, store="sd   t1, 0(t4)"):
+    return """    li   t2, {tag}
+    sb   t2, 8(t4)
+    {store}
+    j    dispatch
+""".format(tag=tag, store=store)
+
+
+def _arith_ii(name, int_op):
+    """ADD/SUB/MUL both-int: wraps at 64 bits, so no overflow guard is
+    needed either — the result tag is statically TNUMINT."""
+    return "h_{name}_II:\n".format(name=name) + _decode_abc() + """
+    ld   t1, 0(t5)
+    ld   t3, 0(t6)
+    {int_op} t1, t1, t3
+""".format(name=name, int_op=int_op) + _store_tagged("TNUMINT")
+
+
+def _arith_ff(name, float_op):
+    return "h_{name}_FF:\n".format(name=name) + _decode_abc() + """
+    fld  f1, 0(t5)
+    fld  f2, 0(t6)
+    {float_op} f1, f1, f2
+""".format(name=name, float_op=float_op) \
+        + _store_tagged("TNUMFLT", store="fsd  f1, 0(t4)")
+
+
+def mod_ii():
+    """Floor modulo, both int proven; the zero-divisor *value* check
+    stays and reuses the base handler's slow stub."""
+    return "h_MOD_II:\n" + _decode_abc() + """
+    ld   t1, 0(t5)
+    ld   t3, 0(t6)
+    bnez t3, MOD_II_div
+    j    MOD_slowstub
+MOD_II_div:
+    rem  t1, t1, t3
+    beqz t1, MOD_II_store
+    xor  a4, t1, t3
+    bgez a4, MOD_II_store
+    add  t1, t1, t3
+MOD_II_store:
+""" + _store_tagged("TNUMINT")
+
+
+def idiv_ii():
+    return "h_IDIV_II:\n" + _decode_abc() + """
+    ld   t1, 0(t5)
+    ld   t3, 0(t6)
+    bnez t3, IDIV_II_div
+    j    IDIV_slowstub
+IDIV_II_div:
+    div  a4, t1, t3
+    mul  a5, a4, t3
+    beq  a5, t1, IDIV_II_store
+    xor  a5, t1, t3
+    bgez a5, IDIV_II_store
+    addi a4, a4, -1
+IDIV_II_store:
+""" + _store_tagged("TNUMINT", store="sd   a4, 0(t4)")
+
+
+def _compare_ii(name, int_cmp):
+    return "h_{name}_II:\n".format(name=name) + _decode_abc() + """
+    ld   t1, 0(t5)
+    ld   t2, 0(t6)
+    {int_cmp}
+""".format(int_cmp=int_cmp) + _store_tagged("TBOOL")
+
+
+def _compare_ff(name, float_cmp):
+    return "h_{name}_FF:\n".format(name=name) + _decode_abc() + """
+    fld  f1, 0(t5)
+    fld  f2, 0(t6)
+    {float_cmp} t1, f1, f2
+""".format(float_cmp=float_cmp) + _store_tagged("TBOOL")
+
+
+def eq_ii():
+    """Same-tag ints compare by payload — one xor/seqz on the dwords."""
+    return _compare_ii("EQ", "xor  t1, t1, t2\n    seqz t1, t1")
+
+
+def forloop_i():
+    return "h_FORLOOP_I:\n" + common.decode_a("t4") + """
+    ld   t1, 0(t4)
+    ld   t3, 32(t4)
+    add  t1, t1, t3
+    ld   a4, 16(t4)
+    sd   t1, 0(t4)
+    bltz t3, FORLOOP_I_negstep
+    blt  a4, t1, FORLOOP_I_exit
+FORLOOP_I_cont:
+    li   t2, TNUMINT
+    sd   t1, 48(t4)
+    sb   t2, 56(t4)
+""" + common.jump_by_offset() + """
+    j    dispatch
+FORLOOP_I_negstep:
+    blt  t1, a4, FORLOOP_I_exit
+    j    FORLOOP_I_cont
+FORLOOP_I_exit:
+    j    dispatch
+"""
+
+
+def forloop_f():
+    return "h_FORLOOP_F:\n" + common.decode_a("t4") + """
+    fld  f1, 0(t4)
+    fld  f3, 32(t4)
+    fadd.d f1, f1, f3
+    fld  f2, 16(t4)
+    fsd  f1, 0(t4)
+    fmv.d.x f4, zero
+    flt.d t3, f3, f4
+    bnez t3, FORLOOP_F_neg
+    fle.d t3, f1, f2
+    beqz t3, FORLOOP_F_exit
+FORLOOP_F_cont:
+    fsd  f1, 48(t4)
+    li   t2, TNUMFLT
+    sb   t2, 56(t4)
+""" + common.jump_by_offset() + """
+    j    dispatch
+FORLOOP_F_neg:
+    fle.d t3, f2, f1
+    beqz t3, FORLOOP_F_exit
+    j    FORLOOP_F_cont
+FORLOOP_F_exit:
+    j    dispatch
+"""
+
+
+def build(scheme):
+    """All quickened handler text (appended before the slow stubs)."""
+    return "\n".join([
+        _arith_ii("ADD", "add "), _arith_ff("ADD", "fadd.d"),
+        _arith_ii("SUB", "sub "), _arith_ff("SUB", "fsub.d"),
+        _arith_ii("MUL", "mul "), _arith_ff("MUL", "fmul.d"),
+        _arith_ff("DIV", "fdiv.d"),
+        mod_ii(), idiv_ii(),
+        eq_ii(), _compare_ff("EQ", "feq.d"),
+        _compare_ii("LT", "slt  t1, t1, t2"),
+        _compare_ff("LT", "flt.d"),
+        _compare_ii("LE", "slt  t1, t2, t1\n    xori t1, t1, 1"),
+        _compare_ff("LE", "fle.d"),
+        forloop_i(), forloop_f(),
+    ])

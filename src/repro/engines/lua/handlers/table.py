@@ -36,11 +36,13 @@ h_GETTABLE__fast:
 """ % copy
 
 
-def gettable_handler(scheme):
-    decode = (common.decode_a("t4") + common.decode_rk("b", "t5")
-              + common.decode_rk("c", "t6"))
-    if scheme.family == configs.FAMILY_SOFTWARE:
-        body = """
+#: GETTABLE guard prologue per check mode (HandlerPolicy.check_mode).
+#: The chklb variant fuses only the key check: the single expected-type
+#: register holds the integer tag as a VM-wide invariant, so the table
+#: tag keeps its software guard (Checked Load's narrow coverage,
+#: Section 8).
+_GETTABLE_GUARDS = {
+    configs.FAMILY_SOFTWARE: ("""
     lbu  t1, 8(t5)
     li   t2, TTAB
     bne  t1, t2, GETTABLE_slowstub
@@ -49,20 +51,14 @@ def gettable_handler(scheme):
     bne  t1, t2, GETTABLE_slowstub
     ld   t1, 0(t5)
     ld   t2, 0(t6)
-""" + _gettable_fast_body(copy_typed=False)
-    elif scheme.family == configs.FAMILY_TYPED:
-        body = """
+""", False),
+    configs.FAMILY_TYPED: ("""
     tld  t1, 0(t5)
     tld  t2, 0(t6)
     thdl GETTABLE_slowstub
     tchk t1, t2
-""" + _gettable_fast_body(copy_typed=True)
-    elif scheme.family == configs.FAMILY_CHECKED:
-        # The single expected-type register holds the integer tag as a
-        # VM-wide invariant, so only the key check can be fused; the
-        # table tag keeps its software guard (Checked Load's narrow
-        # coverage, Section 8).
-        body = """
+""", True),
+    configs.FAMILY_CHECKED: ("""
     lbu  t1, 8(t5)
     li   t2, TTAB
     bne  t1, t2, GETTABLE_slowstub
@@ -70,9 +66,20 @@ def gettable_handler(scheme):
     chklb t1, 8(t6)
     ld   t1, 0(t5)
     ld   t2, 0(t6)
-""" + _gettable_fast_body(copy_typed=False)
-    else:
-        raise ValueError("unknown scheme family %r" % scheme.family)
+""", False),
+}
+
+
+def gettable_handler(scheme):
+    decode = (common.decode_a("t4") + common.decode_rk("b", "t5")
+              + common.decode_rk("c", "t6"))
+    policy = configs.family_policy(scheme.family)
+    try:
+        guards, copy_typed = _GETTABLE_GUARDS[policy.check_mode]
+    except KeyError:
+        raise ValueError("no GETTABLE guards for check mode %r (family %r)"
+                         % (policy.check_mode, scheme.family)) from None
+    body = guards + _gettable_fast_body(copy_typed=copy_typed)
     return "h_GETTABLE:\n%s%sGETTABLE_slowstub:\n    j table_get_slow_common\n" \
         % (decode, body)
 
@@ -107,11 +114,9 @@ SETTABLE_store:
 """ % copy
 
 
-def settable_handler(scheme):
-    decode = (common.decode_a("t4") + common.decode_rk("b", "t5")
-              + common.decode_rk("c", "t6"))
-    if scheme.family == configs.FAMILY_SOFTWARE:
-        body = """
+#: SETTABLE guard prologue per check mode (same shape as GETTABLE).
+_SETTABLE_GUARDS = {
+    configs.FAMILY_SOFTWARE: ("""
     lbu  t1, 8(t4)
     li   t2, TTAB
     bne  t1, t2, SETTABLE_slowstub
@@ -120,16 +125,14 @@ def settable_handler(scheme):
     bne  t1, t2, SETTABLE_slowstub
     ld   t1, 0(t4)
     ld   t2, 0(t5)
-""" + _settable_fast_body(copy_typed=False)
-    elif scheme.family == configs.FAMILY_TYPED:
-        body = """
+""", False),
+    configs.FAMILY_TYPED: ("""
     tld  t1, 0(t4)
     tld  t2, 0(t5)
     thdl SETTABLE_slowstub
     tchk t1, t2
-""" + _settable_fast_body(copy_typed=True)
-    elif scheme.family == configs.FAMILY_CHECKED:
-        body = """
+""", True),
+    configs.FAMILY_CHECKED: ("""
     lbu  t1, 8(t4)
     li   t2, TTAB
     bne  t1, t2, SETTABLE_slowstub
@@ -137,9 +140,20 @@ def settable_handler(scheme):
     chklb t1, 8(t5)
     ld   t1, 0(t4)
     ld   t2, 0(t5)
-""" + _settable_fast_body(copy_typed=False)
-    else:
-        raise ValueError("unknown scheme family %r" % scheme.family)
+""", False),
+}
+
+
+def settable_handler(scheme):
+    decode = (common.decode_a("t4") + common.decode_rk("b", "t5")
+              + common.decode_rk("c", "t6"))
+    policy = configs.family_policy(scheme.family)
+    try:
+        guards, copy_typed = _SETTABLE_GUARDS[policy.check_mode]
+    except KeyError:
+        raise ValueError("no SETTABLE guards for check mode %r (family %r)"
+                         % (policy.check_mode, scheme.family)) from None
+    body = guards + _settable_fast_body(copy_typed=copy_typed)
     return "h_SETTABLE:\n%s%sSETTABLE_slowstub:\n    j table_set_slow_common\n" \
         % (decode, body)
 

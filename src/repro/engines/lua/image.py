@@ -36,12 +36,18 @@ class _Cursor:
         return addr
 
 
-def build_image(chunk, runtime):
-    """Write ``chunk`` into ``runtime``'s memory; returns a LuaImage."""
+def build_image(chunk, runtime, slots=NUM_OPCODES):
+    """Write ``chunk`` into ``runtime``'s memory; returns a LuaImage.
+
+    ``slots`` sizes the handler jump table.  The stock configurations
+    keep the 47-entry Lua table (so their image layout — and the
+    committed perf-gate baseline — is untouched); the elided family
+    asks for 64 to cover its quickened opcodes.
+    """
     mem = runtime.mem
     cursor = _Cursor(layout.IMAGE_BASE)
 
-    jump_table = cursor.take(NUM_OPCODES * 8)
+    jump_table = cursor.take(slots * 8)
     proto_addrs = [cursor.take(layout.PROTO_SIZE) for _ in chunk.protos]
 
     code_addrs = []
@@ -92,12 +98,15 @@ def build_image(chunk, runtime):
     )
 
 
-def fill_jump_table(image, program, memory):
+def fill_jump_table(image, program, memory, extra_ops=None):
     """Point every opcode's jump-table slot at its handler (or the error
-    stub for unimplemented opcodes)."""
+    stub for unimplemented opcodes).  ``extra_ops`` maps quickened
+    opcode numbers (>= NUM_OPCODES) to their handler base names."""
     from repro.engines.lua.opcodes import Op
     fallback = program.labels["h_ILLEGAL"]
-    for opcode in range(NUM_OPCODES):
-        label = "h_%s" % Op(opcode).name
-        target = program.labels.get(label, fallback)
+    names = {opcode: Op(opcode).name for opcode in range(NUM_OPCODES)}
+    if extra_ops:
+        names.update(extra_ops)
+    for opcode, name in names.items():
+        target = program.labels.get("h_%s" % name, fallback)
         memory.store_u64(image.jump_table_addr + opcode * 8, target)

@@ -12,7 +12,7 @@ from repro.engines.lua import layout
 from repro.engines.lua.compiler import compile_source
 from repro.engines.lua.handlers import build_interpreter
 from repro.engines.lua.image import build_image, fill_jump_table
-from repro.engines.lua.opcodes import Op
+from repro.engines.lua.opcodes import NUM_OPCODES, Op
 from repro.engines.lua.runtime import LuaHost, LuaRuntime
 from repro.isa.assembler import assemble
 from repro.sim.cpu import Cpu
@@ -40,8 +40,11 @@ class LuaResult:
         return self.output.splitlines()
 
 
-def build_attribution(program):
-    """Bucket ranges (per handler label) and bytecode entry points."""
+def build_attribution(program, extra_ops=None):
+    """Bucket ranges (per handler label) and bytecode entry points.
+    ``extra_ops`` (quickened opcode -> variant name) registers the
+    elided family's guard-free handlers so their executions land in the
+    bytecode histogram instead of vanishing."""
     marks = []
     for label, addr in program.labels.items():
         if label.startswith("h_") or label in _EXTRA_BUCKETS:
@@ -56,7 +59,15 @@ def build_attribution(program):
         label = "h_%s" % opcode.name
         if label in program.labels:
             entry_points[program.labels[label]] = opcode.name
+    for name in (extra_ops or {}).values():
+        label = "h_%s" % name
+        if label in program.labels:
+            entry_points[program.labels[label]] = name
     return Attribution(program, ranges, entry_points)
+
+
+def _policy(config):
+    return configs.family_policy(configs.get_scheme(config).family)
 
 
 # The interpreter text is program-independent, so the assembled program
@@ -79,7 +90,10 @@ def interpreter_program(config):
                            base=layout.CODE_BASE)
         if program.end > layout.BOOT_BLOCK:
             raise ValueError("interpreter text overflows the code region")
-        cached = (program, build_attribution(program))
+        policy = _policy(config)
+        extra_ops = (policy.quickened_ops("lua")
+                     if policy.quickened_ops else None)
+        cached = (program, build_attribution(program, extra_ops))
         _PROGRAM_CACHE[config] = cached
     return cached
 
@@ -87,12 +101,20 @@ def interpreter_program(config):
 def prepare(source, config=BASELINE):
     """Compile + image + assemble; returns (cpu, runtime, program)."""
     scheme = configs.get_scheme(config)
+    policy = configs.family_policy(scheme.family)
     chunk = compile_source(source)
+    # Chunks are compiled fresh per prepare(), so the in-place bytecode
+    # quickening (elided family) cannot leak into other configurations.
+    if policy.quicken is not None:
+        policy.quicken("lua", chunk)
+    extra_ops = policy.quickened_ops("lua") if policy.quickened_ops else None
+    slots = (max(NUM_OPCODES, max(extra_ops) + 1) if extra_ops
+             else NUM_OPCODES)
     memory = Memory(size=layout.MEMORY_SIZE)
     runtime = LuaRuntime(memory)
-    image = build_image(chunk, runtime)
+    image = build_image(chunk, runtime, slots=slots)
     program, _attribution = interpreter_program(config)
-    fill_jump_table(image, program, memory)
+    fill_jump_table(image, program, memory, extra_ops=extra_ops)
     host = LuaHost(runtime)
     # The F/I-bit table must hold the tags as this scheme's extractor
     # window reports them (identical to the layout tags for every
@@ -109,30 +131,27 @@ def prepare(source, config=BASELINE):
     return cpu, runtime, program
 
 
-def run_lua(source, *args, **kwargs):
+def run_lua(source, *, config=BASELINE, machine_config=None,
+            max_instructions=None, attribute=True, telemetry=None,
+            use_blocks=True, use_traces=True):
     """Compile and execute MiniLua ``source`` on the simulated machine.
 
     Thin adapter over :func:`repro.api.run` — the unified signature is
-    keyword-only after ``source``::
-
-        run_lua(source, *, config="baseline", machine_config=None,
-                max_instructions=200_000_000, attribute=True,
-                telemetry=None, use_blocks=True)
-
-    ``config`` selects the interpreter build: ``"baseline"`` (software
-    type guards), ``"typed"`` (Typed Architecture) or ``"chklb"``
-    (Checked Load).  ``telemetry`` optionally attaches an event bus
-    (see :mod:`repro.telemetry`) to the CPU and timing model.
-    ``use_blocks`` enables the basic-block superinstruction engine
-    (only effective without attribution/telemetry; counters are
+    keyword-only after ``source``.  ``config`` selects the interpreter
+    build (any registered scheme: ``"baseline"``, ``"typed"``,
+    ``"chklb"``, ``"elided"``, ...).  ``telemetry`` optionally attaches
+    an event bus (see :mod:`repro.telemetry`) to the CPU and timing
+    model.  ``use_blocks`` enables the basic-block superinstruction
+    engine (only effective without attribution/telemetry; counters are
     identical either way).
-
-    Legacy call styles — positional arguments after ``source``, or the
-    drifted keyword spellings ``machine``/``limit``/``mode`` — still
-    work but emit one :class:`DeprecationWarning` per process.
     """
     from repro import api
-    params = api.normalize_engine_kwargs("run_lua", args, kwargs)
-    result = api._engine_run("lua", source, **params)
+    result = api._engine_run(
+        "lua", source, config=config, machine_config=machine_config,
+        max_instructions=(api.DEFAULT_MAX_INSTRUCTIONS
+                          if max_instructions is None
+                          else max_instructions),
+        attribute=attribute, telemetry=telemetry,
+        use_blocks=use_blocks, use_traces=use_traces)
     return LuaResult(output=result.output, counters=result.counters,
                      config=result.config, exit_code=result.exit_code)

@@ -30,6 +30,7 @@ from repro.faults.classify import (
     CLASSES,
     DETECTED,
     HANG,
+    SDC,
     classify,
     detect_evidence,
     watchdog_budget,
@@ -196,12 +197,20 @@ def _build_report(seed, count, targets, cells, tasks, results,
                 "golden_instret": meta["golden_instret"],
                 "golden_detect": meta["golden_detect"],
                 "outcomes": _empty_tally(),
+                "sdc_detail": {"silent": 0, "abort": 0},
                 "by_target": {},
                 "injections": [],
             }
         outcome = result["class"]
         target = result["spec"]["target"]
         cell["outcomes"][outcome] += 1
+        if outcome == SDC:
+            # Silent wrong output vs a guest-level (software guard)
+            # abort: both are SDC in the four-way taxonomy, but guard
+            # elision moves mass between them, so campaigns report the
+            # split (see docs/ANALYSIS.md).
+            kind = "silent" if result["error"] is None else "abort"
+            cell["sdc_detail"][kind] += 1
         cell["by_target"].setdefault(target, _empty_tally())
         cell["by_target"][target][outcome] += 1
         cell["injections"].append(result)

@@ -53,6 +53,15 @@ so one sweep compiles each interpreter's hot blocks exactly once.
 
 import weakref
 
+from repro.engines.ir import (
+    BRANCH_COND as _BRANCH_COND,
+    LOAD_ARGS as _LOAD_ARGS,
+    MASK64 as _M,
+    MAX_BLOCK_LEN,
+    STORE_WIDTH as _STORE_WIDTH,
+    TERMINATORS as _TERMINATORS,
+    block_extent,
+)
 from repro.isa.extension import TAG_DWORD_DISPLACEMENT
 from repro.sim.cpu import (
     _DISPATCH,
@@ -79,16 +88,6 @@ from repro.uarch.pipeline import (
     K_TAGGED_ALU,
     _kind_of,
 )
-
-#: Block growth stops after this many instructions even without a
-#: terminator; longer blocks buy little and inflate the near-budget
-#: single-step window.
-MAX_BLOCK_LEN = 64
-
-#: Instructions that always end a block: indirect control flow lands at
-#: a fresh dispatch anyway, ``ecall`` may touch arbitrary host state and
-#: ``ebreak`` halts the machine.
-_TERMINATORS = frozenset(["jal", "jalr", "ecall", "ebreak"])
 
 _EXTRA_LATENCY = {K_MUL: "mul", K_DIV: "div", K_FP_ALU: "fp_alu",
                   K_FP_DIV: "fp_div", K_FP_SQRT: "fp_sqrt"}
@@ -173,26 +172,11 @@ class BlockTable:
         return _fallback_block(self, index), 1
 
 
-_M = (1 << 64) - 1
+# Host-ISA classification (branch conditions, load/store shapes, block
+# terminators) is canonical in repro.engines.ir and imported above.
 _SIGN = 1 << 63
 _S = 1 << 63
 _UNTYPED = 0xFF  # repro.isa.extension.TYPE_UNTYPED
-
-#: Biased compare: ``to_signed(a) < to_signed(b)`` iff
-#: ``(a ^ _S) < (b ^ _S)`` on the unsigned representations.
-_BRANCH_COND = {
-    "beq": "V[%(a)d] == V[%(b)d]",
-    "bne": "V[%(a)d] != V[%(b)d]",
-    "blt": "(V[%(a)d] ^ %(S)d) < (V[%(b)d] ^ %(S)d)",
-    "bge": "(V[%(a)d] ^ %(S)d) >= (V[%(b)d] ^ %(S)d)",
-    "bltu": "V[%(a)d] < V[%(b)d]",
-    "bgeu": "V[%(a)d] >= V[%(b)d]",
-}
-
-_LOAD_ARGS = {"lb": (1, True), "lh": (2, True), "lw": (4, True),
-              "ld": (8, False), "lbu": (1, False), "lhu": (2, False),
-              "lwu": (4, False)}
-_STORE_WIDTH = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
 
 
 def _word_of(var):
@@ -268,14 +252,9 @@ def _alu_inline(i):
 
 
 def _block_extent(table, start, max_len):
-    """The exclusive stop index of the block entered at ``start``:
-    truncated at the first terminator, else after ``max_len``."""
-    instrs = table.instructions
-    stop = min(len(instrs), start + max_len)
-    for j in range(start, stop):
-        if instrs[j].mnemonic in _TERMINATORS:
-            return j + 1
-    return stop
+    """The exclusive stop index of the block entered at ``start``
+    (see :func:`repro.engines.ir.block_extent`)."""
+    return block_extent(table.instructions, start, max_len)
 
 
 class _Emitter:

@@ -42,14 +42,13 @@ and across sweep cells in one process.
 
 import weakref
 
-from repro.sim.blocks import (
-    _BRANCH_COND,
-    _M,
+from repro.engines.ir import (
+    BRANCH_COND as _BRANCH_COND,
+    MASK64 as _M,
     MAX_BLOCK_LEN,
-    _block_extent,
-    _Emitter,
-    block_table,
+    block_extent,
 )
+from repro.sim.blocks import _Emitter, block_table
 
 #: A block becomes a trace head after this many dispatch-loop entries.
 TRACE_THRESHOLD = 16
@@ -325,8 +324,8 @@ def _plan(blocks, path):
             break
         segments.append(seg)
         final = t
-    segments.append((final, _block_extent(blocks, final, MAX_BLOCK_LEN),
-                     None))
+    segments.append((final, block_extent(blocks.instructions, final,
+                                         MAX_BLOCK_LEN), None))
     return segments
 
 

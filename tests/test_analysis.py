@@ -1,0 +1,275 @@
+"""Unit tests for the static tag-inference pass (repro.analysis).
+
+Covers the lattice algebra, the per-engine inference/decision passes
+(including the JS main-exclusive global promotion and the soundness
+fallbacks), and the quickening rewrite mechanics.  End-to-end
+behavioural equivalence of the elided configuration lives in
+tests/test_elided_differential.py.
+"""
+
+import pytest
+
+from repro import analysis
+from repro.analysis import js as js_pass
+from repro.analysis import lua as lua_pass
+from repro.analysis import quickening
+from repro.analysis.lattice import (
+    AV,
+    BOT,
+    NATIVE,
+    TOP,
+    func_av,
+    join,
+    tag_av,
+)
+from repro.engines.js import layout as js_layout
+from repro.engines.js.compiler import compile_source as compile_js
+from repro.engines.lua import layout as lua_layout
+from repro.engines.lua.compiler import compile_source as compile_lua
+
+
+# -- lattice ---------------------------------------------------------------------
+
+def test_join_is_commutative_and_associative():
+    a = tag_av(lua_layout.TNUMINT)
+    b = tag_av(lua_layout.TNUMFLT)
+    c = tag_av(lua_layout.TSTR)
+    assert join(a, b) == join(b, a)
+    assert join(join(a, b), c) == join(a, join(b, c))
+
+
+def test_join_identities():
+    a = tag_av(lua_layout.TNUMINT)
+    assert join(a, BOT) == a
+    assert join(BOT, a) == a
+    assert join(a, a) == a
+    assert join(a, TOP).top
+    assert join(TOP, BOT).top
+
+
+def test_join_unions_tags_and_funcs():
+    a = AV(tags=(1,), funcs=(0,))
+    b = AV(tags=(2,), funcs=(1, NATIVE))
+    merged = join(a, b)
+    assert merged.tags == frozenset((1, 2))
+    assert merged.funcs == frozenset((0, 1, NATIVE))
+    assert merged.has_native
+    assert merged.protos() == frozenset((0, 1))
+
+
+def test_av_queries():
+    a = tag_av(lua_layout.TNUMINT)
+    assert a.is_only(lua_layout.TNUMINT)
+    assert a.may(lua_layout.TNUMINT)
+    assert not a.may(lua_layout.TNUMFLT)
+    assert TOP.may(lua_layout.TNUMFLT)
+    assert not TOP.is_only(lua_layout.TNUMFLT)
+    assert BOT.is_bot
+    f = func_av(js_layout.TAG_OBJECT, 3)
+    assert f.protos() == frozenset((3,))
+
+
+# -- Lua inference ---------------------------------------------------------------
+
+def _lua_decisions(source):
+    chunk = compile_lua(source)
+    return lua_pass.infer(chunk).decide(), chunk
+
+
+def test_lua_int_loop_elides():
+    decisions, chunk = _lua_decisions(
+        "local acc = 0\n"
+        "for i = 1, 10 do acc = acc + i end\n"
+        "print(acc)\n")
+    variants = set(decisions.get(0, {}).values())
+    assert "ADD_II" in variants
+    assert "FORLOOP_I" in variants
+
+
+def test_lua_float_kernel_elides():
+    decisions, _ = _lua_decisions(
+        "local x = 0.5\n"
+        "for i = 1, 8 do x = x * 1.5 - 0.25 end\n"
+        "print(x)\n")
+    variants = set(decisions.get(0, {}).values())
+    assert "MUL_FF" in variants
+    assert "SUB_FF" in variants
+
+
+def test_lua_unstable_tag_keeps_guards():
+    # `v` holds an int on one path and a string on the other, so the
+    # ADD below the merge must keep its guard chain (the slow path
+    # coerces the string).
+    decisions, chunk = _lua_decisions(
+        "local v = 1\n"
+        "local n = 4\n"
+        "if n > 2 then v = \"3\" end\n"
+        "local r = v + 1\n"
+        "print(r)\n")
+    view = lua_pass.LuaInference(chunk).run().views[0]
+    add_sites = [i for i in decisions.get(0, {})
+                 if view.instrs[i].name.startswith("ADD")]
+    assert add_sites == []
+
+
+def test_lua_table_load_is_top():
+    # Values out of a table are unknown: arithmetic on them keeps its
+    # guards even though only ints were ever stored.
+    decisions, _ = _lua_decisions(
+        "local t = {}\n"
+        "t[1] = 2\n"
+        "local s = t[1] + 1\n"
+        "print(s)\n")
+    assert decisions.get(0, {}) == {}
+
+
+def test_lua_interprocedural_params():
+    # Both call sites pass ints, the callee does not escape: its body
+    # may elide on the parameter.
+    decisions, chunk = _lua_decisions(
+        "local function f(a, b) return a + b end\n"
+        "print(f(1, 2) + f(3, 4))\n")
+    all_variants = [v for per in decisions.values() for v in per.values()]
+    assert "ADD_II" in all_variants
+
+
+def test_lua_escaped_function_params_are_top():
+    # Storing the function in a table escapes it: its parameters must
+    # be assumed TOP and the body keeps guards.
+    decisions, chunk = _lua_decisions(
+        "local function f(a) return a + 1 end\n"
+        "local t = {}\n"
+        "t[1] = f\n"
+        "print(f(2))\n")
+    callee = 1 if len(chunk.protos) > 1 else 0
+    assert decisions.get(callee, {}) == {}
+
+
+# -- JS inference ----------------------------------------------------------------
+
+def _js_decisions(source):
+    chunk = compile_js(source)
+    return js_pass.infer(chunk).decide(), chunk
+
+
+def test_js_local_double_kernel_elides():
+    decisions, _ = _js_decisions(
+        "function kernel() {\n"
+        "  var x = 0.5;\n"
+        "  for (var i = 0; i < 8; i++) { x = x * 1.5 - 0.25; }\n"
+        "  return x;\n"
+        "}\n"
+        "print(kernel());\n")
+    all_variants = [v for per in decisions.values() for v in per.values()]
+    assert "MUL_DD" in all_variants
+    assert "SUB_DD" in all_variants
+
+
+def test_js_int_overflow_promotion_blocks_int_chains():
+    # int32 arithmetic may promote to double, so the result of an ADD
+    # feeding another ADD is only "numeric" — the honest JS result.
+    decisions, _ = _js_decisions(
+        "function f(n) { return (n + n) + n; }\n"
+        "print(f(3));\n")
+    all_variants = [v for per in decisions.values() for v in per.values()]
+    assert all_variants.count("ADD_II") <= 1
+
+
+def test_js_main_exclusive_globals_are_promoted():
+    # Top-level vars compile to globals; nothing but main touches them,
+    # so they are tracked flow-sensitively and the double kernel elides.
+    decisions, chunk = _js_decisions(
+        "var x = 0.5;\n"
+        "var y = 2.5;\n"
+        "var z = x * y - 0.25;\n"
+        "print(z);\n")
+    variants = set(decisions.get(0, {}).values())
+    assert "MUL_DD" in variants
+    assert "SUB_DD" in variants
+
+
+def test_js_shared_global_is_not_promoted():
+    # `x` is also written by f: its summary joins undefined with every
+    # store, so main cannot elide arithmetic on it.
+    decisions, _ = _js_decisions(
+        "var x = 0.5;\n"
+        "function f() { x = 1.5; }\n"
+        "f();\n"
+        "var z = x * 2.0;\n"
+        "print(z);\n")
+    assert "MUL_DD" not in set(decisions.get(0, {}).values())
+
+
+def test_js_mixed_int_double_forces_double():
+    # One proven-double operand forces a raw-double result whatever the
+    # other numeric side is (the runtime computes float(result) unless
+    # both operands are ints).
+    decisions, _ = _js_decisions(
+        "var i = 3;\n"
+        "var x = i * 2.0;\n"
+        "var y = x * 4.0;\n"
+        "print(y);\n")
+    assert "MUL_DD" in set(decisions.get(0, {}).values())
+
+
+def test_js_string_add_is_top():
+    decisions, _ = _js_decisions(
+        "var s = \"a\";\n"
+        "var t = s + 1;\n"
+        "var u = t + 2;\n"
+        "print(u);\n")
+    assert "ADD_II" not in set(decisions.get(0, {}).values())
+    assert "ADD_DD" not in set(decisions.get(0, {}).values())
+
+
+def test_js_div_always_double():
+    decisions, _ = _js_decisions(
+        "var a = 7;\n"
+        "var b = a / 2;\n"
+        "var c = b * 2.0;\n"
+        "print(c);\n")
+    assert "MUL_DD" in set(decisions.get(0, {}).values())
+
+
+# -- quickening mechanics --------------------------------------------------------
+
+def test_quickened_maps_are_disjoint_from_base_opcodes():
+    from repro.engines.js.opcodes import NUM_OPCODES as JS_N
+    from repro.engines.lua.opcodes import NUM_OPCODES as LUA_N
+    assert min(quickening.LUA_QUICKENED) >= LUA_N
+    assert all(34 <= op < JS_N for op in quickening.JS_QUICKENED)
+
+
+def test_base_name_folds_variants():
+    assert quickening.base_name("ADD_II") == "ADD"
+    assert quickening.base_name("FORLOOP_F") == "FORLOOP"
+    assert quickening.base_name("DIV_DD") == "DIV"
+
+
+def test_rewrite_replaces_opcode_byte_only():
+    code = [0x11223347, 0x99887705]
+    count = quickening.rewrite(code, {0: "ADD_II"},
+                               {"ADD_II": 0x2F})
+    assert count == 1
+    assert code[0] == 0x1122332F
+    assert code[1] == 0x99887705
+
+
+def test_quicken_chunk_reports_sites():
+    chunk = compile_lua(
+        "local acc = 0\n"
+        "for i = 1, 10 do acc = acc + i end\n"
+        "print(acc)\n")
+    stats = analysis.quicken_chunk("lua", chunk)
+    assert stats["sites"] > 0
+    assert sum(stats["per_op"].values()) == stats["sites"]
+    names = set(quickening.LUA_BY_NAME)
+    assert set(stats["per_op"]) <= names
+    # The rewrite really landed in the code words.
+    ops = {word & 0xFF for proto in chunk.protos for word in proto.code}
+    assert ops & set(quickening.LUA_QUICKENED)
+
+
+def test_quicken_chunk_unknown_engine():
+    with pytest.raises(ValueError):
+        analysis.quicken_chunk("forth", None)

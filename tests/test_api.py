@@ -1,11 +1,10 @@
 """The repro.api facade: dispatch, schema round-trips and the
-run_lua/run_js deprecation shims."""
+keyword-only run_lua/run_js adapters."""
 
 import json
 import os
 import subprocess
 import sys
-import warnings
 
 import pytest
 
@@ -147,57 +146,36 @@ def test_execute_payload_is_the_wire_body():
     assert out["counters"]["instructions"] > 0
 
 
-# -- deprecation shims -------------------------------------------------------
+# -- keyword-only engine adapters --------------------------------------------
+#
+# The PR-5 warn-once positional/renamed-keyword shims are gone: legacy
+# call styles are now hard TypeErrors (see docs/API.md).
 
-@pytest.fixture
-def fresh_warnings():
-    api._warned.clear()
-    yield
-    api._warned.clear()
-
-
-def test_positional_config_warns_once(fresh_warnings):
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        first = run_lua("print(1)", "typed")
-        second = run_lua("print(2)", "typed")
-    deprecations = [w for w in caught
-                    if issubclass(w.category, DeprecationWarning)]
-    assert len(deprecations) == 1  # warn-once per process
-    assert "positional" in str(deprecations[0].message)
-    assert first.output == "1\n" and second.output == "2\n"
+def test_positional_config_rejected():
+    with pytest.raises(TypeError):
+        run_lua("print(1)", "typed")
 
 
-def test_renamed_keywords_still_work(fresh_warnings):
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        renamed = run_lua("print(1 + 1)", mode="typed",
-                          limit=20_000_000)
-    messages = [str(w.message) for w in caught
-                if issubclass(w.category, DeprecationWarning)]
-    assert any("`mode` was renamed to `config`" in m for m in messages)
-    assert any("`limit` was renamed to `max_instructions`" in m
-               for m in messages)
-    assert renamed.output == "2\n"
-    clean = run_lua("print(1 + 1)", config="typed")
-    assert renamed.counters.as_dict() == clean.counters.as_dict()
+def test_renamed_keywords_rejected():
+    with pytest.raises(TypeError):
+        run_lua("print(1 + 1)", mode="typed")
+    with pytest.raises(TypeError):
+        run_lua("print(1 + 1)", limit=20_000_000)
+    with pytest.raises(TypeError):
+        run_js("print(1)", machine=None)
 
 
-def test_js_shim_matches_lua_shim(fresh_warnings):
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        result = run_js("print(3)", "typed")
-    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
-    assert result.output == "3\n"
+def test_js_adapter_rejects_positional_like_lua():
+    with pytest.raises(TypeError):
+        run_js("print(3)", "typed")
 
 
-def test_shim_rejects_old_and_new_spelling_together(fresh_warnings):
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore")
-        with pytest.raises(TypeError):
-            run_lua("print(1)", mode="typed", config="typed")
-
-
-def test_shim_rejects_unknown_keyword():
+def test_adapter_rejects_unknown_keyword():
     with pytest.raises(TypeError):
         run_lua("print(1)", turbo=True)
+
+
+def test_keyword_only_call_still_works():
+    result = run_lua("print(1 + 1)", config="typed",
+                     max_instructions=20_000_000)
+    assert result.output == "2\n"

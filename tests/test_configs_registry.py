@@ -93,6 +93,54 @@ def test_unknown_family_rejected():
         _scheme("bad-family", family="quantum")
 
 
+# -- family policies ---------------------------------------------------------
+
+def test_duplicate_family_rejected():
+    from repro.engines.configs import HandlerPolicy, register_family
+    with pytest.raises(ValueError, match="already registered"):
+        register_family(HandlerPolicy(family=FAMILY_SOFTWARE,
+                                      description="duplicate"))
+
+
+def test_family_registry_contents():
+    from repro.engines.configs import (
+        FAMILY_CHECKED,
+        FAMILY_ELIDED,
+        all_families,
+        family_policy,
+    )
+    assert set(all_families()) == {FAMILY_SOFTWARE, FAMILY_TYPED,
+                                   FAMILY_CHECKED, FAMILY_ELIDED}
+    with pytest.raises(ValueError, match="unknown scheme family"):
+        family_policy("quantum")
+    # The elided family is the software interpreter plus the quickening
+    # hooks; every other built-in family leaves them unset.
+    elided = family_policy(FAMILY_ELIDED)
+    assert elided.check_mode == FAMILY_SOFTWARE
+    assert callable(elided.quicken)
+    assert callable(elided.quickened_ops)
+    assert callable(elided.extra_handlers)
+    for family in (FAMILY_SOFTWARE, FAMILY_TYPED, FAMILY_CHECKED):
+        assert family_policy(family).quicken is None
+
+
+def test_elided_scheme_registered_and_gate_exempt():
+    from repro.engines.configs import ELIDED, FAMILY_ELIDED
+    scheme = get_scheme(ELIDED)
+    assert scheme.family == FAMILY_ELIDED
+    assert not scheme.hardware_checks
+    assert not scheme.gate_pinned
+    assert ELIDED not in GATE_CONFIGS
+    assert ELIDED in all_configs()
+    assert ELIDED not in hardware_check_configs()
+
+
+def test_register_family_requires_policy_type():
+    from repro.engines.configs import register_family
+    with pytest.raises(TypeError):
+        register_family("elided-2")
+
+
 def test_live_configs_view_through_engines_module():
     import repro.engines as engines
     before = engines.CONFIGS

@@ -33,8 +33,8 @@ def outputs():
         spec = WORKLOADS[name]
         scale = TEST_SCALES[name]
         collected[name] = {
-            "lua": run_lua(spec.lua_source(scale), "baseline").output,
-            "js": run_js(spec.js_source(scale), "baseline").output,
+            "lua": run_lua(spec.lua_source(scale), config="baseline").output,
+            "js": run_js(spec.js_source(scale), config="baseline").output,
         }
     return collected
 
